@@ -1,0 +1,83 @@
+//===--- fig6_datastructures.cpp - Figure 6 reproduction ---------------------===//
+//
+// Reproduces Figure 6 of the paper: verification of textbook data-structure
+// routines (singly-linked lists, sorted lists, doubly-linked lists, cyclic
+// lists, max-heaps, BSTs, treaps, AVL trees, tree traversals,
+// Schorr-Waite-style marking). The "paper" column shows the wall-clock the
+// paper reported on 2009-era hardware; shapes (which routines are the slow
+// outliers) are the comparison target, not absolute numbers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runner.h"
+
+using namespace dryad;
+using namespace dryad::bench;
+
+int main() {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 60000;
+
+  std::vector<SuiteFile> Files = {
+      {"fig6/sll.dryad",
+       {{"find_rec", -1},
+        {"insert_front", -1},
+        {"insert_back_rec", -1},
+        {"delete_all_rec", -1},
+        {"copy_rec", -1},
+        {"append_rec", -1},
+        {"reverse_iter", -1}}},
+      {"fig6/sorted_list.dryad",
+       {{"find_rec", -1},
+        {"insert_rec", -1},
+        {"merge_rec", -1},
+        {"delete_all_rec", -1},
+        {"insert_sort_rec", -1},
+        {"find_last_iter", -1},
+        {"insert_iter", 1.4}}},
+      {"fig6/dll.dryad",
+       {{"insert_front", -1},
+        {"insert_back_rec", -1},
+        {"delete_all_rec", -1},
+        {"append_rec", -1},
+        {"mid_insert", -1},
+        {"mid_delete", -1},
+        {"meld", -1}}},
+      {"fig6/cyclic.dryad",
+       {{"insert_front", -1},
+        {"insert_back_rec", -1},
+        {"delete_front", -1},
+        {"delete_back_rec", -1}}},
+      {"fig6/maxheap.dryad", {{"heapify", 8.8}}},
+      {"fig6/bst.dryad",
+       {{"find_rec", -1},
+        {"find_iter", -1},
+        {"insert_rec", -1},
+        {"remove_root_rec", -1},
+        {"delete_rec", -1},
+        {"find_leftmost_iter", 4.7}}},
+      {"fig6/treap.dryad",
+       {{"find_rec", -1},
+        {"treap_merge", -1},
+        {"delete_rec", -1},
+        {"insert_root", 12.7}}},
+      {"fig6/avl.dryad",
+       {{"balance", -1},
+        {"leftmost_rec", -1},
+        {"rotate_right", 4.1},
+        {"insert_unbalanced_rec", 4.1}}},
+      {"fig6/rbt.dryad",
+       {{"find_rec", -1},
+        {"leftmost_rec", -1},
+        {"insert_rec", 73.9},
+        {"rbt_merge", -1},
+        {"delete_rec", 12.1}}},
+      {"fig6/traversals.dryad",
+       {{"inorder_tree_to_list_rec", 2.4},
+        {"preorder_rec", -1},
+        {"postorder_rec", -1},
+        {"inorder_rec", 3.76}}},
+      {"fig6/schorr_waite.dryad", {{"marking", -1}}},
+  };
+  return runSuite("Figure 6: data-structure routines", Files, Opts);
+}

@@ -1,0 +1,68 @@
+//===--- runner.h - Shared benchmark driver ---------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the benchmark corpora: verifies every `.dryad` module in a suite
+/// directory and prints a Figure-6/7-style table comparing against the
+/// paper's reported times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_BENCH_RUNNER_H
+#define DRYAD_BENCH_RUNNER_H
+
+#include "lang/parser.h"
+#include "verifier/report.h"
+#include "verifier/verifier.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dryad {
+namespace bench {
+
+struct SuiteFile {
+  std::string Rel; ///< path under bench/suite/
+  std::vector<PaperRow> Paper;
+};
+
+inline std::string suitePath(const std::string &Rel) {
+  return std::string(DRYAD_SOURCE_DIR) + "/bench/suite/" + Rel;
+}
+
+inline int runSuite(const std::string &Title,
+                    const std::vector<SuiteFile> &Files,
+                    const VerifyOptions &Opts = {}) {
+  std::printf("==== %s ====\n", Title.c_str());
+  size_t Verified = 0, Total = 0;
+  double Seconds = 0;
+  for (const SuiteFile &F : Files) {
+    Module M;
+    DiagEngine Diags;
+    if (!parseModuleFile(suitePath(F.Rel), M, Diags)) {
+      std::printf("%s: PARSE ERROR\n%s", F.Rel.c_str(), Diags.str().c_str());
+      continue;
+    }
+    Verifier V(M, Opts);
+    std::vector<ProcResult> Results = V.verifyAll(Diags);
+    std::printf("%s", formatResults(F.Rel, Results, F.Paper).c_str());
+    std::printf("\n");
+    for (const ProcResult &R : Results) {
+      ++Total;
+      Verified += R.Verified;
+      Seconds += R.Seconds;
+    }
+  }
+  std::printf("==== %s total: %zu/%zu routines verified, %.1fs ====\n",
+              Title.c_str(), Verified, Total, Seconds);
+  return Verified == Total ? 0 : 1;
+}
+
+} // namespace bench
+} // namespace dryad
+
+#endif // DRYAD_BENCH_RUNNER_H

@@ -1,0 +1,114 @@
+//===--- smt_micro.cpp - Pipeline-phase microbenchmarks -----------------------===//
+//
+// google-benchmark microbenchmarks for the pipeline phases: parsing,
+// basic-path extraction, VC generation, natural-proof assembly, and solving
+// — the latency profile behind the per-routine times in Figures 6/7.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/parser.h"
+#include "lang/paths.h"
+#include "natural/engine.h"
+#include "smt/solver.h"
+#include "vcgen/vc.h"
+#include "verifier/verifier.h"
+
+#include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace dryad;
+
+static std::string readSuite(const std::string &Rel) {
+  std::ifstream In(std::string(DRYAD_SOURCE_DIR) + "/bench/suite/" + Rel);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+static void BM_ParseModule(benchmark::State &State) {
+  std::string Text = readSuite("fig6/sll.dryad");
+  for (auto _ : State) {
+    Module M;
+    DiagEngine D;
+    benchmark::DoNotOptimize(parseModule(Text, M, D));
+  }
+}
+BENCHMARK(BM_ParseModule);
+
+static void BM_ExtractPaths(benchmark::State &State) {
+  Module M;
+  DiagEngine D;
+  parseModule(readSuite("fig6/sll.dryad"), M, D);
+  for (auto _ : State)
+    for (const Procedure &P : M.Procs)
+      benchmark::DoNotOptimize(extractPaths(M, P, D));
+}
+BENCHMARK(BM_ExtractPaths);
+
+static void BM_GenerateVC(benchmark::State &State) {
+  Module M;
+  DiagEngine D;
+  parseModule(readSuite("fig6/sll.dryad"), M, D);
+  const Procedure &P = M.Procs.back(); // reverse_iter: loop, three paths
+  std::vector<BasicPath> Paths = extractPaths(M, P, D);
+  VCGen Gen(M);
+  for (auto _ : State)
+    for (const BasicPath &BP : Paths)
+      benchmark::DoNotOptimize(Gen.generate(P, BP, D));
+}
+BENCHMARK(BM_GenerateVC);
+
+static void BM_NaturalProof(benchmark::State &State) {
+  Module M;
+  DiagEngine D;
+  parseModule(readSuite("fig6/sll.dryad"), M, D);
+  const Procedure &P = M.Procs.back();
+  std::vector<BasicPath> Paths = extractPaths(M, P, D);
+  VCGen Gen(M);
+  std::optional<VCond> VC = Gen.generate(P, Paths.front(), D);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(buildNaturalProof(M, *VC));
+}
+BENCHMARK(BM_NaturalProof);
+
+static void BM_SolveListInsert(benchmark::State &State) {
+  Module M;
+  DiagEngine D;
+  parseModule(readSuite("fig6/sll.dryad"), M, D);
+  const Procedure *P = M.findProc("insert_front");
+  std::vector<BasicPath> Paths = extractPaths(M, *P, D);
+  VCGen Gen(M);
+  std::optional<VCond> VC = Gen.generate(*P, Paths.front(), D);
+  NaturalProof NP = buildNaturalProof(M, *VC);
+  for (auto _ : State) {
+    SmtSolver S;
+    S.setTimeoutMs(30000);
+    for (const Formula *F : VC->Assumptions)
+      S.add(F);
+    for (const Formula *F : NP.Assertions)
+      S.add(F);
+    S.addNegated(VC->Goal);
+    SmtResult R = S.check();
+    if (R.Status != SmtStatus::Unsat)
+      State.SkipWithError("expected unsat");
+  }
+}
+BENCHMARK(BM_SolveListInsert)->Unit(benchmark::kMillisecond);
+
+static void BM_EndToEndVerifyModule(benchmark::State &State) {
+  std::string Text = readSuite("fig6/sll.dryad");
+  for (auto _ : State) {
+    Module M;
+    DiagEngine D;
+    parseModule(Text, M, D);
+    VerifyOptions Opts;
+    Opts.TimeoutMs = 60000;
+    Verifier V(M, Opts);
+    benchmark::DoNotOptimize(V.verifyAll(D));
+  }
+}
+BENCHMARK(BM_EndToEndVerifyModule)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

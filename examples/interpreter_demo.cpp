@@ -1,0 +1,55 @@
+//===--- interpreter_demo.cpp - Executing verified routines --------------------===//
+//
+// The library is not just a prover: modules are executable. This example
+// builds a concrete heap, runs the (verified) sorted-list insert on it with
+// the interpreter, and re-checks the postcondition with the Dryad
+// evaluator — the same closed loop the soundness property tests use.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/gen.h"
+#include "interp/interp.h"
+#include "lang/parser.h"
+#include "sem/eval.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace dryad;
+
+int main() {
+  std::ifstream In(std::string(DRYAD_SOURCE_DIR) +
+                   "/bench/suite/fig6/sorted_list.dryad");
+  std::stringstream SS;
+  SS << In.rdbuf();
+
+  Module M;
+  DiagEngine Diags;
+  if (!parseModule(SS.str(), M, Diags)) {
+    std::printf("parse error:\n%s", Diags.str().c_str());
+    return 1;
+  }
+
+  ProgramState St(M.Fields);
+  HeapGen Gen(St, /*Seed=*/42);
+  int64_t Head = Gen.makeSortedList(6);
+  std::printf("== before ==\n%s\n", St.str().c_str());
+
+  Interpreter Interp(M);
+  auto R = Interp.call("insert_rec", {Value::mkLoc(Head), Value::mkInt(7)},
+                       St);
+  if (!R.Ok) {
+    std::printf("execution failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  int64_t NewHead = R.Ret->I;
+  std::printf("== after insert_rec(head, 7) ==\n%s\n", St.str().c_str());
+
+  // Check the postcondition concretely: the result is a sorted list.
+  Evaluator Eval(St, M.Defs, EvalMode::Heaplet);
+  const RecDef *Slist = M.Defs.lookup("slist");
+  Value Holds = Eval.recValue(Slist, {}, NewHead);
+  std::printf("slist(result) evaluates to: %s\n", Holds.str().c_str());
+  return Holds.B ? 0 : 1;
+}

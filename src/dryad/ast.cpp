@@ -1,0 +1,638 @@
+//===--- ast.cpp - AST factories and generic utilities --------------------===//
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+using namespace dryad;
+
+//===----------------------------------------------------------------------===//
+// Factories
+//===----------------------------------------------------------------------===//
+
+const Term *AstContext::nil(SourceLoc L) { return make<NilTerm>(L); }
+
+const Term *AstContext::var(std::string Name, Sort S, SourceLoc L) {
+  return make<VarTerm>(std::move(Name), S, L);
+}
+
+const Term *AstContext::intConst(int64_t V, SourceLoc L) {
+  return make<IntConstTerm>(V, L);
+}
+
+const Term *AstContext::inf(bool Positive, SourceLoc L) {
+  return make<InfTerm>(Positive, L);
+}
+
+const Term *AstContext::intBin(IntBinTerm::Op O, const Term *Lhs,
+                               const Term *Rhs, SourceLoc L) {
+  return make<IntBinTerm>(O, Lhs, Rhs, L);
+}
+
+const Term *AstContext::emptySet(Sort S, SourceLoc L) {
+  return make<EmptySetTerm>(S, L);
+}
+
+const Term *AstContext::singleton(const Term *Elem, Sort S, SourceLoc L) {
+  return make<SingletonTerm>(Elem, S, L);
+}
+
+const Term *AstContext::setBin(SetBinTerm::Op O, const Term *Lhs,
+                               const Term *Rhs, SourceLoc L) {
+  assert(Lhs->sort() == Rhs->sort() ||
+         (isSetSort(Lhs->sort()) && isSetSort(Rhs->sort())));
+  // Simplify unions/differences with the empty set; keeps generated VCs
+  // readable.
+  if (O == SetBinTerm::Union) {
+    if (Lhs->kind() == Term::TK_EmptySet)
+      return Rhs;
+    if (Rhs->kind() == Term::TK_EmptySet)
+      return Lhs;
+  }
+  if (O == SetBinTerm::Diff && Rhs->kind() == Term::TK_EmptySet)
+    return Lhs;
+  return make<SetBinTerm>(O, Lhs, Rhs, Lhs->sort(), L);
+}
+
+const Term *AstContext::recFunc(const RecDef *Def, const Term *Arg,
+                                std::vector<const Term *> Stops, int Time,
+                                SourceLoc L) {
+  return make<RecFuncTerm>(Def, Arg, std::move(Stops), Def->Result, Time, L);
+}
+
+const Term *AstContext::fieldRead(std::string Field, const Term *Arg, Sort S,
+                                  int Version, SourceLoc L) {
+  return make<FieldReadTerm>(std::move(Field), Arg, S, Version, L);
+}
+
+const Term *AstContext::reach(const RecDef *Def, const Term *Arg,
+                              std::vector<const Term *> Stops, int Time,
+                              SourceLoc L) {
+  return make<ReachTerm>(Def, Arg, std::move(Stops), Time, L);
+}
+
+const Term *AstContext::ite(const Formula *Cond, const Term *Then,
+                            const Term *Else, SourceLoc L) {
+  return make<IteTerm>(Cond, Then, Else, Then->sort(), L);
+}
+
+const Formula *AstContext::boolConst(bool V, SourceLoc L) {
+  return make<BoolConstFormula>(V, L);
+}
+
+const Formula *AstContext::emp(SourceLoc L) { return make<EmpFormula>(L); }
+
+const Formula *
+AstContext::pointsTo(const Term *Base,
+                     std::vector<PointsToFormula::FieldBinding> Fields,
+                     SourceLoc L) {
+  return make<PointsToFormula>(Base, std::move(Fields), L);
+}
+
+const Formula *AstContext::cmp(CmpFormula::Op O, const Term *Lhs,
+                               const Term *Rhs, SourceLoc L) {
+  return make<CmpFormula>(O, Lhs, Rhs, L);
+}
+
+const Formula *AstContext::recPred(const RecDef *Def, const Term *Arg,
+                                   std::vector<const Term *> Stops, int Time,
+                                   SourceLoc L) {
+  return make<RecPredFormula>(Def, Arg, std::move(Stops), Time, L);
+}
+
+const Formula *AstContext::conj(std::vector<const Formula *> Ops,
+                                SourceLoc L) {
+  std::vector<const Formula *> Flat;
+  for (const Formula *Op : Ops) {
+    if (const auto *BC = dyn_cast<BoolConstFormula>(Op)) {
+      if (BC->value())
+        continue;
+      return Op; // false absorbs
+    }
+    if (Op->kind() == Formula::FK_And) {
+      const auto &Inner = cast<NaryFormula>(Op)->operands();
+      Flat.insert(Flat.end(), Inner.begin(), Inner.end());
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  if (Flat.empty())
+    return trueF();
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make<NaryFormula>(Formula::FK_And, std::move(Flat), L);
+}
+
+const Formula *AstContext::disj(std::vector<const Formula *> Ops,
+                                SourceLoc L) {
+  std::vector<const Formula *> Flat;
+  for (const Formula *Op : Ops) {
+    if (const auto *BC = dyn_cast<BoolConstFormula>(Op)) {
+      if (!BC->value())
+        continue;
+      return Op; // true absorbs
+    }
+    if (Op->kind() == Formula::FK_Or) {
+      const auto &Inner = cast<NaryFormula>(Op)->operands();
+      Flat.insert(Flat.end(), Inner.begin(), Inner.end());
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  if (Flat.empty())
+    return falseF();
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make<NaryFormula>(Formula::FK_Or, std::move(Flat), L);
+}
+
+const Formula *AstContext::sep(std::vector<const Formula *> Ops, SourceLoc L) {
+  std::vector<const Formula *> Flat;
+  for (const Formula *Op : Ops) {
+    if (const auto *BC = dyn_cast<BoolConstFormula>(Op)) {
+      if (!BC->value())
+        return Op; // false absorbs
+      Flat.push_back(Op); // `true` is heap-dependent under *, keep it
+      continue;
+    }
+    if (Op->kind() == Formula::FK_Sep) {
+      const auto &Inner = cast<NaryFormula>(Op)->operands();
+      Flat.insert(Flat.end(), Inner.begin(), Inner.end());
+      continue;
+    }
+    Flat.push_back(Op);
+  }
+  if (Flat.empty())
+    return emp(L);
+  if (Flat.size() == 1)
+    return Flat.front();
+  return make<NaryFormula>(Formula::FK_Sep, std::move(Flat), L);
+}
+
+const Formula *AstContext::neg(const Formula *Op, SourceLoc L) {
+  if (const auto *BC = dyn_cast<BoolConstFormula>(Op))
+    return boolConst(!BC->value(), L);
+  if (const auto *N = dyn_cast<NotFormula>(Op))
+    return N->operand();
+  return make<NotFormula>(Op, L);
+}
+
+const Formula *AstContext::fieldUpdate(std::string Field, int FromVersion,
+                                       int ToVersion, const Term *Base,
+                                       const Term *Value, SourceLoc L) {
+  return make<FieldUpdateFormula>(std::move(Field), FromVersion, ToVersion,
+                                  Base, Value, L);
+}
+
+//===----------------------------------------------------------------------===//
+// Structural equality
+//===----------------------------------------------------------------------===//
+
+static bool eqTerms(const std::vector<const Term *> &A,
+                    const std::vector<const Term *> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I)
+    if (!structEq(A[I], B[I]))
+      return false;
+  return true;
+}
+
+bool dryad::structEq(const Term *A, const Term *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind() || A->sort() != B->sort())
+    return false;
+  switch (A->kind()) {
+  case Term::TK_Nil:
+    return true;
+  case Term::TK_Var:
+    return cast<VarTerm>(A)->name() == cast<VarTerm>(B)->name();
+  case Term::TK_IntConst:
+    return cast<IntConstTerm>(A)->value() == cast<IntConstTerm>(B)->value();
+  case Term::TK_Inf:
+    return cast<InfTerm>(A)->isPositive() == cast<InfTerm>(B)->isPositive();
+  case Term::TK_IntBin: {
+    const auto *X = cast<IntBinTerm>(A), *Y = cast<IntBinTerm>(B);
+    return X->op() == Y->op() && structEq(X->lhs(), Y->lhs()) &&
+           structEq(X->rhs(), Y->rhs());
+  }
+  case Term::TK_EmptySet:
+    return true;
+  case Term::TK_Singleton:
+    return structEq(cast<SingletonTerm>(A)->element(),
+                    cast<SingletonTerm>(B)->element());
+  case Term::TK_SetBin: {
+    const auto *X = cast<SetBinTerm>(A), *Y = cast<SetBinTerm>(B);
+    return X->op() == Y->op() && structEq(X->lhs(), Y->lhs()) &&
+           structEq(X->rhs(), Y->rhs());
+  }
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(A), *Y = cast<RecFuncTerm>(B);
+    return X->def() == Y->def() && X->time() == Y->time() &&
+           structEq(X->arg(), Y->arg()) &&
+           eqTerms(X->stopArgs(), Y->stopArgs());
+  }
+  case Term::TK_FieldRead: {
+    const auto *X = cast<FieldReadTerm>(A), *Y = cast<FieldReadTerm>(B);
+    return X->field() == Y->field() && X->version() == Y->version() &&
+           structEq(X->arg(), Y->arg());
+  }
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(A), *Y = cast<ReachTerm>(B);
+    return X->def() == Y->def() && X->time() == Y->time() &&
+           structEq(X->arg(), Y->arg()) &&
+           eqTerms(X->stopArgs(), Y->stopArgs());
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(A), *Y = cast<IteTerm>(B);
+    return structEq(X->cond(), Y->cond()) &&
+           structEq(X->thenTerm(), Y->thenTerm()) &&
+           structEq(X->elseTerm(), Y->elseTerm());
+  }
+  }
+  return false;
+}
+
+bool dryad::structEq(const Formula *A, const Formula *B) {
+  if (A == B)
+    return true;
+  if (A->kind() != B->kind())
+    return false;
+  switch (A->kind()) {
+  case Formula::FK_BoolConst:
+    return cast<BoolConstFormula>(A)->value() ==
+           cast<BoolConstFormula>(B)->value();
+  case Formula::FK_Emp:
+    return true;
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(A), *Y = cast<PointsToFormula>(B);
+    if (!structEq(X->base(), Y->base()) ||
+        X->fields().size() != Y->fields().size())
+      return false;
+    for (size_t I = 0, E = X->fields().size(); I != E; ++I)
+      if (X->fields()[I].Field != Y->fields()[I].Field ||
+          !structEq(X->fields()[I].Value, Y->fields()[I].Value))
+        return false;
+    return true;
+  }
+  case Formula::FK_Cmp: {
+    const auto *X = cast<CmpFormula>(A), *Y = cast<CmpFormula>(B);
+    return X->op() == Y->op() && structEq(X->lhs(), Y->lhs()) &&
+           structEq(X->rhs(), Y->rhs());
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(A), *Y = cast<RecPredFormula>(B);
+    return X->def() == Y->def() && X->time() == Y->time() &&
+           structEq(X->arg(), Y->arg()) &&
+           eqTerms(X->stopArgs(), Y->stopArgs());
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep: {
+    const auto *X = cast<NaryFormula>(A), *Y = cast<NaryFormula>(B);
+    if (X->operands().size() != Y->operands().size())
+      return false;
+    for (size_t I = 0, E = X->operands().size(); I != E; ++I)
+      if (!structEq(X->operands()[I], Y->operands()[I]))
+        return false;
+    return true;
+  }
+  case Formula::FK_Not:
+    return structEq(cast<NotFormula>(A)->operand(),
+                    cast<NotFormula>(B)->operand());
+  case Formula::FK_FieldUpdate: {
+    const auto *X = cast<FieldUpdateFormula>(A),
+               *Y = cast<FieldUpdateFormula>(B);
+    return X->field() == Y->field() &&
+           X->fromVersion() == Y->fromVersion() &&
+           X->toVersion() == Y->toVersion() &&
+           structEq(X->base(), Y->base()) && structEq(X->value(), Y->value());
+  }
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution
+//===----------------------------------------------------------------------===//
+
+static std::vector<const Term *> substAll(AstContext &Ctx,
+                                          const std::vector<const Term *> &Ts,
+                                          const Subst &S) {
+  std::vector<const Term *> Out;
+  Out.reserve(Ts.size());
+  for (const Term *T : Ts)
+    Out.push_back(substitute(Ctx, T, S));
+  return Out;
+}
+
+const Term *dryad::substitute(AstContext &Ctx, const Term *T, const Subst &S) {
+  switch (T->kind()) {
+  case Term::TK_Nil:
+  case Term::TK_IntConst:
+  case Term::TK_Inf:
+  case Term::TK_EmptySet:
+    return T;
+  case Term::TK_Var: {
+    auto It = S.find(cast<VarTerm>(T)->name());
+    return It == S.end() ? T : It->second;
+  }
+  case Term::TK_IntBin: {
+    const auto *X = cast<IntBinTerm>(T);
+    return Ctx.intBin(X->op(), substitute(Ctx, X->lhs(), S),
+                      substitute(Ctx, X->rhs(), S), T->loc());
+  }
+  case Term::TK_Singleton: {
+    const auto *X = cast<SingletonTerm>(T);
+    return Ctx.singleton(substitute(Ctx, X->element(), S), T->sort(),
+                         T->loc());
+  }
+  case Term::TK_SetBin: {
+    const auto *X = cast<SetBinTerm>(T);
+    return Ctx.setBin(X->op(), substitute(Ctx, X->lhs(), S),
+                      substitute(Ctx, X->rhs(), S), T->loc());
+  }
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    return Ctx.recFunc(X->def(), substitute(Ctx, X->arg(), S),
+                       substAll(Ctx, X->stopArgs(), S), X->time(), T->loc());
+  }
+  case Term::TK_FieldRead: {
+    const auto *X = cast<FieldReadTerm>(T);
+    return Ctx.fieldRead(X->field(), substitute(Ctx, X->arg(), S), T->sort(),
+                         X->version(), T->loc());
+  }
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(T);
+    return Ctx.reach(X->def(), substitute(Ctx, X->arg(), S),
+                     substAll(Ctx, X->stopArgs(), S), X->time(), T->loc());
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    return Ctx.ite(substitute(Ctx, X->cond(), S),
+                   substitute(Ctx, X->thenTerm(), S),
+                   substitute(Ctx, X->elseTerm(), S), T->loc());
+  }
+  }
+  return T;
+}
+
+const Formula *dryad::substitute(AstContext &Ctx, const Formula *F,
+                                 const Subst &S) {
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+  case Formula::FK_Emp:
+    return F;
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    std::vector<PointsToFormula::FieldBinding> Fields;
+    Fields.reserve(X->fields().size());
+    for (const auto &FB : X->fields())
+      Fields.push_back({FB.Field, substitute(Ctx, FB.Value, S)});
+    return Ctx.pointsTo(substitute(Ctx, X->base(), S), std::move(Fields),
+                        F->loc());
+  }
+  case Formula::FK_Cmp: {
+    const auto *X = cast<CmpFormula>(F);
+    return Ctx.cmp(X->op(), substitute(Ctx, X->lhs(), S),
+                   substitute(Ctx, X->rhs(), S), F->loc());
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    return Ctx.recPred(X->def(), substitute(Ctx, X->arg(), S),
+                       substAll(Ctx, X->stopArgs(), S), X->time(), F->loc());
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep: {
+    const auto *X = cast<NaryFormula>(F);
+    std::vector<const Formula *> Ops;
+    Ops.reserve(X->operands().size());
+    for (const Formula *Op : X->operands())
+      Ops.push_back(substitute(Ctx, Op, S));
+    if (F->kind() == Formula::FK_And)
+      return Ctx.conj(std::move(Ops), F->loc());
+    if (F->kind() == Formula::FK_Or)
+      return Ctx.disj(std::move(Ops), F->loc());
+    return Ctx.sep(std::move(Ops), F->loc());
+  }
+  case Formula::FK_Not:
+    return Ctx.neg(substitute(Ctx, cast<NotFormula>(F)->operand(), S),
+                   F->loc());
+  case Formula::FK_FieldUpdate: {
+    const auto *X = cast<FieldUpdateFormula>(F);
+    return Ctx.fieldUpdate(X->field(), X->fromVersion(), X->toVersion(),
+                           substitute(Ctx, X->base(), S),
+                           substitute(Ctx, X->value(), S), F->loc());
+  }
+  }
+  return F;
+}
+
+//===----------------------------------------------------------------------===//
+// Free variable collection
+//===----------------------------------------------------------------------===//
+
+void dryad::collectVars(const Term *T, std::map<std::string, Sort> &Out) {
+  switch (T->kind()) {
+  case Term::TK_Nil:
+  case Term::TK_IntConst:
+  case Term::TK_Inf:
+  case Term::TK_EmptySet:
+    return;
+  case Term::TK_Var:
+    Out[cast<VarTerm>(T)->name()] = T->sort();
+    return;
+  case Term::TK_IntBin:
+    collectVars(cast<IntBinTerm>(T)->lhs(), Out);
+    collectVars(cast<IntBinTerm>(T)->rhs(), Out);
+    return;
+  case Term::TK_Singleton:
+    collectVars(cast<SingletonTerm>(T)->element(), Out);
+    return;
+  case Term::TK_SetBin:
+    collectVars(cast<SetBinTerm>(T)->lhs(), Out);
+    collectVars(cast<SetBinTerm>(T)->rhs(), Out);
+    return;
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    collectVars(X->arg(), Out);
+    for (const Term *St : X->stopArgs())
+      collectVars(St, Out);
+    return;
+  }
+  case Term::TK_FieldRead:
+    collectVars(cast<FieldReadTerm>(T)->arg(), Out);
+    return;
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(T);
+    collectVars(X->arg(), Out);
+    for (const Term *St : X->stopArgs())
+      collectVars(St, Out);
+    return;
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    collectVars(X->cond(), Out);
+    collectVars(X->thenTerm(), Out);
+    collectVars(X->elseTerm(), Out);
+    return;
+  }
+  }
+}
+
+void dryad::collectVars(const Formula *F, std::map<std::string, Sort> &Out) {
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+  case Formula::FK_Emp:
+    return;
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    collectVars(X->base(), Out);
+    for (const auto &FB : X->fields())
+      collectVars(FB.Value, Out);
+    return;
+  }
+  case Formula::FK_Cmp:
+    collectVars(cast<CmpFormula>(F)->lhs(), Out);
+    collectVars(cast<CmpFormula>(F)->rhs(), Out);
+    return;
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    collectVars(X->arg(), Out);
+    for (const Term *St : X->stopArgs())
+      collectVars(St, Out);
+    return;
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep:
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      collectVars(Op, Out);
+    return;
+  case Formula::FK_Not:
+    collectVars(cast<NotFormula>(F)->operand(), Out);
+    return;
+  case Formula::FK_FieldUpdate:
+    collectVars(cast<FieldUpdateFormula>(F)->base(), Out);
+    collectVars(cast<FieldUpdateFormula>(F)->value(), Out);
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Stamping with heap versions / timestamps
+//===----------------------------------------------------------------------===//
+
+static int fieldVersion(const StampMap &M, const std::string &Field) {
+  auto It = M.FieldVersions.find(Field);
+  assert(It != M.FieldVersions.end() && "stamping unknown field");
+  return It->second;
+}
+
+const Term *dryad::stamp(AstContext &Ctx, const Term *T, const StampMap &M) {
+  switch (T->kind()) {
+  case Term::TK_Nil:
+  case Term::TK_Var:
+  case Term::TK_IntConst:
+  case Term::TK_Inf:
+  case Term::TK_EmptySet:
+    return T;
+  case Term::TK_IntBin: {
+    const auto *X = cast<IntBinTerm>(T);
+    return Ctx.intBin(X->op(), stamp(Ctx, X->lhs(), M), stamp(Ctx, X->rhs(), M),
+                      T->loc());
+  }
+  case Term::TK_Singleton: {
+    const auto *X = cast<SingletonTerm>(T);
+    return Ctx.singleton(stamp(Ctx, X->element(), M), T->sort(), T->loc());
+  }
+  case Term::TK_SetBin: {
+    const auto *X = cast<SetBinTerm>(T);
+    return Ctx.setBin(X->op(), stamp(Ctx, X->lhs(), M), stamp(Ctx, X->rhs(), M),
+                      T->loc());
+  }
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    std::vector<const Term *> Stops;
+    for (const Term *St : X->stopArgs())
+      Stops.push_back(stamp(Ctx, St, M));
+    int Time = X->time() >= 0 ? X->time() : M.Time;
+    return Ctx.recFunc(X->def(), stamp(Ctx, X->arg(), M), std::move(Stops),
+                       Time, T->loc());
+  }
+  case Term::TK_FieldRead: {
+    const auto *X = cast<FieldReadTerm>(T);
+    int Ver = X->version() >= 0 ? X->version() : fieldVersion(M, X->field());
+    return Ctx.fieldRead(X->field(), stamp(Ctx, X->arg(), M), T->sort(), Ver,
+                         T->loc());
+  }
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(T);
+    std::vector<const Term *> Stops;
+    for (const Term *St : X->stopArgs())
+      Stops.push_back(stamp(Ctx, St, M));
+    int Time = X->time() >= 0 ? X->time() : M.Time;
+    return Ctx.reach(X->def(), stamp(Ctx, X->arg(), M), std::move(Stops), Time,
+                     T->loc());
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    return Ctx.ite(stamp(Ctx, X->cond(), M), stamp(Ctx, X->thenTerm(), M),
+                   stamp(Ctx, X->elseTerm(), M), T->loc());
+  }
+  }
+  return T;
+}
+
+const Formula *dryad::stamp(AstContext &Ctx, const Formula *F,
+                            const StampMap &M) {
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+  case Formula::FK_Emp:
+    return F;
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    std::vector<PointsToFormula::FieldBinding> Fields;
+    for (const auto &FB : X->fields())
+      Fields.push_back({FB.Field, stamp(Ctx, FB.Value, M)});
+    return Ctx.pointsTo(stamp(Ctx, X->base(), M), std::move(Fields), F->loc());
+  }
+  case Formula::FK_Cmp: {
+    const auto *X = cast<CmpFormula>(F);
+    return Ctx.cmp(X->op(), stamp(Ctx, X->lhs(), M), stamp(Ctx, X->rhs(), M),
+                   F->loc());
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    std::vector<const Term *> Stops;
+    for (const Term *St : X->stopArgs())
+      Stops.push_back(stamp(Ctx, St, M));
+    int Time = X->time() >= 0 ? X->time() : M.Time;
+    return Ctx.recPred(X->def(), stamp(Ctx, X->arg(), M), std::move(Stops),
+                       Time, F->loc());
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep: {
+    const auto *X = cast<NaryFormula>(F);
+    std::vector<const Formula *> Ops;
+    for (const Formula *Op : X->operands())
+      Ops.push_back(stamp(Ctx, Op, M));
+    if (F->kind() == Formula::FK_And)
+      return Ctx.conj(std::move(Ops), F->loc());
+    if (F->kind() == Formula::FK_Or)
+      return Ctx.disj(std::move(Ops), F->loc());
+    return Ctx.sep(std::move(Ops), F->loc());
+  }
+  case Formula::FK_Not:
+    return Ctx.neg(stamp(Ctx, cast<NotFormula>(F)->operand(), M), F->loc());
+  case Formula::FK_FieldUpdate: {
+    const auto *X = cast<FieldUpdateFormula>(F);
+    return Ctx.fieldUpdate(X->field(), X->fromVersion(), X->toVersion(),
+                           stamp(Ctx, X->base(), M), stamp(Ctx, X->value(), M),
+                           F->loc());
+  }
+  }
+  return F;
+}

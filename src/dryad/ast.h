@@ -1,0 +1,532 @@
+//===--- ast.h - Dryad and classical-logic AST ------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shared AST covers both the Dryad separation logic of §4 and the
+/// classical logic over the global heap that §5 translates into. The purely
+/// spatial nodes (emp, points-to, separating conjunction, recursive-definition
+/// applications without a timestamp) belong to Dryad; FieldRead, Reach, Ite,
+/// FieldUpdate and timestamped recursive applications belong to the classical
+/// side. Well-formedness of each dialect is enforced by dryad/typecheck.h.
+///
+/// Nodes are immutable and arena-owned by an AstContext. Structural equality
+/// and printing are provided for tests and for keying recursive-definition
+/// instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_AST_H
+#define DRYAD_DRYAD_AST_H
+
+#include "dryad/sorts.h"
+#include "support/diag.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+class Formula;
+struct RecDef;
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+class Term {
+public:
+  enum Kind : uint8_t {
+    TK_Nil,       ///< the nil location (= 0)
+    TK_Var,       ///< program / spec / definition-bound variable
+    TK_IntConst,  ///< integer literal
+    TK_Inf,       ///< +infinity or -infinity (IntL lattice bounds)
+    TK_IntBin,    ///< it + it | it - it
+    TK_EmptySet,  ///< empty set / multiset
+    TK_Singleton, ///< {t} or {t}m
+    TK_SetBin,    ///< union / intersection / difference
+    TK_RecFunc,   ///< recursive function application f(lt, stops...)
+    TK_FieldRead, ///< classical: pf(lt) / df(lt), versioned after stamping
+    TK_Reach,     ///< classical: reach_rec(lt) set of locations
+    TK_Ite        ///< classical: if-then-else term
+  };
+
+  Kind kind() const { return K; }
+  Sort sort() const { return S; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Term(Kind K, Sort S, SourceLoc Loc) : K(K), S(S), Loc(Loc) {}
+
+private:
+  Kind K;
+  Sort S;
+  SourceLoc Loc;
+};
+
+class NilTerm : public Term {
+public:
+  explicit NilTerm(SourceLoc L) : Term(TK_Nil, Sort::Loc, L) {}
+  static bool classof(const Term *T) { return T->kind() == TK_Nil; }
+};
+
+class VarTerm : public Term {
+public:
+  VarTerm(std::string Name, Sort S, SourceLoc L)
+      : Term(TK_Var, S, L), Name(std::move(Name)) {}
+  const std::string &name() const { return Name; }
+  static bool classof(const Term *T) { return T->kind() == TK_Var; }
+
+private:
+  std::string Name;
+};
+
+class IntConstTerm : public Term {
+public:
+  IntConstTerm(int64_t V, SourceLoc L)
+      : Term(TK_IntConst, Sort::Int, L), Value(V) {}
+  int64_t value() const { return Value; }
+  static bool classof(const Term *T) { return T->kind() == TK_IntConst; }
+
+private:
+  int64_t Value;
+};
+
+class InfTerm : public Term {
+public:
+  InfTerm(bool Positive, SourceLoc L)
+      : Term(TK_Inf, Sort::Int, L), Positive(Positive) {}
+  bool isPositive() const { return Positive; }
+  static bool classof(const Term *T) { return T->kind() == TK_Inf; }
+
+private:
+  bool Positive;
+};
+
+class IntBinTerm : public Term {
+public:
+  enum Op : uint8_t { Add, Sub, Max, Min };
+  IntBinTerm(Op O, const Term *L, const Term *R, SourceLoc Lc)
+      : Term(TK_IntBin, Sort::Int, Lc), O(O), LHS(L), RHS(R) {}
+  Op op() const { return O; }
+  const Term *lhs() const { return LHS; }
+  const Term *rhs() const { return RHS; }
+  static bool classof(const Term *T) { return T->kind() == TK_IntBin; }
+
+private:
+  Op O;
+  const Term *LHS, *RHS;
+};
+
+class EmptySetTerm : public Term {
+public:
+  EmptySetTerm(Sort S, SourceLoc L) : Term(TK_EmptySet, S, L) {
+    assert(isSetSort(S) && "empty set must have a set sort");
+  }
+  static bool classof(const Term *T) { return T->kind() == TK_EmptySet; }
+};
+
+class SingletonTerm : public Term {
+public:
+  SingletonTerm(const Term *Elem, Sort S, SourceLoc L)
+      : Term(TK_Singleton, S, L), Elem(Elem) {
+    assert(isSetSort(S) && "singleton must have a set sort");
+  }
+  const Term *element() const { return Elem; }
+  static bool classof(const Term *T) { return T->kind() == TK_Singleton; }
+
+private:
+  const Term *Elem;
+};
+
+class SetBinTerm : public Term {
+public:
+  enum Op : uint8_t { Union, Inter, Diff };
+  SetBinTerm(Op O, const Term *L, const Term *R, Sort S, SourceLoc Lc)
+      : Term(TK_SetBin, S, Lc), O(O), LHS(L), RHS(R) {}
+  Op op() const { return O; }
+  const Term *lhs() const { return LHS; }
+  const Term *rhs() const { return RHS; }
+  static bool classof(const Term *T) { return T->kind() == TK_SetBin; }
+
+private:
+  Op O;
+  const Term *LHS, *RHS;
+};
+
+/// Application of a recursive function f∆_{pf,~v}(lt). StopArgs supplies the
+/// actual location terms for the definition's stop parameters ~v. Time is the
+/// boundary timestamp after stamping (-1 while unstamped).
+class RecFuncTerm : public Term {
+public:
+  RecFuncTerm(const RecDef *Def, const Term *Arg, std::vector<const Term *> Stops,
+              Sort S, int Time, SourceLoc L)
+      : Term(TK_RecFunc, S, L), Def(Def), Arg(Arg), Stops(std::move(Stops)),
+        Time(Time) {}
+  const RecDef *def() const { return Def; }
+  const Term *arg() const { return Arg; }
+  const std::vector<const Term *> &stopArgs() const { return Stops; }
+  int time() const { return Time; }
+  static bool classof(const Term *T) { return T->kind() == TK_RecFunc; }
+
+private:
+  const RecDef *Def;
+  const Term *Arg;
+  std::vector<const Term *> Stops;
+  int Time;
+};
+
+/// Classical logic only: pf(lt) or df(lt). Version identifies the heap-array
+/// version produced by vcgen (-1 while unstamped; definition bodies are kept
+/// unstamped and stamped at instantiation time).
+class FieldReadTerm : public Term {
+public:
+  FieldReadTerm(std::string Field, const Term *Arg, Sort S, int Version,
+                SourceLoc L)
+      : Term(TK_FieldRead, S, L), Field(std::move(Field)), Arg(Arg),
+        Version(Version) {}
+  const std::string &field() const { return Field; }
+  const Term *arg() const { return Arg; }
+  int version() const { return Version; }
+  static bool classof(const Term *T) { return T->kind() == TK_FieldRead; }
+
+private:
+  std::string Field;
+  const Term *Arg;
+  int Version;
+};
+
+/// Classical logic only: reach_rec(lt), the set of locations reachable from
+/// lt via the definition's pointer fields without passing through its stop
+/// locations (paper §5).
+class ReachTerm : public Term {
+public:
+  ReachTerm(const RecDef *Def, const Term *Arg,
+            std::vector<const Term *> Stops, int Time, SourceLoc L)
+      : Term(TK_Reach, Sort::LocSet, L), Def(Def), Arg(Arg),
+        Stops(std::move(Stops)), Time(Time) {}
+  const RecDef *def() const { return Def; }
+  const Term *arg() const { return Arg; }
+  const std::vector<const Term *> &stopArgs() const { return Stops; }
+  int time() const { return Time; }
+  static bool classof(const Term *T) { return T->kind() == TK_Reach; }
+
+private:
+  const RecDef *Def;
+  const Term *Arg;
+  std::vector<const Term *> Stops;
+  int Time;
+};
+
+/// Classical logic only: conditional term.
+class IteTerm : public Term {
+public:
+  IteTerm(const Formula *Cond, const Term *Then, const Term *Else, Sort S,
+          SourceLoc L)
+      : Term(TK_Ite, S, L), Cond(Cond), Then(Then), Else(Else) {}
+  const Formula *cond() const { return Cond; }
+  const Term *thenTerm() const { return Then; }
+  const Term *elseTerm() const { return Else; }
+  static bool classof(const Term *T) { return T->kind() == TK_Ite; }
+
+private:
+  const Formula *Cond;
+  const Term *Then, *Else;
+};
+
+//===----------------------------------------------------------------------===//
+// Formulas
+//===----------------------------------------------------------------------===//
+
+class Formula {
+public:
+  enum Kind : uint8_t {
+    FK_BoolConst,
+    FK_Emp,         ///< Dryad: the heaplet is empty
+    FK_PointsTo,    ///< Dryad: lt |-> (fields)
+    FK_Cmp,         ///< all binary relations incl. set comparisons
+    FK_RecPred,     ///< recursive predicate application
+    FK_And,
+    FK_Or,
+    FK_Not,
+    FK_Sep,         ///< Dryad: separating conjunction
+    FK_FieldUpdate  ///< vcgen: field array version v+1 = store(v, loc, val)
+  };
+
+  Kind kind() const { return K; }
+  SourceLoc loc() const { return Loc; }
+
+protected:
+  Formula(Kind K, SourceLoc Loc) : K(K), Loc(Loc) {}
+
+private:
+  Kind K;
+  SourceLoc Loc;
+};
+
+class BoolConstFormula : public Formula {
+public:
+  BoolConstFormula(bool V, SourceLoc L) : Formula(FK_BoolConst, L), Value(V) {}
+  bool value() const { return Value; }
+  static bool classof(const Formula *F) { return F->kind() == FK_BoolConst; }
+
+private:
+  bool Value;
+};
+
+class EmpFormula : public Formula {
+public:
+  explicit EmpFormula(SourceLoc L) : Formula(FK_Emp, L) {}
+  static bool classof(const Formula *F) { return F->kind() == FK_Emp; }
+};
+
+/// lt |-> (pf1: lt1, ..., df1: it1, ...). Field order is as written.
+class PointsToFormula : public Formula {
+public:
+  struct FieldBinding {
+    std::string Field;
+    const Term *Value;
+  };
+  PointsToFormula(const Term *Base, std::vector<FieldBinding> Fields,
+                  SourceLoc L)
+      : Formula(FK_PointsTo, L), Base(Base), Fields(std::move(Fields)) {}
+  const Term *base() const { return Base; }
+  const std::vector<FieldBinding> &fields() const { return Fields; }
+  static bool classof(const Formula *F) { return F->kind() == FK_PointsTo; }
+
+private:
+  const Term *Base;
+  std::vector<FieldBinding> Fields;
+};
+
+/// All binary relations. Scalar: Eq Ne Lt Le Gt Ge. Set-valued operands:
+/// Eq/Ne compare extensionally, SetLt/SetLe are the paper's "every element on
+/// the left is less-than / at-most every element on the right", SubsetEq is
+/// inclusion, In/NotIn are membership with the element on the left.
+class CmpFormula : public Formula {
+public:
+  enum Op : uint8_t {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    SetLt,
+    SetLe,
+    SubsetEq,
+    In,
+    NotIn
+  };
+  CmpFormula(Op O, const Term *L, const Term *R, SourceLoc Lc)
+      : Formula(FK_Cmp, Lc), O(O), LHS(L), RHS(R) {}
+  Op op() const { return O; }
+  const Term *lhs() const { return LHS; }
+  const Term *rhs() const { return RHS; }
+  static bool classof(const Formula *F) { return F->kind() == FK_Cmp; }
+
+private:
+  Op O;
+  const Term *LHS, *RHS;
+};
+
+class RecPredFormula : public Formula {
+public:
+  RecPredFormula(const RecDef *Def, const Term *Arg,
+                 std::vector<const Term *> Stops, int Time, SourceLoc L)
+      : Formula(FK_RecPred, L), Def(Def), Arg(Arg), Stops(std::move(Stops)),
+        Time(Time) {}
+  const RecDef *def() const { return Def; }
+  const Term *arg() const { return Arg; }
+  const std::vector<const Term *> &stopArgs() const { return Stops; }
+  int time() const { return Time; }
+  static bool classof(const Formula *F) { return F->kind() == FK_RecPred; }
+
+private:
+  const RecDef *Def;
+  const Term *Arg;
+  std::vector<const Term *> Stops;
+  int Time;
+};
+
+/// N-ary And / Or / Sep.
+class NaryFormula : public Formula {
+public:
+  NaryFormula(Kind K, std::vector<const Formula *> Ops, SourceLoc L)
+      : Formula(K, L), Ops(std::move(Ops)) {
+    assert((K == FK_And || K == FK_Or || K == FK_Sep) && "bad n-ary kind");
+  }
+  const std::vector<const Formula *> &operands() const { return Ops; }
+  static bool classof(const Formula *F) {
+    return F->kind() == FK_And || F->kind() == FK_Or || F->kind() == FK_Sep;
+  }
+
+private:
+  std::vector<const Formula *> Ops;
+};
+
+class NotFormula : public Formula {
+public:
+  NotFormula(const Formula *Op, SourceLoc L) : Formula(FK_Not, L), Inner(Op) {}
+  const Formula *operand() const { return Inner; }
+  static bool classof(const Formula *F) { return F->kind() == FK_Not; }
+
+private:
+  const Formula *Inner;
+};
+
+/// vcgen only: field array <Field> at version ToVersion equals the array at
+/// FromVersion with location Base overwritten by Value.
+class FieldUpdateFormula : public Formula {
+public:
+  FieldUpdateFormula(std::string Field, int FromVersion, int ToVersion,
+                     const Term *Base, const Term *Value, SourceLoc L)
+      : Formula(FK_FieldUpdate, L), Field(std::move(Field)),
+        FromVersion(FromVersion), ToVersion(ToVersion), Base(Base),
+        Value(Value) {}
+  const std::string &field() const { return Field; }
+  int fromVersion() const { return FromVersion; }
+  int toVersion() const { return ToVersion; }
+  const Term *base() const { return Base; }
+  const Term *value() const { return Value; }
+  static bool classof(const Formula *F) { return F->kind() == FK_FieldUpdate; }
+
+private:
+  std::string Field;
+  int FromVersion, ToVersion;
+  const Term *Base;
+  const Term *Value;
+};
+
+//===----------------------------------------------------------------------===//
+// Lightweight isa/cast helpers (LLVM-style, kind-based)
+//===----------------------------------------------------------------------===//
+
+template <typename To, typename From> bool isa(const From *Node) {
+  return To::classof(Node);
+}
+
+template <typename To, typename From> const To *cast(const From *Node) {
+  assert(isa<To>(Node) && "cast to incompatible AST node");
+  return static_cast<const To *>(Node);
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Node) {
+  return isa<To>(Node) ? static_cast<const To *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// AstContext: arena ownership and factory methods
+//===----------------------------------------------------------------------===//
+
+class AstContext {
+public:
+  AstContext() = default;
+  AstContext(const AstContext &) = delete;
+  AstContext &operator=(const AstContext &) = delete;
+
+  // Terms.
+  const Term *nil(SourceLoc L = {});
+  const Term *var(std::string Name, Sort S, SourceLoc L = {});
+  const Term *intConst(int64_t V, SourceLoc L = {});
+  const Term *inf(bool Positive, SourceLoc L = {});
+  const Term *intBin(IntBinTerm::Op O, const Term *Lhs, const Term *Rhs,
+                     SourceLoc L = {});
+  const Term *emptySet(Sort S, SourceLoc L = {});
+  const Term *singleton(const Term *Elem, Sort S, SourceLoc L = {});
+  const Term *setBin(SetBinTerm::Op O, const Term *Lhs, const Term *Rhs,
+                     SourceLoc L = {});
+  const Term *setUnion(const Term *Lhs, const Term *Rhs) {
+    return setBin(SetBinTerm::Union, Lhs, Rhs);
+  }
+  const Term *recFunc(const RecDef *Def, const Term *Arg,
+                      std::vector<const Term *> Stops, int Time = -1,
+                      SourceLoc L = {});
+  const Term *fieldRead(std::string Field, const Term *Arg, Sort S,
+                        int Version = -1, SourceLoc L = {});
+  const Term *reach(const RecDef *Def, const Term *Arg,
+                    std::vector<const Term *> Stops, int Time = -1,
+                    SourceLoc L = {});
+  const Term *ite(const Formula *Cond, const Term *Then, const Term *Else,
+                  SourceLoc L = {});
+
+  // Formulas.
+  const Formula *boolConst(bool V, SourceLoc L = {});
+  const Formula *trueF() { return boolConst(true); }
+  const Formula *falseF() { return boolConst(false); }
+  const Formula *emp(SourceLoc L = {});
+  const Formula *pointsTo(const Term *Base,
+                          std::vector<PointsToFormula::FieldBinding> Fields,
+                          SourceLoc L = {});
+  const Formula *cmp(CmpFormula::Op O, const Term *Lhs, const Term *Rhs,
+                     SourceLoc L = {});
+  const Formula *eq(const Term *Lhs, const Term *Rhs) {
+    return cmp(CmpFormula::Eq, Lhs, Rhs);
+  }
+  const Formula *recPred(const RecDef *Def, const Term *Arg,
+                         std::vector<const Term *> Stops, int Time = -1,
+                         SourceLoc L = {});
+  /// And/Or/Sep with flattening and unit simplification.
+  const Formula *conj(std::vector<const Formula *> Ops, SourceLoc L = {});
+  const Formula *disj(std::vector<const Formula *> Ops, SourceLoc L = {});
+  const Formula *sep(std::vector<const Formula *> Ops, SourceLoc L = {});
+  const Formula *conj2(const Formula *A, const Formula *B) {
+    return conj({A, B});
+  }
+  const Formula *neg(const Formula *Op, SourceLoc L = {});
+  const Formula *fieldUpdate(std::string Field, int FromVersion, int ToVersion,
+                             const Term *Base, const Term *Value,
+                             SourceLoc L = {});
+
+private:
+  template <typename T, typename... Args> const T *make(Args &&...A) {
+    auto Node = std::make_unique<T>(std::forward<Args>(A)...);
+    const T *Raw = Node.get();
+    if constexpr (std::is_base_of_v<Term, T>)
+      Terms.push_back(std::move(Node));
+    else
+      Formulas.push_back(std::move(Node));
+    return Raw;
+  }
+
+  std::vector<std::unique_ptr<Term>> Terms;
+  std::vector<std::unique_ptr<Formula>> Formulas;
+};
+
+//===----------------------------------------------------------------------===//
+// Generic utilities over the AST
+//===----------------------------------------------------------------------===//
+
+/// Structural equality (ignores source locations).
+bool structEq(const Term *A, const Term *B);
+bool structEq(const Formula *A, const Formula *B);
+
+/// Substitution of variables by terms (by name).
+using Subst = std::map<std::string, const Term *>;
+const Term *substitute(AstContext &Ctx, const Term *T, const Subst &S);
+const Formula *substitute(AstContext &Ctx, const Formula *F, const Subst &S);
+
+/// Collects the names (with sorts) of all free variables.
+void collectVars(const Term *T, std::map<std::string, Sort> &Out);
+void collectVars(const Formula *F, std::map<std::string, Sort> &Out);
+
+/// Stamps a classical formula/term with heap-array versions and a boundary
+/// timestamp: every FieldRead gets the version recorded for its field in
+/// \p FieldVersions and every RecPred/RecFunc/Reach gets timestamp \p Time.
+/// Already-stamped nodes (version/time >= 0) are left unchanged.
+struct StampMap {
+  std::map<std::string, int> FieldVersions;
+  int Time = 0;
+};
+const Term *stamp(AstContext &Ctx, const Term *T, const StampMap &M);
+const Formula *stamp(AstContext &Ctx, const Formula *F, const StampMap &M);
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_AST_H

@@ -1,0 +1,19 @@
+//===--- defs.cpp - Recursive definition registry -------------------------===//
+
+#include "dryad/defs.h"
+
+using namespace dryad;
+
+RecDef *DefRegistry::add(RecDef Def) {
+  if (ByName.count(Def.Name))
+    return nullptr;
+  Defs.push_back(std::make_unique<RecDef>(std::move(Def)));
+  RecDef *Raw = Defs.back().get();
+  ByName[Raw->Name] = Raw;
+  return Raw;
+}
+
+const RecDef *DefRegistry::lookup(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  return It == ByName.end() ? nullptr : It->second;
+}

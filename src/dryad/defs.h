@@ -1,0 +1,116 @@
+//===--- defs.h - Recursive definitions and field registry ------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive definitions (paper §4.1): unary recursive predicates
+/// p∆_{pf,~v}(x) and functions f∆_{pf,~v}(x) with guarded cases, plus the
+/// registry of pointer/data fields a module declares. Bodies follow the
+/// paper's restrictions: no negative operations, every existential variable
+/// ~s bound exactly once by a points-to on the definition argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_DEFS_H
+#define DRYAD_DRYAD_DEFS_H
+
+#include "dryad/ast.h"
+#include "dryad/sorts.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// The pointer and data fields of the (single) record layout, as in §4.1:
+/// every location has every field.
+class FieldTable {
+public:
+  void addPointerField(const std::string &Name) { add(Name, /*Ptr=*/true); }
+  void addDataField(const std::string &Name) { add(Name, /*Ptr=*/false); }
+
+  bool isPointerField(const std::string &Name) const {
+    auto It = Kinds.find(Name);
+    return It != Kinds.end() && It->second;
+  }
+  bool isDataField(const std::string &Name) const {
+    auto It = Kinds.find(Name);
+    return It != Kinds.end() && !It->second;
+  }
+  bool isField(const std::string &Name) const { return Kinds.count(Name); }
+
+  /// Sort of values stored in a field.
+  Sort fieldSort(const std::string &Name) const {
+    return isPointerField(Name) ? Sort::Loc : Sort::Int;
+  }
+
+  const std::vector<std::string> &pointerFields() const { return PtrFields; }
+  const std::vector<std::string> &dataFields() const { return DataFields; }
+  const std::vector<std::string> &allFields() const { return All; }
+
+private:
+  void add(const std::string &Name, bool Ptr) {
+    if (Kinds.count(Name))
+      return;
+    Kinds[Name] = Ptr;
+    (Ptr ? PtrFields : DataFields).push_back(Name);
+    All.push_back(Name);
+  }
+
+  std::map<std::string, bool> Kinds;
+  std::vector<std::string> PtrFields;
+  std::vector<std::string> DataFields;
+  std::vector<std::string> All;
+};
+
+/// One recursive definition rec∆_{pf,~v}. Predicates have a single body
+/// formula; functions have guarded cases evaluated in order, with a final
+/// default value (paper Fig. 2).
+struct RecDef {
+  struct Case {
+    const Formula *Guard; ///< nullptr for the default case
+    const Term *Value;
+  };
+
+  std::string Name;
+  /// Result sort: Bool for predicates, Int/IntSet/LocSet/IntMSet for
+  /// functions.
+  Sort Result = Sort::Bool;
+  /// The pointer fields ~pf the heaplet is reachable over.
+  std::vector<std::string> PtrFields;
+  /// Formal names of the stop parameters ~v (bound inside bodies).
+  std::vector<std::string> StopParams;
+  /// Formal name of the location argument (x in the paper).
+  std::string ArgName = "x";
+
+  /// Predicate body (predicates only).
+  const Formula *PredBody = nullptr;
+  /// Function cases (functions only); the default case is last with
+  /// Guard == nullptr.
+  std::vector<Case> Cases;
+
+  bool isPredicate() const { return Result == Sort::Bool; }
+};
+
+/// Registry of all recursive definitions of a module, in declaration order.
+class DefRegistry {
+public:
+  /// Adds a definition; returns null if the name is already taken. The
+  /// returned pointer is mutable so parsers can install the body after
+  /// registering the name (definitions may be self-recursive).
+  RecDef *add(RecDef Def);
+
+  const RecDef *lookup(const std::string &Name) const;
+  const std::vector<std::unique_ptr<RecDef>> &all() const { return Defs; }
+
+private:
+  std::vector<std::unique_ptr<RecDef>> Defs;
+  std::map<std::string, const RecDef *> ByName;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_DEFS_H

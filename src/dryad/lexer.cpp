@@ -1,0 +1,208 @@
+//===--- lexer.cpp - Token stream for Dryad and program syntax ------------===//
+
+#include "dryad/lexer.h"
+
+#include <cctype>
+
+using namespace dryad;
+
+namespace {
+class Lexer {
+public:
+  Lexer(const std::string &Input, DiagEngine &Diags)
+      : Input(Input), Diags(Diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> Out;
+    while (true) {
+      skipTrivia();
+      Token T = next();
+      Out.push_back(T);
+      if (T.is(Token::EndOfFile))
+        break;
+    }
+    return Out;
+  }
+
+private:
+  char peek(size_t Off = 0) const {
+    return Pos + Off < Input.size() ? Input[Pos + Off] : '\0';
+  }
+
+  char advance() {
+    char C = Input[Pos++];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    return C;
+  }
+
+  SourceLoc here() const { return {Line, Col}; }
+
+  void skipTrivia() {
+    while (Pos < Input.size()) {
+      char C = peek();
+      if (isspace(static_cast<unsigned char>(C))) {
+        advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '/') {
+        while (Pos < Input.size() && peek() != '\n')
+          advance();
+        continue;
+      }
+      if (C == '/' && peek(1) == '*') {
+        SourceLoc Start = here();
+        advance();
+        advance();
+        while (Pos < Input.size() && !(peek() == '*' && peek(1) == '/'))
+          advance();
+        if (Pos >= Input.size()) {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Token make(Token::Kind K, SourceLoc Loc) {
+    Token T;
+    T.K = K;
+    T.Loc = Loc;
+    return T;
+  }
+
+  Token next() {
+    if (Pos >= Input.size())
+      return make(Token::EndOfFile, here());
+    SourceLoc Loc = here();
+    char C = peek();
+
+    if (isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string Text;
+      while (Pos < Input.size() &&
+             (isalnum(static_cast<unsigned char>(peek())) || peek() == '_'))
+        Text += advance();
+      Token T = make(Token::Ident, Loc);
+      T.Text = std::move(Text);
+      return T;
+    }
+
+    if (isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      while (Pos < Input.size() && isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + (advance() - '0');
+      Token T = make(Token::IntLit, Loc);
+      T.Value = V;
+      return T;
+    }
+
+    advance();
+    switch (C) {
+    case '(':
+      return make(Token::LParen, Loc);
+    case ')':
+      return make(Token::RParen, Loc);
+    case '{':
+      return make(Token::LBrace, Loc);
+    case '}':
+      return make(Token::RBrace, Loc);
+    case '[':
+      return make(Token::LBracket, Loc);
+    case ']':
+      return make(Token::RBracket, Loc);
+    case ',':
+      return make(Token::Comma, Loc);
+    case ';':
+      return make(Token::Semi, Loc);
+    case '.':
+      return make(Token::Dot, Loc);
+    case '+':
+      return make(Token::Plus, Loc);
+    case '*':
+      return make(Token::Star, Loc);
+    case ':':
+      if (peek() == '=') {
+        advance();
+        return make(Token::ColonEq, Loc);
+      }
+      return make(Token::Colon, Loc);
+    case '-':
+      if (peek() == '>') {
+        advance();
+        return make(Token::Arrow, Loc);
+      }
+      return make(Token::Minus, Loc);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(Token::EqEq, Loc);
+      }
+      if (peek() == '>') {
+        advance();
+        return make(Token::FatArrow, Loc);
+      }
+      Diags.error(Loc, "expected '==', ':=' or '=>' (single '=' is not used)");
+      return make(Token::EqEq, Loc);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(Token::NotEq, Loc);
+      }
+      return make(Token::Bang, Loc);
+    case '<':
+      if (peek() == '=') {
+        advance();
+        return make(Token::LessEq, Loc);
+      }
+      return make(Token::Less, Loc);
+    case '>':
+      if (peek() == '=') {
+        advance();
+        return make(Token::GreaterEq, Loc);
+      }
+      return make(Token::Greater, Loc);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(Token::AndAnd, Loc);
+      }
+      Diags.error(Loc, "expected '&&'");
+      return make(Token::AndAnd, Loc);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(Token::OrOr, Loc);
+      }
+      if (peek() == '-' && peek(1) == '>') {
+        advance();
+        advance();
+        return make(Token::PointsToSym, Loc);
+      }
+      Diags.error(Loc, "expected '||' or '|->'");
+      return make(Token::OrOr, Loc);
+    default:
+      Diags.error(Loc, std::string("unexpected character '") + C + "'");
+      return next();
+    }
+  }
+
+  const std::string &Input;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+};
+} // namespace
+
+std::vector<Token> dryad::tokenize(const std::string &Input,
+                                   DiagEngine &Diags) {
+  return Lexer(Input, Diags).run();
+}

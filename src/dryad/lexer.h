@@ -1,0 +1,74 @@
+//===--- lexer.h - Token stream for Dryad and program syntax ----*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One lexer serves both the specification language (recursive definitions,
+/// axioms, contracts) and the imperative program language of Fig. 5.
+/// Keywords are recognized at the parser level; the lexer only produces
+/// identifiers, integer literals, and punctuation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_LEXER_H
+#define DRYAD_DRYAD_LEXER_H
+
+#include "support/diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+struct Token {
+  enum Kind : uint8_t {
+    Ident,
+    IntLit,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    EqEq,
+    NotEq,
+    LessEq,
+    Less,
+    GreaterEq,
+    Greater,
+    AndAnd,
+    OrOr,
+    Bang,
+    PointsToSym, ///< |->
+    Arrow,       ///< ->
+    FatArrow,    ///< =>
+    ColonEq,     ///< :=
+    EndOfFile
+  };
+
+  Kind K = EndOfFile;
+  std::string Text;  ///< identifier spelling
+  int64_t Value = 0; ///< integer literal value
+  SourceLoc Loc;
+
+  bool is(Kind Other) const { return K == Other; }
+  bool isIdent(const char *S) const { return K == Ident && Text == S; }
+};
+
+/// Tokenizes an entire buffer up front. Reports malformed input through the
+/// diagnostic engine and recovers by skipping the offending character.
+std::vector<Token> tokenize(const std::string &Input, DiagEngine &Diags);
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_LEXER_H

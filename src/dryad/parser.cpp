@@ -1,0 +1,921 @@
+//===--- parser.cpp - Parser for the Dryad specification syntax -----------===//
+
+#include "dryad/parser.h"
+
+using namespace dryad;
+
+//===----------------------------------------------------------------------===//
+// Small helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Raises the reporting of an error unless the parser is speculating.
+} // namespace
+
+static bool isCmpToken(const Token &T) {
+  switch (T.K) {
+  case Token::EqEq:
+  case Token::NotEq:
+  case Token::LessEq:
+  case Token::Less:
+  case Token::GreaterEq:
+  case Token::Greater:
+    return true;
+  default:
+    return T.isIdent("in") || T.isIdent("setle") || T.isIdent("setlt") ||
+           T.isIdent("subset");
+  }
+}
+
+void SpecParser::synchronize() {
+  int Depth = 0;
+  while (!Cur.atEnd()) {
+    const Token &T = Cur.peek();
+    if (Depth == 0 && T.is(Token::Semi)) {
+      Cur.advance();
+      return;
+    }
+    if (T.is(Token::LParen) || T.is(Token::LBrace) || T.is(Token::LBracket))
+      ++Depth;
+    if (T.is(Token::RParen) || T.is(Token::RBrace) || T.is(Token::RBracket))
+      --Depth;
+    Cur.advance();
+  }
+}
+
+std::optional<Sort> SpecParser::parseSort() {
+  const Token &T = Cur.peek();
+  if (!T.is(Token::Ident))
+    return std::nullopt;
+  Sort S;
+  if (T.Text == "loc")
+    S = Sort::Loc;
+  else if (T.Text == "int")
+    S = Sort::Int;
+  else if (T.Text == "bool")
+    S = Sort::Bool;
+  else if (T.Text == "intset")
+    S = Sort::IntSet;
+  else if (T.Text == "locset")
+    S = Sort::LocSet;
+  else if (T.Text == "msint")
+    S = Sort::IntMSet;
+  else
+    return std::nullopt;
+  Cur.advance();
+  return S;
+}
+
+Sort SpecParser::sortOfVar(const VarEnv &Env, const std::string &Name,
+                           SourceLoc Loc, std::optional<Sort> Expected) {
+  auto It = Env.find(Name);
+  if (It != Env.end())
+    return It->second;
+  if (!Speculating)
+    Diags.error(Loc, "undeclared variable '" + Name + "'");
+  return Expected.value_or(Sort::Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+const Term *SpecParser::parsePrimaryTerm(VarEnv &Env,
+                                         std::optional<Sort> Expected) {
+  const Token &T = Cur.peek();
+  SourceLoc Loc = T.Loc;
+
+  if (T.is(Token::IntLit)) {
+    Cur.advance();
+    return Ctx.intConst(T.Value, Loc);
+  }
+
+  if (T.is(Token::Minus)) {
+    Cur.advance();
+    if (Cur.peek().is(Token::IntLit)) {
+      int64_t V = Cur.advance().Value;
+      return Ctx.intConst(-V, Loc);
+    }
+    if (Cur.peek().isIdent("inf")) {
+      Cur.advance();
+      return Ctx.inf(false, Loc);
+    }
+    if (!Speculating)
+      Diags.error(Loc, "expected integer literal or 'inf' after '-'");
+    return nullptr;
+  }
+
+  if (T.is(Token::LParen)) {
+    Cur.advance();
+    const Term *Inner = parseTerm(Env, Expected);
+    if (!Inner)
+      return nullptr;
+    if (!Cur.match(Token::RParen)) {
+      if (!Speculating)
+        Diags.error(Cur.peek().Loc, "expected ')' in term");
+      return nullptr;
+    }
+    return Inner;
+  }
+
+  if (T.is(Token::LBrace)) {
+    Cur.advance();
+    if (Cur.match(Token::RBrace)) {
+      Sort S = (Expected && isSetSort(*Expected)) ? *Expected : Sort::IntSet;
+      return Ctx.emptySet(S, Loc);
+    }
+    std::optional<Sort> ElemExpected;
+    if (Expected && isSetSort(*Expected))
+      ElemExpected = elementSort(*Expected);
+    std::vector<const Term *> Elems;
+    do {
+      const Term *E = parseTerm(Env, ElemExpected);
+      if (!E)
+        return nullptr;
+      Elems.push_back(E);
+    } while (Cur.match(Token::Comma));
+    if (!Cur.match(Token::RBrace)) {
+      if (!Speculating)
+        Diags.error(Cur.peek().Loc, "expected '}' closing set literal");
+      return nullptr;
+    }
+    Sort SetSort = Elems.front()->sort() == Sort::Loc ? Sort::LocSet
+                                                      : Sort::IntSet;
+    if (Expected && isSetSort(*Expected))
+      SetSort = *Expected;
+    const Term *Acc = Ctx.singleton(Elems.front(), SetSort, Loc);
+    for (size_t I = 1; I != Elems.size(); ++I)
+      Acc = Ctx.setBin(SetBinTerm::Union, Acc,
+                       Ctx.singleton(Elems[I], SetSort, Loc), Loc);
+    return Acc;
+  }
+
+  if (!T.is(Token::Ident)) {
+    if (!Speculating)
+      Diags.error(Loc, "expected a term");
+    return nullptr;
+  }
+
+  // Keyword-like identifiers.
+  if (T.Text == "nil") {
+    Cur.advance();
+    return Ctx.nil(Loc);
+  }
+  if (T.Text == "inf") {
+    Cur.advance();
+    return Ctx.inf(true, Loc);
+  }
+  if (T.Text == "mempty") {
+    Cur.advance();
+    return Ctx.emptySet(Sort::IntMSet, Loc);
+  }
+  if (T.Text == "msingleton") {
+    Cur.advance();
+    if (!Cur.match(Token::LParen))
+      return nullptr;
+    const Term *E = parseTerm(Env, Sort::Int);
+    if (!E || !Cur.match(Token::RParen))
+      return nullptr;
+    return Ctx.singleton(E, Sort::IntMSet, Loc);
+  }
+  if (T.Text == "max" || T.Text == "min") {
+    IntBinTerm::Op Op = T.Text == "max" ? IntBinTerm::Max : IntBinTerm::Min;
+    Cur.advance();
+    if (!Cur.match(Token::LParen))
+      return nullptr;
+    const Term *A = parseTerm(Env, Sort::Int);
+    if (!A || !Cur.match(Token::Comma))
+      return nullptr;
+    const Term *B = parseTerm(Env, Sort::Int);
+    if (!B || !Cur.match(Token::RParen))
+      return nullptr;
+    return Ctx.intBin(Op, A, B, Loc);
+  }
+  if (T.Text == "union" || T.Text == "inter" || T.Text == "diff") {
+    SetBinTerm::Op Op = T.Text == "union"   ? SetBinTerm::Union
+                        : T.Text == "inter" ? SetBinTerm::Inter
+                                            : SetBinTerm::Diff;
+    Cur.advance();
+    if (!Cur.match(Token::LParen)) {
+      if (!Speculating)
+        Diags.error(Loc, "expected '(' after set operator");
+      return nullptr;
+    }
+    std::vector<const Term *> Args;
+    do {
+      const Term *A = parseTerm(Env, Expected);
+      if (!A)
+        return nullptr;
+      Args.push_back(A);
+    } while (Cur.match(Token::Comma));
+    if (!Cur.match(Token::RParen)) {
+      if (!Speculating)
+        Diags.error(Cur.peek().Loc, "expected ')' in set operator");
+      return nullptr;
+    }
+    if (Args.size() < 2) {
+      if (!Speculating)
+        Diags.error(Loc, "set operator needs at least two arguments");
+      return nullptr;
+    }
+    const Term *Acc = Args[0];
+    for (size_t I = 1; I != Args.size(); ++I)
+      Acc = Ctx.setBin(Op, Acc, Args[I], Loc);
+    return Acc;
+  }
+
+  // Recursive function application.
+  if (const RecDef *Def = Defs.lookup(T.Text)) {
+    if (Cur.peek(1).is(Token::LParen)) {
+      if (Def->isPredicate()) {
+        // A predicate is not a term; let the formula layer handle it.
+        if (!Speculating)
+          Diags.error(Loc, "predicate '" + T.Text + "' used as a term");
+        return nullptr;
+      }
+      Cur.advance();
+      Cur.advance(); // name, '('
+      const Term *Arg = parseTerm(Env, Sort::Loc);
+      if (!Arg)
+        return nullptr;
+      std::vector<const Term *> Stops;
+      while (Cur.match(Token::Comma)) {
+        const Term *St = parseTerm(Env, Sort::Loc);
+        if (!St)
+          return nullptr;
+        Stops.push_back(St);
+      }
+      if (!Cur.match(Token::RParen)) {
+        if (!Speculating)
+          Diags.error(Cur.peek().Loc, "expected ')' in application");
+        return nullptr;
+      }
+      if (Stops.size() != Def->StopParams.size()) {
+        if (!Speculating)
+          Diags.error(Loc, "'" + Def->Name + "' expects " +
+                               std::to_string(1 + Def->StopParams.size()) +
+                               " argument(s)");
+        return nullptr;
+      }
+      return Ctx.recFunc(Def, Arg, std::move(Stops), -1, Loc);
+    }
+  }
+
+  // Plain variable.
+  Cur.advance();
+  Sort S = sortOfVar(Env, T.Text, Loc, Expected);
+  if (Speculating && !Env.count(T.Text))
+    return nullptr;
+  return Ctx.var(T.Text, S, Loc);
+}
+
+const Term *SpecParser::parseTerm(VarEnv &Env, std::optional<Sort> Expected) {
+  const Term *Lhs = parsePrimaryTerm(Env, Expected);
+  if (!Lhs)
+    return nullptr;
+  while (Cur.peek().is(Token::Plus) || Cur.peek().is(Token::Minus)) {
+    // Only integer arithmetic is infix; `a - b` on sets must use diff().
+    IntBinTerm::Op Op = Cur.peek().is(Token::Plus) ? IntBinTerm::Add
+                                                   : IntBinTerm::Sub;
+    SourceLoc Loc = Cur.advance().Loc;
+    const Term *Rhs = parsePrimaryTerm(Env, Sort::Int);
+    if (!Rhs)
+      return nullptr;
+    Lhs = Ctx.intBin(Op, Lhs, Rhs, Loc);
+  }
+  return Lhs;
+}
+
+const Term *SpecParser::tryParseTerm(VarEnv &Env) {
+  size_t Save = Cur.Pos;
+  bool OldSpec = Speculating;
+  Speculating = true;
+  const Term *T = parseTerm(Env, std::nullopt);
+  Speculating = OldSpec;
+  if (!T)
+    Cur.Pos = Save;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Formulas
+//===----------------------------------------------------------------------===//
+
+const Formula *SpecParser::parsePointsToTail(const Term *Base, VarEnv &Env) {
+  SourceLoc Loc = Cur.peek().Loc;
+  if (!Cur.match(Token::LParen)) {
+    if (!Speculating)
+      Diags.error(Loc, "expected '(' after '|->'");
+    return nullptr;
+  }
+  std::vector<PointsToFormula::FieldBinding> Bindings;
+  do {
+    const Token &FieldTok = Cur.peek();
+    if (!FieldTok.is(Token::Ident)) {
+      if (!Speculating)
+        Diags.error(FieldTok.Loc, "expected field name in points-to");
+      return nullptr;
+    }
+    Cur.advance();
+    if (!Fields.isField(FieldTok.Text)) {
+      if (!Speculating)
+        Diags.error(FieldTok.Loc, "unknown field '" + FieldTok.Text + "'");
+      return nullptr;
+    }
+    if (!Cur.match(Token::Colon)) {
+      if (!Speculating)
+        Diags.error(Cur.peek().Loc, "expected ':' after field name");
+      return nullptr;
+    }
+    const Term *Value = parseTerm(Env, Fields.fieldSort(FieldTok.Text));
+    if (!Value)
+      return nullptr;
+    Bindings.push_back({FieldTok.Text, Value});
+  } while (Cur.match(Token::Comma));
+  if (!Cur.match(Token::RParen)) {
+    if (!Speculating)
+      Diags.error(Cur.peek().Loc, "expected ')' closing points-to");
+    return nullptr;
+  }
+  return Ctx.pointsTo(Base, std::move(Bindings), Loc);
+}
+
+/// Builds a comparison, upgrading scalar/set mismatches: if one side is a
+/// scalar and the other a set, the scalar is wrapped into a singleton (the
+/// paper writes {k} <= keys(n) but k <= keys(n) is unambiguous); Lt/Le/Gt/Ge
+/// between sets become the paper's set inequalities.
+static const Formula *makeCmp(AstContext &Ctx, CmpFormula::Op Op,
+                              const Term *Lhs, const Term *Rhs,
+                              SourceLoc Loc) {
+  // Membership keeps a scalar on the left; everything else lifts a scalar
+  // against a set into a singleton comparison.
+  bool IsMembership = Op == CmpFormula::In || Op == CmpFormula::NotIn;
+  if (!IsMembership && isSetSort(Lhs->sort()) && isScalarSort(Rhs->sort()))
+    Rhs = Ctx.singleton(Rhs, Lhs->sort(), Loc);
+  if (!IsMembership && isSetSort(Rhs->sort()) && isScalarSort(Lhs->sort()))
+    Lhs = Ctx.singleton(Lhs, Rhs->sort(), Loc);
+  if (isSetSort(Lhs->sort()) && isSetSort(Rhs->sort())) {
+    switch (Op) {
+    case CmpFormula::Lt:
+      Op = CmpFormula::SetLt;
+      break;
+    case CmpFormula::Le:
+      Op = CmpFormula::SetLe;
+      break;
+    case CmpFormula::Gt:
+      std::swap(Lhs, Rhs);
+      Op = CmpFormula::SetLt;
+      break;
+    case CmpFormula::Ge:
+      std::swap(Lhs, Rhs);
+      Op = CmpFormula::SetLe;
+      break;
+    default:
+      break;
+    }
+  }
+  return Ctx.cmp(Op, Lhs, Rhs, Loc);
+}
+
+const Formula *SpecParser::parseAtom(VarEnv &Env) {
+  const Token &T = Cur.peek();
+  SourceLoc Loc = T.Loc;
+
+  if (T.isIdent("true")) {
+    Cur.advance();
+    return Ctx.boolConst(true, Loc);
+  }
+  if (T.isIdent("false")) {
+    Cur.advance();
+    return Ctx.boolConst(false, Loc);
+  }
+  if (T.isIdent("emp")) {
+    Cur.advance();
+    return Ctx.emp(Loc);
+  }
+
+  // Recursive predicate application.
+  if (T.is(Token::Ident) && Cur.peek(1).is(Token::LParen)) {
+    if (const RecDef *Def = Defs.lookup(T.Text)) {
+      if (Def->isPredicate()) {
+        Cur.advance();
+        Cur.advance();
+        const Term *Arg = parseTerm(Env, Sort::Loc);
+        if (!Arg)
+          return nullptr;
+        std::vector<const Term *> Stops;
+        while (Cur.match(Token::Comma)) {
+          const Term *St = parseTerm(Env, Sort::Loc);
+          if (!St)
+            return nullptr;
+          Stops.push_back(St);
+        }
+        if (!Cur.match(Token::RParen)) {
+          if (!Speculating)
+            Diags.error(Cur.peek().Loc, "expected ')' in application");
+          return nullptr;
+        }
+        if (Stops.size() != Def->StopParams.size()) {
+          if (!Speculating)
+            Diags.error(Loc, "'" + Def->Name + "' expects " +
+                                 std::to_string(1 + Def->StopParams.size()) +
+                                 " argument(s)");
+          return nullptr;
+        }
+        return Ctx.recPred(Def, Arg, std::move(Stops), -1, Loc);
+      }
+    }
+  }
+
+  // Try: term followed by a relation or '|->'.
+  size_t Save = Cur.Pos;
+  if (const Term *Lhs = tryParseTerm(Env)) {
+    const Token &Next = Cur.peek();
+    if (Next.is(Token::PointsToSym)) {
+      Cur.advance();
+      return parsePointsToTail(Lhs, Env);
+    }
+    bool NegMember =
+        Next.is(Token::Bang) && Cur.peek(1).isIdent("in");
+    if (isCmpToken(Next) || NegMember) {
+      CmpFormula::Op Op;
+      if (NegMember) {
+        Cur.advance();
+        Cur.advance();
+        Op = CmpFormula::NotIn;
+      } else if (Next.is(Token::EqEq)) {
+        Cur.advance();
+        Op = CmpFormula::Eq;
+      } else if (Next.is(Token::NotEq)) {
+        Cur.advance();
+        Op = CmpFormula::Ne;
+      } else if (Next.is(Token::LessEq)) {
+        Cur.advance();
+        Op = CmpFormula::Le;
+      } else if (Next.is(Token::Less)) {
+        Cur.advance();
+        Op = CmpFormula::Lt;
+      } else if (Next.is(Token::GreaterEq)) {
+        Cur.advance();
+        Op = CmpFormula::Ge;
+      } else if (Next.is(Token::Greater)) {
+        Cur.advance();
+        Op = CmpFormula::Gt;
+      } else if (Next.isIdent("in")) {
+        Cur.advance();
+        Op = CmpFormula::In;
+      } else if (Next.isIdent("setle")) {
+        Cur.advance();
+        Op = CmpFormula::SetLe;
+      } else if (Next.isIdent("setlt")) {
+        Cur.advance();
+        Op = CmpFormula::SetLt;
+      } else { // subset
+        Cur.advance();
+        Op = CmpFormula::SubsetEq;
+      }
+      std::optional<Sort> RhsExpected = Lhs->sort();
+      if (Op == CmpFormula::In || Op == CmpFormula::NotIn)
+        RhsExpected = Lhs->sort() == Sort::Loc ? Sort::LocSet : Sort::IntSet;
+      const Term *Rhs = parseTerm(Env, RhsExpected);
+      if (!Rhs)
+        return nullptr;
+      return makeCmp(Ctx, Op, Lhs, Rhs, Loc);
+    }
+    // Not a relation: backtrack and try other atom shapes below.
+    Cur.Pos = Save;
+  }
+
+  if (Cur.match(Token::LParen)) {
+    const Formula *Inner = parseFormula(Env);
+    if (!Inner)
+      return nullptr;
+    if (!Cur.match(Token::RParen)) {
+      if (!Speculating)
+        Diags.error(Cur.peek().Loc, "expected ')' closing formula");
+      return nullptr;
+    }
+    return Inner;
+  }
+
+  if (!Speculating)
+    Diags.error(Loc, "expected a formula");
+  return nullptr;
+}
+
+const Formula *SpecParser::parseUnaryFormula(VarEnv &Env) {
+  if (Cur.peek().is(Token::Bang)) {
+    SourceLoc Loc = Cur.advance().Loc;
+    const Formula *Inner = parseUnaryFormula(Env);
+    if (!Inner)
+      return nullptr;
+    return Ctx.neg(Inner, Loc);
+  }
+  return parseAtom(Env);
+}
+
+const Formula *SpecParser::parseConjFormula(VarEnv &Env) {
+  const Formula *First = parseUnaryFormula(Env);
+  if (!First)
+    return nullptr;
+  const Token &Next = Cur.peek();
+  bool IsSep;
+  if (Next.is(Token::AndAnd))
+    IsSep = false;
+  else if (Next.is(Token::Star))
+    IsSep = true;
+  else
+    return First;
+
+  std::vector<const Formula *> Ops = {First};
+  Token::Kind OpKind = Next.K;
+  while (Cur.peek().is(Token::AndAnd) || Cur.peek().is(Token::Star)) {
+    if (!Cur.peek().is(OpKind)) {
+      if (!Speculating)
+        Diags.error(Cur.peek().Loc,
+                    "mixing '&&' and '*' at the same level; add parentheses");
+      return nullptr;
+    }
+    Cur.advance();
+    const Formula *Op = parseUnaryFormula(Env);
+    if (!Op)
+      return nullptr;
+    Ops.push_back(Op);
+  }
+  return IsSep ? Ctx.sep(std::move(Ops)) : Ctx.conj(std::move(Ops));
+}
+
+const Formula *SpecParser::parseOrFormula(VarEnv &Env) {
+  const Formula *First = parseConjFormula(Env);
+  if (!First)
+    return nullptr;
+  if (!Cur.peek().is(Token::OrOr))
+    return First;
+  std::vector<const Formula *> Ops = {First};
+  while (Cur.match(Token::OrOr)) {
+    const Formula *Op = parseConjFormula(Env);
+    if (!Op)
+      return nullptr;
+    Ops.push_back(Op);
+  }
+  return Ctx.disj(std::move(Ops));
+}
+
+const Formula *SpecParser::parseFormula(VarEnv &Env) {
+  return parseOrFormula(Env);
+}
+
+//===----------------------------------------------------------------------===//
+// Pre-binding of points-to bound variables (the ~s of definitions)
+//===----------------------------------------------------------------------===//
+
+size_t SpecParser::findClauseEnd() const {
+  int Depth = 0;
+  for (size_t I = Cur.Pos, E = Cur.Toks->size(); I != E; ++I) {
+    const Token &T = (*Cur.Toks)[I];
+    if (T.is(Token::LParen) || T.is(Token::LBrace) || T.is(Token::LBracket))
+      ++Depth;
+    else if (T.is(Token::RParen) || T.is(Token::RBrace) ||
+             T.is(Token::RBracket))
+      --Depth;
+    else if (Depth == 0 && T.is(Token::Semi))
+      return I;
+    else if (T.is(Token::EndOfFile))
+      return I;
+  }
+  return Cur.Toks->size() - 1;
+}
+
+void SpecParser::preBindPointsToVars(size_t From, size_t To, VarEnv &Env) {
+  const std::vector<Token> &Toks = *Cur.Toks;
+  for (size_t I = From; I + 1 < To; ++I) {
+    if (!Toks[I].is(Token::PointsToSym) || !Toks[I + 1].is(Token::LParen))
+      continue;
+    size_t J = I + 2;
+    while (J + 2 < To) {
+      if (!Toks[J].is(Token::Ident) || !Toks[J + 1].is(Token::Colon))
+        break;
+      const std::string &Field = Toks[J].Text;
+      size_t V = J + 2;
+      // If the bound value is a single identifier, record its sort.
+      bool Simple = Toks[V].is(Token::Ident) &&
+                    (Toks[V + 1].is(Token::Comma) ||
+                     Toks[V + 1].is(Token::RParen));
+      if (Simple && Fields.isField(Field) && !Env.count(Toks[V].Text))
+        Env[Toks[V].Text] = Fields.fieldSort(Field);
+      // Skip the value to the ',' or ')' at depth zero.
+      int Depth = 0;
+      while (V < To) {
+        const Token &T = Toks[V];
+        if (T.is(Token::LParen) || T.is(Token::LBrace) ||
+            T.is(Token::LBracket))
+          ++Depth;
+        else if (T.is(Token::RParen) || T.is(Token::RBrace) ||
+                 T.is(Token::RBracket)) {
+          if (Depth == 0)
+            break;
+          --Depth;
+        } else if (Depth == 0 && T.is(Token::Comma))
+          break;
+        ++V;
+      }
+      if (V >= To || Toks[V].is(Token::RParen))
+        break;
+      J = V + 1; // past the comma
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level declarations
+//===----------------------------------------------------------------------===//
+
+bool SpecParser::parseFieldsDecl() {
+  // fields (ptr | data) name {, name} ;
+  SourceLoc Loc = Cur.peek().Loc;
+  Cur.advance(); // 'fields'
+  bool Ptr;
+  if (Cur.matchIdent("ptr"))
+    Ptr = true;
+  else if (Cur.matchIdent("data"))
+    Ptr = false;
+  else {
+    Diags.error(Loc, "expected 'ptr' or 'data' after 'fields'");
+    synchronize();
+    return false;
+  }
+  do {
+    const Token &T = Cur.peek();
+    if (!T.is(Token::Ident)) {
+      Diags.error(T.Loc, "expected field name");
+      synchronize();
+      return false;
+    }
+    Cur.advance();
+    if (Ptr)
+      Fields.addPointerField(T.Text);
+    else
+      Fields.addDataField(T.Text);
+  } while (Cur.match(Token::Comma));
+  if (!Cur.match(Token::Semi)) {
+    Diags.error(Cur.peek().Loc, "expected ';' after fields declaration");
+    synchronize();
+    return false;
+  }
+  return true;
+}
+
+/// Parses `name [ptr f, g; stop u, v] (x)` and fills the definition header.
+static bool parseDefHeader(TokenCursor &Cur, DiagEngine &Diags,
+                           FieldTable &Fields, RecDef &Def) {
+  const Token &NameTok = Cur.peek();
+  if (!NameTok.is(Token::Ident)) {
+    Diags.error(NameTok.Loc, "expected definition name");
+    return false;
+  }
+  Cur.advance();
+  Def.Name = NameTok.Text;
+
+  if (!Cur.match(Token::LBracket)) {
+    Diags.error(Cur.peek().Loc, "expected '[' after definition name");
+    return false;
+  }
+  if (!Cur.matchIdent("ptr")) {
+    Diags.error(Cur.peek().Loc, "expected 'ptr' in definition header");
+    return false;
+  }
+  do {
+    const Token &T = Cur.peek();
+    if (!T.is(Token::Ident)) {
+      Diags.error(T.Loc, "expected pointer field name");
+      return false;
+    }
+    Cur.advance();
+    if (!Fields.isPointerField(T.Text)) {
+      Diags.error(T.Loc, "'" + T.Text + "' is not a declared pointer field");
+      return false;
+    }
+    Def.PtrFields.push_back(T.Text);
+  } while (Cur.match(Token::Comma));
+  if (Cur.match(Token::Semi)) {
+    if (!Cur.matchIdent("stop")) {
+      Diags.error(Cur.peek().Loc, "expected 'stop' after ';' in header");
+      return false;
+    }
+    do {
+      const Token &T = Cur.peek();
+      if (!T.is(Token::Ident)) {
+        Diags.error(T.Loc, "expected stop parameter name");
+        return false;
+      }
+      Cur.advance();
+      Def.StopParams.push_back(T.Text);
+    } while (Cur.match(Token::Comma));
+  }
+  if (!Cur.match(Token::RBracket)) {
+    Diags.error(Cur.peek().Loc, "expected ']' in definition header");
+    return false;
+  }
+  if (!Cur.match(Token::LParen)) {
+    Diags.error(Cur.peek().Loc, "expected '(' in definition header");
+    return false;
+  }
+  const Token &ArgTok = Cur.peek();
+  if (!ArgTok.is(Token::Ident)) {
+    Diags.error(ArgTok.Loc, "expected argument name");
+    return false;
+  }
+  Cur.advance();
+  Def.ArgName = ArgTok.Text;
+  if (!Cur.match(Token::RParen)) {
+    Diags.error(Cur.peek().Loc, "expected ')' in definition header");
+    return false;
+  }
+  return true;
+}
+
+bool SpecParser::parsePredDef() {
+  Cur.advance(); // 'pred'
+  RecDef Header;
+  Header.Result = Sort::Bool;
+  if (!parseDefHeader(Cur, Diags, Fields, Header)) {
+    synchronize();
+    return false;
+  }
+  if (!Cur.match(Token::ColonEq)) {
+    Diags.error(Cur.peek().Loc, "expected ':=' in predicate definition");
+    synchronize();
+    return false;
+  }
+  RecDef *Def = Defs.add(std::move(Header));
+  if (!Def) {
+    Diags.error(Cur.peek().Loc, "duplicate definition name");
+    synchronize();
+    return false;
+  }
+
+  VarEnv Env;
+  Env[Def->ArgName] = Sort::Loc;
+  for (const std::string &St : Def->StopParams)
+    Env[St] = Sort::Loc;
+  preBindPointsToVars(Cur.Pos, findClauseEnd(), Env);
+
+  const Formula *Body = parseFormula(Env);
+  if (!Body) {
+    synchronize();
+    return false;
+  }
+  if (!Cur.match(Token::Semi)) {
+    Diags.error(Cur.peek().Loc, "expected ';' after predicate body");
+    synchronize();
+    return false;
+  }
+  Def->PredBody = Body;
+  return true;
+}
+
+bool SpecParser::parseFuncDef() {
+  Cur.advance(); // 'func'
+  RecDef Header;
+  if (!parseDefHeader(Cur, Diags, Fields, Header)) {
+    synchronize();
+    return false;
+  }
+  if (!Cur.match(Token::Colon)) {
+    Diags.error(Cur.peek().Loc, "expected ':' before function result sort");
+    synchronize();
+    return false;
+  }
+  std::optional<Sort> Result = parseSort();
+  if (!Result || *Result == Sort::Bool || *Result == Sort::Loc) {
+    Diags.error(Cur.peek().Loc,
+                "expected function result sort (int, intset, locset, msint)");
+    synchronize();
+    return false;
+  }
+  Header.Result = *Result;
+  if (!Cur.match(Token::ColonEq)) {
+    Diags.error(Cur.peek().Loc, "expected ':=' in function definition");
+    synchronize();
+    return false;
+  }
+  RecDef *Def = Defs.add(std::move(Header));
+  if (!Def) {
+    Diags.error(Cur.peek().Loc, "duplicate definition name");
+    synchronize();
+    return false;
+  }
+
+  bool SawDefault = false;
+  while (!SawDefault) {
+    VarEnv Env;
+    Env[Def->ArgName] = Sort::Loc;
+    for (const std::string &St : Def->StopParams)
+      Env[St] = Sort::Loc;
+    preBindPointsToVars(Cur.Pos, findClauseEnd(), Env);
+
+    if (Cur.matchIdent("case")) {
+      const Formula *Guard = parseFormula(Env);
+      if (!Guard) {
+        synchronize();
+        return false;
+      }
+      if (!Cur.match(Token::Arrow)) {
+        Diags.error(Cur.peek().Loc, "expected '->' after case guard");
+        synchronize();
+        return false;
+      }
+      const Term *Value = parseTerm(Env, Def->Result);
+      if (!Value) {
+        synchronize();
+        return false;
+      }
+      Def->Cases.push_back({Guard, Value});
+    } else if (Cur.matchIdent("default")) {
+      if (!Cur.match(Token::Arrow)) {
+        Diags.error(Cur.peek().Loc, "expected '->' after 'default'");
+        synchronize();
+        return false;
+      }
+      const Term *Value = parseTerm(Env, Def->Result);
+      if (!Value) {
+        synchronize();
+        return false;
+      }
+      Def->Cases.push_back({nullptr, Value});
+      SawDefault = true;
+    } else {
+      Diags.error(Cur.peek().Loc, "expected 'case' or 'default'");
+      synchronize();
+      return false;
+    }
+    if (!Cur.match(Token::Semi)) {
+      Diags.error(Cur.peek().Loc, "expected ';' after definition case");
+      synchronize();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SpecParser::parseAxiom(std::vector<Axiom> &Out) {
+  SourceLoc Loc = Cur.peek().Loc;
+  Cur.advance(); // 'axiom'
+  Axiom Ax;
+  Ax.Loc = Loc;
+  if (!Cur.match(Token::LParen)) {
+    Diags.error(Cur.peek().Loc, "expected '(' after 'axiom'");
+    synchronize();
+    return false;
+  }
+  VarEnv Env;
+  do {
+    const Token &Name = Cur.peek();
+    if (!Name.is(Token::Ident)) {
+      Diags.error(Name.Loc, "expected axiom parameter name");
+      synchronize();
+      return false;
+    }
+    Cur.advance();
+    if (!Cur.match(Token::Colon)) {
+      Diags.error(Cur.peek().Loc, "expected ':' after parameter name");
+      synchronize();
+      return false;
+    }
+    std::optional<Sort> S = parseSort();
+    if (!S) {
+      Diags.error(Cur.peek().Loc, "expected parameter sort");
+      synchronize();
+      return false;
+    }
+    Ax.Params.push_back({Name.Text, *S});
+    Env[Name.Text] = *S;
+  } while (Cur.match(Token::Comma));
+  if (!Cur.match(Token::RParen) || !Cur.match(Token::Colon)) {
+    Diags.error(Cur.peek().Loc, "expected ') :' after axiom parameters");
+    synchronize();
+    return false;
+  }
+  Ax.Lhs = parseFormula(Env);
+  if (!Ax.Lhs) {
+    synchronize();
+    return false;
+  }
+  if (!Cur.match(Token::FatArrow)) {
+    Diags.error(Cur.peek().Loc, "expected '=>' in axiom");
+    synchronize();
+    return false;
+  }
+  Ax.Rhs = parseFormula(Env);
+  if (!Ax.Rhs) {
+    synchronize();
+    return false;
+  }
+  if (!Cur.match(Token::Semi)) {
+    Diags.error(Cur.peek().Loc, "expected ';' after axiom");
+    synchronize();
+    return false;
+  }
+  Out.push_back(std::move(Ax));
+  return true;
+}

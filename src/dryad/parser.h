@@ -1,0 +1,153 @@
+//===--- parser.h - Parser for the Dryad specification syntax --*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for Dryad terms, formulas, recursive definitions
+/// (`pred` / `func`), field declarations, and user axioms. The program parser
+/// in lang/ reuses this through the shared TokenCursor to parse contracts and
+/// conditions.
+///
+/// Concrete syntax examples:
+/// \code
+///   fields ptr next, left, right;
+///   fields data key;
+///
+///   pred list[ptr next](x) :=
+///     (x == nil && emp) || (x |-> (next: n) * list(n));
+///
+///   pred lseg[ptr next; stop u](x) :=
+///     (x == u && emp) || (x |-> (next: n) * lseg(n, u));
+///
+///   func keys[ptr next](x) : intset :=
+///     case (x == nil && emp) -> {};
+///     case (x |-> (next: n, key: k) * true) -> union(keys(n), {k});
+///     default -> {};
+///
+///   axiom (x: loc, y: loc) : lseg(x, y) * list(y) => list(x);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_PARSER_H
+#define DRYAD_DRYAD_PARSER_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+#include "dryad/lexer.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// A user-provided axiom (paper §6.3): universally quantified over Params,
+/// instantiated over the footprint by natural/axioms.cpp.
+struct Axiom {
+  std::vector<std::pair<std::string, Sort>> Params;
+  const Formula *Lhs = nullptr; ///< Dryad formula (may use * and emp)
+  const Formula *Rhs = nullptr;
+  SourceLoc Loc;
+};
+
+/// Cursor over a pre-tokenized buffer, shared between the spec parser and
+/// the program parser.
+struct TokenCursor {
+  const std::vector<Token> *Toks = nullptr;
+  size_t Pos = 0;
+
+  const Token &peek(size_t Off = 0) const {
+    size_t I = Pos + Off;
+    if (I >= Toks->size())
+      I = Toks->size() - 1; // EOF token
+    return (*Toks)[I];
+  }
+  const Token &advance() {
+    const Token &T = peek();
+    if (Pos + 1 < Toks->size())
+      ++Pos;
+    return T;
+  }
+  bool match(Token::Kind K) {
+    if (!peek().is(K))
+      return false;
+    advance();
+    return true;
+  }
+  bool matchIdent(const char *S) {
+    if (!peek().isIdent(S))
+      return false;
+    advance();
+    return true;
+  }
+  bool atEnd() const { return peek().is(Token::EndOfFile); }
+};
+
+/// Variable typing environment for formula/term parsing.
+using VarEnv = std::map<std::string, Sort>;
+
+class SpecParser {
+public:
+  SpecParser(AstContext &Ctx, FieldTable &Fields, DefRegistry &Defs,
+             DiagEngine &Diags, TokenCursor &Cur)
+      : Ctx(Ctx), Fields(Fields), Defs(Defs), Diags(Diags), Cur(Cur) {}
+
+  /// Parses a formula (lowest precedence, `||`). Unknown variables are
+  /// diagnosed unless they appear in \p Env.
+  const Formula *parseFormula(VarEnv &Env);
+
+  /// Parses a term; \p Expected guides the sort of otherwise-ambiguous
+  /// literals such as `{}`.
+  const Term *parseTerm(VarEnv &Env, std::optional<Sort> Expected = {});
+
+  /// Top-level declarations. Each returns false (after reporting) on error.
+  bool parseFieldsDecl();
+  bool parsePredDef();
+  bool parseFuncDef();
+  bool parseAxiom(std::vector<Axiom> &Out);
+
+  /// Parses a sort keyword: loc | int | bool | intset | locset | msint.
+  std::optional<Sort> parseSort();
+
+  /// Skips tokens until after the next ';' (error recovery).
+  void synchronize();
+
+private:
+  const Formula *parseOrFormula(VarEnv &Env);
+  const Formula *parseConjFormula(VarEnv &Env);
+  const Formula *parseUnaryFormula(VarEnv &Env);
+  const Formula *parseAtom(VarEnv &Env);
+  const Formula *parsePointsToTail(const Term *Base, VarEnv &Env);
+  const Term *parsePrimaryTerm(VarEnv &Env, std::optional<Sort> Expected);
+
+  /// Speculatively parses a term; restores the cursor and returns null on
+  /// failure (diagnostics are suppressed during speculation).
+  const Term *tryParseTerm(VarEnv &Env);
+
+  /// Scans tokens [From, To) for points-to bindings and enters the bound
+  /// variables with their field sorts into \p Env (used for the implicitly
+  /// existentially quantified ~s of definition bodies).
+  void preBindPointsToVars(size_t From, size_t To, VarEnv &Env);
+
+  /// Finds the position of the token terminating the current clause (the
+  /// next ';' at bracket depth zero), without moving the cursor.
+  size_t findClauseEnd() const;
+
+  Sort sortOfVar(const VarEnv &Env, const std::string &Name, SourceLoc Loc,
+                 std::optional<Sort> Expected);
+
+  AstContext &Ctx;
+  FieldTable &Fields;
+  DefRegistry &Defs;
+  DiagEngine &Diags;
+  TokenCursor &Cur;
+  bool Speculating = false;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_PARSER_H

@@ -1,0 +1,298 @@
+//===--- printer.cpp - Pretty-printing for the AST ------------------------===//
+
+#include "dryad/printer.h"
+
+using namespace dryad;
+
+static void printTerm(const Term *T, std::string &Out);
+static void printFormula(const Formula *F, std::string &Out, int Prec);
+
+static void printRecSuffix(int Time, std::string &Out) {
+  if (Time >= 0) {
+    Out += '@';
+    Out += std::to_string(Time);
+  }
+}
+
+static void printArgs(const Term *Arg, const std::vector<const Term *> &Stops,
+                      std::string &Out) {
+  Out += '(';
+  printTerm(Arg, Out);
+  for (const Term *St : Stops) {
+    Out += ", ";
+    printTerm(St, Out);
+  }
+  Out += ')';
+}
+
+static void printTerm(const Term *T, std::string &Out) {
+  switch (T->kind()) {
+  case Term::TK_Nil:
+    Out += "nil";
+    return;
+  case Term::TK_Var:
+    Out += cast<VarTerm>(T)->name();
+    return;
+  case Term::TK_IntConst:
+    Out += std::to_string(cast<IntConstTerm>(T)->value());
+    return;
+  case Term::TK_Inf:
+    Out += cast<InfTerm>(T)->isPositive() ? "inf" : "-inf";
+    return;
+  case Term::TK_IntBin: {
+    const auto *X = cast<IntBinTerm>(T);
+    if (X->op() == IntBinTerm::Max || X->op() == IntBinTerm::Min) {
+      Out += X->op() == IntBinTerm::Max ? "max(" : "min(";
+      printTerm(X->lhs(), Out);
+      Out += ", ";
+      printTerm(X->rhs(), Out);
+      Out += ')';
+      return;
+    }
+    Out += '(';
+    printTerm(X->lhs(), Out);
+    Out += X->op() == IntBinTerm::Add ? " + " : " - ";
+    printTerm(X->rhs(), Out);
+    Out += ')';
+    return;
+  }
+  case Term::TK_EmptySet:
+    Out += T->sort() == Sort::IntMSet ? "m{}" : "{}";
+    return;
+  case Term::TK_Singleton: {
+    const auto *X = cast<SingletonTerm>(T);
+    if (T->sort() == Sort::IntMSet)
+      Out += 'm';
+    Out += '{';
+    printTerm(X->element(), Out);
+    Out += '}';
+    return;
+  }
+  case Term::TK_SetBin: {
+    const auto *X = cast<SetBinTerm>(T);
+    switch (X->op()) {
+    case SetBinTerm::Union:
+      Out += "union(";
+      break;
+    case SetBinTerm::Inter:
+      Out += "inter(";
+      break;
+    case SetBinTerm::Diff:
+      Out += "diff(";
+      break;
+    }
+    printTerm(X->lhs(), Out);
+    Out += ", ";
+    printTerm(X->rhs(), Out);
+    Out += ')';
+    return;
+  }
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    Out += X->def()->Name;
+    printRecSuffix(X->time(), Out);
+    printArgs(X->arg(), X->stopArgs(), Out);
+    return;
+  }
+  case Term::TK_FieldRead: {
+    const auto *X = cast<FieldReadTerm>(T);
+    Out += X->field();
+    printRecSuffix(X->version(), Out);
+    Out += '(';
+    printTerm(X->arg(), Out);
+    Out += ')';
+    return;
+  }
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(T);
+    Out += "reach_";
+    Out += X->def()->Name;
+    printRecSuffix(X->time(), Out);
+    printArgs(X->arg(), X->stopArgs(), Out);
+    return;
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    Out += "ite(";
+    printFormula(X->cond(), Out, 0);
+    Out += ", ";
+    printTerm(X->thenTerm(), Out);
+    Out += ", ";
+    printTerm(X->elseTerm(), Out);
+    Out += ')';
+    return;
+  }
+  }
+}
+
+static const char *cmpOpName(CmpFormula::Op O) {
+  switch (O) {
+  case CmpFormula::Eq:
+    return " == ";
+  case CmpFormula::Ne:
+    return " != ";
+  case CmpFormula::Lt:
+    return " < ";
+  case CmpFormula::Le:
+    return " <= ";
+  case CmpFormula::Gt:
+    return " > ";
+  case CmpFormula::Ge:
+    return " >= ";
+  case CmpFormula::SetLt:
+    return " setlt ";
+  case CmpFormula::SetLe:
+    return " setle ";
+  case CmpFormula::SubsetEq:
+    return " subset ";
+  case CmpFormula::In:
+    return " in ";
+  case CmpFormula::NotIn:
+    return " !in ";
+  }
+  return " ?? ";
+}
+
+// Precedence: Or=1, And/Sep=2, Not=3, atoms=4.
+static void printFormula(const Formula *F, std::string &Out, int Prec) {
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+    Out += cast<BoolConstFormula>(F)->value() ? "true" : "false";
+    return;
+  case Formula::FK_Emp:
+    Out += "emp";
+    return;
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    printTerm(X->base(), Out);
+    Out += " |-> (";
+    bool First = true;
+    for (const auto &FB : X->fields()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += FB.Field;
+      Out += ": ";
+      printTerm(FB.Value, Out);
+    }
+    Out += ')';
+    return;
+  }
+  case Formula::FK_Cmp: {
+    const auto *X = cast<CmpFormula>(F);
+    printTerm(X->lhs(), Out);
+    Out += cmpOpName(X->op());
+    printTerm(X->rhs(), Out);
+    return;
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    Out += X->def()->Name;
+    printRecSuffix(X->time(), Out);
+    printArgs(X->arg(), X->stopArgs(), Out);
+    return;
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep: {
+    const auto *X = cast<NaryFormula>(F);
+    int MyPrec = F->kind() == Formula::FK_Or ? 1 : 2;
+    const char *Sep = F->kind() == Formula::FK_Or  ? " || "
+                      : F->kind() == Formula::FK_And ? " && "
+                                                     : " * ";
+    bool Paren = MyPrec < Prec;
+    if (Paren)
+      Out += '(';
+    bool First = true;
+    for (const Formula *Op : X->operands()) {
+      if (!First)
+        Out += Sep;
+      First = false;
+      printFormula(Op, Out, MyPrec + 1);
+    }
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case Formula::FK_Not: {
+    Out += "!(";
+    printFormula(cast<NotFormula>(F)->operand(), Out, 0);
+    Out += ')';
+    return;
+  }
+  case Formula::FK_FieldUpdate: {
+    const auto *X = cast<FieldUpdateFormula>(F);
+    Out += X->field();
+    Out += '@';
+    Out += std::to_string(X->toVersion());
+    Out += " = store(";
+    Out += X->field();
+    Out += '@';
+    Out += std::to_string(X->fromVersion());
+    Out += ", ";
+    printTerm(X->base(), Out);
+    Out += ", ";
+    printTerm(X->value(), Out);
+    Out += ')';
+    return;
+  }
+  }
+}
+
+std::string dryad::print(const Term *T) {
+  std::string Out;
+  printTerm(T, Out);
+  return Out;
+}
+
+std::string dryad::print(const Formula *F) {
+  std::string Out;
+  printFormula(F, Out, 0);
+  return Out;
+}
+
+std::string dryad::print(const RecDef &Def) {
+  std::string Out;
+  Out += Def.isPredicate() ? "pred " : "func ";
+  Out += Def.Name;
+  Out += '[';
+  for (size_t I = 0; I != Def.PtrFields.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Def.PtrFields[I];
+  }
+  if (!Def.StopParams.empty()) {
+    Out += "; ";
+    for (size_t I = 0; I != Def.StopParams.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += Def.StopParams[I];
+    }
+  }
+  Out += "](";
+  Out += Def.ArgName;
+  Out += ')';
+  if (!Def.isPredicate()) {
+    Out += " : ";
+    Out += sortName(Def.Result);
+  }
+  Out += " :=";
+  if (Def.isPredicate()) {
+    Out += ' ';
+    Out += print(Def.PredBody);
+    return Out;
+  }
+  for (const RecDef::Case &C : Def.Cases) {
+    Out += "\n  ";
+    if (C.Guard) {
+      Out += "case ";
+      Out += print(C.Guard);
+      Out += " -> ";
+    } else {
+      Out += "default -> ";
+    }
+    Out += print(C.Value);
+    Out += ';';
+  }
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===--- printer.h - Pretty-printing for the AST ----------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders terms, formulas, and recursive definitions back to the concrete
+/// syntax. Stamped nodes print their timestamp/version with an `@` suffix
+/// (e.g. `next@2(x)`, `list@1(x)`), which also serves as the canonical key
+/// for recursive-definition instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_PRINTER_H
+#define DRYAD_DRYAD_PRINTER_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+#include <string>
+
+namespace dryad {
+
+std::string print(const Term *T);
+std::string print(const Formula *F);
+std::string print(const RecDef &Def);
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_PRINTER_H

@@ -1,0 +1,62 @@
+//===--- sorts.h - Dryad sorts ----------------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sorts of the Dryad logic (paper §4.1): booleans, locations, lattice
+/// integers IntL, sets of locations S(Loc), sets of integers S(Int), and
+/// lattice multisets MS(Int)L. Locations are modelled as integers with
+/// nil = 0 throughout the system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_SORTS_H
+#define DRYAD_DRYAD_SORTS_H
+
+#include <cstdint>
+
+namespace dryad {
+
+enum class Sort : uint8_t {
+  Bool,
+  Loc,
+  Int,    ///< IntL in the paper; +/- infinity are explicit terms.
+  LocSet, ///< S(Loc)
+  IntSet, ///< S(Int)
+  IntMSet ///< MS(Int)L
+};
+
+inline bool isSetSort(Sort S) {
+  return S == Sort::LocSet || S == Sort::IntSet || S == Sort::IntMSet;
+}
+
+inline bool isScalarSort(Sort S) { return S == Sort::Loc || S == Sort::Int; }
+
+/// The element sort of a set sort.
+inline Sort elementSort(Sort S) {
+  return S == Sort::LocSet ? Sort::Loc : Sort::Int;
+}
+
+inline const char *sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "bool";
+  case Sort::Loc:
+    return "loc";
+  case Sort::Int:
+    return "int";
+  case Sort::LocSet:
+    return "locset";
+  case Sort::IntSet:
+    return "intset";
+  case Sort::IntMSet:
+    return "msint";
+  }
+  return "<invalid>";
+}
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_SORTS_H

@@ -1,0 +1,241 @@
+//===--- typecheck.cpp - Dryad well-formedness checks ---------------------===//
+
+#include "dryad/typecheck.h"
+#include "dryad/printer.h"
+
+#include <set>
+
+using namespace dryad;
+
+//===----------------------------------------------------------------------===//
+// Separating conjunction not under negation
+//===----------------------------------------------------------------------===//
+
+static bool checkNoSepUnderNeg(const Formula *F, bool UnderNeg,
+                               DiagEngine &Diags) {
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+  case Formula::FK_Emp:
+  case Formula::FK_PointsTo:
+  case Formula::FK_Cmp:
+  case Formula::FK_RecPred:
+  case Formula::FK_FieldUpdate:
+    return true;
+  case Formula::FK_Sep:
+    if (UnderNeg) {
+      Diags.error(F->loc(),
+                  "separating conjunction may not appear under negation");
+      return false;
+    }
+    [[fallthrough]];
+  case Formula::FK_And:
+  case Formula::FK_Or: {
+    bool Ok = true;
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      Ok &= checkNoSepUnderNeg(Op, UnderNeg, Diags);
+    return Ok;
+  }
+  case Formula::FK_Not:
+    return checkNoSepUnderNeg(cast<NotFormula>(F)->operand(), /*UnderNeg=*/true,
+                              Diags);
+  }
+  return true;
+}
+
+bool dryad::checkDryadFormula(const Formula *F, DiagEngine &Diags) {
+  return checkNoSepUnderNeg(F, /*UnderNeg=*/false, Diags);
+}
+
+//===----------------------------------------------------------------------===//
+// Definition-body restrictions
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct DefBodyChecker {
+  DiagEngine &Diags;
+  const RecDef &Def;
+  bool Ok = true;
+
+  void fail(SourceLoc Loc, const std::string &Msg) {
+    Diags.error(Loc, "in definition '" + Def.Name + "': " + Msg);
+    Ok = false;
+  }
+
+  void visit(const Term *T) {
+    switch (T->kind()) {
+    case Term::TK_IntBin:
+      // The paper disallows subtraction in recursive definitions to keep the
+      // functional monotone; we allow t - c with a constant on the right
+      // (used by black-height style definitions) since it is still monotone
+      // in the recursive arguments.
+      if (cast<IntBinTerm>(T)->op() == IntBinTerm::Sub &&
+          cast<IntBinTerm>(T)->rhs()->kind() != Term::TK_IntConst)
+        fail(T->loc(), "subtraction of a non-constant is not allowed");
+      visit(cast<IntBinTerm>(T)->lhs());
+      visit(cast<IntBinTerm>(T)->rhs());
+      return;
+    case Term::TK_SetBin:
+      if (cast<SetBinTerm>(T)->op() == SetBinTerm::Diff)
+        fail(T->loc(), "set difference is not allowed");
+      visit(cast<SetBinTerm>(T)->lhs());
+      visit(cast<SetBinTerm>(T)->rhs());
+      return;
+    case Term::TK_Singleton:
+      visit(cast<SingletonTerm>(T)->element());
+      return;
+    case Term::TK_RecFunc: {
+      const auto *X = cast<RecFuncTerm>(T);
+      visit(X->arg());
+      for (const Term *St : X->stopArgs())
+        visit(St);
+      return;
+    }
+    case Term::TK_Ite: {
+      const auto *X = cast<IteTerm>(T);
+      visit(X->cond());
+      visit(X->thenTerm());
+      visit(X->elseTerm());
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void visit(const Formula *F) {
+    switch (F->kind()) {
+    case Formula::FK_Not:
+      fail(F->loc(), "negation is not allowed in definition bodies");
+      return;
+    case Formula::FK_PointsTo: {
+      const auto *X = cast<PointsToFormula>(F);
+      visit(X->base());
+      for (const auto &FB : X->fields())
+        visit(FB.Value);
+      return;
+    }
+    case Formula::FK_Cmp:
+      visit(cast<CmpFormula>(F)->lhs());
+      visit(cast<CmpFormula>(F)->rhs());
+      return;
+    case Formula::FK_RecPred: {
+      const auto *X = cast<RecPredFormula>(F);
+      visit(X->arg());
+      for (const Term *St : X->stopArgs())
+        visit(St);
+      return;
+    }
+    case Formula::FK_And:
+    case Formula::FK_Or:
+    case Formula::FK_Sep:
+      for (const Formula *Op : cast<NaryFormula>(F)->operands())
+        visit(Op);
+      return;
+    default:
+      return;
+    }
+  }
+};
+
+/// Collects variables bound (transitively) by points-to atoms rooted at the
+/// definition argument: a variable counts as bound when the base of its
+/// points-to is the argument or another bound variable.
+static void collectBindingEdges(
+    const Formula *F,
+    std::vector<std::pair<std::string, std::string>> &Edges) {
+  switch (F->kind()) {
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    if (const auto *V = dyn_cast<VarTerm>(X->base()))
+      for (const auto &FB : X->fields())
+        if (const auto *BV = dyn_cast<VarTerm>(FB.Value))
+          Edges.push_back({V->name(), BV->name()});
+    return;
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep:
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      collectBindingEdges(Op, Edges);
+    return;
+  default:
+    return;
+  }
+}
+
+static void collectBoundVars(const Formula *F, const std::string &ArgName,
+                             std::set<std::string> &Out) {
+  (void)ArgName;
+  std::vector<std::pair<std::string, std::string>> Edges;
+  collectBindingEdges(F, Edges);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const auto &[Base, Var] : Edges)
+      if (Out.count(Base) && Out.insert(Var).second)
+        Progress = true;
+  }
+}
+} // namespace
+
+static bool checkOneDef(const RecDef &Def, DiagEngine &Diags) {
+  DefBodyChecker Checker{Diags, Def};
+
+  std::vector<const Formula *> BodyFormulas;
+  std::vector<const Term *> BodyTerms;
+  if (Def.isPredicate()) {
+    BodyFormulas.push_back(Def.PredBody);
+  } else {
+    for (const RecDef::Case &C : Def.Cases) {
+      if (C.Guard)
+        BodyFormulas.push_back(C.Guard);
+      BodyTerms.push_back(C.Value);
+    }
+  }
+
+  std::set<std::string> Bound;
+  Bound.insert(Def.ArgName);
+  for (const std::string &St : Def.StopParams)
+    Bound.insert(St);
+  for (const Formula *F : BodyFormulas) {
+    Checker.visit(F);
+    collectBoundVars(F, Def.ArgName, Bound);
+  }
+  for (const Term *T : BodyTerms)
+    Checker.visit(T);
+
+  std::map<std::string, Sort> Free;
+  for (const Formula *F : BodyFormulas)
+    collectVars(F, Free);
+  for (const Term *T : BodyTerms)
+    collectVars(T, Free);
+  for (const auto &[Name, S] : Free) {
+    (void)S;
+    if (!Bound.count(Name)) {
+      Diags.error({}, "in definition '" + Def.Name + "': variable '" + Name +
+                          "' is not bound by a points-to on '" + Def.ArgName +
+                          "'");
+      Checker.Ok = false;
+    }
+  }
+  return Checker.Ok;
+}
+
+bool dryad::checkDefs(const DefRegistry &Defs, DiagEngine &Diags) {
+  bool Ok = true;
+  for (const auto &Def : Defs.all()) {
+    if (Def->isPredicate()) {
+      if (!Def->PredBody) {
+        Diags.error({}, "predicate '" + Def->Name + "' has no body");
+        Ok = false;
+        continue;
+      }
+    } else if (Def->Cases.empty() || Def->Cases.back().Guard != nullptr) {
+      Diags.error({}, "function '" + Def->Name + "' must end with 'default'");
+      Ok = false;
+      continue;
+    }
+    Ok &= checkOneDef(*Def, Diags);
+  }
+  return Ok;
+}

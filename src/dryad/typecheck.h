@@ -1,0 +1,34 @@
+//===--- typecheck.h - Dryad well-formedness checks -------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Well-formedness checks for Dryad (paper §4.1):
+///  * the separating conjunction may not appear under negation;
+///  * recursive-definition bodies may not use subtraction, set difference,
+///    or negation (this guarantees monotonicity, hence least fixed points);
+///  * every implicitly existentially quantified variable of a definition
+///    body is bound by a points-to on the definition argument.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_DRYAD_TYPECHECK_H
+#define DRYAD_DRYAD_TYPECHECK_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+namespace dryad {
+
+/// Checks a Dryad formula as used in contracts/invariants. Returns false and
+/// reports through \p Diags on violation.
+bool checkDryadFormula(const Formula *F, DiagEngine &Diags);
+
+/// Checks all registered recursive definitions.
+bool checkDefs(const DefRegistry &Defs, DiagEngine &Diags);
+
+} // namespace dryad
+
+#endif // DRYAD_DRYAD_TYPECHECK_H

@@ -1,0 +1,161 @@
+//===--- gen.cpp - Random heap structure generators --------------------------===//
+
+#include "interp/gen.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dryad;
+
+int64_t HeapGen::makeList(int N, std::vector<int64_t> Keys) {
+  int64_t Head = 0;
+  for (int I = N - 1; I >= 0; --I) {
+    int64_t Node = St.allocate();
+    St.write(Node, "next", Head);
+    St.write(Node, "key",
+             I < static_cast<int>(Keys.size()) ? Keys[I] : randKey());
+    Head = Node;
+  }
+  return Head;
+}
+
+int64_t HeapGen::makeSortedList(int N) {
+  std::vector<int64_t> Keys;
+  for (int I = 0; I != N; ++I)
+    Keys.push_back(randKey());
+  std::sort(Keys.begin(), Keys.end());
+  return makeList(N, std::move(Keys));
+}
+
+int64_t HeapGen::makeDll(int N) {
+  int64_t Head = 0, Prev = 0;
+  for (int I = 0; I != N; ++I) {
+    int64_t Node = St.allocate();
+    St.write(Node, "key", randKey());
+    St.write(Node, "next", 0);
+    St.write(Node, "prev", Prev);
+    if (Prev)
+      St.write(Prev, "next", Node);
+    else
+      Head = Node;
+    Prev = Node;
+  }
+  return Head;
+}
+
+int64_t HeapGen::makeCyclic(int N) {
+  if (N == 0)
+    return 0;
+  int64_t Head = St.allocate();
+  St.write(Head, "key", randKey());
+  int64_t Prev = Head;
+  for (int I = 1; I != N; ++I) {
+    int64_t Node = St.allocate();
+    St.write(Node, "key", randKey());
+    St.write(Prev, "next", Node);
+    Prev = Node;
+  }
+  St.write(Prev, "next", Head);
+  return Head;
+}
+
+int64_t HeapGen::makeTree(int N) {
+  if (N == 0)
+    return 0;
+  int64_t Root = St.allocate();
+  St.write(Root, "key", randKey());
+  St.write(Root, "left", 0);
+  St.write(Root, "right", 0);
+  std::vector<int64_t> Nodes = {Root};
+  for (int I = 1; I != N; ++I) {
+    int64_t Node = St.allocate();
+    St.write(Node, "key", randKey());
+    St.write(Node, "left", 0);
+    St.write(Node, "right", 0);
+    // Attach under a random node with a free slot.
+    for (int Tries = 0; Tries != 64; ++Tries) {
+      int64_t P = Nodes[std::uniform_int_distribution<size_t>(
+          0, Nodes.size() - 1)(Rng)];
+      bool Left = std::uniform_int_distribution<int>(0, 1)(Rng);
+      const char *Slot = Left ? "left" : "right";
+      if (St.read(P, Slot) == 0) {
+        St.write(P, Slot, Node);
+        break;
+      }
+    }
+    Nodes.push_back(Node);
+  }
+  return Root;
+}
+
+static int64_t bstInsert(ProgramState &St, int64_t Root, int64_t Node) {
+  if (Root == 0)
+    return Node;
+  int64_t Cur = Root;
+  while (true) {
+    const char *Slot =
+        St.read(Node, "key") < St.read(Cur, "key") ? "left" : "right";
+    int64_t Child = St.read(Cur, Slot);
+    if (Child == 0) {
+      St.write(Cur, Slot, Node);
+      return Root;
+    }
+    Cur = Child;
+  }
+}
+
+int64_t HeapGen::makeBst(int N) {
+  int64_t Root = 0;
+  std::set<int64_t> Used; // bst requires strictly ordered (distinct) keys
+  for (int I = 0; I != N; ++I) {
+    int64_t Key = randKey(-10 * N - 50, 10 * N + 50);
+    while (Used.count(Key))
+      Key = randKey(-10 * N - 50, 10 * N + 50);
+    Used.insert(Key);
+    int64_t Node = St.allocate();
+    St.write(Node, "key", Key);
+    St.write(Node, "left", 0);
+    St.write(Node, "right", 0);
+    Root = bstInsert(St, Root, Node);
+  }
+  return Root;
+}
+
+int64_t HeapGen::makeMaxHeap(int N) {
+  int64_t Root = makeTree(N);
+  // Fix keys bottom-up: each parent takes the max of its subtree.
+  // Simple fixpoint: repeatedly push larger child keys up.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int64_t L : St.R) {
+      for (const char *Slot : {"left", "right"}) {
+        int64_t C = St.read(L, Slot);
+        if (C && St.read(C, "key") > St.read(L, "key")) {
+          int64_t Tmp = St.read(L, "key");
+          St.write(L, "key", St.read(C, "key"));
+          St.write(C, "key", Tmp);
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Root;
+}
+
+void HeapGen::addGarbage(int N) {
+  std::vector<int64_t> Existing(St.R.begin(), St.R.end());
+  for (int I = 0; I != N; ++I) {
+    int64_t Node = St.allocate();
+    St.write(Node, "key", randKey());
+    auto Pick = [&]() -> int64_t {
+      if (Existing.empty() || std::uniform_int_distribution<int>(0, 2)(Rng) == 0)
+        return 0;
+      return Existing[std::uniform_int_distribution<size_t>(
+          0, Existing.size() - 1)(Rng)];
+    };
+    St.write(Node, "next", Pick());
+    St.write(Node, "left", Pick());
+    St.write(Node, "right", Pick());
+  }
+}

@@ -1,0 +1,62 @@
+//===--- gen.h - Random heap structure generators ---------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic (seeded) generators for the heap shapes the benchmark
+/// corpus manipulates — used by the property tests (random states for the
+/// Theorem 5.1 agreement test, valid inputs for end-to-end soundness runs).
+///
+/// Field-name conventions follow the specification library: `next`/`prev`
+/// for lists, `left`/`right` for trees, `key` for data.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_INTERP_GEN_H
+#define DRYAD_INTERP_GEN_H
+
+#include "sem/state.h"
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dryad {
+
+class HeapGen {
+public:
+  HeapGen(ProgramState &St, uint64_t Seed) : St(St), Rng(Seed) {}
+
+  int64_t randKey(int64_t Lo = -50, int64_t Hi = 50) {
+    return std::uniform_int_distribution<int64_t>(Lo, Hi)(Rng);
+  }
+
+  /// Singly-linked list of N nodes with the given keys (random if empty);
+  /// returns the head (nil for N == 0).
+  int64_t makeList(int N, std::vector<int64_t> Keys = {});
+  /// Sorted singly-linked list.
+  int64_t makeSortedList(int N);
+  /// Doubly-linked list (next/prev).
+  int64_t makeDll(int N);
+  /// Cyclic list: head->next ... ->head; returns head (nil for N == 0).
+  int64_t makeCyclic(int N);
+  /// Random binary tree of N nodes (left/right), random keys.
+  int64_t makeTree(int N);
+  /// Binary search tree by repeated leaf insertion.
+  int64_t makeBst(int N);
+  /// Max-heap-shaped tree (every parent key >= children keys).
+  int64_t makeMaxHeap(int N);
+  /// A heap with garbage: extra unreachable allocated nodes with arbitrary
+  /// pointers into earlier nodes (stress for heaplet semantics).
+  void addGarbage(int N);
+
+private:
+  ProgramState &St;
+  std::mt19937_64 Rng;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_INTERP_GEN_H

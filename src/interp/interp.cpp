@@ -1,0 +1,273 @@
+//===--- interp.cpp - Concrete interpreter -----------------------------------===//
+
+#include "interp/interp.h"
+
+using namespace dryad;
+
+std::optional<Value> Interpreter::evalExpr(const Term *T, Frame &F,
+                                           const ProgramState &St,
+                                           std::string &Err) {
+  switch (T->kind()) {
+  case Term::TK_Nil:
+    return Value::mkLoc(0);
+  case Term::TK_IntConst:
+    return Value::mkInt(cast<IntConstTerm>(T)->value());
+  case Term::TK_Var: {
+    auto It = F.Vars.find(cast<VarTerm>(T)->name());
+    if (It == F.Vars.end()) {
+      Err = "unbound variable " + cast<VarTerm>(T)->name();
+      return std::nullopt;
+    }
+    return It->second;
+  }
+  case Term::TK_IntBin: {
+    const auto *X = cast<IntBinTerm>(T);
+    std::optional<Value> L = evalExpr(X->lhs(), F, St, Err);
+    std::optional<Value> R = evalExpr(X->rhs(), F, St, Err);
+    if (!L || !R)
+      return std::nullopt;
+    switch (X->op()) {
+    case IntBinTerm::Add:
+      return intAdd(*L, *R);
+    case IntBinTerm::Sub:
+      return intSub(*L, *R);
+    case IntBinTerm::Max:
+      return intLe(*L, *R) ? *R : *L;
+    case IntBinTerm::Min:
+      return intLe(*L, *R) ? *L : *R;
+    }
+    return std::nullopt;
+  }
+  default:
+    Err = "expression kind not executable";
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> Interpreter::evalCond(const Formula *C, Frame &F,
+                                          const ProgramState &St,
+                                          std::string &Err) {
+  switch (C->kind()) {
+  case Formula::FK_BoolConst:
+    return cast<BoolConstFormula>(C)->value();
+  case Formula::FK_Cmp: {
+    const auto *X = cast<CmpFormula>(C);
+    std::optional<Value> L = evalExpr(X->lhs(), F, St, Err);
+    std::optional<Value> R = evalExpr(X->rhs(), F, St, Err);
+    if (!L || !R)
+      return std::nullopt;
+    switch (X->op()) {
+    case CmpFormula::Eq:
+      return *L == *R;
+    case CmpFormula::Ne:
+      return !(*L == *R);
+    case CmpFormula::Lt:
+      return intLt(*L, *R);
+    case CmpFormula::Le:
+      return intLe(*L, *R);
+    case CmpFormula::Gt:
+      return intLt(*R, *L);
+    case CmpFormula::Ge:
+      return intLe(*R, *L);
+    default:
+      Err = "condition uses a non-executable relation";
+      return std::nullopt;
+    }
+  }
+  case Formula::FK_And: {
+    for (const Formula *Op : cast<NaryFormula>(C)->operands()) {
+      std::optional<bool> B = evalCond(Op, F, St, Err);
+      if (!B)
+        return std::nullopt;
+      if (!*B)
+        return false;
+    }
+    return true;
+  }
+  case Formula::FK_Or: {
+    for (const Formula *Op : cast<NaryFormula>(C)->operands()) {
+      std::optional<bool> B = evalCond(Op, F, St, Err);
+      if (!B)
+        return std::nullopt;
+      if (*B)
+        return true;
+    }
+    return false;
+  }
+  case Formula::FK_Not: {
+    std::optional<bool> B =
+        evalCond(cast<NotFormula>(C)->operand(), F, St, Err);
+    if (!B)
+      return std::nullopt;
+    return !*B;
+  }
+  default:
+    Err = "condition kind not executable";
+    return std::nullopt;
+  }
+}
+
+bool Interpreter::execBlock(const Procedure &P, const std::vector<Stmt> &Stmts,
+                            Frame &F, ProgramState &St, int Depth,
+                            std::optional<Value> &Ret, std::string &Err) {
+  for (const Stmt &S : Stmts) {
+    if (--StepsLeft <= 0) {
+      Err = "step budget exhausted (diverging loop?)";
+      return false;
+    }
+    switch (S.K) {
+    case Stmt::Skip:
+      break;
+    case Stmt::Assign: {
+      std::optional<Value> V = evalExpr(S.Expr, F, St, Err);
+      if (!V)
+        return false;
+      F.Vars[S.Var] = *V;
+      break;
+    }
+    case Stmt::Load: {
+      std::optional<Value> B = evalExpr(S.Base, F, St, Err);
+      if (!B)
+        return false;
+      if (B->I == 0 || !St.R.count(B->I)) {
+        Err = "load through nil/unallocated location";
+        return false;
+      }
+      int64_t Raw = St.read(B->I, S.Field);
+      F.Vars[S.Var] = M.Fields.isPointerField(S.Field) ? Value::mkLoc(Raw)
+                                                       : Value::mkInt(Raw);
+      break;
+    }
+    case Stmt::Store: {
+      std::optional<Value> B = evalExpr(S.Base, F, St, Err);
+      std::optional<Value> V = evalExpr(S.Expr, F, St, Err);
+      if (!B || !V)
+        return false;
+      if (B->I == 0 || !St.R.count(B->I)) {
+        Err = "store through nil/unallocated location";
+        return false;
+      }
+      St.write(B->I, S.Field, V->I);
+      break;
+    }
+    case Stmt::New:
+      F.Vars[S.Var] = Value::mkLoc(St.allocate());
+      break;
+    case Stmt::Free: {
+      std::optional<Value> B = evalExpr(S.Base, F, St, Err);
+      if (!B)
+        return false;
+      St.deallocate(B->I);
+      break;
+    }
+    case Stmt::Assume: {
+      std::optional<bool> C = evalCond(S.Cond, F, St, Err);
+      if (!C)
+        return false;
+      if (!*C) {
+        Err = "assume violated at runtime";
+        return false;
+      }
+      break;
+    }
+    case Stmt::Return: {
+      if (S.Expr) {
+        std::optional<Value> V = evalExpr(S.Expr, F, St, Err);
+        if (!V)
+          return false;
+        Ret = *V;
+      } else {
+        Ret = Value::mkInt(0);
+      }
+      return true;
+    }
+    case Stmt::If: {
+      std::optional<bool> C = evalCond(S.Cond, F, St, Err);
+      if (!C)
+        return false;
+      if (!execBlock(P, *C ? S.Then : S.Else, F, St, Depth, Ret, Err))
+        return false;
+      if (Ret)
+        return true;
+      break;
+    }
+    case Stmt::While: {
+      while (true) {
+        if (--StepsLeft <= 0) {
+          Err = "step budget exhausted (diverging loop?)";
+          return false;
+        }
+        std::optional<bool> C = evalCond(S.Cond, F, St, Err);
+        if (!C)
+          return false;
+        if (!*C)
+          break;
+        if (!execBlock(P, S.Body, F, St, Depth, Ret, Err))
+          return false;
+        if (Ret)
+          return true;
+      }
+      break;
+    }
+    case Stmt::Call: {
+      std::vector<Value> Args;
+      for (const Term *A : S.Args) {
+        std::optional<Value> V = evalExpr(A, F, St, Err);
+        if (!V)
+          return false;
+        Args.push_back(*V);
+      }
+      ExecResult R = call(S.Callee, Args, St, Depth + 1);
+      if (!R.Ok) {
+        Err = R.Error;
+        return false;
+      }
+      if (!S.Var.empty()) {
+        if (!R.Ret) {
+          Err = "callee returned no value";
+          return false;
+        }
+        F.Vars[S.Var] = *R.Ret;
+      }
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+Interpreter::ExecResult Interpreter::call(const std::string &ProcName,
+                                          const std::vector<Value> &Args,
+                                          ProgramState &St, int Depth) {
+  ExecResult R;
+  if (Depth == 0)
+    StepsLeft = MaxSteps;
+  if (Depth > MaxDepth) {
+    R.Error = "recursion depth exceeded";
+    return R;
+  }
+  const Procedure *P = M.findProc(ProcName);
+  if (!P || P->Body.empty()) {
+    R.Error = "no executable body for " + ProcName;
+    return R;
+  }
+  if (P->Params.size() != Args.size()) {
+    R.Error = "argument count mismatch calling " + ProcName;
+    return R;
+  }
+  Frame F;
+  for (size_t I = 0; I != Args.size(); ++I)
+    F.Vars[P->Params[I].Name] = Args[I];
+  for (const VarDecl &D : P->Locals)
+    F.Vars[D.Name] = D.S == Sort::Loc ? Value::mkLoc(0) : Value::mkInt(0);
+
+  std::optional<Value> Ret;
+  std::string Err;
+  if (!execBlock(*P, P->Body, F, St, Depth, Ret, Err)) {
+    R.Error = Err;
+    return R;
+  }
+  R.Ok = true;
+  R.Ret = Ret;
+  return R;
+}

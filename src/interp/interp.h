@@ -1,0 +1,63 @@
+//===--- interp.h - Concrete interpreter ------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A concrete executor for the program language — the testing substrate
+/// that closes the loop: routines the verifier proves are run on generated
+/// inputs and their postconditions are checked with the Dryad evaluator
+/// (end-to-end soundness property tests).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_INTERP_INTERP_H
+#define DRYAD_INTERP_INTERP_H
+
+#include "lang/ast.h"
+#include "sem/state.h"
+
+#include <optional>
+
+namespace dryad {
+
+class Interpreter {
+public:
+  explicit Interpreter(Module &M) : M(M) {}
+
+  struct ExecResult {
+    bool Ok = false;
+    std::optional<Value> Ret;
+    std::string Error;
+  };
+
+  /// Runs \p ProcName on \p St with \p Args bound to its parameters.
+  ExecResult call(const std::string &ProcName, const std::vector<Value> &Args,
+                  ProgramState &St, int Depth = 0);
+
+  /// Loop/recursion fuel; exceeding it reports an error (diverging input or
+  /// a bug in the routine under test).
+  int MaxSteps = 200000;
+  int MaxDepth = 512;
+
+private:
+  struct Frame {
+    std::map<std::string, Value> Vars;
+  };
+
+  bool execBlock(const Procedure &P, const std::vector<Stmt> &Stmts,
+                 Frame &F, ProgramState &St, int Depth,
+                 std::optional<Value> &Ret, std::string &Err);
+  std::optional<Value> evalExpr(const Term *T, Frame &F,
+                                const ProgramState &St, std::string &Err);
+  std::optional<bool> evalCond(const Formula *C, Frame &F,
+                               const ProgramState &St, std::string &Err);
+
+  Module &M;
+  int StepsLeft = 0;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_INTERP_INTERP_H

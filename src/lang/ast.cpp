@@ -1,0 +1,8 @@
+//===--- ast.cpp - Imperative program AST utilities ------------------------===//
+
+#include "lang/ast.h"
+
+using namespace dryad;
+
+// The program AST is header-only; this TU anchors the translation unit for
+// the lang library.

@@ -1,0 +1,102 @@
+//===--- ast.h - Imperative program AST (Fig. 5) ----------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap-manipulating language of Fig. 5 extended with the structured
+/// control flow the paper's front end supported (if / while with loop
+/// invariants); basic-path extraction (paths.h) reduces procedures back to
+/// the paper's straight-line segments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_LANG_AST_H
+#define DRYAD_LANG_AST_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+#include "dryad/parser.h"
+
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+struct VarDecl {
+  std::string Name;
+  Sort S = Sort::Loc;
+};
+
+/// One statement. A single tagged struct keeps basic-path construction
+/// (which copies statements) simple.
+struct Stmt {
+  enum Kind {
+    Assign, ///< Var := Expr (pure expression, incl. u := v and j := aexpr)
+    Load,   ///< Var := Base.Field
+    Store,  ///< Base.Field := Expr
+    New,    ///< Var := new
+    Free,   ///< free Base
+    Assume, ///< assume Cond (also synthesized from branch conditions)
+    Call,   ///< [Var :=] Callee(Args)
+    Return, ///< return [Expr]
+    If,     ///< if (Cond) Then else Else
+    While,  ///< while (Cond) invariant Inv Body
+    Skip
+  };
+
+  Kind K = Skip;
+  SourceLoc Loc;
+  std::string Var;           ///< destination variable
+  std::string Field;         ///< Load/Store field
+  const Term *Base = nullptr;    ///< Load/Store/Free base location
+  const Term *Expr = nullptr;    ///< Assign/Store/Return expression
+  const Formula *Cond = nullptr; ///< Assume/If/While condition
+  const Formula *Inv = nullptr;  ///< While invariant
+  std::vector<Stmt> Then;
+  std::vector<Stmt> Else;
+  std::vector<Stmt> Body;
+  std::string Callee;
+  std::vector<const Term *> Args;
+};
+
+struct Procedure {
+  std::string Name;
+  SourceLoc Loc;
+  std::vector<VarDecl> Params;
+  std::vector<VarDecl> Locals;
+  std::vector<VarDecl> SpecVars; ///< implicitly existentially quantified
+  bool HasRet = false;
+  VarDecl Ret;
+  const Formula *Pre = nullptr;  ///< Dryad
+  const Formula *Post = nullptr; ///< Dryad; may mention `ret`
+  /// False for contract-only declarations (`proc f(..) requires .. ensures ..;`).
+  bool HasBody = false;
+  std::vector<Stmt> Body;
+};
+
+/// A parsed module: field declarations, recursive definitions, axioms, and
+/// annotated procedures. Owns every AST node through its AstContext.
+struct Module {
+  AstContext Ctx;
+  FieldTable Fields;
+  DefRegistry Defs;
+  std::vector<Axiom> Axioms;
+  std::vector<Procedure> Procs;
+
+  Module() = default;
+  Module(const Module &) = delete;
+  Module &operator=(const Module &) = delete;
+
+  const Procedure *findProc(const std::string &Name) const {
+    for (const Procedure &P : Procs)
+      if (P.Name == Name)
+        return &P;
+    return nullptr;
+  }
+};
+
+} // namespace dryad
+
+#endif // DRYAD_LANG_AST_H

@@ -1,0 +1,452 @@
+//===--- parser.cpp - Module and program parser ----------------------------===//
+
+#include "lang/parser.h"
+#include "dryad/typecheck.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace dryad;
+
+namespace {
+class ProgramParser {
+public:
+  ProgramParser(Module &M, DiagEngine &Diags, TokenCursor &Cur)
+      : M(M), Diags(Diags), Cur(Cur), Spec(M.Ctx, M.Fields, M.Defs, Diags, Cur) {
+  }
+
+  bool run() {
+    while (!Cur.atEnd()) {
+      const Token &T = Cur.peek();
+      if (T.isIdent("fields")) {
+        Spec.parseFieldsDecl();
+      } else if (T.isIdent("pred")) {
+        Spec.parsePredDef();
+      } else if (T.isIdent("func")) {
+        Spec.parseFuncDef();
+      } else if (T.isIdent("axiom")) {
+        Spec.parseAxiom(M.Axioms);
+      } else if (T.isIdent("proc")) {
+        parseProc();
+      } else {
+        Diags.error(T.Loc, "expected a top-level declaration "
+                           "(fields/pred/func/axiom/proc)");
+        Cur.advance();
+      }
+    }
+    if (!Diags.hasErrors())
+      checkDefs(M.Defs, Diags);
+    return !Diags.hasErrors();
+  }
+
+private:
+  bool expect(Token::Kind K, const char *What) {
+    if (Cur.match(K))
+      return true;
+    Diags.error(Cur.peek().Loc, std::string("expected ") + What);
+    return false;
+  }
+
+  std::optional<VarDecl> parseTypedName() {
+    const Token &Name = Cur.peek();
+    if (!Name.is(Token::Ident)) {
+      Diags.error(Name.Loc, "expected a name");
+      return std::nullopt;
+    }
+    Cur.advance();
+    if (!expect(Token::Colon, "':'"))
+      return std::nullopt;
+    std::optional<Sort> S = Spec.parseSort();
+    if (!S) {
+      Diags.error(Cur.peek().Loc, "expected a sort");
+      return std::nullopt;
+    }
+    return VarDecl{Name.Text, *S};
+  }
+
+  void parseProc() {
+    Cur.advance(); // 'proc'
+    Procedure P;
+    P.Loc = Cur.peek().Loc;
+    const Token &Name = Cur.peek();
+    if (!Name.is(Token::Ident)) {
+      Diags.error(Name.Loc, "expected procedure name");
+      Spec.synchronize();
+      return;
+    }
+    Cur.advance();
+    P.Name = Name.Text;
+
+    if (!expect(Token::LParen, "'('")) {
+      Spec.synchronize();
+      return;
+    }
+    if (!Cur.peek().is(Token::RParen)) {
+      do {
+        std::optional<VarDecl> D = parseTypedName();
+        if (!D) {
+          Spec.synchronize();
+          return;
+        }
+        P.Params.push_back(*D);
+      } while (Cur.match(Token::Comma));
+    }
+    if (!expect(Token::RParen, "')'")) {
+      Spec.synchronize();
+      return;
+    }
+
+    if (Cur.matchIdent("returns")) {
+      if (!expect(Token::LParen, "'('")) {
+        Spec.synchronize();
+        return;
+      }
+      std::optional<VarDecl> D = parseTypedName();
+      if (!D || !expect(Token::RParen, "')'")) {
+        Spec.synchronize();
+        return;
+      }
+      P.HasRet = true;
+      P.Ret = *D;
+    }
+
+    if (Cur.matchIdent("spec")) {
+      if (!expect(Token::LParen, "'('")) {
+        Spec.synchronize();
+        return;
+      }
+      do {
+        std::optional<VarDecl> D = parseTypedName();
+        if (!D) {
+          Spec.synchronize();
+          return;
+        }
+        P.SpecVars.push_back(*D);
+      } while (Cur.match(Token::Comma));
+      if (!expect(Token::RParen, "')'")) {
+        Spec.synchronize();
+        return;
+      }
+    }
+
+    VarEnv ContractEnv;
+    for (const VarDecl &D : P.Params)
+      ContractEnv[D.Name] = D.S;
+    for (const VarDecl &D : P.SpecVars)
+      ContractEnv[D.Name] = D.S;
+
+    if (Cur.matchIdent("requires")) {
+      P.Pre = Spec.parseFormula(ContractEnv);
+      if (!P.Pre) {
+        Spec.synchronize();
+        return;
+      }
+    } else {
+      Diags.error(Cur.peek().Loc, "procedure needs a 'requires' clause");
+      Spec.synchronize();
+      return;
+    }
+
+    if (P.HasRet)
+      ContractEnv[P.Ret.Name] = P.Ret.S;
+    if (Cur.matchIdent("ensures")) {
+      P.Post = Spec.parseFormula(ContractEnv);
+      if (!P.Post) {
+        Spec.synchronize();
+        return;
+      }
+    } else {
+      Diags.error(Cur.peek().Loc, "procedure needs an 'ensures' clause");
+      Spec.synchronize();
+      return;
+    }
+
+    checkDryadFormula(P.Pre, Diags);
+    checkDryadFormula(P.Post, Diags);
+
+    // Body (optional: contract-only declarations end with ';').
+    if (Cur.match(Token::Semi)) {
+      M.Procs.push_back(std::move(P));
+      return;
+    }
+    P.HasBody = true;
+
+    VarEnv BodyEnv = ContractEnv;
+    // `ret` is not a program variable inside the body; returns are explicit.
+    if (P.HasRet)
+      BodyEnv.erase(P.Ret.Name);
+    if (!parseBlock(P, BodyEnv, P.Body))
+      return;
+    M.Procs.push_back(std::move(P));
+  }
+
+  bool parseBlock(Procedure &P, VarEnv &Env, std::vector<Stmt> &Out) {
+    if (!expect(Token::LBrace, "'{'"))
+      return false;
+    while (!Cur.peek().is(Token::RBrace)) {
+      if (Cur.atEnd()) {
+        Diags.error(Cur.peek().Loc, "unterminated block");
+        return false;
+      }
+      if (!parseStmt(P, Env, Out))
+        return false;
+    }
+    Cur.advance(); // '}'
+    return true;
+  }
+
+  bool parseStmt(Procedure &P, VarEnv &Env, std::vector<Stmt> &Out) {
+    const Token &T = Cur.peek();
+    Stmt S;
+    S.Loc = T.Loc;
+
+    if (T.isIdent("var")) {
+      Cur.advance();
+      std::optional<VarDecl> D = parseTypedName();
+      if (!D || !expect(Token::Semi, "';'"))
+        return false;
+      P.Locals.push_back(*D);
+      Env[D->Name] = D->S;
+      return true;
+    }
+    if (T.isIdent("skip")) {
+      Cur.advance();
+      return expect(Token::Semi, "';'");
+    }
+    if (T.isIdent("free")) {
+      Cur.advance();
+      S.K = Stmt::Free;
+      S.Base = Spec.parseTerm(Env, Sort::Loc);
+      if (!S.Base || !expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+    if (T.isIdent("assume")) {
+      Cur.advance();
+      S.K = Stmt::Assume;
+      S.Cond = Spec.parseFormula(Env);
+      if (!S.Cond || !expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+    if (T.isIdent("return")) {
+      Cur.advance();
+      S.K = Stmt::Return;
+      if (!Cur.peek().is(Token::Semi)) {
+        S.Expr = Spec.parseTerm(Env, P.HasRet ? std::optional<Sort>(P.Ret.S)
+                                              : std::nullopt);
+        if (!S.Expr)
+          return false;
+      }
+      if (!expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+    if (T.isIdent("if")) {
+      Cur.advance();
+      S.K = Stmt::If;
+      if (!expect(Token::LParen, "'('"))
+        return false;
+      S.Cond = Spec.parseFormula(Env);
+      if (!S.Cond || !expect(Token::RParen, "')'"))
+        return false;
+      if (!parseBlock(P, Env, S.Then))
+        return false;
+      if (Cur.matchIdent("else")) {
+        if (Cur.peek().isIdent("if")) {
+          // else-if chain.
+          if (!parseStmt(P, Env, S.Else))
+            return false;
+        } else if (!parseBlock(P, Env, S.Else)) {
+          return false;
+        }
+      }
+      Out.push_back(std::move(S));
+      return true;
+    }
+    if (T.isIdent("while")) {
+      Cur.advance();
+      S.K = Stmt::While;
+      if (!expect(Token::LParen, "'('"))
+        return false;
+      S.Cond = Spec.parseFormula(Env);
+      if (!S.Cond || !expect(Token::RParen, "')'"))
+        return false;
+      std::vector<const Formula *> Invs;
+      while (Cur.matchIdent("invariant")) {
+        const Formula *Inv = Spec.parseFormula(Env);
+        if (!Inv)
+          return false;
+        Invs.push_back(Inv);
+      }
+      if (Invs.empty()) {
+        Diags.error(S.Loc, "while loop needs an 'invariant' clause");
+        return false;
+      }
+      S.Inv = M.Ctx.conj(std::move(Invs));
+      checkDryadFormula(S.Inv, Diags);
+      if (!parseBlock(P, Env, S.Body))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+
+    // Statements starting with an identifier.
+    if (!T.is(Token::Ident)) {
+      Diags.error(T.Loc, "expected a statement");
+      return false;
+    }
+    const Token &Next = Cur.peek(1);
+
+    // u.f := e;
+    if (Next.is(Token::Dot)) {
+      auto It = Env.find(T.Text);
+      if (It == Env.end()) {
+        Diags.error(T.Loc, "undeclared variable '" + T.Text + "'");
+        return false;
+      }
+      S.Base = M.Ctx.var(T.Text, It->second, T.Loc);
+      Cur.advance();
+      Cur.advance(); // name '.'
+      const Token &FieldTok = Cur.peek();
+      if (!FieldTok.is(Token::Ident) || !M.Fields.isField(FieldTok.Text)) {
+        Diags.error(FieldTok.Loc, "expected a field name");
+        return false;
+      }
+      Cur.advance();
+      S.K = Stmt::Store;
+      S.Field = FieldTok.Text;
+      if (!expect(Token::ColonEq, "':='"))
+        return false;
+      S.Expr = Spec.parseTerm(Env, M.Fields.fieldSort(S.Field));
+      if (!S.Expr || !expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+
+    // f(args);  (call without destination)
+    if (Next.is(Token::LParen)) {
+      S.K = Stmt::Call;
+      S.Callee = T.Text;
+      Cur.advance();
+      Cur.advance();
+      if (!parseCallArgs(Env, S.Args) || !expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+
+    if (!Next.is(Token::ColonEq)) {
+      Diags.error(Next.Loc, "expected ':=', '.' or '(' after identifier");
+      return false;
+    }
+    S.Var = T.Text;
+    auto DstIt = Env.find(S.Var);
+    if (DstIt == Env.end()) {
+      Diags.error(T.Loc, "undeclared variable '" + S.Var + "'");
+      return false;
+    }
+    Sort DstSort = DstIt->second;
+    Cur.advance();
+    Cur.advance(); // name ':='
+
+    if (Cur.peek().isIdent("new")) {
+      Cur.advance();
+      S.K = Stmt::New;
+      if (!expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+
+    // u := f(args);
+    if (Cur.peek().is(Token::Ident) && Cur.peek(1).is(Token::LParen) &&
+        !M.Defs.lookup(Cur.peek().Text)) {
+      S.K = Stmt::Call;
+      S.Callee = Cur.peek().Text;
+      Cur.advance();
+      Cur.advance();
+      if (!parseCallArgs(Env, S.Args) || !expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+
+    // u := v.f;
+    if (Cur.peek().is(Token::Ident) && Cur.peek(1).is(Token::Dot)) {
+      const Token &BaseTok = Cur.peek();
+      auto It = Env.find(BaseTok.Text);
+      if (It == Env.end()) {
+        Diags.error(BaseTok.Loc, "undeclared variable '" + BaseTok.Text + "'");
+        return false;
+      }
+      S.K = Stmt::Load;
+      S.Base = M.Ctx.var(BaseTok.Text, It->second, BaseTok.Loc);
+      Cur.advance();
+      Cur.advance();
+      const Token &FieldTok = Cur.peek();
+      if (!FieldTok.is(Token::Ident) || !M.Fields.isField(FieldTok.Text)) {
+        Diags.error(FieldTok.Loc, "expected a field name");
+        return false;
+      }
+      Cur.advance();
+      S.Field = FieldTok.Text;
+      if (!expect(Token::Semi, "';'"))
+        return false;
+      Out.push_back(std::move(S));
+      return true;
+    }
+
+    // u := term;
+    S.K = Stmt::Assign;
+    S.Expr = Spec.parseTerm(Env, DstSort);
+    if (!S.Expr || !expect(Token::Semi, "';'"))
+      return false;
+    Out.push_back(std::move(S));
+    return true;
+  }
+
+  bool parseCallArgs(VarEnv &Env, std::vector<const Term *> &Args) {
+    if (Cur.match(Token::RParen))
+      return true;
+    do {
+      const Term *A = Spec.parseTerm(Env);
+      if (!A)
+        return false;
+      Args.push_back(A);
+    } while (Cur.match(Token::Comma));
+    return expect(Token::RParen, "')'");
+  }
+
+  Module &M;
+  DiagEngine &Diags;
+  TokenCursor &Cur;
+  SpecParser Spec;
+};
+} // namespace
+
+bool dryad::parseModule(const std::string &Input, Module &M,
+                        DiagEngine &Diags) {
+  std::vector<Token> Toks = tokenize(Input, Diags);
+  if (Diags.hasErrors())
+    return false;
+  TokenCursor Cur;
+  Cur.Toks = &Toks;
+  return ProgramParser(M, Diags, Cur).run();
+}
+
+bool dryad::parseModuleFile(const std::string &Path, Module &M,
+                            DiagEngine &Diags) {
+  std::ifstream In(Path);
+  if (!In) {
+    Diags.error({}, "cannot open file: " + Path);
+    return false;
+  }
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return parseModule(SS.str(), M, Diags);
+}

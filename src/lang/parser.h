@@ -1,0 +1,44 @@
+//===--- parser.h - Module and program parser -------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses whole `.dryad` module files: field declarations, recursive
+/// definitions, axioms (all via dryad/parser.h) and annotated procedures
+/// with structured control flow.
+///
+/// \code
+///   proc insert_front(x: loc, k: int) returns (ret: loc)
+///     spec (K: intset)
+///     requires list(x) && keys(x) == K
+///     ensures  list(ret) && keys(ret) == union(K, {k})
+///   {
+///     var u: loc;
+///     u := new;
+///     u.next := x;
+///     u.key := k;
+///     return u;
+///   }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_LANG_PARSER_H
+#define DRYAD_LANG_PARSER_H
+
+#include "lang/ast.h"
+
+namespace dryad {
+
+/// Parses \p Input into \p M. Returns false if any error was diagnosed.
+bool parseModule(const std::string &Input, Module &M, DiagEngine &Diags);
+
+/// Convenience: reads a file and parses it. Returns false on I/O or parse
+/// errors.
+bool parseModuleFile(const std::string &Path, Module &M, DiagEngine &Diags);
+
+} // namespace dryad
+
+#endif // DRYAD_LANG_PARSER_H

@@ -1,0 +1,206 @@
+//===--- paths.cpp - Basic-path extraction ---------------------------------===//
+
+#include "lang/paths.h"
+
+#include <set>
+
+using namespace dryad;
+
+namespace {
+struct PathBuilder {
+  Module &M;
+  const Procedure &P;
+  DiagEngine &Diags;
+  std::vector<BasicPath> Out;
+
+  Stmt mkAssume(const Formula *Cond, SourceLoc Loc) {
+    Stmt S;
+    S.K = Stmt::Assume;
+    S.Loc = Loc;
+    S.Cond = Cond;
+    return S;
+  }
+
+  Stmt mkRetAssign(const Stmt &Ret) {
+    Stmt S;
+    S.K = Stmt::Assign;
+    S.Loc = Ret.Loc;
+    S.Var = P.Ret.Name;
+    S.Expr = Ret.Expr;
+    return S;
+  }
+
+  void emit(std::string Desc, const Formula *Start, std::vector<Stmt> Acc,
+            const Formula *End, bool IsPost) {
+    BasicPath BP;
+    BP.Desc = std::move(Desc);
+    BP.Start = Start;
+    BP.End = End;
+    BP.EndIsPost = IsPost;
+    BP.Stmts = std::move(Acc);
+    Out.push_back(std::move(BP));
+  }
+
+  /// A position in a stack of statement sequences: (sequence, next index).
+  struct Frame {
+    const std::vector<Stmt> *Seq;
+    size_t Idx;
+  };
+
+  static std::string locTag(const Stmt &S) {
+    return "@" + std::to_string(S.Loc.Line);
+  }
+
+  /// Walks from the current continuation until the next cut point, starting
+  /// from formula \p Start with description prefix \p From.
+  void walk(std::vector<Frame> Stack, std::vector<Stmt> Acc,
+            const Formula *Start, const std::string &From) {
+    while (true) {
+      // Pop exhausted frames.
+      while (!Stack.empty() && Stack.back().Idx >= Stack.back().Seq->size())
+        Stack.pop_back();
+      if (Stack.empty()) {
+        // Fell off the end of the body: the post must hold (void return).
+        emit(From + " -> post", Start, std::move(Acc), P.Post,
+             /*IsPost=*/true);
+        return;
+      }
+
+      const Stmt &S = (*Stack.back().Seq)[Stack.back().Idx];
+      ++Stack.back().Idx;
+
+      switch (S.K) {
+      case Stmt::Skip:
+        continue;
+      case Stmt::Assign:
+      case Stmt::Load:
+      case Stmt::Store:
+      case Stmt::New:
+      case Stmt::Free:
+      case Stmt::Assume:
+      case Stmt::Call:
+        Acc.push_back(S);
+        continue;
+      case Stmt::Return: {
+        if (P.HasRet && S.Expr)
+          Acc.push_back(mkRetAssign(S));
+        emit(From + " -> post", Start, std::move(Acc), P.Post,
+             /*IsPost=*/true);
+        return;
+      }
+      case Stmt::If: {
+        // Then branch.
+        {
+          std::vector<Frame> ThenStack = Stack;
+          std::vector<Stmt> ThenAcc = Acc;
+          ThenAcc.push_back(mkAssume(S.Cond, S.Loc));
+          ThenStack.push_back({&S.Then, 0});
+          walk(std::move(ThenStack), std::move(ThenAcc), Start, From);
+        }
+        // Else branch (possibly empty).
+        Acc.push_back(mkAssume(M.Ctx.neg(S.Cond), S.Loc));
+        Stack.push_back({&S.Else, 0});
+        continue;
+      }
+      case Stmt::While: {
+        // Path reaching the loop header ends at the invariant.
+        emit(From + " -> inv" + locTag(S), Start, std::move(Acc), S.Inv,
+             /*IsPost=*/false);
+        // Around-the-loop paths are generated once per loop statement.
+        if (Visited.insert(&S).second) {
+          // inv && cond { body } -> inv   (plus paths for nested cut points)
+          std::vector<Stmt> BodyAcc = {mkAssume(S.Cond, S.Loc)};
+          std::vector<Frame> BodyStack = {{&S.Body, 0}};
+          walkLoopBody(std::move(BodyStack), std::move(BodyAcc), S, S.Inv,
+                       "inv" + locTag(S));
+          // inv && !cond -> continue after the loop.
+          std::vector<Stmt> ExitAcc = {mkAssume(M.Ctx.neg(S.Cond), S.Loc)};
+          walk(Stack, std::move(ExitAcc), S.Inv, "inv" + locTag(S));
+        }
+        return;
+      }
+      }
+    }
+  }
+
+  /// Like walk(), but falling off the end of the loop body re-establishes
+  /// the loop invariant of \p Loop. \p Start / \p From identify the cut
+  /// point this segment begins at (the loop's own invariant, or a nested
+  /// loop's invariant after exiting it).
+  void walkLoopBody(std::vector<Frame> Stack, std::vector<Stmt> Acc,
+                    const Stmt &Loop, const Formula *Start,
+                    const std::string &From) {
+    while (true) {
+      while (!Stack.empty() && Stack.back().Idx >= Stack.back().Seq->size())
+        Stack.pop_back();
+      if (Stack.empty()) {
+        emit(From + " -> inv" + locTag(Loop), Start, std::move(Acc),
+             Loop.Inv, /*IsPost=*/false);
+        return;
+      }
+
+      const Stmt &S = (*Stack.back().Seq)[Stack.back().Idx];
+      ++Stack.back().Idx;
+
+      switch (S.K) {
+      case Stmt::Skip:
+        continue;
+      case Stmt::Assign:
+      case Stmt::Load:
+      case Stmt::Store:
+      case Stmt::New:
+      case Stmt::Free:
+      case Stmt::Assume:
+      case Stmt::Call:
+        Acc.push_back(S);
+        continue;
+      case Stmt::Return: {
+        if (P.HasRet && S.Expr)
+          Acc.push_back(mkRetAssign(S));
+        emit(From + " -> post", Start, std::move(Acc), P.Post,
+             /*IsPost=*/true);
+        return;
+      }
+      case Stmt::If: {
+        {
+          std::vector<Frame> ThenStack = Stack;
+          std::vector<Stmt> ThenAcc = Acc;
+          ThenAcc.push_back(mkAssume(S.Cond, S.Loc));
+          ThenStack.push_back({&S.Then, 0});
+          walkLoopBody(std::move(ThenStack), std::move(ThenAcc), Loop, Start,
+                       From);
+        }
+        Acc.push_back(mkAssume(M.Ctx.neg(S.Cond), S.Loc));
+        Stack.push_back({&S.Else, 0});
+        continue;
+      }
+      case Stmt::While: {
+        // Nested loop: the current segment ends at the inner invariant.
+        emit(From + " -> inv" + locTag(S), Start, std::move(Acc), S.Inv,
+             /*IsPost=*/false);
+        if (Visited.insert(&S).second) {
+          std::vector<Stmt> BodyAcc = {mkAssume(S.Cond, S.Loc)};
+          std::vector<Frame> BodyStack = {{&S.Body, 0}};
+          walkLoopBody(std::move(BodyStack), std::move(BodyAcc), S, S.Inv,
+                       "inv" + locTag(S));
+          // Exiting the inner loop continues within the outer body.
+          std::vector<Stmt> ExitAcc = {mkAssume(M.Ctx.neg(S.Cond), S.Loc)};
+          walkLoopBody(Stack, std::move(ExitAcc), Loop, S.Inv,
+                       "inv" + locTag(S));
+        }
+        return;
+      }
+      }
+    }
+  }
+
+  std::set<const Stmt *> Visited;
+};
+} // namespace
+
+std::vector<BasicPath> dryad::extractPaths(Module &M, const Procedure &P,
+                                           DiagEngine &Diags) {
+  PathBuilder B{M, P, Diags, {}};
+  B.walk({{&P.Body, 0}}, {}, P.Pre, "pre");
+  return std::move(B.Out);
+}

@@ -1,0 +1,39 @@
+//===--- paths.h - Basic-path extraction ------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cuts a procedure body at loop headers (whose invariants become
+/// intermediate assertions) and enumerates the straight-line basic paths
+/// between cut points, turning branch and loop conditions into `assume`
+/// statements — exactly the Hoare-triples-over-basic-blocks setting of §6.1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_LANG_PATHS_H
+#define DRYAD_LANG_PATHS_H
+
+#include "lang/ast.h"
+
+namespace dryad {
+
+/// One straight-line verification obligation {Start} Stmts {End}.
+struct BasicPath {
+  std::string Desc;              ///< human-readable, e.g. "pre -> inv@12"
+  const Formula *Start = nullptr; ///< Dryad formula
+  const Formula *End = nullptr;   ///< Dryad formula (mentions `ret` if post)
+  bool EndIsPost = false;
+  std::vector<Stmt> Stmts;        ///< only simple statement kinds
+};
+
+/// Enumerates the basic paths of \p P. Reports through \p Diags (e.g. loops
+/// without invariants have been rejected at parse time; here we reject
+/// spatial formulas used as branch conditions).
+std::vector<BasicPath> extractPaths(Module &M, const Procedure &P,
+                                    DiagEngine &Diags);
+
+} // namespace dryad
+
+#endif // DRYAD_LANG_PATHS_H

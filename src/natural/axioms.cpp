@@ -1,0 +1,101 @@
+//===--- axioms.cpp - User-axiom instantiation ------------------------------===//
+
+#include "natural/axioms.h"
+#include "natural/footprint.h"
+
+#include <set>
+#include "translate/scope.h"
+#include "translate/translate.h"
+
+#include <functional>
+
+using namespace dryad;
+
+/// Enumerates all |Terms|^N tuples; calls Fn with each assignment.
+static void forTuples(const std::vector<const Term *> &Terms, size_t N,
+                      std::vector<const Term *> &Acc,
+                      const std::function<void()> &Fn) {
+  if (Acc.size() == N) {
+    Fn();
+    return;
+  }
+  for (const Term *T : Terms) {
+    Acc.push_back(T);
+    forTuples(Terms, N, Acc, Fn);
+    Acc.pop_back();
+  }
+}
+
+std::vector<const Formula *> dryad::axiomAssertions(Module &M,
+                                                    const VCond &VC) {
+  AstContext &Ctx = M.Ctx;
+  std::vector<const Formula *> Out;
+
+  // Definitions the VC actually mentions: axioms about other definitions
+  // cannot help this proof and only blow up the query.
+  std::map<std::string, RecInstance> VCInstances;
+  for (const Formula *F : VC.Assumptions)
+    collectInstances(F, VCInstances);
+  if (VC.Goal)
+    collectInstances(VC.Goal, VCInstances);
+  for (const CallCheck &C : VC.CallChecks)
+    collectInstances(C.Goal, VCInstances);
+  std::set<const RecDef *> VCDefs;
+  for (const auto &[Key, I] : VCInstances) {
+    (void)Key;
+    VCDefs.insert(I.Def);
+  }
+
+  // Instantiate over plain location variables (plus nil), not over derived
+  // frontier terms: the footprint discipline of §6.3.
+  std::vector<const Term *> Vars;
+  for (const Term *T : VC.LocTerms)
+    if (T->kind() == Term::TK_Var || T->kind() == Term::TK_Nil)
+      Vars.push_back(T);
+
+  for (const Axiom &Ax : M.Axioms) {
+    // Only location parameters are instantiated over the footprint.
+    bool AllLoc = true;
+    for (const auto &[Name, S] : Ax.Params)
+      AllLoc &= (S == Sort::Loc);
+    if (!AllLoc || Ax.Params.size() > 3)
+      continue;
+
+    // Relevance: every definition on the axiom's left-hand side must occur
+    // in the VC.
+    std::map<std::string, RecInstance> LhsInstances;
+    collectInstances(Ax.Lhs, LhsInstances);
+    bool Relevant = true;
+    for (const auto &[Key, I] : LhsInstances) {
+      (void)Key;
+      Relevant &= VCDefs.count(I.Def) > 0;
+    }
+    if (!Relevant)
+      continue;
+
+    std::vector<const Term *> Acc;
+    forTuples(Vars, Ax.Params.size(), Acc, [&] {
+      Subst Sigma;
+      for (size_t I = 0; I != Ax.Params.size(); ++I)
+        Sigma[Ax.Params[I].first] = Acc[I];
+      const Formula *Lhs = substitute(Ctx, Ax.Lhs, Sigma);
+      const Formula *Rhs = substitute(Ctx, Ax.Rhs, Sigma);
+
+      // Both sides are evaluated on the heaplet the left-hand side
+      // determines.
+      std::vector<const Formula *> Disjuncts = liftDisjunction(Ctx, Lhs);
+      SynScope S = scopeOfFormula(Ctx, Disjuncts.front());
+      const Formula *LhsT = translateDryad(Ctx, M.Fields, Lhs, S.Scope);
+      const Formula *RhsT = translateDryad(Ctx, M.Fields, Rhs, S.Scope);
+      const Formula *Impl = Ctx.disj({Ctx.neg(LhsT), RhsT});
+
+      for (const Boundary &B : VC.Boundaries) {
+        StampMap SM;
+        SM.FieldVersions = B.FieldVersions;
+        SM.Time = B.Time;
+        Out.push_back(stamp(Ctx, Impl, SM));
+      }
+    });
+  }
+  return Out;
+}

@@ -1,0 +1,27 @@
+//===--- axioms.h - User-axiom instantiation --------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// User-provided axioms (§6.3) relate partial structures to complete ones
+/// (e.g. `lseg(x, y) * list(y) => list(x)`). Following the natural-proof
+/// philosophy they are instantiated over the footprint locations at every
+/// boundary timestamp, yielding quantifier-free assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_NATURAL_AXIOMS_H
+#define DRYAD_NATURAL_AXIOMS_H
+
+#include "lang/ast.h"
+#include "vcgen/vc.h"
+
+namespace dryad {
+
+std::vector<const Formula *> axiomAssertions(Module &M, const VCond &VC);
+
+} // namespace dryad
+
+#endif // DRYAD_NATURAL_AXIOMS_H

@@ -1,0 +1,117 @@
+//===--- engine.cpp - Natural proof assembly --------------------------------===//
+
+#include "natural/engine.h"
+#include "dryad/printer.h"
+#include "natural/axioms.h"
+#include "natural/frames.h"
+#include "natural/unfold.h"
+
+#include <set>
+
+using namespace dryad;
+
+/// Appends \p In to \p Out, dropping assertions already present (e.g. the
+/// reach unfolding is shared by every definition over the same pointer
+/// fields and stop arguments).
+static void appendUnique(std::vector<const Formula *> &Out,
+                         const std::vector<const Formula *> &In,
+                         std::set<std::string> &Seen) {
+  for (const Formula *F : In)
+    if (Seen.insert(print(F)).second)
+      Out.push_back(F);
+}
+
+/// Extends the footprint with the one-step pointer successors of its
+/// variables at every boundary: unfolding bst(x) speaks about
+/// bst(left(x)), and frames must cover such frontier terms even when the
+/// program never loads them (e.g. the untouched sibling subtree across a
+/// recursive call).
+static std::map<int, std::vector<const Term *>>
+extendWithFrontier(Module &M, const VCond &VC,
+                   const std::map<std::string, RecInstance> &Instances) {
+  std::set<std::string> Fields;
+  for (const auto &[Key, I] : Instances) {
+    (void)Key;
+    for (const std::string &PF : I.Def->PtrFields)
+      Fields.insert(PF);
+  }
+  std::map<int, std::vector<const Term *>> Out;
+  for (const Boundary &B : VC.Boundaries) {
+    std::vector<const Term *> Terms = VC.LocTerms;
+    std::set<std::string> Seen;
+    for (const Term *T : Terms)
+      Seen.insert(print(T));
+    for (const Term *U : VC.LocTerms) {
+      if (U->kind() != Term::TK_Var)
+        continue;
+      for (const std::string &PF : Fields) {
+        const Term *Succ =
+            M.Ctx.fieldRead(PF, U, Sort::Loc, B.FieldVersions.at(PF));
+        if (Seen.insert(print(Succ)).second)
+          Terms.push_back(Succ);
+      }
+    }
+    Out[B.Time] = std::move(Terms);
+  }
+  return Out;
+}
+
+NaturalProof dryad::buildNaturalProof(Module &M, const VCond &VC,
+                                      const NaturalOptions &Opts) {
+  NaturalProof NP;
+
+  // Axioms may mention definitions the contracts do not (e.g. lseg); they
+  // are generated first so instance collection sees them.
+  std::vector<const Formula *> AxiomFs;
+  if (Opts.Axioms)
+    AxiomFs = axiomAssertions(M, VC);
+
+  std::map<std::string, RecInstance> Instances;
+  for (const Formula *F : VC.Assumptions)
+    collectInstances(F, Instances);
+  if (VC.Goal)
+    collectInstances(VC.Goal, Instances);
+  for (const CallCheck &C : VC.CallChecks)
+    collectInstances(C.Goal, Instances);
+  for (const Formula *F : AxiomFs)
+    collectInstances(F, Instances);
+
+  // Unfolding can surface new instances when a definition shifts its stop
+  // arguments across the recursion (e.g. the doubly-linked-list prev
+  // anchor); close the instance set under one-step unfolding, bounded to
+  // keep the query size under control.
+  std::set<std::string> Seen;
+  std::set<std::string> Processed;
+  constexpr size_t MaxInstances = 48;
+  bool Grew = true;
+  while (Grew && Instances.size() <= MaxInstances) {
+    Grew = false;
+    std::vector<RecInstance> Fresh;
+    for (auto &[Key, I] : Instances) {
+      if (!Processed.insert(Key).second)
+        continue;
+      Fresh.push_back(I);
+      NP.Instances.push_back(I);
+    }
+    if (Fresh.empty())
+      break;
+    if (Opts.Unfold) {
+      VCond Extended = VC; // copy; only the instantiation terms differ
+      Extended.BoundaryTerms = extendWithFrontier(M, VC, Instances);
+      std::vector<const Formula *> Unfolds =
+          unfoldAssertions(M, Extended, Fresh);
+      for (const Formula *F : Unfolds)
+        collectInstances(F, Instances);
+      appendUnique(NP.Assertions, Unfolds, Seen);
+      Grew = true;
+    }
+  }
+  if (Opts.Frames) {
+    VCond Extended = VC;
+    Extended.BoundaryTerms = extendWithFrontier(M, VC, Instances);
+    appendUnique(NP.Assertions, frameAssertions(M, Extended, NP.Instances),
+                 Seen);
+  }
+  appendUnique(NP.Assertions, AxiomFs, Seen);
+  return NP;
+}

@@ -1,0 +1,46 @@
+//===--- engine.h - Natural proof assembly ----------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the natural-proof strengthening ψ'VC = ψVC ∧ UnfoldAndFrame
+/// (§6.2) plus user-axiom instantiations (§6.3). Formula abstraction —
+/// treating recursive definitions and reach sets as uninterpreted — happens
+/// structurally in the SMT lowering, which never interprets them; the
+/// assertions produced here are the only constraints they get.
+///
+/// Each tactic can be disabled for the ablation benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_NATURAL_ENGINE_H
+#define DRYAD_NATURAL_ENGINE_H
+
+#include "lang/ast.h"
+#include "natural/footprint.h"
+#include "vcgen/vc.h"
+
+namespace dryad {
+
+struct NaturalOptions {
+  bool Unfold = true;
+  bool Frames = true;
+  bool Axioms = true;
+};
+
+struct NaturalProof {
+  /// All strengthening assertions (semantic consequences of the recursive
+  /// definitions; sound to conjoin to ψVC).
+  std::vector<const Formula *> Assertions;
+  /// The definition instances that were considered.
+  std::vector<RecInstance> Instances;
+};
+
+NaturalProof buildNaturalProof(Module &M, const VCond &VC,
+                               const NaturalOptions &Opts = {});
+
+} // namespace dryad
+
+#endif // DRYAD_NATURAL_ENGINE_H

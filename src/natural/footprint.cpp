@@ -1,0 +1,107 @@
+//===--- footprint.cpp - Footprint and definition instances ----------------===//
+
+#include "natural/footprint.h"
+#include "dryad/printer.h"
+
+using namespace dryad;
+
+std::string dryad::instanceKey(const RecInstance &I) {
+  std::string Key = I.Def->Name;
+  for (const Term *St : I.Stops) {
+    Key += '|';
+    Key += print(St);
+  }
+  return Key;
+}
+
+static void addInstance(const RecDef *Def,
+                        const std::vector<const Term *> &Stops,
+                        std::map<std::string, RecInstance> &Out) {
+  RecInstance I{Def, Stops};
+  Out.emplace(instanceKey(I), std::move(I));
+}
+
+void dryad::collectInstances(const Term *T,
+                             std::map<std::string, RecInstance> &Out) {
+  switch (T->kind()) {
+  case Term::TK_IntBin:
+    collectInstances(cast<IntBinTerm>(T)->lhs(), Out);
+    collectInstances(cast<IntBinTerm>(T)->rhs(), Out);
+    return;
+  case Term::TK_Singleton:
+    collectInstances(cast<SingletonTerm>(T)->element(), Out);
+    return;
+  case Term::TK_SetBin:
+    collectInstances(cast<SetBinTerm>(T)->lhs(), Out);
+    collectInstances(cast<SetBinTerm>(T)->rhs(), Out);
+    return;
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    addInstance(X->def(), X->stopArgs(), Out);
+    collectInstances(X->arg(), Out);
+    for (const Term *St : X->stopArgs())
+      collectInstances(St, Out);
+    return;
+  }
+  case Term::TK_FieldRead:
+    collectInstances(cast<FieldReadTerm>(T)->arg(), Out);
+    return;
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(T);
+    addInstance(X->def(), X->stopArgs(), Out);
+    collectInstances(X->arg(), Out);
+    for (const Term *St : X->stopArgs())
+      collectInstances(St, Out);
+    return;
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    collectInstances(X->cond(), Out);
+    collectInstances(X->thenTerm(), Out);
+    collectInstances(X->elseTerm(), Out);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void dryad::collectInstances(const Formula *F,
+                             std::map<std::string, RecInstance> &Out) {
+  switch (F->kind()) {
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    collectInstances(X->base(), Out);
+    for (const auto &FB : X->fields())
+      collectInstances(FB.Value, Out);
+    return;
+  }
+  case Formula::FK_Cmp:
+    collectInstances(cast<CmpFormula>(F)->lhs(), Out);
+    collectInstances(cast<CmpFormula>(F)->rhs(), Out);
+    return;
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    addInstance(X->def(), X->stopArgs(), Out);
+    collectInstances(X->arg(), Out);
+    for (const Term *St : X->stopArgs())
+      collectInstances(St, Out);
+    return;
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep:
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      collectInstances(Op, Out);
+    return;
+  case Formula::FK_Not:
+    collectInstances(cast<NotFormula>(F)->operand(), Out);
+    return;
+  case Formula::FK_FieldUpdate:
+    collectInstances(cast<FieldUpdateFormula>(F)->base(), Out);
+    collectInstances(cast<FieldUpdateFormula>(F)->value(), Out);
+    return;
+  default:
+    return;
+  }
+}

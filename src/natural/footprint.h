@@ -1,0 +1,49 @@
+//===--- footprint.h - Footprint and definition instances -------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The footprint of a basic path is the set of location variables the proof
+/// instantiates unfoldings and frame assertions over (§6.2). We use every
+/// SSA location variable plus nil — a sound superset of the paper's
+/// dereferenced variables that needs no separate dereference analysis.
+///
+/// A definition *instance* is a recursive definition together with the
+/// actual stop-location terms it is applied to (e.g. lseg with stop `v!0`);
+/// each instance gets its own uninterpreted function per boundary timestamp
+/// after formula abstraction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_NATURAL_FOOTPRINT_H
+#define DRYAD_NATURAL_FOOTPRINT_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+struct RecInstance {
+  const RecDef *Def = nullptr;
+  std::vector<const Term *> Stops;
+};
+
+/// Canonical key for an instance (definition name + printed stop terms).
+std::string instanceKey(const RecInstance &I);
+
+/// Collects every recursive-definition instance (from RecPred, RecFunc, and
+/// Reach nodes) appearing in a formula.
+void collectInstances(const Formula *F,
+                      std::map<std::string, RecInstance> &Out);
+void collectInstances(const Term *T,
+                      std::map<std::string, RecInstance> &Out);
+
+} // namespace dryad
+
+#endif // DRYAD_NATURAL_FOOTPRINT_H

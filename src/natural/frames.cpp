@@ -1,0 +1,86 @@
+//===--- frames.cpp - Frame instantiation (UnfoldAndFrame) ------------------===//
+
+#include "natural/frames.h"
+
+using namespace dryad;
+
+namespace {
+/// rec@T1(U) == rec@T2(U) (an iff for predicates) together with the
+/// corresponding reach-set preservation.
+const Formula *recPreserved(AstContext &Ctx, const RecInstance &I,
+                            const Term *U, int T1, int T2) {
+  std::vector<const Formula *> Conj;
+  if (I.Def->isPredicate()) {
+    const Formula *A = Ctx.recPred(I.Def, U, I.Stops, T1);
+    const Formula *B = Ctx.recPred(I.Def, U, I.Stops, T2);
+    Conj.push_back(Ctx.disj({Ctx.conj2(A, B),
+                             Ctx.conj2(Ctx.neg(A), Ctx.neg(B))}));
+  } else {
+    Conj.push_back(Ctx.eq(Ctx.recFunc(I.Def, U, I.Stops, T1),
+                          Ctx.recFunc(I.Def, U, I.Stops, T2)));
+  }
+  Conj.push_back(Ctx.eq(Ctx.reach(I.Def, U, I.Stops, T1),
+                        Ctx.reach(I.Def, U, I.Stops, T2)));
+  return Ctx.conj(std::move(Conj));
+}
+
+const Formula *implies(AstContext &Ctx, const Formula *P, const Formula *Q) {
+  return Ctx.disj({Ctx.neg(P), Q});
+}
+} // namespace
+
+std::vector<const Formula *>
+dryad::frameAssertions(Module &M, const VCond &VC,
+                       const std::vector<RecInstance> &Instances) {
+  AstContext &Ctx = M.Ctx;
+  std::vector<const Formula *> Out;
+
+  for (const Segment &Seg : VC.Segments) {
+    const Boundary &From = VC.Boundaries[Seg.FromBoundary];
+    const Boundary &To = VC.Boundaries[Seg.ToBoundary];
+
+    // The region this segment may have modified.
+    const Term *Modified = nullptr;
+    if (Seg.IsCall) {
+      Modified = Seg.CalleeHeaplet;
+    } else {
+      Modified = Ctx.emptySet(Sort::LocSet);
+      for (const Term *W : Seg.WrittenLocs)
+        Modified = Ctx.setUnion(Modified, Ctx.singleton(W, Sort::LocSet));
+    }
+
+    for (const RecInstance &I : Instances) {
+      for (const Term *U : VC.termsAt(From.Time)) {
+        const Term *ReachAtFrom = Ctx.reach(I.Def, U, I.Stops, From.Time);
+        const Formula *Disjoint =
+            Ctx.eq(Ctx.setBin(SetBinTerm::Inter, ReachAtFrom, Modified),
+                   Ctx.emptySet(Sort::LocSet));
+        const Formula *Preserved =
+            recPreserved(Ctx, I, U, From.Time, To.Time);
+        if (Seg.WrittenLocs.empty() && !Seg.IsCall)
+          Out.push_back(Preserved); // nothing written: unconditional
+        else
+          Out.push_back(implies(Ctx, Disjoint, Preserved));
+      }
+    }
+
+    // FieldUnchanged across calls: fields of locations outside the callee
+    // heaplet are untouched. (Straight segments need no analogue: their
+    // field arrays evolve by explicit store chains.)
+    if (Seg.IsCall) {
+      for (const Term *U : VC.termsAt(From.Time)) {
+        std::vector<const Formula *> FieldsEq;
+        for (const std::string &F : M.Fields.allFields()) {
+          Sort S = M.Fields.fieldSort(F);
+          FieldsEq.push_back(
+              Ctx.eq(Ctx.fieldRead(F, U, S, From.FieldVersions.at(F)),
+                     Ctx.fieldRead(F, U, S, To.FieldVersions.at(F))));
+        }
+        const Formula *Outside =
+            Ctx.cmp(CmpFormula::NotIn, U, Seg.CalleeHeaplet);
+        Out.push_back(implies(Ctx, Outside, Ctx.conj(std::move(FieldsEq))));
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===--- frames.h - Frame instantiation (UnfoldAndFrame) --------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framing half of §6.2's UnfoldAndFrame, reconstructed from the main
+/// text (the paper's Appendix C): across a straight segment a definition
+/// instance is unchanged at any location whose reach set is disjoint from
+/// the written locations (RecUnchanged); across a procedure call it is
+/// unchanged when disjoint from the callee's heaplet, and individual fields
+/// are unchanged at locations outside that heaplet (FieldUnchanged).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_NATURAL_FRAMES_H
+#define DRYAD_NATURAL_FRAMES_H
+
+#include "lang/ast.h"
+#include "natural/footprint.h"
+#include "vcgen/vc.h"
+
+namespace dryad {
+
+std::vector<const Formula *>
+frameAssertions(Module &M, const VCond &VC,
+                const std::vector<RecInstance> &Instances);
+
+} // namespace dryad
+
+#endif // DRYAD_NATURAL_FRAMES_H

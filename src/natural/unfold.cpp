@@ -1,0 +1,27 @@
+//===--- unfold.cpp - Unfolding across the footprint ------------------------===//
+
+#include "natural/unfold.h"
+#include "translate/delta_elim.h"
+
+using namespace dryad;
+
+std::vector<const Formula *>
+dryad::unfoldAssertions(Module &M, const VCond &VC,
+                        const std::vector<RecInstance> &Instances) {
+  DefUnfolder Unfolder(M.Ctx, M.Fields);
+  std::vector<const Formula *> Out;
+  for (const Boundary &B : VC.Boundaries) {
+    StampMap SM;
+    SM.FieldVersions = B.FieldVersions;
+    SM.Time = B.Time;
+    for (const RecInstance &I : Instances) {
+      for (const Term *U : VC.termsAt(B.Time)) {
+        const Formula *Def = Unfolder.unfoldDef(I.Def, U, I.Stops);
+        const Formula *Reach = Unfolder.unfoldReach(I.Def, U, I.Stops);
+        Out.push_back(stamp(M.Ctx, Def, SM));
+        Out.push_back(stamp(M.Ctx, Reach, SM));
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,31 @@
+//===--- unfold.h - Unfolding across the footprint --------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first natural-proof tactic (§6.2): every recursive definition
+/// instance is unfolded exactly one step at every footprint location and
+/// every boundary timestamp, relating its value to the (otherwise
+/// uninterpreted) values on the frontier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_NATURAL_UNFOLD_H
+#define DRYAD_NATURAL_UNFOLD_H
+
+#include "lang/ast.h"
+#include "natural/footprint.h"
+#include "vcgen/vc.h"
+
+namespace dryad {
+
+/// Unfolding assertions for all instances x boundaries x footprint terms.
+std::vector<const Formula *>
+unfoldAssertions(Module &M, const VCond &VC,
+                 const std::vector<RecInstance> &Instances);
+
+} // namespace dryad
+
+#endif // DRYAD_NATURAL_UNFOLD_H

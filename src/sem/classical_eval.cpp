@@ -1,0 +1,15 @@
+//===--- classical_eval.cpp - Convenience classical evaluation ------------===//
+
+#include "sem/classical_eval.h"
+
+using namespace dryad;
+
+bool dryad::evalClassical(const ProgramState &St, const DefRegistry &Defs,
+                          const Formula *F, const std::string &HeapletVar,
+                          const std::set<int64_t> &Heaplet,
+                          const std::map<std::string, Value> &Env) {
+  Evaluator Eval(St, Defs, EvalMode::Global);
+  Eval.Env = Env;
+  Eval.Env[HeapletVar] = Value::mkSet(Sort::LocSet, Heaplet);
+  return Eval.holdsGlobal(F);
+}

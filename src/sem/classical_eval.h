@@ -1,0 +1,33 @@
+//===--- classical_eval.h - Convenience classical evaluation ----*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for evaluating translated (classical) formulas over the global
+/// heap, used primarily by the Theorem 5.1 property tests: the Dryad
+/// evaluation of ϕ on heaplet G must agree with the classical evaluation of
+/// T(ϕ, G) on the global heap with the set variable G interpreted as the
+/// heaplet domain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SEM_CLASSICAL_EVAL_H
+#define DRYAD_SEM_CLASSICAL_EVAL_H
+
+#include "sem/eval.h"
+
+namespace dryad {
+
+/// Evaluates a classical formula on the global heap of \p St, interpreting
+/// the variable \p HeapletVar as the set \p Heaplet (plus any extra bindings
+/// in \p Env).
+bool evalClassical(const ProgramState &St, const DefRegistry &Defs,
+                   const Formula *F, const std::string &HeapletVar,
+                   const std::set<int64_t> &Heaplet,
+                   const std::map<std::string, Value> &Env = {});
+
+} // namespace dryad
+
+#endif // DRYAD_SEM_CLASSICAL_EVAL_H

@@ -1,0 +1,735 @@
+//===--- eval.cpp - Dryad and classical evaluation -------------------------===//
+
+#include "sem/eval.h"
+
+#include <algorithm>
+#include <tuple>
+
+using namespace dryad;
+
+Evaluator::Evaluator(const ProgramState &St, const DefRegistry &Defs,
+                     EvalMode Mode)
+    : St(St), Defs(Defs), Mode(Mode) {}
+
+//===----------------------------------------------------------------------===//
+// Variables
+//===----------------------------------------------------------------------===//
+
+std::optional<Value> Evaluator::lookupVar(const std::string &Name) {
+  for (auto It = Locals.rbegin(), E = Locals.rend(); It != E; ++It) {
+    auto F = It->find(Name);
+    if (F != It->end())
+      return F->second;
+  }
+  auto F = Env.find(Name);
+  if (F != Env.end())
+    return F->second;
+  auto G = St.Store.find(Name);
+  if (G != St.Store.end())
+    return G->second;
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Purity and scopes (Fig. 3, evaluated semantically)
+//===----------------------------------------------------------------------===//
+
+bool Evaluator::isPure(const Term *T) {
+  switch (T->kind()) {
+  case Term::TK_RecFunc:
+    return false;
+  case Term::TK_IntBin:
+    return isPure(cast<IntBinTerm>(T)->lhs()) &&
+           isPure(cast<IntBinTerm>(T)->rhs());
+  case Term::TK_Singleton:
+    return isPure(cast<SingletonTerm>(T)->element());
+  case Term::TK_SetBin:
+    return isPure(cast<SetBinTerm>(T)->lhs()) &&
+           isPure(cast<SetBinTerm>(T)->rhs());
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    return isPure(X->thenTerm()) && isPure(X->elseTerm());
+  }
+  default:
+    return true; // vars, consts, FieldRead/Reach (classical, global)
+  }
+}
+
+Evaluator::ScopeInfo Evaluator::scopeOf(const Term *T) {
+  ScopeInfo R;
+  switch (T->kind()) {
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    std::optional<Value> Arg = evalT(X->arg(), {});
+    if (!Arg) {
+      R.Undef = true;
+      return R;
+    }
+    std::vector<int64_t> Stops;
+    for (const Term *StTerm : X->stopArgs()) {
+      std::optional<Value> SV = evalT(StTerm, {});
+      if (!SV) {
+        R.Undef = true;
+        return R;
+      }
+      Stops.push_back(SV->I);
+    }
+    R.Exact = true;
+    R.Scope = reachOf(X->def(), Stops, Arg->I);
+    return R;
+  }
+  case Term::TK_IntBin: {
+    ScopeInfo A = scopeOf(cast<IntBinTerm>(T)->lhs());
+    ScopeInfo B = scopeOf(cast<IntBinTerm>(T)->rhs());
+    R.Exact = A.Exact || B.Exact;
+    R.Undef = A.Undef || B.Undef;
+    R.Scope = A.Scope;
+    R.Scope.insert(B.Scope.begin(), B.Scope.end());
+    return R;
+  }
+  case Term::TK_SetBin: {
+    ScopeInfo A = scopeOf(cast<SetBinTerm>(T)->lhs());
+    ScopeInfo B = scopeOf(cast<SetBinTerm>(T)->rhs());
+    R.Exact = A.Exact || B.Exact;
+    R.Undef = A.Undef || B.Undef;
+    R.Scope = A.Scope;
+    R.Scope.insert(B.Scope.begin(), B.Scope.end());
+    return R;
+  }
+  case Term::TK_Singleton:
+    return scopeOf(cast<SingletonTerm>(T)->element());
+  default:
+    return R; // pure: not domain-exact, empty scope
+  }
+}
+
+Evaluator::ScopeInfo Evaluator::scopeOf(const Formula *F) {
+  ScopeInfo R;
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+    return R;
+  case Formula::FK_Emp:
+    R.Exact = true;
+    return R;
+  case Formula::FK_PointsTo: {
+    std::optional<Value> Base = evalT(cast<PointsToFormula>(F)->base(), {});
+    if (!Base) {
+      R.Undef = true;
+      return R;
+    }
+    R.Exact = true;
+    R.Scope = {Base->I};
+    return R;
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    std::optional<Value> Arg = evalT(X->arg(), {});
+    if (!Arg) {
+      R.Undef = true;
+      return R;
+    }
+    std::vector<int64_t> Stops;
+    for (const Term *StTerm : X->stopArgs()) {
+      std::optional<Value> SV = evalT(StTerm, {});
+      if (!SV) {
+        R.Undef = true;
+        return R;
+      }
+      Stops.push_back(SV->I);
+    }
+    R.Exact = true;
+    R.Scope = reachOf(X->def(), Stops, Arg->I);
+    return R;
+  }
+  case Formula::FK_Cmp: {
+    ScopeInfo A = scopeOf(cast<CmpFormula>(F)->lhs());
+    ScopeInfo B = scopeOf(cast<CmpFormula>(F)->rhs());
+    R.Exact = A.Exact || B.Exact;
+    R.Undef = A.Undef || B.Undef;
+    R.Scope = A.Scope;
+    R.Scope.insert(B.Scope.begin(), B.Scope.end());
+    return R;
+  }
+  case Formula::FK_And: {
+    bool AnyExact = false;
+    for (const Formula *Op : cast<NaryFormula>(F)->operands()) {
+      ScopeInfo S = scopeOf(Op);
+      AnyExact |= S.Exact;
+      R.Undef |= S.Undef;
+      R.Scope.insert(S.Scope.begin(), S.Scope.end());
+    }
+    R.Exact = AnyExact;
+    return R;
+  }
+  case Formula::FK_Sep: {
+    bool AllExact = true;
+    for (const Formula *Op : cast<NaryFormula>(F)->operands()) {
+      ScopeInfo S = scopeOf(Op);
+      AllExact &= S.Exact;
+      R.Undef |= S.Undef;
+      R.Scope.insert(S.Scope.begin(), S.Scope.end());
+    }
+    R.Exact = AllExact;
+    return R;
+  }
+  case Formula::FK_Or:
+    // Scopes are defined on disjunction-free formulas only; callers
+    // distribute disjunction before asking.
+    R.Undef = true;
+    return R;
+  case Formula::FK_Not: {
+    ScopeInfo S = scopeOf(cast<NotFormula>(F)->operand());
+    R.Scope = S.Scope;
+    R.Undef = S.Undef;
+    return R;
+  }
+  case Formula::FK_FieldUpdate:
+    return R;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Terms
+//===----------------------------------------------------------------------===//
+
+std::optional<Value> Evaluator::termValue(const Term *T,
+                                          const std::set<int64_t> &Dom) {
+  if (InFixpoint)
+    return evalT(T, Dom);
+  InFixpoint = true;
+  std::optional<Value> V;
+  size_t Cap = 2 * (St.R.size() + 16);
+  for (size_t I = 0; I != Cap; ++I) {
+    auto Before = Table;
+    V = evalT(T, Dom);
+    runToFixpoint();
+    if (Table == Before) {
+      InFixpoint = false;
+      return V;
+    }
+  }
+  Converged = false;
+  InFixpoint = false;
+  return V;
+}
+
+/// Evaluates the two operands of a binary relation/operation following the
+/// pure/impure heaplet-split rules of §4.2: if either side is pure both are
+/// evaluated on the current domain; if both are impure the domain must be
+/// covered by the union of their scopes and each side is evaluated on its
+/// scope.
+std::optional<Value> Evaluator::evalBinOperands(const Term *L, const Term *R,
+                                                const std::set<int64_t> &Dom,
+                                                std::optional<Value> &RV) {
+  bool LPure = isPure(L), RPure = isPure(R);
+  if (Mode == EvalMode::Global || LPure || RPure) {
+    std::optional<Value> LV = evalT(L, Dom);
+    RV = evalT(R, Dom);
+    return LV;
+  }
+  ScopeInfo SL = scopeOf(L), SR = scopeOf(R);
+  if (SL.Undef || SR.Undef)
+    return std::nullopt;
+  std::set<int64_t> Union = SL.Scope;
+  Union.insert(SR.Scope.begin(), SR.Scope.end());
+  if (Union != Dom)
+    return std::nullopt;
+  std::optional<Value> LV = evalT(L, SL.Scope);
+  RV = evalT(R, SR.Scope);
+  return LV;
+}
+
+std::optional<Value> Evaluator::evalT(const Term *T,
+                                      const std::set<int64_t> &Dom) {
+  switch (T->kind()) {
+  case Term::TK_Nil:
+    return Value::mkLoc(0);
+  case Term::TK_Var: {
+    std::optional<Value> V = lookupVar(cast<VarTerm>(T)->name());
+    return V;
+  }
+  case Term::TK_IntConst:
+    return Value::mkInt(cast<IntConstTerm>(T)->value());
+  case Term::TK_Inf:
+    return Value::mkInf(cast<InfTerm>(T)->isPositive());
+  case Term::TK_IntBin: {
+    const auto *X = cast<IntBinTerm>(T);
+    std::optional<Value> RV;
+    std::optional<Value> LV = evalBinOperands(X->lhs(), X->rhs(), Dom, RV);
+    if (!LV || !RV)
+      return std::nullopt;
+    switch (X->op()) {
+    case IntBinTerm::Add:
+      return intAdd(*LV, *RV);
+    case IntBinTerm::Sub:
+      return intSub(*LV, *RV);
+    case IntBinTerm::Max:
+      return intLe(*LV, *RV) ? *RV : *LV;
+    case IntBinTerm::Min:
+      return intLe(*LV, *RV) ? *LV : *RV;
+    }
+    return std::nullopt;
+  }
+  case Term::TK_EmptySet:
+    return T->sort() == Sort::IntMSet ? Value::mkMSet()
+                                      : Value::mkSet(T->sort());
+  case Term::TK_Singleton: {
+    const auto *X = cast<SingletonTerm>(T);
+    std::optional<Value> E = evalT(X->element(), Dom);
+    if (!E)
+      return std::nullopt;
+    // {it} evaluates to the empty set for -inf / inf (paper §4.2).
+    if (E->S == Sort::Int && E->IK != Value::Fin)
+      return T->sort() == Sort::IntMSet ? Value::mkMSet()
+                                        : Value::mkSet(T->sort());
+    if (T->sort() == Sort::IntMSet)
+      return Value::mkMSet({{E->I, 1}});
+    return Value::mkSet(T->sort(), {E->I});
+  }
+  case Term::TK_SetBin: {
+    const auto *X = cast<SetBinTerm>(T);
+    std::optional<Value> RV;
+    std::optional<Value> LV = evalBinOperands(X->lhs(), X->rhs(), Dom, RV);
+    if (!LV || !RV)
+      return std::nullopt;
+    switch (X->op()) {
+    case SetBinTerm::Union:
+      return setUnion(*LV, *RV);
+    case SetBinTerm::Inter:
+      return setInter(*LV, *RV);
+    case SetBinTerm::Diff:
+      return setDiff(*LV, *RV);
+    }
+    return std::nullopt;
+  }
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    std::optional<Value> Arg = evalT(X->arg(), Dom);
+    if (!Arg)
+      return std::nullopt;
+    std::vector<int64_t> Stops;
+    for (const Term *StTerm : X->stopArgs()) {
+      std::optional<Value> SV = evalT(StTerm, Dom);
+      if (!SV)
+        return std::nullopt;
+      Stops.push_back(SV->I);
+    }
+    Key K{X->def(), Stops, Arg->I};
+    if (Mode == EvalMode::Heaplet && keyDomain(K) != Dom)
+      return std::nullopt; // undef: heaplet is not the reach set
+    return tableLookup(K);
+  }
+  case Term::TK_FieldRead: {
+    const auto *X = cast<FieldReadTerm>(T);
+    std::optional<Value> Arg = evalT(X->arg(), Dom);
+    if (!Arg)
+      return std::nullopt;
+    int64_t V = St.read(Arg->I, X->field());
+    return T->sort() == Sort::Loc ? Value::mkLoc(V) : Value::mkInt(V);
+  }
+  case Term::TK_Reach: {
+    const auto *X = cast<ReachTerm>(T);
+    std::optional<Value> Arg = evalT(X->arg(), Dom);
+    if (!Arg)
+      return std::nullopt;
+    std::vector<int64_t> Stops;
+    for (const Term *StTerm : X->stopArgs()) {
+      std::optional<Value> SV = evalT(StTerm, Dom);
+      if (!SV)
+        return std::nullopt;
+      Stops.push_back(SV->I);
+    }
+    return Value::mkSet(Sort::LocSet, reachOf(X->def(), Stops, Arg->I));
+  }
+  case Term::TK_Ite: {
+    const auto *X = cast<IteTerm>(T);
+    return evalF(X->cond(), Dom) ? evalT(X->thenTerm(), Dom)
+                                 : evalT(X->elseTerm(), Dom);
+  }
+  }
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Formulas
+//===----------------------------------------------------------------------===//
+
+static bool applyCmp(CmpFormula::Op Op, const Value &L, const Value &R) {
+  switch (Op) {
+  case CmpFormula::Eq:
+    return L == R;
+  case CmpFormula::Ne:
+    return !(L == R);
+  case CmpFormula::Lt:
+    return intLt(L, R);
+  case CmpFormula::Le:
+    return intLe(L, R);
+  case CmpFormula::Gt:
+    return intLt(R, L);
+  case CmpFormula::Ge:
+    return intLe(R, L);
+  case CmpFormula::SetLt:
+    return setAllLt(L, R);
+  case CmpFormula::SetLe:
+    return setAllLe(L, R);
+  case CmpFormula::SubsetEq:
+    return setSubset(L, R);
+  case CmpFormula::In:
+    return setMember(L, R);
+  case CmpFormula::NotIn:
+    return !setMember(L, R);
+  }
+  return false;
+}
+
+bool Evaluator::evalF(const Formula *F, const std::set<int64_t> &Dom) {
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+    return cast<BoolConstFormula>(F)->value();
+  case Formula::FK_Emp:
+    return Mode == EvalMode::Global || Dom.empty();
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    std::optional<Value> Base = evalT(X->base(), Dom);
+    if (!Base || Base->I == 0)
+      return false;
+    if (Mode == EvalMode::Heaplet) {
+      if (!St.R.count(Base->I))
+        return false;
+      if (Dom != std::set<int64_t>{Base->I})
+        return false;
+    }
+    for (const auto &FB : X->fields()) {
+      std::optional<Value> V = evalT(FB.Value, Dom);
+      if (!V || St.read(Base->I, FB.Field) != V->I)
+        return false;
+    }
+    return true;
+  }
+  case Formula::FK_Cmp: {
+    const auto *X = cast<CmpFormula>(F);
+    std::optional<Value> RV;
+    std::optional<Value> LV = evalBinOperands(X->lhs(), X->rhs(), Dom, RV);
+    if (!LV || !RV)
+      return false;
+    return applyCmp(X->op(), *LV, *RV);
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    std::optional<Value> Arg = evalT(X->arg(), Dom);
+    if (!Arg)
+      return false;
+    std::vector<int64_t> Stops;
+    for (const Term *StTerm : X->stopArgs()) {
+      std::optional<Value> SV = evalT(StTerm, Dom);
+      if (!SV)
+        return false;
+      Stops.push_back(SV->I);
+    }
+    Key K{X->def(), Stops, Arg->I};
+    if (Mode == EvalMode::Heaplet && keyDomain(K) != Dom)
+      return false;
+    return tableLookup(K).B;
+  }
+  case Formula::FK_And: {
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      if (!evalF(Op, Dom))
+        return false;
+    return true;
+  }
+  case Formula::FK_Or: {
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      if (evalF(Op, Dom))
+        return true;
+    return false;
+  }
+  case Formula::FK_Not:
+    return !evalF(cast<NotFormula>(F)->operand(), Dom);
+  case Formula::FK_Sep: {
+    if (Mode == EvalMode::Global) {
+      // Classical evaluation never sees *, but definition bodies evaluated
+      // in global mode do: there the heaplet constraints degenerate to
+      // plain conjunction plus the disjointness implied by reach equalities,
+      // which evalSep checks via scopes below.
+    }
+    return evalSep(cast<NaryFormula>(F)->operands(), 0, Dom);
+  }
+  case Formula::FK_FieldUpdate:
+    assert(false && "FieldUpdate is only meaningful inside VCs");
+    return false;
+  }
+  return false;
+}
+
+bool Evaluator::evalSep(const std::vector<const Formula *> &Ops, size_t From,
+                        const std::set<int64_t> &Dom) {
+  assert(From < Ops.size());
+  // Distribute any top-level disjunction first: (a || b) * c becomes
+  // (a * c) || (b * c); scopes are only defined on disjunction-free
+  // formulas.
+  for (size_t I = From; I != Ops.size(); ++I) {
+    if (Ops[I]->kind() != Formula::FK_Or)
+      continue;
+    for (const Formula *Disjunct : cast<NaryFormula>(Ops[I])->operands()) {
+      std::vector<const Formula *> Copy(Ops.begin() + From, Ops.end());
+      Copy[I - From] = Disjunct;
+      if (evalSep(Copy, 0, Dom))
+        return true;
+    }
+    return false;
+  }
+
+  if (From + 1 == Ops.size())
+    return evalF(Ops[From], Dom);
+
+  const Formula *Phi = Ops[From];
+  ScopeInfo S1 = scopeOf(Phi);
+  ScopeInfo S2;
+  S2.Exact = true;
+  for (size_t I = From + 1; I != Ops.size(); ++I) {
+    ScopeInfo S = scopeOf(Ops[I]);
+    S2.Exact &= S.Exact;
+    S2.Undef |= S.Undef;
+    S2.Scope.insert(S.Scope.begin(), S.Scope.end());
+  }
+  if (S1.Undef || S2.Undef)
+    return false;
+
+  auto subsetOf = [](const std::set<int64_t> &A, const std::set<int64_t> &B) {
+    return std::includes(B.begin(), B.end(), A.begin(), A.end());
+  };
+  auto disjoint = [](const std::set<int64_t> &A, const std::set<int64_t> &B) {
+    for (int64_t X : A)
+      if (B.count(X))
+        return false;
+    return true;
+  };
+  auto minus = [](const std::set<int64_t> &A, const std::set<int64_t> &B) {
+    std::set<int64_t> R;
+    for (int64_t X : A)
+      if (!B.count(X))
+        R.insert(X);
+    return R;
+  };
+
+  if (S1.Exact && S2.Exact) {
+    std::set<int64_t> Union = S1.Scope;
+    Union.insert(S2.Scope.begin(), S2.Scope.end());
+    return Union == Dom && disjoint(S1.Scope, S2.Scope) &&
+           evalF(Phi, S1.Scope) && evalSep(Ops, From + 1, S2.Scope);
+  }
+  if (S1.Exact) {
+    return subsetOf(S1.Scope, Dom) && evalF(Phi, S1.Scope) &&
+           evalSep(Ops, From + 1, minus(Dom, S1.Scope));
+  }
+  if (S2.Exact) {
+    return subsetOf(S2.Scope, Dom) && evalSep(Ops, From + 1, S2.Scope) &&
+           evalF(Phi, minus(Dom, S2.Scope));
+  }
+  std::set<int64_t> Union = S1.Scope;
+  Union.insert(S2.Scope.begin(), S2.Scope.end());
+  return subsetOf(Union, Dom) && disjoint(S1.Scope, S2.Scope) &&
+         evalF(Phi, S1.Scope) && evalSep(Ops, From + 1, S2.Scope);
+}
+
+//===----------------------------------------------------------------------===//
+// Recursive definitions (least fixed point)
+//===----------------------------------------------------------------------===//
+
+std::set<int64_t> Evaluator::reachOf(const RecDef *Def,
+                                     const std::vector<int64_t> &Stops,
+                                     int64_t L) {
+  std::set<int64_t> StopSet(Stops.begin(), Stops.end());
+  return St.reachset(L, Def->PtrFields, StopSet,
+                     /*Global=*/Mode == EvalMode::Global);
+}
+
+std::set<int64_t> Evaluator::keyDomain(const Key &K) {
+  return reachOf(K.Def, K.Stops, K.L);
+}
+
+Value Evaluator::tableLookup(const Key &K) {
+  auto It = Table.find(K);
+  if (It != Table.end())
+    return It->second;
+  Value Bottom = Value::bottom(K.Def->Result);
+  Table.emplace(K, Bottom);
+  return Bottom;
+}
+
+std::map<std::string, Value> Evaluator::bindLocals(const Key &K) {
+  std::map<std::string, Value> B;
+  B[K.Def->ArgName] = Value::mkLoc(K.L);
+  for (size_t I = 0; I != K.Def->StopParams.size(); ++I)
+    B[K.Def->StopParams[I]] = Value::mkLoc(K.Stops[I]);
+
+  // Bind the implicitly existentially quantified ~s: each is bound by a
+  // points-to on an already-bound location variable (the definition
+  // argument, or transitively another ~s), so its value is a chain of
+  // field reads.
+  std::vector<std::tuple<std::string, std::string, const VarTerm *>> Binds;
+  auto Collect = [&](const Formula *F, auto &&Self) -> void {
+    switch (F->kind()) {
+    case Formula::FK_PointsTo: {
+      const auto *X = cast<PointsToFormula>(F);
+      const auto *BaseVar = dyn_cast<VarTerm>(X->base());
+      if (!BaseVar)
+        return;
+      for (const auto &FB : X->fields())
+        if (const auto *V = dyn_cast<VarTerm>(FB.Value))
+          Binds.emplace_back(BaseVar->name(), FB.Field, V);
+      return;
+    }
+    case Formula::FK_And:
+    case Formula::FK_Or:
+    case Formula::FK_Sep:
+      for (const Formula *Op : cast<NaryFormula>(F)->operands())
+        Self(Op, Self);
+      return;
+    default:
+      return;
+    }
+  };
+  if (K.Def->isPredicate()) {
+    Collect(K.Def->PredBody, Collect);
+  } else {
+    for (const RecDef::Case &C : K.Def->Cases)
+      if (C.Guard)
+        Collect(C.Guard, Collect);
+  }
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const auto &[Base, Field, V] : Binds) {
+      if (B.count(V->name()) || !B.count(Base))
+        continue;
+      int64_t Raw = St.read(B.at(Base).I, Field);
+      B[V->name()] =
+          V->sort() == Sort::Loc ? Value::mkLoc(Raw) : Value::mkInt(Raw);
+      Progress = true;
+    }
+  }
+  return B;
+}
+
+Value Evaluator::evalDefBody(const Key &K) {
+  std::set<int64_t> Dom = keyDomain(K);
+  Locals.push_back(bindLocals(K));
+  Value Result = Value::bottom(K.Def->Result);
+  if (K.Def->isPredicate()) {
+    Result = Value::mkBool(evalF(K.Def->PredBody, Dom));
+  } else {
+    for (const RecDef::Case &C : K.Def->Cases) {
+      if (C.Guard && !evalF(C.Guard, Dom))
+        continue;
+      // The case value is evaluated on its own scope, which must lie within
+      // the definition's heaplet (§5's t^{f-Delta} translation).
+      ScopeInfo S = scopeOf(C.Value);
+      if (!S.Undef &&
+          std::includes(Dom.begin(), Dom.end(), S.Scope.begin(),
+                        S.Scope.end())) {
+        std::optional<Value> V =
+            evalT(C.Value, Mode == EvalMode::Global ? Dom : S.Scope);
+        if (V)
+          Result = *V;
+      }
+      break;
+    }
+  }
+  Locals.pop_back();
+  return Result;
+}
+
+bool Evaluator::runToFixpoint() {
+  // Stratified least-fixed-point computation. Predicates may consume
+  // function values non-monotonically (e.g. {k} <= keys(n) shrinks as keys
+  // grows), so the Kleene iteration is layered: function-valued entries are
+  // stabilized first, then predicate entries are recomputed from bottom
+  // with the function layer frozen. Predicate evaluation can register new
+  // function entries (at new locations), in which case the layering
+  // restarts. Definitions whose *functions* depend on predicates are
+  // outside this fragment (and outside the specification library).
+  size_t Cap = 2 * (St.R.size() + Table.size() + 16);
+
+  auto iterateLayer = [&](bool Bools) {
+    for (size_t Iter = 0; Iter != Cap; ++Iter) {
+      bool Changed = false;
+      std::vector<Key> Keys;
+      Keys.reserve(Table.size());
+      for (const auto &KV : Table)
+        if ((KV.first.Def->Result == Sort::Bool) == Bools)
+          Keys.push_back(KV.first);
+      size_t Before = Table.size();
+      for (const Key &K : Keys) {
+        Value New = Value::join(Table[K], evalDefBody(K));
+        if (!(New == Table[K])) {
+          Table[K] = New;
+          Changed = true;
+        }
+      }
+      if (!Changed && Table.size() == Before)
+        return true;
+    }
+    return false;
+  };
+
+  for (size_t Outer = 0; Outer != Cap; ++Outer) {
+    size_t FuncKeysBefore = 0;
+    for (const auto &KV : Table)
+      FuncKeysBefore += KV.first.Def->Result != Sort::Bool;
+
+    bool Ok = iterateLayer(/*Bools=*/false);
+    // Reset predicates: earlier rounds may have set them with partial
+    // function values.
+    for (auto &KV : Table)
+      if (KV.first.Def->Result == Sort::Bool)
+        KV.second = Value::bottom(Sort::Bool);
+    Ok &= iterateLayer(/*Bools=*/true);
+
+    size_t FuncKeysAfter = 0;
+    for (const auto &KV : Table)
+      FuncKeysAfter += KV.first.Def->Result != Sort::Bool;
+    if (Ok && FuncKeysAfter == FuncKeysBefore)
+      return true;
+    if (!Ok)
+      break;
+  }
+  Converged = false;
+  return false;
+}
+
+Value Evaluator::recValue(const RecDef *Def, const std::vector<int64_t> &Stops,
+                          int64_t L) {
+  Key K{Def, Stops, L};
+  tableLookup(K);
+  runToFixpoint();
+  return Table[K];
+}
+
+bool Evaluator::holds(const Formula *F, const std::set<int64_t> &Dom) {
+  if (InFixpoint)
+    return evalF(F, Dom);
+  InFixpoint = true;
+  bool V = false;
+  size_t Cap = 2 * (St.R.size() + 16);
+  for (size_t I = 0; I != Cap; ++I) {
+    auto Before = Table;
+    V = evalF(F, Dom);
+    runToFixpoint();
+    if (Table == Before) {
+      InFixpoint = false;
+      return V;
+    }
+  }
+  Converged = false;
+  InFixpoint = false;
+  return V;
+}
+
+bool Evaluator::holdsGlobal(const Formula *F) {
+  assert(Mode == EvalMode::Global && "global evaluation needs Global mode");
+  // In global mode the domain argument is irrelevant for classical nodes;
+  // pass the state's R for any residual Dryad atoms in definition bodies.
+  return holds(F, St.R);
+}

@@ -1,0 +1,136 @@
+//===--- eval.h - Dryad and classical evaluation ----------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable semantics of Dryad (paper §4.2). The evaluator interprets a
+/// formula over a concrete program state and a heaplet domain. Recursive
+/// definitions are evaluated by Kleene iteration from lattice bottoms; the
+/// heaplet of every spatial sub-formula is determined via the (semantic
+/// counterpart of the) scope function of §5, mirroring the translation's
+/// case analysis so that Theorem 5.1 can be property-tested.
+///
+/// Two modes:
+///  * Heaplet: Dryad semantics; reach sets expand within the state's R and
+///    sub-formulas are checked against their determined heaplets.
+///  * Global: classical semantics over the global heap (used to evaluate
+///    translated formulas); FieldRead/Reach nodes are interpreted directly
+///    and recursive definitions carry no heaplet side conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SEM_EVAL_H
+#define DRYAD_SEM_EVAL_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+#include "sem/state.h"
+#include "sem/value.h"
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+enum class EvalMode { Heaplet, Global };
+
+class Evaluator {
+public:
+  Evaluator(const ProgramState &St, const DefRegistry &Defs, EvalMode Mode);
+
+  /// Extra variable bindings consulted before the state's store (used for
+  /// spec variables and the heaplet set variable G of translated formulas).
+  std::map<std::string, Value> Env;
+
+  /// Evaluates a Dryad formula on the heaplet domain \p Dom.
+  bool holds(const Formula *F, const std::set<int64_t> &Dom);
+
+  /// Evaluates a formula over the state's full heaplet domain.
+  bool holds(const Formula *F) { return holds(F, St.R); }
+
+  /// Evaluates a classical (translated) formula over the global heap.
+  bool holdsGlobal(const Formula *F);
+
+  /// Evaluates a term on heaplet \p Dom; nullopt encodes `undef`.
+  std::optional<Value> termValue(const Term *T, const std::set<int64_t> &Dom);
+
+  /// The lfp value of a recursive definition at a location (with the
+  /// heaplet/global reach semantics of the evaluator's mode).
+  Value recValue(const RecDef *Def, const std::vector<int64_t> &Stops,
+                 int64_t L);
+
+  /// The reach set of a definition instance at a location.
+  std::set<int64_t> reachOf(const RecDef *Def,
+                            const std::vector<int64_t> &Stops, int64_t L);
+
+  /// True if the last lfp computation converged within the iteration bound
+  /// (it always does on acyclic structures and on the cyclic structures
+  /// expressible with stop parameters).
+  bool converged() const { return Converged; }
+
+private:
+  struct Key {
+    const RecDef *Def;
+    std::vector<int64_t> Stops;
+    int64_t L;
+    bool operator<(const Key &O) const {
+      if (Def != O.Def)
+        return Def < O.Def;
+      if (L != O.L)
+        return L < O.L;
+      return Stops < O.Stops;
+    }
+    bool operator==(const Key &O) const {
+      return Def == O.Def && L == O.L && Stops == O.Stops;
+    }
+  };
+
+  struct ScopeInfo {
+    bool Exact = false;
+    std::set<int64_t> Scope;
+    bool Undef = false; ///< scope could not be determined (e.g. undef term)
+  };
+
+  // Formula / term evaluation on a domain.
+  bool evalF(const Formula *F, const std::set<int64_t> &Dom);
+  bool evalSep(const std::vector<const Formula *> &Ops, size_t From,
+               const std::set<int64_t> &Dom);
+  std::optional<Value> evalT(const Term *T, const std::set<int64_t> &Dom);
+  std::optional<Value> evalBinOperands(const Term *L, const Term *R,
+                                       const std::set<int64_t> &Dom,
+                                       std::optional<Value> &RV);
+
+  // The scope function of Fig. 3, evaluated semantically.
+  ScopeInfo scopeOf(const Term *T);
+  ScopeInfo scopeOf(const Formula *F);
+  bool isPure(const Term *T);
+
+  // Recursive definition machinery.
+  Value tableLookup(const Key &K);
+  Value evalDefBody(const Key &K);
+  std::set<int64_t> keyDomain(const Key &K);
+  std::map<std::string, Value> bindLocals(const Key &K);
+  bool runToFixpoint();
+
+  std::optional<Value> lookupVar(const std::string &Name);
+
+  const ProgramState &St;
+  const DefRegistry &Defs;
+  EvalMode Mode;
+
+  std::map<Key, Value> Table;
+  bool Converged = true;
+  /// Stack of local bindings for definition-body evaluation.
+  std::vector<std::map<std::string, Value>> Locals;
+  /// Guard so the public entry points run the fixpoint loop exactly once.
+  bool InFixpoint = false;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SEM_EVAL_H

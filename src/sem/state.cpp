@@ -1,0 +1,52 @@
+//===--- state.cpp - Concrete program states ------------------------------===//
+
+#include "sem/state.h"
+
+using namespace dryad;
+
+std::set<int64_t>
+ProgramState::reachset(int64_t Arg, const std::vector<std::string> &PtrFields,
+                       const std::set<int64_t> &Stops, bool Global) const {
+  std::set<int64_t> L;
+  if (Arg == 0 || Stops.count(Arg))
+    return L;
+  std::vector<int64_t> Work = {Arg};
+  L.insert(Arg);
+  while (!Work.empty()) {
+    int64_t C = Work.back();
+    Work.pop_back();
+    // Expansion happens only from locations the heaplet defines (c in R); in
+    // global mode, from any location with a recorded field.
+    if (!Global && !R.count(C))
+      continue;
+    for (const std::string &PF : PtrFields) {
+      int64_t N = read(C, PF);
+      if (N == 0 || Stops.count(N) || L.count(N))
+        continue;
+      L.insert(N);
+      Work.push_back(N);
+    }
+  }
+  return L;
+}
+
+std::string ProgramState::str() const {
+  std::string Out = "R = {";
+  bool First = true;
+  for (int64_t L : R) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += std::to_string(L);
+  }
+  Out += "}\n";
+  for (const auto &[Name, V] : Store)
+    Out += Name + " = " + V.str() + "\n";
+  for (const auto &[Key, V] : Heap) {
+    if (!R.count(Key.first))
+      continue;
+    Out += std::to_string(Key.first) + "." + Key.second + " = " +
+           std::to_string(V) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,88 @@
+//===--- state.h - Concrete program states ----------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete program states (R, s, h) from Definition 4.1: a finite heaplet
+/// domain R of non-nil locations, a store s mapping variables to values, and
+/// a heaplet h defined on R x (PF u DF). Locations are positive integers;
+/// fields of locations outside R read as 0/nil (used only by the classical
+/// evaluator, which works over the global heap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SEM_STATE_H
+#define DRYAD_SEM_STATE_H
+
+#include "dryad/defs.h"
+#include "sem/value.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+class ProgramState {
+public:
+  explicit ProgramState(const FieldTable &Fields) : Fields(&Fields) {}
+
+  /// The heaplet domain R (non-nil locations).
+  std::set<int64_t> R;
+  /// Variable store; values have sorts Loc or Int (spec variables may hold
+  /// sets).
+  std::map<std::string, Value> Store;
+
+  const FieldTable &fields() const { return *Fields; }
+
+  /// Reads a field; locations outside the allocated map read as 0.
+  int64_t read(int64_t Loc, const std::string &Field) const {
+    auto It = Heap.find({Loc, Field});
+    return It == Heap.end() ? 0 : It->second;
+  }
+  void write(int64_t Loc, const std::string &Field, int64_t V) {
+    Heap[{Loc, Field}] = V;
+  }
+
+  /// Allocates a fresh location, adds it to R, and returns it.
+  int64_t allocate() {
+    int64_t L = NextLoc++;
+    R.insert(L);
+    return L;
+  }
+  /// Removes a location from R (its field image is kept; reads of freed
+  /// locations are the caller's bug, as in the paper's memory-error-free
+  /// executions).
+  void deallocate(int64_t Loc) { R.erase(Loc); }
+
+  /// Ensures future allocate() calls do not collide with \p Loc.
+  void noteLocation(int64_t Loc) {
+    if (Loc >= NextLoc)
+      NextLoc = Loc + 1;
+  }
+
+  /// The reachset of §4.2: the least set L such that (1) Arg in L if Arg is
+  /// neither nil nor a stop, and (2) for c in L with c in R, each non-nil
+  /// non-stop pf-successor (pf in \p PtrFields) is in L. When \p Global is
+  /// true, clause (2) ranges over all noted locations instead of R (used by
+  /// the classical evaluator's global reach sets).
+  std::set<int64_t> reachset(int64_t Arg,
+                             const std::vector<std::string> &PtrFields,
+                             const std::set<int64_t> &Stops,
+                             bool Global = false) const;
+
+  std::string str() const;
+
+private:
+  const FieldTable *Fields;
+  std::map<std::pair<int64_t, std::string>, int64_t> Heap;
+  int64_t NextLoc = 1;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SEM_STATE_H

@@ -1,0 +1,283 @@
+//===--- value.cpp - Lattice values for Dryad semantics -------------------===//
+
+#include "sem/value.h"
+
+#include <cassert>
+
+using namespace dryad;
+
+Value Value::bottom(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return mkBool(false);
+  case Sort::Int:
+    return mkInf(/*Positive=*/false);
+  case Sort::Loc:
+    return mkLoc(0);
+  case Sort::LocSet:
+  case Sort::IntSet:
+    return mkSet(S);
+  case Sort::IntMSet:
+    return mkMSet();
+  }
+  return mkInt(0);
+}
+
+bool Value::operator==(const Value &O) const {
+  if (S != O.S)
+    return false;
+  switch (S) {
+  case Sort::Bool:
+    return B == O.B;
+  case Sort::Int:
+    return IK == O.IK && (IK != Fin || I == O.I);
+  case Sort::Loc:
+    return I == O.I;
+  case Sort::LocSet:
+  case Sort::IntSet:
+    return Set == O.Set;
+  case Sort::IntMSet:
+    return MSTop == O.MSTop && (MSTop || MSet == O.MSet);
+  }
+  return false;
+}
+
+Value Value::join(const Value &A, const Value &B) {
+  assert(A.S == B.S && "joining values of different sorts");
+  switch (A.S) {
+  case Sort::Bool:
+    return mkBool(A.B || B.B);
+  case Sort::Int:
+    return intLe(A, B) ? B : A;
+  case Sort::Loc:
+    // Locations are not a lattice; join is only used for lattice sorts.
+    return A;
+  case Sort::LocSet:
+  case Sort::IntSet:
+    return setUnion(A, B);
+  case Sort::IntMSet: {
+    if (A.MSTop || B.MSTop) {
+      Value R = mkMSet();
+      R.MSTop = true;
+      return R;
+    }
+    // Multiset join under inclusion: pointwise max.
+    Value R = A;
+    for (const auto &[K, N] : B.MSet) {
+      int64_t &Slot = R.MSet[K];
+      if (N > Slot)
+        Slot = N;
+    }
+    return R;
+  }
+  }
+  return A;
+}
+
+std::string Value::str() const {
+  switch (S) {
+  case Sort::Bool:
+    return B ? "true" : "false";
+  case Sort::Int:
+    if (IK == NegInf)
+      return "-inf";
+    if (IK == PosInf)
+      return "inf";
+    return std::to_string(I);
+  case Sort::Loc:
+    return I == 0 ? "nil" : ("l" + std::to_string(I));
+  case Sort::LocSet:
+  case Sort::IntSet: {
+    std::string Out = "{";
+    bool First = true;
+    for (int64_t E : Set) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      Out += std::to_string(E);
+    }
+    return Out + "}";
+  }
+  case Sort::IntMSet: {
+    if (MSTop)
+      return "m-top";
+    std::string Out = "m{";
+    bool First = true;
+    for (const auto &[K, N] : MSet)
+      for (int64_t I = 0; I < N; ++I) {
+        if (!First)
+          Out += ", ";
+        First = false;
+        Out += std::to_string(K);
+      }
+    return Out + "}";
+  }
+  }
+  return "<?>";
+}
+
+Value dryad::intAdd(const Value &A, const Value &B) {
+  assert(A.S == Sort::Int && B.S == Sort::Int);
+  if (A.IK != Value::Fin)
+    return A;
+  if (B.IK != Value::Fin)
+    return B;
+  return Value::mkInt(A.I + B.I);
+}
+
+Value dryad::intSub(const Value &A, const Value &B) {
+  assert(A.S == Sort::Int && B.S == Sort::Int);
+  if (A.IK != Value::Fin)
+    return A;
+  if (B.IK == Value::PosInf)
+    return Value::mkInf(false);
+  if (B.IK == Value::NegInf)
+    return Value::mkInf(true);
+  return Value::mkInt(A.I - B.I);
+}
+
+bool dryad::intLe(const Value &A, const Value &B) {
+  if (A.IK == Value::NegInf || B.IK == Value::PosInf)
+    return true;
+  if (A.IK == Value::PosInf)
+    return B.IK == Value::PosInf;
+  if (B.IK == Value::NegInf)
+    return false;
+  return A.I <= B.I;
+}
+
+bool dryad::intLt(const Value &A, const Value &B) {
+  return intLe(A, B) && !(A == B);
+}
+
+Value dryad::setUnion(const Value &A, const Value &B) {
+  assert(A.S == B.S);
+  if (A.S == Sort::IntMSet) {
+    if (A.MSTop || B.MSTop) {
+      Value R = Value::mkMSet();
+      R.MSTop = true;
+      return R;
+    }
+    Value R = A;
+    for (const auto &[K, N] : B.MSet)
+      R.MSet[K] += N; // multiset union adds multiplicities
+    return R;
+  }
+  Value R = A;
+  R.Set.insert(B.Set.begin(), B.Set.end());
+  return R;
+}
+
+Value dryad::setInter(const Value &A, const Value &B) {
+  assert(A.S == B.S);
+  if (A.S == Sort::IntMSet) {
+    if (A.MSTop)
+      return B;
+    if (B.MSTop)
+      return A;
+    Value R = Value::mkMSet();
+    for (const auto &[K, N] : A.MSet) {
+      auto It = B.MSet.find(K);
+      if (It != B.MSet.end())
+        R.MSet[K] = std::min(N, It->second);
+    }
+    return R;
+  }
+  Value R = Value::mkSet(A.S);
+  for (int64_t E : A.Set)
+    if (B.Set.count(E))
+      R.Set.insert(E);
+  return R;
+}
+
+Value dryad::setDiff(const Value &A, const Value &B) {
+  assert(A.S == B.S);
+  if (A.S == Sort::IntMSet) {
+    if (A.MSTop || B.MSTop)
+      return Value::mkMSet();
+    Value R = Value::mkMSet();
+    for (const auto &[K, N] : A.MSet) {
+      auto It = B.MSet.find(K);
+      int64_t Rem = N - (It == B.MSet.end() ? 0 : It->second);
+      if (Rem > 0)
+        R.MSet[K] = Rem;
+    }
+    return R;
+  }
+  Value R = Value::mkSet(A.S);
+  for (int64_t E : A.Set)
+    if (!B.Set.count(E))
+      R.Set.insert(E);
+  return R;
+}
+
+bool dryad::setSubset(const Value &A, const Value &B) {
+  if (A.S == Sort::IntMSet) {
+    if (B.MSTop)
+      return true;
+    if (A.MSTop)
+      return false;
+    for (const auto &[K, N] : A.MSet) {
+      auto It = B.MSet.find(K);
+      if (It == B.MSet.end() || It->second < N)
+        return false;
+    }
+    return true;
+  }
+  for (int64_t E : A.Set)
+    if (!B.Set.count(E))
+      return false;
+  return true;
+}
+
+bool dryad::setMember(const Value &Elem, const Value &SetV) {
+  if (!Elem.isFiniteInt() && Elem.S != Sort::Loc)
+    return false;
+  if (SetV.S == Sort::IntMSet) {
+    if (SetV.MSTop)
+      return true;
+    auto It = SetV.MSet.find(Elem.I);
+    return It != SetV.MSet.end() && It->second > 0;
+  }
+  return SetV.Set.count(Elem.I) > 0;
+}
+
+static bool forAllPairs(const Value &A, const Value &B,
+                        bool (*Pred)(int64_t, int64_t)) {
+  auto EachA = [&](auto &&Fn) {
+    if (A.S == Sort::IntMSet) {
+      for (const auto &[K, N] : A.MSet)
+        if (N > 0 && !Fn(K))
+          return false;
+      return true;
+    }
+    for (int64_t E : A.Set)
+      if (!Fn(E))
+        return false;
+    return true;
+  };
+  return EachA([&](int64_t X) {
+    if (B.S == Sort::IntMSet) {
+      for (const auto &[K, N] : B.MSet)
+        if (N > 0 && !Pred(X, K))
+          return false;
+      return true;
+    }
+    for (int64_t E : B.Set)
+      if (!Pred(X, E))
+        return false;
+    return true;
+  });
+}
+
+bool dryad::setAllLe(const Value &A, const Value &B) {
+  if ((A.S == Sort::IntMSet && A.MSTop) || (B.S == Sort::IntMSet && B.MSTop))
+    return false;
+  return forAllPairs(A, B, [](int64_t X, int64_t Y) { return X <= Y; });
+}
+
+bool dryad::setAllLt(const Value &A, const Value &B) {
+  if ((A.S == Sort::IntMSet && A.MSTop) || (B.S == Sort::IntMSet && B.MSTop))
+    return false;
+  return forAllPairs(A, B, [](int64_t X, int64_t Y) { return X < Y; });
+}

@@ -1,0 +1,114 @@
+//===--- value.h - Lattice values for Dryad semantics -----------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concrete values for the Dryad evaluator (paper §4.2). Recursive
+/// definitions take values in complete lattices: Bool (false ⊑ true), IntL
+/// (integers with ±∞ ordered by ≤), S(Loc)/S(Int) (by inclusion), and
+/// MS(Int)L (multisets with an added top). Least fixed points are computed
+/// by Kleene iteration from the bottom elements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SEM_VALUE_H
+#define DRYAD_SEM_VALUE_H
+
+#include "dryad/sorts.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+namespace dryad {
+
+/// A concrete value of any Dryad sort. Locations are integers (nil = 0).
+struct Value {
+  enum IntKind : uint8_t { Fin, NegInf, PosInf };
+
+  Sort S = Sort::Int;
+  bool B = false;                     ///< Bool
+  IntKind IK = Fin;                   ///< IntL tag
+  int64_t I = 0;                      ///< IntL payload (when IK == Fin)
+  std::set<int64_t> Set;              ///< LocSet / IntSet
+  std::map<int64_t, int64_t> MSet;    ///< IntMSet element -> multiplicity
+  bool MSTop = false;                 ///< IntMSet top element
+
+  static Value mkBool(bool V) {
+    Value R;
+    R.S = Sort::Bool;
+    R.B = V;
+    return R;
+  }
+  static Value mkInt(int64_t V) {
+    Value R;
+    R.S = Sort::Int;
+    R.I = V;
+    return R;
+  }
+  static Value mkInf(bool Positive) {
+    Value R;
+    R.S = Sort::Int;
+    R.IK = Positive ? PosInf : NegInf;
+    return R;
+  }
+  static Value mkLoc(int64_t V) {
+    Value R;
+    R.S = Sort::Loc;
+    R.I = V;
+    return R;
+  }
+  static Value mkSet(Sort S, std::set<int64_t> Elems = {}) {
+    Value R;
+    R.S = S;
+    R.Set = std::move(Elems);
+    return R;
+  }
+  static Value mkMSet(std::map<int64_t, int64_t> Elems = {}) {
+    Value R;
+    R.S = Sort::IntMSet;
+    R.MSet = std::move(Elems);
+    return R;
+  }
+
+  /// The bottom element of the lattice for a sort (used to seed lfp
+  /// iteration).
+  static Value bottom(Sort S);
+
+  bool isFiniteInt() const { return S == Sort::Int && IK == Fin; }
+
+  bool operator==(const Value &O) const;
+  bool operator!=(const Value &O) const { return !(*this == O); }
+
+  /// Lattice join (least upper bound); both values must share the sort.
+  static Value join(const Value &A, const Value &B);
+
+  std::string str() const;
+};
+
+/// Integer lattice arithmetic with saturating infinities.
+Value intAdd(const Value &A, const Value &B);
+Value intSub(const Value &A, const Value &B);
+
+/// Scalar comparison on IntL (-inf < any finite < +inf).
+bool intLe(const Value &A, const Value &B);
+bool intLt(const Value &A, const Value &B);
+
+/// Set/multiset operations; operands must share the sort.
+Value setUnion(const Value &A, const Value &B);
+Value setInter(const Value &A, const Value &B);
+Value setDiff(const Value &A, const Value &B);
+bool setSubset(const Value &A, const Value &B);
+bool setMember(const Value &Elem, const Value &SetV);
+
+/// The paper's set inequalities: every element of A is <= / < every element
+/// of B (vacuously true when either side is empty).
+bool setAllLe(const Value &A, const Value &B);
+bool setAllLt(const Value &A, const Value &B);
+
+} // namespace dryad
+
+#endif // DRYAD_SEM_VALUE_H

@@ -1,0 +1,68 @@
+//===--- solver.h - SMT solving interface -----------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharges abstracted verification conditions with Z3 through its native
+/// API (the same solver the paper used). The lowering implements formula
+/// abstraction (§6.3): recursive definitions and reach sets become
+/// uninterpreted functions keyed by (definition, stop arguments, timestamp);
+/// sets are `Array Int Bool`, multisets `Array Int Int`, field arrays
+/// `Array Int Int` versions; set inequalities are the only quantified facts
+/// and fall in the array property fragment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SMT_SOLVER_H
+#define DRYAD_SMT_SOLVER_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+#include <memory>
+#include <string>
+
+namespace dryad {
+
+enum class SmtStatus { Unsat, Sat, Unknown };
+
+struct SmtResult {
+  SmtStatus Status = SmtStatus::Unknown;
+  /// On Sat: values of the named program/spec constants — the
+  /// counterexample the paper reports as a debugging aid (§7).
+  std::string ModelText;
+  double Seconds = 0.0;
+};
+
+class SmtSolver {
+public:
+  SmtSolver();
+  ~SmtSolver();
+  SmtSolver(const SmtSolver &) = delete;
+  SmtSolver &operator=(const SmtSolver &) = delete;
+
+  void setTimeoutMs(unsigned Ms);
+
+  /// Lowers and asserts a (classical, stamped) formula.
+  void add(const Formula *F);
+  /// Asserts the negation of \p F (the goal of a validity query).
+  void addNegated(const Formula *F);
+
+  SmtResult check();
+
+  /// SMT-LIB2 rendering of the current assertion stack (for goldens and
+  /// debugging).
+  std::string toSmt2();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  /// First lowering failure, reported as Unknown at check() time.
+  std::string LoweringError;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SMT_SOLVER_H

@@ -1,0 +1,396 @@
+//===--- z3solver.cpp - Z3 lowering and solving -----------------------------===//
+
+#include "smt/solver.h"
+
+#include "dryad/printer.h"
+
+#include <chrono>
+#include <map>
+
+#include <z3++.h>
+
+using namespace dryad;
+
+namespace {
+std::string sanitize(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out += (isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '!' ||
+            C == '.' || C == '@')
+               ? C
+               : '_';
+  return Out;
+}
+} // namespace
+
+struct SmtSolver::Impl {
+  z3::context Ctx;
+  z3::solver Solver;
+  std::map<std::string, z3::expr> Consts;
+  std::map<std::string, z3::func_decl> Funcs;
+  std::map<std::string, int> InstanceIds;
+  int QuantVarCounter = 0;
+
+  Impl() : Solver(Ctx) {}
+
+  z3::sort intSort() { return Ctx.int_sort(); }
+  z3::sort setSort() { return Ctx.array_sort(intSort(), Ctx.bool_sort()); }
+  z3::sort msetSort() { return Ctx.array_sort(intSort(), intSort()); }
+
+  z3::sort sortOf(Sort S) {
+    switch (S) {
+    case Sort::Bool:
+      return Ctx.bool_sort();
+    case Sort::Loc:
+    case Sort::Int:
+      return intSort();
+    case Sort::LocSet:
+    case Sort::IntSet:
+      return setSort();
+    case Sort::IntMSet:
+      return msetSort();
+    }
+    return intSort();
+  }
+
+  z3::expr constant(const std::string &Name, Sort S) {
+    std::string Key = Name + "#" + sortName(S);
+    auto It = Consts.find(Key);
+    if (It != Consts.end())
+      return It->second;
+    z3::expr E = Ctx.constant(sanitize(Name).c_str(), sortOf(S));
+    Consts.emplace(Key, E);
+    return E;
+  }
+
+  z3::expr fieldArray(const std::string &Field, int Version) {
+    assert(Version >= 0 && "unstamped field read reached the solver");
+    return constant("fld." + Field + "@" + std::to_string(Version),
+                    Sort::IntMSet /*Array Int Int*/);
+  }
+
+  /// Uninterpreted function for a recursive definition instance at a
+  /// timestamp. \p Kind distinguishes the definition itself from its reach
+  /// set.
+  z3::func_decl recDecl(const RecDef *Def,
+                        const std::vector<const Term *> &Stops, int Time,
+                        bool IsReach) {
+    assert(Time >= 0 && "unstamped recursive application reached the solver");
+    // Reach sets depend only on the pointer fields and the stop locations
+    // (§4.2), not on the definition itself: list and keys over `next` share
+    // one reach set, which frame reasoning relies on.
+    std::string InstKey;
+    if (IsReach) {
+      for (const std::string &PF : Def->PtrFields)
+        InstKey += PF + ",";
+    } else {
+      InstKey = Def->Name;
+    }
+    for (const Term *St : Stops)
+      InstKey += "|" + print(St);
+    auto [It, Inserted] =
+        InstanceIds.emplace(InstKey, static_cast<int>(InstanceIds.size()));
+    (void)Inserted;
+    std::string Name =
+        (IsReach ? std::string("reach") : "rec." + Def->Name) + "#" +
+        std::to_string(It->second) + "@" + std::to_string(Time);
+    auto FIt = Funcs.find(Name);
+    if (FIt != Funcs.end())
+      return FIt->second;
+    z3::sort Range = IsReach ? setSort() : sortOf(Def->Result);
+    z3::func_decl D = Ctx.function(Name.c_str(), intSort(), Range);
+    Funcs.emplace(Name, D);
+    return D;
+  }
+
+  z3::expr freshBound(const char *Prefix) {
+    return Ctx.constant(
+        (std::string(Prefix) + std::to_string(QuantVarCounter++)).c_str(),
+        intSort());
+  }
+
+  z3::expr memberOf(const z3::expr &E, const z3::expr &SetE, Sort SetSort) {
+    if (SetSort == Sort::IntMSet)
+      return z3::select(SetE, E) >= 1;
+    return z3::select(SetE, E);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Terms
+  //===--------------------------------------------------------------------===//
+
+  z3::expr lowerTerm(const Term *T) {
+    switch (T->kind()) {
+    case Term::TK_Nil:
+      return Ctx.int_val(0);
+    case Term::TK_Var:
+      return constant(cast<VarTerm>(T)->name(), T->sort());
+    case Term::TK_IntConst:
+      return Ctx.int_val(
+          static_cast<int64_t>(cast<IntConstTerm>(T)->value()));
+    case Term::TK_Inf:
+      // IntL infinities are avoided by the specification library; reject
+      // loudly rather than approximating.
+      throw z3::exception("IntL infinities are not supported in VCs");
+    case Term::TK_IntBin: {
+      const auto *X = cast<IntBinTerm>(T);
+      z3::expr L = lowerTerm(X->lhs()), R = lowerTerm(X->rhs());
+      switch (X->op()) {
+      case IntBinTerm::Add:
+        return L + R;
+      case IntBinTerm::Sub:
+        return L - R;
+      case IntBinTerm::Max:
+        return z3::ite(L >= R, L, R);
+      case IntBinTerm::Min:
+        return z3::ite(L <= R, L, R);
+      }
+      return L;
+    }
+    case Term::TK_EmptySet:
+      if (T->sort() == Sort::IntMSet)
+        return z3::const_array(intSort(), Ctx.int_val(0));
+      return z3::const_array(intSort(), Ctx.bool_val(false));
+    case Term::TK_Singleton: {
+      const auto *X = cast<SingletonTerm>(T);
+      z3::expr E = lowerTerm(X->element());
+      if (T->sort() == Sort::IntMSet)
+        return z3::store(z3::const_array(intSort(), Ctx.int_val(0)), E,
+                         Ctx.int_val(1));
+      return z3::store(z3::const_array(intSort(), Ctx.bool_val(false)), E,
+                       Ctx.bool_val(true));
+    }
+    case Term::TK_SetBin: {
+      const auto *X = cast<SetBinTerm>(T);
+      z3::expr L = lowerTerm(X->lhs()), R = lowerTerm(X->rhs());
+      if (T->sort() == Sort::IntMSet) {
+        // Pointwise lambdas: union adds multiplicities, intersection takes
+        // the minimum, difference saturates at zero.
+        z3::expr I = freshBound("mi!");
+        z3::expr A = z3::select(L, I), B = z3::select(R, I);
+        switch (X->op()) {
+        case SetBinTerm::Union:
+          return z3::lambda(I, A + B);
+        case SetBinTerm::Inter:
+          return z3::lambda(I, z3::ite(A <= B, A, B));
+        case SetBinTerm::Diff:
+          return z3::lambda(I, z3::ite(A - B >= 0, A - B,
+                                       Ctx.int_val(0)));
+        }
+      }
+      switch (X->op()) {
+      case SetBinTerm::Union:
+        return z3::set_union(L, R);
+      case SetBinTerm::Inter:
+        return z3::set_intersect(L, R);
+      case SetBinTerm::Diff:
+        return z3::set_difference(L, R);
+      }
+      return L;
+    }
+    case Term::TK_RecFunc: {
+      const auto *X = cast<RecFuncTerm>(T);
+      return recDecl(X->def(), X->stopArgs(), X->time(), /*IsReach=*/false)(
+          lowerTerm(X->arg()));
+    }
+    case Term::TK_FieldRead: {
+      const auto *X = cast<FieldReadTerm>(T);
+      return z3::select(fieldArray(X->field(), X->version()),
+                        lowerTerm(X->arg()));
+    }
+    case Term::TK_Reach: {
+      const auto *X = cast<ReachTerm>(T);
+      return recDecl(X->def(), X->stopArgs(), X->time(), /*IsReach=*/true)(
+          lowerTerm(X->arg()));
+    }
+    case Term::TK_Ite: {
+      const auto *X = cast<IteTerm>(T);
+      return z3::ite(lowerFormula(X->cond()), lowerTerm(X->thenTerm()),
+                     lowerTerm(X->elseTerm()));
+    }
+    }
+    throw z3::exception("unhandled term kind");
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Formulas
+  //===--------------------------------------------------------------------===//
+
+  z3::expr lowerCmp(const CmpFormula *F) {
+    z3::expr L = lowerTerm(F->lhs()), R = lowerTerm(F->rhs());
+    Sort LS = F->lhs()->sort(), RS = F->rhs()->sort();
+    switch (F->op()) {
+    case CmpFormula::Eq:
+      return L == R;
+    case CmpFormula::Ne:
+      return L != R;
+    case CmpFormula::Lt:
+      return L < R;
+    case CmpFormula::Le:
+      return L <= R;
+    case CmpFormula::Gt:
+      return L > R;
+    case CmpFormula::Ge:
+      return L >= R;
+    case CmpFormula::SetLt:
+    case CmpFormula::SetLe: {
+      bool Strict = F->op() == CmpFormula::SetLt;
+      // Singleton sides need no quantifier variable of their own; most
+      // specification comparisons are of the form {k} <= keys(S), and the
+      // one-variable form is far cheaper for the solver.
+      const auto *SL = dyn_cast<SingletonTerm>(F->lhs());
+      const auto *SR = dyn_cast<SingletonTerm>(F->rhs());
+      if (SL && SR) {
+        z3::expr A = lowerTerm(SL->element()), B = lowerTerm(SR->element());
+        return Strict ? (A < B) : (A <= B);
+      }
+      if (SL) {
+        z3::expr K = lowerTerm(SL->element());
+        z3::expr B = freshBound("qb!");
+        z3::expr Conc = Strict ? (K < B) : (K <= B);
+        return z3::forall(B, z3::implies(memberOf(B, R, RS), Conc));
+      }
+      if (SR) {
+        z3::expr K = lowerTerm(SR->element());
+        z3::expr A = freshBound("qa!");
+        z3::expr Conc = Strict ? (A < K) : (A <= K);
+        return z3::forall(A, z3::implies(memberOf(A, L, LS), Conc));
+      }
+      // Array property fragment: forall a b. a in L && b in R => a < b.
+      z3::expr A = freshBound("qa!"), B = freshBound("qb!");
+      z3::expr Prem = memberOf(A, L, LS) && memberOf(B, R, RS);
+      z3::expr Conc = Strict ? (A < B) : (A <= B);
+      return z3::forall(A, B, z3::implies(Prem, Conc));
+    }
+    case CmpFormula::SubsetEq: {
+      if (LS == Sort::IntMSet) {
+        z3::expr A = freshBound("qs!");
+        return z3::forall(A, z3::select(L, A) <= z3::select(R, A));
+      }
+      return z3::set_subset(L, R);
+    }
+    case CmpFormula::In:
+      return memberOf(L, R, RS);
+    case CmpFormula::NotIn:
+      return !memberOf(L, R, RS);
+    }
+    throw z3::exception("unhandled comparison");
+  }
+
+  z3::expr lowerFormula(const Formula *F) {
+    switch (F->kind()) {
+    case Formula::FK_BoolConst:
+      return Ctx.bool_val(cast<BoolConstFormula>(F)->value());
+    case Formula::FK_Cmp:
+      return lowerCmp(cast<CmpFormula>(F));
+    case Formula::FK_RecPred: {
+      const auto *X = cast<RecPredFormula>(F);
+      return recDecl(X->def(), X->stopArgs(), X->time(), /*IsReach=*/false)(
+          lowerTerm(X->arg()));
+    }
+    case Formula::FK_And:
+    case Formula::FK_Or: {
+      const auto *X = cast<NaryFormula>(F);
+      z3::expr_vector Ops(Ctx);
+      for (const Formula *Op : X->operands())
+        Ops.push_back(lowerFormula(Op));
+      return F->kind() == Formula::FK_And ? z3::mk_and(Ops) : z3::mk_or(Ops);
+    }
+    case Formula::FK_Not:
+      return !lowerFormula(cast<NotFormula>(F)->operand());
+    case Formula::FK_FieldUpdate: {
+      const auto *X = cast<FieldUpdateFormula>(F);
+      z3::expr From = fieldArray(X->field(), X->fromVersion());
+      z3::expr To = fieldArray(X->field(), X->toVersion());
+      return To == z3::store(From, lowerTerm(X->base()),
+                             lowerTerm(X->value()));
+    }
+    case Formula::FK_Emp:
+    case Formula::FK_PointsTo:
+    case Formula::FK_Sep:
+      throw z3::exception("spatial formula reached the solver untranslated");
+    }
+    throw z3::exception("unhandled formula kind");
+  }
+};
+
+SmtSolver::SmtSolver() : I(std::make_unique<Impl>()) {}
+SmtSolver::~SmtSolver() = default;
+
+void SmtSolver::setTimeoutMs(unsigned Ms) {
+  z3::params P(I->Ctx);
+  P.set("timeout", Ms);
+  I->Solver.set(P);
+}
+
+void SmtSolver::add(const Formula *F) {
+  try {
+    I->Solver.add(I->lowerFormula(F));
+  } catch (const z3::exception &E) {
+    // Lowering failures surface as Unknown at check() time; record them.
+    if (LoweringError.empty())
+      LoweringError = std::string(E.msg()) + " in: " + print(F);
+  }
+}
+
+void SmtSolver::addNegated(const Formula *F) {
+  try {
+    I->Solver.add(!I->lowerFormula(F));
+  } catch (const z3::exception &E) {
+    if (LoweringError.empty())
+      LoweringError = std::string(E.msg()) + " in: " + print(F);
+  }
+}
+
+SmtResult SmtSolver::check() {
+  SmtResult R;
+  auto Start = std::chrono::steady_clock::now();
+  if (!LoweringError.empty()) {
+    R.Status = SmtStatus::Unknown;
+    R.ModelText = "lowering error: " + LoweringError;
+    return R;
+  }
+  try {
+    z3::check_result CR = I->Solver.check();
+    if (CR == z3::unsat) {
+      R.Status = SmtStatus::Unsat;
+    } else if (CR == z3::sat) {
+      R.Status = SmtStatus::Sat;
+      z3::model Mdl = I->Solver.get_model();
+      std::string Text;
+      for (unsigned J = 0; J != Mdl.num_consts(); ++J) {
+        z3::func_decl D = Mdl.get_const_decl(J);
+        std::string Name = D.name().str();
+        // Report scalar program/spec constants only; arrays and internal
+        // quantifier witnesses are noise in a counterexample.
+        if (Name.rfind("fld.", 0) == 0 || Name.rfind("qa!", 0) == 0 ||
+            Name.rfind("qb!", 0) == 0 || Name.rfind("qs!", 0) == 0 ||
+            Name.rfind("mi!", 0) == 0)
+          continue;
+        z3::expr Val = Mdl.get_const_interp(D);
+        if (!Val.is_numeral() && !Val.is_bool())
+          continue;
+        Text += Name + " = " + Val.to_string() + "; ";
+      }
+      R.ModelText = Text;
+    } else {
+      R.Status = SmtStatus::Unknown;
+      R.ModelText = I->Solver.reason_unknown();
+    }
+  } catch (const z3::exception &E) {
+    R.Status = SmtStatus::Unknown;
+    R.ModelText = E.msg();
+  }
+  R.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  return R;
+}
+
+std::string SmtSolver::toSmt2() {
+  try {
+    return I->Solver.to_smt2();
+  } catch (const z3::exception &E) {
+    return std::string("; to_smt2 failed: ") + E.msg();
+  }
+}

@@ -1,0 +1,26 @@
+//===--- diag.cpp - Diagnostics and source locations ----------------------===//
+
+#include "support/diag.h"
+
+using namespace dryad;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(Line) + ":" + std::to_string(Col);
+}
+
+std::string Diagnostic::str() const {
+  const char *SevName = Sev == Error ? "error" : Sev == Warning ? "warning"
+                                                                : "note";
+  return Loc.str() + ": " + SevName + ": " + Message;
+}
+
+std::string DiagEngine::str() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    Out += D.str();
+    Out += '\n';
+  }
+  return Out;
+}

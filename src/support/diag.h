@@ -1,0 +1,72 @@
+//===--- diag.h - Diagnostics and source locations --------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal diagnostic engine shared by the Dryad spec parser and the
+/// program-language parser. Collects errors with line/column positions; the
+/// library never throws, callers check hasErrors().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SUPPORT_DIAG_H
+#define DRYAD_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// A position in an input buffer, 1-based.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const;
+};
+
+/// One diagnostic message.
+struct Diagnostic {
+  enum Severity { Error, Warning, Note };
+  Severity Sev = Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics produced while processing one input.
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Error, Loc, std::move(Msg)});
+  }
+  void warning(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Warning, Loc, std::move(Msg)});
+  }
+  void note(SourceLoc Loc, std::string Msg) {
+    Diags.push_back({Diagnostic::Note, Loc, std::move(Msg)});
+  }
+
+  bool hasErrors() const {
+    for (const Diagnostic &D : Diags)
+      if (D.Sev == Diagnostic::Error)
+        return true;
+    return false;
+  }
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SUPPORT_DIAG_H

@@ -1,0 +1,80 @@
+//===--- dryadv.cpp - Command-line verifier ----------------------------------===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+// Usage: dryadv [options] file.dryad...
+//   --timeout <ms>   per-obligation Z3 timeout (default 60000)
+//   --no-unfold      disable unfolding across the footprint (ablation)
+//   --no-frames      disable frame instantiation (ablation)
+//   --no-axioms      disable user-axiom instantiation (ablation)
+//   --dump-smt2 <d>  write each obligation's SMT-LIB2 into directory <d>
+//   --verbose        print every obligation, not just per-routine rows
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/parser.h"
+#include "verifier/report.h"
+#include "verifier/verifier.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace dryad;
+
+int main(int Argc, char **Argv) {
+  VerifyOptions Opts;
+  bool Verbose = false;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--timeout") && I + 1 < Argc)
+      Opts.TimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-unfold"))
+      Opts.Natural.Unfold = false;
+    else if (!std::strcmp(Argv[I], "--no-frames"))
+      Opts.Natural.Frames = false;
+    else if (!std::strcmp(Argv[I], "--no-axioms"))
+      Opts.Natural.Axioms = false;
+    else if (!std::strcmp(Argv[I], "--dump-smt2") && I + 1 < Argc)
+      Opts.DumpSmt2Dir = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--verbose"))
+      Verbose = true;
+    else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Argv[I]);
+      return 2;
+    } else {
+      Files.push_back(Argv[I]);
+    }
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "usage: dryadv [options] file.dryad...\n");
+    return 2;
+  }
+
+  bool AllVerified = true;
+  for (const std::string &File : Files) {
+    Module M;
+    DiagEngine Diags;
+    if (!parseModuleFile(File, M, Diags)) {
+      std::fprintf(stderr, "%s:\n%s", File.c_str(), Diags.str().c_str());
+      AllVerified = false;
+      continue;
+    }
+    Verifier V(M, Opts);
+    std::vector<ProcResult> Results = V.verifyAll(Diags);
+    if (Diags.hasErrors())
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::printf("%s", formatResults(File, Results).c_str());
+    if (Verbose)
+      for (const ProcResult &R : Results)
+        for (const ObligationResult &O : R.Obligations)
+          std::printf("  %-60s %s (%.2fs)\n", O.Name.c_str(),
+                      O.Status == SmtStatus::Unsat  ? "proved"
+                      : O.Status == SmtStatus::Sat ? "cex"
+                                                   : "unknown",
+                      O.Seconds);
+    for (const ProcResult &R : Results)
+      AllVerified &= R.Verified;
+  }
+  return AllVerified ? 0 : 1;
+}

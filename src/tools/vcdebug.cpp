@@ -1,0 +1,91 @@
+//===--- vcdebug.cpp - Natural-proof debugging aid -----------------------------===//
+//
+// For a failing obligation, re-checks it with the goal split into its
+// top-level conjuncts: each conjunct is discharged separately so the
+// developer sees exactly which fact the natural proof cannot derive.
+//
+// Usage: vcdebug file.dryad proc [pathIndex]
+//
+//===----------------------------------------------------------------------===//
+
+#include "dryad/printer.h"
+#include "lang/parser.h"
+#include "lang/paths.h"
+#include "natural/engine.h"
+#include "smt/solver.h"
+#include "vcgen/vc.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace dryad;
+
+static void flatten(const Formula *F, std::vector<const Formula *> &Out) {
+  if (F->kind() == Formula::FK_And) {
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      flatten(Op, Out);
+    return;
+  }
+  Out.push_back(F);
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3) {
+    std::fprintf(stderr, "usage: vcdebug file.dryad proc [pathIndex]\n");
+    return 2;
+  }
+  Module M;
+  DiagEngine Diags;
+  if (!parseModuleFile(Argv[1], M, Diags)) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  const Procedure *P = M.findProc(Argv[2]);
+  if (!P) {
+    std::fprintf(stderr, "no procedure %s\n", Argv[2]);
+    return 1;
+  }
+  int PathIdx = Argc > 3 ? std::atoi(Argv[3]) : -1;
+
+  std::vector<BasicPath> Paths = extractPaths(M, *P, Diags);
+  VCGen Gen(M);
+  for (size_t I = 0; I != Paths.size(); ++I) {
+    if (PathIdx >= 0 && static_cast<size_t>(PathIdx) != I)
+      continue;
+    std::optional<VCond> VC = Gen.generate(*P, Paths[I], Diags);
+    if (!VC)
+      continue;
+    NaturalProof NP = buildNaturalProof(M, *VC);
+    std::printf("== path %zu: %s ==\n", I, VC->Name.c_str());
+    std::printf("   footprint:");
+    for (const Term *T : VC->LocTerms)
+      std::printf(" %s", print(T).c_str());
+    std::printf("\n   instances:");
+    for (const RecInstance &Inst : NP.Instances)
+      std::printf(" %s", instanceKey(Inst).c_str());
+    std::printf("\n");
+
+    std::vector<const Formula *> Conjuncts;
+    flatten(VC->Goal, Conjuncts);
+    for (const Formula *C : Conjuncts) {
+      SmtSolver S;
+      S.setTimeoutMs(10000);
+      for (const Formula *F : VC->Assumptions)
+        S.add(F);
+      for (const Formula *F : NP.Assertions)
+        S.add(F);
+      S.addNegated(C);
+      SmtResult R = S.check();
+      const char *St = R.Status == SmtStatus::Unsat  ? "proved "
+                       : R.Status == SmtStatus::Sat ? "CEX    "
+                                                    : "unknown";
+      std::string Txt = print(C);
+      if (Txt.size() > 140)
+        Txt = Txt.substr(0, 140) + "...";
+      std::printf("  [%s] %s\n", St, Txt.c_str());
+      if (R.Status == SmtStatus::Sat)
+        std::printf("          model: %.300s\n", R.ModelText.c_str());
+    }
+  }
+  return 0;
+}

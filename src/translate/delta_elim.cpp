@@ -1,0 +1,119 @@
+//===--- delta_elim.cpp - Classical forms of recursive definitions ---------===//
+
+#include "translate/delta_elim.h"
+#include "translate/translate.h"
+
+#include <array>
+
+using namespace dryad;
+
+/// Collects (base var, field, bound var) triples from points-to atoms.
+static void
+collectPointsToBindings(const Formula *F,
+                        std::vector<std::array<std::string, 3>> &Out) {
+  switch (F->kind()) {
+  case Formula::FK_PointsTo: {
+    const auto *X = cast<PointsToFormula>(F);
+    const auto *BaseVar = dyn_cast<VarTerm>(X->base());
+    if (!BaseVar)
+      return;
+    for (const auto &FB : X->fields())
+      if (const auto *V = dyn_cast<VarTerm>(FB.Value))
+        Out.push_back({BaseVar->name(), FB.Field, V->name()});
+    return;
+  }
+  case Formula::FK_And:
+  case Formula::FK_Or:
+  case Formula::FK_Sep:
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      collectPointsToBindings(Op, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+Subst DefUnfolder::bodySubst(const RecDef *Def, const Term *Arg,
+                             const std::vector<const Term *> &Stops) {
+  Subst S;
+  S[Def->ArgName] = Arg;
+  assert(Stops.size() == Def->StopParams.size() && "stop arity mismatch");
+  for (size_t I = 0; I != Stops.size(); ++I)
+    S[Def->StopParams[I]] = Stops[I];
+
+  std::vector<std::array<std::string, 3>> Bindings;
+  if (Def->isPredicate()) {
+    collectPointsToBindings(Def->PredBody, Bindings);
+  } else {
+    for (const RecDef::Case &C : Def->Cases)
+      if (C.Guard)
+        collectPointsToBindings(C.Guard, Bindings);
+  }
+  // The ~s resolve transitively: a variable bound via a points-to whose
+  // base is already resolved becomes a field read of that base (supports
+  // nested records, e.g. a queue head reaching through its last cell).
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const auto &[Base, Field, Var] : Bindings) {
+      if (S.count(Var) || !S.count(Base))
+        continue;
+      S[Var] = Ctx.fieldRead(Field, S.at(Base), Fields.fieldSort(Field));
+      Progress = true;
+    }
+  }
+  return S;
+}
+
+const Formula *
+DefUnfolder::unfoldReach(const RecDef *Def, const Term *Arg,
+                         const std::vector<const Term *> &Stops) {
+  const Term *Reach = Ctx.reach(Def, Arg, Stops);
+
+  std::vector<const Formula *> BaseCases;
+  BaseCases.push_back(Ctx.eq(Arg, Ctx.nil()));
+  for (const Term *St : Stops)
+    BaseCases.push_back(Ctx.eq(Arg, St));
+  const Formula *IsBase = Ctx.disj(std::move(BaseCases));
+
+  const Term *Expanded = Ctx.singleton(Arg, Sort::LocSet);
+  for (const std::string &PF : Def->PtrFields) {
+    const Term *Succ = Ctx.fieldRead(PF, Arg, Sort::Loc);
+    Expanded = Ctx.setUnion(Expanded, Ctx.reach(Def, Succ, Stops));
+  }
+
+  const Term *Rhs =
+      Ctx.ite(IsBase, Ctx.emptySet(Sort::LocSet), Expanded);
+  return Ctx.eq(Reach, Rhs);
+}
+
+const Formula *
+DefUnfolder::unfoldDef(const RecDef *Def, const Term *Arg,
+                       const std::vector<const Term *> &Stops) {
+  Subst S = bodySubst(Def, Arg, Stops);
+  const Term *Reach = Ctx.reach(Def, Arg, Stops);
+
+  if (Def->isPredicate()) {
+    const Formula *Body = substitute(Ctx, Def->PredBody, S);
+    const Formula *Classical = translateDryad(Ctx, Fields, Body, Reach);
+    const Formula *P = Ctx.recPred(Def, Arg, Stops);
+    // p(x) <-> T(body, reach_p(x))
+    return Ctx.disj({Ctx.conj2(P, Classical),
+                     Ctx.conj2(Ctx.neg(P), Ctx.neg(Classical))});
+  }
+
+  // Function: f(x) == ite(T(guard1), value1, ite(..., default)).
+  const Term *F = Ctx.recFunc(Def, Arg, Stops);
+  assert(!Def->Cases.empty() && Def->Cases.back().Guard == nullptr &&
+         "function definitions end with a default case");
+  const Term *Rhs =
+      substitute(Ctx, Def->Cases.back().Value, S); // default value
+  for (auto It = Def->Cases.rbegin() + 1, E = Def->Cases.rend(); It != E;
+       ++It) {
+    const Formula *Guard = substitute(Ctx, It->Guard, S);
+    const Formula *ClassicalGuard = translateDryad(Ctx, Fields, Guard, Reach);
+    const Term *Value = substitute(Ctx, It->Value, S);
+    Rhs = Ctx.ite(ClassicalGuard, Value, Rhs);
+  }
+  return Ctx.eq(F, Rhs);
+}

@@ -1,0 +1,61 @@
+//===--- delta_elim.h - Classical forms of recursive definitions *- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-elimination (§5): for every Dryad recursive definition rec∆ this
+/// produces the classical definitions `rec` and `reach_rec` as one-step
+/// unfolding equations instantiated at a given location term. The natural
+/// proof engine asserts these equations for every footprint location; the
+/// definitions themselves stay uninterpreted (formula abstraction, §6.3).
+///
+/// For a definition rec∆ with pointer fields ~pf and stop parameters ~v:
+///
+///   reach_rec(x) = ite(x == nil || x in ~v, {},
+///                      {x} u reach_rec(pf1(x)) u ... u reach_rec(pfk(x)))
+///
+///   p(x) <-> T(body[~s := fields(x)], reach_p(x))          (predicates)
+///   f(x) == ite(T(guard1,...), T(value1), ... default)      (functions)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_TRANSLATE_DELTA_ELIM_H
+#define DRYAD_TRANSLATE_DELTA_ELIM_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+#include <vector>
+
+namespace dryad {
+
+class DefUnfolder {
+public:
+  DefUnfolder(AstContext &Ctx, const FieldTable &Fields)
+      : Ctx(Ctx), Fields(Fields) {}
+
+  /// reach_rec(Arg) == one-step unfolding. Arg/Stops may be stamped or
+  /// unstamped; produced FieldReads inherit stamping via dryad::stamp later.
+  const Formula *unfoldReach(const RecDef *Def, const Term *Arg,
+                             const std::vector<const Term *> &Stops);
+
+  /// One-step unfolding of the definition itself: an iff for predicates, an
+  /// equation against an ITE chain for functions.
+  const Formula *unfoldDef(const RecDef *Def, const Term *Arg,
+                           const std::vector<const Term *> &Stops);
+
+private:
+  /// Substitution mapping the definition's formal argument, stop parameters,
+  /// and points-to-bound variables to terms over \p Arg.
+  Subst bodySubst(const RecDef *Def, const Term *Arg,
+                  const std::vector<const Term *> &Stops);
+
+  AstContext &Ctx;
+  const FieldTable &Fields;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_TRANSLATE_DELTA_ELIM_H

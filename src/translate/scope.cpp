@@ -1,0 +1,127 @@
+//===--- scope.cpp - Syntactic domain-exact and scope (Fig. 3) -------------===//
+
+#include "translate/scope.h"
+
+using namespace dryad;
+
+static const Term *emptyLocSet(AstContext &Ctx) {
+  return Ctx.emptySet(Sort::LocSet);
+}
+
+static SynScope combine(AstContext &Ctx, const SynScope &A, const SynScope &B,
+                        bool ExactIsAnd) {
+  SynScope R;
+  R.Exact = ExactIsAnd ? (A.Exact && B.Exact) : (A.Exact || B.Exact);
+  R.Scope = Ctx.setUnion(A.Scope, B.Scope);
+  return R;
+}
+
+SynScope dryad::scopeOfTerm(AstContext &Ctx, const Term *T) {
+  SynScope R;
+  R.Scope = emptyLocSet(Ctx);
+  switch (T->kind()) {
+  case Term::TK_RecFunc: {
+    const auto *X = cast<RecFuncTerm>(T);
+    R.Exact = true;
+    R.Scope = Ctx.reach(X->def(), X->arg(), X->stopArgs(), X->time());
+    return R;
+  }
+  case Term::TK_IntBin:
+    return combine(Ctx, scopeOfTerm(Ctx, cast<IntBinTerm>(T)->lhs()),
+                   scopeOfTerm(Ctx, cast<IntBinTerm>(T)->rhs()),
+                   /*ExactIsAnd=*/false);
+  case Term::TK_SetBin:
+    return combine(Ctx, scopeOfTerm(Ctx, cast<SetBinTerm>(T)->lhs()),
+                   scopeOfTerm(Ctx, cast<SetBinTerm>(T)->rhs()),
+                   /*ExactIsAnd=*/false);
+  case Term::TK_Singleton:
+    return scopeOfTerm(Ctx, cast<SingletonTerm>(T)->element());
+  default:
+    return R; // variables, constants, classical nodes: pure
+  }
+}
+
+SynScope dryad::scopeOfFormula(AstContext &Ctx, const Formula *F) {
+  SynScope R;
+  R.Scope = emptyLocSet(Ctx);
+  switch (F->kind()) {
+  case Formula::FK_BoolConst:
+  case Formula::FK_FieldUpdate:
+    return R;
+  case Formula::FK_Emp:
+    R.Exact = true;
+    return R;
+  case Formula::FK_PointsTo: {
+    R.Exact = true;
+    R.Scope = Ctx.singleton(cast<PointsToFormula>(F)->base(), Sort::LocSet);
+    return R;
+  }
+  case Formula::FK_RecPred: {
+    const auto *X = cast<RecPredFormula>(F);
+    R.Exact = true;
+    R.Scope = Ctx.reach(X->def(), X->arg(), X->stopArgs(), X->time());
+    return R;
+  }
+  case Formula::FK_Cmp:
+    return combine(Ctx, scopeOfTerm(Ctx, cast<CmpFormula>(F)->lhs()),
+                   scopeOfTerm(Ctx, cast<CmpFormula>(F)->rhs()),
+                   /*ExactIsAnd=*/false);
+  case Formula::FK_And:
+  case Formula::FK_Sep: {
+    bool IsSep = F->kind() == Formula::FK_Sep;
+    SynScope Acc;
+    Acc.Exact = IsSep;
+    Acc.Scope = emptyLocSet(Ctx);
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      Acc = combine(Ctx, Acc, scopeOfFormula(Ctx, Op), /*ExactIsAnd=*/IsSep);
+    return Acc;
+  }
+  case Formula::FK_Or:
+    assert(false && "scope of a disjunction; lift disjunction first");
+    return R;
+  case Formula::FK_Not: {
+    SynScope S = scopeOfFormula(Ctx, cast<NotFormula>(F)->operand());
+    R.Scope = S.Scope;
+    return R;
+  }
+  }
+  return R;
+}
+
+std::vector<const Formula *> dryad::liftDisjunction(AstContext &Ctx,
+                                                    const Formula *F) {
+  switch (F->kind()) {
+  case Formula::FK_Or: {
+    std::vector<const Formula *> Out;
+    for (const Formula *Op : cast<NaryFormula>(F)->operands()) {
+      std::vector<const Formula *> Sub = liftDisjunction(Ctx, Op);
+      Out.insert(Out.end(), Sub.begin(), Sub.end());
+    }
+    return Out;
+  }
+  case Formula::FK_And:
+  case Formula::FK_Sep: {
+    // Cartesian product of the operands' disjuncts.
+    std::vector<std::vector<const Formula *>> Rows = {{}};
+    for (const Formula *Op : cast<NaryFormula>(F)->operands()) {
+      std::vector<const Formula *> Sub = liftDisjunction(Ctx, Op);
+      std::vector<std::vector<const Formula *>> Next;
+      for (const auto &Row : Rows)
+        for (const Formula *S : Sub) {
+          std::vector<const Formula *> R = Row;
+          R.push_back(S);
+          Next.push_back(std::move(R));
+        }
+      Rows = std::move(Next);
+    }
+    std::vector<const Formula *> Out;
+    Out.reserve(Rows.size());
+    for (auto &Row : Rows)
+      Out.push_back(F->kind() == Formula::FK_And ? Ctx.conj(std::move(Row))
+                                                 : Ctx.sep(std::move(Row)));
+    return Out;
+  }
+  default:
+    return {F};
+  }
+}

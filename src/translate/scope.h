@@ -1,0 +1,42 @@
+//===--- scope.h - Syntactic domain-exact and scope (Fig. 3) ----*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The domain-exact property and scope function of Fig. 3, computed
+/// syntactically: the scope of a term/formula is a set-of-locations *term*
+/// (built from singletons, unions, and reach-set applications) denoting the
+/// minimum heap domain needed to evaluate it. Both are defined on
+/// disjunction- and negation-free formulas; use liftDisjunction to put a
+/// formula in the required disjunctive normal form first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_TRANSLATE_SCOPE_H
+#define DRYAD_TRANSLATE_SCOPE_H
+
+#include "dryad/ast.h"
+
+#include <vector>
+
+namespace dryad {
+
+struct SynScope {
+  bool Exact = false;
+  const Term *Scope = nullptr; ///< LocSet-sorted term
+};
+
+SynScope scopeOfTerm(AstContext &Ctx, const Term *T);
+SynScope scopeOfFormula(AstContext &Ctx, const Formula *F);
+
+/// Pulls disjunction to the top across And/Sep (not across Not, which may
+/// only cover heap-independent subformulas): returns the disjuncts of the
+/// DNF. The paper assumes this normal form before translating (§5).
+std::vector<const Formula *> liftDisjunction(AstContext &Ctx,
+                                             const Formula *F);
+
+} // namespace dryad
+
+#endif // DRYAD_TRANSLATE_SCOPE_H

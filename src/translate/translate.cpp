@@ -1,0 +1,138 @@
+//===--- translate.cpp - Dryad to classical logic (Fig. 4) -----------------===//
+
+#include "translate/translate.h"
+#include "translate/scope.h"
+
+using namespace dryad;
+
+namespace {
+class Translator {
+public:
+  Translator(AstContext &Ctx, const FieldTable &Fields)
+      : Ctx(Ctx), Fields(Fields) {}
+
+  const Formula *translate(const Formula *F, const Term *G) {
+    // The translation assumes disjunctive normal form so that every
+    // separating conjunction determines a unique heap split (§5).
+    std::vector<const Formula *> Disjuncts = liftDisjunction(Ctx, F);
+    if (Disjuncts.size() == 1)
+      return translateDisjunct(Disjuncts.front(), G);
+    std::vector<const Formula *> Out;
+    Out.reserve(Disjuncts.size());
+    for (const Formula *D : Disjuncts)
+      Out.push_back(translateDisjunct(D, G));
+    return Ctx.disj(std::move(Out));
+  }
+
+private:
+  const Formula *eqSets(const Term *A, const Term *B) {
+    return Ctx.cmp(CmpFormula::Eq, A, B);
+  }
+  const Term *emptyLS() { return Ctx.emptySet(Sort::LocSet); }
+
+  const Formula *translateDisjunct(const Formula *F, const Term *G) {
+    switch (F->kind()) {
+    case Formula::FK_BoolConst:
+      return F;
+    case Formula::FK_Emp:
+      return eqSets(G, emptyLS());
+    case Formula::FK_PointsTo: {
+      const auto *X = cast<PointsToFormula>(F);
+      std::vector<const Formula *> Conj;
+      // The heaplet is exactly {lt}; records never live at nil (Def. 4.1).
+      Conj.push_back(eqSets(G, Ctx.singleton(X->base(), Sort::LocSet)));
+      Conj.push_back(Ctx.cmp(CmpFormula::Ne, X->base(), Ctx.nil()));
+      for (const auto &FB : X->fields())
+        Conj.push_back(Ctx.eq(
+            Ctx.fieldRead(FB.Field, X->base(), Fields.fieldSort(FB.Field)),
+            FB.Value));
+      return Ctx.conj(std::move(Conj), F->loc());
+    }
+    case Formula::FK_RecPred: {
+      const auto *X = cast<RecPredFormula>(F);
+      const Term *Reach = Ctx.reach(X->def(), X->arg(), X->stopArgs(),
+                                    X->time());
+      return Ctx.conj2(F, eqSets(G, Reach));
+    }
+    case Formula::FK_Cmp: {
+      SynScope S = scopeOfFormula(Ctx, F);
+      if (!S.Exact)
+        return F; // pure relation: heap-independent
+      return Ctx.conj2(F, eqSets(G, S.Scope));
+    }
+    case Formula::FK_And: {
+      std::vector<const Formula *> Out;
+      for (const Formula *Op : cast<NaryFormula>(F)->operands())
+        Out.push_back(translateDisjunct(Op, G));
+      return Ctx.conj(std::move(Out), F->loc());
+    }
+    case Formula::FK_Or: {
+      // liftDisjunction leaves Or only above And/Sep-free regions when
+      // nested under Not; translate recursively with the same G.
+      std::vector<const Formula *> Out;
+      for (const Formula *Op : cast<NaryFormula>(F)->operands())
+        Out.push_back(translateDisjunct(Op, G));
+      return Ctx.disj(std::move(Out), F->loc());
+    }
+    case Formula::FK_Not:
+      return Ctx.neg(
+          translateDisjunct(cast<NotFormula>(F)->operand(), G), F->loc());
+    case Formula::FK_Sep:
+      return translateSep(cast<NaryFormula>(F)->operands(), 0, G);
+    case Formula::FK_FieldUpdate:
+      return F;
+    }
+    return F;
+  }
+
+  /// Binary right-fold of the four cases of Fig. 4 over an n-ary *.
+  const Formula *translateSep(const std::vector<const Formula *> &Ops,
+                              size_t From, const Term *G) {
+    if (From + 1 == Ops.size())
+      return translateDisjunct(Ops[From], G);
+
+    const Formula *Phi = Ops[From];
+    SynScope S1 = scopeOfFormula(Ctx, Phi);
+    SynScope S2;
+    S2.Exact = true;
+    S2.Scope = emptyLS();
+    for (size_t I = From + 1; I != Ops.size(); ++I) {
+      SynScope S = scopeOfFormula(Ctx, Ops[I]);
+      S2.Exact &= S.Exact;
+      S2.Scope = Ctx.setUnion(S2.Scope, S.Scope);
+    }
+
+    const Term *Inter =
+        Ctx.setBin(SetBinTerm::Inter, S1.Scope, S2.Scope);
+    const Term *Union = Ctx.setUnion(S1.Scope, S2.Scope);
+
+    if (S1.Exact && S2.Exact)
+      return Ctx.conj({translateDisjunct(Phi, S1.Scope),
+                       translateSep(Ops, From + 1, S2.Scope),
+                       eqSets(Union, G), eqSets(Inter, emptyLS())});
+    if (S1.Exact)
+      return Ctx.conj(
+          {translateDisjunct(Phi, S1.Scope),
+           translateSep(Ops, From + 1,
+                        Ctx.setBin(SetBinTerm::Diff, G, S1.Scope)),
+           Ctx.cmp(CmpFormula::SubsetEq, S1.Scope, G)});
+    if (S2.Exact)
+      return Ctx.conj(
+          {translateSep(Ops, From + 1, S2.Scope),
+           translateDisjunct(Phi, Ctx.setBin(SetBinTerm::Diff, G, S2.Scope)),
+           Ctx.cmp(CmpFormula::SubsetEq, S2.Scope, G)});
+    return Ctx.conj({translateDisjunct(Phi, S1.Scope),
+                     translateSep(Ops, From + 1, S2.Scope),
+                     Ctx.cmp(CmpFormula::SubsetEq, Union, G),
+                     eqSets(Inter, emptyLS())});
+  }
+
+  AstContext &Ctx;
+  const FieldTable &Fields;
+};
+} // namespace
+
+const Formula *dryad::translateDryad(AstContext &Ctx, const FieldTable &Fields,
+                                     const Formula *F, const Term *G) {
+  return Translator(Ctx, Fields).translate(F, G);
+}

@@ -1,0 +1,34 @@
+//===--- translate.h - Dryad to classical logic (Fig. 4) --------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The translation T(ϕ, G) of §5: a Dryad formula together with a
+/// set-of-locations term G denoting its heap domain becomes a classical
+/// formula over the global heap in the quantifier-free theory of sets,
+/// integers, and (after abstraction) uninterpreted functions. Heaplets turn
+/// into set constraints; points-to turns into field-read equalities;
+/// recursive applications stay as (classical) recursive applications whose
+/// heaplets are pinned to their reach sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_TRANSLATE_TRANSLATE_H
+#define DRYAD_TRANSLATE_TRANSLATE_H
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+
+namespace dryad {
+
+/// Translates Dryad formula \p F evaluated on heap domain \p G (a
+/// LocSet-sorted term) to classical logic. \p Fields supplies field sorts
+/// for points-to translation.
+const Formula *translateDryad(AstContext &Ctx, const FieldTable &Fields,
+                              const Formula *F, const Term *G);
+
+} // namespace dryad
+
+#endif // DRYAD_TRANSLATE_TRANSLATE_H

@@ -1,0 +1,537 @@
+//===--- vc.cpp - Verification condition generation -------------------------===//
+//
+// This reconstructs the VC generation algorithm of the paper's Appendix A
+// from the main text's definitions: SSA renaming of program variables,
+// versioned field arrays with store equations, heaplet tracking through
+// new/free/call, and contract instantiation for procedure calls.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/vc.h"
+
+#include "dryad/printer.h"
+
+#include <set>
+#include "translate/scope.h"
+#include "translate/translate.h"
+
+using namespace dryad;
+
+const Term *dryad::contractScope(AstContext &Ctx, const FieldTable &Fields,
+                                 const Formula *Dryad, DiagEngine &Diags,
+                                 SourceLoc Loc) {
+  (void)Fields;
+  std::vector<const Formula *> Disjuncts = liftDisjunction(Ctx, Dryad);
+  const Term *Scope = nullptr;
+  for (const Formula *D : Disjuncts) {
+    SynScope S = scopeOfFormula(Ctx, D);
+    if (!Scope) {
+      Scope = S.Scope;
+      continue;
+    }
+    if (!structEq(Scope, S.Scope)) {
+      Diags.error(Loc, "contract heaplet differs across disjuncts; "
+                       "procedure-call framing needs a uniform scope");
+      return nullptr;
+    }
+  }
+  return Scope;
+}
+
+namespace {
+/// Detects spatial constructs that are illegal in program conditions.
+bool isPureCondition(const Formula *F) {
+  switch (F->kind()) {
+  case Formula::FK_Emp:
+  case Formula::FK_PointsTo:
+  case Formula::FK_Sep:
+  case Formula::FK_RecPred:
+    return false;
+  case Formula::FK_And:
+  case Formula::FK_Or:
+    for (const Formula *Op : cast<NaryFormula>(F)->operands())
+      if (!isPureCondition(Op))
+        return false;
+    return true;
+  case Formula::FK_Not:
+    return isPureCondition(cast<NotFormula>(F)->operand());
+  default:
+    return true;
+  }
+}
+
+class VCBuilder {
+public:
+  VCBuilder(Module &M, const Procedure &P, const BasicPath &BP,
+            DiagEngine &Diags)
+      : M(M), Ctx(M.Ctx), P(P), BP(BP), Diags(Diags) {}
+
+  std::optional<VCond> run() {
+    // Initial SSA indices and field versions.
+    for (const VarDecl &D : P.Params)
+      declareVar(D);
+    for (const VarDecl &D : P.Locals)
+      declareVar(D);
+    if (P.HasRet)
+      declareVar(P.Ret);
+    for (const VarDecl &D : P.SpecVars)
+      SpecVarSorts[D.Name] = D.S;
+    for (const std::string &F : M.Fields.allFields())
+      FieldVersion[F] = 0;
+
+    VC.Name = P.Name + " [" + BP.Desc + "]";
+    pushBoundary(); // boundary 0: path start
+
+    // The heaplet at entry to the segment.
+    CurG = Ctx.var("G!0", Sort::LocSet);
+    const Formula *StartF = translateAndStamp(BP.Start, CurG, specSubst());
+    noteContractVars(StartF);
+    VC.Assumptions.push_back(StartF);
+
+    for (const Stmt &S : BP.Stmts)
+      if (!handle(S))
+        return std::nullopt;
+
+    // Close the trailing straight segment with an end boundary.
+    ensureBoundary();
+
+    VC.Goal = translateAndStamp(BP.End, CurG, specSubst());
+    noteContractVars(VC.Goal);
+    collectLocTerms();
+    return std::move(VC);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // SSA and stamping helpers
+  //===--------------------------------------------------------------------===//
+
+  void declareVar(const VarDecl &D) {
+    SsaIndex[D.Name] = 0;
+    VarSorts[D.Name] = D.S;
+  }
+
+  std::string ssaName(const std::string &V) const {
+    auto It = SsaIndex.find(V);
+    assert(It != SsaIndex.end() && "unknown variable in path");
+    return V + "!" + std::to_string(It->second);
+  }
+
+  const Term *ssaTerm(const std::string &V) {
+    return Ctx.var(ssaName(V), VarSorts.at(V));
+  }
+
+  const Term *bumpVar(const std::string &V) {
+    ++SsaIndex[V];
+    return ssaTerm(V);
+  }
+
+  /// Substitution mapping every program variable to its current SSA term.
+  Subst curSubst() {
+    Subst S;
+    for (const auto &[Name, Idx] : SsaIndex) {
+      (void)Idx;
+      S[Name] = ssaTerm(Name);
+    }
+    return S;
+  }
+
+  /// Adds the procedure's spec variables (they are plain constants shared by
+  /// pre and post).
+  Subst specSubst() {
+    Subst S = curSubst();
+    for (const auto &[Name, Srt] : SpecVarSorts)
+      S[Name] = Ctx.var(Name, Srt);
+    return S;
+  }
+
+  StampMap curStamp() const {
+    StampMap SM;
+    SM.FieldVersions = FieldVersion;
+    // Recursive definitions are indexed by boundary; mid-segment formulas
+    // contain no recursive applications, so the index of the most recent
+    // boundary is always the right timestamp.
+    SM.Time = static_cast<int>(VC.Boundaries.size()) - 1;
+    return SM;
+  }
+
+  const Formula *substStamp(const Formula *F, const Subst &S) {
+    return stamp(Ctx, substitute(Ctx, F, S), curStamp());
+  }
+  const Term *substStamp(const Term *T, const Subst &S) {
+    return stamp(Ctx, substitute(Ctx, T, S), curStamp());
+  }
+
+  /// Translates a Dryad formula against heaplet \p G, then SSA-substitutes
+  /// and stamps it at the current boundary.
+  const Formula *translateAndStamp(const Formula *Dryad, const Term *G,
+                                   const Subst &S) {
+    const Formula *Classical = translateDryad(Ctx, M.Fields, Dryad, G);
+    return substStamp(Classical, S);
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Boundaries and segments
+  //===--------------------------------------------------------------------===//
+
+  int pushBoundary() {
+    Boundary B;
+    B.Time = static_cast<int>(VC.Boundaries.size());
+    B.FieldVersions = FieldVersion;
+    VC.Boundaries.push_back(std::move(B));
+    return B.Time;
+  }
+
+  /// Returns the current boundary, reusing the previous one when the heap
+  /// has not changed since (identical field versions denote the identical
+  /// heap, so no new timestamp — and no frame/unfold instantiations — are
+  /// needed).
+  int ensureBoundary() {
+    if (!VC.Boundaries.empty() &&
+        VC.Boundaries.back().FieldVersions == FieldVersion) {
+      assert(PendingWrites.empty() && "writes without version bumps");
+      return VC.Boundaries.back().Time;
+    }
+    int B = pushBoundary();
+    closeStraightSegment(B);
+    return B;
+  }
+
+  void closeStraightSegment(int ToBoundary) {
+    Segment Seg;
+    Seg.FromBoundary = ToBoundary - 1;
+    Seg.ToBoundary = ToBoundary;
+    Seg.IsCall = false;
+    std::set<std::string> Seen;
+    for (const Term *W : PendingWrites)
+      if (Seen.insert(print(W)).second)
+        Seg.WrittenLocs.push_back(W);
+    PendingWrites.clear();
+    VC.Segments.push_back(std::move(Seg));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  bool handle(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Assign: {
+      const Term *Rhs = substStamp(S.Expr, curSubst());
+      const Term *Dst = bumpVar(S.Var);
+      VC.Assumptions.push_back(Ctx.eq(Dst, Rhs));
+      return true;
+    }
+    case Stmt::Load: {
+      const Term *Base = substStamp(S.Base, curSubst());
+      noteFootprint(Base);
+      const Term *Read = stamp(
+          Ctx, Ctx.fieldRead(S.Field, Base, M.Fields.fieldSort(S.Field)),
+          curStamp());
+      const Term *Dst = bumpVar(S.Var);
+      VC.Assumptions.push_back(Ctx.eq(Dst, Read));
+      return true;
+    }
+    case Stmt::Store: {
+      const Term *Base = substStamp(S.Base, curSubst());
+      noteFootprint(Base);
+      const Term *Val = substStamp(S.Expr, curSubst());
+      int From = FieldVersion[S.Field];
+      int To = ++FieldVersion[S.Field];
+      VC.Assumptions.push_back(Ctx.fieldUpdate(S.Field, From, To, Base, Val));
+      PendingWrites.push_back(Base);
+      return true;
+    }
+    case Stmt::New: {
+      const Term *Fresh = bumpVar(S.Var);
+      noteFootprint(Fresh);
+      VC.Assumptions.push_back(Ctx.cmp(CmpFormula::Ne, Fresh, Ctx.nil()));
+      VC.Assumptions.push_back(
+          Ctx.cmp(CmpFormula::NotIn, Fresh, CurG));
+      CurG = Ctx.setUnion(CurG, Ctx.singleton(Fresh, Sort::LocSet));
+      return true;
+    }
+    case Stmt::Free: {
+      const Term *Base = substStamp(S.Base, curSubst());
+      noteFootprint(Base);
+      CurG = Ctx.setBin(SetBinTerm::Diff, CurG,
+                        Ctx.singleton(Base, Sort::LocSet));
+      return true;
+    }
+    case Stmt::Assume: {
+      if (!isPureCondition(S.Cond)) {
+        Diags.error(S.Loc, "branch/assume conditions must be heap-free");
+        return false;
+      }
+      VC.Assumptions.push_back(substStamp(S.Cond, curSubst()));
+      return true;
+    }
+    case Stmt::Call:
+      return handleCall(S);
+    default:
+      Diags.error(S.Loc, "unexpected structured statement in basic path");
+      return false;
+    }
+  }
+
+  /// Witnesses the callee's spec variables from defining equations in its
+  /// precondition. Unresolved spec variables become fresh constants (the
+  /// call-site precondition check will then typically fail, pointing at the
+  /// contract).
+  void resolveSpecVars(const Procedure &Callee, Subst &Sigma, SourceLoc Loc) {
+    // Gather every equation and points-to binding in the precondition.
+    std::vector<const CmpFormula *> Eqs;
+    auto Collect = [&](const Formula *F, auto &&Self) -> void {
+      switch (F->kind()) {
+      case Formula::FK_Cmp:
+        if (cast<CmpFormula>(F)->op() == CmpFormula::Eq)
+          Eqs.push_back(cast<CmpFormula>(F));
+        return;
+      case Formula::FK_PointsTo: {
+        // `x |-> (key: k, left: l)` witnesses spec vars k, l as field reads
+        // of the (already resolved) base.
+        const auto *X = cast<PointsToFormula>(F);
+        const auto *BaseVar = dyn_cast<VarTerm>(X->base());
+        if (!BaseVar || !Sigma.count(BaseVar->name()))
+          return;
+        for (const auto &FB : X->fields())
+          if (const auto *V = dyn_cast<VarTerm>(FB.Value);
+              V && !Sigma.count(V->name()))
+            Sigma[V->name()] = stamp(
+                Ctx,
+                Ctx.fieldRead(FB.Field, Sigma.at(BaseVar->name()),
+                              M.Fields.fieldSort(FB.Field)),
+                curStamp());
+        return;
+      }
+      case Formula::FK_And:
+      case Formula::FK_Or:
+      case Formula::FK_Sep:
+        for (const Formula *Op : cast<NaryFormula>(F)->operands())
+          Self(Op, Self);
+        return;
+      default:
+        return;
+      }
+    };
+    Collect(Callee.Pre, Collect);
+
+    auto Unresolved = [&](const Term *T) {
+      std::map<std::string, Sort> Vars;
+      collectVars(T, Vars);
+      for (const VarDecl &SV : Callee.SpecVars)
+        if (!Sigma.count(SV.Name) && Vars.count(SV.Name))
+          return true;
+      return false;
+    };
+
+    bool Progress = true;
+    while (Progress) {
+      Progress = false;
+      for (const VarDecl &SV : Callee.SpecVars) {
+        if (Sigma.count(SV.Name))
+          continue;
+        for (const CmpFormula *Eq : Eqs) {
+          const Term *Def = nullptr;
+          if (const auto *V = dyn_cast<VarTerm>(Eq->lhs());
+              V && V->name() == SV.Name)
+            Def = Eq->rhs();
+          else if (const auto *V2 = dyn_cast<VarTerm>(Eq->rhs());
+                   V2 && V2->name() == SV.Name)
+            Def = Eq->lhs();
+          if (!Def || Unresolved(Def))
+            continue;
+          Sigma[SV.Name] = substStamp(Def, Sigma);
+          Progress = true;
+          break;
+        }
+      }
+    }
+    for (const VarDecl &SV : Callee.SpecVars)
+      if (!Sigma.count(SV.Name)) {
+        Diags.warning(Loc, "cannot witness spec variable '" + SV.Name +
+                               "' of callee; using a fresh constant");
+        Sigma[SV.Name] = Ctx.var(Callee.Name + "." + SV.Name + "!" +
+                                     std::to_string(CallCounter),
+                                 SV.S);
+      }
+  }
+
+  bool handleCall(const Stmt &S) {
+    const Procedure *Callee = M.findProc(S.Callee);
+    if (!Callee) {
+      Diags.error(S.Loc, "call to unknown procedure '" + S.Callee + "'");
+      return false;
+    }
+    if (Callee->Params.size() != S.Args.size()) {
+      Diags.error(S.Loc, "wrong number of arguments to '" + S.Callee + "'");
+      return false;
+    }
+
+    // Close the straight segment reaching the call.
+    int PreBoundary = ensureBoundary();
+
+    // Substitution for the callee contract: formals -> actuals. Spec
+    // variables are existential across the contract; witness them from
+    // their defining equations in the precondition (e.g. keys(x) == K
+    // yields K := keys(actual), stamped at the pre-call boundary).
+    Subst Sigma;
+    Subst Cur = curSubst();
+    for (size_t I = 0; I != S.Args.size(); ++I) {
+      Sigma[Callee->Params[I].Name] = substStamp(S.Args[I], Cur);
+      noteFootprint(Sigma[Callee->Params[I].Name]);
+    }
+    resolveSpecVars(*Callee, Sigma, S.Loc);
+    ++CallCounter;
+
+    // The callee's heaplet: the scope of its precondition, computed on the
+    // formal contract (spec variables are pure there; witnessing may
+    // substitute impure terms, which must not perturb the heaplet).
+    const Term *PreScope =
+        contractScope(Ctx, M.Fields, Callee->Pre, Diags, S.Loc);
+    if (!PreScope)
+      return false;
+    const Term *PreScopeStamped =
+        stamp(Ctx, substitute(Ctx, PreScope, Sigma), curStamp());
+    noteScopeRoots(PreScopeStamped);
+
+    // Side obligation: the precondition holds on its heaplet, which is part
+    // of the current heaplet.
+    const Formula *PreHolds =
+        translateAndStamp(Callee->Pre, PreScope, Sigma);
+    const Formula *PreGoal = Ctx.conj2(
+        PreHolds, Ctx.cmp(CmpFormula::SubsetEq, PreScopeStamped, CurG));
+    VC.CallChecks.push_back(
+        {VC.Name + " call " + S.Callee, VC.Assumptions.size(), PreGoal});
+
+    // Havoc the heap: fresh versions for every field.
+    for (const std::string &F : M.Fields.allFields())
+      ++FieldVersion[F];
+    int PostBoundary = pushBoundary();
+
+    Segment CallSeg;
+    CallSeg.FromBoundary = PreBoundary;
+    CallSeg.ToBoundary = PostBoundary;
+    CallSeg.IsCall = true;
+    CallSeg.CalleeHeaplet = PreScopeStamped;
+    VC.Segments.push_back(std::move(CallSeg));
+
+    // Bind the return value.
+    if (!S.Var.empty()) {
+      if (!Callee->HasRet) {
+        Diags.error(S.Loc, "'" + S.Callee + "' returns no value");
+        return false;
+      }
+      Sigma[Callee->Ret.Name] = bumpVar(S.Var);
+      noteFootprint(Sigma[Callee->Ret.Name]);
+    } else if (Callee->HasRet) {
+      // Value discarded; bind to a fresh constant.
+      Sigma[Callee->Ret.Name] = Ctx.var(
+          S.Callee + ".ret!" + std::to_string(CallCounter), Callee->Ret.S);
+    }
+
+    // Assume the postcondition on its heaplet, stamped after the call. As
+    // for the precondition, the scope comes from the formal contract.
+    const Term *PostScope =
+        contractScope(Ctx, M.Fields, Callee->Post, Diags, S.Loc);
+    if (!PostScope)
+      return false;
+    const Term *PostScopeStamped =
+        stamp(Ctx, substitute(Ctx, PostScope, Sigma), curStamp());
+    noteScopeRoots(PostScopeStamped);
+    VC.Assumptions.push_back(translateAndStamp(Callee->Post, PostScope, Sigma));
+
+    // The callee owns only its precondition heaplet plus fresh allocations:
+    // its post heaplet never intersects the caller's frame G \ pre-scope.
+    VC.Assumptions.push_back(
+        Ctx.eq(Ctx.setBin(SetBinTerm::Inter, PostScopeStamped,
+                          Ctx.setBin(SetBinTerm::Diff, CurG, PreScopeStamped)),
+               Ctx.emptySet(Sort::LocSet)));
+
+    // G := (G \ pre-scope) u post-scope.
+    CurG = Ctx.setUnion(
+        Ctx.setBin(SetBinTerm::Diff, CurG, PreScopeStamped),
+        PostScopeStamped);
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Footprint candidates
+  //===--------------------------------------------------------------------===//
+
+  void noteFootprint(const Term *T) {
+    if (T && T->sort() == Sort::Loc && T->kind() == Term::TK_Var)
+      Footprint.emplace(cast<VarTerm>(T)->name(), T);
+  }
+
+  /// Adds a (possibly non-variable, already stamped) location term to the
+  /// instantiation set — used for the roots of callee heaplets, which are
+  /// frontier terms like left(s) that frame reasoning must cover.
+  void noteFootprintTerm(const Term *T) {
+    if (T && T->sort() == Sort::Loc)
+      Footprint.emplace(print(T), T);
+  }
+
+  /// Collects the arguments of reach-set applications and singletons inside
+  /// a heaplet scope term: the roots of that heaplet.
+  void noteScopeRoots(const Term *T) {
+    switch (T->kind()) {
+    case Term::TK_Reach:
+      noteFootprintTerm(cast<ReachTerm>(T)->arg());
+      return;
+    case Term::TK_Singleton:
+      noteFootprintTerm(cast<SingletonTerm>(T)->element());
+      return;
+    case Term::TK_SetBin:
+      noteScopeRoots(cast<SetBinTerm>(T)->lhs());
+      noteScopeRoots(cast<SetBinTerm>(T)->rhs());
+      return;
+    default:
+      return;
+    }
+  }
+
+  /// Adds the location variables of a contract formula (its roots) to the
+  /// footprint.
+  void noteContractVars(const Formula *F) {
+    std::map<std::string, Sort> Vars;
+    collectVars(F, Vars);
+    for (const auto &[Name, Srt] : Vars)
+      if (Srt == Sort::Loc)
+        Footprint.emplace(Name, Ctx.var(Name, Sort::Loc));
+  }
+
+  void collectLocTerms() {
+    // The footprint of SS6.2: dereferenced variables plus the contract
+    // roots, plus nil. (Not every SSA variable: instantiation count is the
+    // main cost driver of the final SMT query.)
+    VC.LocTerms.push_back(Ctx.nil());
+    for (const auto &[Name, T] : Footprint) {
+      (void)Name;
+      VC.LocTerms.push_back(T);
+    }
+  }
+
+  Module &M;
+  AstContext &Ctx;
+  const Procedure &P;
+  const BasicPath &BP;
+  DiagEngine &Diags;
+
+  VCond VC;
+  std::map<std::string, int> SsaIndex;
+  std::map<std::string, Sort> VarSorts;
+  std::map<std::string, Sort> SpecVarSorts;
+  std::map<std::string, int> FieldVersion;
+  std::vector<const Term *> PendingWrites;
+  /// Dereferenced locations + contract roots: the natural-proof footprint.
+  std::map<std::string, const Term *> Footprint;
+  const Term *CurG = nullptr;
+  int CallCounter = 0;
+};
+} // namespace
+
+std::optional<VCond> VCGen::generate(const Procedure &P, const BasicPath &BP,
+                                     DiagEngine &Diags) {
+  return VCBuilder(M, P, BP, Diags).run();
+}

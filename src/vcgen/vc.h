@@ -1,0 +1,102 @@
+//===--- vc.h - Verification condition generation ---------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the verification condition ψVC of §6.1 for one basic path:
+/// program variables are SSA-renamed, heap mutations become array-store
+/// equations over versioned field arrays, procedure calls havoc the heap and
+/// assume the callee contract, and the evolving heaplet G is tracked as a
+/// set term. The output records the boundary timestamps and segments the
+/// natural-proof engine (natural/engine.h) needs for unfolding and framing.
+///
+/// Timestamp discipline: boundary 0 is the path start; every call
+/// contributes a pre-call and a post-call boundary; the path end is the last
+/// boundary. Within a straight segment field arrays evolve by store-chains
+/// (same timestamp, bumped per-field versions); across a call all field
+/// arrays are havocked (fresh versions, related only by frame assertions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_VCGEN_VC_H
+#define DRYAD_VCGEN_VC_H
+
+#include "lang/ast.h"
+#include "lang/paths.h"
+
+#include <optional>
+
+namespace dryad {
+
+/// A boundary timestamp with the per-field array versions in force there.
+struct Boundary {
+  int Time = 0;
+  std::map<std::string, int> FieldVersions;
+};
+
+/// What happened between two consecutive boundaries.
+struct Segment {
+  int FromBoundary = 0;
+  int ToBoundary = 0;
+  bool IsCall = false;
+  /// Straight segments: locations written through (SSA terms).
+  std::vector<const Term *> WrittenLocs;
+  /// Call segments: the callee's heaplet (scope of its precondition),
+  /// stamped at FromBoundary.
+  const Term *CalleeHeaplet = nullptr;
+};
+
+/// A side obligation: the callee's precondition must hold at the call site.
+/// Only the first NumAssumptions path assumptions may be used (later ones
+/// constrain executions that have already passed the call).
+struct CallCheck {
+  std::string Desc;
+  size_t NumAssumptions = 0;
+  const Formula *Goal = nullptr;
+};
+
+/// The verification condition for one basic path.
+struct VCond {
+  std::string Name;
+  std::vector<const Formula *> Assumptions; ///< stamped classical formulas
+  const Formula *Goal = nullptr;            ///< stamped classical formula
+  std::vector<CallCheck> CallChecks;
+  std::vector<Boundary> Boundaries;
+  std::vector<Segment> Segments;
+  /// All location-sorted SSA variables (plus nil), the candidate footprint.
+  std::vector<const Term *> LocTerms;
+  /// Instantiation terms per boundary time (footprint plus that boundary's
+  /// one-step frontier successors); filled by the natural-proof engine.
+  std::map<int, std::vector<const Term *>> BoundaryTerms;
+
+  const std::vector<const Term *> &termsAt(int Time) const {
+    auto It = BoundaryTerms.find(Time);
+    return It == BoundaryTerms.end() ? LocTerms : It->second;
+  }
+};
+
+class VCGen {
+public:
+  explicit VCGen(Module &M) : M(M) {}
+
+  /// Generates ψVC for {BP.Start} BP.Stmts {BP.End}. Returns nullopt after
+  /// reporting when the path uses an unknown callee or a spatial branch
+  /// condition.
+  std::optional<VCond> generate(const Procedure &P, const BasicPath &BP,
+                                DiagEngine &Diags);
+
+private:
+  Module &M;
+};
+
+/// The scope (heaplet) of a contract formula as a set term: disjuncts must
+/// agree structurally; returns nullptr (with a diagnostic) otherwise.
+const Term *contractScope(AstContext &Ctx, const FieldTable &Fields,
+                          const Formula *Dryad, DiagEngine &Diags,
+                          SourceLoc Loc);
+
+} // namespace dryad
+
+#endif // DRYAD_VCGEN_VC_H

@@ -1,0 +1,76 @@
+//===--- report.cpp - Result tables -----------------------------------------===//
+
+#include "verifier/report.h"
+
+#include <cstdio>
+
+using namespace dryad;
+
+static std::string pad(std::string S, size_t Width) {
+  if (S.size() < Width)
+    S.append(Width - S.size(), ' ');
+  return S;
+}
+
+static std::string fmtSeconds(double S) {
+  char Buf[32];
+  if (S < 1.0)
+    return "< 1s";
+  std::snprintf(Buf, sizeof(Buf), "%.1f", S);
+  return std::string(Buf) + "s";
+}
+
+std::string dryad::formatResults(const std::string &Title,
+                                 const std::vector<ProcResult> &Results,
+                                 const std::vector<PaperRow> &Paper) {
+  size_t NameW = 28;
+  for (const ProcResult &R : Results)
+    NameW = std::max(NameW, R.Proc.size() + 2);
+
+  std::string Out = Title + "\n";
+  Out += pad("routine", NameW) + pad("status", 12) + pad("time", 10);
+  if (!Paper.empty())
+    Out += pad("paper", 10);
+  Out += "\n";
+  Out += std::string(NameW + 22 + (Paper.empty() ? 0 : 10), '-') + "\n";
+
+  for (const ProcResult &R : Results) {
+    Out += pad(R.Proc, NameW);
+    Out += pad(R.Verified ? "verified" : "FAILED", 12);
+    Out += pad(fmtSeconds(R.Seconds), 10);
+    if (!Paper.empty()) {
+      std::string P = "-";
+      for (const PaperRow &Row : Paper)
+        if (Row.Routine == R.Proc)
+          P = Row.PaperSeconds < 0 ? "< 1s" : fmtSeconds(Row.PaperSeconds);
+      Out += pad(P, 10);
+    }
+    Out += "\n";
+    if (!R.Verified)
+      for (const ObligationResult &O : R.Obligations)
+        if (O.Name.size() > 9 &&
+            O.Name.compare(O.Name.size() - 9, 9, "[vacuity]") == 0) {
+          Out += "    " + O.Name + ": " + O.Model + "\n";
+        } else if (O.Status != SmtStatus::Unsat) {
+          Out += "    " + O.Name + ": " +
+                 (O.Status == SmtStatus::Sat ? "counterexample: " + O.Model
+                                             : "unknown: " + O.Model) +
+                 "\n";
+        }
+  }
+  Out += summarize(Results);
+  return Out;
+}
+
+std::string dryad::summarize(const std::vector<ProcResult> &Results) {
+  size_t Verified = 0;
+  double Total = 0.0;
+  for (const ProcResult &R : Results) {
+    Verified += R.Verified ? 1 : 0;
+    Total += R.Seconds;
+  }
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "%zu/%zu routines verified in %.1fs\n",
+                Verified, Results.size(), Total);
+  return std::string(Buf);
+}

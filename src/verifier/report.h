@@ -1,0 +1,39 @@
+//===--- report.h - Result tables -------------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Formats verification results in the style of the paper's Figures 6/7:
+/// one row per routine with its verification status and wall-clock time,
+/// optionally alongside the time the paper reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_VERIFIER_REPORT_H
+#define DRYAD_VERIFIER_REPORT_H
+
+#include "verifier/verifier.h"
+
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// Optional paper-reported number for the comparison column.
+struct PaperRow {
+  std::string Routine;
+  double PaperSeconds = -1.0; ///< < 0 means "< 1s" in the paper
+};
+
+std::string formatResults(const std::string &Title,
+                          const std::vector<ProcResult> &Results,
+                          const std::vector<PaperRow> &Paper = {});
+
+/// One summary line: verified/total and cumulative time.
+std::string summarize(const std::vector<ProcResult> &Results);
+
+} // namespace dryad
+
+#endif // DRYAD_VERIFIER_REPORT_H

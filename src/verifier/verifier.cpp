@@ -1,0 +1,117 @@
+//===--- verifier.cpp - End-to-end verification driver ----------------------===//
+
+#include "verifier/verifier.h"
+
+#include "lang/paths.h"
+#include "vcgen/vc.h"
+
+#include <algorithm>
+#include <fstream>
+
+using namespace dryad;
+
+ObligationResult
+Verifier::discharge(const std::string &Name,
+                    const std::vector<const Formula *> &Assumptions,
+                    size_t NumAssumptions,
+                    const std::vector<const Formula *> &Strength,
+                    const Formula *Goal) {
+  SmtSolver Solver;
+  Solver.setTimeoutMs(Opts.TimeoutMs);
+  for (size_t I = 0; I != NumAssumptions; ++I)
+    Solver.add(Assumptions[I]);
+  for (const Formula *F : Strength)
+    Solver.add(F);
+  Solver.addNegated(Goal);
+
+  if (!Opts.DumpSmt2Dir.empty()) {
+    std::string File = Name;
+    for (char &C : File)
+      if (!isalnum(static_cast<unsigned char>(C)))
+        C = '_';
+    std::ofstream Out(Opts.DumpSmt2Dir + "/" + File + ".smt2");
+    Out << Solver.toSmt2();
+  }
+
+  SmtResult R = Solver.check();
+  ObligationResult O;
+  O.Name = Name;
+  O.Status = R.Status;
+  O.Seconds = R.Seconds;
+  O.Model = R.ModelText;
+  return O;
+}
+
+ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
+  ProcResult PR;
+  PR.Proc = P.Name;
+  PR.Verified = true;
+
+  std::vector<BasicPath> Paths = extractPaths(M, P, Diags);
+  VCGen Gen(M);
+  for (const BasicPath &BP : Paths) {
+    std::optional<VCond> VC = Gen.generate(P, BP, Diags);
+    if (!VC) {
+      PR.Verified = false;
+      continue;
+    }
+    NaturalProof NP = buildNaturalProof(M, *VC, Opts.Natural);
+
+    // Call-site precondition checks (prefix assumptions only).
+    for (const CallCheck &C : VC->CallChecks) {
+      ObligationResult O = discharge(C.Desc, VC->Assumptions,
+                                     C.NumAssumptions, NP.Assertions, C.Goal);
+      PR.Verified &= (O.Status == SmtStatus::Unsat);
+      PR.Seconds += O.Seconds;
+      PR.Obligations.push_back(std::move(O));
+    }
+
+    // The main Hoare-triple obligation.
+    ObligationResult O =
+        discharge(VC->Name, VC->Assumptions, VC->Assumptions.size(),
+                  NP.Assertions, VC->Goal);
+    PR.Verified &= (O.Status == SmtStatus::Unsat);
+    bool MainProved = O.Status == SmtStatus::Unsat;
+    PR.Seconds += O.Seconds;
+    PR.Obligations.push_back(std::move(O));
+
+    // Vacuity probe: the path's assumptions must be satisfiable, otherwise
+    // the contract (not the code) is wrong and the proof above is void.
+    if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty()) {
+      // Probe the contract (the path's first assumption: the pre or the
+      // loop invariant) together with the unfoldings. Branch conditions are
+      // excluded: infeasible paths are vacuous by design; an unsatisfiable
+      // *contract* is the annotation bug this check exists for (e.g. an
+      // impure conjunct whose strict heaplet cannot equal the formula's).
+      SmtSolver Probe;
+      Probe.setTimeoutMs(std::min(Opts.VacuityTimeoutMs, Opts.TimeoutMs));
+      Probe.add(VC->Assumptions.front());
+      for (const Formula *F : NP.Assertions)
+        Probe.add(F);
+      SmtResult R = Probe.check();
+      PR.Seconds += R.Seconds;
+      if (R.Status == SmtStatus::Unsat) {
+        ObligationResult V;
+        V.Name = VC->Name + " [vacuity]";
+        V.Status = SmtStatus::Unsat;
+        V.Seconds = R.Seconds;
+        V.Model = "assumptions unsatisfiable: the contract/invariant "
+                  "contradicts the heaplet semantics";
+        PR.Verified = false;
+        PR.Obligations.push_back(std::move(V));
+      }
+    }
+  }
+  return PR;
+}
+
+std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
+  std::vector<ProcResult> Out;
+  for (const Procedure &P : M.Procs) {
+    // Contract-only declarations have nothing to check.
+    if (!P.HasBody)
+      continue;
+    Out.push_back(verifyProc(P, Diags));
+  }
+  return Out;
+}

@@ -1,0 +1,75 @@
+//===--- verifier.h - End-to-end verification driver ------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ties the pipeline together: basic paths -> ψVC -> natural-proof
+/// strengthening -> formula abstraction -> Z3. A procedure is verified when
+/// every basic path's VC and every call-site precondition check is unsat.
+/// Sat results carry the solver model — the counterexample debugging aid §7
+/// describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_VERIFIER_VERIFIER_H
+#define DRYAD_VERIFIER_VERIFIER_H
+
+#include "lang/ast.h"
+#include "natural/engine.h"
+#include "smt/solver.h"
+
+namespace dryad {
+
+struct VerifyOptions {
+  unsigned TimeoutMs = 60000;
+  NaturalOptions Natural;
+  /// Probe each path's assumptions for satisfiability: an unsatisfiable
+  /// precondition/invariant (e.g. an ill-formed heaplet in a contract)
+  /// makes every obligation vacuously provable, which is a specification
+  /// bug, not a proof.
+  bool CheckVacuity = true;
+  unsigned VacuityTimeoutMs = 2000;
+  /// When set, every obligation's SMT-LIB2 is written to this directory.
+  std::string DumpSmt2Dir;
+};
+
+struct ObligationResult {
+  std::string Name;
+  SmtStatus Status = SmtStatus::Unknown; ///< Unsat means proved
+  double Seconds = 0.0;
+  std::string Model; ///< counterexample values when Sat
+};
+
+struct ProcResult {
+  std::string Proc;
+  bool Verified = false;
+  double Seconds = 0.0;
+  std::vector<ObligationResult> Obligations;
+};
+
+class Verifier {
+public:
+  Verifier(Module &M, VerifyOptions Opts = {}) : M(M), Opts(Opts) {}
+
+  /// Verifies one procedure (all of its basic paths and call checks).
+  ProcResult verifyProc(const Procedure &P, DiagEngine &Diags);
+
+  /// Verifies every procedure with a body.
+  std::vector<ProcResult> verifyAll(DiagEngine &Diags);
+
+private:
+  ObligationResult discharge(const std::string &Name,
+                             const std::vector<const Formula *> &Assumptions,
+                             size_t NumAssumptions,
+                             const std::vector<const Formula *> &Strength,
+                             const Formula *Goal);
+
+  Module &M;
+  VerifyOptions Opts;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_VERIFIER_VERIFIER_H

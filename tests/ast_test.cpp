@@ -1,0 +1,120 @@
+//===--- ast_test.cpp - AST construction and utilities -----------------------===//
+
+#include "dryad/ast.h"
+#include "dryad/defs.h"
+#include "dryad/printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+
+namespace {
+struct AstTest : ::testing::Test {
+  AstContext Ctx;
+};
+} // namespace
+
+TEST_F(AstTest, ConjunctionFlattensAndSimplifies) {
+  const Formula *A = Ctx.cmp(CmpFormula::Eq, Ctx.var("x", Sort::Loc), Ctx.nil());
+  const Formula *B = Ctx.cmp(CmpFormula::Ne, Ctx.var("y", Sort::Loc), Ctx.nil());
+  const Formula *Inner = Ctx.conj({A, B});
+  const Formula *Outer = Ctx.conj({Inner, Ctx.trueF()});
+  ASSERT_EQ(Outer->kind(), Formula::FK_And);
+  EXPECT_EQ(cast<NaryFormula>(Outer)->operands().size(), 2u);
+
+  EXPECT_EQ(Ctx.conj({Ctx.trueF(), Ctx.trueF()})->kind(),
+            Formula::FK_BoolConst);
+  EXPECT_FALSE(
+      cast<BoolConstFormula>(Ctx.conj({A, Ctx.falseF()}))->value());
+}
+
+TEST_F(AstTest, DisjunctionAbsorbsTrue) {
+  const Formula *A = Ctx.cmp(CmpFormula::Eq, Ctx.var("x", Sort::Loc), Ctx.nil());
+  const Formula *D = Ctx.disj({A, Ctx.trueF()});
+  ASSERT_EQ(D->kind(), Formula::FK_BoolConst);
+  EXPECT_TRUE(cast<BoolConstFormula>(D)->value());
+  EXPECT_EQ(Ctx.disj({A, Ctx.falseF()}), A);
+}
+
+TEST_F(AstTest, NegationCancels) {
+  const Formula *A = Ctx.cmp(CmpFormula::Eq, Ctx.var("x", Sort::Loc), Ctx.nil());
+  EXPECT_EQ(Ctx.neg(Ctx.neg(A)), A);
+  EXPECT_FALSE(cast<BoolConstFormula>(Ctx.neg(Ctx.trueF()))->value());
+}
+
+TEST_F(AstTest, UnionWithEmptySetSimplifies) {
+  const Term *E = Ctx.emptySet(Sort::IntSet);
+  const Term *S = Ctx.singleton(Ctx.intConst(3), Sort::IntSet);
+  EXPECT_EQ(Ctx.setUnion(E, S), S);
+  EXPECT_EQ(Ctx.setUnion(S, E), S);
+  EXPECT_EQ(Ctx.setBin(SetBinTerm::Diff, S, E), S);
+}
+
+TEST_F(AstTest, StructuralEquality) {
+  const Term *X1 = Ctx.var("x", Sort::Loc);
+  const Term *X2 = Ctx.var("x", Sort::Loc);
+  const Term *Y = Ctx.var("y", Sort::Loc);
+  EXPECT_TRUE(structEq(X1, X2));
+  EXPECT_FALSE(structEq(X1, Y));
+
+  const Formula *F1 = Ctx.cmp(CmpFormula::Eq, X1, Ctx.nil());
+  const Formula *F2 = Ctx.cmp(CmpFormula::Eq, X2, Ctx.nil());
+  const Formula *F3 = Ctx.cmp(CmpFormula::Ne, X1, Ctx.nil());
+  EXPECT_TRUE(structEq(F1, F2));
+  EXPECT_FALSE(structEq(F1, F3));
+}
+
+TEST_F(AstTest, SubstitutionReplacesVariables) {
+  const Term *X = Ctx.var("x", Sort::Loc);
+  const Formula *F =
+      Ctx.cmp(CmpFormula::Eq, Ctx.fieldRead("next", X, Sort::Loc), Ctx.nil());
+  Subst S;
+  S["x"] = Ctx.var("y", Sort::Loc);
+  const Formula *G = substitute(Ctx, F, S);
+  EXPECT_EQ(print(G), "next(y) == nil");
+  // Original untouched.
+  EXPECT_EQ(print(F), "next(x) == nil");
+}
+
+TEST_F(AstTest, CollectVarsFindsAllFreeVariables) {
+  const Term *X = Ctx.var("x", Sort::Loc);
+  const Term *K = Ctx.var("K", Sort::IntSet);
+  const Formula *F = Ctx.conj2(
+      Ctx.cmp(CmpFormula::Eq, Ctx.var("j", Sort::Int), Ctx.intConst(1)),
+      Ctx.cmp(CmpFormula::SubsetEq, Ctx.singleton(Ctx.intConst(2), Sort::IntSet),
+              K));
+  (void)X;
+  std::map<std::string, Sort> Vars;
+  collectVars(F, Vars);
+  EXPECT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars.at("j"), Sort::Int);
+  EXPECT_EQ(Vars.at("K"), Sort::IntSet);
+}
+
+TEST_F(AstTest, StampSetsVersionsAndTimes) {
+  RecDef Def;
+  Def.Name = "list";
+  Def.Result = Sort::Bool;
+  Def.PtrFields = {"next"};
+  const Term *X = Ctx.var("x", Sort::Loc);
+  const Formula *F = Ctx.conj2(
+      Ctx.recPred(&Def, X, {}),
+      Ctx.cmp(CmpFormula::Eq, Ctx.fieldRead("next", X, Sort::Loc), Ctx.nil()));
+  StampMap SM;
+  SM.FieldVersions["next"] = 3;
+  SM.Time = 2;
+  const Formula *G = stamp(Ctx, F, SM);
+  EXPECT_EQ(print(G), "list@2(x) && next@3(x) == nil");
+
+  // Stamping twice does not re-stamp.
+  StampMap SM2;
+  SM2.FieldVersions["next"] = 9;
+  SM2.Time = 9;
+  EXPECT_EQ(print(stamp(Ctx, G, SM2)), "list@2(x) && next@3(x) == nil");
+}
+
+TEST_F(AstTest, SepKeepsTrueOperand) {
+  const Formula *S = Ctx.sep({Ctx.emp(), Ctx.trueF()});
+  ASSERT_EQ(S->kind(), Formula::FK_Sep);
+  EXPECT_EQ(cast<NaryFormula>(S)->operands().size(), 2u);
+}

@@ -1,0 +1,93 @@
+//===--- delta_elim_test.cpp - Classical unfolding goldens ---------------------===//
+
+#include "dryad/printer.h"
+#include "translate/delta_elim.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct DeltaElimTest : ::testing::Test {
+  DeltaElimTest() : M(parsePrelude()), U(M->Ctx, M->Fields) {}
+  std::unique_ptr<Module> M;
+  DefUnfolder U;
+};
+} // namespace
+
+TEST_F(DeltaElimTest, ReachUnfoldingShape) {
+  const RecDef *List = M->Defs.lookup("list");
+  const Term *X = M->Ctx.var("x", Sort::Loc);
+  const Formula *F = U.unfoldReach(List, X, {});
+  EXPECT_EQ(print(F),
+            "reach_list(x) == ite(x == nil, {}, union({x}, "
+            "reach_list(next(x))))");
+}
+
+TEST_F(DeltaElimTest, ReachUnfoldingWithStops) {
+  const RecDef *Lseg = M->Defs.lookup("lseg");
+  const Term *X = M->Ctx.var("x", Sort::Loc);
+  const Term *U2 = M->Ctx.var("u", Sort::Loc);
+  const Formula *F = U.unfoldReach(Lseg, X, {U2});
+  EXPECT_EQ(print(F),
+            "reach_lseg(x, u) == ite(x == nil || x == u, {}, union({x}, "
+            "reach_lseg(next(x), u)))");
+}
+
+TEST_F(DeltaElimTest, PredicateUnfoldsToIff) {
+  const RecDef *List = M->Defs.lookup("list");
+  const Term *X = M->Ctx.var("x", Sort::Loc);
+  std::string S = print(U.unfoldDef(List, X, {}));
+  // p(x) <-> T(body): encoded as (p && B) || (!p && !B).
+  EXPECT_NE(S.find("list(x) && (x == nil && reach_list(x) == {}"),
+            std::string::npos)
+      << S;
+  EXPECT_NE(S.find("!(list(x))"), std::string::npos) << S;
+  // The unrolled body relates the node to its frontier successor.
+  EXPECT_NE(S.find("list(next(x))"), std::string::npos) << S;
+  // Strictness: x is not in its tail's heaplet.
+  EXPECT_NE(S.find("inter({x}, reach_list(next(x))) == {}"),
+            std::string::npos)
+      << S;
+}
+
+TEST_F(DeltaElimTest, FunctionUnfoldsToIteChain) {
+  const RecDef *Keys = M->Defs.lookup("keys");
+  const Term *X = M->Ctx.var("x", Sort::Loc);
+  std::string S = print(U.unfoldDef(Keys, X, {}));
+  EXPECT_EQ(S.rfind("keys(x) == ite(", 0), 0u) << S;
+  // The ~s are replaced by field reads of x.
+  EXPECT_NE(S.find("union(keys(next(x)), {key(x)})"), std::string::npos) << S;
+  // Default case value terminates the chain.
+  EXPECT_EQ(S.back(), ')');
+}
+
+TEST_F(DeltaElimTest, TreeUnfoldingCoversBothChildren) {
+  const RecDef *Tree = M->Defs.lookup("tree");
+  const Term *X = M->Ctx.var("x", Sort::Loc);
+  std::string S = print(U.unfoldDef(Tree, X, {}));
+  EXPECT_NE(S.find("tree(left(x))"), std::string::npos) << S;
+  EXPECT_NE(S.find("tree(right(x))"), std::string::npos) << S;
+  // The subtree heaplets are disjoint.
+  EXPECT_NE(S.find("inter(reach_tree(left(x)), reach_tree(right(x)))"),
+            std::string::npos)
+      << S;
+}
+
+TEST_F(DeltaElimTest, UnfoldingAtStampedTermKeepsStamps) {
+  const RecDef *List = M->Defs.lookup("list");
+  const Term *X = M->Ctx.var("x", Sort::Loc);
+  const Formula *F = U.unfoldReach(List, X, {});
+  StampMap SM;
+  SM.FieldVersions["next"] = 2;
+  SM.FieldVersions["prev"] = 0;
+  SM.FieldVersions["left"] = 0;
+  SM.FieldVersions["right"] = 0;
+  SM.FieldVersions["key"] = 1;
+  SM.Time = 3;
+  EXPECT_EQ(print(stamp(M->Ctx, F, SM)),
+            "reach_list@3(x) == ite(x == nil, {}, union({x}, "
+            "reach_list@3(next@2(x))))");
+}

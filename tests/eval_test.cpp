@@ -1,0 +1,142 @@
+//===--- eval_test.cpp - Dryad evaluator tests ---------------------------------===//
+
+#include "interp/gen.h"
+#include "sem/eval.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct EvalTest : ::testing::Test {
+  EvalTest() : M(parsePrelude()), St(M->Fields) {}
+
+  bool holdsOn(const std::string &Pred, int64_t L) {
+    Evaluator E(St, M->Defs, EvalMode::Heaplet);
+    return E.recValue(M->Defs.lookup(Pred), {}, L).B;
+  }
+
+  std::unique_ptr<Module> M;
+  ProgramState St;
+};
+} // namespace
+
+TEST_F(EvalTest, EmptyStructuresHold) {
+  EXPECT_TRUE(holdsOn("list", 0));
+  EXPECT_TRUE(holdsOn("slist", 0));
+  EXPECT_TRUE(holdsOn("tree", 0));
+  EXPECT_TRUE(holdsOn("bst", 0));
+}
+
+TEST_F(EvalTest, GeneratedListSatisfiesList) {
+  HeapGen Gen(St, 7);
+  int64_t Head = Gen.makeList(5);
+  EXPECT_TRUE(holdsOn("list", Head));
+}
+
+TEST_F(EvalTest, CycleIsNotAList) {
+  HeapGen Gen(St, 8);
+  int64_t Head = Gen.makeCyclic(4);
+  EXPECT_FALSE(holdsOn("list", Head));
+}
+
+TEST_F(EvalTest, SortednessDistinguishesSlist) {
+  HeapGen Gen(St, 9);
+  int64_t S = Gen.makeSortedList(6);
+  EXPECT_TRUE(holdsOn("slist", S));
+  int64_t U = Gen.makeList(6, {5, 3, 9, 1, 7, 2});
+  EXPECT_TRUE(holdsOn("list", U));
+  EXPECT_FALSE(holdsOn("slist", U));
+}
+
+TEST_F(EvalTest, KeysComputesTheKeySet) {
+  HeapGen Gen(St, 10);
+  int64_t Head = Gen.makeList(3, {4, 8, 15});
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  Value V = E.recValue(M->Defs.lookup("keys"), {}, Head);
+  EXPECT_EQ(V.Set, (std::set<int64_t>{4, 8, 15}));
+}
+
+TEST_F(EvalTest, LenComputesLength) {
+  HeapGen Gen(St, 11);
+  int64_t Head = Gen.makeList(7);
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  Value V = E.recValue(M->Defs.lookup("len"), {}, Head);
+  EXPECT_EQ(V.I, 7);
+}
+
+TEST_F(EvalTest, BstAndMaxHeapShapes) {
+  HeapGen Gen(St, 12);
+  int64_t B = Gen.makeBst(9);
+  EXPECT_TRUE(holdsOn("bst", B));
+  ProgramState St2(M->Fields);
+  HeapGen Gen2(St2, 13);
+  int64_t H = Gen2.makeMaxHeap(9);
+  Evaluator E2(St2, M->Defs, EvalMode::Heaplet);
+  EXPECT_TRUE(E2.recValue(M->Defs.lookup("mheap"), {}, H).B);
+}
+
+TEST_F(EvalTest, LsegStopsAtStopLocation) {
+  HeapGen Gen(St, 14);
+  int64_t Head = Gen.makeCyclic(5);
+  int64_t Second = St.read(Head, "next");
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  EXPECT_TRUE(E.recValue(M->Defs.lookup("lseg"), {Head}, Second).B);
+  EXPECT_FALSE(holdsOn("list", Head));
+}
+
+TEST_F(EvalTest, HeapletSemanticsOfSep) {
+  HeapGen Gen(St, 15);
+  int64_t A = Gen.makeList(3);
+  int64_t B = Gen.makeList(2);
+  AstContext &Ctx = M->Ctx;
+  const RecDef *List = M->Defs.lookup("list");
+  const Formula *F = Ctx.sep({Ctx.recPred(List, Ctx.var("a", Sort::Loc), {}),
+                              Ctx.recPred(List, Ctx.var("b", Sort::Loc), {})});
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  E.Env["a"] = Value::mkLoc(A);
+  E.Env["b"] = Value::mkLoc(B);
+  EXPECT_TRUE(E.holds(F, St.R));
+
+  St.allocate(); // garbage outside both lists
+  Evaluator E2(St, M->Defs, EvalMode::Heaplet);
+  E2.Env["a"] = Value::mkLoc(A);
+  E2.Env["b"] = Value::mkLoc(B);
+  EXPECT_FALSE(E2.holds(F, St.R)) << "heaplet must be covered exactly";
+}
+
+TEST_F(EvalTest, PointsToIsStrict) {
+  HeapGen Gen(St, 16);
+  int64_t A = Gen.makeList(2);
+  AstContext &Ctx = M->Ctx;
+  const Formula *F = Ctx.pointsTo(Ctx.var("a", Sort::Loc),
+                                  {{"next", Ctx.var("b", Sort::Loc)}});
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  E.Env["a"] = Value::mkLoc(A);
+  E.Env["b"] = Value::mkLoc(St.read(A, "next"));
+  EXPECT_TRUE(E.holds(F, {A}));
+  EXPECT_FALSE(E.holds(F, St.R)) << "points-to requires a singleton heaplet";
+}
+
+TEST_F(EvalTest, EmpOnlyOnEmptyHeaplet) {
+  AstContext &Ctx = M->Ctx;
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  EXPECT_TRUE(E.holds(Ctx.emp(), {}));
+  int64_t A = St.allocate();
+  EXPECT_FALSE(E.holds(Ctx.emp(), {A}));
+}
+
+TEST_F(EvalTest, RecPredFalseOffItsHeaplet) {
+  HeapGen Gen(St, 17);
+  int64_t A = Gen.makeList(3);
+  St.allocate(); // extra location outside reach(A)
+  AstContext &Ctx = M->Ctx;
+  const Formula *F =
+      Ctx.recPred(M->Defs.lookup("list"), Ctx.var("a", Sort::Loc), {});
+  Evaluator E(St, M->Defs, EvalMode::Heaplet);
+  E.Env["a"] = Value::mkLoc(A);
+  EXPECT_FALSE(E.holds(F, St.R));
+  EXPECT_TRUE(E.holds(F, St.reachset(A, {"next"}, {})));
+}

@@ -1,0 +1,159 @@
+//===--- interp_test.cpp - Concrete interpreter tests --------------------------===//
+
+#include "interp/gen.h"
+#include "interp/interp.h"
+#include "sem/eval.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+const char *ListOps = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+
+proc sum_keys(x: loc) returns (ret: int)
+  requires list(x)
+  ensures  list(x)
+{
+  var c: loc;
+  var s: int;
+  var ck: int;
+  c := x;
+  s := 0;
+  while (c != nil)
+    invariant list(x)
+  {
+    ck := c.key;
+    s := s + ck;
+    c := c.next;
+  }
+  return s;
+}
+
+proc len_rec(x: loc) returns (ret: int)
+  requires list(x)
+  ensures  list(x)
+{
+  var n: loc;
+  var r: int;
+  if (x == nil) {
+    return 0;
+  }
+  n := x.next;
+  r := len_rec(n);
+  return r + 1;
+}
+
+proc spin()
+  requires true
+  ensures  true
+{
+  var i: int;
+  i := 0;
+  while (i == 0)
+    invariant true
+  {
+    skip;
+  }
+}
+)";
+} // namespace
+
+TEST(Interp, InsertFrontMutatesHeap) {
+  auto M = parsePrelude(ListOps);
+  ProgramState St(M->Fields);
+  HeapGen Gen(St, 1);
+  int64_t Head = Gen.makeList(3, {1, 2, 3});
+  Interpreter I(*M);
+  auto R = I.call("insert_front", {Value::mkLoc(Head), Value::mkInt(9)}, St);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  int64_t NewHead = R.Ret->I;
+  EXPECT_EQ(St.read(NewHead, "key"), 9);
+  EXPECT_EQ(St.read(NewHead, "next"), Head);
+  EXPECT_EQ(St.R.size(), 4u);
+}
+
+TEST(Interp, WhileLoopsExecute) {
+  auto M = parsePrelude(ListOps);
+  ProgramState St(M->Fields);
+  HeapGen Gen(St, 2);
+  int64_t Head = Gen.makeList(4, {10, 20, 30, 40});
+  Interpreter I(*M);
+  auto R = I.call("sum_keys", {Value::mkLoc(Head)}, St);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Ret->I, 100);
+}
+
+TEST(Interp, RecursionExecutes) {
+  auto M = parsePrelude(ListOps);
+  ProgramState St(M->Fields);
+  HeapGen Gen(St, 3);
+  int64_t Head = Gen.makeList(6);
+  Interpreter I(*M);
+  auto R = I.call("len_rec", {Value::mkLoc(Head)}, St);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Ret->I, 6);
+}
+
+TEST(Interp, NilDereferenceReported) {
+  auto M = parsePrelude(R"(
+proc bad(x: loc) returns (ret: loc)
+  requires true
+  ensures  true
+{
+  var n: loc;
+  n := x.next;
+  return n;
+}
+)");
+  ProgramState St(M->Fields);
+  Interpreter I(*M);
+  auto R = I.call("bad", {Value::mkLoc(0)}, St);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("nil"), std::string::npos);
+}
+
+TEST(Interp, DivergenceHitsFuel) {
+  auto M = parsePrelude(ListOps);
+  ProgramState St(M->Fields);
+  Interpreter I(*M);
+  I.MaxSteps = 1000;
+  auto R = I.call("spin", {}, St);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("budget"), std::string::npos);
+}
+
+TEST(Interp, FreeRemovesFromHeaplet) {
+  auto M = parsePrelude(R"(
+proc drop(x: loc) returns (ret: loc)
+  requires (list(x)) && x != nil
+  ensures  true
+{
+  var n: loc;
+  n := x.next;
+  free x;
+  return n;
+}
+)");
+  ProgramState St(M->Fields);
+  HeapGen Gen(St, 4);
+  int64_t Head = Gen.makeList(2);
+  Interpreter I(*M);
+  auto R = I.call("drop", {Value::mkLoc(Head)}, St);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(St.R.count(Head));
+  EXPECT_EQ(St.R.size(), 1u);
+}

@@ -1,0 +1,113 @@
+//===--- lang_test.cpp - Program AST and module-level checks -------------------===//
+
+#include "lang/parser.h"
+#include "dryad/printer.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+TEST(Lang, FieldTableClassifiesFields) {
+  auto M = parsePrelude();
+  EXPECT_TRUE(M->Fields.isPointerField("next"));
+  EXPECT_TRUE(M->Fields.isDataField("key"));
+  EXPECT_FALSE(M->Fields.isField("nope"));
+  EXPECT_EQ(M->Fields.fieldSort("next"), Sort::Loc);
+  EXPECT_EQ(M->Fields.fieldSort("key"), Sort::Int);
+}
+
+TEST(Lang, FindProcByName) {
+  auto M = parsePrelude(R"(
+proc a(x: loc) requires true ensures true { }
+proc b(x: loc) requires true ensures true { }
+)");
+  EXPECT_NE(M->findProc("a"), nullptr);
+  EXPECT_NE(M->findProc("b"), nullptr);
+  EXPECT_EQ(M->findProc("c"), nullptr);
+}
+
+TEST(Lang, ContractOnlyDeclaration) {
+  auto M = parsePrelude(R"(
+proc external(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret);
+)");
+  const Procedure *P = M->findProc("external");
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(P->Body.empty());
+}
+
+TEST(Lang, CallStatementsParse) {
+  auto M = parsePrelude(R"(
+proc callee(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+proc caller(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  var r: loc;
+  r := callee(x);
+  callee(r);
+  return r;
+}
+)");
+  const Procedure *P = M->findProc("caller");
+  ASSERT_NE(P, nullptr);
+  ASSERT_GE(P->Body.size(), 3u);
+  EXPECT_EQ(P->Body[0].K, Stmt::Call);
+  EXPECT_EQ(P->Body[0].Var, "r");
+  EXPECT_EQ(P->Body[1].K, Stmt::Call);
+  EXPECT_TRUE(P->Body[1].Var.empty());
+}
+
+TEST(Lang, DuplicateDefinitionRejected) {
+  Module M;
+  DiagEngine D;
+  bool Ok = parseModule(R"(
+fields ptr next;
+pred p[ptr next](x) := x == nil && emp;
+pred p[ptr next](x) := x == nil && emp;
+)",
+                        M, D);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(Lang, UnknownFieldInStoreRejected) {
+  Module M;
+  DiagEngine D;
+  bool Ok = parseModule(R"(
+fields ptr next;
+proc f(x: loc) requires true ensures true {
+  x.bogus := nil;
+}
+)",
+                        M, D);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(Lang, SuiteModulesAllParse) {
+  const char *Files[] = {
+      "fig6/sll.dryad",          "fig6/sorted_list.dryad",
+      "fig6/dll.dryad",          "fig6/cyclic.dryad",
+      "fig6/maxheap.dryad",      "fig6/bst.dryad",
+      "fig6/traversals.dryad",   "fig6/schorr_waite.dryad",
+      "fig7/glib_gslist.dryad",  "fig7/glib_glist.dryad",
+      "fig7/openbsd_queue.dryad", "fig7/expressos_cachepage.dryad",
+      "fig7/expressos_memregion.dryad", "fig7/linux_mmap.dryad",
+      "negative/seeded_bugs.dryad",
+  };
+  for (const char *F : Files) {
+    Module M;
+    DiagEngine D;
+    EXPECT_TRUE(parseModuleFile(suitePath(F), M, D))
+        << F << ":\n"
+        << D.str();
+    EXPECT_FALSE(M.Procs.empty()) << F;
+  }
+}

@@ -1,0 +1,85 @@
+//===--- lexer_test.cpp - Tokenizer tests -------------------------------------===//
+
+#include "dryad/lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+
+static std::vector<Token> lex(const std::string &S) {
+  DiagEngine D;
+  std::vector<Token> T = tokenize(S, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return T;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  std::vector<Token> T = lex("");
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T[0].is(Token::EndOfFile));
+}
+
+TEST(Lexer, IdentifiersAndIntegers) {
+  std::vector<Token> T = lex("foo bar_1 42");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T[0].isIdent("foo"));
+  EXPECT_TRUE(T[1].isIdent("bar_1"));
+  EXPECT_TRUE(T[2].is(Token::IntLit));
+  EXPECT_EQ(T[2].Value, 42);
+}
+
+TEST(Lexer, CompositeOperators) {
+  std::vector<Token> T = lex(":= == != <= >= && || |-> -> =>");
+  Token::Kind Expected[] = {Token::ColonEq,  Token::EqEq,   Token::NotEq,
+                            Token::LessEq,   Token::GreaterEq, Token::AndAnd,
+                            Token::OrOr,     Token::PointsToSym, Token::Arrow,
+                            Token::FatArrow, Token::EndOfFile};
+  ASSERT_EQ(T.size(), std::size(Expected));
+  for (size_t I = 0; I != T.size(); ++I)
+    EXPECT_EQ(T[I].K, Expected[I]) << "token " << I;
+}
+
+TEST(Lexer, PunctuationAndSingleChars) {
+  std::vector<Token> T = lex("( ) { } [ ] , ; : . + - * < > !");
+  EXPECT_EQ(T.size(), 17u);
+  EXPECT_TRUE(T[0].is(Token::LParen));
+  EXPECT_TRUE(T[12].is(Token::Star));
+  EXPECT_TRUE(T[15].is(Token::Bang));
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  std::vector<Token> T = lex("a // comment to eol\nb /* block\nstill */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_TRUE(T[0].isIdent("a"));
+  EXPECT_TRUE(T[1].isIdent("b"));
+  EXPECT_TRUE(T[2].isIdent("c"));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  std::vector<Token> T = lex("a\n  b");
+  EXPECT_EQ(T[0].Loc.Line, 1);
+  EXPECT_EQ(T[0].Loc.Col, 1);
+  EXPECT_EQ(T[1].Loc.Line, 2);
+  EXPECT_EQ(T[1].Loc.Col, 3);
+}
+
+TEST(Lexer, ReportsUnterminatedBlockComment) {
+  DiagEngine D;
+  tokenize("a /* never closed", D);
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(Lexer, ReportsStrayCharacters) {
+  DiagEngine D;
+  std::vector<Token> T = tokenize("a $ b", D);
+  EXPECT_TRUE(D.hasErrors());
+  ASSERT_GE(T.size(), 3u);
+  EXPECT_TRUE(T[0].isIdent("a"));
+  EXPECT_TRUE(T[1].isIdent("b"));
+}
+
+TEST(Lexer, SingleEqualsIsAnError) {
+  DiagEngine D;
+  tokenize("a = b", D);
+  EXPECT_TRUE(D.hasErrors());
+}

@@ -1,0 +1,158 @@
+//===--- natural_test.cpp - Natural proof engine tests -------------------------===//
+
+#include "dryad/printer.h"
+#include "lang/paths.h"
+#include "natural/engine.h"
+#include "vcgen/vc.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct NaturalTest : ::testing::Test {
+  std::unique_ptr<Module> M;
+  std::optional<VCond> VC;
+
+  void buildVC(const std::string &Extra, const char *Proc,
+               size_t PathIdx = 0) {
+    M = parsePrelude(Extra);
+    DiagEngine D;
+    const Procedure *P = M->findProc(Proc);
+    ASSERT_NE(P, nullptr);
+    std::vector<BasicPath> Paths = extractPaths(*M, *P, D);
+    ASSERT_LT(PathIdx, Paths.size());
+    VCGen Gen(*M);
+    VC = Gen.generate(*P, Paths[PathIdx], D);
+    ASSERT_TRUE(VC);
+  }
+};
+
+const char *InsertFront = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)";
+} // namespace
+
+TEST_F(NaturalTest, InstancesCollectedFromContracts) {
+  buildVC(InsertFront, "insert_front");
+  NaturalProof NP = buildNaturalProof(*M, *VC);
+  std::set<std::string> Keys;
+  for (const RecInstance &I : NP.Instances)
+    Keys.insert(instanceKey(I));
+  EXPECT_TRUE(Keys.count("list"));
+  EXPECT_TRUE(Keys.count("keys"));
+}
+
+TEST_F(NaturalTest, UnfoldingsCoverFootprintAndBoundaries) {
+  buildVC(InsertFront, "insert_front");
+  NaturalProof NP = buildNaturalProof(*M, *VC);
+  // Unfoldings exist for u!1 at the final timestamp and x!0 at time 0.
+  bool SawNewCell = false, SawRoot = false;
+  for (const Formula *F : NP.Assertions) {
+    std::string S = print(F);
+    if (S.find("list@1(u!1)") == 0)
+      SawNewCell = true;
+    if (S.find("list@0(x!0)") == 0)
+      SawRoot = true;
+  }
+  EXPECT_TRUE(SawNewCell);
+  EXPECT_TRUE(SawRoot);
+}
+
+TEST_F(NaturalTest, DisablingUnfoldRemovesUnfoldings) {
+  buildVC(InsertFront, "insert_front");
+  NaturalOptions Opts;
+  Opts.Unfold = false;
+  NaturalProof NP = buildNaturalProof(*M, *VC, Opts);
+  for (const Formula *F : NP.Assertions) {
+    std::string S = print(F);
+    EXPECT_EQ(S.find("ite("), std::string::npos)
+        << "unexpected unfolding: " << S;
+  }
+}
+
+TEST_F(NaturalTest, FramesRelateTimestampsAcrossWrites) {
+  buildVC(InsertFront, "insert_front");
+  NaturalProof NP = buildNaturalProof(*M, *VC);
+  bool SawFrame = false;
+  for (const Formula *F : NP.Assertions) {
+    std::string S = print(F);
+    if (S.find("inter(reach_list@0(x!0), {u!1}) == {}") != std::string::npos &&
+        S.find("list@1(x!0)") != std::string::npos)
+      SawFrame = true;
+  }
+  EXPECT_TRUE(SawFrame) << "RecUnchanged instance for x across the writes";
+}
+
+TEST_F(NaturalTest, AxiomsInstantiatedOnlyWhenRelevant) {
+  // A module with an lseg axiom but a contract that never mentions lseg.
+  buildVC(std::string(R"(
+axiom (a: loc, b: loc) : lseg(a, b) * list(b) => list(a);
+)") + InsertFront,
+          "insert_front");
+  NaturalProof NP = buildNaturalProof(*M, *VC);
+  for (const Formula *F : NP.Assertions)
+    EXPECT_EQ(print(F).find("lseg"), std::string::npos)
+        << "irrelevant axiom instantiated: " << print(F);
+}
+
+TEST_F(NaturalTest, RelevantAxiomInstantiatedOverFootprint) {
+  buildVC(R"(
+axiom (a: loc, b: loc) : lseg(a, b) * list(b) => list(a);
+proc walk(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(x) && keys(x) == K
+{
+  var c: loc;
+  c := x;
+  while (c != nil)
+    invariant (lseg(x, c) * list(c))
+  {
+    c := c.next;
+  }
+  return x;
+}
+)",
+          "walk", /*PathIdx=*/1);
+  NaturalProof NP = buildNaturalProof(*M, *VC);
+  bool SawAxiom = false;
+  for (const Formula *F : NP.Assertions)
+    if (print(F).find("!(lseg@") != std::string::npos)
+      SawAxiom = true;
+  EXPECT_TRUE(SawAxiom);
+}
+
+TEST_F(NaturalTest, InstanceClosureFindsShiftedStops) {
+  // dll's recursion shifts the stop anchor: closure must pick up instances
+  // with footprint-variable stops.
+  buildVC(R"(
+pred dllp[ptr next; stop p](x) :=
+  (x == nil && emp) || (x |-> (next: n, prev: p) * dllp(n, x));
+proc f(x: loc, p: loc) returns (ret: loc)
+  requires dllp(x, p)
+  ensures  dllp(ret, p)
+{
+  return x;
+}
+)",
+          "f");
+  NaturalProof NP = buildNaturalProof(*M, *VC);
+  std::set<std::string> Keys;
+  for (const RecInstance &I : NP.Instances)
+    Keys.insert(instanceKey(I));
+  EXPECT_TRUE(Keys.count("dllp|p!0"));
+  EXPECT_TRUE(Keys.count("dllp|x!0")) << "closure over shifted stop";
+}

@@ -1,0 +1,217 @@
+//===--- parser_test.cpp - Spec parser tests ----------------------------------===//
+
+#include "dryad/parser.h"
+#include "dryad/printer.h"
+#include "dryad/typecheck.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct SpecParserTest : ::testing::Test {
+  AstContext Ctx;
+  FieldTable Fields;
+  DefRegistry Defs;
+  DiagEngine Diags;
+
+  SpecParserTest() {
+    Fields.addPointerField("next");
+    Fields.addPointerField("left");
+    Fields.addPointerField("right");
+    Fields.addDataField("key");
+  }
+
+  const Formula *parseF(const std::string &S, VarEnv Env,
+                        bool ExpectOk = true) {
+    Toks = tokenize(S, Diags);
+    Cur = {};
+    Cur.Toks = &Toks;
+    SpecParser P(Ctx, Fields, Defs, Diags, Cur);
+    const Formula *F = P.parseFormula(Env);
+    if (ExpectOk)
+      EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+    return F;
+  }
+
+  std::vector<Token> Toks;
+  TokenCursor Cur;
+};
+} // namespace
+
+TEST_F(SpecParserTest, ComparisonPrecedenceAndRoundTrip) {
+  VarEnv Env{{"x", Sort::Loc}, {"j", Sort::Int}};
+  const Formula *F = parseF("x == nil && j + 1 <= 5 || x != nil", Env);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(print(F), "x == nil && (j + 1) <= 5 || x != nil");
+}
+
+TEST_F(SpecParserTest, PointsToParses) {
+  VarEnv Env{{"x", Sort::Loc}, {"y", Sort::Loc}, {"k", Sort::Int}};
+  const Formula *F = parseF("x |-> (next: y, key: k)", Env);
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(F->kind(), Formula::FK_PointsTo);
+  EXPECT_EQ(print(F), "x |-> (next: y, key: k)");
+}
+
+TEST_F(SpecParserTest, SetLiteralAndOps) {
+  VarEnv Env{{"K", Sort::IntSet}, {"k", Sort::Int}};
+  const Formula *F = parseF("union(K, {k}) == K && k in K", Env);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(print(F), "union(K, {k}) == K && k in K");
+}
+
+TEST_F(SpecParserTest, ScalarSetComparisonLiftsToSingleton) {
+  VarEnv Env{{"K", Sort::IntSet}, {"k", Sort::Int}};
+  const Formula *F = parseF("k <= K", Env);
+  ASSERT_NE(F, nullptr);
+  const auto *C = cast<CmpFormula>(F);
+  EXPECT_EQ(C->op(), CmpFormula::SetLe);
+  EXPECT_EQ(C->lhs()->kind(), Term::TK_Singleton);
+}
+
+TEST_F(SpecParserTest, MembershipKeepsScalarElement) {
+  VarEnv Env{{"K", Sort::IntSet}, {"k", Sort::Int}};
+  const Formula *F = parseF("k in K", Env);
+  const auto *C = cast<CmpFormula>(F);
+  EXPECT_EQ(C->op(), CmpFormula::In);
+  EXPECT_EQ(C->lhs()->kind(), Term::TK_Var);
+}
+
+TEST_F(SpecParserTest, MixedAndStarRequiresParens) {
+  VarEnv Env;
+  parseF("emp && emp * emp", Env, /*ExpectOk=*/false);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(SpecParserTest, UndeclaredVariableIsAnError) {
+  VarEnv Env;
+  parseF("zork == nil", Env, /*ExpectOk=*/false);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST_F(SpecParserTest, MaxMinParse) {
+  VarEnv Env{{"a", Sort::Int}, {"b", Sort::Int}};
+  const Formula *F = parseF("max(a, b) + min(a, 0) <= 7", Env);
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(print(F), "(max(a, b) + min(a, 0)) <= 7");
+}
+
+TEST(ModuleParser, PreludeParsesAndChecks) {
+  auto M = parsePrelude();
+  EXPECT_NE(M->Defs.lookup("list"), nullptr);
+  EXPECT_NE(M->Defs.lookup("keys"), nullptr);
+  EXPECT_NE(M->Defs.lookup("bst"), nullptr);
+  EXPECT_EQ(M->Defs.lookup("keys")->Result, Sort::IntSet);
+  EXPECT_EQ(M->Defs.lookup("lseg")->StopParams.size(), 1u);
+  DiagEngine D;
+  EXPECT_TRUE(checkDefs(M->Defs, D)) << D.str();
+}
+
+TEST(ModuleParser, ProcedureBodiesAndContracts) {
+  auto M = parsePrelude(R"(
+proc id(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == K
+{
+  return x;
+}
+)");
+  const Procedure *P = M->findProc("id");
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(P->HasRet);
+  ASSERT_EQ(P->SpecVars.size(), 1u);
+  EXPECT_EQ(P->SpecVars[0].S, Sort::IntSet);
+  ASSERT_EQ(P->Body.size(), 1u);
+  EXPECT_EQ(P->Body[0].K, Stmt::Return);
+}
+
+TEST(ModuleParser, WhileRequiresInvariant) {
+  Module M;
+  DiagEngine D;
+  bool Ok = parseModule(R"(
+fields ptr next;
+proc f(x: loc)
+  requires true
+  ensures true
+{
+  var c: loc;
+  c := x;
+  while (c != nil) {
+    c := c.next;
+  }
+}
+)",
+                        M, D);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(ModuleParser, AxiomParses) {
+  auto M = parsePrelude(R"(
+axiom (x: loc, y: loc) : lseg(x, y) * list(y) => list(x);
+)");
+  ASSERT_EQ(M->Axioms.size(), 1u);
+  EXPECT_EQ(M->Axioms[0].Params.size(), 2u);
+  EXPECT_EQ(print(M->Axioms[0].Lhs), "lseg(x, y) * list(y)");
+}
+
+TEST(ModuleParser, StatementFormsParse) {
+  auto M = parsePrelude(R"(
+proc forms(x: loc, j: int) returns (ret: loc)
+  requires list(x)
+  ensures true
+{
+  var u: loc;
+  var n: loc;
+  var k: int;
+  u := new;
+  u.next := x;
+  u.key := j + 1;
+  n := u.next;
+  k := u.key;
+  free u;
+  skip;
+  assume n != nil;
+  if (k <= 0) {
+    return n;
+  } else if (k == 1) {
+    return nil;
+  }
+  return x;
+}
+)");
+  const Procedure *P = M->findProc("forms");
+  ASSERT_NE(P, nullptr);
+  EXPECT_GE(P->Locals.size(), 3u);
+}
+
+TEST(ModuleParser, UnboundDefVariableIsAnError) {
+  Module M;
+  DiagEngine D;
+  bool Ok = parseModule(R"(
+fields ptr next;
+fields data key;
+pred bad[ptr next](x) := (x == nil && emp) || (x |-> (next: n) * bad(m));
+)",
+                        M, D);
+  EXPECT_FALSE(Ok);
+}
+
+TEST(ModuleParser, SepUnderNegationRejected) {
+  Module M;
+  DiagEngine D;
+  bool Ok = parseModule(R"(
+fields ptr next;
+pred list[ptr next](x) := (x == nil && emp) || (x |-> (next: n) * list(n));
+proc f(x: loc)
+  requires !(list(x) * list(x))
+  ensures true
+{
+}
+)",
+                        M, D);
+  EXPECT_FALSE(Ok);
+}

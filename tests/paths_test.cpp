@@ -1,0 +1,150 @@
+//===--- paths_test.cpp - Basic-path extraction tests --------------------------===//
+
+#include "lang/paths.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+static std::vector<BasicPath> pathsOf(Module &M, const char *Name) {
+  DiagEngine D;
+  const Procedure *P = M.findProc(Name);
+  EXPECT_NE(P, nullptr);
+  std::vector<BasicPath> Out = extractPaths(M, *P, D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return Out;
+}
+
+TEST(Paths, StraightLineIsOnePath) {
+  auto M = parsePrelude(R"(
+proc f(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures list(ret)
+{
+  return x;
+}
+)");
+  std::vector<BasicPath> Ps = pathsOf(*M, "f");
+  ASSERT_EQ(Ps.size(), 1u);
+  EXPECT_TRUE(Ps[0].EndIsPost);
+  // `return x` becomes `ret := x`.
+  ASSERT_EQ(Ps[0].Stmts.size(), 1u);
+  EXPECT_EQ(Ps[0].Stmts[0].K, Stmt::Assign);
+  EXPECT_EQ(Ps[0].Stmts[0].Var, "ret");
+}
+
+TEST(Paths, IfForksIntoTwoPathsWithAssumes) {
+  auto M = parsePrelude(R"(
+proc f(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures list(ret)
+{
+  if (x == nil) {
+    return nil;
+  }
+  return x;
+}
+)");
+  std::vector<BasicPath> Ps = pathsOf(*M, "f");
+  ASSERT_EQ(Ps.size(), 2u);
+  EXPECT_EQ(Ps[0].Stmts[0].K, Stmt::Assume);
+  EXPECT_EQ(Ps[1].Stmts[0].K, Stmt::Assume);
+}
+
+TEST(Paths, WhileCutsAtInvariant) {
+  auto M = parsePrelude(R"(
+proc f(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures list(ret) && keys(ret) == K
+{
+  var c: loc;
+  c := x;
+  while (c != nil)
+    invariant list(x) && keys(x) == K
+  {
+    c := c.next;
+  }
+  return x;
+}
+)");
+  std::vector<BasicPath> Ps = pathsOf(*M, "f");
+  // pre->inv, inv->inv (around), inv->post (exit).
+  ASSERT_EQ(Ps.size(), 3u);
+  EXPECT_FALSE(Ps[0].EndIsPost);
+  EXPECT_FALSE(Ps[1].EndIsPost);
+  EXPECT_TRUE(Ps[2].EndIsPost);
+  // Around-the-loop path starts with assume(cond).
+  EXPECT_EQ(Ps[1].Stmts.front().K, Stmt::Assume);
+}
+
+TEST(Paths, NestedLoopsProduceAllSegments) {
+  auto M = parsePrelude(R"(
+proc f(x: loc)
+  requires list(x)
+  ensures list(x)
+{
+  var c: loc;
+  var d: loc;
+  c := x;
+  while (c != nil)
+    invariant list(x)
+  {
+    d := c;
+    while (d != nil)
+      invariant list(x)
+    {
+      d := d.next;
+    }
+    c := c.next;
+  }
+}
+)");
+  std::vector<BasicPath> Ps = pathsOf(*M, "f");
+  // pre->outer, outer->inner, inner->inner, inner->outer, outer->post.
+  EXPECT_EQ(Ps.size(), 5u);
+}
+
+TEST(Paths, EarlyReturnInsideLoopGoesToPost) {
+  auto M = parsePrelude(R"(
+proc f(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures list(x)
+{
+  var c: loc;
+  c := x;
+  while (c != nil)
+    invariant list(x)
+  {
+    return c;
+  }
+  return nil;
+}
+)");
+  std::vector<BasicPath> Ps = pathsOf(*M, "f");
+  bool SawLoopToPost = false;
+  for (const BasicPath &P : Ps)
+    if (P.EndIsPost && P.Desc.find("inv") == 0)
+      SawLoopToPost = true;
+  EXPECT_TRUE(SawLoopToPost);
+}
+
+TEST(Paths, ElseBranchGetsNegatedCondition) {
+  auto M = parsePrelude(R"(
+proc f(j: int) returns (ret: int)
+  requires true
+  ensures true
+{
+  if (j > 0) {
+    return 1;
+  } else {
+    return 0;
+  }
+}
+)");
+  std::vector<BasicPath> Ps = pathsOf(*M, "f");
+  ASSERT_EQ(Ps.size(), 2u);
+  EXPECT_EQ(Ps[1].Stmts[0].Cond->kind(), Formula::FK_Not);
+}

@@ -1,0 +1,70 @@
+//===--- printer_test.cpp - Pretty-printer goldens -----------------------------===//
+
+#include "dryad/printer.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+TEST(Printer, DefinitionsRoundTripThroughPrinting) {
+  auto M = parsePrelude();
+  const RecDef *List = M->Defs.lookup("list");
+  EXPECT_EQ(print(*List),
+            "pred list[next](x) := x == nil && emp || x |-> (next: n) * "
+            "list(n)");
+  const RecDef *Keys = M->Defs.lookup("keys");
+  std::string S = print(*Keys);
+  EXPECT_NE(S.find("func keys[next](x) : intset :="), std::string::npos);
+  EXPECT_NE(S.find("case x == nil && emp -> {};"), std::string::npos);
+  EXPECT_NE(S.find("union(keys(n), {k})"), std::string::npos);
+}
+
+TEST(Printer, StopParametersShown) {
+  auto M = parsePrelude();
+  std::string S = print(*M->Defs.lookup("lseg"));
+  EXPECT_NE(S.find("pred lseg[next; u](x)"), std::string::npos);
+}
+
+TEST(Printer, TermForms) {
+  AstContext Ctx;
+  EXPECT_EQ(print(Ctx.nil()), "nil");
+  EXPECT_EQ(print(Ctx.intConst(-3)), "-3");
+  EXPECT_EQ(print(Ctx.inf(true)), "inf");
+  EXPECT_EQ(print(Ctx.emptySet(Sort::IntMSet)), "m{}");
+  EXPECT_EQ(print(Ctx.singleton(Ctx.intConst(4), Sort::IntMSet)), "m{4}");
+  EXPECT_EQ(print(Ctx.setBin(SetBinTerm::Diff,
+                             Ctx.var("A", Sort::IntSet),
+                             Ctx.var("B", Sort::IntSet))),
+            "diff(A, B)");
+}
+
+TEST(Printer, StampedNodesShowTimestamps) {
+  auto M = parsePrelude();
+  AstContext &Ctx = M->Ctx;
+  const RecDef *List = M->Defs.lookup("list");
+  const Term *X = Ctx.var("x", Sort::Loc);
+  const Formula *F = Ctx.recPred(List, X, {}, /*Time=*/3);
+  EXPECT_EQ(print(F), "list@3(x)");
+  const Term *R = Ctx.reach(List, X, {}, /*Time=*/1);
+  EXPECT_EQ(print(R), "reach_list@1(x)");
+  const Term *FR = Ctx.fieldRead("next", X, Sort::Loc, /*Version=*/2);
+  EXPECT_EQ(print(FR), "next@2(x)");
+}
+
+TEST(Printer, FieldUpdateRendering) {
+  AstContext Ctx;
+  const Formula *F = Ctx.fieldUpdate("next", 0, 1, Ctx.var("u", Sort::Loc),
+                                     Ctx.nil());
+  EXPECT_EQ(print(F), "next@1 = store(next@0, u, nil)");
+}
+
+TEST(Printer, PrecedenceParenthesization) {
+  AstContext Ctx;
+  const Formula *A = Ctx.cmp(CmpFormula::Eq, Ctx.var("x", Sort::Loc), Ctx.nil());
+  const Formula *B = Ctx.cmp(CmpFormula::Ne, Ctx.var("y", Sort::Loc), Ctx.nil());
+  const Formula *C = Ctx.cmp(CmpFormula::Eq, Ctx.var("z", Sort::Loc), Ctx.nil());
+  const Formula *F = Ctx.conj2(Ctx.disj({A, B}), C);
+  EXPECT_EQ(print(F), "(x == nil || y != nil) && z == nil");
+}

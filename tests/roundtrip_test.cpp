@@ -1,0 +1,128 @@
+//===--- roundtrip_test.cpp - Corpus-wide structural sweeps --------------------===//
+//
+// Parameterized sweeps over every shipped corpus module: contracts print to
+// parseable text (printer/parser agreement), every definition passes
+// well-formedness, every procedure yields basic paths whose statements are
+// simple, and VC generation succeeds for every path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dryad/printer.h"
+#include "dryad/typecheck.h"
+#include "lang/paths.h"
+#include "vcgen/vc.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+const char *Modules[] = {
+    "fig6/sll.dryad",
+    "fig6/sorted_list.dryad",
+    "fig6/dll.dryad",
+    "fig6/cyclic.dryad",
+    "fig6/maxheap.dryad",
+    "fig6/bst.dryad",
+    "fig6/treap.dryad",
+    "fig6/avl.dryad",
+    "fig6/rbt.dryad",
+    "fig6/traversals.dryad",
+    "fig6/schorr_waite.dryad",
+    "fig7/glib_gslist.dryad",
+    "fig7/glib_glist.dryad",
+    "fig7/openbsd_queue.dryad",
+    "fig7/expressos_cachepage.dryad",
+    "fig7/expressos_memregion.dryad",
+    "fig7/linux_mmap.dryad",
+    "negative/seeded_bugs.dryad",
+};
+
+struct CorpusSweep : ::testing::TestWithParam<const char *> {};
+
+std::string testName(const ::testing::TestParamInfo<const char *> &Info) {
+  std::string N = Info.param;
+  for (char &C : N)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return N;
+}
+} // namespace
+
+TEST_P(CorpusSweep, DefinitionsAreWellFormed) {
+  Module M;
+  DiagEngine D;
+  ASSERT_TRUE(parseModuleFile(suitePath(GetParam()), M, D)) << D.str();
+  EXPECT_TRUE(checkDefs(M.Defs, D)) << D.str();
+  EXPECT_FALSE(M.Defs.all().empty());
+}
+
+TEST_P(CorpusSweep, ContractsRoundTripThroughPrinter) {
+  Module M;
+  DiagEngine D;
+  ASSERT_TRUE(parseModuleFile(suitePath(GetParam()), M, D)) << D.str();
+
+  for (const Procedure &P : M.Procs) {
+    for (const Formula *F : {P.Pre, P.Post}) {
+      ASSERT_NE(F, nullptr) << P.Name;
+      std::string Printed = print(F);
+      // Reparse the printed contract in the same module environment.
+      DiagEngine D2;
+      std::vector<Token> Toks = tokenize(Printed, D2);
+      ASSERT_FALSE(D2.hasErrors()) << P.Name << ": " << Printed;
+      TokenCursor Cur;
+      Cur.Toks = &Toks;
+      SpecParser SP(M.Ctx, M.Fields, M.Defs, D2, Cur);
+      VarEnv Env;
+      for (const VarDecl &V : P.Params)
+        Env[V.Name] = V.S;
+      for (const VarDecl &V : P.SpecVars)
+        Env[V.Name] = V.S;
+      if (P.HasRet)
+        Env[P.Ret.Name] = P.Ret.S;
+      const Formula *Reparsed = SP.parseFormula(Env);
+      ASSERT_NE(Reparsed, nullptr) << P.Name << ": " << Printed << "\n"
+                                   << D2.str();
+      EXPECT_FALSE(D2.hasErrors()) << P.Name << ": " << D2.str();
+      // Printing again is a fixed point.
+      EXPECT_EQ(print(Reparsed), Printed) << P.Name;
+    }
+  }
+}
+
+TEST_P(CorpusSweep, EveryPathGeneratesAVC) {
+  Module M;
+  DiagEngine D;
+  ASSERT_TRUE(parseModuleFile(suitePath(GetParam()), M, D)) << D.str();
+  VCGen Gen(M);
+  size_t Paths = 0;
+  for (const Procedure &P : M.Procs) {
+    if (!P.HasBody)
+      continue;
+    for (const BasicPath &BP : extractPaths(M, P, D)) {
+      ++Paths;
+      // Only simple statements appear in paths.
+      for (const Stmt &S : BP.Stmts) {
+        EXPECT_NE(S.K, Stmt::If);
+        EXPECT_NE(S.K, Stmt::While);
+      }
+      std::optional<VCond> VC = Gen.generate(P, BP, D);
+      ASSERT_TRUE(VC.has_value()) << P.Name << " [" << BP.Desc << "]\n"
+                                  << D.str();
+      EXPECT_FALSE(VC->Assumptions.empty());
+      ASSERT_NE(VC->Goal, nullptr);
+      EXPECT_FALSE(VC->Boundaries.empty());
+      EXPECT_GE(VC->LocTerms.size(), 1u);
+      // Boundary times are exactly 0..n-1.
+      for (size_t I = 0; I != VC->Boundaries.size(); ++I)
+        EXPECT_EQ(VC->Boundaries[I].Time, static_cast<int>(I));
+    }
+  }
+  EXPECT_GT(Paths, 0u);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModules, CorpusSweep, ::testing::ValuesIn(Modules),
+                         testName);

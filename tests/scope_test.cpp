@@ -1,0 +1,89 @@
+//===--- scope_test.cpp - Domain-exact / scope (Fig. 3) tests ------------------===//
+
+#include "dryad/printer.h"
+#include "translate/scope.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct ScopeTest : ::testing::Test {
+  ScopeTest() : M(parsePrelude()) {}
+  std::unique_ptr<Module> M;
+
+  const Formula *contract(const std::string &Body) {
+    auto M2 = parsePrelude("proc probe(x: loc, y: loc, k: int)\n"
+                           "  spec (K: intset)\n"
+                           "  requires " +
+                           Body + "\n  ensures true\n{\n}\n");
+    ProbeModule = std::move(M2);
+    return ProbeModule->findProc("probe")->Pre;
+  }
+
+  std::unique_ptr<Module> ProbeModule;
+};
+} // namespace
+
+TEST_F(ScopeTest, AtomScopes) {
+  const Formula *F = contract("emp");
+  SynScope S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(print(S.Scope), "{}");
+
+  F = contract("x |-> (next: y)");
+  S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(print(S.Scope), "{x}");
+
+  F = contract("list(x)");
+  S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(print(S.Scope), "reach_list(x)");
+}
+
+TEST_F(ScopeTest, PureFormulasAreNotDomainExact) {
+  const Formula *F = contract("x == nil && k <= 3");
+  SynScope S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_FALSE(S.Exact);
+  EXPECT_EQ(print(S.Scope), "{}");
+}
+
+TEST_F(ScopeTest, ImpureComparisonIsDomainExact) {
+  const Formula *F = contract("keys(x) == K");
+  SynScope S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(print(S.Scope), "reach_keys(x)");
+}
+
+TEST_F(ScopeTest, SepIsExactOnlyWhenAllPartsAre) {
+  const Formula *F = contract("list(x) * list(y)");
+  SynScope S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_TRUE(S.Exact);
+  EXPECT_EQ(print(S.Scope), "union(reach_list(x), reach_list(y))");
+
+  F = contract("list(x) * true");
+  S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_FALSE(S.Exact) << "ϕ * true is not domain-exact (Fig. 3)";
+}
+
+TEST_F(ScopeTest, AndIsExactWhenAnyPartIs) {
+  const Formula *F = contract("list(x) && x != nil");
+  SynScope S = scopeOfFormula(ProbeModule->Ctx, F);
+  EXPECT_TRUE(S.Exact);
+}
+
+TEST_F(ScopeTest, LiftDisjunctionDistributesOverSep) {
+  const Formula *F = contract("(emp || x |-> (next: y)) * list(y)");
+  std::vector<const Formula *> Ds = liftDisjunction(ProbeModule->Ctx, F);
+  ASSERT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(print(Ds[0]), "emp * list(y)");
+  EXPECT_EQ(print(Ds[1]), "x |-> (next: y) * list(y)");
+}
+
+TEST_F(ScopeTest, LiftDisjunctionCartesianProduct) {
+  const Formula *F = contract("(emp || emp) * (emp || emp)");
+  EXPECT_EQ(liftDisjunction(ProbeModule->Ctx, F).size(), 4u);
+}

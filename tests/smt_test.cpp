@@ -1,0 +1,140 @@
+//===--- smt_test.cpp - SMT lowering and solving tests -------------------------===//
+
+#include "smt/solver.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct SmtTest : ::testing::Test {
+  SmtTest() : M(parsePrelude()) {}
+  std::unique_ptr<Module> M;
+
+  SmtStatus checkFormulas(std::vector<const Formula *> Assume,
+                          const Formula *NegatedGoal = nullptr) {
+    SmtSolver S;
+    S.setTimeoutMs(10000);
+    for (const Formula *F : Assume)
+      S.add(F);
+    if (NegatedGoal)
+      S.addNegated(NegatedGoal);
+    return S.check().Status;
+  }
+};
+} // namespace
+
+TEST_F(SmtTest, PropositionalSanity) {
+  AstContext &Ctx = M->Ctx;
+  const Term *X = Ctx.var("x", Sort::Int);
+  const Formula *Lt = Ctx.cmp(CmpFormula::Lt, X, Ctx.intConst(3));
+  const Formula *Gt = Ctx.cmp(CmpFormula::Gt, X, Ctx.intConst(5));
+  EXPECT_EQ(checkFormulas({Lt, Gt}), SmtStatus::Unsat);
+  EXPECT_EQ(checkFormulas({Lt}), SmtStatus::Sat);
+}
+
+TEST_F(SmtTest, GoalProvingViaNegation) {
+  AstContext &Ctx = M->Ctx;
+  const Term *X = Ctx.var("x", Sort::Int);
+  const Formula *Pos = Ctx.cmp(CmpFormula::Ge, X, Ctx.intConst(0));
+  const Formula *Goal =
+      Ctx.cmp(CmpFormula::Ge, Ctx.intBin(IntBinTerm::Add, X, Ctx.intConst(1)),
+              Ctx.intConst(1));
+  EXPECT_EQ(checkFormulas({Pos}, Goal), SmtStatus::Unsat);
+}
+
+TEST_F(SmtTest, SetOperationsBehave) {
+  AstContext &Ctx = M->Ctx;
+  const Term *A = Ctx.var("A", Sort::IntSet);
+  const Term *B = Ctx.var("B", Sort::IntSet);
+  const Term *Three = Ctx.intConst(3);
+  // 3 in A, A subset B |= 3 in B.
+  const Formula *InA = Ctx.cmp(CmpFormula::In, Three, A);
+  const Formula *Sub = Ctx.cmp(CmpFormula::SubsetEq, A, B);
+  const Formula *InB = Ctx.cmp(CmpFormula::In, Three, B);
+  EXPECT_EQ(checkFormulas({InA, Sub}, InB), SmtStatus::Unsat);
+  // union/diff roundtrip: (A u {3}) \ {} == A u {3}.
+  const Term *U = Ctx.setUnion(A, Ctx.singleton(Three, Sort::IntSet));
+  const Formula *Goal = Ctx.cmp(CmpFormula::In, Three, U);
+  EXPECT_EQ(checkFormulas({}, Goal), SmtStatus::Unsat);
+}
+
+TEST_F(SmtTest, SetInequalityQuantifiers) {
+  AstContext &Ctx = M->Ctx;
+  const Term *A = Ctx.var("A", Sort::IntSet);
+  const Term *K = Ctx.var("k", Sort::Int);
+  // {k} < A and k in A is contradictory.
+  const Formula *Lt =
+      Ctx.cmp(CmpFormula::SetLt, Ctx.singleton(K, Sort::IntSet), A);
+  const Formula *In = Ctx.cmp(CmpFormula::In, K, A);
+  EXPECT_EQ(checkFormulas({Lt, In}), SmtStatus::Unsat);
+  // {k} <= A and k in A is satisfiable.
+  const Formula *Le =
+      Ctx.cmp(CmpFormula::SetLe, Ctx.singleton(K, Sort::IntSet), A);
+  EXPECT_EQ(checkFormulas({Le, In}), SmtStatus::Sat);
+}
+
+TEST_F(SmtTest, MultisetUnionAddsMultiplicities) {
+  AstContext &Ctx = M->Ctx;
+  const Term *E = Ctx.emptySet(Sort::IntMSet);
+  const Term *S1 = Ctx.singleton(Ctx.intConst(4), Sort::IntMSet);
+  const Term *U = Ctx.setBin(SetBinTerm::Union, S1, S1);
+  // (m{4} u m{4}) != m{4}: multiplicity 2 vs 1.
+  const Formula *Ne = Ctx.cmp(CmpFormula::Ne, U, S1);
+  EXPECT_EQ(checkFormulas({}, Ne), SmtStatus::Unsat);
+  // diff saturates: m{} \ m{4} == m{}.
+  const Formula *DiffEmpty = Ctx.cmp(
+      CmpFormula::Eq, Ctx.setBin(SetBinTerm::Diff, E, S1), E);
+  EXPECT_EQ(checkFormulas({}, DiffEmpty), SmtStatus::Unsat);
+}
+
+TEST_F(SmtTest, FieldUpdateIsArrayStore) {
+  AstContext &Ctx = M->Ctx;
+  const Term *U = Ctx.var("u", Sort::Loc);
+  const Term *V = Ctx.var("v", Sort::Loc);
+  const Formula *Upd = Ctx.fieldUpdate("next", 0, 1, U, V);
+  // After the update, next@1(u) == v.
+  const Formula *ReadBack = Ctx.eq(
+      Ctx.fieldRead("next", U, Sort::Loc, 1), V);
+  EXPECT_EQ(checkFormulas({Upd}, ReadBack), SmtStatus::Unsat);
+  // And other cells are unchanged.
+  const Term *W = Ctx.var("w", Sort::Loc);
+  const Formula *WDiff = Ctx.cmp(CmpFormula::Ne, W, U);
+  const Formula *Frame = Ctx.eq(Ctx.fieldRead("next", W, Sort::Loc, 1),
+                                Ctx.fieldRead("next", W, Sort::Loc, 0));
+  EXPECT_EQ(checkFormulas({Upd, WDiff}, Frame), SmtStatus::Unsat);
+}
+
+TEST_F(SmtTest, RecInstancesShareReachAcrossDefs) {
+  // list and keys (same pointer fields) must share one reach-set symbol.
+  AstContext &Ctx = M->Ctx;
+  const RecDef *List = M->Defs.lookup("list");
+  const RecDef *Keys = M->Defs.lookup("keys");
+  const Term *X = Ctx.var("x", Sort::Loc);
+  const Formula *NonEmpty = Ctx.cmp(
+      CmpFormula::Ne, Ctx.reach(List, X, {}, 0), Ctx.emptySet(Sort::LocSet));
+  const Formula *Goal = Ctx.cmp(
+      CmpFormula::Ne, Ctx.reach(Keys, X, {}, 0), Ctx.emptySet(Sort::LocSet));
+  EXPECT_EQ(checkFormulas({NonEmpty}, Goal), SmtStatus::Unsat);
+}
+
+TEST_F(SmtTest, ModelReportedOnSat) {
+  AstContext &Ctx = M->Ctx;
+  const Term *X = Ctx.var("x", Sort::Int);
+  const Formula *F = Ctx.cmp(CmpFormula::Gt, X, Ctx.intConst(41));
+  SmtSolver S;
+  S.add(F);
+  SmtResult R = S.check();
+  ASSERT_EQ(R.Status, SmtStatus::Sat);
+  EXPECT_NE(R.ModelText.find("x = "), std::string::npos);
+}
+
+TEST_F(SmtTest, Smt2DumpContainsAssertions) {
+  AstContext &Ctx = M->Ctx;
+  SmtSolver S;
+  S.add(Ctx.cmp(CmpFormula::Gt, Ctx.var("x", Sort::Int), Ctx.intConst(0)));
+  std::string Dump = S.toSmt2();
+  EXPECT_NE(Dump.find("assert"), std::string::npos);
+}

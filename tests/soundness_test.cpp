@@ -1,0 +1,124 @@
+//===--- soundness_test.cpp - End-to-end soundness property test ----------------===//
+//
+// Closes the loop between prover and semantics: routines that the verifier
+// proves are executed concretely on generated valid inputs, and the
+// postcondition is re-checked with the Dryad evaluator on the final state.
+// A verified routine whose execution breaks its postcondition would expose
+// an unsoundness anywhere in the pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/gen.h"
+#include "interp/interp.h"
+#include "sem/eval.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct Soundness : ::testing::TestWithParam<int> {};
+} // namespace
+
+TEST_P(Soundness, VerifiedSllRoutinesBehave) {
+  int Seed = GetParam();
+  Module M;
+  DiagEngine D;
+  ASSERT_TRUE(parseModuleFile(suitePath("fig6/sll.dryad"), M, D)) << D.str();
+
+  // Verify once (cheap for this module).
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Verifier V(M, Opts);
+  std::set<std::string> Proved;
+  for (const ProcResult &R : V.verifyAll(D))
+    if (R.Verified)
+      Proved.insert(R.Proc);
+  ASSERT_TRUE(Proved.count("insert_front"));
+  ASSERT_TRUE(Proved.count("reverse_iter"));
+  ASSERT_TRUE(Proved.count("delete_all_rec"));
+
+  const RecDef *List = M.Defs.lookup("list");
+  const RecDef *Keys = M.Defs.lookup("keys");
+
+  auto KeysOf = [&](ProgramState &St, int64_t L) {
+    Evaluator E(St, M.Defs, EvalMode::Heaplet);
+    return E.recValue(Keys, {}, L).Set;
+  };
+  auto IsList = [&](ProgramState &St, int64_t L) {
+    Evaluator E(St, M.Defs, EvalMode::Heaplet);
+    return E.recValue(List, {}, L).B &&
+           St.reachset(L, {"next"}, {}) == St.R;
+  };
+
+  // insert_front: keys grow by {k}; still a list; heaplet exact.
+  {
+    ProgramState St(M.Fields);
+    HeapGen Gen(St, Seed);
+    int64_t Head = Gen.makeList(Seed % 6);
+    std::set<int64_t> Before = KeysOf(St, Head);
+    Interpreter I(M);
+    auto R = I.call("insert_front", {Value::mkLoc(Head), Value::mkInt(7)}, St);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    std::set<int64_t> Expected = Before;
+    Expected.insert(7);
+    EXPECT_TRUE(IsList(St, R.Ret->I));
+    EXPECT_EQ(KeysOf(St, R.Ret->I), Expected);
+  }
+
+  // reverse_iter: same keys, still a list.
+  {
+    ProgramState St(M.Fields);
+    HeapGen Gen(St, Seed + 100);
+    int64_t Head = Gen.makeList(Seed % 7);
+    std::set<int64_t> Before = KeysOf(St, Head);
+    Interpreter I(M);
+    auto R = I.call("reverse_iter", {Value::mkLoc(Head)}, St);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(IsList(St, R.Ret->I));
+    EXPECT_EQ(KeysOf(St, R.Ret->I), Before);
+  }
+
+  // delete_all_rec: key k gone, everything else kept (set view).
+  {
+    ProgramState St(M.Fields);
+    HeapGen Gen(St, Seed + 200);
+    int64_t Head = Gen.makeList(5, {1, 2, 1, 3, 1});
+    Interpreter I(M);
+    auto R = I.call("delete_all_rec", {Value::mkLoc(Head), Value::mkInt(1)},
+                    St);
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_TRUE(IsList(St, R.Ret->I));
+    EXPECT_EQ(KeysOf(St, R.Ret->I), (std::set<int64_t>{2, 3}));
+  }
+}
+
+TEST_P(Soundness, VerifiedHeapifyRestoresMaxHeap) {
+  int Seed = GetParam();
+  Module M;
+  DiagEngine D;
+  ASSERT_TRUE(parseModuleFile(suitePath("fig6/maxheap.dryad"), M, D))
+      << D.str();
+
+  ProgramState St(M.Fields);
+  HeapGen Gen(St, Seed);
+  int64_t Root = Gen.makeMaxHeap(7);
+  if (Root == 0)
+    return;
+  // Break the heap property at the root (heapify's precondition).
+  St.write(Root, "key", -1000);
+
+  Interpreter I(M);
+  auto R = I.call("heapify", {Value::mkLoc(Root)}, St);
+  ASSERT_TRUE(R.Ok) << R.Error;
+
+  Evaluator E(St, M.Defs, EvalMode::Heaplet);
+  EXPECT_TRUE(E.recValue(M.Defs.lookup("mheap"), {}, Root).B)
+      << "heapify must restore the max-heap property\n"
+      << St.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soundness, ::testing::Range(1, 7));

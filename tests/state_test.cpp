@@ -1,0 +1,126 @@
+//===--- state_test.cpp - Program states and reach sets -----------------------===//
+
+#include "interp/gen.h"
+#include "sem/state.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct StateTest : ::testing::Test {
+  StateTest() : M(parsePrelude()), St(M->Fields) {}
+  std::unique_ptr<Module> M;
+  ProgramState St;
+};
+} // namespace
+
+TEST_F(StateTest, AllocateProducesFreshDistinctLocations) {
+  int64_t A = St.allocate();
+  int64_t B = St.allocate();
+  EXPECT_NE(A, 0);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(St.R.count(A));
+  St.deallocate(A);
+  EXPECT_FALSE(St.R.count(A));
+  EXPECT_TRUE(St.R.count(B));
+}
+
+TEST_F(StateTest, ReadsDefaultToZero) {
+  int64_t A = St.allocate();
+  EXPECT_EQ(St.read(A, "next"), 0);
+  St.write(A, "next", 7);
+  EXPECT_EQ(St.read(A, "next"), 7);
+}
+
+TEST_F(StateTest, ReachsetOfListIsItsNodes) {
+  HeapGen Gen(St, 1);
+  int64_t Head = Gen.makeList(4);
+  std::set<int64_t> Reach = St.reachset(Head, {"next"}, {});
+  EXPECT_EQ(Reach.size(), 4u);
+  EXPECT_TRUE(Reach.count(Head));
+  EXPECT_EQ(St.reachset(0, {"next"}, {}).size(), 0u);
+}
+
+TEST_F(StateTest, ReachsetStopsAtStopLocations) {
+  HeapGen Gen(St, 2);
+  int64_t Head = Gen.makeList(5);
+  int64_t Third = St.read(St.read(Head, "next"), "next");
+  std::set<int64_t> Seg = St.reachset(Head, {"next"}, {Third});
+  EXPECT_EQ(Seg.size(), 2u);
+  EXPECT_FALSE(Seg.count(Third));
+}
+
+TEST_F(StateTest, ReachsetOnCycleTerminates) {
+  HeapGen Gen(St, 3);
+  int64_t Head = Gen.makeCyclic(6);
+  std::set<int64_t> Reach = St.reachset(Head, {"next"}, {});
+  EXPECT_EQ(Reach.size(), 6u);
+  // Segment from the successor back to (but excluding) the head.
+  std::set<int64_t> Seg =
+      St.reachset(St.read(Head, "next"), {"next"}, {Head});
+  EXPECT_EQ(Seg.size(), 5u);
+}
+
+TEST_F(StateTest, ReachsetIncludesFrontierButDoesNotExpandIt) {
+  // A node outside R is reachable (rule 1) but not expanded (rule 2).
+  int64_t A = St.allocate();
+  int64_t B = St.allocate();
+  int64_t C = St.allocate();
+  St.write(A, "next", B);
+  St.write(B, "next", C);
+  St.deallocate(B); // B becomes frontier
+  std::set<int64_t> Reach = St.reachset(A, {"next"}, {});
+  EXPECT_TRUE(Reach.count(A));
+  EXPECT_TRUE(Reach.count(B));
+  EXPECT_FALSE(Reach.count(C)) << "expansion through a non-R node";
+  // Global mode expands everywhere.
+  std::set<int64_t> Global = St.reachset(A, {"next"}, {}, /*Global=*/true);
+  EXPECT_TRUE(Global.count(C));
+}
+
+TEST_F(StateTest, TreeReachFollowsBothFields) {
+  HeapGen Gen(St, 4);
+  int64_t Root = Gen.makeTree(7);
+  std::set<int64_t> Reach = St.reachset(Root, {"left", "right"}, {});
+  EXPECT_EQ(Reach.size(), 7u);
+}
+
+TEST(HeapGen, GeneratorsSatisfyShapeBasics) {
+  auto M = parsePrelude();
+  ProgramState St(M->Fields);
+  HeapGen Gen(St, 99);
+  int64_t S = Gen.makeSortedList(8);
+  int64_t Prev = -1000;
+  for (int64_t C = S; C != 0; C = St.read(C, "next")) {
+    EXPECT_LE(Prev, St.read(C, "key"));
+    Prev = St.read(C, "key");
+  }
+  int64_t H = Gen.makeMaxHeap(9);
+  for (int64_t L : St.reachset(H, {"left", "right"}, {}))
+    for (const char *Slot : {"left", "right"}) {
+      int64_t Ch = St.read(L, Slot);
+      if (Ch)
+        EXPECT_GE(St.read(L, "key"), St.read(Ch, "key"));
+    }
+  int64_t D = Gen.makeDll(5);
+  int64_t Last = 0;
+  for (int64_t C = D; C != 0; C = St.read(C, "next")) {
+    EXPECT_EQ(St.read(C, "prev"), Last);
+    Last = C;
+  }
+  int64_t B = Gen.makeBst(12);
+  // Inorder traversal of a BST yields sorted keys.
+  std::vector<int64_t> Keys;
+  std::function<void(int64_t)> Walk = [&](int64_t N) {
+    if (!N)
+      return;
+    Walk(St.read(N, "left"));
+    Keys.push_back(St.read(N, "key"));
+    Walk(St.read(N, "right"));
+  };
+  Walk(B);
+  EXPECT_TRUE(std::is_sorted(Keys.begin(), Keys.end()));
+}

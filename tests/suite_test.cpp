@@ -1,0 +1,70 @@
+//===--- suite_test.cpp - Benchmark-corpus smoke tests --------------------------===//
+//
+// Fast integration coverage over the shipped corpus: a representative
+// routine from each module must verify, and every seeded bug must be
+// rejected. (The full corpus runs in bench/fig6_datastructures and
+// bench/fig7_opensource.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct SuiteCase {
+  const char *File;
+  const char *Proc;
+  bool ExpectVerified;
+};
+
+const SuiteCase Cases[] = {
+    {"fig6/sll.dryad", "insert_front", true},
+    {"fig6/sll.dryad", "reverse_iter", true},
+    {"fig6/sll.dryad", "insert_back_rec", true},
+    {"fig6/sorted_list.dryad", "insert_rec", true},
+    {"fig6/sorted_list.dryad", "merge_rec", true},
+    {"fig6/maxheap.dryad", "heapify", true},
+    {"fig6/bst.dryad", "find_rec", true},
+    {"fig6/traversals.dryad", "inorder_rec", true},
+    {"fig6/schorr_waite.dryad", "marking", true},
+    {"fig7/glib_gslist.dryad", "gslist_length", true},
+    {"fig7/expressos_cachepage.dryad", "add_cachepage", true},
+    {"fig7/linux_mmap.dryad", "find_vma", true},
+    {"negative/seeded_bugs.dryad", "bug_insert_claims_same_keys", false},
+    {"negative/seeded_bugs.dryad", "bug_forgot_link", false},
+    {"negative/seeded_bugs.dryad", "bug_delete_no_free", false},
+    {"negative/seeded_bugs.dryad", "bug_sorted_insert_front", false},
+    {"negative/seeded_bugs.dryad", "bug_weak_invariant", false},
+    {"negative/seeded_bugs.dryad", "bug_find_inverted", false},
+};
+
+struct SuiteSmoke : ::testing::TestWithParam<SuiteCase> {};
+} // namespace
+
+TEST_P(SuiteSmoke, RoutineHasExpectedOutcome) {
+  const SuiteCase &C = GetParam();
+  Module M;
+  DiagEngine D;
+  ASSERT_TRUE(parseModuleFile(suitePath(C.File), M, D)) << D.str();
+  const Procedure *P = M.findProc(C.Proc);
+  ASSERT_NE(P, nullptr) << C.Proc;
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 60000;
+  Verifier V(M, Opts);
+  ProcResult R = V.verifyProc(*P, D);
+  EXPECT_EQ(R.Verified, C.ExpectVerified) << C.File << " / " << C.Proc;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, SuiteSmoke, ::testing::ValuesIn(Cases),
+                         [](const auto &Info) {
+                           std::string N = Info.param.Proc;
+                           for (char &C : N)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return N;
+                         });

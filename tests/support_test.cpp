@@ -1,0 +1,48 @@
+//===--- support_test.cpp - Diagnostics tests --------------------------------===//
+
+#include "support/diag.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+
+TEST(Diag, EmptyEngineHasNoErrors) {
+  DiagEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_EQ(D.str(), "");
+}
+
+TEST(Diag, ErrorsAreRecordedInOrder) {
+  DiagEngine D;
+  D.warning({1, 2}, "w");
+  D.error({3, 4}, "e");
+  D.note({5, 6}, "n");
+  ASSERT_EQ(D.diagnostics().size(), 3u);
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.diagnostics()[1].Message, "e");
+  EXPECT_EQ(D.diagnostics()[1].Loc.Line, 3);
+}
+
+TEST(Diag, WarningAloneIsNotError) {
+  DiagEngine D;
+  D.warning({1, 1}, "only warning");
+  EXPECT_FALSE(D.hasErrors());
+}
+
+TEST(Diag, Rendering) {
+  DiagEngine D;
+  D.error({7, 9}, "bad thing");
+  EXPECT_EQ(D.str(), "7:9: error: bad thing\n");
+}
+
+TEST(SourceLoc, InvalidPrintsUnknown) {
+  SourceLoc L;
+  EXPECT_FALSE(L.isValid());
+  EXPECT_EQ(L.str(), "<unknown>");
+}
+
+TEST(SourceLoc, ValidPrintsLineCol) {
+  SourceLoc L{12, 34};
+  EXPECT_TRUE(L.isValid());
+  EXPECT_EQ(L.str(), "12:34");
+}

@@ -1,0 +1,95 @@
+//===--- testutil.h - Shared fixtures for the test suite --------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_TESTS_TESTUTIL_H
+#define DRYAD_TESTS_TESTUTIL_H
+
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace dryad {
+namespace test {
+
+/// The standard specification prelude most tests share: lists and trees
+/// with their key-set functions.
+inline const char *preludeText() {
+  return R"(
+fields ptr next, prev, left, right;
+fields data key;
+
+pred list[ptr next](x) :=
+  (x == nil && emp) || (x |-> (next: n) * list(n));
+
+pred lseg[ptr next; stop u](x) :=
+  (x == u && emp) || (x |-> (next: n) * lseg(n, u));
+
+func keys[ptr next](x) : intset :=
+  case (x == nil && emp) -> {};
+  case (x |-> (next: n, key: k) * true) -> union(keys(n), {k});
+  default -> {};
+
+func len[ptr next](x) : int :=
+  case (x == nil && emp) -> 0;
+  case (x |-> (next: n) * true) -> len(n) + 1;
+  default -> 0;
+
+pred slist[ptr next](x) :=
+  (x == nil && emp) ||
+  (x |-> (next: n, key: k) * (slist(n) && k <= keys(n)));
+
+pred tree[ptr left, right](x) :=
+  (x == nil && emp) || (x |-> (left: l, right: r) * tree(l) * tree(r));
+
+func tkeys[ptr left, right](x) : intset :=
+  case (x == nil && emp) -> {};
+  case (x |-> (left: l, right: r, key: k) * true) ->
+    union(tkeys(l), {k}, tkeys(r));
+  default -> {};
+
+pred bst[ptr left, right](x) :=
+  (x == nil && emp) ||
+  (x |-> (left: l, right: r, key: k) *
+   (bst(l) && tkeys(l) < k) * (bst(r) && k < tkeys(r)));
+
+pred mheap[ptr left, right](x) :=
+  (x == nil && emp) ||
+  (x |-> (left: l, right: r, key: k) *
+   (mheap(l) && k >= tkeys(l)) * (mheap(r) && k >= tkeys(r)));
+)";
+}
+
+/// Parses a module consisting of the prelude plus \p Extra; aborts the test
+/// on parse errors.
+inline std::unique_ptr<Module> parsePrelude(const std::string &Extra = "") {
+  auto M = std::make_unique<Module>();
+  DiagEngine Diags;
+  bool Ok = parseModule(std::string(preludeText()) + Extra, *M, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return M;
+}
+
+/// Parses a standalone module; aborts the test on parse errors.
+inline std::unique_ptr<Module> parseText(const std::string &Text) {
+  auto M = std::make_unique<Module>();
+  DiagEngine Diags;
+  bool Ok = parseModule(Text, *M, Diags);
+  EXPECT_TRUE(Ok) << Diags.str();
+  return M;
+}
+
+/// Path to a file in the source-tree benchmark suite.
+inline std::string suitePath(const std::string &Rel) {
+  return std::string(DRYAD_SOURCE_DIR) + "/bench/suite/" + Rel;
+}
+
+} // namespace test
+} // namespace dryad
+
+#endif // DRYAD_TESTS_TESTUTIL_H

@@ -1,0 +1,127 @@
+//===--- theorem51_test.cpp - Property test for Theorem 5.1 --------------------===//
+//
+// Theorem 5.1: for a program state C with global heap and any heaplet G,
+//   (C, I) |= T(ϕ, G)   iff   (C|G, I) |= ϕ.
+// We check this on a library of Dryad formulas over randomly generated
+// program states (lists, trees, garbage), evaluating the left side with the
+// classical evaluator and the right side with the Dryad evaluator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/gen.h"
+#include "sem/classical_eval.h"
+#include "translate/translate.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct Scenario {
+  const char *Name;
+  const char *FormulaText; ///< over vars a (loc), b (loc), K (intset)
+};
+
+// Formulas exercising every Dryad construct: emp, points-to, *,
+// recursive predicates and functions, set comparisons, negation.
+const Scenario Scenarios[] = {
+    {"emp", "emp"},
+    {"list", "list(a)"},
+    {"two-lists", "list(a) * list(b)"},
+    {"list-true", "list(a) * true"},
+    {"keys", "keys(a) == K"},
+    {"list-and-keys", "list(a) && keys(a) == K"},
+    {"pointsto", "a |-> (next: b)"},
+    {"pointsto-rest", "(a |-> (next: b)) * list(b)"},
+    {"slist", "slist(a)"},
+    {"sorted-pair", "slist(a) * slist(b)"},
+    {"tree", "tree(a)"},
+    {"bst", "bst(a)"},
+    {"mheap", "mheap(a)"},
+    {"negation", "!(a == nil) && list(a)"},
+    {"disjunction", "(a == nil && emp) || (a |-> (next: b) * list(b))"},
+    {"lseg", "lseg(a, b) * list(b)"},
+    {"member", "list(a) && 3 in keys(a)"},
+    {"setle", "(slist(a) * slist(b)) && keys(a) <= keys(b)"},
+};
+
+struct Theorem51 : ::testing::TestWithParam<std::tuple<int, int>> {};
+} // namespace
+
+TEST_P(Theorem51, DryadAgreesWithTranslation) {
+  auto [Seed, Shape] = GetParam();
+  auto M = parsePrelude();
+  ProgramState St(M->Fields);
+  HeapGen Gen(St, static_cast<uint64_t>(Seed));
+
+  int64_t A = 0, B = 0;
+  switch (Shape) {
+  case 0:
+    A = Gen.makeList(Seed % 5);
+    B = Gen.makeList((Seed / 2) % 4);
+    break;
+  case 1:
+    A = Gen.makeSortedList(Seed % 6);
+    B = Gen.makeSortedList((Seed / 3) % 3);
+    break;
+  case 2:
+    A = Gen.makeBst(Seed % 7);
+    B = Gen.makeTree((Seed / 2) % 5);
+    break;
+  case 3:
+    A = Gen.makeMaxHeap(Seed % 6);
+    B = A ? St.read(A, "left") : 0;
+    break;
+  case 4:
+    A = Gen.makeList(Seed % 4);
+    B = Gen.makeList(2);
+    Gen.addGarbage(2);
+    break;
+  default:
+    A = Gen.makeCyclic(Seed % 4);
+    B = A;
+    break;
+  }
+
+  // Interpretation shared by both sides.
+  std::map<std::string, Value> Env;
+  Env["a"] = Value::mkLoc(A);
+  Env["b"] = Value::mkLoc(B);
+  Evaluator KeysEval(St, M->Defs, EvalMode::Heaplet);
+  Env["K"] = KeysEval.recValue(M->Defs.lookup("keys"), {}, A);
+
+  for (const Scenario &Sc : Scenarios) {
+    // Parse the scenario formula inside a probe contract.
+    auto Probe = parsePrelude(std::string("proc probe(a: loc, b: loc)\n") +
+                              "  spec (K: intset)\n  requires " +
+                              Sc.FormulaText + "\n  ensures true\n{\n}\n");
+    const Formula *Phi = Probe->findProc("probe")->Pre;
+
+    // Right side: Dryad semantics on the heaplet C|G with G := R.
+    Evaluator DryadEval(St, Probe->Defs, EvalMode::Heaplet);
+    DryadEval.Env = Env;
+    bool DryadHolds = DryadEval.holds(Phi, St.R);
+
+    // Left side: classical semantics of T(ϕ, G) over the global heap.
+    const Term *G = Probe->Ctx.var("G", Sort::LocSet);
+    const Formula *Classical =
+        translateDryad(Probe->Ctx, Probe->Fields, Phi, G);
+    bool ClassicalHolds =
+        evalClassical(St, Probe->Defs, Classical, "G", St.R, Env);
+
+    EXPECT_EQ(DryadHolds, ClassicalHolds)
+        << "Theorem 5.1 violated for '" << Sc.Name << "' (seed " << Seed
+        << ", shape " << Shape << ")\nstate:\n"
+        << St.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStates, Theorem51,
+    ::testing::Combine(::testing::Range(1, 13), ::testing::Range(0, 6)),
+    [](const auto &Info) {
+      return "seed" + std::to_string(std::get<0>(Info.param)) + "shape" +
+             std::to_string(std::get<1>(Info.param));
+    });

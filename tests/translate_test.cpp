@@ -1,0 +1,86 @@
+//===--- translate_test.cpp - Translation T(ϕ,G) goldens ----------------------===//
+
+#include "dryad/printer.h"
+#include "translate/translate.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+struct TranslateTest : ::testing::Test {
+  TranslateTest() : M(parsePrelude()) {}
+
+  std::string tr(const std::string &Body) {
+    Probe = parsePrelude("proc probe(x: loc, y: loc, k: int)\n"
+                         "  spec (K: intset)\n"
+                         "  requires " +
+                         Body + "\n  ensures true\n{\n}\n");
+    const Term *G = Probe->Ctx.var("G", Sort::LocSet);
+    return print(
+        translateDryad(Probe->Ctx, Probe->Fields, Probe->findProc("probe")->Pre, G));
+  }
+
+  std::unique_ptr<Module> M;
+  std::unique_ptr<Module> Probe;
+};
+} // namespace
+
+TEST_F(TranslateTest, EmpBecomesEmptyHeaplet) {
+  EXPECT_EQ(tr("emp"), "G == {}");
+}
+
+TEST_F(TranslateTest, PointsToPinsSingletonHeaplet) {
+  EXPECT_EQ(tr("x |-> (next: y)"),
+            "G == {x} && x != nil && next(x) == y");
+}
+
+TEST_F(TranslateTest, RecursivePredicatePinsReachSet) {
+  EXPECT_EQ(tr("list(x)"), "list(x) && G == reach_list(x)");
+}
+
+TEST_F(TranslateTest, PureFormulaUnchanged) {
+  EXPECT_EQ(tr("x == nil && k <= 3"), "x == nil && k <= 3");
+}
+
+TEST_F(TranslateTest, ImpureComparisonPinsScope) {
+  EXPECT_EQ(tr("keys(x) == K"), "keys(x) == K && G == reach_keys(x)");
+}
+
+TEST_F(TranslateTest, SepBothExactSplitsExactly) {
+  std::string S = tr("list(x) * list(y)");
+  EXPECT_NE(S.find("list(x) && reach_list(x) == reach_list(x)"),
+            std::string::npos)
+      << S; // each side evaluated on its own scope
+  EXPECT_NE(S.find("union(reach_list(x), reach_list(y)) == G"),
+            std::string::npos)
+      << S; // exact cover of the heaplet
+  EXPECT_NE(S.find("inter(reach_list(x), reach_list(y)) == {}"),
+            std::string::npos)
+      << S; // disjointness
+}
+
+TEST_F(TranslateTest, SepWithTrueGivesRemainderToTrue) {
+  // ϕ * true: ϕ on its scope, true on the rest, scope contained in G.
+  std::string S = tr("x |-> (next: y) * true");
+  EXPECT_NE(S.find("{x} subset G"), std::string::npos) << S;
+  EXPECT_NE(S.find("next(x) == y"), std::string::npos) << S;
+}
+
+TEST_F(TranslateTest, DisjunctionTranslatedPerDisjunct) {
+  std::string S = tr("(x == nil && emp) || x |-> (next: y)");
+  EXPECT_NE(S.find("x == nil && G == {}"), std::string::npos) << S;
+  EXPECT_NE(S.find("G == {x}"), std::string::npos) << S;
+}
+
+TEST_F(TranslateTest, NegationPassesThrough) {
+  EXPECT_EQ(tr("!(x == nil)"), "!(x == nil)");
+}
+
+TEST_F(TranslateTest, SepTranslationUsesDifferenceForNonExactTail) {
+  std::string S = tr("list(x) * (keys(y) == K && true)");
+  // The second operand is domain-exact via the keys comparison.
+  EXPECT_NE(S.find("reach_keys(y)"), std::string::npos) << S;
+}

@@ -1,0 +1,97 @@
+//===--- value_test.cpp - Lattice value tests --------------------------------===//
+
+#include "sem/value.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+
+TEST(Value, BottomElements) {
+  EXPECT_FALSE(Value::bottom(Sort::Bool).B);
+  EXPECT_EQ(Value::bottom(Sort::Int).IK, Value::NegInf);
+  EXPECT_TRUE(Value::bottom(Sort::IntSet).Set.empty());
+  EXPECT_TRUE(Value::bottom(Sort::IntMSet).MSet.empty());
+}
+
+TEST(Value, IntLatticeArithmeticSaturates) {
+  Value NI = Value::mkInf(false), PI = Value::mkInf(true);
+  Value Five = Value::mkInt(5);
+  EXPECT_EQ(intAdd(NI, Five).IK, Value::NegInf);
+  EXPECT_EQ(intAdd(Five, PI).IK, Value::PosInf);
+  EXPECT_EQ(intAdd(Five, Five).I, 10);
+  EXPECT_EQ(intSub(Five, PI).IK, Value::NegInf);
+}
+
+TEST(Value, IntLatticeOrder) {
+  Value NI = Value::mkInf(false), PI = Value::mkInf(true);
+  Value A = Value::mkInt(-3), B = Value::mkInt(4);
+  EXPECT_TRUE(intLe(NI, A));
+  EXPECT_TRUE(intLe(A, B));
+  EXPECT_TRUE(intLe(B, PI));
+  EXPECT_FALSE(intLe(PI, B));
+  EXPECT_TRUE(intLt(A, B));
+  EXPECT_FALSE(intLt(A, A));
+}
+
+TEST(Value, JoinIsLub) {
+  Value A = Value::mkInt(3), B = Value::mkInt(7);
+  EXPECT_EQ(Value::join(A, B).I, 7);
+  Value SA = Value::mkSet(Sort::IntSet, {1, 2});
+  Value SB = Value::mkSet(Sort::IntSet, {2, 3});
+  EXPECT_EQ(Value::join(SA, SB).Set, (std::set<int64_t>{1, 2, 3}));
+}
+
+TEST(Value, SetOperations) {
+  Value A = Value::mkSet(Sort::IntSet, {1, 2, 3});
+  Value B = Value::mkSet(Sort::IntSet, {3, 4});
+  EXPECT_EQ(setUnion(A, B).Set, (std::set<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(setInter(A, B).Set, (std::set<int64_t>{3}));
+  EXPECT_EQ(setDiff(A, B).Set, (std::set<int64_t>{1, 2}));
+  EXPECT_TRUE(setSubset(setInter(A, B), A));
+  EXPECT_FALSE(setSubset(A, B));
+  EXPECT_TRUE(setMember(Value::mkInt(2), A));
+  EXPECT_FALSE(setMember(Value::mkInt(9), A));
+}
+
+TEST(Value, MultisetUnionAddsMultiplicities) {
+  Value A = Value::mkMSet({{1, 2}, {5, 1}});
+  Value B = Value::mkMSet({{1, 1}});
+  Value U = setUnion(A, B);
+  EXPECT_EQ(U.MSet.at(1), 3);
+  EXPECT_EQ(U.MSet.at(5), 1);
+}
+
+TEST(Value, MultisetDiffSaturates) {
+  Value A = Value::mkMSet({{1, 1}});
+  Value B = Value::mkMSet({{1, 5}});
+  EXPECT_TRUE(setDiff(A, B).MSet.empty());
+}
+
+TEST(Value, SetAllCompare) {
+  Value A = Value::mkSet(Sort::IntSet, {1, 2});
+  Value B = Value::mkSet(Sort::IntSet, {2, 3});
+  Value C = Value::mkSet(Sort::IntSet, {5, 6});
+  Value Empty = Value::mkSet(Sort::IntSet);
+  EXPECT_TRUE(setAllLe(A, B));
+  EXPECT_FALSE(setAllLt(A, B)); // 2 < 2 fails
+  EXPECT_TRUE(setAllLt(A, C));
+  EXPECT_TRUE(setAllLe(Empty, A));  // vacuous
+  EXPECT_TRUE(setAllLt(A, Empty));  // vacuous
+}
+
+TEST(Value, MultisetTopBehaviour) {
+  Value Top = Value::mkMSet();
+  Top.MSTop = true;
+  Value A = Value::mkMSet({{1, 1}});
+  EXPECT_TRUE(setSubset(A, Top));
+  EXPECT_FALSE(setSubset(Top, A));
+  EXPECT_TRUE(setMember(Value::mkInt(42), Top));
+  EXPECT_EQ(Value::join(A, Top).MSTop, true);
+}
+
+TEST(Value, Printing) {
+  EXPECT_EQ(Value::mkBool(true).str(), "true");
+  EXPECT_EQ(Value::mkInf(false).str(), "-inf");
+  EXPECT_EQ(Value::mkLoc(0).str(), "nil");
+  EXPECT_EQ(Value::mkSet(Sort::IntSet, {1, 2}).str(), "{1, 2}");
+}

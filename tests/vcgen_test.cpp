@@ -1,0 +1,192 @@
+//===--- vcgen_test.cpp - VC generation tests ----------------------------------===//
+
+#include "dryad/printer.h"
+#include "lang/paths.h"
+#include "vcgen/vc.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+std::optional<VCond> vcFor(Module &M, const char *Proc, size_t PathIdx = 0) {
+  DiagEngine D;
+  const Procedure *P = M.findProc(Proc);
+  EXPECT_NE(P, nullptr);
+  std::vector<BasicPath> Paths = extractPaths(M, *P, D);
+  EXPECT_LT(PathIdx, Paths.size());
+  VCGen Gen(M);
+  auto VC = Gen.generate(*P, Paths[PathIdx], D);
+  EXPECT_FALSE(D.hasErrors()) << D.str();
+  return VC;
+}
+
+std::string joined(const VCond &VC) {
+  std::string S;
+  for (const Formula *F : VC.Assumptions)
+    S += print(F) + "\n";
+  return S;
+}
+} // namespace
+
+TEST(VCGen, SsaRenamingAndStoreChains) {
+  auto M = parsePrelude(R"(
+proc f(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)");
+  auto VC = vcFor(*M, "f");
+  ASSERT_TRUE(VC);
+  std::string S = joined(*VC);
+  // Fresh allocation: distinct from nil and outside the heaplet.
+  EXPECT_NE(S.find("u!1 != nil"), std::string::npos) << S;
+  EXPECT_NE(S.find("u!1 !in G!0"), std::string::npos) << S;
+  // Stores become array updates.
+  EXPECT_NE(S.find("next@1 = store(next@0, u!1, x!0)"), std::string::npos)
+      << S;
+  EXPECT_NE(S.find("key@1 = store(key@0, u!1, k!0)"), std::string::npos) << S;
+  // The goal's heaplet includes the new cell.
+  EXPECT_NE(print(VC->Goal).find("union(G!0, {u!1})"), std::string::npos)
+      << print(VC->Goal);
+}
+
+TEST(VCGen, BoundariesCollapseWithoutWrites) {
+  auto M = parsePrelude(R"(
+proc f(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == K
+{
+  var n: loc;
+  n := x.next;
+  return x;
+}
+)");
+  auto VC = vcFor(*M, "f");
+  ASSERT_TRUE(VC);
+  // Loads do not advance time: one boundary, no segments with content.
+  EXPECT_EQ(VC->Boundaries.size(), 1u);
+}
+
+TEST(VCGen, CallsHavocAndFrame) {
+  auto M = parsePrelude(R"(
+proc callee(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == K
+{
+  return x;
+}
+proc caller(x: loc, y: loc) returns (ret: loc)
+  spec (A: intset, B: intset)
+  requires (list(x) * list(y)) && keys(x) == A && keys(y) == B
+  ensures  (list(ret) * list(y)) && keys(ret) == A && keys(y) == B
+{
+  var r: loc;
+  r := callee(x);
+  return r;
+}
+)");
+  auto VC = vcFor(*M, "caller");
+  ASSERT_TRUE(VC);
+  // Pre-call and post-call boundaries.
+  EXPECT_EQ(VC->Boundaries.size(), 2u);
+  ASSERT_EQ(VC->Segments.size(), 1u);
+  EXPECT_TRUE(VC->Segments[0].IsCall);
+  ASSERT_NE(VC->Segments[0].CalleeHeaplet, nullptr);
+  std::string H = print(VC->Segments[0].CalleeHeaplet);
+  EXPECT_NE(H.find("reach_list@0(x!0)"), std::string::npos) << H;
+  EXPECT_NE(H.find("reach_keys@0(x!0)"), std::string::npos) << H;
+  // One side obligation: the callee's precondition.
+  ASSERT_EQ(VC->CallChecks.size(), 1u);
+  // Spec var K witnessed from keys(x) == K.
+  std::string S = joined(*VC);
+  EXPECT_NE(S.find("keys@1(r!1) == keys@0(x!0)"), std::string::npos) << S;
+}
+
+TEST(VCGen, CallCheckUsesOnlyPrefixAssumptions) {
+  auto M = parsePrelude(R"(
+proc callee(x: loc)
+  requires list(x) && x != nil
+  ensures  list(x)
+{
+}
+proc caller(x: loc)
+  requires list(x)
+  ensures  list(x)
+{
+  callee(x);
+  assume x != nil;
+}
+)");
+  auto VC = vcFor(*M, "caller");
+  ASSERT_TRUE(VC);
+  ASSERT_EQ(VC->CallChecks.size(), 1u);
+  // The later assume must not be usable for the call check.
+  EXPECT_LT(VC->CallChecks[0].NumAssumptions, VC->Assumptions.size());
+}
+
+TEST(VCGen, SpatialBranchConditionRejected) {
+  auto M = parsePrelude(R"(
+proc f(x: loc)
+  requires list(x)
+  ensures  list(x)
+{
+  assume list(x);
+}
+)");
+  DiagEngine D;
+  const Procedure *P = M->findProc("f");
+  std::vector<BasicPath> Paths = extractPaths(*M, *P, D);
+  VCGen Gen(*M);
+  EXPECT_FALSE(Gen.generate(*P, Paths[0], D).has_value());
+  EXPECT_TRUE(D.hasErrors());
+}
+
+TEST(VCGen, FootprintContainsDereferencedAndContractRoots) {
+  auto M = parsePrelude(R"(
+proc f(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == K
+{
+  var n: loc;
+  n := x.next;
+  return n;
+}
+)");
+  auto VC = vcFor(*M, "f");
+  ASSERT_TRUE(VC);
+  std::set<std::string> Terms;
+  for (const Term *T : VC->LocTerms)
+    Terms.insert(print(T));
+  EXPECT_TRUE(Terms.count("nil"));
+  EXPECT_TRUE(Terms.count("x!0")) << "dereferenced base";
+  EXPECT_TRUE(Terms.count("ret!1")) << "contract root";
+}
+
+TEST(VCGen, FreeShrinksHeaplet) {
+  auto M = parsePrelude(R"(
+proc f(x: loc)
+  requires x |-> (next: nil)
+  ensures  emp
+{
+  free x;
+}
+)");
+  auto VC = vcFor(*M, "f");
+  ASSERT_TRUE(VC);
+  EXPECT_NE(print(VC->Goal).find("diff(G!0, {x!0}) == {}"),
+            std::string::npos)
+      << print(VC->Goal);
+}

@@ -1,0 +1,141 @@
+//===--- verifier_test.cpp - End-to-end verifier tests -------------------------===//
+
+#include "verifier/report.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+std::vector<ProcResult> verify(const std::string &Extra,
+                               VerifyOptions Opts = {}) {
+  auto M = parsePrelude(Extra);
+  if (Opts.TimeoutMs == 60000)
+    Opts.TimeoutMs = 30000;
+  Verifier V(*M, Opts);
+  DiagEngine D;
+  return V.verifyAll(D);
+}
+} // namespace
+
+TEST(Verifier, ProvesListInsertFront) {
+  auto R = verify(R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)");
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified);
+}
+
+TEST(Verifier, RejectsWrongPostconditionWithModel) {
+  auto R = verify(R"(
+proc wrong(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == K
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)");
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  bool SawModel = false;
+  for (const ObligationResult &O : R[0].Obligations)
+    SawModel |= (O.Status == SmtStatus::Sat && !O.Model.empty());
+  EXPECT_TRUE(SawModel);
+}
+
+TEST(Verifier, FlagsVacuousContracts) {
+  // keys(x) == K under && with a two-structure heaplet: the scope of the
+  // comparison is only x's list, so the precondition is unsatisfiable and
+  // the "proof" is vacuous. The vacuity probe must catch it.
+  auto R = verify(R"(
+proc vac(x: loc, y: loc) returns (ret: loc)
+  spec (A: intset)
+  requires ((list(x) * list(y)) && keys(x) == A) && y != nil
+  ensures  list(ret)
+{
+  return x;
+}
+)");
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  bool SawVacuity = false;
+  for (const ObligationResult &O : R[0].Obligations)
+    SawVacuity |= O.Name.find("[vacuity]") != std::string::npos;
+  EXPECT_TRUE(SawVacuity);
+}
+
+TEST(Verifier, CallSitePreconditionViolationDetected) {
+  auto R = verify(R"(
+proc needs_nonnil(x: loc)
+  requires list(x) && x != nil
+  ensures  list(x)
+{
+}
+proc caller(x: loc)
+  requires list(x)
+  ensures  list(x)
+{
+  needs_nonnil(x);
+}
+)");
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R[0].Verified);
+  EXPECT_FALSE(R[1].Verified) << "cannot prove x != nil at the call";
+}
+
+TEST(Verifier, AblationUnfoldIsLoadBearing) {
+  const char *Prog = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)";
+  VerifyOptions NoUnfold;
+  NoUnfold.TimeoutMs = 10000;
+  NoUnfold.Natural.Unfold = false;
+  NoUnfold.CheckVacuity = false;
+  auto R = verify(Prog, NoUnfold);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified) << "without unfolding the goal is unprovable";
+}
+
+TEST(Verifier, ReportFormatsTables) {
+  auto R = verify(R"(
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+)");
+  std::string Table = formatResults("title", R, {{"id", -1.0}});
+  EXPECT_NE(Table.find("title"), std::string::npos);
+  EXPECT_NE(Table.find("id"), std::string::npos);
+  EXPECT_NE(Table.find("verified"), std::string::npos);
+  EXPECT_NE(Table.find("1/1 routines verified"), std::string::npos);
+}
