@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tactics.dir/ablation_tactics.cpp.o"
+  "CMakeFiles/ablation_tactics.dir/ablation_tactics.cpp.o.d"
+  "ablation_tactics"
+  "ablation_tactics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tactics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counterexamples.dir/counterexamples.cpp.o"
+  "CMakeFiles/counterexamples.dir/counterexamples.cpp.o.d"
+  "counterexamples"
+  "counterexamples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counterexamples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

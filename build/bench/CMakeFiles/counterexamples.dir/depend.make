@@ -1,0 +1,2 @@
+# Empty dependencies file for counterexamples.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_datastructures.dir/fig6_datastructures.cpp.o"
+  "CMakeFiles/fig6_datastructures.dir/fig6_datastructures.cpp.o.d"
+  "fig6_datastructures"
+  "fig6_datastructures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_datastructures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

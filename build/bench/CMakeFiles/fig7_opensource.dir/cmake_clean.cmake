@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_opensource.dir/fig7_opensource.cpp.o"
+  "CMakeFiles/fig7_opensource.dir/fig7_opensource.cpp.o.d"
+  "fig7_opensource"
+  "fig7_opensource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_opensource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

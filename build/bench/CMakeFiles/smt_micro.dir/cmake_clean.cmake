@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_micro.dir/smt_micro.cpp.o"
+  "CMakeFiles/smt_micro.dir/smt_micro.cpp.o.d"
+  "smt_micro"
+  "smt_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debugging.dir/debugging.cpp.o"
+  "CMakeFiles/debugging.dir/debugging.cpp.o.d"
+  "debugging"
+  "debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heapify.dir/heapify.cpp.o"
+  "CMakeFiles/heapify.dir/heapify.cpp.o.d"
+  "heapify"
+  "heapify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heapify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpreter_demo.dir/interpreter_demo.cpp.o"
+  "CMakeFiles/interpreter_demo.dir/interpreter_demo.cpp.o.d"
+  "interpreter_demo"
+  "interpreter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpreter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

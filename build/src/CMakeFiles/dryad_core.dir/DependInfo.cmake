@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dryad/ast.cpp" "src/CMakeFiles/dryad_core.dir/dryad/ast.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/dryad/ast.cpp.o.d"
+  "/root/repo/src/dryad/defs.cpp" "src/CMakeFiles/dryad_core.dir/dryad/defs.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/dryad/defs.cpp.o.d"
+  "/root/repo/src/dryad/lexer.cpp" "src/CMakeFiles/dryad_core.dir/dryad/lexer.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/dryad/lexer.cpp.o.d"
+  "/root/repo/src/dryad/parser.cpp" "src/CMakeFiles/dryad_core.dir/dryad/parser.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/dryad/parser.cpp.o.d"
+  "/root/repo/src/dryad/printer.cpp" "src/CMakeFiles/dryad_core.dir/dryad/printer.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/dryad/printer.cpp.o.d"
+  "/root/repo/src/dryad/typecheck.cpp" "src/CMakeFiles/dryad_core.dir/dryad/typecheck.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/dryad/typecheck.cpp.o.d"
+  "/root/repo/src/sem/classical_eval.cpp" "src/CMakeFiles/dryad_core.dir/sem/classical_eval.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/sem/classical_eval.cpp.o.d"
+  "/root/repo/src/sem/eval.cpp" "src/CMakeFiles/dryad_core.dir/sem/eval.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/sem/eval.cpp.o.d"
+  "/root/repo/src/sem/state.cpp" "src/CMakeFiles/dryad_core.dir/sem/state.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/sem/state.cpp.o.d"
+  "/root/repo/src/sem/value.cpp" "src/CMakeFiles/dryad_core.dir/sem/value.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/sem/value.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/CMakeFiles/dryad_core.dir/support/diag.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/support/diag.cpp.o.d"
+  "/root/repo/src/translate/delta_elim.cpp" "src/CMakeFiles/dryad_core.dir/translate/delta_elim.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/translate/delta_elim.cpp.o.d"
+  "/root/repo/src/translate/scope.cpp" "src/CMakeFiles/dryad_core.dir/translate/scope.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/translate/scope.cpp.o.d"
+  "/root/repo/src/translate/translate.cpp" "src/CMakeFiles/dryad_core.dir/translate/translate.cpp.o" "gcc" "src/CMakeFiles/dryad_core.dir/translate/translate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

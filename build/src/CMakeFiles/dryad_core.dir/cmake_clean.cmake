@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryad_core.dir/dryad/ast.cpp.o"
+  "CMakeFiles/dryad_core.dir/dryad/ast.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/dryad/defs.cpp.o"
+  "CMakeFiles/dryad_core.dir/dryad/defs.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/dryad/lexer.cpp.o"
+  "CMakeFiles/dryad_core.dir/dryad/lexer.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/dryad/parser.cpp.o"
+  "CMakeFiles/dryad_core.dir/dryad/parser.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/dryad/printer.cpp.o"
+  "CMakeFiles/dryad_core.dir/dryad/printer.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/dryad/typecheck.cpp.o"
+  "CMakeFiles/dryad_core.dir/dryad/typecheck.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/sem/classical_eval.cpp.o"
+  "CMakeFiles/dryad_core.dir/sem/classical_eval.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/sem/eval.cpp.o"
+  "CMakeFiles/dryad_core.dir/sem/eval.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/sem/state.cpp.o"
+  "CMakeFiles/dryad_core.dir/sem/state.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/sem/value.cpp.o"
+  "CMakeFiles/dryad_core.dir/sem/value.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/support/diag.cpp.o"
+  "CMakeFiles/dryad_core.dir/support/diag.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/translate/delta_elim.cpp.o"
+  "CMakeFiles/dryad_core.dir/translate/delta_elim.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/translate/scope.cpp.o"
+  "CMakeFiles/dryad_core.dir/translate/scope.cpp.o.d"
+  "CMakeFiles/dryad_core.dir/translate/translate.cpp.o"
+  "CMakeFiles/dryad_core.dir/translate/translate.cpp.o.d"
+  "libdryad_core.a"
+  "libdryad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

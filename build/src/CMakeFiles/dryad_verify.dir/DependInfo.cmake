@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interp/gen.cpp" "src/CMakeFiles/dryad_verify.dir/interp/gen.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/interp/gen.cpp.o.d"
+  "/root/repo/src/interp/interp.cpp" "src/CMakeFiles/dryad_verify.dir/interp/interp.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/interp/interp.cpp.o.d"
+  "/root/repo/src/lang/ast.cpp" "src/CMakeFiles/dryad_verify.dir/lang/ast.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/lang/ast.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/CMakeFiles/dryad_verify.dir/lang/parser.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/lang/parser.cpp.o.d"
+  "/root/repo/src/lang/paths.cpp" "src/CMakeFiles/dryad_verify.dir/lang/paths.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/lang/paths.cpp.o.d"
+  "/root/repo/src/natural/axioms.cpp" "src/CMakeFiles/dryad_verify.dir/natural/axioms.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/natural/axioms.cpp.o.d"
+  "/root/repo/src/natural/engine.cpp" "src/CMakeFiles/dryad_verify.dir/natural/engine.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/natural/engine.cpp.o.d"
+  "/root/repo/src/natural/footprint.cpp" "src/CMakeFiles/dryad_verify.dir/natural/footprint.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/natural/footprint.cpp.o.d"
+  "/root/repo/src/natural/frames.cpp" "src/CMakeFiles/dryad_verify.dir/natural/frames.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/natural/frames.cpp.o.d"
+  "/root/repo/src/natural/unfold.cpp" "src/CMakeFiles/dryad_verify.dir/natural/unfold.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/natural/unfold.cpp.o.d"
+  "/root/repo/src/smt/z3solver.cpp" "src/CMakeFiles/dryad_verify.dir/smt/z3solver.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/smt/z3solver.cpp.o.d"
+  "/root/repo/src/vcgen/vc.cpp" "src/CMakeFiles/dryad_verify.dir/vcgen/vc.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/vcgen/vc.cpp.o.d"
+  "/root/repo/src/verifier/report.cpp" "src/CMakeFiles/dryad_verify.dir/verifier/report.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/verifier/report.cpp.o.d"
+  "/root/repo/src/verifier/verifier.cpp" "src/CMakeFiles/dryad_verify.dir/verifier/verifier.cpp.o" "gcc" "src/CMakeFiles/dryad_verify.dir/verifier/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dryad_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryad_verify.dir/interp/gen.cpp.o"
+  "CMakeFiles/dryad_verify.dir/interp/gen.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/interp/interp.cpp.o"
+  "CMakeFiles/dryad_verify.dir/interp/interp.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/lang/ast.cpp.o"
+  "CMakeFiles/dryad_verify.dir/lang/ast.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/lang/parser.cpp.o"
+  "CMakeFiles/dryad_verify.dir/lang/parser.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/lang/paths.cpp.o"
+  "CMakeFiles/dryad_verify.dir/lang/paths.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/natural/axioms.cpp.o"
+  "CMakeFiles/dryad_verify.dir/natural/axioms.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/natural/engine.cpp.o"
+  "CMakeFiles/dryad_verify.dir/natural/engine.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/natural/footprint.cpp.o"
+  "CMakeFiles/dryad_verify.dir/natural/footprint.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/natural/frames.cpp.o"
+  "CMakeFiles/dryad_verify.dir/natural/frames.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/natural/unfold.cpp.o"
+  "CMakeFiles/dryad_verify.dir/natural/unfold.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/smt/z3solver.cpp.o"
+  "CMakeFiles/dryad_verify.dir/smt/z3solver.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/vcgen/vc.cpp.o"
+  "CMakeFiles/dryad_verify.dir/vcgen/vc.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/verifier/report.cpp.o"
+  "CMakeFiles/dryad_verify.dir/verifier/report.cpp.o.d"
+  "CMakeFiles/dryad_verify.dir/verifier/verifier.cpp.o"
+  "CMakeFiles/dryad_verify.dir/verifier/verifier.cpp.o.d"
+  "libdryad_verify.a"
+  "libdryad_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryad_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

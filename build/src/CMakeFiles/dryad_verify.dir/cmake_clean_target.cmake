@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdryad_verify.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dryadv.dir/tools/dryadv.cpp.o"
+  "CMakeFiles/dryadv.dir/tools/dryadv.cpp.o.d"
+  "dryadv"
+  "dryadv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dryadv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcdebug.dir/tools/vcdebug.cpp.o"
+  "CMakeFiles/vcdebug.dir/tools/vcdebug.cpp.o.d"
+  "vcdebug"
+  "vcdebug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcdebug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_elim_test.dir/delta_elim_test.cpp.o"
+  "CMakeFiles/delta_elim_test.dir/delta_elim_test.cpp.o.d"
+  "delta_elim_test"
+  "delta_elim_test.pdb"
+  "delta_elim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_elim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/natural_test.dir/natural_test.cpp.o"
+  "CMakeFiles/natural_test.dir/natural_test.cpp.o.d"
+  "natural_test"
+  "natural_test.pdb"
+  "natural_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/natural_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

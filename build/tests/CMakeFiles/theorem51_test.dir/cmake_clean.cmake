@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem51_test.dir/theorem51_test.cpp.o"
+  "CMakeFiles/theorem51_test.dir/theorem51_test.cpp.o.d"
+  "theorem51_test"
+  "theorem51_test.pdb"
+  "theorem51_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem51_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

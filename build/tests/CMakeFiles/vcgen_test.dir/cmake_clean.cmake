@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vcgen_test.dir/vcgen_test.cpp.o"
+  "CMakeFiles/vcgen_test.dir/vcgen_test.cpp.o.d"
+  "vcgen_test"
+  "vcgen_test.pdb"
+  "vcgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vcgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
