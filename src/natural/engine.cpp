@@ -115,3 +115,19 @@ NaturalProof dryad::buildNaturalProof(Module &M, const VCond &VC,
   appendUnique(NP.Assertions, AxiomFs, Seen);
   return NP;
 }
+
+NaturalOptions dryad::degradeTactics(NaturalOptions O, unsigned Level) {
+  while (Level--) {
+    if (O.Axioms)
+      O.Axioms = false;
+    else if (O.Frames)
+      O.Frames = false;
+    else
+      break;
+  }
+  return O;
+}
+
+unsigned dryad::maxDegradeLevels(const NaturalOptions &O) {
+  return (O.Axioms ? 1u : 0u) + (O.Frames ? 1u : 0u);
+}

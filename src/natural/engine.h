@@ -30,6 +30,16 @@ struct NaturalOptions {
   bool Axioms = true;
 };
 
+/// Ablation-style tactic reduction for the resilient dispatch layer: each
+/// level drops the next enabled tactic, axioms before frames (axioms are
+/// load-bearing for fewer routines, §7). Unfolding is never dropped —
+/// without it almost nothing proves (§6.2). Level 0 returns \p O unchanged.
+NaturalOptions degradeTactics(NaturalOptions O, unsigned Level);
+
+/// How many distinct reduced tactic sets degradeTactics can produce for
+/// \p O (0 when there is nothing left to drop).
+unsigned maxDegradeLevels(const NaturalOptions &O);
+
 struct NaturalProof {
   /// All strengthening assertions (semantic consequences of the recursive
   /// definitions; sound to conjoin to ψVC).

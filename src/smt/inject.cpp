@@ -1,0 +1,113 @@
+//===--- inject.cpp - Deterministic solver fault injection ------------------===//
+
+#include "smt/inject.h"
+
+#include <cstdlib>
+
+using namespace dryad;
+
+std::optional<Fault> FaultPlan::faultFor(unsigned Attempt) const {
+  for (const Fault &F : Faults)
+    if (F.EveryAttempt || F.Attempt == Attempt)
+      return F;
+  return std::nullopt;
+}
+
+static std::optional<FailureKind> kindFromName(const std::string &Name) {
+  if (Name == "timeout")
+    return FailureKind::Timeout;
+  if (Name == "unknown")
+    return FailureKind::SolverUnknown;
+  if (Name == "lowering")
+    return FailureKind::LoweringError;
+  if (Name == "resourceout" || Name == "memout")
+    return FailureKind::ResourceOut;
+  if (Name == "fault" || Name == "injected")
+    return FailureKind::Injected;
+  return std::nullopt;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
+                                          std::string &Err) {
+  FaultPlan Plan;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Entry = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    Pos = Comma == std::string::npos ? Spec.size() : Comma + 1;
+    if (Entry.empty())
+      continue;
+
+    size_t At = Entry.find('@');
+    if (At == std::string::npos) {
+      Err = "fault '" + Entry + "' is missing '@<attempt>' (e.g. timeout@1)";
+      return std::nullopt;
+    }
+    std::optional<FailureKind> Kind = kindFromName(Entry.substr(0, At));
+    if (!Kind) {
+      Err = "unknown fault kind '" + Entry.substr(0, At) +
+            "' (expected timeout|unknown|lowering|resourceout|fault)";
+      return std::nullopt;
+    }
+    Fault F;
+    F.Kind = *Kind;
+    std::string Where = Entry.substr(At + 1);
+    if (Where == "*" || Where == "all") {
+      F.EveryAttempt = true;
+    } else {
+      char *End = nullptr;
+      long N = std::strtol(Where.c_str(), &End, 10);
+      if (Where.empty() || *End != '\0' || N < 1) {
+        Err = "fault attempt '" + Where + "' must be a positive integer or *";
+        return std::nullopt;
+      }
+      F.Attempt = static_cast<unsigned>(N);
+    }
+    Plan.addFault(F);
+  }
+  if (Plan.empty()) {
+    Err = "empty fault plan";
+    return std::nullopt;
+  }
+  return Plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string Out;
+  for (const Fault &F : Faults) {
+    if (!Out.empty())
+      Out += ",";
+    switch (F.Kind) {
+    case FailureKind::Timeout:
+      Out += "timeout";
+      break;
+    case FailureKind::SolverUnknown:
+      Out += "unknown";
+      break;
+    case FailureKind::LoweringError:
+      Out += "lowering";
+      break;
+    case FailureKind::ResourceOut:
+      Out += "resourceout";
+      break;
+    case FailureKind::Injected:
+    case FailureKind::None:
+      Out += "fault";
+      break;
+    }
+    Out += "@" + (F.EveryAttempt ? std::string("*")
+                                 : std::to_string(F.Attempt));
+  }
+  return Out;
+}
+
+SmtResult dryad::injectedResult(const Fault &F, unsigned Attempt) {
+  SmtResult R;
+  R.Status = SmtStatus::Unknown;
+  R.Failure = F.Kind == FailureKind::None ? FailureKind::Injected : F.Kind;
+  R.Detail = std::string("injected ") + failureKindName(R.Failure) +
+             " (attempt " + std::to_string(Attempt) + ")";
+  R.ModelText = R.Detail;
+  return R;
+}

@@ -1,0 +1,75 @@
+//===--- inject.h - Deterministic solver fault injection --------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A `FaultPlan` makes every degradation path of the resilient dispatch
+/// layer exercisable in tests and CI without a real flaky solver: it names
+/// which check() attempts of a dispatch fail, and with which FailureKind.
+/// Injected faults short-circuit the solver call entirely, so they are
+/// deterministic and instantaneous; an injected timeout still charges the
+/// attempt's deadline to the procedure budget so budget exhaustion is
+/// reachable in tests.
+///
+/// Plan syntax (CLI `--inject`, comma-separated):
+///   timeout@1        fail the 1st check() of every dispatch with a timeout
+///   unknown@2        fail the 2nd attempt with a bare `unknown`
+///   lowering@1       report a lowering error (never retried)
+///   resourceout@1    report solver resource exhaustion
+///   fault@1          generic injected fault (FailureKind::Injected)
+///   timeout@*        fail every attempt
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SMT_INJECT_H
+#define DRYAD_SMT_INJECT_H
+
+#include "smt/solver.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// One injected fault: attempt \p Attempt (1-based, per dispatch) of every
+/// obligation fails with \p Kind. `EveryAttempt` makes the dispatch
+/// unwinnable — the path to budget/attempt exhaustion.
+struct Fault {
+  FailureKind Kind = FailureKind::Injected;
+  unsigned Attempt = 1;
+  bool EveryAttempt = false;
+};
+
+class FaultPlan {
+public:
+  FaultPlan() = default;
+
+  bool empty() const { return Faults.empty(); }
+  void addFault(Fault F) { Faults.push_back(F); }
+
+  /// The fault to inject into attempt \p Attempt (1-based) of a dispatch,
+  /// or nullopt to let the real solver run.
+  std::optional<Fault> faultFor(unsigned Attempt) const;
+
+  /// Parses the CLI spec described in the file header. Returns nullopt and
+  /// fills \p Err on malformed input.
+  static std::optional<FaultPlan> parse(const std::string &Spec,
+                                        std::string &Err);
+
+  /// Round-trippable description ("timeout@1,unknown@*").
+  std::string describe() const;
+
+private:
+  std::vector<Fault> Faults;
+};
+
+/// The SmtResult an injected fault produces (status Unknown, the fault's
+/// kind, and a detail string marking it as injected).
+SmtResult injectedResult(const Fault &F, unsigned Attempt);
+
+} // namespace dryad
+
+#endif // DRYAD_SMT_INJECT_H

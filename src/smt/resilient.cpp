@@ -1,0 +1,95 @@
+//===--- resilient.cpp - Retry/escalation solver dispatch -------------------===//
+
+#include "smt/resilient.h"
+
+#include <algorithm>
+
+using namespace dryad;
+
+unsigned RetryPolicy::timeoutForAttempt(unsigned Attempt) const {
+  if (Attempt >= MaxAttempts)
+    return MaxTimeoutMs;
+  // Geometric escalation from InitialTimeoutMs, saturating at the ceiling.
+  unsigned long long T = InitialTimeoutMs == 0 ? 1 : InitialTimeoutMs;
+  for (unsigned I = 1; I < Attempt; ++I) {
+    T *= BackoffFactor == 0 ? 1 : BackoffFactor;
+    if (T >= MaxTimeoutMs)
+      return MaxTimeoutMs;
+  }
+  return static_cast<unsigned>(T > MaxTimeoutMs ? MaxTimeoutMs : T);
+}
+
+bool ResilientSolver::retryable(FailureKind K) {
+  switch (K) {
+  case FailureKind::Timeout:
+  case FailureKind::SolverUnknown:
+  case FailureKind::ResourceOut:
+  case FailureKind::Injected:
+    return true;
+  case FailureKind::LoweringError: // deterministic: same input, same failure
+  case FailureKind::None:
+    return false;
+  }
+  return false;
+}
+
+DispatchResult ResilientSolver::dispatch(const Builder &Build) {
+  DispatchResult Out;
+  const unsigned Scheduled = Policy.MaxAttempts == 0 ? 1 : Policy.MaxAttempts;
+  const unsigned Degraded = Policy.DegradeTactics ? Policy.DegradeLevels : 0;
+  const unsigned MaxTotal = Scheduled + Degraded;
+
+  for (unsigned Attempt = 1; Attempt <= MaxTotal; ++Attempt) {
+    if (Budget.exhausted()) {
+      Out.Status = SmtStatus::Unknown;
+      Out.Failure = FailureKind::Timeout;
+      Out.Detail = "procedure deadline budget exhausted after " +
+                   std::to_string(Out.Attempts) + " attempt(s)" +
+                   (Out.Detail.empty() ? "" : "; last: " + Out.Detail);
+      return Out;
+    }
+
+    AttemptInfo Info;
+    Info.Index = Attempt;
+    // Degraded attempts run after the scheduled ones, each with the full
+    // remaining deadline: the point is a smaller problem, not a longer wait.
+    Info.DegradeLevel = Attempt <= Scheduled ? 0 : Attempt - Scheduled;
+    Info.TimeoutMs =
+        Policy.timeoutForAttempt(Attempt <= Scheduled ? Attempt : Scheduled);
+    if (!Budget.unlimited())
+      Info.TimeoutMs = std::min(Info.TimeoutMs, Budget.remainingMs());
+    if (Info.TimeoutMs == 0)
+      Info.TimeoutMs = 1;
+    Info.Seed = Policy.BaseSeed + 7919 * (Attempt - 1);
+
+    SmtResult R;
+    if (std::optional<Fault> F = Plan.faultFor(Attempt)) {
+      R = injectedResult(*F, Attempt);
+      // An injected timeout stands in for a solver stalling until its
+      // deadline; charge that stall so budget exhaustion is reachable.
+      if (R.Failure == FailureKind::Timeout)
+        Budget.charge(Info.TimeoutMs);
+    } else {
+      SmtSolver S;
+      S.setTimeoutMs(Info.TimeoutMs);
+      if (Policy.ReseedOnRetry && Attempt > 1)
+        S.setRandomSeed(Info.Seed);
+      Build(S, Info);
+      R = S.check();
+    }
+
+    Out.Attempts = Attempt;
+    Out.DegradeLevel = Info.DegradeLevel;
+    Out.Seconds += R.Seconds;
+    Out.Status = R.Status;
+    Out.Failure = R.Failure;
+    Out.Detail = R.Detail;
+    Out.ModelText = R.ModelText;
+
+    if (R.Status != SmtStatus::Unknown)
+      return Out; // definitive (proved or counterexample)
+    if (!retryable(R.Failure))
+      return Out; // e.g. lowering error: retrying cannot help
+  }
+  return Out;
+}

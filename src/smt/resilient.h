@@ -1,0 +1,153 @@
+//===--- resilient.h - Retry/escalation solver dispatch ---------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resilient dispatch layer between the verifier and the SMT solver.
+/// Z3 can time out, return `unknown`, or be seed-sensitive; a production
+/// pipeline must degrade gracefully instead of hanging or conflating
+/// "unproved" with "infrastructure failure". `ResilientSolver` wraps each
+/// obligation in:
+///
+///  * a `RetryPolicy` — bounded attempts with escalating per-check deadlines
+///    (e.g. 2s -> 10s -> remaining budget) and a fresh `random_seed` per
+///    retry to escape seed-sensitive divergence;
+///  * a per-procedure `DeadlineBudget` — one stuck obligation cannot starve
+///    the rest of the run;
+///  * tactic degradation — once escalated retries are exhausted, the
+///    obligation is re-dispatched with reduced natural-proof tactic sets
+///    (ablation-style: drop axioms, then frames) before giving up, since a
+///    smaller strengthening set is sometimes the difference between a
+///    timeout and a fast proof;
+///  * a `FaultPlan` hook so every one of these paths is exercisable
+///    deterministically (see inject.h).
+///
+/// Each attempt rebuilds the solver from scratch through a caller-supplied
+/// builder: Z3 contexts are cheap relative to a discharge, and a fresh
+/// context is the only reliable way to reseed and to drop a poisoned
+/// assertion stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SMT_RESILIENT_H
+#define DRYAD_SMT_RESILIENT_H
+
+#include "smt/inject.h"
+#include "smt/solver.h"
+
+#include <chrono>
+#include <functional>
+#include <limits>
+
+namespace dryad {
+
+/// Wall-clock budget shared by every obligation of one procedure. A zero
+/// budget means "unlimited". Injected timeouts charge their virtual stall
+/// through charge() so budget exhaustion is reachable deterministically.
+class DeadlineBudget {
+public:
+  DeadlineBudget() = default; ///< unlimited
+  explicit DeadlineBudget(unsigned Ms)
+      : Limited(Ms != 0), BudgetMs(Ms),
+        Start(std::chrono::steady_clock::now()) {}
+
+  bool unlimited() const { return !Limited; }
+
+  unsigned remainingMs() const {
+    if (!Limited)
+      return std::numeric_limits<unsigned>::max();
+    double Elapsed = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - Start)
+                         .count();
+    double Used = Elapsed + ChargedMs;
+    return Used >= BudgetMs ? 0 : static_cast<unsigned>(BudgetMs - Used);
+  }
+
+  bool exhausted() const { return Limited && remainingMs() == 0; }
+
+  /// Records \p Ms of virtual elapsed time (used by injected timeouts to
+  /// simulate the stall they stand in for).
+  void charge(unsigned Ms) { ChargedMs += Ms; }
+
+private:
+  bool Limited = false;
+  unsigned BudgetMs = 0;
+  unsigned ChargedMs = 0;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// How many times to try an obligation and with what deadlines.
+struct RetryPolicy {
+  /// Attempts with the full tactic set. The last one gets the whole
+  /// remaining deadline (MaxTimeoutMs capped by the budget).
+  unsigned MaxAttempts = 3;
+  /// First attempt's deadline; each subsequent attempt multiplies by
+  /// BackoffFactor (2s -> 10s -> ... -> MaxTimeoutMs).
+  unsigned InitialTimeoutMs = 2000;
+  unsigned BackoffFactor = 5;
+  /// Per-obligation ceiling (the classic single-shot timeout).
+  unsigned MaxTimeoutMs = 60000;
+  /// Reshuffle Z3's random_seed between attempts.
+  bool ReseedOnRetry = true;
+  unsigned BaseSeed = 0;
+  /// After MaxAttempts, re-dispatch with reduced tactic sets.
+  bool DegradeTactics = true;
+  /// Number of reduced tactic sets to try (level 1, 2, ...).
+  unsigned DegradeLevels = 2;
+
+  /// Deadline for 1-based \p Attempt (of the MaxAttempts scheduled ones),
+  /// before capping by the remaining procedure budget. Escalates
+  /// geometrically; the final attempt always gets MaxTimeoutMs.
+  unsigned timeoutForAttempt(unsigned Attempt) const;
+};
+
+/// What one attempt is allowed to do; handed to the problem builder so the
+/// verifier can pick the tactic set matching DegradeLevel.
+struct AttemptInfo {
+  unsigned Index = 1;        ///< 1-based, counts degraded attempts too
+  unsigned TimeoutMs = 0;    ///< deadline this attempt runs under
+  unsigned Seed = 0;         ///< random_seed for this attempt
+  unsigned DegradeLevel = 0; ///< 0 = full tactics
+};
+
+/// The dispatch outcome: a definitive status, or the last failure with its
+/// taxonomy kind and enough detail to tell infrastructure failures from
+/// genuine "unproved".
+struct DispatchResult {
+  SmtStatus Status = SmtStatus::Unknown;
+  FailureKind Failure = FailureKind::SolverUnknown;
+  std::string Detail;
+  std::string ModelText;
+  double Seconds = 0.0;
+  unsigned Attempts = 0;     ///< attempts actually made
+  unsigned DegradeLevel = 0; ///< tactic level of the final attempt
+};
+
+class ResilientSolver {
+public:
+  /// Populates a fresh solver for one attempt (assumptions, strengthening
+  /// for Info.DegradeLevel, negated goal). Timeout and seed are already set.
+  using Builder = std::function<void(SmtSolver &, const AttemptInfo &)>;
+
+  ResilientSolver(RetryPolicy Policy, DeadlineBudget &Budget,
+                  const FaultPlan &Plan)
+      : Policy(Policy), Budget(Budget), Plan(Plan) {}
+
+  /// Runs the retry/escalation/degradation loop for one obligation.
+  DispatchResult dispatch(const Builder &Build);
+
+  /// Whether a failure of kind \p K can be cured by retrying (with a longer
+  /// deadline, another seed, or fewer tactics).
+  static bool retryable(FailureKind K);
+
+private:
+  RetryPolicy Policy;
+  DeadlineBudget &Budget;
+  const FaultPlan &Plan;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SMT_RESILIENT_H

@@ -28,8 +28,27 @@ namespace dryad {
 
 enum class SmtStatus { Unsat, Sat, Unknown };
 
+/// Why a check did not produce a definitive answer. `None` accompanies
+/// Unsat/Sat; everything else refines `SmtStatus::Unknown` so reports can
+/// distinguish "unproved" from "infrastructure failure".
+enum class FailureKind {
+  None,          ///< definitive answer (unsat or sat)
+  Timeout,       ///< solver hit its per-check or budget deadline
+  SolverUnknown, ///< solver gave up for a non-resource reason
+  LoweringError, ///< formula could not be lowered to the solver's logic
+  ResourceOut,   ///< memory/rlimit exhaustion inside the solver
+  Injected,      ///< deterministic fault from a FaultPlan (testing/CI)
+};
+
+/// Short stable name for a failure kind ("timeout", "lowering-error", ...).
+const char *failureKindName(FailureKind K);
+
 struct SmtResult {
   SmtStatus Status = SmtStatus::Unknown;
+  FailureKind Failure = FailureKind::None;
+  /// Human-readable failure context: the solver's reason_unknown, the first
+  /// lowering error, or the injected fault description.
+  std::string Detail;
   /// On Sat: values of the named program/spec constants — the
   /// counterexample the paper reports as a debugging aid (§7).
   std::string ModelText;
@@ -43,7 +62,15 @@ public:
   SmtSolver(const SmtSolver &) = delete;
   SmtSolver &operator=(const SmtSolver &) = delete;
 
+  /// Sets the per-check() deadline. The value is re-applied to the solver
+  /// immediately before every check() so a short probe timeout can never
+  /// leak into a later discharge on the same stack (and vice versa).
   void setTimeoutMs(unsigned Ms);
+  unsigned timeoutMs() const { return TimeoutMs; }
+
+  /// Reseeds the solver's restart/decision randomness. Retry layers use
+  /// this to escape seed-sensitive divergence between attempts.
+  void setRandomSeed(unsigned Seed);
 
   /// Lowers and asserts a (classical, stamped) formula.
   void add(const Formula *F);
@@ -59,6 +86,7 @@ public:
 private:
   struct Impl;
   std::unique_ptr<Impl> I;
+  unsigned TimeoutMs = 0; ///< 0 = no deadline
   /// First lowering failure, reported as Unknown at check() time.
   std::string LoweringError;
 };

@@ -12,6 +12,25 @@
 using namespace dryad;
 
 namespace {
+bool containsAny(const std::string &Haystack,
+                 std::initializer_list<const char *> Needles) {
+  for (const char *N : Needles)
+    if (Haystack.find(N) != std::string::npos)
+      return true;
+  return false;
+}
+
+/// Z3 only reports a free-form `reason_unknown`; map the strings its core
+/// actually emits onto the taxonomy.
+FailureKind classifyUnknown(const std::string &Reason) {
+  if (containsAny(Reason, {"timeout", "canceled", "cancelled", "interrupted"}))
+    return FailureKind::Timeout;
+  if (containsAny(Reason, {"memout", "memory", "resource", "rlimit",
+                           "max. resource"}))
+    return FailureKind::ResourceOut;
+  return FailureKind::SolverUnknown;
+}
+
 std::string sanitize(const std::string &S) {
   std::string Out;
   for (char C : S)
@@ -23,9 +42,29 @@ std::string sanitize(const std::string &S) {
 }
 } // namespace
 
+const char *dryad::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "none";
+  case FailureKind::Timeout:
+    return "timeout";
+  case FailureKind::SolverUnknown:
+    return "solver-unknown";
+  case FailureKind::LoweringError:
+    return "lowering-error";
+  case FailureKind::ResourceOut:
+    return "resource-out";
+  case FailureKind::Injected:
+    return "injected";
+  }
+  return "none";
+}
+
 struct SmtSolver::Impl {
   z3::context Ctx;
   z3::solver Solver;
+  unsigned RandomSeed = 0;
+  bool HasSeed = false;
   std::map<std::string, z3::expr> Consts;
   std::map<std::string, z3::func_decl> Funcs;
   std::map<std::string, int> InstanceIds;
@@ -318,9 +357,14 @@ SmtSolver::SmtSolver() : I(std::make_unique<Impl>()) {}
 SmtSolver::~SmtSolver() = default;
 
 void SmtSolver::setTimeoutMs(unsigned Ms) {
-  z3::params P(I->Ctx);
-  P.set("timeout", Ms);
-  I->Solver.set(P);
+  // Only recorded here; check() re-applies it before every query so the
+  // deadline in force is always the most recently requested one.
+  TimeoutMs = Ms;
+}
+
+void SmtSolver::setRandomSeed(unsigned Seed) {
+  I->RandomSeed = Seed;
+  I->HasSeed = true;
 }
 
 void SmtSolver::add(const Formula *F) {
@@ -347,10 +391,19 @@ SmtResult SmtSolver::check() {
   auto Start = std::chrono::steady_clock::now();
   if (!LoweringError.empty()) {
     R.Status = SmtStatus::Unknown;
+    R.Failure = FailureKind::LoweringError;
+    R.Detail = LoweringError;
     R.ModelText = "lowering error: " + LoweringError;
     return R;
   }
   try {
+    // Re-arm per check: a probe's short deadline must not leak into a later
+    // discharge on this solver, nor a long discharge deadline into a probe.
+    z3::params P(I->Ctx);
+    P.set("timeout", TimeoutMs == 0 ? 4294967295u : TimeoutMs);
+    if (I->HasSeed)
+      P.set("random_seed", I->RandomSeed);
+    I->Solver.set(P);
     z3::check_result CR = I->Solver.check();
     if (CR == z3::unsat) {
       R.Status = SmtStatus::Unsat;
@@ -376,10 +429,14 @@ SmtResult SmtSolver::check() {
     } else {
       R.Status = SmtStatus::Unknown;
       R.ModelText = I->Solver.reason_unknown();
+      R.Detail = R.ModelText;
+      R.Failure = classifyUnknown(R.Detail);
     }
   } catch (const z3::exception &E) {
     R.Status = SmtStatus::Unknown;
     R.ModelText = E.msg();
+    R.Detail = E.msg();
+    R.Failure = classifyUnknown(R.Detail);
   }
   R.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)

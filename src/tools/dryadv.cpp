@@ -3,12 +3,19 @@
 // Part of the Dryad natural-proofs reproduction. MIT license.
 //
 // Usage: dryadv [options] file.dryad...
-//   --timeout <ms>   per-obligation Z3 timeout (default 60000)
-//   --no-unfold      disable unfolding across the footprint (ablation)
-//   --no-frames      disable frame instantiation (ablation)
-//   --no-axioms      disable user-axiom instantiation (ablation)
-//   --dump-smt2 <d>  write each obligation's SMT-LIB2 into directory <d>
-//   --verbose        print every obligation, not just per-routine rows
+//   --timeout <ms>        per-obligation Z3 deadline ceiling (default 60000)
+//   --attempts <n>        dispatch attempts per obligation with escalating
+//                         deadlines and reseeding (default 3)
+//   --proc-budget-ms <ms> wall-clock budget per procedure; 0 = unlimited
+//   --no-degrade          don't retry with reduced tactic sets after the
+//                         scheduled attempts are exhausted
+//   --inject <plan>       deterministic fault injection, e.g. timeout@1 or
+//                         lowering@2,unknown@* (see src/smt/inject.h)
+//   --no-unfold           disable unfolding across the footprint (ablation)
+//   --no-frames           disable frame instantiation (ablation)
+//   --no-axioms           disable user-axiom instantiation (ablation)
+//   --dump-smt2 <d>       write each obligation's SMT-LIB2 into directory <d>
+//   --verbose             print every obligation, not just per-routine rows
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +25,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 using namespace dryad;
 
@@ -29,7 +37,21 @@ int main(int Argc, char **Argv) {
   for (int I = 1; I != Argc; ++I) {
     if (!std::strcmp(Argv[I], "--timeout") && I + 1 < Argc)
       Opts.TimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--no-unfold"))
+    else if (!std::strcmp(Argv[I], "--attempts") && I + 1 < Argc)
+      Opts.Attempts = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--proc-budget-ms") && I + 1 < Argc)
+      Opts.ProcBudgetMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-degrade"))
+      Opts.DegradeTactics = false;
+    else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc) {
+      std::string Err;
+      std::optional<FaultPlan> Plan = FaultPlan::parse(Argv[++I], Err);
+      if (!Plan) {
+        std::fprintf(stderr, "--inject: %s\n", Err.c_str());
+        return 2;
+      }
+      Opts.Inject = *Plan;
+    } else if (!std::strcmp(Argv[I], "--no-unfold"))
       Opts.Natural.Unfold = false;
     else if (!std::strcmp(Argv[I], "--no-frames"))
       Opts.Natural.Frames = false;
@@ -68,11 +90,13 @@ int main(int Argc, char **Argv) {
     if (Verbose)
       for (const ProcResult &R : Results)
         for (const ObligationResult &O : R.Obligations)
-          std::printf("  %-60s %s (%.2fs)\n", O.Name.c_str(),
+          std::printf("  %-60s %s (%u attempt%s, %.2fs)\n", O.Name.c_str(),
                       O.Status == SmtStatus::Unsat  ? "proved"
                       : O.Status == SmtStatus::Sat ? "cex"
-                                                   : "unknown",
-                      O.Seconds);
+                      : O.Failure == FailureKind::None
+                          ? "unknown"
+                          : failureKindName(O.Failure),
+                      O.Attempts, O.Attempts == 1 ? "" : "s", O.Seconds);
     for (const ProcResult &R : Results)
       AllVerified &= R.Verified;
   }

@@ -47,30 +47,59 @@ std::string dryad::formatResults(const std::string &Title,
     }
     Out += "\n";
     if (!R.Verified)
-      for (const ObligationResult &O : R.Obligations)
+      for (const ObligationResult &O : R.Obligations) {
         if (O.Name.size() > 9 &&
             O.Name.compare(O.Name.size() - 9, 9, "[vacuity]") == 0) {
           Out += "    " + O.Name + ": " + O.Model + "\n";
+        } else if (O.Status == SmtStatus::Sat) {
+          Out += "    " + O.Name + ": counterexample: " + O.Model + "\n";
         } else if (O.Status != SmtStatus::Unsat) {
+          // Unknown: report the failure taxonomy, not a bare "unknown" —
+          // a timeout or lowering error is an infrastructure failure, not
+          // evidence the obligation is wrong.
           Out += "    " + O.Name + ": " +
-                 (O.Status == SmtStatus::Sat ? "counterexample: " + O.Model
-                                             : "unknown: " + O.Model) +
-                 "\n";
+                 (O.Failure == FailureKind::None ? "unknown"
+                                                 : failureKindName(O.Failure));
+          if (O.Attempts > 1) {
+            char Buf[48];
+            std::snprintf(Buf, sizeof(Buf), " after %u attempts", O.Attempts);
+            Out += Buf;
+          }
+          if (O.DegradeLevel > 0)
+            Out += " (degraded tactics)";
+          if (!O.FailureDetail.empty())
+            Out += ": " + O.FailureDetail;
+          Out += "\n";
         }
+      }
   }
   Out += summarize(Results);
   return Out;
 }
 
 std::string dryad::summarize(const std::vector<ProcResult> &Results) {
-  size_t Verified = 0;
+  size_t Verified = 0, Infra = 0;
   double Total = 0.0;
   for (const ProcResult &R : Results) {
     Verified += R.Verified ? 1 : 0;
     Total += R.Seconds;
+    for (const ObligationResult &O : R.Obligations)
+      Infra += (O.Status == SmtStatus::Unknown &&
+                O.Failure != FailureKind::None &&
+                O.Failure != FailureKind::SolverUnknown)
+                   ? 1
+                   : 0;
   }
-  char Buf[128];
+  char Buf[192];
   std::snprintf(Buf, sizeof(Buf), "%zu/%zu routines verified in %.1fs\n",
                 Verified, Results.size(), Total);
-  return std::string(Buf);
+  std::string Out(Buf);
+  if (Infra) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%zu obligation(s) hit infrastructure failures "
+                  "(timeout/resource/lowering), not disproofs\n",
+                  Infra);
+    Out += Buf;
+  }
+  return Out;
 }

@@ -6,39 +6,59 @@
 #include "vcgen/vc.h"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
+#include <optional>
 
 using namespace dryad;
+
+RetryPolicy Verifier::retryPolicy() const {
+  RetryPolicy P;
+  P.MaxAttempts = std::max(1u, Opts.Attempts);
+  P.InitialTimeoutMs = std::min(Opts.InitialTimeoutMs, Opts.TimeoutMs);
+  P.MaxTimeoutMs = Opts.TimeoutMs;
+  // Degradation only makes sense while there is a tactic left to drop.
+  // Attempts == 1 requests classic single-shot dispatch, so the whole
+  // resilience ladder — including degraded re-dispatch — is off.
+  P.DegradeLevels = maxDegradeLevels(Opts.Natural);
+  P.DegradeTactics =
+      Opts.DegradeTactics && P.MaxAttempts > 1 && P.DegradeLevels > 0;
+  return P;
+}
 
 ObligationResult
 Verifier::discharge(const std::string &Name,
                     const std::vector<const Formula *> &Assumptions,
-                    size_t NumAssumptions,
-                    const std::vector<const Formula *> &Strength,
-                    const Formula *Goal) {
-  SmtSolver Solver;
-  Solver.setTimeoutMs(Opts.TimeoutMs);
-  for (size_t I = 0; I != NumAssumptions; ++I)
-    Solver.add(Assumptions[I]);
-  for (const Formula *F : Strength)
-    Solver.add(F);
-  Solver.addNegated(Goal);
+                    size_t NumAssumptions, const StrengthFn &Strength,
+                    const Formula *Goal, DeadlineBudget &Budget) {
+  ResilientSolver RS(retryPolicy(), Budget, Opts.Inject);
+  DispatchResult D = RS.dispatch([&](SmtSolver &Solver,
+                                     const AttemptInfo &Info) {
+    for (size_t I = 0; I != NumAssumptions; ++I)
+      Solver.add(Assumptions[I]);
+    for (const Formula *F : Strength(Info.DegradeLevel))
+      Solver.add(F);
+    Solver.addNegated(Goal);
 
-  if (!Opts.DumpSmt2Dir.empty()) {
-    std::string File = Name;
-    for (char &C : File)
-      if (!isalnum(static_cast<unsigned char>(C)))
-        C = '_';
-    std::ofstream Out(Opts.DumpSmt2Dir + "/" + File + ".smt2");
-    Out << Solver.toSmt2();
-  }
+    if (!Opts.DumpSmt2Dir.empty() && Info.Index == 1) {
+      std::string File = Name;
+      for (char &C : File)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      std::ofstream Out(Opts.DumpSmt2Dir + "/" + File + ".smt2");
+      Out << Solver.toSmt2();
+    }
+  });
 
-  SmtResult R = Solver.check();
   ObligationResult O;
   O.Name = Name;
-  O.Status = R.Status;
-  O.Seconds = R.Seconds;
-  O.Model = R.ModelText;
+  O.Status = D.Status;
+  O.Failure = D.Status == SmtStatus::Unknown ? D.Failure : FailureKind::None;
+  O.FailureDetail = D.Status == SmtStatus::Unknown ? D.Detail : "";
+  O.Attempts = D.Attempts;
+  O.DegradeLevel = D.DegradeLevel;
+  O.Seconds = D.Seconds;
+  O.Model = D.ModelText;
   return O;
 }
 
@@ -46,6 +66,7 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
   ProcResult PR;
   PR.Proc = P.Name;
   PR.Verified = true;
+  DeadlineBudget Budget(Opts.ProcBudgetMs);
 
   std::vector<BasicPath> Paths = extractPaths(M, P, Diags);
   VCGen Gen(M);
@@ -55,12 +76,25 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
       PR.Verified = false;
       continue;
     }
-    NaturalProof NP = buildNaturalProof(M, *VC, Opts.Natural);
+
+    // Strengthening per degradation level, built lazily and cached: level 0
+    // is the configured tactic set, level 1 drops axiom instantiation,
+    // level 2 also drops frames. Unfolding is never dropped.
+    std::array<std::optional<NaturalProof>, 3> NPs;
+    auto StrengthFor =
+        [&](unsigned Level) -> const std::vector<const Formula *> & {
+      Level = std::min(Level, 2u);
+      if (!NPs[Level])
+        NPs[Level] =
+            buildNaturalProof(M, *VC, degradeTactics(Opts.Natural, Level));
+      return NPs[Level]->Assertions;
+    };
 
     // Call-site precondition checks (prefix assumptions only).
     for (const CallCheck &C : VC->CallChecks) {
       ObligationResult O = discharge(C.Desc, VC->Assumptions,
-                                     C.NumAssumptions, NP.Assertions, C.Goal);
+                                     C.NumAssumptions, StrengthFor, C.Goal,
+                                     Budget);
       PR.Verified &= (O.Status == SmtStatus::Unsat);
       PR.Seconds += O.Seconds;
       PR.Obligations.push_back(std::move(O));
@@ -69,7 +103,7 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
     // The main Hoare-triple obligation.
     ObligationResult O =
         discharge(VC->Name, VC->Assumptions, VC->Assumptions.size(),
-                  NP.Assertions, VC->Goal);
+                  StrengthFor, VC->Goal, Budget);
     PR.Verified &= (O.Status == SmtStatus::Unsat);
     bool MainProved = O.Status == SmtStatus::Unsat;
     PR.Seconds += O.Seconds;
@@ -77,16 +111,18 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
 
     // Vacuity probe: the path's assumptions must be satisfiable, otherwise
     // the contract (not the code) is wrong and the proof above is void.
-    if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty()) {
+    if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
+        !Budget.exhausted()) {
       // Probe the contract (the path's first assumption: the pre or the
       // loop invariant) together with the unfoldings. Branch conditions are
       // excluded: infeasible paths are vacuous by design; an unsatisfiable
       // *contract* is the annotation bug this check exists for (e.g. an
       // impure conjunct whose strict heaplet cannot equal the formula's).
       SmtSolver Probe;
-      Probe.setTimeoutMs(std::min(Opts.VacuityTimeoutMs, Opts.TimeoutMs));
+      Probe.setTimeoutMs(std::min({Opts.VacuityTimeoutMs, Opts.TimeoutMs,
+                                   Budget.remainingMs()}));
       Probe.add(VC->Assumptions.front());
-      for (const Formula *F : NP.Assertions)
+      for (const Formula *F : StrengthFor(0))
         Probe.add(F);
       SmtResult R = Probe.check();
       PR.Seconds += R.Seconds;

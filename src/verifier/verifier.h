@@ -18,13 +18,30 @@
 
 #include "lang/ast.h"
 #include "natural/engine.h"
+#include "smt/inject.h"
+#include "smt/resilient.h"
 #include "smt/solver.h"
+
+#include <functional>
 
 namespace dryad {
 
 struct VerifyOptions {
   unsigned TimeoutMs = 60000;
   NaturalOptions Natural;
+  /// Resilient dispatch: attempts per obligation with escalating deadlines
+  /// (InitialTimeoutMs, then x5 per retry, final attempt gets TimeoutMs)
+  /// and a fresh Z3 random_seed each retry.
+  unsigned Attempts = 3;
+  unsigned InitialTimeoutMs = 2000;
+  /// Wall-clock budget per procedure; 0 = unlimited. One stuck obligation
+  /// cannot starve the rest of the run.
+  unsigned ProcBudgetMs = 0;
+  /// After Attempts are exhausted, re-dispatch with reduced natural-proof
+  /// tactic sets (drop axioms, then frames) before giving up.
+  bool DegradeTactics = true;
+  /// Deterministic fault injection for tests/CI (see smt/inject.h).
+  FaultPlan Inject;
   /// Probe each path's assumptions for satisfiability: an unsatisfiable
   /// precondition/invariant (e.g. an ill-formed heaplet in a contract)
   /// makes every obligation vacuously provable, which is a specification
@@ -38,6 +55,15 @@ struct VerifyOptions {
 struct ObligationResult {
   std::string Name;
   SmtStatus Status = SmtStatus::Unknown; ///< Unsat means proved
+  /// Refines Unknown: timeout vs. solver-unknown vs. lowering error vs.
+  /// resource exhaustion vs. injected fault. Reports use it to distinguish
+  /// "unproved" from "infrastructure failure".
+  FailureKind Failure = FailureKind::None;
+  /// Human-readable failure context (solver reason, lowering error text,
+  /// budget exhaustion note, injected-fault description).
+  std::string FailureDetail;
+  unsigned Attempts = 0;     ///< dispatch attempts actually made
+  unsigned DegradeLevel = 0; ///< tactic level of the final attempt (0=full)
   double Seconds = 0.0;
   std::string Model; ///< counterexample values when Sat
 };
@@ -60,11 +86,17 @@ public:
   std::vector<ProcResult> verifyAll(DiagEngine &Diags);
 
 private:
+  /// Strengthening assertions for a tactic-degradation level (0 = the full
+  /// configured tactic set; higher levels drop axioms, then frames).
+  using StrengthFn =
+      std::function<const std::vector<const Formula *> &(unsigned Level)>;
+
   ObligationResult discharge(const std::string &Name,
                              const std::vector<const Formula *> &Assumptions,
-                             size_t NumAssumptions,
-                             const std::vector<const Formula *> &Strength,
-                             const Formula *Goal);
+                             size_t NumAssumptions, const StrengthFn &Strength,
+                             const Formula *Goal, DeadlineBudget &Budget);
+
+  RetryPolicy retryPolicy() const;
 
   Module &M;
   VerifyOptions Opts;

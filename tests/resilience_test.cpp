@@ -1,0 +1,420 @@
+//===--- resilience_test.cpp - Resilient dispatch and fault injection ----------===//
+//
+// Exercises the retry/escalation layer (smt/resilient.*) and the
+// deterministic fault-injection hook (smt/inject.*) end to end: retry then
+// succeed, budget exhaustion, tactic-degradation fallback, and failure
+// taxonomy reporting — all without a real flaky solver.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/inject.h"
+#include "smt/resilient.h"
+#include "verifier/report.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+//===----------------------------------------------------------------------===//
+// FaultPlan parsing
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, ParsesKindsAndAttempts) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("timeout@1,unknown@2,lowering@*", Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto F1 = Plan->faultFor(1);
+  ASSERT_TRUE(F1);
+  EXPECT_EQ(F1->Kind, FailureKind::Timeout);
+  auto F2 = Plan->faultFor(2);
+  ASSERT_TRUE(F2);
+  EXPECT_EQ(F2->Kind, FailureKind::SolverUnknown);
+  // @* matches attempts no earlier entry claimed.
+  auto F9 = Plan->faultFor(9);
+  ASSERT_TRUE(F9);
+  EXPECT_EQ(F9->Kind, FailureKind::LoweringError);
+  EXPECT_EQ(Plan->describe(), "timeout@1,unknown@2,lowering@*");
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  std::string Err;
+  EXPECT_FALSE(FaultPlan::parse("timeout", Err));
+  EXPECT_FALSE(FaultPlan::parse("frobnicate@1", Err));
+  EXPECT_FALSE(FaultPlan::parse("timeout@0", Err));
+  EXPECT_FALSE(FaultPlan::parse("timeout@x", Err));
+  EXPECT_FALSE(FaultPlan::parse("", Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(FaultPlan, GenericFaultIsInjectedKind) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("fault@1", Err);
+  ASSERT_TRUE(Plan) << Err;
+  SmtResult R = injectedResult(*Plan->faultFor(1), 1);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::Injected);
+  EXPECT_NE(R.Detail.find("injected"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// DeadlineBudget and RetryPolicy
+//===----------------------------------------------------------------------===//
+
+TEST(DeadlineBudget, UnlimitedByDefault) {
+  DeadlineBudget B;
+  EXPECT_TRUE(B.unlimited());
+  EXPECT_FALSE(B.exhausted());
+  B.charge(1u << 30);
+  EXPECT_FALSE(B.exhausted());
+}
+
+TEST(DeadlineBudget, ChargeExhaustsDeterministically) {
+  DeadlineBudget B(1000);
+  EXPECT_FALSE(B.exhausted());
+  B.charge(400);
+  EXPECT_FALSE(B.exhausted());
+  EXPECT_LE(B.remainingMs(), 600u);
+  B.charge(600);
+  EXPECT_TRUE(B.exhausted());
+  EXPECT_EQ(B.remainingMs(), 0u);
+}
+
+TEST(RetryPolicy, TimeoutEscalation) {
+  RetryPolicy P; // 2s -> 10s -> full deadline
+  P.MaxAttempts = 3;
+  P.InitialTimeoutMs = 2000;
+  P.BackoffFactor = 5;
+  P.MaxTimeoutMs = 60000;
+  EXPECT_EQ(P.timeoutForAttempt(1), 2000u);
+  EXPECT_EQ(P.timeoutForAttempt(2), 10000u);
+  EXPECT_EQ(P.timeoutForAttempt(3), 60000u);
+  // Single-shot dispatch gets the whole deadline immediately.
+  P.MaxAttempts = 1;
+  EXPECT_EQ(P.timeoutForAttempt(1), 60000u);
+  // Escalation saturates at the ceiling.
+  P.MaxAttempts = 10;
+  EXPECT_EQ(P.timeoutForAttempt(5), 60000u);
+}
+
+//===----------------------------------------------------------------------===//
+// ResilientSolver dispatch
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct DispatchTest : ::testing::Test {
+  DispatchTest() : M(parsePrelude()) {}
+  std::unique_ptr<Module> M;
+
+  /// Builder asserting an obviously-unsat stack (x < 3 && x > 5), i.e. a
+  /// "provable obligation" for the dispatch layer.
+  ResilientSolver::Builder provable() {
+    return [this](SmtSolver &S, const AttemptInfo &) {
+      AstContext &Ctx = M->Ctx;
+      const Term *X = Ctx.var("x", Sort::Int);
+      S.add(Ctx.cmp(CmpFormula::Lt, X, Ctx.intConst(3)));
+      S.add(Ctx.cmp(CmpFormula::Gt, X, Ctx.intConst(5)));
+    };
+  }
+};
+} // namespace
+
+TEST_F(DispatchTest, FirstAttemptSucceedsWithoutRetries) {
+  RetryPolicy Pol;
+  DeadlineBudget Budget;
+  FaultPlan NoFaults;
+  ResilientSolver RS(Pol, Budget, NoFaults);
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unsat);
+  EXPECT_EQ(D.Attempts, 1u);
+  EXPECT_EQ(D.DegradeLevel, 0u);
+}
+
+TEST_F(DispatchTest, RetryAfterInjectedTimeoutSucceeds) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("timeout@1", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  DeadlineBudget Budget;
+  ResilientSolver RS(Pol, Budget, *Plan);
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unsat);
+  EXPECT_EQ(D.Attempts, 2u) << "attempt 1 injected, attempt 2 real";
+  EXPECT_EQ(D.DegradeLevel, 0u);
+}
+
+TEST_F(DispatchTest, AttemptsExhaustedReportsTimeoutTaxonomy) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("timeout@*", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  Pol.MaxAttempts = 2;
+  Pol.DegradeTactics = false;
+  DeadlineBudget Budget;
+  ResilientSolver RS(Pol, Budget, *Plan);
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unknown);
+  EXPECT_EQ(D.Failure, FailureKind::Timeout);
+  EXPECT_EQ(D.Attempts, 2u);
+  EXPECT_NE(D.Detail.find("injected"), std::string::npos);
+}
+
+TEST_F(DispatchTest, BudgetExhaustionStopsDispatch) {
+  // Every attempt "stalls" for its whole deadline (injected timeouts charge
+  // the budget), so a 3s budget admits only the 2s first attempt.
+  std::string Err;
+  auto Plan = FaultPlan::parse("timeout@*", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  Pol.MaxAttempts = 10;
+  Pol.InitialTimeoutMs = 2000;
+  DeadlineBudget Budget(3000);
+  ResilientSolver RS(Pol, Budget, *Plan);
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unknown);
+  EXPECT_EQ(D.Failure, FailureKind::Timeout);
+  EXPECT_LT(D.Attempts, 10u) << "budget must cut the schedule short";
+  EXPECT_NE(D.Detail.find("budget exhausted"), std::string::npos);
+  EXPECT_TRUE(Budget.exhausted());
+}
+
+TEST_F(DispatchTest, DegradedAttemptRunsAfterScheduleExhausts) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("unknown@1", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  Pol.MaxAttempts = 1;
+  Pol.DegradeTactics = true;
+  Pol.DegradeLevels = 2;
+  DeadlineBudget Budget;
+  ResilientSolver RS(Pol, Budget, *Plan);
+  unsigned SeenLevel = 0;
+  DispatchResult D = RS.dispatch([&](SmtSolver &S, const AttemptInfo &Info) {
+    SeenLevel = Info.DegradeLevel;
+    provable()(S, Info);
+  });
+  EXPECT_EQ(D.Status, SmtStatus::Unsat);
+  EXPECT_EQ(D.Attempts, 2u);
+  EXPECT_EQ(D.DegradeLevel, 1u);
+  EXPECT_EQ(SeenLevel, 1u) << "builder must see the reduced-tactics level";
+}
+
+TEST_F(DispatchTest, LoweringErrorIsNotRetried) {
+  RetryPolicy Pol;
+  Pol.MaxAttempts = 3;
+  DeadlineBudget Budget;
+  FaultPlan NoFaults;
+  ResilientSolver RS(Pol, Budget, NoFaults);
+  DispatchResult D = RS.dispatch([&](SmtSolver &S, const AttemptInfo &) {
+    AstContext &Ctx = M->Ctx;
+    // IntL infinities are rejected by the lowering — a deterministic error.
+    S.add(Ctx.cmp(CmpFormula::Eq, Ctx.inf(true), Ctx.intConst(0)));
+  });
+  EXPECT_EQ(D.Status, SmtStatus::Unknown);
+  EXPECT_EQ(D.Failure, FailureKind::LoweringError);
+  EXPECT_EQ(D.Attempts, 1u) << "deterministic failures must not be retried";
+  EXPECT_NE(D.Detail.find("infinities"), std::string::npos);
+}
+
+TEST(TacticDegradation, DropsAxiomsThenFramesNeverUnfolding) {
+  NaturalOptions Full;
+  EXPECT_EQ(maxDegradeLevels(Full), 2u);
+  NaturalOptions L1 = degradeTactics(Full, 1);
+  EXPECT_TRUE(L1.Unfold);
+  EXPECT_TRUE(L1.Frames);
+  EXPECT_FALSE(L1.Axioms);
+  NaturalOptions L2 = degradeTactics(Full, 2);
+  EXPECT_TRUE(L2.Unfold);
+  EXPECT_FALSE(L2.Frames);
+  EXPECT_FALSE(L2.Axioms);
+  // Past the last droppable tactic the options saturate.
+  NaturalOptions L9 = degradeTactics(Full, 9);
+  EXPECT_TRUE(L9.Unfold);
+  // A config that already dropped axioms degrades straight to frames.
+  NaturalOptions NoAx = Full;
+  NoAx.Axioms = false;
+  EXPECT_EQ(maxDegradeLevels(NoAx), 1u);
+  EXPECT_FALSE(degradeTactics(NoAx, 1).Frames);
+}
+
+TEST(ResilientSolverStatics, RetryableKinds) {
+  EXPECT_TRUE(ResilientSolver::retryable(FailureKind::Timeout));
+  EXPECT_TRUE(ResilientSolver::retryable(FailureKind::SolverUnknown));
+  EXPECT_TRUE(ResilientSolver::retryable(FailureKind::ResourceOut));
+  EXPECT_TRUE(ResilientSolver::retryable(FailureKind::Injected));
+  EXPECT_FALSE(ResilientSolver::retryable(FailureKind::LoweringError));
+  EXPECT_FALSE(ResilientSolver::retryable(FailureKind::None));
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier integration: taxonomy threading and report rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *InsertFront = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)";
+
+std::vector<ProcResult> verifyWith(VerifyOptions Opts) {
+  auto M = parsePrelude(InsertFront);
+  Verifier V(*M, Opts);
+  DiagEngine D;
+  return V.verifyAll(D);
+}
+} // namespace
+
+TEST(VerifierResilience, RetriesPastInjectedTimeoutAndVerifies) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("timeout@1", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified) << "retry path must absorb one injected timeout";
+  for (const ObligationResult &O : R[0].Obligations)
+    if (O.Name.find("[vacuity]") == std::string::npos) {
+      EXPECT_EQ(O.Status, SmtStatus::Unsat);
+      EXPECT_EQ(O.Failure, FailureKind::None);
+      EXPECT_EQ(O.Attempts, 2u);
+    }
+}
+
+TEST(VerifierResilience, SingleAttemptReportsTimeoutNotUnknown) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 1;
+  Opts.DegradeTactics = false;
+  Opts.CheckVacuity = false;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("timeout@*", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  ASSERT_FALSE(R[0].Obligations.empty());
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Status, SmtStatus::Unknown);
+    EXPECT_EQ(O.Failure, FailureKind::Timeout)
+        << "must report Timeout, not bare Unknown";
+  }
+  // The report renders the taxonomy, not "unknown", and flags the failures
+  // as infrastructure rather than disproofs.
+  std::string Table = formatResults("t", R);
+  EXPECT_NE(Table.find("timeout"), std::string::npos);
+  EXPECT_NE(Table.find("infrastructure"), std::string::npos);
+  EXPECT_EQ(Table.find("unknown:"), std::string::npos);
+}
+
+TEST(VerifierResilience, SingleShotDisablesWholeResilienceLadder) {
+  // Attempts == 1 means classic single-shot dispatch: no retry AND no
+  // degraded re-dispatch, even with degradation left at its default. An
+  // injected first-attempt timeout must therefore be final.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 1;
+  Opts.CheckVacuity = false;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("timeout@1", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Failure, FailureKind::Timeout);
+    EXPECT_EQ(O.Attempts, 1u);
+  }
+}
+
+TEST(VerifierResilience, DegradedTacticsProveAfterInjectedUnknowns) {
+  // All scheduled attempts fail; the degraded re-dispatch (axioms dropped)
+  // still proves this recursive routine.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 2;
+  Opts.DegradeTactics = true;
+  Opts.CheckVacuity = false;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("unknown@1,unknown@2", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified);
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Status, SmtStatus::Unsat);
+    EXPECT_GE(O.DegradeLevel, 1u) << "proof must come from a degraded attempt";
+  }
+}
+
+TEST(VerifierResilience, ProcBudgetBoundsInjectedStalls) {
+  // Injected timeouts charge their virtual stall to the procedure budget:
+  // with a 3s budget and 2s first-attempt deadlines, the first obligation
+  // exhausts the budget and every later obligation fails fast instead of
+  // hanging for attempts x timeout.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 10;
+  Opts.DegradeTactics = false;
+  Opts.CheckVacuity = false;
+  Opts.ProcBudgetMs = 3000;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("timeout@*", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  unsigned TotalAttempts = 0;
+  bool SawBudgetNote = false;
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Failure, FailureKind::Timeout);
+    TotalAttempts += O.Attempts;
+    SawBudgetNote |=
+        O.FailureDetail.find("budget exhausted") != std::string::npos;
+  }
+  EXPECT_TRUE(SawBudgetNote);
+  EXPECT_LT(TotalAttempts, 10u * R[0].Obligations.size())
+      << "budget must stop the retry schedule across obligations";
+}
+
+TEST(VerifierResilience, InjectedLoweringErrorSurfacesDetail) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.CheckVacuity = false;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("lowering@*", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Failure, FailureKind::LoweringError);
+    EXPECT_EQ(O.Attempts, 1u) << "lowering errors are deterministic";
+    EXPECT_FALSE(O.FailureDetail.empty());
+  }
+  std::string Table = formatResults("t", R);
+  EXPECT_NE(Table.find("lowering-error"), std::string::npos);
+}
+
+TEST(VerifierResilience, ReportPrintsLoweringDetailText) {
+  // FailureDetail must reach the rendered report verbatim (satellite:
+  // lowering errors are no longer buried as a bare "unknown").
+  ProcResult PR;
+  PR.Proc = "p";
+  PR.Verified = false;
+  ObligationResult O;
+  O.Name = "p [path 1]";
+  O.Status = SmtStatus::Unknown;
+  O.Failure = FailureKind::LoweringError;
+  O.FailureDetail = "IntL infinities are not supported in VCs in: inf == 0";
+  O.Attempts = 1;
+  PR.Obligations.push_back(O);
+  std::string Table = formatResults("t", {PR});
+  EXPECT_NE(Table.find("lowering-error"), std::string::npos);
+  EXPECT_NE(Table.find("IntL infinities"), std::string::npos);
+}

@@ -131,6 +131,57 @@ TEST_F(SmtTest, ModelReportedOnSat) {
   EXPECT_NE(R.ModelText.find("x = "), std::string::npos);
 }
 
+TEST_F(SmtTest, DefinitiveResultsCarryNoFailureKind) {
+  AstContext &Ctx = M->Ctx;
+  const Term *X = Ctx.var("x", Sort::Int);
+  SmtSolver S;
+  S.add(Ctx.cmp(CmpFormula::Lt, X, Ctx.intConst(3)));
+  SmtResult Sat = S.check();
+  EXPECT_EQ(Sat.Status, SmtStatus::Sat);
+  EXPECT_EQ(Sat.Failure, FailureKind::None);
+  S.add(Ctx.cmp(CmpFormula::Gt, X, Ctx.intConst(5)));
+  SmtResult Unsat = S.check();
+  EXPECT_EQ(Unsat.Status, SmtStatus::Unsat);
+  EXPECT_EQ(Unsat.Failure, FailureKind::None);
+}
+
+TEST_F(SmtTest, LoweringErrorClassifiedWithDetail) {
+  AstContext &Ctx = M->Ctx;
+  SmtSolver S;
+  S.add(Ctx.cmp(CmpFormula::Eq, Ctx.inf(true), Ctx.intConst(0)));
+  SmtResult R = S.check();
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::LoweringError);
+  EXPECT_NE(R.Detail.find("infinities"), std::string::npos);
+}
+
+TEST_F(SmtTest, TimeoutReArmedPerCheck) {
+  // Regression for the probe/discharge timeout leak: the deadline in force
+  // must be the one most recently requested, re-applied at every check().
+  // A 1ms budget on a quantified goal usually trips the deadline; raising
+  // the budget on the SAME solver must then let the query complete — if
+  // the short timeout leaked, the second check would also be cut off.
+  AstContext &Ctx = M->Ctx;
+  SmtSolver S;
+  const Term *A = Ctx.var("A", Sort::IntSet);
+  const Term *B = Ctx.var("B", Sort::IntSet);
+  const Term *K = Ctx.var("k", Sort::Int);
+  S.add(Ctx.cmp(CmpFormula::SetLt, A, B));
+  S.add(Ctx.cmp(CmpFormula::In, K, A));
+  S.add(Ctx.cmp(CmpFormula::SetLe, B, Ctx.singleton(K, Sort::IntSet)));
+  S.add(Ctx.cmp(CmpFormula::In, K, B));
+  S.setTimeoutMs(1);
+  SmtResult Short = S.check();
+  if (Short.Status == SmtStatus::Unknown) {
+    EXPECT_EQ(Short.Failure, FailureKind::Timeout);
+  }
+  S.setTimeoutMs(30000);
+  SmtResult Long = S.check();
+  EXPECT_EQ(Long.Status, SmtStatus::Unsat)
+      << "second check must run under the re-armed 30s deadline, got: "
+      << Long.Detail;
+}
+
 TEST_F(SmtTest, Smt2DumpContainsAssertions) {
   AstContext &Ctx = M->Ctx;
   SmtSolver S;
