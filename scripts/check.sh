@@ -18,17 +18,48 @@ echo "== smoke: retry path absorbs an injected first-attempt timeout =="
 # must still verify every routine.
 "$DRYADV" --inject timeout@1 --timeout 30000 "$SLL"
 
-echo "== smoke: single-shot dispatch reports the timeout and fails =="
-# With --attempts 1 the same injection is final: the run must exit nonzero
-# (and do so promptly — injected faults never wait on a real solver).
-if "$DRYADV" --inject timeout@1 --attempts 1 --proc-budget-ms 60000 \
-    "$SLL" > /tmp/dryadv-inject.out 2>&1; then
-  echo "expected nonzero exit under --attempts 1 with injected timeouts" >&2
+echo "== smoke: single-shot dispatch reports the timeout and exits 3 =="
+# With --attempts 1 the same injection is final: the run must fail, and it
+# must fail with the *infrastructure* exit code (3) — these are flakes, not
+# disproofs — and do so promptly (injected faults never wait on a solver).
+rc=0
+"$DRYADV" --inject timeout@1 --attempts 1 --proc-budget-ms 60000 \
+    "$SLL" > /tmp/dryadv-inject.out 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit 3 (infrastructure) under injected timeouts, got $rc" >&2
+  cat /tmp/dryadv-inject.out >&2
   exit 1
 fi
 grep -q "timeout" /tmp/dryadv-inject.out || {
   echo "expected the report to name the timeout failure kind" >&2
   cat /tmp/dryadv-inject.out >&2
+  exit 1
+}
+
+echo "== smoke: genuine refutations still exit 1 =="
+rc=0
+"$DRYADV" --attempts 1 --no-degrade --timeout 30000 \
+    bench/suite/negative/seeded_bugs.dryad > /tmp/dryadv-neg.out 2>&1 || rc=$?
+if [ "$rc" -ne 1 ]; then
+  echo "expected exit 1 (genuine failure) on the seeded-bug corpus, got $rc" >&2
+  cat /tmp/dryadv-neg.out >&2
+  exit 1
+fi
+
+echo "== smoke: isolated worker survives an injected crash and proves =="
+# Attempt 1's forked worker really segfaults (crash@1 under --isolate); the
+# parent must classify the signal death, retry, and verify everything.
+"$DRYADV" --isolate --inject crash@1 --attempts 2 --timeout 30000 "$SLL"
+
+echo "== smoke: journal resume skips already-proved obligations =="
+JRNL=/tmp/dryadv-journal.jsonl
+rm -f "$JRNL"
+"$DRYADV" --journal "$JRNL" --timeout 30000 "$SLL" > /dev/null
+"$DRYADV" --journal "$JRNL" --resume --timeout 30000 "$SLL" \
+    > /tmp/dryadv-resume.out
+grep -q "reused from the journal" /tmp/dryadv-resume.out || {
+  echo "expected the resumed run to reuse journaled proofs" >&2
+  cat /tmp/dryadv-resume.out >&2
   exit 1
 }
 

@@ -13,17 +13,31 @@ std::optional<Fault> FaultPlan::faultFor(unsigned Attempt) const {
   return std::nullopt;
 }
 
-static std::optional<FailureKind> kindFromName(const std::string &Name) {
+namespace {
+struct ParsedKind {
+  FailureKind Kind;
+  bool InWorker;
+};
+} // namespace
+
+static std::optional<ParsedKind> kindFromName(const std::string &Name) {
   if (Name == "timeout")
-    return FailureKind::Timeout;
+    return ParsedKind{FailureKind::Timeout, false};
   if (Name == "unknown")
-    return FailureKind::SolverUnknown;
+    return ParsedKind{FailureKind::SolverUnknown, false};
   if (Name == "lowering")
-    return FailureKind::LoweringError;
+    return ParsedKind{FailureKind::LoweringError, false};
   if (Name == "resourceout" || Name == "memout")
-    return FailureKind::ResourceOut;
+    return ParsedKind{FailureKind::ResourceOut, false};
   if (Name == "fault" || Name == "injected")
-    return FailureKind::Injected;
+    return ParsedKind{FailureKind::Injected, false};
+  // Sandbox-realized kinds: under --isolate the worker process really dies
+  // (signal / allocation into the rlimit); without isolation they
+  // short-circuit like any other injected fault.
+  if (Name == "crash")
+    return ParsedKind{FailureKind::SolverCrash, true};
+  if (Name == "oom")
+    return ParsedKind{FailureKind::ResourceOut, true};
   return std::nullopt;
 }
 
@@ -44,14 +58,15 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
       Err = "fault '" + Entry + "' is missing '@<attempt>' (e.g. timeout@1)";
       return std::nullopt;
     }
-    std::optional<FailureKind> Kind = kindFromName(Entry.substr(0, At));
+    std::optional<ParsedKind> Kind = kindFromName(Entry.substr(0, At));
     if (!Kind) {
       Err = "unknown fault kind '" + Entry.substr(0, At) +
-            "' (expected timeout|unknown|lowering|resourceout|fault)";
+            "' (expected timeout|unknown|lowering|resourceout|crash|oom|fault)";
       return std::nullopt;
     }
     Fault F;
-    F.Kind = *Kind;
+    F.Kind = Kind->Kind;
+    F.InWorker = Kind->InWorker;
     std::string Where = Entry.substr(At + 1);
     if (Where == "*" || Where == "all") {
       F.EveryAttempt = true;
@@ -89,7 +104,10 @@ std::string FaultPlan::describe() const {
       Out += "lowering";
       break;
     case FailureKind::ResourceOut:
-      Out += "resourceout";
+      Out += F.InWorker ? "oom" : "resourceout";
+      break;
+    case FailureKind::SolverCrash:
+      Out += "crash";
       break;
     case FailureKind::Injected:
     case FailureKind::None:

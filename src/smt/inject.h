@@ -19,6 +19,11 @@
 ///   lowering@1       report a lowering error (never retried)
 ///   resourceout@1    report solver resource exhaustion
 ///   fault@1          generic injected fault (FailureKind::Injected)
+///   crash@1          solver crash (SIGSEGV); under --isolate the sandboxed
+///                    worker really dies on the signal, exercising the
+///                    parent's wait-status classification
+///   oom@1            allocation death under the memory rlimit; under
+///                    --isolate the worker really allocates into the cap
 ///   timeout@*        fail every attempt
 ///
 //===----------------------------------------------------------------------===//
@@ -41,6 +46,11 @@ struct Fault {
   FailureKind Kind = FailureKind::Injected;
   unsigned Attempt = 1;
   bool EveryAttempt = false;
+  /// crash@N / oom@N: when process isolation is on, the fault is realized
+  /// *inside* the sandboxed worker (a real signal death / a real allocation
+  /// into the rlimit) instead of short-circuiting the dispatch, so the
+  /// parent-side classification is what gets exercised.
+  bool InWorker = false;
 };
 
 class FaultPlan {

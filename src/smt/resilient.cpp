@@ -24,6 +24,7 @@ bool ResilientSolver::retryable(FailureKind K) {
   case FailureKind::Timeout:
   case FailureKind::SolverUnknown:
   case FailureKind::ResourceOut:
+  case FailureKind::SolverCrash: // a fresh worker may well survive
   case FailureKind::Injected:
     return true;
   case FailureKind::LoweringError: // deterministic: same input, same failure
@@ -63,7 +64,12 @@ DispatchResult ResilientSolver::dispatch(const Builder &Build) {
     Info.Seed = Policy.BaseSeed + 7919 * (Attempt - 1);
 
     SmtResult R;
-    if (std::optional<Fault> F = Plan.faultFor(Attempt)) {
+    std::optional<Fault> F = Plan.faultFor(Attempt);
+    // Worker-realized faults (crash@N / oom@N) only short-circuit when
+    // there is no sandbox to realize them in; under isolation they travel
+    // into the forked worker so the parent-side classification is what the
+    // test exercises.
+    if (F && !(Sandbox.Enabled && F->InWorker)) {
       R = injectedResult(*F, Attempt);
       // An injected timeout stands in for a solver stalling until its
       // deadline; charge that stall so budget exhaustion is reachable.
@@ -75,7 +81,20 @@ DispatchResult ResilientSolver::dispatch(const Builder &Build) {
       if (Policy.ReseedOnRetry && Attempt > 1)
         S.setRandomSeed(Info.Seed);
       Build(S, Info);
-      R = S.check();
+      if (Sandbox.Enabled && !S.hasLoweringError()) {
+        SandboxRequest Req;
+        Req.Smt2 = S.toSmt2();
+        Req.TimeoutMs = Info.TimeoutMs;
+        Req.MemLimitMb = Sandbox.MemLimitMb;
+        Req.Seed = Info.Seed;
+        Req.HasSeed = Policy.ReseedOnRetry && Attempt > 1;
+        if (F)
+          Req.Fault = F->Kind == FailureKind::SolverCrash ? SandboxFault::Crash
+                                                          : SandboxFault::Oom;
+        R = solveInSandbox(Req);
+      } else {
+        R = S.check();
+      }
     }
 
     Out.Attempts = Attempt;

@@ -35,6 +35,7 @@
 #define DRYAD_SMT_RESILIENT_H
 
 #include "smt/inject.h"
+#include "smt/sandbox.h"
 #include "smt/solver.h"
 
 #include <chrono>
@@ -135,6 +136,12 @@ public:
                   const FaultPlan &Plan)
       : Policy(Policy), Budget(Budget), Plan(Plan) {}
 
+  /// Process isolation: when enabled, each attempt is lowered in-process
+  /// (to serialize the benchmark) but *solved* in a forked, rlimited worker
+  /// — a solver segfault or runaway allocation fails only that attempt, and
+  /// retryable() treats it like a timeout. See smt/sandbox.h.
+  void setSandbox(SandboxOptions O) { Sandbox = O; }
+
   /// Runs the retry/escalation/degradation loop for one obligation.
   DispatchResult dispatch(const Builder &Build);
 
@@ -146,6 +153,7 @@ private:
   RetryPolicy Policy;
   DeadlineBudget &Budget;
   const FaultPlan &Plan;
+  SandboxOptions Sandbox;
 };
 
 } // namespace dryad

@@ -1,0 +1,344 @@
+//===--- sandbox.cpp - Process-isolated solver workers ----------------------===//
+
+#include "smt/sandbox.h"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <z3++.h>
+
+using namespace dryad;
+
+namespace {
+
+/// Reserved worker exit codes. 97 is the one the parent classifies: the
+/// worker caught an allocation failure under RLIMIT_AS and could not trust
+/// itself to build a payload.
+constexpr int ExitOom = 97;
+constexpr int ExitProto = 98; ///< result existed but could not be written
+
+/// Grace the parent grants past the solver's own soft timeout before the
+/// SIGKILL: a healthy Z3 returns `unknown (timeout)` by itself, which keeps
+/// the richer in-solver classification; the hard kill is for wedged workers.
+constexpr unsigned WallGraceMs = 500;
+
+//===----------------------------------------------------------------------===//
+// Payload protocol (child -> parent, over the pipe)
+//===----------------------------------------------------------------------===//
+//
+// "DRYD1\n" <status-char> '\n' <failure-name> '\n'
+// <detail-bytes> '\n' <detail> <model-bytes> '\n' <model>
+//
+// Length-prefixed fields so solver text can contain anything.
+
+std::string encodePayload(const SmtResult &R) {
+  char Status = R.Status == SmtStatus::Unsat ? 'U'
+                : R.Status == SmtStatus::Sat ? 'S'
+                                             : 'K';
+  std::string Out = "DRYD1\n";
+  Out += Status;
+  Out += '\n';
+  Out += failureKindName(R.Failure);
+  Out += '\n';
+  Out += std::to_string(R.Detail.size()) + "\n" + R.Detail;
+  Out += std::to_string(R.ModelText.size()) + "\n" + R.ModelText;
+  return Out;
+}
+
+bool decodePayload(const std::string &Payload, SmtResult &R) {
+  size_t Pos = 0;
+  auto line = [&](std::string &Field) {
+    size_t Nl = Payload.find('\n', Pos);
+    if (Nl == std::string::npos)
+      return false;
+    Field = Payload.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    return true;
+  };
+  auto sized = [&](std::string &Field) {
+    std::string Len;
+    if (!line(Len))
+      return false;
+    char *End = nullptr;
+    unsigned long N = std::strtoul(Len.c_str(), &End, 10);
+    if (Len.empty() || *End != '\0' || Pos + N > Payload.size())
+      return false;
+    Field = Payload.substr(Pos, N);
+    Pos += N;
+    return true;
+  };
+
+  std::string Magic, Status, Failure;
+  if (!line(Magic) || Magic != "DRYD1" || !line(Status) || !line(Failure) ||
+      !sized(R.Detail) || !sized(R.ModelText))
+    return false;
+  R.Status = Status == "U"   ? SmtStatus::Unsat
+             : Status == "S" ? SmtStatus::Sat
+                             : SmtStatus::Unknown;
+  R.Failure = failureKindFromName(Failure);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Child side
+//===----------------------------------------------------------------------===//
+
+void applyLimits(const SandboxRequest &Req) {
+  unsigned MemMb = Req.MemLimitMb;
+  // An injected oom must hit a ceiling even when the caller set none;
+  // otherwise the "fault" would eat the machine it exists to protect.
+  if (Req.Fault == SandboxFault::Oom && MemMb == 0)
+    MemMb = 256;
+  if (MemMb) {
+    rlimit RL;
+    RL.rlim_cur = RL.rlim_max = static_cast<rlim_t>(MemMb) << 20;
+    setrlimit(RLIMIT_AS, &RL);
+  }
+  unsigned CpuS = Req.CpuLimitS;
+  if (CpuS == 0 && Req.TimeoutMs != 0)
+    CpuS = Req.TimeoutMs / 1000 + 2;
+  if (CpuS) {
+    rlimit RL;
+    RL.rlim_cur = CpuS;
+    RL.rlim_max = CpuS + 2; // hard kill if the SIGXCPU is somehow ignored
+    setrlimit(RLIMIT_CPU, &RL);
+  }
+}
+
+void writeAll(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      _exit(ExitProto);
+    }
+    Off += static_cast<size_t>(N);
+  }
+}
+
+[[noreturn]] void childMain(const SandboxRequest &Req, int Fd) {
+  applyLimits(Req);
+
+  switch (Req.Fault) {
+  case SandboxFault::Crash:
+    // A real signal death, not an exit code: the parent must classify it
+    // from the wait status exactly as it would a genuine solver segfault.
+    signal(SIGSEGV, SIG_DFL);
+    raise(SIGSEGV);
+    _exit(ExitProto); // unreachable
+  case SandboxFault::Oom:
+    try {
+      std::vector<char *> Hog;
+      for (;;) {
+        char *P = new char[1 << 20];
+        std::memset(P, 0xAB, 1 << 20); // touch so the cap really bites
+        Hog.push_back(P);
+      }
+    } catch (const std::bad_alloc &) {
+      _exit(ExitOom);
+    }
+    _exit(ExitProto); // unreachable
+  case SandboxFault::Stall:
+    // Never answer; the parent's wall-clock SIGKILL must reap us. Bounded
+    // so a misconfigured no-deadline test cannot hang forever.
+    for (int I = 0; I != 600; ++I)
+      usleep(100000);
+    _exit(ExitProto);
+  case SandboxFault::None:
+    break;
+  }
+
+  SmtResult R;
+  try {
+    z3::context Ctx;
+    z3::solver Solver(Ctx);
+    Solver.from_string(Req.Smt2.c_str());
+    z3::params P(Ctx);
+    P.set("timeout", Req.TimeoutMs == 0 ? 4294967295u : Req.TimeoutMs);
+    if (Req.HasSeed)
+      P.set("random_seed", Req.Seed);
+    Solver.set(P);
+    z3::check_result CR = Solver.check();
+    if (CR == z3::unsat) {
+      R.Status = SmtStatus::Unsat;
+    } else if (CR == z3::sat) {
+      R.Status = SmtStatus::Sat;
+      z3::model Mdl = Solver.get_model();
+      std::string Text;
+      for (unsigned J = 0; J != Mdl.num_consts(); ++J) {
+        z3::func_decl D = Mdl.get_const_decl(J);
+        std::string Name = D.name().str();
+        // Same counterexample filter as the in-process path: scalar
+        // program/spec constants only, no field arrays or quantifier
+        // witnesses.
+        if (Name.rfind("fld.", 0) == 0 || Name.rfind("qa!", 0) == 0 ||
+            Name.rfind("qb!", 0) == 0 || Name.rfind("qs!", 0) == 0 ||
+            Name.rfind("mi!", 0) == 0)
+          continue;
+        z3::expr Val = Mdl.get_const_interp(D);
+        if (!Val.is_numeral() && !Val.is_bool())
+          continue;
+        Text += Name + " = " + Val.to_string() + "; ";
+      }
+      R.ModelText = Text;
+    } else {
+      R.Status = SmtStatus::Unknown;
+      R.Detail = Solver.reason_unknown();
+      R.ModelText = R.Detail;
+      R.Failure = classifyUnknownReason(R.Detail);
+    }
+  } catch (const z3::exception &E) {
+    R.Status = SmtStatus::Unknown;
+    R.Detail = E.msg();
+    R.ModelText = R.Detail;
+    R.Failure = classifyUnknownReason(R.Detail);
+    if (R.Failure == FailureKind::ResourceOut)
+      _exit(ExitOom); // don't trust allocation for the payload
+  } catch (const std::bad_alloc &) {
+    _exit(ExitOom);
+  }
+
+  writeAll(Fd, encodePayload(R));
+  _exit(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Parent side
+//===----------------------------------------------------------------------===//
+
+SmtResult setupFailure(const char *What) {
+  SmtResult R;
+  R.Status = SmtStatus::Unknown;
+  R.Failure = FailureKind::SolverCrash;
+  R.Detail = std::string("sandbox setup failed: ") + What + ": " +
+             std::strerror(errno);
+  R.ModelText = R.Detail;
+  return R;
+}
+
+} // namespace
+
+SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
+  auto Start = std::chrono::steady_clock::now();
+  int Fds[2];
+  if (pipe(Fds) != 0)
+    return setupFailure("pipe");
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Fds[0]);
+    close(Fds[1]);
+    return setupFailure("fork");
+  }
+  if (Pid == 0) {
+    close(Fds[0]);
+    childMain(Req, Fds[1]); // never returns
+  }
+  close(Fds[1]);
+
+  // Drain the pipe until EOF or the wall deadline. The deadline includes a
+  // grace window past the solver's soft timeout so a healthy worker gets to
+  // report its own `unknown (timeout)`.
+  auto Deadline = Start + std::chrono::milliseconds(Req.TimeoutMs == 0
+                                                        ? 0
+                                                        : Req.TimeoutMs +
+                                                              WallGraceMs);
+  std::string Payload;
+  bool KilledByDeadline = false;
+  char Buf[4096];
+  for (;;) {
+    int PollMs = -1;
+    if (Req.TimeoutMs != 0) {
+      auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Deadline - std::chrono::steady_clock::now())
+                        .count();
+      if (Remain <= 0) {
+        kill(Pid, SIGKILL);
+        KilledByDeadline = true;
+        break;
+      }
+      PollMs = static_cast<int>(Remain);
+    }
+    pollfd PF;
+    PF.fd = Fds[0];
+    PF.events = POLLIN;
+    PF.revents = 0;
+    int PR = poll(&PF, 1, PollMs);
+    if (PR == 0) {
+      kill(Pid, SIGKILL);
+      KilledByDeadline = true;
+      break;
+    }
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    ssize_t N = read(Fds[0], Buf, sizeof(Buf));
+    if (N > 0) {
+      Payload.append(Buf, static_cast<size_t>(N));
+    } else if (N == 0) {
+      break; // EOF: the worker closed its end (exit or death)
+    } else if (errno != EINTR) {
+      break;
+    }
+  }
+  close(Fds[0]);
+
+  int WStatus = 0;
+  while (waitpid(Pid, &WStatus, 0) < 0 && errno == EINTR)
+    ;
+
+  SmtResult R;
+  R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            Start)
+                  .count();
+
+  if (!KilledByDeadline && WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 0 &&
+      decodePayload(Payload, R))
+    return R;
+
+  R.Status = SmtStatus::Unknown;
+  if (KilledByDeadline) {
+    R.Failure = FailureKind::Timeout;
+    R.Detail = "solver worker killed at the " + std::to_string(Req.TimeoutMs) +
+               " ms wall-clock deadline";
+  } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitOom) {
+    R.Failure = FailureKind::ResourceOut;
+    R.Detail = "solver worker exceeded its memory limit";
+    if (Req.MemLimitMb)
+      R.Detail += " (RLIMIT_AS " + std::to_string(Req.MemLimitMb) + " MiB)";
+  } else if (WIFSIGNALED(WStatus)) {
+    int Sig = WTERMSIG(WStatus);
+    if (Sig == SIGXCPU || Sig == SIGKILL) {
+      // SIGKILL we did not send is the kernel's: the CPU rlimit's hard cap
+      // or the OOM killer — resource exhaustion either way.
+      R.Failure = FailureKind::ResourceOut;
+      R.Detail = std::string("solver worker killed by resource limit (") +
+                 strsignal(Sig) + ")";
+    } else {
+      R.Failure = FailureKind::SolverCrash;
+      R.Detail = std::string("solver worker died on signal ") +
+                 std::to_string(Sig) + " (" + strsignal(Sig) + ")";
+    }
+  } else {
+    R.Failure = FailureKind::SolverCrash;
+    R.Detail = "solver worker exited with code " +
+               std::to_string(WIFEXITED(WStatus) ? WEXITSTATUS(WStatus) : -1) +
+               " without a result";
+  }
+  R.ModelText = R.Detail;
+  return R;
+}

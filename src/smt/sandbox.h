@@ -1,0 +1,89 @@
+//===--- sandbox.h - Process-isolated solver workers ------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharges one SMT query in a forked worker process so that a solver
+/// segfault, assertion failure, runaway allocation, or wedged search can
+/// never take down the verification run. The worker:
+///
+///  * applies `setrlimit` caps (RLIMIT_AS for memory, RLIMIT_CPU derived
+///    from the deadline) before touching the solver;
+///  * re-parses the serialized SMT-LIB2 benchmark in a fresh Z3 context,
+///    checks it, and reports the result back over a pipe;
+///  * exits with a reserved code when an allocation failure is caught, so
+///    the parent can classify rlimit deaths without a payload.
+///
+/// The parent enforces a hard wall-clock deadline with SIGKILL and maps the
+/// child's fate onto the failure taxonomy:
+///
+///   | child fate                        | classification            |
+///   |-----------------------------------|---------------------------|
+///   | exit 0 + complete payload         | payload's own result      |
+///   | SIGSEGV/SIGABRT/SIGBUS/...        | FailureKind::SolverCrash  |
+///   | SIGXCPU / OOM-kill / exit 97      | FailureKind::ResourceOut  |
+///   | parent's deadline SIGKILL         | FailureKind::Timeout      |
+///
+/// All three non-payload fates are retryable, so `ResilientSolver` treats a
+/// crashed or wedged worker exactly like a timed-out in-process check.
+/// `SandboxFault` lets fault injection (crash@N / oom@N, see inject.h) make
+/// the worker actually die inside the sandbox, exercising the parent-side
+/// classification deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SMT_SANDBOX_H
+#define DRYAD_SMT_SANDBOX_H
+
+#include "smt/solver.h"
+
+#include <string>
+
+namespace dryad {
+
+/// What the worker does instead of solving — the deterministic hook the
+/// crash@N / oom@N fault kinds use to exercise every parent-side
+/// classification path with a real child process.
+enum class SandboxFault {
+  None,  ///< solve the query
+  Crash, ///< die on SIGSEGV right after startup
+  Oom,   ///< allocate until the RLIMIT_AS cap kills the allocation
+  Stall, ///< never answer; the parent's wall-clock SIGKILL must fire
+};
+
+/// One isolated solve. `Smt2` is a complete SMT-LIB2 benchmark (as produced
+/// by SmtSolver::toSmt2(), including the check-sat command).
+struct SandboxRequest {
+  std::string Smt2;
+  /// Wall-clock deadline enforced by the parent with SIGKILL; also handed
+  /// to Z3 as its soft `timeout` so a clean in-solver timeout (with its
+  /// reason string) is the common case. 0 = no deadline.
+  unsigned TimeoutMs = 0;
+  /// RLIMIT_AS cap for the worker, in MiB. 0 = no cap.
+  unsigned MemLimitMb = 0;
+  /// RLIMIT_CPU cap in seconds; 0 derives it from TimeoutMs (deadline
+  /// rounded up plus slack) so a busy-looping solver dies even if the
+  /// parent does.
+  unsigned CpuLimitS = 0;
+  unsigned Seed = 0;
+  bool HasSeed = false;
+  SandboxFault Fault = SandboxFault::None;
+};
+
+/// Runs one query in a forked, rlimited worker and classifies its fate.
+/// Never throws; infrastructure problems (fork/pipe failure) surface as
+/// FailureKind::SolverCrash results.
+SmtResult solveInSandbox(const SandboxRequest &Req);
+
+/// Parent-facing switch threaded from `dryadv --isolate` down to the
+/// dispatch layer.
+struct SandboxOptions {
+  bool Enabled = false;
+  unsigned MemLimitMb = 0; ///< `--mem-limit-mb`; 0 = no cap
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SMT_SANDBOX_H

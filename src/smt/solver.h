@@ -37,11 +37,21 @@ enum class FailureKind {
   SolverUnknown, ///< solver gave up for a non-resource reason
   LoweringError, ///< formula could not be lowered to the solver's logic
   ResourceOut,   ///< memory/rlimit exhaustion inside the solver
+  SolverCrash,   ///< sandboxed solver worker died on a signal (segv/abort)
   Injected,      ///< deterministic fault from a FaultPlan (testing/CI)
 };
 
 /// Short stable name for a failure kind ("timeout", "lowering-error", ...).
 const char *failureKindName(FailureKind K);
+
+/// Inverse of failureKindName. Used by the journal to round-trip records.
+/// Returns FailureKind::None for unrecognized names.
+FailureKind failureKindFromName(const std::string &Name);
+
+/// Maps Z3's free-form `reason_unknown` strings onto the taxonomy
+/// (timeout/cancel -> Timeout, memout/rlimit -> ResourceOut, else
+/// SolverUnknown). Shared by the in-process solver and the sandbox worker.
+FailureKind classifyUnknownReason(const std::string &Reason);
 
 struct SmtResult {
   SmtStatus Status = SmtStatus::Unknown;
@@ -78,6 +88,11 @@ public:
   void addNegated(const Formula *F);
 
   SmtResult check();
+
+  /// Whether lowering has already failed — check() will report
+  /// LoweringError without consulting the solver. The sandbox path uses
+  /// this to skip forking a worker for a deterministically-broken query.
+  bool hasLoweringError() const { return !LoweringError.empty(); }
 
   /// SMT-LIB2 rendering of the current assertion stack (for goldens and
   /// debugging).

@@ -20,17 +20,6 @@ bool containsAny(const std::string &Haystack,
   return false;
 }
 
-/// Z3 only reports a free-form `reason_unknown`; map the strings its core
-/// actually emits onto the taxonomy.
-FailureKind classifyUnknown(const std::string &Reason) {
-  if (containsAny(Reason, {"timeout", "canceled", "cancelled", "interrupted"}))
-    return FailureKind::Timeout;
-  if (containsAny(Reason, {"memout", "memory", "resource", "rlimit",
-                           "max. resource"}))
-    return FailureKind::ResourceOut;
-  return FailureKind::SolverUnknown;
-}
-
 std::string sanitize(const std::string &S) {
   std::string Out;
   for (char C : S)
@@ -54,10 +43,33 @@ const char *dryad::failureKindName(FailureKind K) {
     return "lowering-error";
   case FailureKind::ResourceOut:
     return "resource-out";
+  case FailureKind::SolverCrash:
+    return "solver-crash";
   case FailureKind::Injected:
     return "injected";
   }
   return "none";
+}
+
+FailureKind dryad::failureKindFromName(const std::string &Name) {
+  for (FailureKind K :
+       {FailureKind::Timeout, FailureKind::SolverUnknown,
+        FailureKind::LoweringError, FailureKind::ResourceOut,
+        FailureKind::SolverCrash, FailureKind::Injected})
+    if (Name == failureKindName(K))
+      return K;
+  return FailureKind::None;
+}
+
+/// Z3 only reports a free-form `reason_unknown`; map the strings its core
+/// actually emits onto the taxonomy.
+FailureKind dryad::classifyUnknownReason(const std::string &Reason) {
+  if (containsAny(Reason, {"timeout", "canceled", "cancelled", "interrupted"}))
+    return FailureKind::Timeout;
+  if (containsAny(Reason, {"memout", "memory", "resource", "rlimit",
+                           "max. resource"}))
+    return FailureKind::ResourceOut;
+  return FailureKind::SolverUnknown;
 }
 
 struct SmtSolver::Impl {
@@ -430,13 +442,13 @@ SmtResult SmtSolver::check() {
       R.Status = SmtStatus::Unknown;
       R.ModelText = I->Solver.reason_unknown();
       R.Detail = R.ModelText;
-      R.Failure = classifyUnknown(R.Detail);
+      R.Failure = classifyUnknownReason(R.Detail);
     }
   } catch (const z3::exception &E) {
     R.Status = SmtStatus::Unknown;
     R.ModelText = E.msg();
     R.Detail = E.msg();
-    R.Failure = classifyUnknown(R.Detail);
+    R.Failure = classifyUnknownReason(R.Detail);
   }
   R.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)

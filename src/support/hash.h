@@ -1,0 +1,44 @@
+//===--- hash.h - Stable content hashing ------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a, the stable 64-bit content hash used for journal keys and
+/// collision-free dump filenames. Deterministic across runs and platforms
+/// (unlike std::hash, which libstdc++ seeds per-process for strings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SUPPORT_HASH_H
+#define DRYAD_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dryad {
+
+inline uint64_t fnv1a64(std::string_view Data,
+                        uint64_t Seed = 14695981039346656037ull) {
+  uint64_t H = Seed;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+/// Fixed-width lowercase hex rendering (16 digits for the full hash).
+inline std::string hex64(uint64_t H, unsigned Digits = 16) {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(Digits, '0');
+  for (unsigned I = Digits; I-- > 0; H >>= 4)
+    Out[I] = Hex[H & 0xF];
+  return Out;
+}
+
+} // namespace dryad
+
+#endif // DRYAD_SUPPORT_HASH_H

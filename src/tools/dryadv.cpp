@@ -9,13 +9,31 @@
 //   --proc-budget-ms <ms> wall-clock budget per procedure; 0 = unlimited
 //   --no-degrade          don't retry with reduced tactic sets after the
 //                         scheduled attempts are exhausted
-//   --inject <plan>       deterministic fault injection, e.g. timeout@1 or
-//                         lowering@2,unknown@* (see src/smt/inject.h)
+//   --inject <plan>       deterministic fault injection, e.g. timeout@1,
+//                         crash@1, oom@2 (see src/smt/inject.h)
+//   --isolate             discharge each attempt in a forked, rlimited
+//                         worker process: a solver segfault or runaway
+//                         allocation fails (and retries) one attempt
+//                         instead of killing the run
+//   --mem-limit-mb <mb>   RLIMIT_AS cap for isolated workers; 0 = no cap
+//   --journal <file>      append every obligation outcome to a crash-safe
+//                         JSONL journal (write-then-flush per record)
+//   --resume              with --journal: skip obligations the journal
+//                         already proves, replay everything else
 //   --no-unfold           disable unfolding across the footprint (ablation)
 //   --no-frames           disable frame instantiation (ablation)
 //   --no-axioms           disable user-axiom instantiation (ablation)
-//   --dump-smt2 <d>       write each obligation's SMT-LIB2 into directory <d>
+//   --dump-smt2 <d>       write every dispatch attempt's SMT-LIB2 into <d>
 //   --verbose             print every obligation, not just per-routine rows
+//
+// Exit codes:
+//   0  every routine verified
+//   1  a genuine proof failure: a counterexample, a vacuous contract, or an
+//      obligation the solver answered but could not prove
+//   2  usage error
+//   3  verification incomplete for infrastructure reasons only (timeouts,
+//      solver crashes, resource exhaustion, injected faults) — "the solver
+//      flaked", not "a bug was found"; CI can retry on 3 and alarm on 1
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +69,15 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Opts.Inject = *Plan;
-    } else if (!std::strcmp(Argv[I], "--no-unfold"))
+    } else if (!std::strcmp(Argv[I], "--isolate"))
+      Opts.Isolate = true;
+    else if (!std::strcmp(Argv[I], "--mem-limit-mb") && I + 1 < Argc)
+      Opts.MemLimitMb = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--journal") && I + 1 < Argc)
+      Opts.JournalPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--resume"))
+      Opts.Resume = true;
+    else if (!std::strcmp(Argv[I], "--no-unfold"))
       Opts.Natural.Unfold = false;
     else if (!std::strcmp(Argv[I], "--no-frames"))
       Opts.Natural.Frames = false;
@@ -72,17 +98,31 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "usage: dryadv [options] file.dryad...\n");
     return 2;
   }
+  if (Opts.Resume && Opts.JournalPath.empty()) {
+    std::fprintf(stderr, "--resume requires --journal <file>\n");
+    return 2;
+  }
 
   bool AllVerified = true;
+  // Exit-code taxonomy: a genuine failure (counterexample, vacuous
+  // contract, honestly-unproved obligation, unparseable input) beats an
+  // infrastructure failure — a refutation stays a refutation even if other
+  // obligations flaked.
+  bool AnyGenuineFailure = false;
+  bool AnyInfraFailure = false;
   for (const std::string &File : Files) {
     Module M;
     DiagEngine Diags;
     if (!parseModuleFile(File, M, Diags)) {
       std::fprintf(stderr, "%s:\n%s", File.c_str(), Diags.str().c_str());
       AllVerified = false;
+      AnyGenuineFailure = true;
       continue;
     }
     Verifier V(M, Opts);
+    if (!V.journalError().empty())
+      std::fprintf(stderr, "warning: %s (continuing without a journal)\n",
+                   V.journalError().c_str());
     std::vector<ProcResult> Results = V.verifyAll(Diags);
     if (Diags.hasErrors())
       std::fprintf(stderr, "%s", Diags.str().c_str());
@@ -90,15 +130,35 @@ int main(int Argc, char **Argv) {
     if (Verbose)
       for (const ProcResult &R : Results)
         for (const ObligationResult &O : R.Obligations)
-          std::printf("  %-60s %s (%u attempt%s, %.2fs)\n", O.Name.c_str(),
+          std::printf("  %-60s %s (%u attempt%s, %.2fs)%s\n", O.Name.c_str(),
                       O.Status == SmtStatus::Unsat  ? "proved"
                       : O.Status == SmtStatus::Sat ? "cex"
                       : O.Failure == FailureKind::None
                           ? "unknown"
                           : failureKindName(O.Failure),
-                      O.Attempts, O.Attempts == 1 ? "" : "s", O.Seconds);
-    for (const ProcResult &R : Results)
+                      O.Attempts, O.Attempts == 1 ? "" : "s", O.Seconds,
+                      O.FromJournal ? " [journal]" : "");
+    for (const ProcResult &R : Results) {
       AllVerified &= R.Verified;
+      if (R.Verified)
+        continue;
+      bool ProcInfra = false, ProcGenuine = false;
+      for (const ObligationResult &O : R.Obligations) {
+        if (O.Status == SmtStatus::Sat)
+          ProcGenuine = true; // counterexample
+        else if (O.Status == SmtStatus::Unknown)
+          (O.Failure != FailureKind::None ? ProcInfra : ProcGenuine) = true;
+        else if (O.Name.size() > 9 &&
+                 O.Name.compare(O.Name.size() - 9, 9, "[vacuity]") == 0)
+          ProcGenuine = true; // vacuous contract: a spec bug, not a flake
+      }
+      // A proc can also fail with no failing obligation (VC generation
+      // errors); that is a genuine failure, not a solver flake.
+      AnyInfraFailure |= ProcInfra;
+      AnyGenuineFailure |= ProcGenuine || (!ProcInfra && !ProcGenuine);
+    }
   }
-  return AllVerified ? 0 : 1;
+  if (AllVerified)
+    return 0;
+  return AnyGenuineFailure ? 1 : 3;
 }

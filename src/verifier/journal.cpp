@@ -1,0 +1,284 @@
+//===--- journal.cpp - Crash-safe obligation journal ------------------------===//
+
+#include "verifier/journal.h"
+
+#include "support/hash.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+using namespace dryad;
+
+//===----------------------------------------------------------------------===//
+// Minimal JSON (flat objects of string/number fields only)
+//===----------------------------------------------------------------------===//
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+/// Pull-parser over one flat JSON object line. Tolerant of nothing: any
+/// deviation fails the whole line, which is exactly right for a journal
+/// whose torn tail must be skipped, not guessed at.
+struct FlatJson {
+  const std::string &S;
+  size_t Pos = 0;
+
+  explicit FlatJson(const std::string &Line) : S(Line) {}
+
+  void ws() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+  bool eat(char C) {
+    ws();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool string(std::string &Out) {
+    ws();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return false;
+    ++Pos;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= S.size())
+        return false;
+      char E = S[Pos++];
+      switch (E) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += E;
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > S.size())
+          return false;
+        unsigned long V = std::strtoul(S.substr(Pos, 4).c_str(), nullptr, 16);
+        Pos += 4;
+        Out += static_cast<char>(V & 0x7F); // journal only escapes ASCII
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    if (Pos >= S.size())
+      return false;
+    ++Pos; // closing quote
+    return true;
+  }
+  bool number(double &Out) {
+    ws();
+    size_t Start = Pos;
+    while (Pos < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[Pos])) || S[Pos] == '.' ||
+            S[Pos] == '-' || S[Pos] == '+' || S[Pos] == 'e' || S[Pos] == 'E'))
+      ++Pos;
+    if (Pos == Start)
+      return false;
+    char *End = nullptr;
+    std::string Tok = S.substr(Start, Pos - Start);
+    Out = std::strtod(Tok.c_str(), &End);
+    return End && *End == '\0';
+  }
+};
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Journal
+//===----------------------------------------------------------------------===//
+
+Journal::~Journal() {
+  if (Out)
+    std::fclose(Out);
+}
+
+static const char *statusName(SmtStatus S) {
+  switch (S) {
+  case SmtStatus::Unsat:
+    return "unsat";
+  case SmtStatus::Sat:
+    return "sat";
+  case SmtStatus::Unknown:
+    return "unknown";
+  }
+  return "unknown";
+}
+
+std::string Journal::contentKey(const std::string &Smt2,
+                                const std::string &Config) {
+  // Chain the two fields through one FNV state (rather than XOR of two
+  // hashes) so swapping content between them cannot collide.
+  uint64_t H = fnv1a64(Smt2);
+  H = fnv1a64("\x1f", H); // separator outside both alphabets
+  H = fnv1a64(Config, H);
+  return "v1-" + hex64(H);
+}
+
+std::string Journal::serialize(const JournalRecord &R) {
+  char Num[64];
+  std::string Out = "{\"key\":\"" + jsonEscape(R.Key) + "\"";
+  Out += ",\"name\":\"" + jsonEscape(R.Name) + "\"";
+  Out += std::string(",\"status\":\"") + statusName(R.Status) + "\"";
+  Out += std::string(",\"failure\":\"") + failureKindName(R.Failure) + "\"";
+  std::snprintf(Num, sizeof(Num), ",\"attempts\":%u", R.Attempts);
+  Out += Num;
+  std::snprintf(Num, sizeof(Num), ",\"degrade\":%u", R.DegradeLevel);
+  Out += Num;
+  std::snprintf(Num, sizeof(Num), ",\"seconds\":%.6f", R.Seconds);
+  Out += Num;
+  Out += ",\"detail\":\"" + jsonEscape(R.Detail) + "\"}\n";
+  return Out;
+}
+
+std::optional<JournalRecord> Journal::parseLine(const std::string &Line) {
+  FlatJson P(Line);
+  if (!P.eat('{'))
+    return std::nullopt;
+  JournalRecord R;
+  bool HaveKey = false, HaveStatus = false;
+  bool First = true;
+  while (!P.eat('}')) {
+    if (!First && !P.eat(','))
+      return std::nullopt;
+    First = false;
+    std::string Field;
+    if (!P.string(Field) || !P.eat(':'))
+      return std::nullopt;
+    if (Field == "key" || Field == "name" || Field == "status" ||
+        Field == "failure" || Field == "detail") {
+      std::string V;
+      if (!P.string(V))
+        return std::nullopt;
+      if (Field == "key") {
+        R.Key = V;
+        HaveKey = true;
+      } else if (Field == "name") {
+        R.Name = V;
+      } else if (Field == "status") {
+        HaveStatus = true;
+        if (V == "unsat")
+          R.Status = SmtStatus::Unsat;
+        else if (V == "sat")
+          R.Status = SmtStatus::Sat;
+        else if (V == "unknown")
+          R.Status = SmtStatus::Unknown;
+        else
+          return std::nullopt;
+      } else if (Field == "failure") {
+        R.Failure = failureKindFromName(V);
+      } else {
+        R.Detail = V;
+      }
+    } else {
+      // Numbers — and a place where unknown future fields parse cleanly.
+      double V;
+      if (!P.number(V))
+        return std::nullopt;
+      if (Field == "attempts")
+        R.Attempts = static_cast<unsigned>(V);
+      else if (Field == "degrade")
+        R.DegradeLevel = static_cast<unsigned>(V);
+      else if (Field == "seconds")
+        R.Seconds = V;
+    }
+  }
+  P.ws();
+  if (P.Pos != Line.size() || !HaveKey || !HaveStatus || R.Key.empty())
+    return std::nullopt;
+  return R;
+}
+
+bool Journal::open(const std::string &Path, bool LoadExisting,
+                   std::string &Err) {
+  if (Out) {
+    Err = "journal already open";
+    return false;
+  }
+  if (LoadExisting) {
+    std::ifstream In(Path);
+    // A missing file is a fine starting point; unreadable-but-present is
+    // handled by the append open below.
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (std::optional<JournalRecord> R = parseLine(Line))
+        Index[R->Key] = *R; // later records win
+      // else: torn/garbage line from a killed run — skip it
+    }
+  }
+  Out = std::fopen(Path.c_str(), "a");
+  if (!Out) {
+    Err = "cannot open journal '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void Journal::append(const JournalRecord &R) {
+  Index[R.Key] = R;
+  if (!Out)
+    return;
+  std::string Line = serialize(R);
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  // Flush per record: the write reaches the kernel before the next
+  // obligation starts, so killing the process loses at most the in-flight
+  // one. (Surviving an OS crash would need fsync; that is not this
+  // journal's threat model.)
+  std::fflush(Out);
+}
+
+const JournalRecord *Journal::lookup(const std::string &Key) const {
+  auto It = Index.find(Key);
+  return It == Index.end() ? nullptr : &It->second;
+}

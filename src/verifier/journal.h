@@ -1,0 +1,99 @@
+//===--- journal.h - Crash-safe obligation journal --------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An append-only JSONL record of obligation outcomes, so an interrupted
+/// run — killed by the operator, the OOM killer, or a crash the sandbox
+/// could not contain — loses at most the obligation that was in flight.
+///
+/// Each record is keyed by a content hash of the obligation's serialized
+/// SMT-LIB2 benchmark plus the tactic/solver configuration that produced
+/// it, *not* by its display name: renaming a procedure or reordering paths
+/// never causes a stale hit, and an annotation or tactic change changes the
+/// key. One JSON object per line:
+///
+///   {"key":"v1-<16 hex>","name":"...","status":"unsat","failure":"none",
+///    "attempts":1,"degrade":0,"seconds":0.03,"detail":""}
+///
+/// Records are written with write-then-flush, so every completed obligation
+/// is durable before the next one starts. On load, malformed lines (the
+/// torn tail of a killed run) are skipped, and later records for the same
+/// key win. `--resume` consults the journal before dispatching: a journaled
+/// *proved* (unsat) outcome is reused with zero attempts; anything else —
+/// sat, unknown, infrastructure failure — is replayed, because those are
+/// exactly the outcomes a retry might improve. This doubles as a cross-run
+/// result cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_VERIFIER_JOURNAL_H
+#define DRYAD_VERIFIER_JOURNAL_H
+
+#include "smt/solver.h"
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace dryad {
+
+struct JournalRecord {
+  std::string Key;  ///< content key (see Journal::contentKey)
+  std::string Name; ///< display name, for humans reading the journal
+  SmtStatus Status = SmtStatus::Unknown;
+  FailureKind Failure = FailureKind::None;
+  unsigned Attempts = 0;
+  unsigned DegradeLevel = 0;
+  double Seconds = 0.0;
+  /// Failure detail (Unknown) or counterexample text (Sat).
+  std::string Detail;
+};
+
+class Journal {
+public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  /// Opens \p Path for appending, creating it if needed. When
+  /// \p LoadExisting, previously journaled records are indexed first (the
+  /// resume path). Returns false and fills \p Err on I/O failure.
+  bool open(const std::string &Path, bool LoadExisting, std::string &Err);
+
+  bool isOpen() const { return Out != nullptr; }
+
+  /// Appends one record and flushes it to the OS before returning, so a
+  /// killed process loses at most the in-flight obligation. Also updates
+  /// the in-memory index (later records win).
+  void append(const JournalRecord &R);
+
+  /// The most recent record for \p Key, or nullptr.
+  const JournalRecord *lookup(const std::string &Key) const;
+
+  /// Number of distinct keys indexed.
+  size_t size() const { return Index.size(); }
+
+  /// Content key for an obligation: a versioned FNV-1a hash of the
+  /// serialized SMT-LIB2 benchmark and the configuration string (tactic
+  /// set, solver settings) that produced it.
+  static std::string contentKey(const std::string &Smt2,
+                                const std::string &Config);
+
+  /// One JSONL line (newline-terminated). Exposed for tests.
+  static std::string serialize(const JournalRecord &R);
+  /// Parses one line; nullopt for malformed/torn input.
+  static std::optional<JournalRecord> parseLine(const std::string &Line);
+
+private:
+  std::FILE *Out = nullptr;
+  std::unordered_map<std::string, JournalRecord> Index;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_VERIFIER_JOURNAL_H

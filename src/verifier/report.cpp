@@ -78,26 +78,34 @@ std::string dryad::formatResults(const std::string &Title,
 }
 
 std::string dryad::summarize(const std::vector<ProcResult> &Results) {
-  size_t Verified = 0, Infra = 0;
+  size_t Verified = 0, Infra = 0, Journaled = 0;
   double Total = 0.0;
   for (const ProcResult &R : Results) {
     Verified += R.Verified ? 1 : 0;
     Total += R.Seconds;
-    for (const ObligationResult &O : R.Obligations)
+    for (const ObligationResult &O : R.Obligations) {
       Infra += (O.Status == SmtStatus::Unknown &&
                 O.Failure != FailureKind::None &&
                 O.Failure != FailureKind::SolverUnknown)
                    ? 1
                    : 0;
+      Journaled += O.FromJournal ? 1 : 0;
+    }
   }
   char Buf[192];
   std::snprintf(Buf, sizeof(Buf), "%zu/%zu routines verified in %.1fs\n",
                 Verified, Results.size(), Total);
   std::string Out(Buf);
+  if (Journaled) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "%zu obligation(s) reused from the journal (--resume)\n",
+                  Journaled);
+    Out += Buf;
+  }
   if (Infra) {
     std::snprintf(Buf, sizeof(Buf),
                   "%zu obligation(s) hit infrastructure failures "
-                  "(timeout/resource/lowering), not disproofs\n",
+                  "(timeout/resource/crash/lowering), not disproofs\n",
                   Infra);
     Out += Buf;
   }

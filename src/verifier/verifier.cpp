@@ -3,6 +3,7 @@
 #include "verifier/verifier.h"
 
 #include "lang/paths.h"
+#include "support/hash.h"
 #include "vcgen/vc.h"
 
 #include <algorithm>
@@ -11,6 +12,43 @@
 #include <optional>
 
 using namespace dryad;
+
+namespace {
+/// The configuration half of a journal key: everything besides the query
+/// text that could change an obligation's meaning. Deadlines and seeds are
+/// deliberately absent — a proof stays a proof under a different timeout.
+std::string tacticConfig(const VerifyOptions &Opts) {
+  std::string C = "solver=z3;tactics=";
+  C += Opts.Natural.Unfold ? 'u' : '-';
+  C += Opts.Natural.Frames ? 'f' : '-';
+  C += Opts.Natural.Axioms ? 'a' : '-';
+  return C;
+}
+
+/// Collision-free dump filename stem: the readable sanitized name plus a
+/// short content hash of the *original* name, so obligations differing only
+/// in non-alphanumeric characters ("p [path 1]" vs "p (path 1)") cannot
+/// overwrite each other.
+std::string dumpFileStem(const std::string &Name) {
+  std::string File = Name;
+  for (char &C : File)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return File + "-" + hex64(fnv1a64(Name), 8);
+}
+} // namespace
+
+Verifier::Verifier(Module &M, VerifyOptions Opts) : M(M), Opts(Opts) {
+  if (!Opts.JournalPath.empty())
+    Jrnl.open(Opts.JournalPath, /*LoadExisting=*/Opts.Resume, JournalErr);
+}
+
+SandboxOptions Verifier::sandboxOptions() const {
+  SandboxOptions S;
+  S.Enabled = Opts.Isolate;
+  S.MemLimitMb = Opts.MemLimitMb;
+  return S;
+}
 
 RetryPolicy Verifier::retryPolicy() const {
   RetryPolicy P;
@@ -31,24 +69,59 @@ Verifier::discharge(const std::string &Name,
                     const std::vector<const Formula *> &Assumptions,
                     size_t NumAssumptions, const StrengthFn &Strength,
                     const Formula *Goal, DeadlineBudget &Budget) {
-  ResilientSolver RS(retryPolicy(), Budget, Opts.Inject);
-  DispatchResult D = RS.dispatch([&](SmtSolver &Solver,
-                                     const AttemptInfo &Info) {
+  auto Build = [&](SmtSolver &Solver, const AttemptInfo &Info) {
     for (size_t I = 0; I != NumAssumptions; ++I)
       Solver.add(Assumptions[I]);
     for (const Formula *F : Strength(Info.DegradeLevel))
       Solver.add(F);
     Solver.addNegated(Goal);
 
-    if (!Opts.DumpSmt2Dir.empty() && Info.Index == 1) {
-      std::string File = Name;
-      for (char &C : File)
-        if (!isalnum(static_cast<unsigned char>(C)))
-          C = '_';
+    // Every attempt is dumped — a degraded re-dispatch runs a *different*
+    // query, and debugging a flaky obligation needs exactly those.
+    if (!Opts.DumpSmt2Dir.empty()) {
+      std::string File = dumpFileStem(Name);
+      if (Info.Index > 1 || Info.DegradeLevel > 0) {
+        File += ".a" + std::to_string(Info.Index);
+        if (Info.DegradeLevel > 0)
+          File += ".d" + std::to_string(Info.DegradeLevel);
+      }
       std::ofstream Out(Opts.DumpSmt2Dir + "/" + File + ".smt2");
       Out << Solver.toSmt2();
     }
-  });
+  };
+
+  // Journal key: content hash of the full-tactics query plus the tactic
+  // configuration. Computed before dispatch so a resumed run can skip the
+  // solve entirely.
+  std::string Key;
+  if (Jrnl.isOpen()) {
+    SmtSolver KeySolver;
+    for (size_t I = 0; I != NumAssumptions; ++I)
+      KeySolver.add(Assumptions[I]);
+    for (const Formula *F : Strength(0))
+      KeySolver.add(F);
+    KeySolver.addNegated(Goal);
+    Key = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
+
+    if (Opts.Resume) {
+      const JournalRecord *R = Jrnl.lookup(Key);
+      if (R && R->Status == SmtStatus::Unsat) {
+        // Already proved by an earlier run of this exact query under this
+        // exact configuration: reuse the proof, zero attempts.
+        ObligationResult O;
+        O.Name = Name;
+        O.Status = SmtStatus::Unsat;
+        O.FromJournal = true;
+        return O;
+      }
+      // Sat / unknown / infrastructure failures are replayed: those are
+      // exactly the outcomes a retry (or a fixed environment) can improve.
+    }
+  }
+
+  ResilientSolver RS(retryPolicy(), Budget, Opts.Inject);
+  RS.setSandbox(sandboxOptions());
+  DispatchResult D = RS.dispatch(Build);
 
   ObligationResult O;
   O.Name = Name;
@@ -59,6 +132,19 @@ Verifier::discharge(const std::string &Name,
   O.DegradeLevel = D.DegradeLevel;
   O.Seconds = D.Seconds;
   O.Model = D.ModelText;
+
+  if (Jrnl.isOpen()) {
+    JournalRecord R;
+    R.Key = Key;
+    R.Name = Name;
+    R.Status = O.Status;
+    R.Failure = O.Failure;
+    R.Attempts = O.Attempts;
+    R.DegradeLevel = O.DegradeLevel;
+    R.Seconds = O.Seconds;
+    R.Detail = O.Status == SmtStatus::Sat ? O.Model : O.FailureDetail;
+    Jrnl.append(R);
+  }
   return O;
 }
 
@@ -106,36 +192,70 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
                   StrengthFor, VC->Goal, Budget);
     PR.Verified &= (O.Status == SmtStatus::Unsat);
     bool MainProved = O.Status == SmtStatus::Unsat;
+    // A journal-reused proof was already probe-validated by the run that
+    // recorded it; re-probing would make --resume pay the full vacuity
+    // cost for obligations it skipped.
+    bool MainFromJournal = O.FromJournal;
     PR.Seconds += O.Seconds;
     PR.Obligations.push_back(std::move(O));
 
     // Vacuity probe: the path's assumptions must be satisfiable, otherwise
     // the contract (not the code) is wrong and the proof above is void.
-    if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
-        !Budget.exhausted()) {
+    if (Opts.CheckVacuity && MainProved && !MainFromJournal &&
+        !VC->Assumptions.empty() && !Budget.exhausted()) {
       // Probe the contract (the path's first assumption: the pre or the
       // loop invariant) together with the unfoldings. Branch conditions are
       // excluded: infeasible paths are vacuous by design; an unsatisfiable
       // *contract* is the annotation bug this check exists for (e.g. an
       // impure conjunct whose strict heaplet cannot equal the formula's).
-      SmtSolver Probe;
-      Probe.setTimeoutMs(std::min({Opts.VacuityTimeoutMs, Opts.TimeoutMs,
-                                   Budget.remainingMs()}));
-      Probe.add(VC->Assumptions.front());
-      for (const Formula *F : StrengthFor(0))
-        Probe.add(F);
-      SmtResult R = Probe.check();
-      PR.Seconds += R.Seconds;
-      if (R.Status == SmtStatus::Unsat) {
+      //
+      // The probe rides the same resilient dispatch as real obligations —
+      // retry, reseed, fault injection, sandboxing — but with the (short)
+      // vacuity deadline as its ceiling and no tactic degradation: dropping
+      // strengthening would change what "satisfiable" means here.
+      RetryPolicy ProbePolicy = retryPolicy();
+      ProbePolicy.MaxTimeoutMs = std::min(Opts.VacuityTimeoutMs,
+                                          Opts.TimeoutMs);
+      ProbePolicy.InitialTimeoutMs =
+          std::min(ProbePolicy.InitialTimeoutMs, ProbePolicy.MaxTimeoutMs);
+      ProbePolicy.DegradeTactics = false;
+      // The probe's deadline cannot escalate (it is capped at the short
+      // vacuity timeout), so attempts past one reseeded retry buy nothing.
+      ProbePolicy.MaxAttempts = std::min(ProbePolicy.MaxAttempts, 2u);
+      ResilientSolver ProbeRS(ProbePolicy, Budget, Opts.Inject);
+      ProbeRS.setSandbox(sandboxOptions());
+      DispatchResult PD =
+          ProbeRS.dispatch([&](SmtSolver &Probe, const AttemptInfo &) {
+            Probe.add(VC->Assumptions.front());
+            for (const Formula *F : StrengthFor(0))
+              Probe.add(F);
+          });
+      PR.Seconds += PD.Seconds;
+      if (PD.Status == SmtStatus::Unsat) {
         ObligationResult V;
         V.Name = VC->Name + " [vacuity]";
         V.Status = SmtStatus::Unsat;
-        V.Seconds = R.Seconds;
+        V.Attempts = PD.Attempts;
+        V.Seconds = PD.Seconds;
         V.Model = "assumptions unsatisfiable: the contract/invariant "
                   "contradicts the heaplet semantics";
         PR.Verified = false;
         PR.Obligations.push_back(std::move(V));
+      } else if (PD.Status == SmtStatus::Unknown) {
+        // The probe is advisory: an unanswered probe must not fail the
+        // proof, but silently dropping the check would hide that the
+        // contract was never validated — record it.
+        ObligationResult V;
+        V.Name = VC->Name + " [vacuity skipped]";
+        V.Status = SmtStatus::Unknown;
+        V.Failure = PD.Failure;
+        V.FailureDetail = "vacuity probe unanswered: " + PD.Detail;
+        V.Attempts = PD.Attempts;
+        V.Seconds = PD.Seconds;
+        PR.Obligations.push_back(std::move(V));
       }
+      // Sat: the contract is satisfiable — the proof stands, nothing to
+      // record.
     }
   }
   return PR;

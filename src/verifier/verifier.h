@@ -20,7 +20,9 @@
 #include "natural/engine.h"
 #include "smt/inject.h"
 #include "smt/resilient.h"
+#include "smt/sandbox.h"
 #include "smt/solver.h"
+#include "verifier/journal.h"
 
 #include <functional>
 
@@ -48,8 +50,22 @@ struct VerifyOptions {
   /// bug, not a proof.
   bool CheckVacuity = true;
   unsigned VacuityTimeoutMs = 2000;
-  /// When set, every obligation's SMT-LIB2 is written to this directory.
+  /// When set, every dispatch attempt's SMT-LIB2 is written to this
+  /// directory (attempt/degrade-level suffixed past the first attempt).
   std::string DumpSmt2Dir;
+  /// Process isolation: discharge each attempt in a forked, rlimited
+  /// worker so a solver crash or runaway allocation fails only that
+  /// attempt (`dryadv --isolate`; see smt/sandbox.h).
+  bool Isolate = false;
+  /// RLIMIT_AS cap for isolated workers, in MiB; 0 = no cap
+  /// (`--mem-limit-mb`).
+  unsigned MemLimitMb = 0;
+  /// Crash-safe obligation journal (`--journal <file>`): every outcome is
+  /// appended (write-then-flush) as it is produced. Empty = off.
+  std::string JournalPath;
+  /// With a journal: skip obligations whose journaled outcome is already
+  /// proved, replay everything else (`--resume`).
+  bool Resume = false;
 };
 
 struct ObligationResult {
@@ -66,6 +82,9 @@ struct ObligationResult {
   unsigned DegradeLevel = 0; ///< tactic level of the final attempt (0=full)
   double Seconds = 0.0;
   std::string Model; ///< counterexample values when Sat
+  /// True when the outcome was reused from a resumed journal instead of
+  /// dispatched (Attempts is then 0).
+  bool FromJournal = false;
 };
 
 struct ProcResult {
@@ -77,13 +96,19 @@ struct ProcResult {
 
 class Verifier {
 public:
-  Verifier(Module &M, VerifyOptions Opts = {}) : M(M), Opts(Opts) {}
+  /// Opens the journal (when VerifyOptions::JournalPath is set); a failure
+  /// to open is recorded in journalError() and verification proceeds
+  /// without journaling rather than aborting the run.
+  Verifier(Module &M, VerifyOptions Opts = {});
 
   /// Verifies one procedure (all of its basic paths and call checks).
   ProcResult verifyProc(const Procedure &P, DiagEngine &Diags);
 
   /// Verifies every procedure with a body.
   std::vector<ProcResult> verifyAll(DiagEngine &Diags);
+
+  /// Non-empty when the requested journal could not be opened.
+  const std::string &journalError() const { return JournalErr; }
 
 private:
   /// Strengthening assertions for a tactic-degradation level (0 = the full
@@ -97,9 +122,12 @@ private:
                              const Formula *Goal, DeadlineBudget &Budget);
 
   RetryPolicy retryPolicy() const;
+  SandboxOptions sandboxOptions() const;
 
   Module &M;
   VerifyOptions Opts;
+  Journal Jrnl;
+  std::string JournalErr;
 };
 
 } // namespace dryad

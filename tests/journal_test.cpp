@@ -1,0 +1,345 @@
+//===--- journal_test.cpp - Crash-safe obligation journal ----------------------===//
+//
+// Exercises verifier/journal.*: JSONL record round-tripping (including the
+// escaping needed for counterexample text), torn-tail tolerance, content
+// keys, and the verifier's --journal/--resume behaviour — a resumed run
+// must reuse journaled proofs with zero attempts and replay everything the
+// journal does not prove.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/journal.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+/// A per-test journal path under the gtest temp dir, removed up front so
+/// reruns never see a stale file.
+std::string journalPath(const std::string &Name) {
+  std::string P = ::testing::TempDir() + "dryad-journal-" + Name + ".jsonl";
+  std::remove(P.c_str());
+  return P;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Record serialization
+//===----------------------------------------------------------------------===//
+
+TEST(JournalRecordIO, SerializeParseRoundTrip) {
+  JournalRecord R;
+  R.Key = "v1-00deadbeef00cafe";
+  R.Name = "insert_front [path 1]";
+  R.Status = SmtStatus::Sat;
+  R.Failure = FailureKind::None;
+  R.Attempts = 3;
+  R.DegradeLevel = 1;
+  R.Seconds = 0.25;
+  R.Detail = "x = 42\nk = \"quoted\\here\"\ttab\x01";
+
+  std::string Line = Journal::serialize(R);
+  EXPECT_EQ(Line.back(), '\n') << "one record per line";
+  EXPECT_EQ(Line.find('\n'), Line.size() - 1)
+      << "embedded newlines must be escaped, or the journal is not JSONL";
+
+  auto P = Journal::parseLine(Line);
+  ASSERT_TRUE(P);
+  EXPECT_EQ(P->Key, R.Key);
+  EXPECT_EQ(P->Name, R.Name);
+  EXPECT_EQ(P->Status, SmtStatus::Sat);
+  EXPECT_EQ(P->Failure, FailureKind::None);
+  EXPECT_EQ(P->Attempts, 3u);
+  EXPECT_EQ(P->DegradeLevel, 1u);
+  EXPECT_NEAR(P->Seconds, 0.25, 1e-9);
+  EXPECT_EQ(P->Detail, R.Detail);
+}
+
+TEST(JournalRecordIO, FailureKindRoundTrips) {
+  for (FailureKind K :
+       {FailureKind::None, FailureKind::Timeout, FailureKind::SolverUnknown,
+        FailureKind::LoweringError, FailureKind::ResourceOut,
+        FailureKind::SolverCrash, FailureKind::Injected}) {
+    JournalRecord R;
+    R.Key = "v1-0000000000000001";
+    R.Status = SmtStatus::Unknown;
+    R.Failure = K;
+    auto P = Journal::parseLine(Journal::serialize(R));
+    ASSERT_TRUE(P) << failureKindName(K);
+    EXPECT_EQ(P->Failure, K);
+  }
+}
+
+TEST(JournalRecordIO, RejectsTornAndMalformedLines) {
+  JournalRecord R;
+  R.Key = "v1-00deadbeef00cafe";
+  R.Name = "p";
+  R.Status = SmtStatus::Unsat;
+  std::string Line = Journal::serialize(R);
+
+  // Every strict prefix is a torn write and must be rejected, not
+  // half-parsed: the loader's whole crash-safety story rests on this.
+  for (size_t N = 0; N + 1 < Line.size(); ++N)
+    EXPECT_FALSE(Journal::parseLine(Line.substr(0, N))) << "prefix len " << N;
+
+  EXPECT_FALSE(Journal::parseLine(""));
+  EXPECT_FALSE(Journal::parseLine("not json"));
+  EXPECT_FALSE(Journal::parseLine("{\"status\":\"unsat\"}")) << "key required";
+  EXPECT_FALSE(Journal::parseLine("{\"key\":\"v1-1\"}")) << "status required";
+}
+
+//===----------------------------------------------------------------------===//
+// Content keys
+//===----------------------------------------------------------------------===//
+
+TEST(JournalKeys, StableAndSensitive) {
+  std::string A = Journal::contentKey("(assert true)", "solver=z3;tactics=ufa");
+  EXPECT_EQ(A, Journal::contentKey("(assert true)", "solver=z3;tactics=ufa"))
+      << "same query + config must hash identically across runs";
+  EXPECT_EQ(A.substr(0, 3), "v1-") << "keys are versioned";
+  EXPECT_NE(A, Journal::contentKey("(assert false)", "solver=z3;tactics=ufa"))
+      << "query text must contribute";
+  EXPECT_NE(A, Journal::contentKey("(assert true)", "solver=z3;tactics=uf-"))
+      << "tactic config must contribute";
+  // The separator between the two halves is load-bearing: moving a byte
+  // across the boundary must change the key.
+  EXPECT_NE(Journal::contentKey("ab", "c"), Journal::contentKey("a", "bc"));
+}
+
+//===----------------------------------------------------------------------===//
+// File behaviour: durability, torn tails, later-record-wins
+//===----------------------------------------------------------------------===//
+
+TEST(JournalFile, AppendSurvivesReopen) {
+  std::string Path = journalPath("reopen");
+  JournalRecord R;
+  R.Key = "v1-000000000000abcd";
+  R.Name = "p [path 1]";
+  R.Status = SmtStatus::Unsat;
+  R.Attempts = 2;
+  {
+    Journal J;
+    std::string Err;
+    ASSERT_TRUE(J.open(Path, /*LoadExisting=*/false, Err)) << Err;
+    J.append(R);
+  } // closed here; a real crash would be no worse thanks to the flush
+  Journal J2;
+  std::string Err;
+  ASSERT_TRUE(J2.open(Path, /*LoadExisting=*/true, Err)) << Err;
+  EXPECT_EQ(J2.size(), 1u);
+  const JournalRecord *Hit = J2.lookup(R.Key);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Status, SmtStatus::Unsat);
+  EXPECT_EQ(Hit->Attempts, 2u);
+}
+
+TEST(JournalFile, LoadSkipsTornTailAndLaterRecordsWin) {
+  std::string Path = journalPath("torn");
+  JournalRecord R1;
+  R1.Key = "v1-0000000000000001";
+  R1.Status = SmtStatus::Unknown;
+  R1.Failure = FailureKind::Timeout;
+  JournalRecord R2 = R1;
+  R2.Status = SmtStatus::Unsat; // the retry that succeeded
+  {
+    std::ofstream Out(Path);
+    Out << Journal::serialize(R1) << Journal::serialize(R2);
+    Out << "{\"key\":\"v1-0000000000000002\",\"status\":\"uns"; // killed here
+  }
+  Journal J;
+  std::string Err;
+  ASSERT_TRUE(J.open(Path, /*LoadExisting=*/true, Err)) << Err;
+  EXPECT_EQ(J.size(), 1u) << "the torn tail must be ignored";
+  const JournalRecord *Hit = J.lookup(R1.Key);
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Status, SmtStatus::Unsat) << "the later record wins";
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier integration: --journal / --resume
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *TwoProcs = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+
+std::vector<ProcResult> verifyJournaled(VerifyOptions Opts) {
+  auto M = parsePrelude(TwoProcs);
+  Verifier V(*M, Opts);
+  EXPECT_TRUE(V.journalError().empty()) << V.journalError();
+  DiagEngine D;
+  return V.verifyAll(D);
+}
+} // namespace
+
+TEST(VerifierJournal, ResumeReusesProofsWithZeroAttempts) {
+  std::string Path = journalPath("resume");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.JournalPath = Path;
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_TRUE(First[0].Verified && First[1].Verified);
+
+  Opts.Resume = true;
+  auto Second = verifyJournaled(Opts);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  size_t Obligations = 0;
+  for (const ProcResult &PR : Second)
+    for (const ObligationResult &O : PR.Obligations) {
+      ++Obligations;
+      EXPECT_TRUE(O.FromJournal) << O.Name;
+      EXPECT_EQ(O.Attempts, 0u)
+          << O.Name << ": a journaled proof must not be re-dispatched";
+      EXPECT_EQ(O.Status, SmtStatus::Unsat);
+    }
+  EXPECT_GE(Obligations, 2u);
+}
+
+TEST(VerifierJournal, PartialJournalRechecksOnlyUndischarged) {
+  // Simulate a run killed mid-way: journal the full module, then truncate
+  // the journal to its first record. Resume must reuse exactly that proof
+  // and re-dispatch the rest.
+  std::string Path = journalPath("partial");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.CheckVacuity = false;
+  Opts.JournalPath = Path;
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+
+  std::string All = slurp(Path);
+  size_t Eol = All.find('\n');
+  ASSERT_NE(Eol, std::string::npos);
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << All.substr(0, Eol + 1);
+  }
+
+  Opts.Resume = true;
+  auto Second = verifyJournaled(Opts);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  unsigned Reused = 0, Redispatched = 0;
+  for (const ProcResult &PR : Second)
+    for (const ObligationResult &O : PR.Obligations) {
+      if (O.FromJournal) {
+        ++Reused;
+        EXPECT_EQ(O.Attempts, 0u) << O.Name;
+      } else {
+        ++Redispatched;
+        EXPECT_GE(O.Attempts, 1u) << O.Name;
+      }
+    }
+  EXPECT_EQ(Reused, 1u) << "only the surviving record may be reused";
+  EXPECT_GE(Redispatched, 1u) << "lost obligations must be re-proved";
+}
+
+TEST(VerifierJournal, ResumeReplaysUnknownsAndUpgradesThem) {
+  // First run: every dispatch is an injected timeout, so the journal holds
+  // only failures. Resume must replay (not reuse) them; once re-proved, a
+  // third resumed run reuses the upgraded records.
+  std::string Path = journalPath("replay");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 1;
+  Opts.DegradeTactics = false;
+  Opts.CheckVacuity = false;
+  Opts.JournalPath = Path;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("timeout@*", Err);
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_FALSE(First[0].Verified || First[1].Verified);
+
+  Opts.Inject = FaultPlan();
+  Opts.Attempts = 3;
+  Opts.Resume = true;
+  auto Second = verifyJournaled(Opts);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  for (const ProcResult &PR : Second)
+    for (const ObligationResult &O : PR.Obligations) {
+      EXPECT_FALSE(O.FromJournal)
+          << O.Name << ": journaled failures must be replayed, not reused";
+      EXPECT_GE(O.Attempts, 1u);
+    }
+
+  auto Third = verifyJournaled(Opts);
+  for (const ProcResult &PR : Third)
+    for (const ObligationResult &O : PR.Obligations)
+      EXPECT_TRUE(O.FromJournal && O.Attempts == 0)
+          << O.Name << ": the replay must have upgraded the journal";
+}
+
+TEST(VerifierJournal, TacticConfigChangeInvalidatesJournalHits) {
+  std::string Path = journalPath("config");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.CheckVacuity = false;
+  Opts.JournalPath = Path;
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+
+  // Same files, different tactic set: every key changes, nothing is reused.
+  Opts.Resume = true;
+  Opts.Natural.Axioms = false;
+  auto Second = verifyJournaled(Opts);
+  for (const ProcResult &PR : Second)
+    for (const ObligationResult &O : PR.Obligations)
+      EXPECT_FALSE(O.FromJournal)
+          << O.Name << ": a tactic change must invalidate the journal hit";
+}
+
+TEST(VerifierJournal, UnwritableJournalIsNonFatal) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.CheckVacuity = false;
+  Opts.JournalPath = "/nonexistent-dir-for-dryad-tests/j.jsonl";
+  auto M = parsePrelude(TwoProcs);
+  Verifier V(*M, Opts);
+  EXPECT_FALSE(V.journalError().empty())
+      << "the open failure must be reportable";
+  DiagEngine D;
+  auto R = V.verifyAll(D);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R[0].Verified && R[1].Verified)
+      << "verification must proceed without a journal";
+}

@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 using namespace dryad;
 using namespace dryad::test;
 
@@ -97,6 +99,34 @@ TEST(RetryPolicy, TimeoutEscalation) {
   // Escalation saturates at the ceiling.
   P.MaxAttempts = 10;
   EXPECT_EQ(P.timeoutForAttempt(5), 60000u);
+}
+
+TEST(RetryPolicy, DegenerateConfigsStayWellDefined) {
+  RetryPolicy P;
+  P.InitialTimeoutMs = 2000;
+  P.BackoffFactor = 5;
+  P.MaxTimeoutMs = 60000;
+  // MaxAttempts == 0 is treated as single-shot: the one attempt that runs
+  // gets the whole deadline, never a division-by-zero or a zero deadline.
+  P.MaxAttempts = 0;
+  EXPECT_EQ(P.timeoutForAttempt(1), 60000u);
+  // BackoffFactor == 0 degenerates to no escalation, not to a 0ms deadline.
+  P.MaxAttempts = 3;
+  P.BackoffFactor = 0;
+  EXPECT_EQ(P.timeoutForAttempt(1), 2000u);
+  EXPECT_EQ(P.timeoutForAttempt(2), 2000u);
+  EXPECT_EQ(P.timeoutForAttempt(3), 60000u) << "the last attempt still "
+                                               "gets the full deadline";
+  // A zero initial deadline is clamped to something Z3 accepts.
+  P.BackoffFactor = 5;
+  P.InitialTimeoutMs = 0;
+  EXPECT_GE(P.timeoutForAttempt(1), 1u);
+  // Saturation can hit mid-schedule, well before the final attempt.
+  P.InitialTimeoutMs = 2000;
+  P.BackoffFactor = 1000;
+  P.MaxAttempts = 5;
+  EXPECT_EQ(P.timeoutForAttempt(2), 60000u);
+  EXPECT_EQ(P.timeoutForAttempt(3), 60000u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -239,10 +269,24 @@ TEST(TacticDegradation, DropsAxiomsThenFramesNeverUnfolding) {
   EXPECT_FALSE(degradeTactics(NoAx, 1).Frames);
 }
 
+TEST_F(DispatchTest, MaxAttemptsZeroDispatchesExactlyOnce) {
+  RetryPolicy Pol;
+  Pol.MaxAttempts = 0;
+  Pol.DegradeTactics = false;
+  DeadlineBudget Budget;
+  FaultPlan NoFaults;
+  ResilientSolver RS(Pol, Budget, NoFaults);
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unsat);
+  EXPECT_EQ(D.Attempts, 1u);
+}
+
 TEST(ResilientSolverStatics, RetryableKinds) {
   EXPECT_TRUE(ResilientSolver::retryable(FailureKind::Timeout));
   EXPECT_TRUE(ResilientSolver::retryable(FailureKind::SolverUnknown));
   EXPECT_TRUE(ResilientSolver::retryable(FailureKind::ResourceOut));
+  EXPECT_TRUE(ResilientSolver::retryable(FailureKind::SolverCrash))
+      << "a fresh worker may survive what killed the last one";
   EXPECT_TRUE(ResilientSolver::retryable(FailureKind::Injected));
   EXPECT_FALSE(ResilientSolver::retryable(FailureKind::LoweringError));
   EXPECT_FALSE(ResilientSolver::retryable(FailureKind::None));
@@ -399,6 +443,76 @@ TEST(VerifierResilience, InjectedLoweringErrorSurfacesDetail) {
   }
   std::string Table = formatResults("t", R);
   EXPECT_NE(Table.find("lowering-error"), std::string::npos);
+}
+
+TEST(VerifierResilience, VacuityProbeRidesResilientDispatchAndFailsOpen) {
+  // The probe shares the dispatch layer with real obligations, so the fault
+  // plan hits it too. Two injected crashes exhaust the probe's (capped)
+  // attempts while the main obligation survives via a degraded re-dispatch:
+  // the proof must stand, and the unanswered probe must be recorded as a
+  // "[vacuity skipped]" note rather than silently dropped.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 2;
+  Opts.DegradeTactics = true;
+  Opts.CheckVacuity = true;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("crash@1,crash@2", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified) << "an unanswered probe must not fail the proof";
+  bool SawSkipNote = false;
+  for (const ObligationResult &O : R[0].Obligations)
+    if (O.Name.find("[vacuity skipped]") != std::string::npos) {
+      SawSkipNote = true;
+      EXPECT_EQ(O.Status, SmtStatus::Unknown);
+      EXPECT_EQ(O.Failure, FailureKind::SolverCrash);
+      EXPECT_NE(O.FailureDetail.find("vacuity probe unanswered"),
+                std::string::npos);
+      EXPECT_EQ(O.Attempts, 2u) << "the probe retries like an obligation";
+    }
+  EXPECT_TRUE(SawSkipNote);
+}
+
+TEST(VerifierResilience, DumpSmt2WritesEveryAttempt) {
+  // A degraded re-dispatch runs a *different* query; debugging a flaky
+  // obligation needs every attempt's benchmark, suffixed by attempt index
+  // and degrade level, under a collision-free stem.
+  std::string Dir = ::testing::TempDir() + "dryad-dump-test";
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 2;
+  Opts.DegradeTactics = true;
+  Opts.CheckVacuity = false;
+  Opts.DumpSmt2Dir = Dir;
+  // Worker-realized crashes (unlike short-circuited injections) build the
+  // query before the attempt dies, so every attempt produces a dump: the
+  // bare stem, .a2, and the degraded .a3.d1 that finally proves.
+  Opts.Isolate = true;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("crash@1,crash@2", Err);
+  auto R = verifyWith(Opts);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified);
+  unsigned Plain = 0, Suffixed = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    std::string Name = E.path().filename().string();
+    if (Name.find(".a") != std::string::npos)
+      ++Suffixed;
+    else
+      ++Plain;
+  }
+  EXPECT_EQ(Plain, 1u) << "attempt 1 dumps under the bare stem";
+  EXPECT_GE(Suffixed, 2u)
+      << "retries and degraded attempts must be dumped too";
+  // The degraded attempt carries its tactic level in the name.
+  bool SawDegradeSuffix = false;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    SawDegradeSuffix |=
+        E.path().filename().string().find(".d1") != std::string::npos;
+  EXPECT_TRUE(SawDegradeSuffix);
 }
 
 TEST(VerifierResilience, ReportPrintsLoweringDetailText) {

@@ -1,0 +1,291 @@
+//===--- sandbox_test.cpp - Process-isolated solver workers --------------------===//
+//
+// Exercises smt/sandbox.*: worker exit classification (normal answers,
+// signal deaths, rlimit kills, deadline SIGKILL) — each fate driven
+// deterministically through SandboxFault — and the integration with the
+// resilient dispatch layer and the verifier (`crash@N` / `oom@N` under
+// isolation retry like timeouts and cannot take down the run).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/inject.h"
+#include "smt/resilient.h"
+#include "smt/sandbox.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+const char *UnsatSmt2 = R"((declare-fun x () Int)
+(assert (< x 3))
+(assert (> x 5))
+(check-sat)
+)";
+
+const char *SatSmt2 = R"((declare-fun x () Int)
+(assert (= x 42))
+(check-sat)
+)";
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// solveInSandbox: worker fates and their classification
+//===----------------------------------------------------------------------===//
+
+TEST(Sandbox, UnsatRoundTripsThroughWorker) {
+  SandboxRequest Req;
+  Req.Smt2 = UnsatSmt2;
+  Req.TimeoutMs = 10000;
+  SmtResult R = solveInSandbox(Req);
+  EXPECT_EQ(R.Status, SmtStatus::Unsat);
+  EXPECT_EQ(R.Failure, FailureKind::None);
+}
+
+TEST(Sandbox, SatReportsModelFromWorker) {
+  SandboxRequest Req;
+  Req.Smt2 = SatSmt2;
+  Req.TimeoutMs = 10000;
+  SmtResult R = solveInSandbox(Req);
+  EXPECT_EQ(R.Status, SmtStatus::Sat);
+  EXPECT_NE(R.ModelText.find("x = 42"), std::string::npos)
+      << "counterexample must cross the pipe: " << R.ModelText;
+}
+
+TEST(Sandbox, ParseErrorSurfacesDetail) {
+  SandboxRequest Req;
+  Req.Smt2 = "(this is not smt2";
+  Req.TimeoutMs = 10000;
+  SmtResult R = solveInSandbox(Req);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_NE(R.Failure, FailureKind::None);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
+TEST(Sandbox, SignalDeathClassifiedAsSolverCrash) {
+  SandboxRequest Req;
+  Req.Smt2 = UnsatSmt2;
+  Req.TimeoutMs = 10000;
+  Req.Fault = SandboxFault::Crash;
+  SmtResult R = solveInSandbox(Req);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::SolverCrash);
+  EXPECT_NE(R.Detail.find("signal"), std::string::npos) << R.Detail;
+}
+
+TEST(Sandbox, RlimitDeathClassifiedAsResourceOut) {
+  SandboxRequest Req;
+  Req.Smt2 = UnsatSmt2;
+  Req.TimeoutMs = 30000;
+  Req.MemLimitMb = 64;
+  Req.Fault = SandboxFault::Oom;
+  SmtResult R = solveInSandbox(Req);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::ResourceOut);
+  EXPECT_NE(R.Detail.find("memory"), std::string::npos) << R.Detail;
+}
+
+TEST(Sandbox, WedgedWorkerKilledAtWallDeadline) {
+  SandboxRequest Req;
+  Req.Smt2 = UnsatSmt2;
+  Req.TimeoutMs = 300; // the stalling worker never answers
+  Req.Fault = SandboxFault::Stall;
+  SmtResult R = solveInSandbox(Req);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::Timeout);
+  EXPECT_NE(R.Detail.find("deadline"), std::string::npos) << R.Detail;
+  EXPECT_LT(R.Seconds, 10.0) << "SIGKILL must fire near the deadline";
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan: the sandbox-realized kinds
+//===----------------------------------------------------------------------===//
+
+TEST(Sandbox, FaultPlanParsesCrashAndOom) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("crash@1,oom@2", Err);
+  ASSERT_TRUE(Plan) << Err;
+  auto F1 = Plan->faultFor(1);
+  ASSERT_TRUE(F1);
+  EXPECT_EQ(F1->Kind, FailureKind::SolverCrash);
+  EXPECT_TRUE(F1->InWorker);
+  auto F2 = Plan->faultFor(2);
+  ASSERT_TRUE(F2);
+  EXPECT_EQ(F2->Kind, FailureKind::ResourceOut);
+  EXPECT_TRUE(F2->InWorker);
+  EXPECT_EQ(Plan->describe(), "crash@1,oom@2");
+  // Plain resourceout remains a dispatch-level short-circuit.
+  auto Plan2 = FaultPlan::parse("resourceout@1", Err);
+  ASSERT_TRUE(Plan2) << Err;
+  EXPECT_FALSE(Plan2->faultFor(1)->InWorker);
+  EXPECT_EQ(Plan2->describe(), "resourceout@1");
+}
+
+//===----------------------------------------------------------------------===//
+// ResilientSolver integration
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct SandboxDispatchTest : ::testing::Test {
+  SandboxDispatchTest() : M(parsePrelude()) {}
+  std::unique_ptr<Module> M;
+
+  ResilientSolver::Builder provable() {
+    return [this](SmtSolver &S, const AttemptInfo &) {
+      AstContext &Ctx = M->Ctx;
+      const Term *X = Ctx.var("x", Sort::Int);
+      S.add(Ctx.cmp(CmpFormula::Lt, X, Ctx.intConst(3)));
+      S.add(Ctx.cmp(CmpFormula::Gt, X, Ctx.intConst(5)));
+    };
+  }
+};
+} // namespace
+
+TEST_F(SandboxDispatchTest, IsolatedDispatchProves) {
+  RetryPolicy Pol;
+  DeadlineBudget Budget;
+  FaultPlan NoFaults;
+  ResilientSolver RS(Pol, Budget, NoFaults);
+  RS.setSandbox({/*Enabled=*/true, /*MemLimitMb=*/0});
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unsat);
+  EXPECT_EQ(D.Attempts, 1u);
+}
+
+TEST_F(SandboxDispatchTest, WorkerCrashRetriesLikeATimeout) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("crash@1", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  DeadlineBudget Budget;
+  ResilientSolver RS(Pol, Budget, *Plan);
+  RS.setSandbox({/*Enabled=*/true, /*MemLimitMb=*/0});
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unsat)
+      << "a fresh worker must absorb the crash: " << D.Detail;
+  EXPECT_EQ(D.Attempts, 2u) << "attempt 1 died in the sandbox, attempt 2 real";
+}
+
+TEST_F(SandboxDispatchTest, WorkerOomRetriesLikeATimeout) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("oom@1", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  DeadlineBudget Budget;
+  ResilientSolver RS(Pol, Budget, *Plan);
+  RS.setSandbox({/*Enabled=*/true, /*MemLimitMb=*/128});
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unsat) << D.Detail;
+  EXPECT_EQ(D.Attempts, 2u);
+}
+
+TEST_F(SandboxDispatchTest, InjectedCrashWithoutSandboxShortCircuits) {
+  std::string Err;
+  auto Plan = FaultPlan::parse("crash@*", Err);
+  ASSERT_TRUE(Plan) << Err;
+  RetryPolicy Pol;
+  Pol.MaxAttempts = 2;
+  Pol.DegradeTactics = false;
+  DeadlineBudget Budget;
+  ResilientSolver RS(Pol, Budget, *Plan); // no sandbox
+  DispatchResult D = RS.dispatch(provable());
+  EXPECT_EQ(D.Status, SmtStatus::Unknown);
+  EXPECT_EQ(D.Failure, FailureKind::SolverCrash);
+  EXPECT_EQ(D.Attempts, 2u) << "crashes must be retried";
+  EXPECT_NE(D.Detail.find("injected"), std::string::npos);
+}
+
+TEST_F(SandboxDispatchTest, LoweringErrorSkipsTheFork) {
+  RetryPolicy Pol;
+  DeadlineBudget Budget;
+  FaultPlan NoFaults;
+  ResilientSolver RS(Pol, Budget, NoFaults);
+  RS.setSandbox({/*Enabled=*/true, /*MemLimitMb=*/0});
+  DispatchResult D = RS.dispatch([&](SmtSolver &S, const AttemptInfo &) {
+    AstContext &Ctx = M->Ctx;
+    S.add(Ctx.cmp(CmpFormula::Eq, Ctx.inf(true), Ctx.intConst(0)));
+  });
+  EXPECT_EQ(D.Status, SmtStatus::Unknown);
+  EXPECT_EQ(D.Failure, FailureKind::LoweringError);
+  EXPECT_EQ(D.Attempts, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier end-to-end (the acceptance path of dryadv --isolate)
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *InsertFront = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+)";
+} // namespace
+
+TEST(VerifierSandbox, IsolatedRunVerifies) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Isolate = true;
+  Opts.CheckVacuity = false;
+  auto M = parsePrelude(InsertFront);
+  Verifier V(*M, Opts);
+  DiagEngine D;
+  auto R = V.verifyAll(D);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified);
+}
+
+TEST(VerifierSandbox, SurvivesInjectedWorkerCrashAndProves) {
+  // dryadv --isolate --inject crash@1 --attempts 2: the first attempt's
+  // worker really segfaults; the retry proves the routine.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Isolate = true;
+  Opts.Attempts = 2;
+  Opts.CheckVacuity = false;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("crash@1", Err);
+  auto M = parsePrelude(InsertFront);
+  Verifier V(*M, Opts);
+  DiagEngine D;
+  auto R = V.verifyAll(D);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R[0].Verified) << "one crashed worker must not fail the run";
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Status, SmtStatus::Unsat);
+    EXPECT_EQ(O.Attempts, 2u);
+  }
+}
+
+TEST(VerifierSandbox, UnabsorbedCrashesReportSolverCrashTaxonomy) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Isolate = true;
+  Opts.Attempts = 1;
+  Opts.DegradeTactics = false;
+  Opts.CheckVacuity = false;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("crash@*", Err);
+  auto M = parsePrelude(InsertFront);
+  Verifier V(*M, Opts);
+  DiagEngine D;
+  auto R = V.verifyAll(D);
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_FALSE(R[0].Verified);
+  for (const ObligationResult &O : R[0].Obligations) {
+    EXPECT_EQ(O.Status, SmtStatus::Unknown);
+    EXPECT_EQ(O.Failure, FailureKind::SolverCrash)
+        << "the wait-status classification must reach the report";
+  }
+}
