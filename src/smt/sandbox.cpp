@@ -26,6 +26,10 @@ namespace {
 /// itself to build a payload.
 constexpr int ExitOom = 97;
 constexpr int ExitProto = 98; ///< result existed but could not be written
+/// The worker could not apply its rlimit caps. It refuses to run — solving
+/// (or running an injected oom's unbounded allocation loop) without the cap
+/// the parent believes is in place would silently unsandbox the child.
+constexpr int ExitSetup = 96;
 
 /// Grace the parent grants past the solver's own soft timeout before the
 /// SIGKILL: a healthy Z3 returns `unknown (timeout)` by itself, which keeps
@@ -93,26 +97,45 @@ bool decodePayload(const std::string &Payload, SmtResult &R) {
 // Child side
 //===----------------------------------------------------------------------===//
 
-void applyLimits(const SandboxRequest &Req) {
+/// Applies one rlimit, verifying it took. A request above the pre-existing
+/// hard limit fails with EPERM for an unprivileged process; clamp to that
+/// hard limit and retry — the cap still holds, just tighter than asked.
+bool setLimit(int Resource, rlim_t Cur, rlim_t Max) {
+  rlimit RL;
+  RL.rlim_cur = Cur;
+  RL.rlim_max = Max;
+  if (setrlimit(Resource, &RL) == 0)
+    return true;
+  rlimit Old;
+  if (getrlimit(Resource, &Old) != 0 || Old.rlim_max >= Max)
+    return false;
+  RL.rlim_max = Old.rlim_max;
+  if (RL.rlim_cur > RL.rlim_max)
+    RL.rlim_cur = RL.rlim_max;
+  return setrlimit(Resource, &RL) == 0;
+}
+
+/// Returns false when a requested cap could not be enforced; the worker
+/// must then _exit(ExitSetup) rather than run uncapped.
+bool applyLimits(const SandboxRequest &Req) {
   unsigned MemMb = Req.MemLimitMb;
   // An injected oom must hit a ceiling even when the caller set none;
   // otherwise the "fault" would eat the machine it exists to protect.
   if (Req.Fault == SandboxFault::Oom && MemMb == 0)
     MemMb = 256;
   if (MemMb) {
-    rlimit RL;
-    RL.rlim_cur = RL.rlim_max = static_cast<rlim_t>(MemMb) << 20;
-    setrlimit(RLIMIT_AS, &RL);
+    rlim_t Cap = static_cast<rlim_t>(MemMb) << 20;
+    if (!setLimit(RLIMIT_AS, Cap, Cap))
+      return false;
   }
   unsigned CpuS = Req.CpuLimitS;
   if (CpuS == 0 && Req.TimeoutMs != 0)
     CpuS = Req.TimeoutMs / 1000 + 2;
-  if (CpuS) {
-    rlimit RL;
-    RL.rlim_cur = CpuS;
-    RL.rlim_max = CpuS + 2; // hard kill if the SIGXCPU is somehow ignored
-    setrlimit(RLIMIT_CPU, &RL);
-  }
+  // Hard cap two seconds past the soft one: a hard kill if the SIGXCPU is
+  // somehow ignored.
+  if (CpuS && !setLimit(RLIMIT_CPU, CpuS, CpuS + 2))
+    return false;
+  return true;
 }
 
 void writeAll(int Fd, const std::string &Data) {
@@ -129,7 +152,8 @@ void writeAll(int Fd, const std::string &Data) {
 }
 
 [[noreturn]] void childMain(const SandboxRequest &Req, int Fd) {
-  applyLimits(Req);
+  if (!applyLimits(Req))
+    _exit(ExitSetup);
 
   switch (Req.Fault) {
   case SandboxFault::Crash:
@@ -320,6 +344,10 @@ SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
     R.Detail = "solver worker exceeded its memory limit";
     if (Req.MemLimitMb)
       R.Detail += " (RLIMIT_AS " + std::to_string(Req.MemLimitMb) + " MiB)";
+  } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitSetup) {
+    R.Failure = FailureKind::SolverCrash;
+    R.Detail = "solver worker could not apply its resource limits "
+               "(setrlimit failed); refusing to run unsandboxed";
   } else if (WIFSIGNALED(WStatus)) {
     int Sig = WTERMSIG(WStatus);
     if (Sig == SIGXCPU || Sig == SIGKILL) {

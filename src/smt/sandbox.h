@@ -25,6 +25,12 @@
 ///   | SIGSEGV/SIGABRT/SIGBUS/...        | FailureKind::SolverCrash  |
 ///   | SIGXCPU / OOM-kill / exit 97      | FailureKind::ResourceOut  |
 ///   | parent's deadline SIGKILL         | FailureKind::Timeout      |
+///   | exit 96 (setrlimit failed)        | FailureKind::SolverCrash  |
+///
+/// Exit 96 is the worker refusing to run because a requested rlimit could
+/// not be applied (after clamping to the pre-existing hard limit): running
+/// uncapped while the parent believes the sandbox holds would be worse
+/// than failing the attempt.
 ///
 /// All three non-payload fates are retryable, so `ResilientSolver` treats a
 /// crashed or wedged worker exactly like a timed-out in-process check.

@@ -109,7 +109,6 @@ int main(int Argc, char **Argv) {
   // infrastructure failure — a refutation stays a refutation even if other
   // obligations flaked.
   bool AnyGenuineFailure = false;
-  bool AnyInfraFailure = false;
   for (const std::string &File : Files) {
     Module M;
     DiagEngine Diags;
@@ -143,19 +142,30 @@ int main(int Argc, char **Argv) {
       if (R.Verified)
         continue;
       bool ProcInfra = false, ProcGenuine = false;
+      auto endsWith = [](const std::string &S, const char *Suffix) {
+        size_t N = std::strlen(Suffix);
+        return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+      };
       for (const ObligationResult &O : R.Obligations) {
+        // Advisory records never fail a proc, so they must not color the
+        // exit code of one that failed for another reason.
+        if (endsWith(O.Name, "[vacuity skipped]"))
+          continue;
         if (O.Status == SmtStatus::Sat)
           ProcGenuine = true; // counterexample
-        else if (O.Status == SmtStatus::Unknown)
-          (O.Failure != FailureKind::None ? ProcInfra : ProcGenuine) = true;
-        else if (O.Name.size() > 9 &&
-                 O.Name.compare(O.Name.size() - 9, 9, "[vacuity]") == 0)
+        else if (O.Status == SmtStatus::Unknown) {
+          // SolverUnknown is the solver honestly answering "can't prove" —
+          // an unproved obligation, not a flake. Same taxonomy split as
+          // summarize() in report.cpp.
+          bool Infra = O.Failure != FailureKind::None &&
+                       O.Failure != FailureKind::SolverUnknown;
+          (Infra ? ProcInfra : ProcGenuine) = true;
+        } else if (endsWith(O.Name, "[vacuity]"))
           ProcGenuine = true; // vacuous contract: a spec bug, not a flake
       }
       // A proc can also fail with no failing obligation (VC generation
       // errors); that is a genuine failure, not a solver flake.
-      AnyInfraFailure |= ProcInfra;
-      AnyGenuineFailure |= ProcGenuine || (!ProcInfra && !ProcGenuine);
+      AnyGenuineFailure |= ProcGenuine || !ProcInfra;
     }
   }
   if (AllVerified)

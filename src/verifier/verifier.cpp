@@ -68,7 +68,8 @@ ObligationResult
 Verifier::discharge(const std::string &Name,
                     const std::vector<const Formula *> &Assumptions,
                     size_t NumAssumptions, const StrengthFn &Strength,
-                    const Formula *Goal, DeadlineBudget &Budget) {
+                    const Formula *Goal, DeadlineBudget &Budget,
+                    std::string *JournalKeyOut) {
   auto Build = [&](SmtSolver &Solver, const AttemptInfo &Info) {
     for (size_t I = 0; I != NumAssumptions; ++I)
       Solver.add(Assumptions[I]);
@@ -102,6 +103,8 @@ Verifier::discharge(const std::string &Name,
       KeySolver.add(F);
     KeySolver.addNegated(Goal);
     Key = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
+    if (JournalKeyOut)
+      *JournalKeyOut = Key;
 
     if (Opts.Resume) {
       const JournalRecord *R = Jrnl.lookup(Key);
@@ -187,22 +190,52 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
     }
 
     // The main Hoare-triple obligation.
+    std::string MainKey;
     ObligationResult O =
         discharge(VC->Name, VC->Assumptions, VC->Assumptions.size(),
-                  StrengthFor, VC->Goal, Budget);
+                  StrengthFor, VC->Goal, Budget, &MainKey);
     PR.Verified &= (O.Status == SmtStatus::Unsat);
     bool MainProved = O.Status == SmtStatus::Unsat;
-    // A journal-reused proof was already probe-validated by the run that
-    // recorded it; re-probing would make --resume pay the full vacuity
-    // cost for obligations it skipped.
     bool MainFromJournal = O.FromJournal;
     PR.Seconds += O.Seconds;
     PR.Obligations.push_back(std::move(O));
 
     // Vacuity probe: the path's assumptions must be satisfiable, otherwise
     // the contract (not the code) is wrong and the proof above is void.
-    if (Opts.CheckVacuity && MainProved && !MainFromJournal &&
-        !VC->Assumptions.empty() && !Budget.exhausted()) {
+    //
+    // The probe's own outcome is journaled under a suffixed key, because
+    // the main proof is journaled *before* the probe runs: without a probe
+    // record, a --resume run could reuse an unsat that a later probe
+    // refuted (vacuous contract), or that was never probed because the run
+    // was killed in between — silently flipping a failure to "verified".
+    const std::string ProbeKey = MainKey.empty() ? "" : MainKey + ":vacuity";
+    const JournalRecord *ProbePast =
+        (MainFromJournal && Jrnl.isOpen()) ? Jrnl.lookup(ProbeKey) : nullptr;
+    if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
+        ProbePast && ProbePast->Status == SmtStatus::Sat) {
+      // The journal shows this probe already passed: the contract is known
+      // satisfiable, and --resume need not pay the vacuity cost again.
+      // This is the ONLY case where a journal-reused proof skips the
+      // probe.
+    } else if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
+               ProbePast && ProbePast->Status == SmtStatus::Unsat) {
+      // The run that journaled the proof also found the contract vacuous.
+      // Replay that verdict rather than re-probing: the refutation is as
+      // durable as the proof it voids.
+      ObligationResult V;
+      V.Name = VC->Name + " [vacuity]";
+      V.Status = SmtStatus::Unsat;
+      V.Model = ProbePast->Detail;
+      V.FromJournal = true;
+      PR.Verified = false;
+      PR.Obligations.push_back(std::move(V));
+    } else if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
+               !Budget.exhausted()) {
+      // Reaching here with a journal-reused proof means the journal holds
+      // no probe verdict (the run was killed between journaling the unsat
+      // and probing) or an Unknown one — both must be (re-)probed, exactly
+      // like any other journaled non-answer.
+      //
       // Probe the contract (the path's first assumption: the pre or the
       // loop invariant) together with the unfoldings. Branch conditions are
       // excluded: infeasible paths are vacuous by design; an unsatisfiable
@@ -231,14 +264,34 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
               Probe.add(F);
           });
       PR.Seconds += PD.Seconds;
+
+      const char *VacuousMsg = "assumptions unsatisfiable: the contract/"
+                               "invariant contradicts the heaplet semantics";
+      // Journal the probe verdict so the next --resume can skip a passed
+      // probe (Sat), replay a vacuity failure (Unsat), or re-probe an
+      // unanswered one (Unknown).
+      if (Jrnl.isOpen()) {
+        JournalRecord R;
+        R.Key = ProbeKey;
+        R.Name = VC->Name + " [vacuity]";
+        R.Status = PD.Status;
+        R.Failure =
+            PD.Status == SmtStatus::Unknown ? PD.Failure : FailureKind::None;
+        R.Attempts = PD.Attempts;
+        R.Seconds = PD.Seconds;
+        R.Detail = PD.Status == SmtStatus::Unsat      ? VacuousMsg
+                   : PD.Status == SmtStatus::Unknown ? PD.Detail
+                                                      : "";
+        Jrnl.append(R);
+      }
+
       if (PD.Status == SmtStatus::Unsat) {
         ObligationResult V;
         V.Name = VC->Name + " [vacuity]";
         V.Status = SmtStatus::Unsat;
         V.Attempts = PD.Attempts;
         V.Seconds = PD.Seconds;
-        V.Model = "assumptions unsatisfiable: the contract/invariant "
-                  "contradicts the heaplet semantics";
+        V.Model = VacuousMsg;
         PR.Verified = false;
         PR.Obligations.push_back(std::move(V));
       } else if (PD.Status == SmtStatus::Unknown) {

@@ -116,10 +116,14 @@ private:
   using StrengthFn =
       std::function<const std::vector<const Formula *> &(unsigned Level)>;
 
+  /// \p JournalKeyOut, when non-null, receives the obligation's journal
+  /// content key (empty when no journal is open). The vacuity probe derives
+  /// its own journal key from it.
   ObligationResult discharge(const std::string &Name,
                              const std::vector<const Formula *> &Assumptions,
                              size_t NumAssumptions, const StrengthFn &Strength,
-                             const Formula *Goal, DeadlineBudget &Budget);
+                             const Formula *Goal, DeadlineBudget &Budget,
+                             std::string *JournalKeyOut = nullptr);
 
   RetryPolicy retryPolicy() const;
   SandboxOptions sandboxOptions() const;

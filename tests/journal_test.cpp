@@ -328,6 +328,137 @@ TEST(VerifierJournal, TacticConfigChangeInvalidatesJournalHits) {
           << O.Name << ": a tactic change must invalidate the journal hit";
 }
 
+//===----------------------------------------------------------------------===//
+// Vacuity probes across --resume
+//===----------------------------------------------------------------------===//
+//
+// The main proof is journaled before its vacuity probe runs, so the probe's
+// verdict must be journaled separately (key suffix ":vacuity") or a resumed
+// run could reuse an unsat whose probe refuted the contract — flipping a
+// failing run to "verified".
+
+namespace {
+/// keys(x) == K scopes only x's list under a two-structure heaplet, so the
+/// precondition is unsatisfiable: every proof of this proc is vacuous.
+const char *VacuousProc = R"(
+proc vac(x: loc, y: loc) returns (ret: loc)
+  spec (A: intset)
+  requires ((list(x) * list(y)) && keys(x) == A) && y != nil
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+
+size_t countProbeRecords(const std::string &Path) {
+  std::ifstream In(Path);
+  std::string Line;
+  size_t N = 0;
+  while (std::getline(In, Line))
+    if (Line.find(":vacuity\"") != std::string::npos)
+      ++N;
+  return N;
+}
+} // namespace
+
+TEST(VerifierJournalVacuity, RefutationSurvivesResume) {
+  std::string Path = journalPath("vacuity-replay");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.JournalPath = Path;
+
+  auto M = parsePrelude(VacuousProc);
+  DiagEngine D1;
+  auto First = Verifier(*M, Opts).verifyAll(D1);
+  ASSERT_EQ(First.size(), 1u);
+  EXPECT_FALSE(First[0].Verified);
+  EXPECT_GE(countProbeRecords(Path), 1u)
+      << "the probe's refutation must be journaled";
+
+  Opts.Resume = true;
+  DiagEngine D2;
+  auto Second = Verifier(*M, Opts).verifyAll(D2);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_FALSE(Second[0].Verified)
+      << "--resume must not flip a vacuous contract to verified";
+  bool SawReplayed = false;
+  for (const ObligationResult &O : Second[0].Obligations)
+    if (O.Name.size() > 9 &&
+        O.Name.compare(O.Name.size() - 9, 9, "[vacuity]") == 0) {
+      SawReplayed = true;
+      EXPECT_TRUE(O.FromJournal) << "the verdict is replayed, not re-probed";
+      EXPECT_EQ(O.Attempts, 0u);
+      EXPECT_FALSE(O.Model.empty()) << "the stored explanation must survive";
+    }
+  EXPECT_TRUE(SawReplayed);
+}
+
+TEST(VerifierJournalVacuity, MissingProbeRecordIsReprobedOnResume) {
+  // Simulate a run killed between journaling the main unsat and probing:
+  // strip the probe records, keep the proofs. Resume must re-probe and
+  // re-discover the vacuous contract.
+  std::string Path = journalPath("vacuity-killed");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.JournalPath = Path;
+
+  auto M = parsePrelude(VacuousProc);
+  DiagEngine D1;
+  Verifier(*M, Opts).verifyAll(D1);
+
+  std::string Kept;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.find(":vacuity\"") == std::string::npos)
+        Kept += Line + "\n";
+  }
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Kept;
+  }
+  ASSERT_EQ(countProbeRecords(Path), 0u);
+
+  Opts.Resume = true;
+  DiagEngine D2;
+  auto Second = Verifier(*M, Opts).verifyAll(D2);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_FALSE(Second[0].Verified);
+  bool SawReprobed = false;
+  for (const ObligationResult &O : Second[0].Obligations)
+    if (O.Name.size() > 9 &&
+        O.Name.compare(O.Name.size() - 9, 9, "[vacuity]") == 0) {
+      SawReprobed = true;
+      EXPECT_FALSE(O.FromJournal)
+          << "with no journaled verdict the probe must actually run";
+      EXPECT_GE(O.Attempts, 1u);
+    }
+  EXPECT_TRUE(SawReprobed);
+  EXPECT_GE(countProbeRecords(Path), 1u)
+      << "the re-run probe must journal its verdict";
+}
+
+TEST(VerifierJournalVacuity, PassedProbeIsSkippedOnResume) {
+  std::string Path = journalPath("vacuity-skip");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.JournalPath = Path;
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_TRUE(First[0].Verified && First[1].Verified);
+  size_t Before = countProbeRecords(Path);
+  EXPECT_GE(Before, 1u) << "passing probes must be journaled too";
+
+  Opts.Resume = true;
+  auto Second = verifyJournaled(Opts);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  EXPECT_EQ(countProbeRecords(Path), Before)
+      << "a journaled passed probe must not be re-dispatched on --resume";
+}
+
 TEST(VerifierJournal, UnwritableJournalIsNonFatal) {
   VerifyOptions Opts;
   Opts.TimeoutMs = 30000;
