@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Benchmarks the parallel proof scheduler: runs each benchmark suite at
+# --jobs 1 and --jobs $(nproc) and writes BENCH_sched.json with per-suite
+# wall time, obligation throughput, and the parallel speedup.
+#
+# The speedup is bounded by the host's parallelism (recorded in the output):
+# on a single-core box the two runs are the same schedule and the speedup is
+# ~1.0 by construction.
+#
+# Dispatch is single-shot (--attempts 1 --no-degrade): the retry ladder can
+# spend ~100s per stubborn obligation, which measures Z3's escalation
+# schedule rather than the scheduler's throughput. check.sh gates verdicts.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+DRYADV=build/src/dryadv
+OUT=BENCH_sched.json
+TIMEOUT_MS=${TIMEOUT_MS:-10000}
+JOBS_N=$(nproc)
+
+[ -x "$DRYADV" ] || { echo "build dryadv first: cmake --build build" >&2; exit 1; }
+
+# One suite run; prints "<wall-seconds> <obligations>".
+run_suite() { # <jobs> <file...>
+  local jobs=$1; shift
+  local t0 t1 out
+  out=$(mktemp)
+  t0=$(date +%s.%N)
+  # The negative corpus exits 1 by design and infrastructure flakes exit 3;
+  # the benchmark measures throughput, not verdicts (check.sh gates those).
+  "$DRYADV" --jobs "$jobs" --timeout "$TIMEOUT_MS" --attempts 1 --no-degrade \
+      --verbose "$@" > "$out" 2>&1 || true
+  t1=$(date +%s.%N)
+  # --verbose prints one indented row per obligation: "  <name> <verdict>
+  # (N attempts, T s)".
+  local obs
+  obs=$(grep -c 'attempt' "$out" || true)
+  rm -f "$out"
+  awk -v a="$t0" -v b="$t1" -v n="$obs" 'BEGIN { printf "%.2f %d\n", b - a, n }'
+}
+
+json_entries=""
+for suite in fig6 fig7; do
+  files=(bench/suite/$suite/*.dryad)
+  echo "== $suite: --jobs 1 ==" >&2
+  read -r wall1 obs1 < <(run_suite 1 "${files[@]}")
+  echo "== $suite: --jobs $JOBS_N ==" >&2
+  read -r walln obsn < <(run_suite "$JOBS_N" "${files[@]}")
+  entry=$(awk -v suite="$suite" -v w1="$wall1" -v o1="$obs1" \
+              -v wn="$walln" -v on="$obsn" -v jn="$JOBS_N" 'BEGIN {
+    printf "    {\"suite\": \"%s\", \"obligations\": %d,\n", suite, o1
+    printf "     \"sequential\": {\"jobs\": 1, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
+           w1, (w1 > 0 ? o1 / w1 : 0)
+    printf "     \"parallel\": {\"jobs\": %d, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
+           jn, wn, (wn > 0 ? on / wn : 0)
+    printf "     \"speedup\": %.2f}", (wn > 0 ? w1 / wn : 0)
+  }')
+  json_entries+="${json_entries:+,$'\n'}$entry"
+done
+
+cat > "$OUT" <<EOF
+{
+  "bench": "parallel proof scheduler (--jobs)",
+  "host_parallelism": $JOBS_N,
+  "timeout_ms": $TIMEOUT_MS,
+  "suites": [
+$json_entries
+  ]
+}
+EOF
+echo "wrote $OUT" >&2
+cat "$OUT"

@@ -51,6 +51,33 @@ echo "== smoke: isolated worker survives an injected crash and proves =="
 # parent must classify the signal death, retry, and verify everything.
 "$DRYADV" --isolate --inject crash@1 --attempts 2 --timeout 30000 "$SLL"
 
+echo "== smoke: --jobs 4 verdicts and exit code match --jobs 1 =="
+# The full example suite through the parallel scheduler: per-routine
+# verdicts and the process exit code must be identical to the sequential
+# run. Timing columns and the infrastructure-failure tally are
+# load-dependent (an oversubscribed pool retries more), so the comparison
+# normalizes to "routine verdict" pairs.
+SUITE=(bench/suite/fig6/*.dryad bench/suite/fig7/*.dryad)
+verdicts() { awk '$2 == "verified" || $2 == "FAILED" { print $1, $2 }' "$1"; }
+rc1=0
+"$DRYADV" --timeout 30000 "${SUITE[@]}" > /tmp/dryadv-jobs1.out 2>&1 || rc1=$?
+rc4=0
+"$DRYADV" --jobs 4 --timeout 30000 "${SUITE[@]}" > /tmp/dryadv-jobs4.out 2>&1 || rc4=$?
+if [ "$rc1" -ne "$rc4" ]; then
+  echo "exit codes diverge: --jobs 1 -> $rc1, --jobs 4 -> $rc4" >&2
+  exit 1
+fi
+if ! diff <(verdicts /tmp/dryadv-jobs1.out) <(verdicts /tmp/dryadv-jobs4.out); then
+  echo "per-routine verdicts diverge between --jobs 1 and --jobs 4" >&2
+  exit 1
+fi
+
+echo "== smoke: a pool of 4 absorbs injected worker crashes =="
+# crash@1 segfaults attempt 1 of every obligation inside its sandboxed
+# worker; with four workers in flight the parent must classify each death,
+# retry, and still verify everything — one crash never takes down siblings.
+"$DRYADV" --jobs 4 --inject crash@1 --timeout 30000 "$SLL"
+
 echo "== smoke: journal resume skips already-proved obligations =="
 JRNL=/tmp/dryadv-journal.jsonl
 rm -f "$JRNL"

@@ -1,0 +1,282 @@
+//===--- dispatch.cpp - Obligation-level parallel dispatch ------------------===//
+
+#include "sched/dispatch.h"
+
+#include <algorithm>
+
+using namespace dryad;
+
+/// Per-obligation dispatch state, shared by every pending pool completion
+/// that refers to the obligation. `Finished` guards against late results: a
+/// portfolio loser that classified in the same poll round as the winner
+/// must be ignored, not double-reported.
+struct DispatchEngine::ObState {
+  ObligationSpec Spec;
+  OnDone Done;
+  DispatchResult Out;
+  unsigned Scheduled = 1; ///< full-tactic attempts (ladder shape)
+  unsigned MaxTotal = 1;  ///< scheduled + degraded attempts (ladder shape)
+  bool Finished = false;
+
+  // Portfolio bookkeeping.
+  std::vector<TaskId> Racing; ///< pool ids of rungs still in flight
+  unsigned RacersPending = 0;
+  bool HaveRung0Failure = false;
+  SmtResult Rung0Failure; ///< full-tactics rung's failure, preferred report
+  SmtResult LastFailure;  ///< fallback when rung 0 never completed
+  unsigned LastFailureLevel = 0;
+  unsigned RungsRun = 0;
+};
+
+void DispatchEngine::submit(ObligationSpec Spec, OnDone Done) {
+  auto St = std::make_shared<ObState>();
+  St->Spec = std::move(Spec);
+  St->Done = std::move(Done);
+  const RetryPolicy &P = St->Spec.Policy;
+  St->Scheduled = P.MaxAttempts == 0 ? 1 : P.MaxAttempts;
+  St->MaxTotal = St->Scheduled + (P.DegradeTactics ? P.DegradeLevels : 0);
+  if (St->Spec.Portfolio && St->Spec.Sandbox.Enabled)
+    startPortfolio(St);
+  else
+    startAttempt(St, 1);
+}
+
+void DispatchEngine::finishBudgetExhausted(const StatePtr &St) {
+  St->Out.Status = SmtStatus::Unknown;
+  St->Out.Failure = FailureKind::Timeout;
+  St->Out.Detail =
+      "procedure deadline budget exhausted after " +
+      std::to_string(St->Out.Attempts) + " attempt(s)" +
+      (St->Out.Detail.empty() ? "" : "; last: " + St->Out.Detail);
+  finish(St);
+}
+
+void DispatchEngine::finish(const StatePtr &St) {
+  St->Finished = true;
+  St->Done(St->Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Ladder shape: retry -> escalate -> degrade, one attempt in flight
+//===----------------------------------------------------------------------===//
+
+void DispatchEngine::startAttempt(const StatePtr &St, unsigned Attempt) {
+  ObligationSpec &Spec = St->Spec;
+  if (Spec.Budget->exhausted()) {
+    finishBudgetExhausted(St);
+    return;
+  }
+
+  AttemptInfo Info;
+  Info.Index = Attempt;
+  // Degraded attempts run after the scheduled ones, each with the full
+  // remaining deadline: the point is a smaller problem, not a longer wait.
+  Info.DegradeLevel = Attempt <= St->Scheduled ? 0 : Attempt - St->Scheduled;
+  Info.TimeoutMs = Spec.Policy.timeoutForAttempt(
+      Attempt <= St->Scheduled ? Attempt : St->Scheduled);
+  if (!Spec.Budget->unlimited())
+    Info.TimeoutMs = std::min(Info.TimeoutMs, Spec.Budget->remainingMs());
+  if (Info.TimeoutMs == 0)
+    Info.TimeoutMs = 1;
+  Info.Seed = Spec.Policy.BaseSeed + 7919 * (Attempt - 1);
+
+  std::optional<Fault> F = Spec.Inject.faultFor(Attempt);
+  // Worker-realized faults (crash@N / oom@N) only short-circuit when there
+  // is no sandbox to realize them in; under isolation they travel into the
+  // forked worker so the parent-side classification is what gets exercised.
+  if (F && !(Spec.Sandbox.Enabled && F->InWorker)) {
+    SmtResult R = injectedResult(*F, Attempt);
+    // An injected timeout stands in for a solver stalling until its
+    // deadline; charge that stall so budget exhaustion is reachable.
+    if (R.Failure == FailureKind::Timeout)
+      Spec.Budget->charge(Info.TimeoutMs);
+    handleResult(St, Info, R);
+    return;
+  }
+
+  SmtSolver S;
+  S.setTimeoutMs(Info.TimeoutMs);
+  if (Spec.Policy.ReseedOnRetry && Attempt > 1)
+    S.setRandomSeed(Info.Seed);
+  Spec.Build(S, Info);
+  if (Spec.Sandbox.Enabled && !S.hasLoweringError()) {
+    SandboxRequest Req;
+    Req.Smt2 = S.toSmt2();
+    Req.TimeoutMs = Info.TimeoutMs;
+    Req.MemLimitMb = Spec.Sandbox.MemLimitMb;
+    Req.Seed = Info.Seed;
+    Req.HasSeed = Spec.Policy.ReseedOnRetry && Attempt > 1;
+    if (F)
+      Req.Fault = F->Kind == FailureKind::SolverCrash ? SandboxFault::Crash
+                                                      : SandboxFault::Oom;
+    auto OnWorker = [this, St, Info](const SmtResult &R) {
+      handleResult(St, Info, R);
+    };
+    // Retries jump the queue so an in-flight obligation finishes before
+    // fresh ones start — at one slot this reproduces the sequential
+    // schedule exactly. Urgent obligations (vacuity probes) jump too.
+    if (Attempt > 1 || Spec.Urgent)
+      Pool.submitFront(std::move(Req), std::move(OnWorker));
+    else
+      Pool.submit(std::move(Req), std::move(OnWorker));
+  } else {
+    // In-process (no sandbox) or a deterministic lowering error: solve
+    // synchronously on the event-loop thread, like the classic path.
+    handleResult(St, Info, S.check());
+  }
+}
+
+void DispatchEngine::handleResult(const StatePtr &St, const AttemptInfo &Info,
+                                  const SmtResult &R) {
+  if (St->Finished)
+    return;
+  St->Out.Attempts = Info.Index;
+  St->Out.DegradeLevel = Info.DegradeLevel;
+  St->Out.Seconds += R.Seconds;
+  St->Out.Status = R.Status;
+  St->Out.Failure = R.Failure;
+  St->Out.Detail = R.Detail;
+  St->Out.ModelText = R.ModelText;
+
+  if (R.Status != SmtStatus::Unknown) {
+    finish(St); // definitive (proved or counterexample)
+    return;
+  }
+  if (!ResilientSolver::retryable(R.Failure)) {
+    finish(St); // e.g. lowering error: retrying cannot help
+    return;
+  }
+  if (Info.Index >= St->MaxTotal) {
+    finish(St); // ladder exhausted; report the last failure
+    return;
+  }
+  startAttempt(St, Info.Index + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Portfolio shape: race the tactic rungs, cancel the losers
+//===----------------------------------------------------------------------===//
+
+void DispatchEngine::startPortfolio(const StatePtr &St) {
+  ObligationSpec &Spec = St->Spec;
+  if (Spec.Budget->exhausted()) {
+    finishBudgetExhausted(St);
+    return;
+  }
+
+  const unsigned Rungs =
+      1 + (Spec.Policy.DegradeTactics ? Spec.Policy.DegradeLevels : 0);
+  // Guard racer so a rung that resolves *synchronously* during this loop
+  // (short-circuited injection, lowering error) cannot see RacersPending
+  // drop to zero and report "all rungs failed" before the later rungs were
+  // even submitted.
+  ++St->RacersPending;
+  for (unsigned Rung = 0; Rung != Rungs && !St->Finished; ++Rung) {
+    AttemptInfo Info;
+    Info.Index = Rung + 1;
+    Info.DegradeLevel = Rung;
+    // Every rung gets the full per-obligation ceiling: the race replaces
+    // deadline escalation, it does not stack on top of it.
+    Info.TimeoutMs = Spec.Policy.MaxTimeoutMs;
+    if (!Spec.Budget->unlimited())
+      Info.TimeoutMs = std::min(Info.TimeoutMs, Spec.Budget->remainingMs());
+    if (Info.TimeoutMs == 0)
+      Info.TimeoutMs = 1;
+    Info.Seed = Spec.Policy.BaseSeed + 7919 * Rung;
+
+    std::optional<Fault> F = Spec.Inject.faultFor(Rung + 1);
+    if (F && !F->InWorker) {
+      SmtResult R = injectedResult(*F, Rung + 1);
+      if (R.Failure == FailureKind::Timeout)
+        Spec.Budget->charge(Info.TimeoutMs);
+      ++St->RacersPending;
+      ++St->RungsRun;
+      handleRungResult(St, Info, R);
+      continue;
+    }
+
+    SmtSolver S;
+    S.setTimeoutMs(Info.TimeoutMs);
+    if (Spec.Policy.ReseedOnRetry && Rung > 0)
+      S.setRandomSeed(Info.Seed);
+    Spec.Build(S, Info);
+    if (S.hasLoweringError()) {
+      ++St->RacersPending;
+      ++St->RungsRun;
+      handleRungResult(St, Info, S.check());
+      continue;
+    }
+
+    SandboxRequest Req;
+    Req.Smt2 = S.toSmt2();
+    Req.TimeoutMs = Info.TimeoutMs;
+    Req.MemLimitMb = Spec.Sandbox.MemLimitMb;
+    Req.Seed = Info.Seed;
+    Req.HasSeed = Spec.Policy.ReseedOnRetry && Rung > 0;
+    if (F)
+      Req.Fault = F->Kind == FailureKind::SolverCrash ? SandboxFault::Crash
+                                                      : SandboxFault::Oom;
+    ++St->RacersPending;
+    ++St->RungsRun;
+    auto OnWorker = [this, St, Info](const SmtResult &R) {
+      handleRungResult(St, Info, R);
+    };
+    TaskId Id = Spec.Urgent ? Pool.submitFront(std::move(Req), OnWorker)
+                            : Pool.submit(std::move(Req), OnWorker);
+    St->Racing.push_back(Id);
+  }
+  --St->RacersPending;
+  // Every rung resolved synchronously (injection short-circuits, lowering
+  // errors) and none decisively: report now — no worker will call back.
+  if (!St->Finished && St->RacersPending == 0 && St->RungsRun > 0)
+    finishAllRungsFailed(St);
+}
+
+void DispatchEngine::finishAllRungsFailed(const StatePtr &St) {
+  // Report the full-tactics rung's failure (the one a sequential ladder
+  // would have hit first); fall back to the last rung's otherwise.
+  const SmtResult &Rep =
+      St->HaveRung0Failure ? St->Rung0Failure : St->LastFailure;
+  St->Out.Attempts = St->RungsRun;
+  St->Out.DegradeLevel = St->HaveRung0Failure ? 0 : St->LastFailureLevel;
+  St->Out.Status = Rep.Status;
+  St->Out.Failure = Rep.Failure;
+  St->Out.Detail = Rep.Detail;
+  St->Out.ModelText = Rep.ModelText;
+  finish(St);
+}
+
+void DispatchEngine::handleRungResult(const StatePtr &St,
+                                      const AttemptInfo &Info,
+                                      const SmtResult &R) {
+  if (St->Finished)
+    return; // a loser that classified in the same poll round as the winner
+  --St->RacersPending;
+  St->Out.Seconds += R.Seconds;
+
+  const bool Decisive = R.Status != SmtStatus::Unknown ||
+                        !ResilientSolver::retryable(R.Failure);
+  if (Decisive) {
+    St->Out.Attempts = St->RungsRun;
+    St->Out.DegradeLevel = Info.DegradeLevel;
+    St->Out.Status = R.Status;
+    St->Out.Failure = R.Failure;
+    St->Out.Detail = R.Detail;
+    St->Out.ModelText = R.ModelText;
+    // SIGKILL the losing rungs; their completions never run.
+    for (TaskId Id : St->Racing)
+      Pool.cancel(Id);
+    St->Racing.clear();
+    finish(St);
+    return;
+  }
+
+  if (Info.DegradeLevel == 0) {
+    St->HaveRung0Failure = true;
+    St->Rung0Failure = R;
+  }
+  St->LastFailure = R;
+  St->LastFailureLevel = Info.DegradeLevel;
+  if (St->RacersPending == 0)
+    finishAllRungsFailed(St); // every rung failed retryably
+}

@@ -1,0 +1,104 @@
+//===--- dispatch.h - Obligation-level parallel dispatch --------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The obligation-level logic on top of the worker pool (sched/pool.h):
+/// each submitted obligation runs the same retry/escalation/degradation
+/// ladder as the classic `ResilientSolver::dispatch` — same `RetryPolicy`,
+/// same `FaultPlan` hooks, same `DeadlineBudget` accounting, same failure
+/// taxonomy — but asynchronously, so N obligations' workers can be in
+/// flight at once. `ResilientSolver::dispatch` itself is now the one-slot
+/// special case of this engine, which is what guarantees `--jobs N` and
+/// `--jobs 1` agree attempt for attempt.
+///
+/// Two dispatch shapes:
+///
+///  * **Ladder** (default): attempts run one at a time per obligation, with
+///    escalating deadlines, reseeding, then tactic degradation; retries are
+///    submitted at the front of the queue so in-flight obligations finish
+///    before fresh ones start.
+///  * **Portfolio** (`--portfolio`): the tactic ladder's rungs (full
+///    tactics, then each degradation level) race concurrently for one
+///    obligation; the first definitive answer wins and the losing workers
+///    are SIGKILLed via `Scheduler::cancel`. If every rung fails retryably,
+///    the full-tactics rung's failure is reported.
+///
+/// Solving happens in sandboxed workers whenever `Sandbox.Enabled`; without
+/// a sandbox an attempt solves in-process, synchronously, on the event-loop
+/// thread — the classic single-threaded path (`--jobs 1` without
+/// `--isolate`). Lowering errors and short-circuited injected faults never
+/// fork either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SCHED_DISPATCH_H
+#define DRYAD_SCHED_DISPATCH_H
+
+#include "sched/pool.h"
+#include "smt/inject.h"
+#include "smt/resilient.h"
+
+#include <memory>
+
+namespace dryad {
+
+/// Everything one obligation's dispatch needs. `Build` populates a fresh
+/// solver per attempt (it is called on the event-loop thread, so it may
+/// touch shared verifier state without locking).
+struct ObligationSpec {
+  std::string Name; ///< diagnostics only
+  RetryPolicy Policy;
+  FaultPlan Inject;
+  SandboxOptions Sandbox;
+  ResilientSolver::Builder Build;
+  DeadlineBudget *Budget = nullptr; ///< required; owned by the caller
+  /// Race the tactic rungs instead of walking the ladder. Requires
+  /// Sandbox.Enabled (racing needs processes); ignored otherwise.
+  bool Portfolio = false;
+  /// First attempt jumps the pool queue — for dependent follow-ups (e.g.
+  /// vacuity probes) that must run before fresh obligations to preserve
+  /// the sequential schedule at one slot.
+  bool Urgent = false;
+};
+
+class DispatchEngine {
+public:
+  /// Runs on the event-loop thread when the obligation's ladder or
+  /// portfolio concludes. May submit further obligations.
+  using OnDone = std::function<void(const DispatchResult &)>;
+
+  explicit DispatchEngine(Scheduler &Pool) : Pool(Pool) {}
+
+  /// Starts one obligation. Attempts that need no worker (no sandbox,
+  /// lowering errors, short-circuited injected faults) run synchronously —
+  /// `Done` may fire before this returns.
+  void submit(ObligationSpec Spec, OnDone Done);
+
+  /// Drives the pool until every submitted obligation has concluded.
+  void drain() { Pool.run(); }
+
+  Scheduler &pool() { return Pool; }
+
+private:
+  struct ObState;
+  using StatePtr = std::shared_ptr<ObState>;
+
+  void startAttempt(const StatePtr &St, unsigned Attempt);
+  void handleResult(const StatePtr &St, const AttemptInfo &Info,
+                    const SmtResult &R);
+  void startPortfolio(const StatePtr &St);
+  void handleRungResult(const StatePtr &St, const AttemptInfo &Info,
+                        const SmtResult &R);
+  void finishAllRungsFailed(const StatePtr &St);
+  void finishBudgetExhausted(const StatePtr &St);
+  void finish(const StatePtr &St);
+
+  Scheduler &Pool;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SCHED_DISPATCH_H

@@ -1,0 +1,130 @@
+//===--- pool.cpp - Parallel proof scheduler worker pool --------------------===//
+
+#include "sched/pool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+
+#include <poll.h>
+
+using namespace dryad;
+
+Scheduler::Scheduler(unsigned Jobs) : Slots(Jobs == 0 ? 1 : Jobs) {}
+
+Scheduler::~Scheduler() {
+  // Abandoned run (exception unwound through run(), or run() never called):
+  // never leave zombies or orphaned solvers behind.
+  for (RunningTask &T : Active) {
+    killWorker(T.W, /*AtDeadline=*/false);
+    finishWorker(T.W);
+  }
+}
+
+TaskId Scheduler::submit(SandboxRequest Req, Completion Done) {
+  TaskId Id = NextId++;
+  Pending.push_back({Id, std::move(Req), std::move(Done)});
+  return Id;
+}
+
+TaskId Scheduler::submitFront(SandboxRequest Req, Completion Done) {
+  TaskId Id = NextId++;
+  Pending.push_front({Id, std::move(Req), std::move(Done)});
+  return Id;
+}
+
+bool Scheduler::cancel(TaskId Id) {
+  for (auto It = Pending.begin(); It != Pending.end(); ++It)
+    if (It->Id == Id) {
+      Pending.erase(It);
+      return true;
+    }
+  for (auto It = Active.begin(); It != Active.end(); ++It)
+    if (It->Id == Id) {
+      killWorker(It->W, /*AtDeadline=*/false);
+      finishWorker(It->W); // reap; the result is deliberately discarded
+      Active.erase(It);
+      return true;
+    }
+  return false;
+}
+
+void Scheduler::fill() {
+  while (Active.size() < Slots && !Pending.empty()) {
+    PendingTask T = std::move(Pending.front());
+    Pending.pop_front();
+    WorkerHandle W = spawnWorker(T.Req);
+    if (W.SpawnFailed) {
+      // fork/pipe exhaustion: classify and complete right here. The
+      // completion may re-submit (the retry ladder treats this as a
+      // SolverCrash), which lands back in Pending for the next fill pass.
+      SmtResult R = finishWorker(W);
+      T.Done(R);
+      continue;
+    }
+    Active.push_back({T.Id, std::move(W), std::move(T.Done)});
+  }
+}
+
+void Scheduler::run() {
+  std::vector<pollfd> PFs;
+  std::vector<RunningTask> Finished;
+  for (;;) {
+    fill();
+    if (Active.empty()) {
+      if (Pending.empty())
+        return;
+      continue; // spawn-failure completions re-queued work
+    }
+
+    // One poll over every live worker, bounded by the nearest deadline.
+    PFs.clear();
+    int PollMs = -1;
+    auto Now = std::chrono::steady_clock::now();
+    for (const RunningTask &T : Active) {
+      pollfd PF;
+      PF.fd = T.W.Fd;
+      PF.events = POLLIN;
+      PF.revents = 0;
+      PFs.push_back(PF);
+      if (T.W.HasDeadline) {
+        auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          T.W.Deadline - Now)
+                          .count();
+        int Ms = Remain <= 0 ? 0 : static_cast<int>(Remain);
+        if (PollMs < 0 || Ms < PollMs)
+          PollMs = Ms;
+      }
+    }
+    int PR = poll(PFs.data(), PFs.size(), PollMs);
+    if (PR < 0 && errno == EINTR)
+      continue;
+
+    // Drain readable pipes, then fire any expired deadlines.
+    for (size_t I = 0; I != Active.size(); ++I)
+      if (PFs[I].revents & (POLLIN | POLLHUP | POLLERR))
+        pumpWorker(Active[I].W);
+    Now = std::chrono::steady_clock::now();
+    for (RunningTask &T : Active)
+      if (!T.W.Eof && T.W.HasDeadline && Now >= T.W.Deadline)
+        killWorker(T.W, /*AtDeadline=*/true);
+
+    // Extract finished workers *before* running completions: a completion
+    // may submit new tasks or cancel running siblings, both of which
+    // mutate the active list. Classification order is submission order
+    // among the workers that finished in this poll round, so completion
+    // order is deterministic given worker fates.
+    Finished.clear();
+    for (auto It = Active.begin(); It != Active.end();)
+      if (It->W.Eof || It->W.KilledByDeadline) {
+        Finished.push_back(std::move(*It));
+        It = Active.erase(It);
+      } else {
+        ++It;
+      }
+    for (RunningTask &T : Finished) {
+      SmtResult R = finishWorker(T.W);
+      T.Done(R);
+    }
+  }
+}

@@ -1,0 +1,111 @@
+//===--- pool.h - Parallel proof scheduler worker pool ----------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A worker-pool scheduler over the solver sandbox: every submitted task is
+/// one SMT-LIB2 benchmark discharged in its own forked, rlimited worker
+/// (smt/sandbox.h), and up to `--jobs N` workers run concurrently under a
+/// single poll(2)-based event loop in the parent.
+///
+/// The parent stays single-threaded. All concurrency is between worker
+/// *processes*; completions, retries, journal appends, and report assembly
+/// all run on the event-loop thread, so no locking is needed anywhere and a
+/// worker's SIGSEGV can never take down its siblings (they are separate
+/// processes) or the run (the parent only classifies wait statuses).
+///
+/// Scheduling discipline:
+///
+///  * `submit` queues FIFO — fresh obligations run in submission order, the
+///    deterministic order the verifier plans them in;
+///  * `submitFront` jumps the queue — retries of an in-flight obligation
+///    and dependent follow-ups (vacuity probes) run before fresh work, so a
+///    one-slot pool reproduces the classic sequential schedule exactly;
+///  * per-worker wall-clock deadlines are enforced from the event loop with
+///    SIGKILL, and the fate classification (crash / oom / timeout / payload
+///    result) is the sandbox's own `finishWorker`, unchanged;
+///  * `cancel` revokes a queued task or SIGKILLs a running one without
+///    invoking its completion — how portfolio mode kills losing rungs.
+///
+/// Completions may submit new tasks and cancel others; the loop runs until
+/// no queued or running work remains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SCHED_POOL_H
+#define DRYAD_SCHED_POOL_H
+
+#include "smt/sandbox.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace dryad {
+
+/// Identifies one submitted task for cancellation. Never reused within a
+/// scheduler's lifetime.
+using TaskId = uint64_t;
+
+class Scheduler {
+public:
+  /// Runs on the event-loop thread once the task's worker fate has been
+  /// classified. May submit further tasks and cancel others.
+  using Completion = std::function<void(const SmtResult &)>;
+
+  /// \p Jobs concurrent worker slots (clamped to at least 1).
+  explicit Scheduler(unsigned Jobs);
+  ~Scheduler();
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  unsigned jobs() const { return Slots; }
+
+  /// Queues one sandboxed solve behind all earlier submissions.
+  TaskId submit(SandboxRequest Req, Completion Done);
+
+  /// Queues one sandboxed solve ahead of everything still pending: the next
+  /// attempt of an obligation the pool already started, or a dependent
+  /// follow-up that must not wait behind fresh work.
+  TaskId submitFront(SandboxRequest Req, Completion Done);
+
+  /// Cancels a queued or running task; its completion will never run. A
+  /// running worker is SIGKILLed and reaped. Returns false when the id is
+  /// unknown or already finished.
+  bool cancel(TaskId Id);
+
+  /// Drives the poll(2) event loop until every task — including ones
+  /// submitted from completions — has finished or been cancelled.
+  void run();
+
+  /// True when no task is queued or running.
+  bool idle() const { return Pending.empty() && Active.empty(); }
+
+private:
+  struct PendingTask {
+    TaskId Id;
+    SandboxRequest Req;
+    Completion Done;
+  };
+  struct RunningTask {
+    TaskId Id;
+    WorkerHandle W;
+    Completion Done;
+  };
+
+  /// Spawns workers for queued tasks while slots are free. Spawn failures
+  /// complete immediately with the sandbox's infrastructure result.
+  void fill();
+
+  unsigned Slots;
+  TaskId NextId = 1;
+  std::deque<PendingTask> Pending;
+  std::vector<RunningTask> Active;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SCHED_POOL_H

@@ -2,7 +2,7 @@
 
 #include "smt/resilient.h"
 
-#include <algorithm>
+#include "sched/dispatch.h"
 
 using namespace dryad;
 
@@ -35,80 +35,22 @@ bool ResilientSolver::retryable(FailureKind K) {
 }
 
 DispatchResult ResilientSolver::dispatch(const Builder &Build) {
+  // The one-slot special case of the parallel dispatch engine: a pool with
+  // a single worker slot reproduces the classic sequential retry schedule
+  // (sched/dispatch.h documents why), so every code path here is the same
+  // one `--jobs N` exercises.
+  Scheduler Pool(1);
+  DispatchEngine Engine(Pool);
+
+  ObligationSpec Spec;
+  Spec.Policy = Policy;
+  Spec.Inject = Plan;
+  Spec.Sandbox = Sandbox;
+  Spec.Build = Build;
+  Spec.Budget = &Budget;
+
   DispatchResult Out;
-  const unsigned Scheduled = Policy.MaxAttempts == 0 ? 1 : Policy.MaxAttempts;
-  const unsigned Degraded = Policy.DegradeTactics ? Policy.DegradeLevels : 0;
-  const unsigned MaxTotal = Scheduled + Degraded;
-
-  for (unsigned Attempt = 1; Attempt <= MaxTotal; ++Attempt) {
-    if (Budget.exhausted()) {
-      Out.Status = SmtStatus::Unknown;
-      Out.Failure = FailureKind::Timeout;
-      Out.Detail = "procedure deadline budget exhausted after " +
-                   std::to_string(Out.Attempts) + " attempt(s)" +
-                   (Out.Detail.empty() ? "" : "; last: " + Out.Detail);
-      return Out;
-    }
-
-    AttemptInfo Info;
-    Info.Index = Attempt;
-    // Degraded attempts run after the scheduled ones, each with the full
-    // remaining deadline: the point is a smaller problem, not a longer wait.
-    Info.DegradeLevel = Attempt <= Scheduled ? 0 : Attempt - Scheduled;
-    Info.TimeoutMs =
-        Policy.timeoutForAttempt(Attempt <= Scheduled ? Attempt : Scheduled);
-    if (!Budget.unlimited())
-      Info.TimeoutMs = std::min(Info.TimeoutMs, Budget.remainingMs());
-    if (Info.TimeoutMs == 0)
-      Info.TimeoutMs = 1;
-    Info.Seed = Policy.BaseSeed + 7919 * (Attempt - 1);
-
-    SmtResult R;
-    std::optional<Fault> F = Plan.faultFor(Attempt);
-    // Worker-realized faults (crash@N / oom@N) only short-circuit when
-    // there is no sandbox to realize them in; under isolation they travel
-    // into the forked worker so the parent-side classification is what the
-    // test exercises.
-    if (F && !(Sandbox.Enabled && F->InWorker)) {
-      R = injectedResult(*F, Attempt);
-      // An injected timeout stands in for a solver stalling until its
-      // deadline; charge that stall so budget exhaustion is reachable.
-      if (R.Failure == FailureKind::Timeout)
-        Budget.charge(Info.TimeoutMs);
-    } else {
-      SmtSolver S;
-      S.setTimeoutMs(Info.TimeoutMs);
-      if (Policy.ReseedOnRetry && Attempt > 1)
-        S.setRandomSeed(Info.Seed);
-      Build(S, Info);
-      if (Sandbox.Enabled && !S.hasLoweringError()) {
-        SandboxRequest Req;
-        Req.Smt2 = S.toSmt2();
-        Req.TimeoutMs = Info.TimeoutMs;
-        Req.MemLimitMb = Sandbox.MemLimitMb;
-        Req.Seed = Info.Seed;
-        Req.HasSeed = Policy.ReseedOnRetry && Attempt > 1;
-        if (F)
-          Req.Fault = F->Kind == FailureKind::SolverCrash ? SandboxFault::Crash
-                                                          : SandboxFault::Oom;
-        R = solveInSandbox(Req);
-      } else {
-        R = S.check();
-      }
-    }
-
-    Out.Attempts = Attempt;
-    Out.DegradeLevel = Info.DegradeLevel;
-    Out.Seconds += R.Seconds;
-    Out.Status = R.Status;
-    Out.Failure = R.Failure;
-    Out.Detail = R.Detail;
-    Out.ModelText = R.ModelText;
-
-    if (R.Status != SmtStatus::Unknown)
-      return Out; // definitive (proved or counterexample)
-    if (!retryable(R.Failure))
-      return Out; // e.g. lowering error: retrying cannot help
-  }
+  Engine.submit(std::move(Spec), [&Out](const DispatchResult &R) { Out = R; });
+  Engine.drain();
   return Out;
 }

@@ -142,7 +142,10 @@ public:
   /// retryable() treats it like a timeout. See smt/sandbox.h.
   void setSandbox(SandboxOptions O) { Sandbox = O; }
 
-  /// Runs the retry/escalation/degradation loop for one obligation.
+  /// Runs the retry/escalation/degradation ladder for one obligation.
+  /// Implemented as the one-slot special case of the parallel dispatch
+  /// engine (sched/dispatch.h), so the sequential and `--jobs N` paths are
+  /// the same code.
   DispatchResult dispatch(const Builder &Build);
 
   /// Whether a failure of kind \p K can be cured by retrying (with a longer

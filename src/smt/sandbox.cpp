@@ -238,112 +238,110 @@ void writeAll(int Fd, const std::string &Data) {
   _exit(0);
 }
 
+} // namespace
+
 //===----------------------------------------------------------------------===//
 // Parent side
 //===----------------------------------------------------------------------===//
 
-SmtResult setupFailure(const char *What) {
-  SmtResult R;
-  R.Status = SmtStatus::Unknown;
-  R.Failure = FailureKind::SolverCrash;
-  R.Detail = std::string("sandbox setup failed: ") + What + ": " +
-             std::strerror(errno);
-  R.ModelText = R.Detail;
-  return R;
-}
+WorkerHandle dryad::spawnWorker(const SandboxRequest &Req) {
+  WorkerHandle W;
+  W.Start = std::chrono::steady_clock::now();
+  W.TimeoutMs = Req.TimeoutMs;
+  W.MemLimitMb = Req.MemLimitMb;
+  if (Req.TimeoutMs != 0) {
+    // The deadline includes a grace window past the solver's soft timeout
+    // so a healthy worker gets to report its own `unknown (timeout)`.
+    W.HasDeadline = true;
+    W.Deadline = W.Start + std::chrono::milliseconds(Req.TimeoutMs +
+                                                     WallGraceMs);
+  }
 
-} // namespace
-
-SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
-  auto Start = std::chrono::steady_clock::now();
   int Fds[2];
-  if (pipe(Fds) != 0)
-    return setupFailure("pipe");
-
+  if (pipe(Fds) != 0) {
+    W.SpawnFailed = true;
+    W.FailReason = std::string("pipe: ") + std::strerror(errno);
+    return W;
+  }
   pid_t Pid = fork();
   if (Pid < 0) {
     close(Fds[0]);
     close(Fds[1]);
-    return setupFailure("fork");
+    W.SpawnFailed = true;
+    W.FailReason = std::string("fork: ") + std::strerror(errno);
+    return W;
   }
   if (Pid == 0) {
     close(Fds[0]);
     childMain(Req, Fds[1]); // never returns
   }
   close(Fds[1]);
+  W.Pid = Pid;
+  W.Fd = Fds[0];
+  return W;
+}
 
-  // Drain the pipe until EOF or the wall deadline. The deadline includes a
-  // grace window past the solver's soft timeout so a healthy worker gets to
-  // report its own `unknown (timeout)`.
-  auto Deadline = Start + std::chrono::milliseconds(Req.TimeoutMs == 0
-                                                        ? 0
-                                                        : Req.TimeoutMs +
-                                                              WallGraceMs);
-  std::string Payload;
-  bool KilledByDeadline = false;
+bool dryad::pumpWorker(WorkerHandle &W) {
+  if (W.Eof || W.Fd < 0)
+    return true;
   char Buf[4096];
-  for (;;) {
-    int PollMs = -1;
-    if (Req.TimeoutMs != 0) {
-      auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
-                        Deadline - std::chrono::steady_clock::now())
-                        .count();
-      if (Remain <= 0) {
-        kill(Pid, SIGKILL);
-        KilledByDeadline = true;
-        break;
-      }
-      PollMs = static_cast<int>(Remain);
-    }
-    pollfd PF;
-    PF.fd = Fds[0];
-    PF.events = POLLIN;
-    PF.revents = 0;
-    int PR = poll(&PF, 1, PollMs);
-    if (PR == 0) {
-      kill(Pid, SIGKILL);
-      KilledByDeadline = true;
-      break;
-    }
-    if (PR < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
-    }
-    ssize_t N = read(Fds[0], Buf, sizeof(Buf));
-    if (N > 0) {
-      Payload.append(Buf, static_cast<size_t>(N));
-    } else if (N == 0) {
-      break; // EOF: the worker closed its end (exit or death)
-    } else if (errno != EINTR) {
-      break;
-    }
+  ssize_t N = read(W.Fd, Buf, sizeof(Buf));
+  if (N > 0) {
+    W.Payload.append(Buf, static_cast<size_t>(N));
+  } else if (N == 0) {
+    W.Eof = true; // the worker closed its end (exit or death)
+  } else if (errno != EINTR) {
+    // A broken pipe read is terminal too: stop pumping and let the wait
+    // status classify whatever happened to the worker.
+    W.Eof = true;
   }
-  close(Fds[0]);
+  return W.Eof;
+}
 
+void dryad::killWorker(WorkerHandle &W, bool AtDeadline) {
+  if (W.Pid > 0)
+    kill(W.Pid, SIGKILL);
+  if (AtDeadline)
+    W.KilledByDeadline = true;
+}
+
+SmtResult dryad::finishWorker(WorkerHandle &W) {
+  if (W.SpawnFailed) {
+    SmtResult R;
+    R.Status = SmtStatus::Unknown;
+    R.Failure = FailureKind::SolverCrash;
+    R.Detail = "sandbox setup failed: " + W.FailReason;
+    R.ModelText = R.Detail;
+    return R;
+  }
+  if (W.Fd >= 0) {
+    close(W.Fd);
+    W.Fd = -1;
+  }
   int WStatus = 0;
-  while (waitpid(Pid, &WStatus, 0) < 0 && errno == EINTR)
+  while (waitpid(W.Pid, &WStatus, 0) < 0 && errno == EINTR)
     ;
+  W.Pid = -1;
 
   SmtResult R;
   R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            Start)
+                                            W.Start)
                   .count();
 
-  if (!KilledByDeadline && WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 0 &&
-      decodePayload(Payload, R))
+  if (!W.KilledByDeadline && WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 0 &&
+      decodePayload(W.Payload, R))
     return R;
 
   R.Status = SmtStatus::Unknown;
-  if (KilledByDeadline) {
+  if (W.KilledByDeadline) {
     R.Failure = FailureKind::Timeout;
-    R.Detail = "solver worker killed at the " + std::to_string(Req.TimeoutMs) +
+    R.Detail = "solver worker killed at the " + std::to_string(W.TimeoutMs) +
                " ms wall-clock deadline";
   } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitOom) {
     R.Failure = FailureKind::ResourceOut;
     R.Detail = "solver worker exceeded its memory limit";
-    if (Req.MemLimitMb)
-      R.Detail += " (RLIMIT_AS " + std::to_string(Req.MemLimitMb) + " MiB)";
+    if (W.MemLimitMb)
+      R.Detail += " (RLIMIT_AS " + std::to_string(W.MemLimitMb) + " MiB)";
   } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitSetup) {
     R.Failure = FailureKind::SolverCrash;
     R.Detail = "solver worker could not apply its resource limits "
@@ -352,7 +350,9 @@ SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
     int Sig = WTERMSIG(WStatus);
     if (Sig == SIGXCPU || Sig == SIGKILL) {
       // SIGKILL we did not send is the kernel's: the CPU rlimit's hard cap
-      // or the OOM killer — resource exhaustion either way.
+      // or the OOM killer — resource exhaustion either way. (A portfolio
+      // cancellation is also a parent SIGKILL, but cancelled workers'
+      // results are discarded, so the label never surfaces for them.)
       R.Failure = FailureKind::ResourceOut;
       R.Detail = std::string("solver worker killed by resource limit (") +
                  strsignal(Sig) + ")";
@@ -369,4 +369,37 @@ SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
   }
   R.ModelText = R.Detail;
   return R;
+}
+
+SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
+  WorkerHandle W = spawnWorker(Req);
+  while (W.running()) {
+    int PollMs = -1;
+    if (W.HasDeadline) {
+      auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        W.Deadline - std::chrono::steady_clock::now())
+                        .count();
+      if (Remain <= 0) {
+        killWorker(W, /*AtDeadline=*/true);
+        break;
+      }
+      PollMs = static_cast<int>(Remain);
+    }
+    pollfd PF;
+    PF.fd = W.Fd;
+    PF.events = POLLIN;
+    PF.revents = 0;
+    int PR = poll(&PF, 1, PollMs);
+    if (PR == 0) {
+      killWorker(W, /*AtDeadline=*/true);
+      break;
+    }
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    pumpWorker(W);
+  }
+  return finishWorker(W);
 }

@@ -45,7 +45,10 @@
 
 #include "smt/solver.h"
 
+#include <chrono>
 #include <string>
+
+#include <sys/types.h>
 
 namespace dryad {
 
@@ -78,8 +81,64 @@ struct SandboxRequest {
   SandboxFault Fault = SandboxFault::None;
 };
 
-/// Runs one query in a forked, rlimited worker and classifies its fate.
-/// Never throws; infrastructure problems (fork/pipe failure) surface as
+/// A live (or failed-to-spawn) sandboxed worker, owned by whoever forked
+/// it. The synchronous `solveInSandbox` drives exactly one handle; the
+/// parallel scheduler (src/sched/pool.*) multiplexes many of them under a
+/// single poll(2) event loop. The protocol is:
+///
+///   WorkerHandle W = spawnWorker(Req);     // fork + pipe
+///   while worker alive:
+///     poll(W.Fd) or wall-deadline check    // owner's event loop
+///     pumpWorker(W) when readable          // drains payload; sets Eof
+///     killWorker(W, true) past W.Deadline  // SIGKILL -> Timeout
+///   SmtResult R = finishWorker(W);         // reap + classify, exactly once
+///
+/// All bookkeeping the parent needs — payload bytes, deadline, whether the
+/// SIGKILL was ours — lives in the handle, so classification in
+/// finishWorker() is identical no matter which event loop drove the worker.
+struct WorkerHandle {
+  pid_t Pid = -1;
+  int Fd = -1; ///< parent's read end of the result pipe
+  std::chrono::steady_clock::time_point Start;
+  /// Wall-clock instant after which the owner must killWorker(); only
+  /// meaningful when HasDeadline (TimeoutMs != 0 in the request).
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+  unsigned TimeoutMs = 0;   ///< echoed from the request, for classification
+  unsigned MemLimitMb = 0;  ///< echoed from the request, for classification
+  std::string Payload;      ///< result bytes drained so far
+  bool Eof = false;         ///< worker closed its end (exit or death)
+  bool KilledByDeadline = false;
+  bool SpawnFailed = false; ///< fork/pipe failed; FailReason says why
+  std::string FailReason;
+
+  /// True while the owner must keep polling: spawned, not yet at EOF, and
+  /// not yet killed at its deadline.
+  bool running() const { return !SpawnFailed && !Eof && !KilledByDeadline; }
+};
+
+/// Forks one rlimited worker for \p Req and returns immediately. On
+/// fork/pipe failure the handle comes back with SpawnFailed set and
+/// finishWorker() will classify it as a SolverCrash infrastructure result.
+WorkerHandle spawnWorker(const SandboxRequest &Req);
+
+/// Drains available payload bytes (one read). Call when the owner's poll
+/// reports W.Fd readable. Returns true once the pipe reached EOF.
+bool pumpWorker(WorkerHandle &W);
+
+/// SIGKILLs the worker. \p AtDeadline records that this was the parent's
+/// wall-clock deadline firing, which finishWorker() classifies as Timeout;
+/// a plain kill (portfolio-loser cancellation) is classified from the wait
+/// status like any other signal death.
+void killWorker(WorkerHandle &W, bool AtDeadline);
+
+/// Closes the pipe, reaps the child, and maps its fate onto the failure
+/// taxonomy (see the table above). Call exactly once per spawned handle.
+SmtResult finishWorker(WorkerHandle &W);
+
+/// Runs one query in a forked, rlimited worker and classifies its fate —
+/// the one-worker special case of the spawn/await API above. Never throws;
+/// infrastructure problems (fork/pipe failure) surface as
 /// FailureKind::SolverCrash results.
 SmtResult solveInSandbox(const SandboxRequest &Req);
 

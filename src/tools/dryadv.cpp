@@ -15,6 +15,14 @@
 //                         worker process: a solver segfault or runaway
 //                         allocation fails (and retries) one attempt
 //                         instead of killing the run
+//   --jobs <n>            discharge up to <n> obligations concurrently in
+//                         sandboxed workers (implies --isolate when > 1);
+//                         0 = one per hardware thread. Verdicts, report
+//                         ordering, and --dump-smt2 file sets are identical
+//                         to --jobs 1
+//   --portfolio           race the natural-proof tactic rungs per
+//                         obligation and take the first definitive answer,
+//                         killing the losers (implies --isolate)
 //   --mem-limit-mb <mb>   RLIMIT_AS cap for isolated workers; 0 = no cap
 //   --journal <file>      append every obligation outcome to a crash-safe
 //                         JSONL journal (write-then-flush per record)
@@ -44,6 +52,7 @@
 #include <cstdio>
 #include <cstring>
 #include <optional>
+#include <thread>
 
 using namespace dryad;
 
@@ -71,6 +80,15 @@ int main(int Argc, char **Argv) {
       Opts.Inject = *Plan;
     } else if (!std::strcmp(Argv[I], "--isolate"))
       Opts.Isolate = true;
+    else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
+      Opts.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (Opts.Jobs == 0) {
+        Opts.Jobs = std::thread::hardware_concurrency();
+        if (Opts.Jobs == 0)
+          Opts.Jobs = 1;
+      }
+    } else if (!std::strcmp(Argv[I], "--portfolio"))
+      Opts.Portfolio = true;
     else if (!std::strcmp(Argv[I], "--mem-limit-mb") && I + 1 < Argc)
       Opts.MemLimitMb = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--journal") && I + 1 < Argc)

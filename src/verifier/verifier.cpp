@@ -3,11 +3,13 @@
 #include "verifier/verifier.h"
 
 #include "lang/paths.h"
+#include "sched/dispatch.h"
 #include "support/hash.h"
 #include "vcgen/vc.h"
 
 #include <algorithm>
 #include <array>
+#include <deque>
 #include <fstream>
 #include <optional>
 
@@ -36,6 +38,26 @@ std::string dumpFileStem(const std::string &Name) {
       C = '_';
   return File + "-" + hex64(fnv1a64(Name), 8);
 }
+
+/// Per-path verification state. Lives in a std::deque for the whole
+/// plan/submit/collect cycle, so pointers into it (result slots, the VC,
+/// the strengthening cache) stay valid while completions fire.
+struct PathWork {
+  std::optional<VCond> VC;
+  /// Strengthening per degradation level, built lazily and cached: level 0
+  /// is the configured tactic set, level 1 drops axiom instantiation,
+  /// level 2 also drops frames. Unfolding is never dropped. Shared by every
+  /// obligation of the path; only touched from the event-loop thread.
+  std::array<std::optional<NaturalProof>, 3> NPs;
+
+  std::vector<ObligationResult> Calls; ///< slot per call-site check
+  ObligationResult Main;
+  std::string MainKey; ///< journal key of the main obligation
+  ObligationResult Vac;
+  bool HasVac = false;      ///< a vacuity record goes into the report
+  bool VacFailed = false;   ///< the probe refuted the contract
+  double ProbeSeconds = 0;  ///< probe solver time (counted once, in collect)
+};
 } // namespace
 
 Verifier::Verifier(Module &M, VerifyOptions Opts) : M(M), Opts(Opts) {
@@ -45,7 +67,10 @@ Verifier::Verifier(Module &M, VerifyOptions Opts) : M(M), Opts(Opts) {
 
 SandboxOptions Verifier::sandboxOptions() const {
   SandboxOptions S;
-  S.Enabled = Opts.Isolate;
+  // Parallel and portfolio runs force isolation: concurrency comes from
+  // worker *processes* (in-process Z3 solves on the event-loop thread and
+  // cannot overlap), and racing rungs must be individually killable.
+  S.Enabled = Opts.Isolate || Opts.Jobs > 1 || Opts.Portfolio;
   S.MemLimitMb = Opts.MemLimitMb;
   return S;
 }
@@ -64,91 +89,12 @@ RetryPolicy Verifier::retryPolicy() const {
   return P;
 }
 
-ObligationResult
-Verifier::discharge(const std::string &Name,
-                    const std::vector<const Formula *> &Assumptions,
-                    size_t NumAssumptions, const StrengthFn &Strength,
-                    const Formula *Goal, DeadlineBudget &Budget,
-                    std::string *JournalKeyOut) {
-  auto Build = [&](SmtSolver &Solver, const AttemptInfo &Info) {
-    for (size_t I = 0; I != NumAssumptions; ++I)
-      Solver.add(Assumptions[I]);
-    for (const Formula *F : Strength(Info.DegradeLevel))
-      Solver.add(F);
-    Solver.addNegated(Goal);
-
-    // Every attempt is dumped — a degraded re-dispatch runs a *different*
-    // query, and debugging a flaky obligation needs exactly those.
-    if (!Opts.DumpSmt2Dir.empty()) {
-      std::string File = dumpFileStem(Name);
-      if (Info.Index > 1 || Info.DegradeLevel > 0) {
-        File += ".a" + std::to_string(Info.Index);
-        if (Info.DegradeLevel > 0)
-          File += ".d" + std::to_string(Info.DegradeLevel);
-      }
-      std::ofstream Out(Opts.DumpSmt2Dir + "/" + File + ".smt2");
-      Out << Solver.toSmt2();
-    }
-  };
-
-  // Journal key: content hash of the full-tactics query plus the tactic
-  // configuration. Computed before dispatch so a resumed run can skip the
-  // solve entirely.
-  std::string Key;
-  if (Jrnl.isOpen()) {
-    SmtSolver KeySolver;
-    for (size_t I = 0; I != NumAssumptions; ++I)
-      KeySolver.add(Assumptions[I]);
-    for (const Formula *F : Strength(0))
-      KeySolver.add(F);
-    KeySolver.addNegated(Goal);
-    Key = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
-    if (JournalKeyOut)
-      *JournalKeyOut = Key;
-
-    if (Opts.Resume) {
-      const JournalRecord *R = Jrnl.lookup(Key);
-      if (R && R->Status == SmtStatus::Unsat) {
-        // Already proved by an earlier run of this exact query under this
-        // exact configuration: reuse the proof, zero attempts.
-        ObligationResult O;
-        O.Name = Name;
-        O.Status = SmtStatus::Unsat;
-        O.FromJournal = true;
-        return O;
-      }
-      // Sat / unknown / infrastructure failures are replayed: those are
-      // exactly the outcomes a retry (or a fixed environment) can improve.
-    }
-  }
-
-  ResilientSolver RS(retryPolicy(), Budget, Opts.Inject);
-  RS.setSandbox(sandboxOptions());
-  DispatchResult D = RS.dispatch(Build);
-
-  ObligationResult O;
-  O.Name = Name;
-  O.Status = D.Status;
-  O.Failure = D.Status == SmtStatus::Unknown ? D.Failure : FailureKind::None;
-  O.FailureDetail = D.Status == SmtStatus::Unknown ? D.Detail : "";
-  O.Attempts = D.Attempts;
-  O.DegradeLevel = D.DegradeLevel;
-  O.Seconds = D.Seconds;
-  O.Model = D.ModelText;
-
-  if (Jrnl.isOpen()) {
-    JournalRecord R;
-    R.Key = Key;
-    R.Name = Name;
-    R.Status = O.Status;
-    R.Failure = O.Failure;
-    R.Attempts = O.Attempts;
-    R.DegradeLevel = O.DegradeLevel;
-    R.Seconds = O.Seconds;
-    R.Detail = O.Status == SmtStatus::Sat ? O.Model : O.FailureDetail;
-    Jrnl.append(R);
-  }
-  return O;
+std::string Verifier::uniqueDumpStem(const std::string &Name) {
+  std::string Stem = dumpFileStem(Name);
+  unsigned N = StemCounts[Stem]++;
+  if (N)
+    Stem += "-k" + std::to_string(N);
+  return Stem;
 }
 
 ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
@@ -157,159 +103,337 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
   PR.Verified = true;
   DeadlineBudget Budget(Opts.ProcBudgetMs);
 
+  // One pool and engine per procedure: all of the procedure's obligations
+  // (and their vacuity probes) share the `--jobs N` worker slots, and the
+  // procedure's deadline budget starts ticking when its first obligation is
+  // planned — same as the sequential schedule.
+  Scheduler Pool(std::max(1u, Opts.Jobs));
+  DispatchEngine Engine(Pool);
+
   std::vector<BasicPath> Paths = extractPaths(M, P, Diags);
   VCGen Gen(M);
-  for (const BasicPath &BP : Paths) {
-    std::optional<VCond> VC = Gen.generate(P, BP, Diags);
-    if (!VC) {
-      PR.Verified = false;
-      continue;
+  std::deque<PathWork> Work;
+
+  // Strengthening accessor for one path; called from Build lambdas on the
+  // event-loop thread, so the lazy cache needs no locking.
+  auto StrengthFor = [this](PathWork &W,
+                            unsigned Level) -> const std::vector<const Formula *> & {
+    Level = std::min(Level, 2u);
+    if (!W.NPs[Level])
+      W.NPs[Level] =
+          buildNaturalProof(M, *W.VC, degradeTactics(Opts.Natural, Level));
+    return W.NPs[Level]->Assertions;
+  };
+
+  // Journals the probe verdict and fills the path's vacuity slot. Runs when
+  // the probe's dispatch concludes (synchronously without a sandbox).
+  const char *VacuousMsg = "assumptions unsatisfiable: the contract/"
+                           "invariant contradicts the heaplet semantics";
+  auto OnProbeDone = [this, VacuousMsg](PathWork &W,
+                                        const std::string &ProbeKey,
+                                        const DispatchResult &PD) {
+    W.ProbeSeconds = PD.Seconds;
+
+    // Journal the probe verdict so the next --resume can skip a passed
+    // probe (Sat), replay a vacuity failure (Unsat), or re-probe an
+    // unanswered one (Unknown).
+    if (Jrnl.isOpen()) {
+      JournalRecord R;
+      R.Key = ProbeKey;
+      R.Name = W.VC->Name + " [vacuity]";
+      R.Status = PD.Status;
+      R.Failure =
+          PD.Status == SmtStatus::Unknown ? PD.Failure : FailureKind::None;
+      R.Attempts = PD.Attempts;
+      R.Seconds = PD.Seconds;
+      R.Detail = PD.Status == SmtStatus::Unsat    ? VacuousMsg
+                 : PD.Status == SmtStatus::Unknown ? PD.Detail
+                                                   : "";
+      Jrnl.append(R);
     }
 
-    // Strengthening per degradation level, built lazily and cached: level 0
-    // is the configured tactic set, level 1 drops axiom instantiation,
-    // level 2 also drops frames. Unfolding is never dropped.
-    std::array<std::optional<NaturalProof>, 3> NPs;
-    auto StrengthFor =
-        [&](unsigned Level) -> const std::vector<const Formula *> & {
-      Level = std::min(Level, 2u);
-      if (!NPs[Level])
-        NPs[Level] =
-            buildNaturalProof(M, *VC, degradeTactics(Opts.Natural, Level));
-      return NPs[Level]->Assertions;
-    };
-
-    // Call-site precondition checks (prefix assumptions only).
-    for (const CallCheck &C : VC->CallChecks) {
-      ObligationResult O = discharge(C.Desc, VC->Assumptions,
-                                     C.NumAssumptions, StrengthFor, C.Goal,
-                                     Budget);
-      PR.Verified &= (O.Status == SmtStatus::Unsat);
-      PR.Seconds += O.Seconds;
-      PR.Obligations.push_back(std::move(O));
+    if (PD.Status == SmtStatus::Unsat) {
+      ObligationResult V;
+      V.Name = W.VC->Name + " [vacuity]";
+      V.Status = SmtStatus::Unsat;
+      V.Attempts = PD.Attempts;
+      V.Seconds = PD.Seconds;
+      V.Model = VacuousMsg;
+      W.Vac = std::move(V);
+      W.HasVac = true;
+      W.VacFailed = true;
+    } else if (PD.Status == SmtStatus::Unknown) {
+      // The probe is advisory: an unanswered probe must not fail the
+      // proof, but silently dropping the check would hide that the
+      // contract was never validated — record it.
+      ObligationResult V;
+      V.Name = W.VC->Name + " [vacuity skipped]";
+      V.Status = SmtStatus::Unknown;
+      V.Failure = PD.Failure;
+      V.FailureDetail = "vacuity probe unanswered: " + PD.Detail;
+      V.Attempts = PD.Attempts;
+      V.Seconds = PD.Seconds;
+      W.Vac = std::move(V);
+      W.HasVac = true;
     }
+    // Sat: the contract is satisfiable — the proof stands, nothing to
+    // record.
+  };
 
-    // The main Hoare-triple obligation.
-    std::string MainKey;
-    ObligationResult O =
-        discharge(VC->Name, VC->Assumptions, VC->Assumptions.size(),
-                  StrengthFor, VC->Goal, Budget, &MainKey);
-    PR.Verified &= (O.Status == SmtStatus::Unsat);
-    bool MainProved = O.Status == SmtStatus::Unsat;
-    bool MainFromJournal = O.FromJournal;
-    PR.Seconds += O.Seconds;
-    PR.Obligations.push_back(std::move(O));
-
-    // Vacuity probe: the path's assumptions must be satisfiable, otherwise
-    // the contract (not the code) is wrong and the proof above is void.
-    //
-    // The probe's own outcome is journaled under a suffixed key, because
-    // the main proof is journaled *before* the probe runs: without a probe
-    // record, a --resume run could reuse an unsat that a later probe
-    // refuted (vacuous contract), or that was never probed because the run
-    // was killed in between — silently flipping a failure to "verified".
-    const std::string ProbeKey = MainKey.empty() ? "" : MainKey + ":vacuity";
+  // Vacuity probe: the path's assumptions must be satisfiable, otherwise
+  // the contract (not the code) is wrong and the proof above is void.
+  //
+  // The probe's own outcome is journaled under a suffixed key, because the
+  // main proof is journaled *before* the probe runs: without a probe
+  // record, a --resume run could reuse an unsat that a later probe refuted
+  // (vacuous contract), or that was never probed because the run was killed
+  // in between — silently flipping a failure to "verified".
+  //
+  // \p Urgent: a probe spawned by a freshly solved main jumps the pool
+  // queue so it runs before fresh obligations (the sequential schedule at
+  // one slot); a probe for a plan-time journal-reused main is planned in
+  // FIFO order, in the position the main solve would have occupied.
+  auto maybeProbeVacuity = [this, &Engine, &Budget, StrengthFor,
+                            OnProbeDone](PathWork &W, bool MainFromJournal,
+                                         bool Urgent) {
+    if (!Opts.CheckVacuity || W.VC->Assumptions.empty())
+      return;
+    const std::string ProbeKey =
+        W.MainKey.empty() ? "" : W.MainKey + ":vacuity";
     const JournalRecord *ProbePast =
         (MainFromJournal && Jrnl.isOpen()) ? Jrnl.lookup(ProbeKey) : nullptr;
-    if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
-        ProbePast && ProbePast->Status == SmtStatus::Sat) {
+    if (ProbePast && ProbePast->Status == SmtStatus::Sat) {
       // The journal shows this probe already passed: the contract is known
       // satisfiable, and --resume need not pay the vacuity cost again.
-      // This is the ONLY case where a journal-reused proof skips the
-      // probe.
-    } else if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
-               ProbePast && ProbePast->Status == SmtStatus::Unsat) {
+      // This is the ONLY case where a journal-reused proof skips the probe.
+      return;
+    }
+    if (ProbePast && ProbePast->Status == SmtStatus::Unsat) {
       // The run that journaled the proof also found the contract vacuous.
       // Replay that verdict rather than re-probing: the refutation is as
       // durable as the proof it voids.
       ObligationResult V;
-      V.Name = VC->Name + " [vacuity]";
+      V.Name = W.VC->Name + " [vacuity]";
       V.Status = SmtStatus::Unsat;
       V.Model = ProbePast->Detail;
       V.FromJournal = true;
-      PR.Verified = false;
-      PR.Obligations.push_back(std::move(V));
-    } else if (Opts.CheckVacuity && MainProved && !VC->Assumptions.empty() &&
-               !Budget.exhausted()) {
-      // Reaching here with a journal-reused proof means the journal holds
-      // no probe verdict (the run was killed between journaling the unsat
-      // and probing) or an Unknown one — both must be (re-)probed, exactly
-      // like any other journaled non-answer.
-      //
-      // Probe the contract (the path's first assumption: the pre or the
-      // loop invariant) together with the unfoldings. Branch conditions are
-      // excluded: infeasible paths are vacuous by design; an unsatisfiable
-      // *contract* is the annotation bug this check exists for (e.g. an
-      // impure conjunct whose strict heaplet cannot equal the formula's).
-      //
-      // The probe rides the same resilient dispatch as real obligations —
-      // retry, reseed, fault injection, sandboxing — but with the (short)
-      // vacuity deadline as its ceiling and no tactic degradation: dropping
-      // strengthening would change what "satisfiable" means here.
-      RetryPolicy ProbePolicy = retryPolicy();
-      ProbePolicy.MaxTimeoutMs = std::min(Opts.VacuityTimeoutMs,
-                                          Opts.TimeoutMs);
-      ProbePolicy.InitialTimeoutMs =
-          std::min(ProbePolicy.InitialTimeoutMs, ProbePolicy.MaxTimeoutMs);
-      ProbePolicy.DegradeTactics = false;
-      // The probe's deadline cannot escalate (it is capped at the short
-      // vacuity timeout), so attempts past one reseeded retry buy nothing.
-      ProbePolicy.MaxAttempts = std::min(ProbePolicy.MaxAttempts, 2u);
-      ResilientSolver ProbeRS(ProbePolicy, Budget, Opts.Inject);
-      ProbeRS.setSandbox(sandboxOptions());
-      DispatchResult PD =
-          ProbeRS.dispatch([&](SmtSolver &Probe, const AttemptInfo &) {
-            Probe.add(VC->Assumptions.front());
-            for (const Formula *F : StrengthFor(0))
-              Probe.add(F);
-          });
-      PR.Seconds += PD.Seconds;
+      W.Vac = std::move(V);
+      W.HasVac = true;
+      W.VacFailed = true;
+      return;
+    }
+    if (Budget.exhausted())
+      return;
 
-      const char *VacuousMsg = "assumptions unsatisfiable: the contract/"
-                               "invariant contradicts the heaplet semantics";
-      // Journal the probe verdict so the next --resume can skip a passed
-      // probe (Sat), replay a vacuity failure (Unsat), or re-probe an
-      // unanswered one (Unknown).
+    // Reaching here with a journal-reused proof means the journal holds no
+    // probe verdict (the run was killed between journaling the unsat and
+    // probing) or an Unknown one — both must be (re-)probed, exactly like
+    // any other journaled non-answer.
+    //
+    // Probe the contract (the path's first assumption: the pre or the loop
+    // invariant) together with the unfoldings. Branch conditions are
+    // excluded: infeasible paths are vacuous by design; an unsatisfiable
+    // *contract* is the annotation bug this check exists for (e.g. an
+    // impure conjunct whose strict heaplet cannot equal the formula's).
+    //
+    // The probe rides the same resilient dispatch as real obligations —
+    // retry, reseed, fault injection, sandboxing — but with the (short)
+    // vacuity deadline as its ceiling and no tactic degradation: dropping
+    // strengthening would change what "satisfiable" means here. Portfolio
+    // mode is ignored for probes for the same reason: there is only one
+    // meaningful tactic set to run.
+    RetryPolicy ProbePolicy = retryPolicy();
+    ProbePolicy.MaxTimeoutMs = std::min(Opts.VacuityTimeoutMs, Opts.TimeoutMs);
+    ProbePolicy.InitialTimeoutMs =
+        std::min(ProbePolicy.InitialTimeoutMs, ProbePolicy.MaxTimeoutMs);
+    ProbePolicy.DegradeTactics = false;
+    // The probe's deadline cannot escalate (it is capped at the short
+    // vacuity timeout), so attempts past one reseeded retry buy nothing.
+    ProbePolicy.MaxAttempts = std::min(ProbePolicy.MaxAttempts, 2u);
+
+    ObligationSpec Spec;
+    Spec.Name = W.VC->Name + " [vacuity]";
+    Spec.Policy = ProbePolicy;
+    Spec.Inject = Opts.Inject;
+    Spec.Sandbox = sandboxOptions();
+    Spec.Budget = &Budget;
+    Spec.Urgent = Urgent;
+    Spec.Build = [this, &W, StrengthFor](SmtSolver &Probe,
+                                         const AttemptInfo &) {
+      Probe.add(W.VC->Assumptions.front());
+      for (const Formula *F : StrengthFor(W, 0))
+        Probe.add(F);
+    };
+    Engine.submit(std::move(Spec),
+                  [&W, ProbeKey, OnProbeDone](const DispatchResult &PD) {
+                    OnProbeDone(W, ProbeKey, PD);
+                  });
+  };
+
+  // Plans one obligation of a path: assigns its dump stem, computes its
+  // journal key, reuses a journaled proof when resuming, and otherwise
+  // submits it to the engine. \p Slot is where the completion writes the
+  // result; \p IsMain marks the path's Hoare-triple obligation, which owns
+  // the vacuity protocol.
+  auto submitObligation = [this, &Engine, &Budget, StrengthFor,
+                           maybeProbeVacuity](PathWork &W, std::string Name,
+                                              size_t NumAssumptions,
+                                              const Formula *Goal,
+                                              ObligationResult *Slot,
+                                              bool IsMain) {
+    std::string Stem;
+    if (!Opts.DumpSmt2Dir.empty())
+      Stem = uniqueDumpStem(Name);
+
+    // Journal key: content hash of the full-tactics query plus the tactic
+    // configuration. Computed at plan time so a resumed run can skip the
+    // solve entirely.
+    std::string Key;
+    if (Jrnl.isOpen()) {
+      SmtSolver KeySolver;
+      for (size_t I = 0; I != NumAssumptions; ++I)
+        KeySolver.add(W.VC->Assumptions[I]);
+      for (const Formula *F : StrengthFor(W, 0))
+        KeySolver.add(F);
+      KeySolver.addNegated(Goal);
+      Key = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
+      if (IsMain)
+        W.MainKey = Key;
+
+      if (Opts.Resume) {
+        const JournalRecord *R = Jrnl.lookup(Key);
+        if (R && R->Status == SmtStatus::Unsat) {
+          // Already proved by an earlier run of this exact query under this
+          // exact configuration: reuse the proof, zero attempts.
+          ObligationResult O;
+          O.Name = Name;
+          O.Status = SmtStatus::Unsat;
+          O.FromJournal = true;
+          *Slot = std::move(O);
+          if (IsMain)
+            maybeProbeVacuity(W, /*MainFromJournal=*/true, /*Urgent=*/false);
+          return;
+        }
+        // Sat / unknown / infrastructure failures are replayed: those are
+        // exactly the outcomes a retry (or a fixed environment) can
+        // improve.
+      }
+    }
+
+    ObligationSpec Spec;
+    Spec.Name = Name;
+    Spec.Policy = retryPolicy();
+    Spec.Inject = Opts.Inject;
+    Spec.Sandbox = sandboxOptions();
+    Spec.Budget = &Budget;
+    Spec.Portfolio = Opts.Portfolio;
+    Spec.Build = [this, &W, StrengthFor, NumAssumptions, Goal,
+                  Stem](SmtSolver &Solver, const AttemptInfo &Info) {
+      for (size_t I = 0; I != NumAssumptions; ++I)
+        Solver.add(W.VC->Assumptions[I]);
+      for (const Formula *F : StrengthFor(W, Info.DegradeLevel))
+        Solver.add(F);
+      Solver.addNegated(Goal);
+
+      // Every attempt is dumped — a degraded re-dispatch runs a *different*
+      // query, and debugging a flaky obligation needs exactly those. The
+      // stem was fixed at plan time, so parallel runs emit the same files.
+      if (!Opts.DumpSmt2Dir.empty()) {
+        std::string File = Stem;
+        if (Info.Index > 1 || Info.DegradeLevel > 0) {
+          File += ".a" + std::to_string(Info.Index);
+          if (Info.DegradeLevel > 0)
+            File += ".d" + std::to_string(Info.DegradeLevel);
+        }
+        std::ofstream Out(Opts.DumpSmt2Dir + "/" + File + ".smt2");
+        Out << Solver.toSmt2();
+      }
+    };
+    Engine.submit(std::move(Spec), [this, &W, Name, Key, Slot, IsMain,
+                                    maybeProbeVacuity](const DispatchResult &D) {
+      ObligationResult O;
+      O.Name = Name;
+      O.Status = D.Status;
+      O.Failure =
+          D.Status == SmtStatus::Unknown ? D.Failure : FailureKind::None;
+      O.FailureDetail = D.Status == SmtStatus::Unknown ? D.Detail : "";
+      O.Attempts = D.Attempts;
+      O.DegradeLevel = D.DegradeLevel;
+      O.Seconds = D.Seconds;
+      O.Model = D.ModelText;
+
+      // The journal is appended from the event-loop thread only (this
+      // completion), so records never interleave mid-line even at
+      // `--jobs N`; completion order varies with worker timing, which the
+      // content-keyed later-records-win format absorbs.
       if (Jrnl.isOpen()) {
         JournalRecord R;
-        R.Key = ProbeKey;
-        R.Name = VC->Name + " [vacuity]";
-        R.Status = PD.Status;
-        R.Failure =
-            PD.Status == SmtStatus::Unknown ? PD.Failure : FailureKind::None;
-        R.Attempts = PD.Attempts;
-        R.Seconds = PD.Seconds;
-        R.Detail = PD.Status == SmtStatus::Unsat      ? VacuousMsg
-                   : PD.Status == SmtStatus::Unknown ? PD.Detail
-                                                      : "";
+        R.Key = Key;
+        R.Name = Name;
+        R.Status = O.Status;
+        R.Failure = O.Failure;
+        R.Attempts = O.Attempts;
+        R.DegradeLevel = O.DegradeLevel;
+        R.Seconds = O.Seconds;
+        R.Detail = O.Status == SmtStatus::Sat ? O.Model : O.FailureDetail;
         Jrnl.append(R);
       }
 
-      if (PD.Status == SmtStatus::Unsat) {
-        ObligationResult V;
-        V.Name = VC->Name + " [vacuity]";
-        V.Status = SmtStatus::Unsat;
-        V.Attempts = PD.Attempts;
-        V.Seconds = PD.Seconds;
-        V.Model = VacuousMsg;
-        PR.Verified = false;
-        PR.Obligations.push_back(std::move(V));
-      } else if (PD.Status == SmtStatus::Unknown) {
-        // The probe is advisory: an unanswered probe must not fail the
-        // proof, but silently dropping the check would hide that the
-        // contract was never validated — record it.
-        ObligationResult V;
-        V.Name = VC->Name + " [vacuity skipped]";
-        V.Status = SmtStatus::Unknown;
-        V.Failure = PD.Failure;
-        V.FailureDetail = "vacuity probe unanswered: " + PD.Detail;
-        V.Attempts = PD.Attempts;
-        V.Seconds = PD.Seconds;
-        PR.Obligations.push_back(std::move(V));
-      }
-      // Sat: the contract is satisfiable — the proof stands, nothing to
-      // record.
+      bool Proved = O.Status == SmtStatus::Unsat;
+      *Slot = std::move(O);
+      if (IsMain && Proved)
+        maybeProbeVacuity(W, /*MainFromJournal=*/false, /*Urgent=*/true);
+    });
+  };
+
+  // Plan phase: walk the paths in deterministic order, generate each VC,
+  // and submit every obligation. Without a sandbox the engine solves
+  // synchronously right here (the classic sequential run); with one,
+  // submissions queue FIFO and the drain below runs them `--jobs N` wide.
+  for (const BasicPath &BP : Paths) {
+    Work.emplace_back();
+    PathWork &W = Work.back();
+    W.VC = Gen.generate(P, BP, Diags);
+    if (!W.VC) {
+      PR.Verified = false;
+      Work.pop_back();
+      continue;
     }
+
+    // Call-site precondition checks (prefix assumptions only).
+    W.Calls.resize(W.VC->CallChecks.size());
+    for (size_t I = 0; I != W.VC->CallChecks.size(); ++I) {
+      const CallCheck &C = W.VC->CallChecks[I];
+      submitObligation(W, C.Desc, C.NumAssumptions, C.Goal, &W.Calls[I],
+                       /*IsMain=*/false);
+    }
+
+    // The main Hoare-triple obligation.
+    submitObligation(W, W.VC->Name, W.VC->Assumptions.size(), W.VC->Goal,
+                     &W.Main, /*IsMain=*/true);
+  }
+
+  // Drain phase: run the event loop until every obligation — including
+  // retries and probes submitted from completions — has concluded.
+  Engine.drain();
+
+  // Collect phase: assemble the report in plan order, not completion
+  // order, so the output is byte-identical across `--jobs` values.
+  for (PathWork &W : Work) {
+    for (ObligationResult &O : W.Calls) {
+      PR.Verified &= (O.Status == SmtStatus::Unsat);
+      PR.Seconds += O.Seconds;
+      PR.Obligations.push_back(std::move(O));
+    }
+    PR.Verified &= (W.Main.Status == SmtStatus::Unsat);
+    PR.Seconds += W.Main.Seconds;
+    PR.Obligations.push_back(std::move(W.Main));
+    if (W.HasVac) {
+      if (W.VacFailed)
+        PR.Verified = false;
+      PR.Obligations.push_back(std::move(W.Vac));
+    }
+    PR.Seconds += W.ProbeSeconds;
   }
   return PR;
 }

@@ -25,6 +25,7 @@
 #include "verifier/journal.h"
 
 #include <functional>
+#include <unordered_map>
 
 namespace dryad {
 
@@ -66,6 +67,17 @@ struct VerifyOptions {
   /// With a journal: skip obligations whose journaled outcome is already
   /// proved, replay everything else (`--resume`).
   bool Resume = false;
+  /// Concurrent solver workers (`--jobs N`). At 1 (the default) the run is
+  /// the classic sequential schedule; above 1 every obligation of a
+  /// procedure is submitted to a worker pool and process isolation is
+  /// forced (in-process Z3 cannot parallelize). Verdicts, report ordering,
+  /// and dump stems are identical across jobs values.
+  unsigned Jobs = 1;
+  /// Race the natural-proof tactic rungs (full tactics and each degraded
+  /// set) per obligation instead of walking the retry ladder; the first
+  /// definitive answer wins and the losers are killed (`--portfolio`).
+  /// Forces process isolation.
+  bool Portfolio = false;
 };
 
 struct ObligationResult {
@@ -111,27 +123,20 @@ public:
   const std::string &journalError() const { return JournalErr; }
 
 private:
-  /// Strengthening assertions for a tactic-degradation level (0 = the full
-  /// configured tactic set; higher levels drop axioms, then frames).
-  using StrengthFn =
-      std::function<const std::vector<const Formula *> &(unsigned Level)>;
-
-  /// \p JournalKeyOut, when non-null, receives the obligation's journal
-  /// content key (empty when no journal is open). The vacuity probe derives
-  /// its own journal key from it.
-  ObligationResult discharge(const std::string &Name,
-                             const std::vector<const Formula *> &Assumptions,
-                             size_t NumAssumptions, const StrengthFn &Strength,
-                             const Formula *Goal, DeadlineBudget &Budget,
-                             std::string *JournalKeyOut = nullptr);
-
   RetryPolicy retryPolicy() const;
   SandboxOptions sandboxOptions() const;
+
+  /// Dump filename stem for an obligation, unique within this Verifier: a
+  /// second obligation with the same name (two calls to the same callee on
+  /// one path) gets a "-k<n>" suffix. Assigned in deterministic plan order,
+  /// so `--jobs N` and `--jobs 1` emit identical file sets.
+  std::string uniqueDumpStem(const std::string &Name);
 
   Module &M;
   VerifyOptions Opts;
   Journal Jrnl;
   std::string JournalErr;
+  std::unordered_map<std::string, unsigned> StemCounts;
 };
 
 } // namespace dryad

@@ -459,6 +459,105 @@ TEST(VerifierJournalVacuity, PassedProbeIsSkippedOnResume) {
       << "a journaled passed probe must not be re-dispatched on --resume";
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel runs: out-of-order completion, single-writer appends
+//===----------------------------------------------------------------------===//
+//
+// At --jobs N obligations complete in worker-finish order, not plan order.
+// Appends still happen only from the event-loop thread, so every line must
+// stay parseable, and the content-keyed later-records-win format must make
+// the completion order irrelevant to --resume.
+
+TEST(VerifierJournalParallel, OutOfOrderCompletionsStayParseable) {
+  std::string Path = journalPath("parallel");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.VacuityTimeoutMs = 30000;
+  Opts.JournalPath = Path;
+  Opts.Jobs = 4;
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_TRUE(First[0].Verified && First[1].Verified);
+
+  // Every line of the journal a 4-wide run wrote must parse on its own —
+  // no interleaved or torn records.
+  std::ifstream In(Path);
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(Journal::parseLine(Line + "\n")) << "unparseable: " << Line;
+  }
+  EXPECT_GE(Lines, 3u) << "a run of two procs journals at least 3 records";
+}
+
+TEST(VerifierJournalParallel, ResumeWithJobsReusesEveryJournaledUnsat) {
+  std::string Path = journalPath("parallel-resume");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  // Oversubscribed workers must not flake the probes into advisory
+  // "[vacuity skipped]" records — those would (correctly) be re-probed on
+  // resume and fail the every-obligation-reused assertion below.
+  Opts.VacuityTimeoutMs = 30000;
+  Opts.JournalPath = Path;
+  Opts.Jobs = 4;
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_TRUE(First[0].Verified && First[1].Verified);
+
+  Opts.Resume = true;
+  auto Second = verifyJournaled(Opts);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  for (const ProcResult &PR : Second)
+    for (const ObligationResult &O : PR.Obligations) {
+      EXPECT_TRUE(O.FromJournal)
+          << O.Name << ": every unsat a parallel run journaled must be reused";
+      EXPECT_EQ(O.Attempts, 0u) << O.Name;
+    }
+}
+
+TEST(VerifierJournalParallel, LaterRecordsWinAcrossAnUpgradeCycle) {
+  // Run 1 (4-wide): every dispatch is an injected timeout, so the journal
+  // holds only failures, appended in whatever order they completed. Run 2
+  // (4-wide, resumed): replays them all and appends the proofs after the
+  // failures under the same keys. Run 3: the later records — the proofs —
+  // must win.
+  std::string Path = journalPath("parallel-upgrade");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Attempts = 1;
+  Opts.DegradeTactics = false;
+  Opts.CheckVacuity = false;
+  Opts.JournalPath = Path;
+  Opts.Jobs = 4;
+  std::string Err;
+  Opts.Inject = *FaultPlan::parse("timeout@*", Err);
+
+  auto First = verifyJournaled(Opts);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_FALSE(First[0].Verified || First[1].Verified);
+
+  Opts.Inject = FaultPlan();
+  Opts.Attempts = 3;
+  Opts.Resume = true;
+  auto Second = verifyJournaled(Opts);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  for (const ProcResult &PR : Second)
+    for (const ObligationResult &O : PR.Obligations)
+      EXPECT_FALSE(O.FromJournal)
+          << O.Name << ": journaled failures must be replayed, not reused";
+
+  auto Third = verifyJournaled(Opts);
+  for (const ProcResult &PR : Third)
+    for (const ObligationResult &O : PR.Obligations)
+      EXPECT_TRUE(O.FromJournal && O.Attempts == 0)
+          << O.Name << ": the upgraded (later) record must win on reload";
+}
+
 TEST(VerifierJournal, UnwritableJournalIsNonFatal) {
   VerifyOptions Opts;
   Opts.TimeoutMs = 30000;

@@ -1,0 +1,360 @@
+//===--- sched_test.cpp - Parallel proof scheduler ---------------------------===//
+//
+// Exercises sched/pool.* and sched/dispatch.*: worker fates in a pool of 4
+// are classified exactly as in sequential dispatch, one worker's death
+// never takes down its siblings, deadlines are enforced from the event
+// loop, queue-jumping and cancellation behave, and the verifier's `--jobs`
+// / `--portfolio` paths agree with `--jobs 1` verdict for verdict.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/dispatch.h"
+#include "sched/pool.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+const char *UnsatSmt2 = R"((declare-fun x () Int)
+(assert (< x 3))
+(assert (> x 5))
+(check-sat)
+)";
+
+const char *SatSmt2 = R"((declare-fun x () Int)
+(assert (= x 42))
+(check-sat)
+)";
+
+SandboxRequest quickUnsat() {
+  SandboxRequest Req;
+  Req.Smt2 = UnsatSmt2;
+  Req.TimeoutMs = 10000;
+  return Req;
+}
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Scheduler: fates in a pool of 4 classified exactly as sequential
+//===----------------------------------------------------------------------===//
+
+TEST(SchedPool, PoolOfFourClassifiesEveryFateLikeSequential) {
+  // One crash, one rlimit death, one wedged-until-deadline worker, and one
+  // honest unsat, all in flight together. Each must classify exactly as
+  // solveInSandbox classifies it alone — the pool shares finishWorker with
+  // the sequential path, and this pins that down.
+  Scheduler Pool(4);
+
+  SandboxRequest Crash = quickUnsat();
+  Crash.Fault = SandboxFault::Crash;
+  SandboxRequest Oom = quickUnsat();
+  Oom.TimeoutMs = 30000;
+  Oom.MemLimitMb = 64;
+  Oom.Fault = SandboxFault::Oom;
+  SandboxRequest Stall = quickUnsat();
+  Stall.TimeoutMs = 300; // the stalling worker never answers
+  Stall.Fault = SandboxFault::Stall;
+
+  SmtResult RCrash, ROom, RStall, RUnsat;
+  unsigned Fired = 0;
+  Pool.submit(std::move(Crash), [&](const SmtResult &R) { RCrash = R; ++Fired; });
+  Pool.submit(std::move(Oom), [&](const SmtResult &R) { ROom = R; ++Fired; });
+  Pool.submit(std::move(Stall), [&](const SmtResult &R) { RStall = R; ++Fired; });
+  Pool.submit(quickUnsat(), [&](const SmtResult &R) { RUnsat = R; ++Fired; });
+  Pool.run();
+
+  EXPECT_EQ(Fired, 4u);
+  EXPECT_TRUE(Pool.idle());
+
+  EXPECT_EQ(RCrash.Status, SmtStatus::Unknown);
+  EXPECT_EQ(RCrash.Failure, FailureKind::SolverCrash);
+  EXPECT_NE(RCrash.Detail.find("signal"), std::string::npos) << RCrash.Detail;
+
+  EXPECT_EQ(ROom.Status, SmtStatus::Unknown);
+  EXPECT_EQ(ROom.Failure, FailureKind::ResourceOut);
+
+  EXPECT_EQ(RStall.Status, SmtStatus::Unknown);
+  EXPECT_EQ(RStall.Failure, FailureKind::Timeout);
+  EXPECT_NE(RStall.Detail.find("deadline"), std::string::npos) << RStall.Detail;
+
+  // The load-bearing part: the siblings' SIGSEGV/SIGKILL changed nothing
+  // for the healthy worker.
+  EXPECT_EQ(RUnsat.Status, SmtStatus::Unsat);
+  EXPECT_EQ(RUnsat.Failure, FailureKind::None);
+}
+
+TEST(SchedPool, SiblingCrashNeverTakesDownHealthyWorkers) {
+  Scheduler Pool(4);
+  SandboxRequest Crash = quickUnsat();
+  Crash.Fault = SandboxFault::Crash;
+
+  unsigned Healthy = 0;
+  Pool.submit(std::move(Crash), [](const SmtResult &) {});
+  for (int I = 0; I != 3; ++I) {
+    SandboxRequest Req;
+    Req.Smt2 = I == 0 ? SatSmt2 : UnsatSmt2;
+    Req.TimeoutMs = 10000;
+    SmtStatus Want = I == 0 ? SmtStatus::Sat : SmtStatus::Unsat;
+    Pool.submit(std::move(Req), [&Healthy, Want](const SmtResult &R) {
+      if (R.Status == Want)
+        ++Healthy;
+    });
+  }
+  Pool.run();
+  EXPECT_EQ(Healthy, 3u)
+      << "a SIGSEGV in one worker process must not disturb its siblings";
+}
+
+TEST(SchedPool, DeadlineEnforcedFromEventLoopWhileSiblingsRun) {
+  // The wedged worker ignores its soft timeout; only the parent's event
+  // loop can kill it. A healthy sibling in the same poll set must still
+  // complete, and the whole run must end near the stall's deadline, not
+  // hang.
+  Scheduler Pool(2);
+  SandboxRequest Stall = quickUnsat();
+  Stall.TimeoutMs = 300;
+  Stall.Fault = SandboxFault::Stall;
+
+  SmtResult RStall, RUnsat;
+  auto T0 = std::chrono::steady_clock::now();
+  Pool.submit(std::move(Stall), [&](const SmtResult &R) { RStall = R; });
+  Pool.submit(quickUnsat(), [&](const SmtResult &R) { RUnsat = R; });
+  Pool.run();
+  double Secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+                    .count();
+
+  EXPECT_EQ(RStall.Failure, FailureKind::Timeout);
+  EXPECT_EQ(RUnsat.Status, SmtStatus::Unsat);
+  EXPECT_LT(Secs, 10.0) << "SIGKILL must fire near the 300ms deadline";
+}
+
+TEST(SchedPool, QueueDeeperThanSlotsDrainsCompletely) {
+  Scheduler Pool(2);
+  unsigned Done = 0;
+  for (int I = 0; I != 6; ++I)
+    Pool.submit(quickUnsat(), [&Done](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+  Pool.run();
+  EXPECT_EQ(Done, 6u);
+  EXPECT_TRUE(Pool.idle());
+}
+
+TEST(SchedPool, SubmitFrontJumpsQueueAtOneSlot) {
+  // At one slot the front-submitted follow-up must run before earlier
+  // pending work — this is what makes retries and vacuity probes reproduce
+  // the sequential schedule.
+  Scheduler Pool(1);
+  std::vector<char> Order;
+  Pool.submit(quickUnsat(), [&](const SmtResult &) {
+    Order.push_back('A');
+    Pool.submitFront(quickUnsat(), [&](const SmtResult &) { Order.push_back('C'); });
+  });
+  Pool.submit(quickUnsat(), [&](const SmtResult &) { Order.push_back('B'); });
+  Pool.run();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], 'A');
+  EXPECT_EQ(Order[1], 'C') << "submitFront must run before older pending work";
+  EXPECT_EQ(Order[2], 'B');
+}
+
+TEST(SchedPool, CancelRevokesQueuedAndKillsRunning) {
+  // Queued cancel: B is revoked before it ever spawns.
+  {
+    Scheduler Pool(1);
+    bool ACompleted = false, BCompleted = false;
+    TaskId B = 0;
+    Pool.submit(quickUnsat(), [&](const SmtResult &) {
+      ACompleted = true;
+      EXPECT_TRUE(Pool.cancel(B));
+    });
+    B = Pool.submit(quickUnsat(), [&BCompleted](const SmtResult &) {
+      BCompleted = true;
+    });
+    Pool.run();
+    EXPECT_TRUE(ACompleted);
+    EXPECT_FALSE(BCompleted) << "a cancelled task's completion must not run";
+    EXPECT_FALSE(Pool.cancel(B)) << "cancelling twice must report failure";
+  }
+
+  // Running cancel: the wedged worker is SIGKILLed mid-flight; run()
+  // returns promptly instead of waiting out its 30s deadline.
+  {
+    Scheduler Pool(2);
+    bool StallCompleted = false;
+    SandboxRequest Stall = quickUnsat();
+    Stall.TimeoutMs = 30000;
+    Stall.Fault = SandboxFault::Stall;
+    TaskId StallId = Pool.submit(
+        std::move(Stall), [&StallCompleted](const SmtResult &) {
+          StallCompleted = true;
+        });
+    Pool.submit(quickUnsat(), [&](const SmtResult &) {
+      EXPECT_TRUE(Pool.cancel(StallId));
+    });
+    auto T0 = std::chrono::steady_clock::now();
+    Pool.run();
+    double Secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+            .count();
+    EXPECT_FALSE(StallCompleted);
+    EXPECT_LT(Secs, 10.0) << "cancel must kill the worker, not wait it out";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier integration: --jobs N agrees with --jobs 1, fault for fault
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *ThreeProcs = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+proc drop_key(x: loc) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == K
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  return u;
+}
+)";
+
+std::vector<ProcResult> verifyWith(VerifyOptions Opts) {
+  // A 4-wide pool on a small CI box oversubscribes the CPU, and a vacuity
+  // probe that times out adds an advisory "[vacuity skipped]" record that a
+  // sequential run would not have. Give probes the full deadline so the
+  // comparison tests compare schedules, not machine load.
+  Opts.VacuityTimeoutMs = Opts.TimeoutMs;
+  auto M = parsePrelude(ThreeProcs);
+  DiagEngine D;
+  return Verifier(*M, Opts).verifyAll(D);
+}
+
+/// Obligation-by-obligation comparison of two runs: same plan order, same
+/// verdicts, same failure taxonomy.
+void expectSameVerdicts(const std::vector<ProcResult> &A,
+                        const std::vector<ProcResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t P = 0; P != A.size(); ++P) {
+    EXPECT_EQ(A[P].Verified, B[P].Verified) << A[P].Proc;
+    ASSERT_EQ(A[P].Obligations.size(), B[P].Obligations.size()) << A[P].Proc;
+    for (size_t I = 0; I != A[P].Obligations.size(); ++I) {
+      const ObligationResult &OA = A[P].Obligations[I];
+      const ObligationResult &OB = B[P].Obligations[I];
+      EXPECT_EQ(OA.Name, OB.Name) << "report order must not depend on --jobs";
+      EXPECT_EQ(OA.Status, OB.Status) << OA.Name;
+      EXPECT_EQ(OA.Failure, OB.Failure) << OA.Name;
+    }
+  }
+}
+} // namespace
+
+TEST(SchedVerifier, ParallelVerdictsAndOrderMatchSequential) {
+  VerifyOptions Seq;
+  Seq.TimeoutMs = 30000;
+  auto A = verifyWith(Seq);
+
+  VerifyOptions Par = Seq;
+  Par.Jobs = 4;
+  auto B = verifyWith(Par);
+
+  expectSameVerdicts(A, B);
+  // drop_key's postcondition is genuinely false (the new head's key joins
+  // the set): both schedules must agree on the refutation, not just on the
+  // proofs.
+  ASSERT_EQ(A.size(), 3u);
+  EXPECT_TRUE(A[0].Verified && A[1].Verified);
+  EXPECT_FALSE(A[2].Verified);
+}
+
+TEST(SchedVerifier, InjectedWorkerCrashClassifiedSameInPoolOfFour) {
+  // crash@1 makes attempt 1 of every obligation die on a real SIGSEGV
+  // inside its sandboxed worker; attempt 2 proves. A pool of 4 must
+  // classify and retry exactly like the sequential sandbox run.
+  std::string Err;
+  VerifyOptions Seq;
+  Seq.TimeoutMs = 30000;
+  Seq.Isolate = true;
+  Seq.Inject = *FaultPlan::parse("crash@1", Err);
+  auto A = verifyWith(Seq);
+
+  VerifyOptions Par = Seq;
+  Par.Jobs = 4;
+  auto B = verifyWith(Par);
+
+  expectSameVerdicts(A, B);
+  for (const std::vector<ProcResult> *Run : {&A, &B})
+    for (const ProcResult &PR : *Run)
+      for (const ObligationResult &O : PR.Obligations)
+        if (O.Attempts != 0) // vacuity replays aside, every dispatch retried
+          EXPECT_GE(O.Attempts, 2u)
+              << O.Name << ": the crashed first attempt must be retried";
+}
+
+TEST(SchedVerifier, InjectedTimeoutEverywhereFailsIdentically) {
+  // timeout@* is a dispatch-level short-circuit: no worker ever runs, the
+  // ladder exhausts deterministically. Sequential and pooled runs must
+  // produce identical attempt counts and taxonomy.
+  std::string Err;
+  VerifyOptions Seq;
+  Seq.TimeoutMs = 30000;
+  Seq.Attempts = 2;
+  Seq.DegradeTactics = false;
+  Seq.CheckVacuity = false;
+  Seq.Inject = *FaultPlan::parse("timeout@*", Err);
+  auto A = verifyWith(Seq);
+
+  VerifyOptions Par = Seq;
+  Par.Jobs = 4;
+  auto B = verifyWith(Par);
+
+  expectSameVerdicts(A, B);
+  for (size_t P = 0; P != A.size(); ++P)
+    for (size_t I = 0; I != A[P].Obligations.size(); ++I)
+      EXPECT_EQ(A[P].Obligations[I].Attempts, B[P].Obligations[I].Attempts)
+          << A[P].Obligations[I].Name;
+  for (const ProcResult &PR : B) {
+    EXPECT_FALSE(PR.Verified);
+    for (const ObligationResult &O : PR.Obligations)
+      EXPECT_EQ(O.Failure, FailureKind::Timeout) << O.Name;
+  }
+}
+
+TEST(SchedVerifier, PortfolioProvesAndAgreesWithLadder) {
+  VerifyOptions Seq;
+  Seq.TimeoutMs = 30000;
+  auto A = verifyWith(Seq);
+
+  VerifyOptions Port = Seq;
+  Port.Portfolio = true;
+  auto B = verifyWith(Port);
+
+  // The racing schedule may answer from any rung, so attempt counts are
+  // not comparable — verdicts and report order are.
+  expectSameVerdicts(A, B);
+}
