@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Benchmarks the parallel proof scheduler: runs each benchmark suite at
 # --jobs 1 and --jobs $(nproc) and writes BENCH_sched.json with per-suite
-# wall time, obligation throughput, and the parallel speedup.
+# wall time, obligation throughput, and the parallel speedup. Then
+# benchmarks the sharded supervisor on fig6 at --shards 1/2/$(nproc) —
+# including the recovery overhead of one injected shard crash — and writes
+# BENCH_shard.json.
 #
 # The speedup is bounded by the host's parallelism (recorded in the output):
 # on a single-core box the two runs are the same schedule and the speedup is
@@ -71,3 +74,59 @@ $json_entries
 EOF
 echo "wrote $OUT" >&2
 cat "$OUT"
+
+# ---------------------------------------------------------------------------
+# Sharded supervisor bench: fig6 at --shards 1/2/$(nproc), plus the recovery
+# overhead of one injected shard crash (SIGKILL after the first journal
+# record; the retry resumes from the surviving journal). Writes
+# BENCH_shard.json. --shards 1 degenerates to the plain driver, so it is the
+# honest sequential baseline including journal writes.
+# ---------------------------------------------------------------------------
+SHARD_OUT=BENCH_shard.json
+SHARD_FILES=(bench/suite/fig6/*.dryad)
+
+# One supervised run; prints "<wall-seconds>". Extra flags (e.g. --inject
+# crash@1) pass through after the shard count.
+run_shards() { # <shards> [extra-flags...]
+  local shards=$1; shift
+  local jrnl t0 t1
+  jrnl=$(mktemp -u /tmp/dryadv-bench-shard.XXXXXX.jsonl)
+  t0=$(date +%s.%N)
+  "$DRYADV" --shards "$shards" --journal "$jrnl" --timeout "$TIMEOUT_MS" \
+      --attempts 1 --no-degrade "$@" "${SHARD_FILES[@]}" \
+      > /dev/null 2>&1 || true
+  t1=$(date +%s.%N)
+  rm -f "$jrnl" "$jrnl".shard*
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.2f\n", b - a }'
+}
+
+echo "== shard bench: --shards 1 ==" >&2
+wall_s1=$(run_shards 1)
+echo "== shard bench: --shards 2 ==" >&2
+wall_s2=$(run_shards 2)
+echo "== shard bench: --shards $JOBS_N ==" >&2
+wall_sn=$(run_shards "$JOBS_N")
+echo "== shard bench: --shards 2 with one injected shard crash ==" >&2
+wall_crash=$(run_shards 2 --inject crash@1)
+
+awk -v w1="$wall_s1" -v w2="$wall_s2" -v wn="$wall_sn" -v wc="$wall_crash" \
+    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" 'BEGIN {
+  printf "{\n"
+  printf "  \"bench\": \"sharded supervisor (--shards)\",\n"
+  printf "  \"suite\": \"fig6\",\n"
+  printf "  \"host_parallelism\": %d,\n", jn
+  printf "  \"timeout_ms\": %d,\n", tmo
+  printf "  \"shards\": [\n"
+  printf "    {\"shards\": 1, \"wall_s\": %.2f, \"speedup\": 1.00},\n", w1
+  printf "    {\"shards\": 2, \"wall_s\": %.2f, \"speedup\": %.2f},\n", \
+         w2, (w2 > 0 ? w1 / w2 : 0)
+  printf "    {\"shards\": %d, \"wall_s\": %.2f, \"speedup\": %.2f}\n", \
+         jn, wn, (wn > 0 ? w1 / wn : 0)
+  printf "  ],\n"
+  printf "  \"crash_recovery\": {\"shards\": 2, \"injected_crashes\": 1,\n"
+  printf "    \"wall_s\": %.2f, \"overhead_s\": %.2f, \"overhead_x\": %.2f}\n", \
+         wc, wc - w2, (w2 > 0 ? wc / w2 : 0)
+  printf "}\n"
+}' > "$SHARD_OUT"
+echo "wrote $SHARD_OUT" >&2
+cat "$SHARD_OUT"

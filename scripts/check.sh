@@ -90,4 +90,59 @@ grep -q "reused from the journal" /tmp/dryadv-resume.out || {
   exit 1
 }
 
+echo "== smoke: --shards 2 verdicts and exit code match the unsharded run =="
+# The sharded supervisor (fork two shard drivers, merge their journals,
+# assemble the report from the merged journal) must reproduce the unsharded
+# run verdict for verdict and exit code for exit code. Advisory lines (the
+# infrastructure-failure tally) are load-dependent just like in the --jobs
+# smoke above, so the comparison again normalizes to "routine verdict"
+# pairs; /tmp/dryadv-jobs1.out is the unsharded baseline.
+SHJRNL=/tmp/dryadv-shards.jsonl
+rm -f "$SHJRNL" "$SHJRNL".shard*
+rcs=0
+"$DRYADV" --shards 2 --journal "$SHJRNL" --timeout 30000 "${SUITE[@]}" \
+    > /tmp/dryadv-shards.out 2> /tmp/dryadv-shards.err || rcs=$?
+if [ "$rc1" -ne "$rcs" ]; then
+  echo "exit codes diverge: unsharded -> $rc1, --shards 2 -> $rcs" >&2
+  cat /tmp/dryadv-shards.err >&2
+  exit 1
+fi
+if ! diff <(verdicts /tmp/dryadv-jobs1.out) <(verdicts /tmp/dryadv-shards.out); then
+  echo "per-routine verdicts diverge between unsharded and --shards 2" >&2
+  cat /tmp/dryadv-shards.err >&2
+  exit 1
+fi
+
+echo "== smoke: --shards 2 recovers a crash-killed shard without re-solving =="
+# crash@1 is consumed by the supervisor: it SIGKILLs shard 1 once, right
+# after its first journal record lands. The retry must resume from the
+# surviving journal (recovered > 0 in the stats line) and the final report
+# must still match an unsharded run of the same file.
+rm -f "$SHJRNL" "$SHJRNL".shard*
+rcu=0
+"$DRYADV" --timeout 30000 "$SLL" > /tmp/dryadv-sll.out 2>&1 || rcu=$?
+rcc=0
+"$DRYADV" --shards 2 --inject crash@1 --journal "$SHJRNL" --timeout 30000 \
+    "$SLL" > /tmp/dryadv-crash.out 2> /tmp/dryadv-crash.err || rcc=$?
+if [ "$rcu" -ne "$rcc" ]; then
+  echo "exit codes diverge after shard crash recovery: $rcu vs $rcc" >&2
+  cat /tmp/dryadv-crash.err >&2
+  exit 1
+fi
+if ! diff <(verdicts /tmp/dryadv-sll.out) <(verdicts /tmp/dryadv-crash.out); then
+  echo "verdicts diverge after shard crash recovery" >&2
+  cat /tmp/dryadv-crash.err >&2
+  exit 1
+fi
+grep -q "crashes=1" /tmp/dryadv-crash.err || {
+  echo "expected the supervisor stats to record exactly one injected crash" >&2
+  cat /tmp/dryadv-crash.err >&2
+  exit 1
+}
+grep -Eq "recovered=[1-9]" /tmp/dryadv-crash.err || {
+  echo "expected the retried shard to recover journaled work" >&2
+  cat /tmp/dryadv-crash.err >&2
+  exit 1
+}
+
 echo "check.sh: all gates passed"

@@ -85,6 +85,7 @@ void DispatchEngine::startAttempt(const StatePtr &St, unsigned Attempt) {
   // is no sandbox to realize them in; under isolation they travel into the
   // forked worker so the parent-side classification is what gets exercised.
   if (F && !(Spec.Sandbox.Enabled && F->InWorker)) {
+    Spec.Budget->arm(); // the injected fault stands in for real work
     SmtResult R = injectedResult(*F, Attempt);
     // An injected timeout stands in for a solver stalling until its
     // deadline; charge that stall so budget exhaustion is reachable.
@@ -112,16 +113,23 @@ void DispatchEngine::startAttempt(const StatePtr &St, unsigned Attempt) {
     auto OnWorker = [this, St, Info](const SmtResult &R) {
       handleResult(St, Info, R);
     };
+    // The budget arms when the worker actually spawns, not when the task
+    // queues: under cross-procedure scheduling an obligation can sit
+    // behind other procedures' work, and that wait is not this
+    // procedure's time.
+    auto ArmBudget = [Budget = Spec.Budget] { Budget->arm(); };
     // Retries jump the queue so an in-flight obligation finishes before
     // fresh ones start — at one slot this reproduces the sequential
     // schedule exactly. Urgent obligations (vacuity probes) jump too.
     if (Attempt > 1 || Spec.Urgent)
-      Pool.submitFront(std::move(Req), std::move(OnWorker));
+      Pool.submitFront(std::move(Req), std::move(OnWorker),
+                       std::move(ArmBudget));
     else
-      Pool.submit(std::move(Req), std::move(OnWorker));
+      Pool.submit(std::move(Req), std::move(OnWorker), std::move(ArmBudget));
   } else {
     // In-process (no sandbox) or a deterministic lowering error: solve
     // synchronously on the event-loop thread, like the classic path.
+    Spec.Budget->arm();
     handleResult(St, Info, S.check());
   }
 }
@@ -186,6 +194,7 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
 
     std::optional<Fault> F = Spec.Inject.faultFor(Rung + 1);
     if (F && !F->InWorker) {
+      Spec.Budget->arm();
       SmtResult R = injectedResult(*F, Rung + 1);
       if (R.Failure == FailureKind::Timeout)
         Spec.Budget->charge(Info.TimeoutMs);
@@ -201,6 +210,7 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
       S.setRandomSeed(Info.Seed);
     Spec.Build(S, Info);
     if (S.hasLoweringError()) {
+      Spec.Budget->arm();
       ++St->RacersPending;
       ++St->RungsRun;
       handleRungResult(St, Info, S.check());
@@ -221,8 +231,10 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
     auto OnWorker = [this, St, Info](const SmtResult &R) {
       handleRungResult(St, Info, R);
     };
-    TaskId Id = Spec.Urgent ? Pool.submitFront(std::move(Req), OnWorker)
-                            : Pool.submit(std::move(Req), OnWorker);
+    auto ArmBudget = [Budget = Spec.Budget] { Budget->arm(); };
+    TaskId Id = Spec.Urgent
+                    ? Pool.submitFront(std::move(Req), OnWorker, ArmBudget)
+                    : Pool.submit(std::move(Req), OnWorker, ArmBudget);
     St->Racing.push_back(Id);
   }
   --St->RacersPending;

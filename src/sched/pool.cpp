@@ -21,15 +21,16 @@ Scheduler::~Scheduler() {
   }
 }
 
-TaskId Scheduler::submit(SandboxRequest Req, Completion Done) {
+TaskId Scheduler::submit(SandboxRequest Req, Completion Done, OnStart Start) {
   TaskId Id = NextId++;
-  Pending.push_back({Id, std::move(Req), std::move(Done)});
+  Pending.push_back({Id, std::move(Req), std::move(Done), std::move(Start)});
   return Id;
 }
 
-TaskId Scheduler::submitFront(SandboxRequest Req, Completion Done) {
+TaskId Scheduler::submitFront(SandboxRequest Req, Completion Done,
+                              OnStart Start) {
   TaskId Id = NextId++;
-  Pending.push_front({Id, std::move(Req), std::move(Done)});
+  Pending.push_front({Id, std::move(Req), std::move(Done), std::move(Start)});
   return Id;
 }
 
@@ -53,6 +54,8 @@ void Scheduler::fill() {
   while (Active.size() < Slots && !Pending.empty()) {
     PendingTask T = std::move(Pending.front());
     Pending.pop_front();
+    if (T.Start)
+      T.Start(); // queued work becomes running work right here
     WorkerHandle W = spawnWorker(T.Req);
     if (W.SpawnFailed) {
       // fork/pipe exhaustion: classify and complete right here. The

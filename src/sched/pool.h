@@ -56,6 +56,12 @@ public:
   /// classified. May submit further tasks and cancel others.
   using Completion = std::function<void(const SmtResult &)>;
 
+  /// Runs on the event-loop thread immediately before the task's worker is
+  /// spawned — the moment queued work becomes running work. The dispatch
+  /// layer uses it to arm per-procedure deadline budgets so time spent
+  /// queued behind other procedures is never billed.
+  using OnStart = std::function<void()>;
+
   /// \p Jobs concurrent worker slots (clamped to at least 1).
   explicit Scheduler(unsigned Jobs);
   ~Scheduler();
@@ -65,12 +71,12 @@ public:
   unsigned jobs() const { return Slots; }
 
   /// Queues one sandboxed solve behind all earlier submissions.
-  TaskId submit(SandboxRequest Req, Completion Done);
+  TaskId submit(SandboxRequest Req, Completion Done, OnStart Start = {});
 
   /// Queues one sandboxed solve ahead of everything still pending: the next
   /// attempt of an obligation the pool already started, or a dependent
   /// follow-up that must not wait behind fresh work.
-  TaskId submitFront(SandboxRequest Req, Completion Done);
+  TaskId submitFront(SandboxRequest Req, Completion Done, OnStart Start = {});
 
   /// Cancels a queued or running task; its completion will never run. A
   /// running worker is SIGKILLed and reaped. Returns false when the id is
@@ -89,6 +95,7 @@ private:
     TaskId Id;
     SandboxRequest Req;
     Completion Done;
+    OnStart Start;
   };
   struct RunningTask {
     TaskId Id;

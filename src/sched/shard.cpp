@@ -1,0 +1,212 @@
+//===--- shard.cpp - Sharded verification supervisor ------------------------===//
+
+#include "sched/shard.h"
+
+#include "smt/sandbox.h"
+#include "verifier/journal.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unordered_set>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dryad;
+
+namespace {
+
+/// How often the supervisor samples wait statuses and journal heartbeats.
+constexpr unsigned TickMs = 50;
+
+/// Forks one shard driver. The child's stdout is pointed at /dev/null —
+/// only the supervisor's final assembly pass prints the report, so a
+/// shard's own report text must never reach the user — and the parent's
+/// termination handlers are reset so a group-wide SIGINT cannot make the
+/// shard kill its siblings' registry entries.
+pid_t spawnShard(unsigned Shard, bool Resuming,
+                 const ShardSupervisor::ShardFn &Fn) {
+  pid_t Pid = fork();
+  if (Pid != 0) {
+    if (Pid > 0)
+      registerChildPid(Pid);
+    return Pid;
+  }
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
+  int Null = open("/dev/null", O_WRONLY);
+  if (Null >= 0) {
+    dup2(Null, STDOUT_FILENO);
+    close(Null);
+  }
+  _exit(Fn(Shard, Resuming));
+}
+
+/// Size of \p Path in bytes; 0 when it does not exist yet. The journal is
+/// append-only, so growth is a faithful liveness signal: a shard with work
+/// left makes progress iff its journal grows within the solver-deadline
+/// ceiling.
+size_t fileSize(const std::string &Path) {
+  struct stat St;
+  if (stat(Path.c_str(), &St) != 0)
+    return 0;
+  return static_cast<size_t>(St.st_size);
+}
+
+/// Distinct completed obligations (probe records excluded) in a shard's
+/// surviving journal — the work a retry will NOT redo.
+size_t survivingRecords(const std::string &Path) {
+  std::ifstream In(Path);
+  std::unordered_set<std::string> Keys;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    auto R = Journal::parseLine(Line);
+    if (!R)
+      continue; // torn tail of the crashed run
+    if (R->Key.size() >= 8 && R->Key.compare(R->Key.size() - 8, 8,
+                                             ":vacuity") == 0)
+      continue;
+    Keys.insert(R->Key);
+  }
+  return Keys.size();
+}
+
+} // namespace
+
+struct ShardSupervisor::Child {
+  pid_t Pid = -1;
+  unsigned Shard = 0;
+  bool Live = false;
+  bool Done = false; ///< completed or declared lost
+  /// crash@<shard+1> armed: SIGKILL this shard once its first journal
+  /// record lands, so the retry provably has completed work to recover.
+  bool InjectArmed = false;
+  size_t LastSize = 0;
+  std::chrono::steady_clock::time_point LastGrowth;
+};
+
+bool ShardSupervisor::run() {
+  std::vector<Child> Children(Opts.Shards);
+  auto Now = std::chrono::steady_clock::now();
+
+  auto launch = [&](unsigned I, bool Resuming) {
+    Child &C = Children[I];
+    C.Shard = I;
+    C.Pid = spawnShard(I, Resuming, Fn);
+    ++Stats[I].Launches;
+    if (C.Pid < 0) {
+      // fork failure: treat like an instant crash; the retry loop below
+      // decides whether launches remain.
+      C.Live = false;
+      ++Stats[I].Crashes;
+      return;
+    }
+    C.Live = true;
+    C.LastSize = fileSize(Opts.ShardJournals[I]);
+    C.LastGrowth = std::chrono::steady_clock::now();
+  };
+
+  for (unsigned I = 0; I != Opts.Shards; ++I) {
+    // A crash@N plan whose attempt number names this 1-based shard index is
+    // consumed here, not forwarded: the supervisor itself is the component
+    // under test.
+    auto F = Opts.Inject.faultFor(I + 1);
+    Children[I].InjectArmed = F && F->Kind == FailureKind::SolverCrash;
+    launch(I, /*Resuming=*/false);
+  }
+
+  auto retryOrLose = [&](unsigned I) {
+    Child &C = Children[I];
+    C.Live = false;
+    // Loop so a fork failure during relaunch burns a retry and tries again
+    // instead of silently abandoning the shard below its retry cap.
+    while (!C.Live && !C.Done) {
+      if (Stats[I].Launches > Opts.MaxRetries) {
+        C.Done = true; // lost: retries exhausted, assembly will be partial
+        break;
+      }
+      Stats[I].RecoveredRecords = survivingRecords(Opts.ShardJournals[I]);
+      launch(I, /*Resuming=*/true);
+    }
+  };
+
+  for (;;) {
+    bool AnyLive = false;
+    for (unsigned I = 0; I != Opts.Shards; ++I) {
+      Child &C = Children[I];
+      if (C.Done)
+        continue;
+      if (!C.Live) {
+        // fork failed on the last (re)launch attempt
+        retryOrLose(I);
+        if (!C.Live && C.Done)
+          continue;
+      }
+      if (!C.Live)
+        continue;
+      AnyLive = true;
+
+      // Wait status first: a reaped shard needs no heartbeat.
+      int WStatus = 0;
+      pid_t W = waitpid(C.Pid, &WStatus, WNOHANG);
+      if (W == C.Pid) {
+        unregisterChildPid(C.Pid);
+        C.Pid = -1;
+        if (WIFEXITED(WStatus) && (WEXITSTATUS(WStatus) == 0 ||
+                                   WEXITSTATUS(WStatus) == 1 ||
+                                   WEXITSTATUS(WStatus) == 3)) {
+          // Verified, genuine failures, or infra failures — all are *the
+          // shard driver completing*; the verdicts live in its journal.
+          Stats[I].ExitCode = WEXITSTATUS(WStatus);
+          Stats[I].Completed = true;
+          C.Live = false;
+          C.Done = true;
+        } else {
+          // Signal death (real crash, injected SIGKILL, stall kill) or a
+          // usage-level exit the driver should never produce: retry with
+          // the surviving journal.
+          Stats[I].ExitCode =
+              WIFEXITED(WStatus) ? WEXITSTATUS(WStatus) : -1;
+          ++Stats[I].Crashes;
+          retryOrLose(I);
+        }
+        continue;
+      }
+
+      // Heartbeat: the journal grows once per completed obligation. No
+      // growth inside the stall window while the shard still runs means a
+      // wedged driver (not a wedged *worker* — those die at their own
+      // wall-clock deadline well inside this window).
+      Now = std::chrono::steady_clock::now();
+      size_t Size = fileSize(Opts.ShardJournals[I]);
+      if (Size > C.LastSize) {
+        C.LastSize = Size;
+        C.LastGrowth = Now;
+        if (C.InjectArmed) {
+          C.InjectArmed = false; // once per shard, never re-armed on retry
+          kill(C.Pid, SIGKILL);
+        }
+      } else if (Opts.StallMs != 0 &&
+                 std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Now - C.LastGrowth)
+                         .count() > static_cast<long>(Opts.StallMs)) {
+        ++Stats[I].Stalls;
+        kill(C.Pid, SIGKILL);
+        C.LastGrowth = Now; // the kill lands; next tick reaps and retries
+      }
+    }
+    if (!AnyLive)
+      break;
+    usleep(TickMs * 1000);
+  }
+
+  bool AllCompleted = true;
+  for (const ShardStat &S : Stats)
+    AllCompleted &= S.Completed;
+  return AllCompleted;
+}

@@ -1,0 +1,106 @@
+//===--- shard.h - Sharded verification supervisor --------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault-tolerant sharded verification. Two pieces:
+///
+///  * `shardOf` — the partition function. A shard owns an obligation iff
+///    the FNV-1a hash of the obligation's plan-time content key maps to its
+///    index. Every shard plans the *whole* module (planning is cheap; only
+///    discharge is expensive), so the partition needs no coordination and
+///    is stable across runs, machines, and `--jobs` values.
+///
+///  * `ShardSupervisor` — the `--shards n` driver. It forks one shard
+///    driver per index, monitors them with the same poll(2)-style
+///    primitives the worker pool uses (wait status for crash/exit,
+///    per-shard journal growth as a heartbeat for hangs), and retries a
+///    crashed or hung shard with its surviving journal so completed
+///    obligations are never redone. A shard that stays unrecoverable after
+///    the retry cap is reported as lost; the caller then assembles a
+///    partial report from the journals that do exist and exits with the
+///    infrastructure code instead of wedging the whole run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SCHED_SHARD_H
+#define DRYAD_SCHED_SHARD_H
+
+#include "smt/inject.h"
+#include "support/hash.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// Which shard owns the obligation with journal content key \p Key when the
+/// run is split \p ShardCount ways. Deterministic in the key alone.
+inline unsigned shardOf(const std::string &Key, unsigned ShardCount) {
+  if (ShardCount <= 1)
+    return 0;
+  return static_cast<unsigned>(fnv1a64(Key) % ShardCount);
+}
+
+struct ShardSupervisorOptions {
+  unsigned Shards = 2;
+  /// Retries per shard after a crash or stall before declaring it lost.
+  unsigned MaxRetries = 2;
+  /// A shard with live (in-flight) work whose journal has not grown for
+  /// this long is declared hung and SIGKILLed for a retry. 0 = pick a
+  /// ceiling from the solver deadlines (callers pass one derived from the
+  /// retry ladder's worst case).
+  unsigned StallMs = 60000;
+  /// Per-shard journal paths, indexed by shard (JournalBase + ".shard<i>").
+  std::vector<std::string> ShardJournals;
+  /// Supervisor-consumed fault plan: a `crash@N` whose attempt number is a
+  /// 1-based shard index SIGKILLs that shard once after its first journal
+  /// record appears — the recovery path's deterministic test hook. All
+  /// other plans are forwarded to the shard drivers by the caller.
+  FaultPlan Inject;
+};
+
+/// Per-shard outcome bookkeeping, reported to stderr by the caller.
+struct ShardStat {
+  int ExitCode = -1;      ///< last wait status mapped to an exit code, or -1
+  unsigned Launches = 0;  ///< 1 + retries actually spent
+  unsigned Crashes = 0;   ///< abnormal deaths observed (incl. injected)
+  unsigned Stalls = 0;    ///< heartbeat expiries that forced a kill
+  bool Completed = false; ///< reached a clean exit (verified/failed/infra)
+  /// Journal records that survived into the shard's final journal before
+  /// its last (re)launch — the work recovery did NOT redo.
+  size_t RecoveredRecords = 0;
+};
+
+class ShardSupervisor {
+public:
+  /// Runs one shard driver's whole verification slice in a forked child;
+  /// returns the child's exit code. \p Resuming is true on retry launches,
+  /// where the surviving journal must be replayed instead of truncated.
+  using ShardFn = std::function<int(unsigned Shard, bool Resuming)>;
+
+  ShardSupervisor(ShardSupervisorOptions Opts, ShardFn Fn)
+      : Opts(std::move(Opts)), Fn(std::move(Fn)), Stats(this->Opts.Shards) {}
+
+  /// Forks every shard driver and supervises until each either completes
+  /// (exit 0, 1, or 3) or exhausts its retries. Returns true when every
+  /// shard completed; false means at least one shard is lost and the report
+  /// assembled from the journals will be partial.
+  bool run();
+
+  const std::vector<ShardStat> &stats() const { return Stats; }
+
+private:
+  struct Child;
+
+  ShardSupervisorOptions Opts;
+  ShardFn Fn;
+  std::vector<ShardStat> Stats;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_SCHED_SHARD_H

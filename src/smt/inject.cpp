@@ -13,6 +13,14 @@ std::optional<Fault> FaultPlan::faultFor(unsigned Attempt) const {
   return std::nullopt;
 }
 
+FaultPlan FaultPlan::withoutCrashes() const {
+  FaultPlan Out;
+  for (const Fault &F : Faults)
+    if (F.Kind != FailureKind::SolverCrash)
+      Out.addFault(F);
+  return Out;
+}
+
 namespace {
 struct ParsedKind {
   FailureKind Kind;

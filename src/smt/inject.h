@@ -64,6 +64,11 @@ public:
   /// or nullopt to let the real solver run.
   std::optional<Fault> faultFor(unsigned Attempt) const;
 
+  /// The sub-plan forwarded to shard drivers under `--shards n`: crash
+  /// faults are removed, because there the supervisor consumes them —
+  /// `crash@N` names the 1-based shard to SIGKILL, not a solver attempt.
+  FaultPlan withoutCrashes() const;
+
   /// Parses the CLI spec described in the file header. Returns nullopt and
   /// fills \p Err on malformed input.
   static std::optional<FaultPlan> parse(const std::string &Spec,

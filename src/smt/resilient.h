@@ -47,21 +47,36 @@ namespace dryad {
 /// Wall-clock budget shared by every obligation of one procedure. A zero
 /// budget means "unlimited". Injected timeouts charge their virtual stall
 /// through charge() so budget exhaustion is reachable deterministically.
+///
+/// The clock starts at arm(), not at construction: under cross-procedure
+/// scheduling every procedure's budget exists from plan time, but a
+/// procedure queued behind other procedures' work must not be billed for
+/// it. The dispatch layer arms a budget when the first attempt it governs
+/// actually starts (worker spawn, in-process check, or injected fault).
 class DeadlineBudget {
 public:
   DeadlineBudget() = default; ///< unlimited
-  explicit DeadlineBudget(unsigned Ms)
-      : Limited(Ms != 0), BudgetMs(Ms),
-        Start(std::chrono::steady_clock::now()) {}
+  explicit DeadlineBudget(unsigned Ms) : Limited(Ms != 0), BudgetMs(Ms) {}
 
   bool unlimited() const { return !Limited; }
+
+  /// Starts the wall clock; idempotent. Until armed, only charge()d time
+  /// counts against the budget.
+  void arm() {
+    if (!Armed) {
+      Armed = true;
+      Start = std::chrono::steady_clock::now();
+    }
+  }
 
   unsigned remainingMs() const {
     if (!Limited)
       return std::numeric_limits<unsigned>::max();
-    double Elapsed = std::chrono::duration<double, std::milli>(
-                         std::chrono::steady_clock::now() - Start)
-                         .count();
+    double Elapsed =
+        Armed ? std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count()
+              : 0.0;
     double Used = Elapsed + ChargedMs;
     return Used >= BudgetMs ? 0 : static_cast<unsigned>(BudgetMs - Used);
   }
@@ -74,6 +89,7 @@ public:
 
 private:
   bool Limited = false;
+  bool Armed = false;
   unsigned BudgetMs = 0;
   unsigned ChargedMs = 0;
   std::chrono::steady_clock::time_point Start;

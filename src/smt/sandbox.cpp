@@ -2,6 +2,7 @@
 
 #include "smt/sandbox.h"
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -152,6 +153,10 @@ void writeAll(int Fd, const std::string &Data) {
 }
 
 [[noreturn]] void childMain(const SandboxRequest &Req, int Fd) {
+  // The parent's SIGINT/SIGTERM handlers must not run here: this process's
+  // copy of the pid table lists siblings, not children.
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
   if (!applyLimits(Req))
     _exit(ExitSetup);
 
@@ -241,6 +246,66 @@ void writeAll(int Fd, const std::string &Data) {
 } // namespace
 
 //===----------------------------------------------------------------------===//
+// Child registry and termination handlers
+//===----------------------------------------------------------------------===//
+
+namespace {
+// Lock-free pid table: the only state the termination handler reads, so it
+// stays async-signal-safe. 0 marks a free slot.
+constexpr int MaxTrackedChildren = 512;
+std::atomic<pid_t> TrackedPids[MaxTrackedChildren];
+std::atomic<int> TermJournalFd{-1};
+
+void terminationHandler(int) {
+  // Async-signal-safe only: fsync, kill, waitpid, _exit. The journal was
+  // already flushed per record from userspace; fsync pushes it to disk.
+  int Fd = TermJournalFd.load(std::memory_order_relaxed);
+  if (Fd >= 0)
+    fsync(Fd);
+  for (int I = 0; I != MaxTrackedChildren; ++I) {
+    pid_t P = TrackedPids[I].load(std::memory_order_relaxed);
+    if (P > 0)
+      kill(P, SIGKILL);
+  }
+  for (int I = 0; I != MaxTrackedChildren; ++I) {
+    pid_t P = TrackedPids[I].load(std::memory_order_relaxed);
+    if (P > 0)
+      while (waitpid(P, nullptr, 0) < 0 && errno == EINTR)
+        ;
+  }
+  _exit(130);
+}
+} // namespace
+
+void dryad::registerChildPid(pid_t Pid) {
+  for (int I = 0; I != MaxTrackedChildren; ++I) {
+    pid_t Free = 0;
+    if (TrackedPids[I].compare_exchange_strong(Free, Pid))
+      return;
+  }
+  // Table full: drop the registration. The owner still reaps the child;
+  // it just cannot be killed from the termination handler.
+}
+
+void dryad::unregisterChildPid(pid_t Pid) {
+  for (int I = 0; I != MaxTrackedChildren; ++I) {
+    pid_t P = Pid;
+    if (TrackedPids[I].compare_exchange_strong(P, 0))
+      return;
+  }
+}
+
+void dryad::installTerminationHandlers(int JournalFd) {
+  TermJournalFd.store(JournalFd);
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = terminationHandler;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
 // Parent side
 //===----------------------------------------------------------------------===//
 
@@ -278,6 +343,7 @@ WorkerHandle dryad::spawnWorker(const SandboxRequest &Req) {
   close(Fds[1]);
   W.Pid = Pid;
   W.Fd = Fds[0];
+  registerChildPid(Pid);
   return W;
 }
 
@@ -321,6 +387,7 @@ SmtResult dryad::finishWorker(WorkerHandle &W) {
   int WStatus = 0;
   while (waitpid(W.Pid, &WStatus, 0) < 0 && errno == EINTR)
     ;
+  unregisterChildPid(W.Pid);
   W.Pid = -1;
 
   SmtResult R;

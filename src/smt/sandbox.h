@@ -149,6 +149,31 @@ struct SandboxOptions {
   unsigned MemLimitMb = 0; ///< `--mem-limit-mb`; 0 = no cap
 };
 
+//===----------------------------------------------------------------------===//
+// Child registry and termination handlers
+//===----------------------------------------------------------------------===//
+//
+// Every live child — solver workers here, shard drivers in sched/shard.* —
+// is tracked in a lock-free table of atomic pids so a SIGINT/SIGTERM
+// handler can SIGKILL and reap all of them without touching any non-async-
+// signal-safe state. spawnWorker/finishWorker register and unregister
+// automatically; other child-spawning code must do so itself.
+
+/// Adds \p Pid to the termination-handler kill list. Best effort: a full
+/// table drops the registration (the owner still reaps the child normally).
+void registerChildPid(pid_t Pid);
+
+/// Removes \p Pid after it has been reaped.
+void unregisterChildPid(pid_t Pid);
+
+/// Installs SIGINT/SIGTERM handlers that fsync(\p JournalFd) when it is
+/// >= 0 (the journal is flushed per record by construction, so fsync is all
+/// that is left — and all that is async-signal-safe), SIGKILL and reap
+/// every registered child (no zombie workers survive the run), and
+/// _exit(130). Forked children reset these to SIG_DFL so a group-wide
+/// signal cannot make workers kill their siblings' entries.
+void installTerminationHandlers(int JournalFd);
+
 } // namespace dryad
 
 #endif // DRYAD_SMT_SANDBOX_H

@@ -10,7 +10,11 @@
 //   --no-degrade          don't retry with reduced tactic sets after the
 //                         scheduled attempts are exhausted
 //   --inject <plan>       deterministic fault injection, e.g. timeout@1,
-//                         crash@1, oom@2 (see src/smt/inject.h)
+//                         crash@1, oom@2 (see src/smt/inject.h). Under
+//                         --shards, crash@N is consumed by the supervisor:
+//                         it SIGKILLs the Nth (1-based) shard once after its
+//                         first journal record, exercising recovery; the
+//                         rest of the plan is forwarded to the shard drivers
 //   --isolate             discharge each attempt in a forked, rlimited
 //                         worker process: a solver segfault or runaway
 //                         allocation fails (and retries) one attempt
@@ -25,9 +29,38 @@
 //                         killing the losers (implies --isolate)
 //   --mem-limit-mb <mb>   RLIMIT_AS cap for isolated workers; 0 = no cap
 //   --journal <file>      append every obligation outcome to a crash-safe
-//                         JSONL journal (write-then-flush per record)
+//                         JSONL journal (write-then-flush per record, each
+//                         append under flock(2))
+//   --fsync-journal       fsync(2) the journal after every record: bounds a
+//                         power loss, not just a process kill, to one torn
+//                         tail record
 //   --resume              with --journal: skip obligations the journal
 //                         already proves, replay everything else
+//   --shard <i>/<n>       discharge only the 1/nth slice of the planned
+//                         obligations whose content key maps to shard <i>
+//                         (0-based); requires --journal. Every shard plans
+//                         the whole module, so the partition needs no
+//                         coordination; the per-shard journals merge into a
+//                         complete run (see --shards)
+//   --shards <n>          supervise <n> forked shard drivers over this
+//                         machine: monitor each by wait status and journal
+//                         heartbeat, SIGKILL+retry a crashed or hung shard
+//                         with its surviving journal (completed obligations
+//                         are not redone), then merge the per-shard journals
+//                         into --journal's path and assemble the report from
+//                         it. Requires --journal. A shard still dead after
+//                         --shard-retries relaunches degrades the run to a
+//                         partial report and exit 3
+//   --shard-retries <k>   relaunches per crashed/hung shard (default 2)
+//   --shard-stall-ms <ms> declare a shard hung when its journal has not
+//                         grown for <ms>; 0 (default) derives a ceiling from
+//                         the retry ladder's worst case
+//   --from-journal        dispatch nothing: plan every obligation and
+//                         assemble the report from --journal's records (what
+//                         the supervisor runs after the merge). An
+//                         obligation without a record, or a journaled proof
+//                         whose vacuity verdict is missing, is reported as
+//                         an infrastructure failure, never trusted
 //   --no-unfold           disable unfolding across the footprint (ablation)
 //   --no-frames           disable frame instantiation (ablation)
 //   --no-axioms           disable user-axiom instantiation (ablation)
@@ -40,12 +73,18 @@
 //      obligation the solver answered but could not prove
 //   2  usage error
 //   3  verification incomplete for infrastructure reasons only (timeouts,
-//      solver crashes, resource exhaustion, injected faults) — "the solver
-//      flaked", not "a bug was found"; CI can retry on 3 and alarm on 1
+//      solver crashes, resource exhaustion, injected faults, lost shards) —
+//      "the solver flaked", not "a bug was found"; CI can retry on 3 and
+//      alarm on 1
+//   130  interrupted (SIGINT/SIGTERM); the journal is flushed and every
+//        child — solver workers and shard drivers — is killed and reaped
 //
 //===----------------------------------------------------------------------===//
 
 #include "lang/parser.h"
+#include "sched/shard.h"
+#include "smt/sandbox.h"
+#include "verifier/journal.h"
 #include "verifier/report.h"
 #include "verifier/verifier.h"
 
@@ -54,73 +93,35 @@
 #include <optional>
 #include <thread>
 
+#include <unistd.h>
+
 using namespace dryad;
 
-int main(int Argc, char **Argv) {
-  VerifyOptions Opts;
-  bool Verbose = false;
-  std::vector<std::string> Files;
+namespace {
 
-  for (int I = 1; I != Argc; ++I) {
-    if (!std::strcmp(Argv[I], "--timeout") && I + 1 < Argc)
-      Opts.TimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--attempts") && I + 1 < Argc)
-      Opts.Attempts = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--proc-budget-ms") && I + 1 < Argc)
-      Opts.ProcBudgetMs = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--no-degrade"))
-      Opts.DegradeTactics = false;
-    else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc) {
-      std::string Err;
-      std::optional<FaultPlan> Plan = FaultPlan::parse(Argv[++I], Err);
-      if (!Plan) {
-        std::fprintf(stderr, "--inject: %s\n", Err.c_str());
-        return 2;
-      }
-      Opts.Inject = *Plan;
-    } else if (!std::strcmp(Argv[I], "--isolate"))
-      Opts.Isolate = true;
-    else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
-      Opts.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
-      if (Opts.Jobs == 0) {
-        Opts.Jobs = std::thread::hardware_concurrency();
-        if (Opts.Jobs == 0)
-          Opts.Jobs = 1;
-      }
-    } else if (!std::strcmp(Argv[I], "--portfolio"))
-      Opts.Portfolio = true;
-    else if (!std::strcmp(Argv[I], "--mem-limit-mb") && I + 1 < Argc)
-      Opts.MemLimitMb = static_cast<unsigned>(std::atoi(Argv[++I]));
-    else if (!std::strcmp(Argv[I], "--journal") && I + 1 < Argc)
-      Opts.JournalPath = Argv[++I];
-    else if (!std::strcmp(Argv[I], "--resume"))
-      Opts.Resume = true;
-    else if (!std::strcmp(Argv[I], "--no-unfold"))
-      Opts.Natural.Unfold = false;
-    else if (!std::strcmp(Argv[I], "--no-frames"))
-      Opts.Natural.Frames = false;
-    else if (!std::strcmp(Argv[I], "--no-axioms"))
-      Opts.Natural.Axioms = false;
-    else if (!std::strcmp(Argv[I], "--dump-smt2") && I + 1 < Argc)
-      Opts.DumpSmt2Dir = Argv[++I];
-    else if (!std::strcmp(Argv[I], "--verbose"))
-      Verbose = true;
-    else if (Argv[I][0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", Argv[I]);
-      return 2;
-    } else {
-      Files.push_back(Argv[I]);
-    }
-  }
-  if (Files.empty()) {
-    std::fprintf(stderr, "usage: dryadv [options] file.dryad...\n");
-    return 2;
-  }
-  if (Opts.Resume && Opts.JournalPath.empty()) {
-    std::fprintf(stderr, "--resume requires --journal <file>\n");
-    return 2;
-  }
+/// Parses "<i>/<n>" for --shard. Returns false on malformed input.
+bool parseShardSpec(const char *Spec, unsigned &Index, unsigned &Count) {
+  char *End = nullptr;
+  long I = std::strtol(Spec, &End, 10);
+  if (End == Spec || *End != '/' || I < 0)
+    return false;
+  const char *Rest = End + 1;
+  long N = std::strtol(Rest, &End, 10);
+  if (End == Rest || *End != '\0' || N < 1 || I >= N)
+    return false;
+  Index = static_cast<unsigned>(I);
+  Count = static_cast<unsigned>(N);
+  return true;
+}
 
+/// Parses, verifies, and reports every file under \p Opts; returns the
+/// process exit code (0/1/3 taxonomy above). This is the whole single-
+/// process verifier — the supervisor runs it once per shard driver (in a
+/// fork, with the shard filter set) and once more in-process for report
+/// assembly. When \p SliceCounts is non-null, each file's per-shard
+/// obligation counts are accumulated into it.
+int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
+             bool Verbose, std::vector<size_t> *SliceCounts = nullptr) {
   bool AllVerified = true;
   // Exit-code taxonomy: a genuine failure (counterexample, vacuous
   // contract, honestly-unproved obligation, unparseable input) beats an
@@ -137,10 +138,29 @@ int main(int Argc, char **Argv) {
       continue;
     }
     Verifier V(M, Opts);
-    if (!V.journalError().empty())
+    if (!V.journalError().empty()) {
+      if (Opts.ShardCount > 1 || Opts.AssembleFromJournal) {
+        // Sharding without a journal is meaningless: the records ARE the
+        // shard's output (and assembly's input). Fail loudly instead of
+        // silently verifying the full module.
+        std::fprintf(stderr, "error: %s\n", V.journalError().c_str());
+        AllVerified = false;
+        continue;
+      }
       std::fprintf(stderr, "warning: %s (continuing without a journal)\n",
                    V.journalError().c_str());
+    }
+    // From here on, SIGINT/SIGTERM flushes this journal and kills every
+    // forked worker before exiting 130.
+    installTerminationHandlers(V.journalFd());
     std::vector<ProcResult> Results = V.verifyAll(Diags);
+    if (SliceCounts) {
+      const std::vector<size_t> &S = V.shardSliceCounts();
+      if (SliceCounts->size() < S.size())
+        SliceCounts->resize(S.size(), 0);
+      for (size_t I = 0; I != S.size(); ++I)
+        (*SliceCounts)[I] += S[I];
+    }
     if (Diags.hasErrors())
       std::fprintf(stderr, "%s", Diags.str().c_str());
     std::printf("%s", formatResults(File, Results).c_str());
@@ -189,4 +209,206 @@ int main(int Argc, char **Argv) {
   if (AllVerified)
     return 0;
   return AnyGenuineFailure ? 1 : 3;
+}
+
+/// The `--shards n` supervisor: fork shard drivers, babysit them, merge
+/// their journals into Opts.JournalPath, assemble the report from the
+/// merge. Returns the process exit code.
+int runSupervised(const std::vector<std::string> &Files,
+                  const VerifyOptions &Opts, bool Verbose, unsigned Shards,
+                  unsigned Retries, unsigned StallMs) {
+  ShardSupervisorOptions SO;
+  SO.Shards = Shards;
+  SO.MaxRetries = Retries;
+  // Auto stall ceiling: a live shard journals at least once per finished
+  // obligation, and one obligation's worst case is the whole retry ladder —
+  // every scheduled attempt at the full deadline — plus degraded redispatch
+  // slack. Journal growth slower than that means a wedged driver.
+  SO.StallMs = StallMs != 0
+                   ? StallMs
+                   : (Opts.Attempts + 2) * std::max(1u, Opts.TimeoutMs) + 30000;
+  SO.Inject = Opts.Inject;
+  for (unsigned I = 0; I != Shards; ++I) {
+    SO.ShardJournals.push_back(Opts.JournalPath + ".shard" +
+                               std::to_string(I));
+    // Stale journals from an earlier supervised run would make the
+    // heartbeat lie (pre-grown files) and the merge resurrect outdated
+    // verdicts. Fresh launches start clean; only retries resume.
+    unlink(SO.ShardJournals.back().c_str());
+  }
+
+  // Children inherit these handlers replaced by their own (spawnShard
+  // resets to SIG_DFL); the supervisor itself holds no journal writer, so
+  // there is nothing to fsync — just kill and reap the tree.
+  installTerminationHandlers(-1);
+
+  ShardSupervisor Sup(SO, [&](unsigned Shard, bool Resuming) {
+    VerifyOptions Child = Opts;
+    Child.ShardIndex = Shard;
+    Child.ShardCount = Shards;
+    Child.JournalPath = Opts.JournalPath + ".shard" + std::to_string(Shard);
+    Child.Resume = Resuming;
+    Child.Inject = Opts.Inject.withoutCrashes();
+    return runFiles(Files, Child, /*Verbose=*/false);
+  });
+  bool AllCompleted = Sup.run();
+
+  std::string MergeErr;
+  if (!Journal::mergeFiles(SO.ShardJournals, Opts.JournalPath, MergeErr)) {
+    std::fprintf(stderr, "error: journal merge failed: %s\n",
+                 MergeErr.c_str());
+    return 3;
+  }
+
+  // Assemble the final report by re-planning every obligation against the
+  // merged journal. Verdict-wise this is byte-identical to an unsharded
+  // run; a lost shard surfaces as per-obligation infrastructure failures.
+  VerifyOptions Asm = Opts;
+  Asm.ShardCount = Shards; // for the slice tally below
+  Asm.AssembleFromJournal = true;
+  Asm.Resume = false;
+  Asm.Inject = FaultPlan();
+  std::vector<size_t> SliceCounts;
+  int Exit = runFiles(Files, Asm, Verbose, &SliceCounts);
+
+  // Recovery accounting, on stderr so stdout stays the plain report.
+  size_t TotalRecovered = 0;
+  unsigned TotalRetries = 0;
+  for (unsigned I = 0; I != Shards; ++I) {
+    const ShardStat &S = Sup.stats()[I];
+    size_t Slice = I < SliceCounts.size() ? SliceCounts[I] : 0;
+    TotalRecovered += S.RecoveredRecords;
+    TotalRetries += S.Launches - 1;
+    std::fprintf(stderr,
+                 "shard %u/%u: %s, slice=%zu launches=%u crashes=%u "
+                 "stalls=%u recovered=%zu\n",
+                 I, Shards, S.Completed ? "completed" : "LOST", Slice,
+                 S.Launches, S.Crashes, S.Stalls, S.RecoveredRecords);
+    if (!S.Completed && Slice != 0 && Exit == 0)
+      Exit = 3; // a lost shard with owned work can never be a clean pass
+  }
+  if (TotalRetries)
+    std::fprintf(stderr,
+                 "shard supervisor: %u retr%s, %zu journaled obligation%s "
+                 "recovered without re-solving\n",
+                 TotalRetries, TotalRetries == 1 ? "y" : "ies",
+                 TotalRecovered, TotalRecovered == 1 ? "" : "s");
+  if (!AllCompleted)
+    std::fprintf(stderr,
+                 "shard supervisor: partial report — at least one shard "
+                 "exhausted its %u retries\n",
+                 Retries);
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  VerifyOptions Opts;
+  bool Verbose = false;
+  unsigned Shards = 0; // --shards n supervisor mode when > 1
+  unsigned ShardRetries = 2;
+  unsigned ShardStallMs = 0;
+  std::vector<std::string> Files;
+
+  for (int I = 1; I != Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--timeout") && I + 1 < Argc)
+      Opts.TimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--attempts") && I + 1 < Argc)
+      Opts.Attempts = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--proc-budget-ms") && I + 1 < Argc)
+      Opts.ProcBudgetMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-degrade"))
+      Opts.DegradeTactics = false;
+    else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc) {
+      std::string Err;
+      std::optional<FaultPlan> Plan = FaultPlan::parse(Argv[++I], Err);
+      if (!Plan) {
+        std::fprintf(stderr, "--inject: %s\n", Err.c_str());
+        return 2;
+      }
+      Opts.Inject = *Plan;
+    } else if (!std::strcmp(Argv[I], "--isolate"))
+      Opts.Isolate = true;
+    else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc) {
+      Opts.Jobs = static_cast<unsigned>(std::atoi(Argv[++I]));
+      if (Opts.Jobs == 0) {
+        Opts.Jobs = std::thread::hardware_concurrency();
+        if (Opts.Jobs == 0)
+          Opts.Jobs = 1;
+      }
+    } else if (!std::strcmp(Argv[I], "--portfolio"))
+      Opts.Portfolio = true;
+    else if (!std::strcmp(Argv[I], "--mem-limit-mb") && I + 1 < Argc)
+      Opts.MemLimitMb = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--journal") && I + 1 < Argc)
+      Opts.JournalPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--fsync-journal"))
+      Opts.FsyncJournal = true;
+    else if (!std::strcmp(Argv[I], "--resume"))
+      Opts.Resume = true;
+    else if (!std::strcmp(Argv[I], "--shard") && I + 1 < Argc) {
+      if (!parseShardSpec(Argv[++I], Opts.ShardIndex, Opts.ShardCount)) {
+        std::fprintf(stderr,
+                     "--shard wants <i>/<n> with 0 <= i < n (got '%s')\n",
+                     Argv[I]);
+        return 2;
+      }
+    } else if (!std::strcmp(Argv[I], "--shards") && I + 1 < Argc) {
+      int N = std::atoi(Argv[++I]);
+      if (N < 1) {
+        std::fprintf(stderr, "--shards wants a positive count\n");
+        return 2;
+      }
+      Shards = static_cast<unsigned>(N);
+    } else if (!std::strcmp(Argv[I], "--shard-retries") && I + 1 < Argc)
+      ShardRetries = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--shard-stall-ms") && I + 1 < Argc)
+      ShardStallMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--from-journal"))
+      Opts.AssembleFromJournal = true;
+    else if (!std::strcmp(Argv[I], "--no-unfold"))
+      Opts.Natural.Unfold = false;
+    else if (!std::strcmp(Argv[I], "--no-frames"))
+      Opts.Natural.Frames = false;
+    else if (!std::strcmp(Argv[I], "--no-axioms"))
+      Opts.Natural.Axioms = false;
+    else if (!std::strcmp(Argv[I], "--dump-smt2") && I + 1 < Argc)
+      Opts.DumpSmt2Dir = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--verbose"))
+      Verbose = true;
+    else if (Argv[I][0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", Argv[I]);
+      return 2;
+    } else {
+      Files.push_back(Argv[I]);
+    }
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "usage: dryadv [options] file.dryad...\n");
+    return 2;
+  }
+  if (Opts.Resume && Opts.JournalPath.empty()) {
+    std::fprintf(stderr, "--resume requires --journal <file>\n");
+    return 2;
+  }
+  if ((Opts.ShardCount > 1 || Shards > 0 || Opts.AssembleFromJournal) &&
+      Opts.JournalPath.empty()) {
+    std::fprintf(stderr,
+                 "--shard/--shards/--from-journal require --journal <file>: "
+                 "the journal is the shard's output and the merge's input\n");
+    return 2;
+  }
+  if (Shards > 0 && (Opts.ShardCount > 1 || Opts.AssembleFromJournal)) {
+    std::fprintf(stderr,
+                 "--shards supervises its own shard drivers; it cannot be "
+                 "combined with --shard or --from-journal\n");
+    return 2;
+  }
+
+  if (Shards > 1)
+    return runSupervised(Files, Opts, Verbose, Shards, ShardRetries,
+                         ShardStallMs);
+  // --shards 1 is a degenerate but valid request: run unsharded.
+  return runFiles(Files, Opts, Verbose);
 }

@@ -10,6 +10,9 @@
 #include <cstring>
 #include <fstream>
 
+#include <sys/file.h>
+#include <unistd.h>
+
 using namespace dryad;
 
 //===----------------------------------------------------------------------===//
@@ -242,7 +245,7 @@ std::optional<JournalRecord> Journal::parseLine(const std::string &Line) {
 
 bool Journal::open(const std::string &Path, bool LoadExisting,
                    std::string &Err) {
-  if (Out) {
+  if (Out || ReadOnly) {
     Err = "journal already open";
     return false;
   }
@@ -265,17 +268,86 @@ bool Journal::open(const std::string &Path, bool LoadExisting,
   return true;
 }
 
+bool Journal::openReadOnly(const std::string &Path, std::string &Err) {
+  if (Out || ReadOnly) {
+    Err = "journal already open";
+    return false;
+  }
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot read journal '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  std::string Line;
+  while (std::getline(In, Line))
+    if (std::optional<JournalRecord> R = parseLine(Line))
+      Index[R->Key] = *R;
+  ReadOnly = true;
+  return true;
+}
+
+int Journal::writerFd() const { return Out ? fileno(Out) : -1; }
+
 void Journal::append(const JournalRecord &R) {
   Index[R.Key] = R;
   if (!Out)
     return;
   std::string Line = serialize(R);
+  // The record lands under an exclusive flock: the file was opened in
+  // append mode, so one locked write+flush puts the whole line atomically
+  // at EOF even when another process shares the journal. Lock failure
+  // (e.g. an fs without flock) degrades to the old unlocked append rather
+  // than dropping the record.
+  int Fd = fileno(Out);
+  bool Locked = flock(Fd, LOCK_EX) == 0;
   std::fwrite(Line.data(), 1, Line.size(), Out);
   // Flush per record: the write reaches the kernel before the next
   // obligation starts, so killing the process loses at most the in-flight
-  // one. (Surviving an OS crash would need fsync; that is not this
-  // journal's threat model.)
+  // one. With setFsync (--fsync-journal) the record is also durable
+  // against power loss before the next obligation starts.
   std::fflush(Out);
+  if (Fsync)
+    fsync(Fd);
+  if (Locked)
+    flock(Fd, LOCK_UN);
+}
+
+bool Journal::mergeFiles(const std::vector<std::string> &Inputs,
+                        const std::string &OutPath, std::string &Err) {
+  // Later records win, across files in input order: the index is built the
+  // same way open() builds it, just over several files. Key order of first
+  // appearance is preserved so the merged file is deterministic given the
+  // shard journals.
+  std::unordered_map<std::string, JournalRecord> Merged;
+  std::vector<std::string> Order;
+  for (const std::string &Path : Inputs) {
+    std::ifstream In(Path);
+    // A shard that died before its first append never created its journal;
+    // an absent input contributes nothing, it does not poison the merge.
+    std::string Line;
+    while (std::getline(In, Line)) {
+      std::optional<JournalRecord> R = parseLine(Line);
+      if (!R)
+        continue; // torn tail of a killed shard — skip, don't guess
+      if (!Merged.count(R->Key))
+        Order.push_back(R->Key);
+      Merged[R->Key] = *R;
+    }
+  }
+  std::ofstream OutF(OutPath, std::ios::trunc);
+  if (!OutF) {
+    Err = "cannot write merged journal '" + OutPath +
+          "': " + std::strerror(errno);
+    return false;
+  }
+  for (const std::string &Key : Order)
+    OutF << serialize(Merged[Key]);
+  OutF.flush();
+  if (!OutF) {
+    Err = "short write merging journals into '" + OutPath + "'";
+    return false;
+  }
+  return true;
 }
 
 const JournalRecord *Journal::lookup(const std::string &Key) const {

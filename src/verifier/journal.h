@@ -38,6 +38,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace dryad {
 
@@ -65,12 +66,38 @@ public:
   /// resume path). Returns false and fills \p Err on I/O failure.
   bool open(const std::string &Path, bool LoadExisting, std::string &Err);
 
-  bool isOpen() const { return Out != nullptr; }
+  /// Indexes \p Path without opening a writer: append() becomes an
+  /// index-only update. This is how a merged journal is consumed for report
+  /// assembly — the records are read, never re-written.
+  bool openReadOnly(const std::string &Path, std::string &Err);
+
+  bool isOpen() const { return Out != nullptr || ReadOnly; }
+
+  /// fsync(2) after every appended record. Off by default: the per-record
+  /// flush already bounds a process kill to one in-flight obligation; the
+  /// fsync upgrade bounds a *power loss* to one torn tail record
+  /// (`--fsync-journal`).
+  void setFsync(bool On) { Fsync = On; }
+
+  /// File descriptor of the writer, or -1. A termination handler may
+  /// fsync(2) this fd (async-signal-safely) before _exit.
+  int writerFd() const;
 
   /// Appends one record and flushes it to the OS before returning, so a
-  /// killed process loses at most the in-flight obligation. Also updates
-  /// the in-memory index (later records win).
+  /// killed process loses at most the in-flight obligation. The write is
+  /// taken under flock(2) LOCK_EX, so concurrent writers sharing one
+  /// journal file (e.g. hand-run shard drivers) can never interleave a
+  /// record. Also updates the in-memory index (later records win).
   void append(const JournalRecord &R);
+
+  /// Merges shard journals into one JSONL file: inputs are read in order,
+  /// later records win per key (within a file and across files), torn
+  /// tails are skipped, and a missing input (a shard that died before its
+  /// first append) counts as empty. The winning record of every key is
+  /// written in first-appearance order. Returns false and fills \p Err
+  /// only when the output cannot be written.
+  static bool mergeFiles(const std::vector<std::string> &Inputs,
+                         const std::string &OutPath, std::string &Err);
 
   /// The most recent record for \p Key, or nullptr.
   const JournalRecord *lookup(const std::string &Key) const;
@@ -91,6 +118,8 @@ public:
 
 private:
   std::FILE *Out = nullptr;
+  bool ReadOnly = false;
+  bool Fsync = false;
   std::unordered_map<std::string, JournalRecord> Index;
 };
 

@@ -4,6 +4,7 @@
 
 #include "lang/paths.h"
 #include "sched/dispatch.h"
+#include "sched/shard.h"
 #include "support/hash.h"
 #include "vcgen/vc.h"
 
@@ -39,6 +40,9 @@ std::string dumpFileStem(const std::string &Name) {
   return File + "-" + hex64(fnv1a64(Name), 8);
 }
 
+const char *VacuousMsg = "assumptions unsatisfiable: the contract/"
+                         "invariant contradicts the heaplet semantics";
+
 /// Per-path verification state. Lives in a std::deque for the whole
 /// plan/submit/collect cycle, so pointers into it (result slots, the VC,
 /// the strengthening cache) stay valid while completions fire.
@@ -55,15 +59,35 @@ struct PathWork {
   std::string MainKey; ///< journal key of the main obligation
   ObligationResult Vac;
   bool HasVac = false;      ///< a vacuity record goes into the report
-  bool VacFailed = false;   ///< the probe refuted the contract
+  bool VacFailed = false;   ///< the probe refuted (or never resolved) the contract
   double ProbeSeconds = 0;  ///< probe solver time (counted once, in collect)
 };
 } // namespace
 
+/// Everything one procedure carries through the shared plan/drain/collect
+/// cycle. Stored in a std::deque so completions can hold references across
+/// procedure boundaries.
+struct Verifier::ProcState {
+  const Procedure *Proc = nullptr;
+  ProcResult PR;
+  DeadlineBudget Budget;
+  std::deque<PathWork> Work;
+};
+
 Verifier::Verifier(Module &M, VerifyOptions Opts) : M(M), Opts(Opts) {
-  if (!Opts.JournalPath.empty())
-    Jrnl.open(Opts.JournalPath, /*LoadExisting=*/Opts.Resume, JournalErr);
+  if (!Opts.JournalPath.empty()) {
+    if (Opts.AssembleFromJournal) {
+      // Assembly never solves, so it must never write: open the journal as
+      // a read-only index over whatever records the shards left behind.
+      Jrnl.openReadOnly(Opts.JournalPath, JournalErr);
+    } else {
+      Jrnl.open(Opts.JournalPath, /*LoadExisting=*/Opts.Resume, JournalErr);
+      Jrnl.setFsync(Opts.FsyncJournal);
+    }
+  }
 }
+
+Verifier::~Verifier() = default;
 
 SandboxOptions Verifier::sandboxOptions() const {
   SandboxOptions S;
@@ -97,22 +121,15 @@ std::string Verifier::uniqueDumpStem(const std::string &Name) {
   return Stem;
 }
 
-ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
-  ProcResult PR;
-  PR.Proc = P.Name;
-  PR.Verified = true;
-  DeadlineBudget Budget(Opts.ProcBudgetMs);
-
-  // One pool and engine per procedure: all of the procedure's obligations
-  // (and their vacuity probes) share the `--jobs N` worker slots, and the
-  // procedure's deadline budget starts ticking when its first obligation is
-  // planned — same as the sequential schedule.
-  Scheduler Pool(std::max(1u, Opts.Jobs));
-  DispatchEngine Engine(Pool);
+void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
+                        DiagEngine &Diags) {
+  const Procedure &P = *St.Proc;
+  St.PR.Proc = P.Name;
+  St.PR.Verified = true;
+  St.Budget = DeadlineBudget(Opts.ProcBudgetMs);
 
   std::vector<BasicPath> Paths = extractPaths(M, P, Diags);
   VCGen Gen(M);
-  std::deque<PathWork> Work;
 
   // Strengthening accessor for one path; called from Build lambdas on the
   // event-loop thread, so the lazy cache needs no locking.
@@ -127,11 +144,8 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
 
   // Journals the probe verdict and fills the path's vacuity slot. Runs when
   // the probe's dispatch concludes (synchronously without a sandbox).
-  const char *VacuousMsg = "assumptions unsatisfiable: the contract/"
-                           "invariant contradicts the heaplet semantics";
-  auto OnProbeDone = [this, VacuousMsg](PathWork &W,
-                                        const std::string &ProbeKey,
-                                        const DispatchResult &PD) {
+  auto OnProbeDone = [this](PathWork &W, const std::string &ProbeKey,
+                            const DispatchResult &PD) {
     W.ProbeSeconds = PD.Seconds;
 
     // Journal the probe verdict so the next --resume can skip a passed
@@ -193,7 +207,7 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
   // queue so it runs before fresh obligations (the sequential schedule at
   // one slot); a probe for a plan-time journal-reused main is planned in
   // FIFO order, in the position the main solve would have occupied.
-  auto maybeProbeVacuity = [this, &Engine, &Budget, StrengthFor,
+  auto maybeProbeVacuity = [this, &Engine, &St, StrengthFor,
                             OnProbeDone](PathWork &W, bool MainFromJournal,
                                          bool Urgent) {
     if (!Opts.CheckVacuity || W.VC->Assumptions.empty())
@@ -222,7 +236,7 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
       W.VacFailed = true;
       return;
     }
-    if (Budget.exhausted())
+    if (St.Budget.exhausted())
       return;
 
     // Reaching here with a journal-reused proof means the journal holds no
@@ -256,7 +270,7 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
     Spec.Policy = ProbePolicy;
     Spec.Inject = Opts.Inject;
     Spec.Sandbox = sandboxOptions();
-    Spec.Budget = &Budget;
+    Spec.Budget = &St.Budget;
     Spec.Urgent = Urgent;
     Spec.Build = [this, &W, StrengthFor](SmtSolver &Probe,
                                          const AttemptInfo &) {
@@ -270,24 +284,104 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
                   });
   };
 
+  // Assembly-mode vacuity: mirror the live probe protocol, but every
+  // verdict must already be in the journal. The soundness rule from the
+  // resume path applies with extra force here — a journaled proof whose
+  // probe verdict is missing CANNOT be re-probed (assembly never solves),
+  // so it is surfaced as an unresolved infrastructure failure instead of
+  // being trusted.
+  auto assembleVacuity = [this](PathWork &W) {
+    if (!Opts.CheckVacuity || W.VC->Assumptions.empty())
+      return;
+    const JournalRecord *P =
+        W.MainKey.empty() ? nullptr : Jrnl.lookup(W.MainKey + ":vacuity");
+    if (!P) {
+      ObligationResult V;
+      V.Name = W.VC->Name + " [vacuity unresolved]";
+      V.Status = SmtStatus::Unknown;
+      V.Failure = FailureKind::SolverCrash;
+      V.FailureDetail =
+          "journaled proof has no vacuity verdict (shard lost before "
+          "probing); the proof cannot be trusted until re-run";
+      W.Vac = std::move(V);
+      W.HasVac = true;
+      W.VacFailed = true; // fails the procedure: verdict is unvalidated
+      return;
+    }
+    W.ProbeSeconds = P->Seconds;
+    if (P->Status == SmtStatus::Sat)
+      return; // contract satisfiable; the proof stands
+    ObligationResult V;
+    if (P->Status == SmtStatus::Unsat) {
+      V.Name = W.VC->Name + " [vacuity]";
+      V.Status = SmtStatus::Unsat;
+      V.Model = P->Detail;
+      W.VacFailed = true;
+    } else {
+      V.Name = W.VC->Name + " [vacuity skipped]";
+      V.Status = SmtStatus::Unknown;
+      V.Failure = P->Failure;
+      V.FailureDetail = "vacuity probe unanswered: " + P->Detail;
+    }
+    V.Attempts = P->Attempts;
+    V.Seconds = P->Seconds;
+    W.Vac = std::move(V);
+    W.HasVac = true;
+  };
+
+  // Assembly mode: resolve one obligation from the merged journal instead
+  // of dispatching it. A missing record means the shard that owned this
+  // obligation died without journaling it — an infrastructure failure that
+  // the partial report must show, never a silent "verified".
+  auto assembleObligation = [this, assembleVacuity](PathWork &W,
+                                                    const std::string &Name,
+                                                    const std::string &Key,
+                                                    ObligationResult *Slot,
+                                                    bool IsMain) {
+    ObligationResult O;
+    O.Name = Name;
+    const JournalRecord *R = Jrnl.lookup(Key);
+    if (!R) {
+      O.Status = SmtStatus::Unknown;
+      O.Failure = FailureKind::SolverCrash;
+      O.FailureDetail = "no journaled outcome for this obligation (shard "
+                        "lost or journal incomplete)";
+    } else {
+      O.Status = R->Status;
+      O.Failure =
+          R->Status == SmtStatus::Unknown ? R->Failure : FailureKind::None;
+      O.FailureDetail = R->Status == SmtStatus::Unknown ? R->Detail : "";
+      O.Attempts = R->Attempts;
+      O.DegradeLevel = R->DegradeLevel;
+      O.Seconds = R->Seconds;
+      if (R->Status == SmtStatus::Sat)
+        O.Model = R->Detail;
+    }
+    bool Proved = O.Status == SmtStatus::Unsat;
+    *Slot = std::move(O);
+    if (IsMain && Proved)
+      assembleVacuity(W);
+  };
+
   // Plans one obligation of a path: assigns its dump stem, computes its
-  // journal key, reuses a journaled proof when resuming, and otherwise
-  // submits it to the engine. \p Slot is where the completion writes the
-  // result; \p IsMain marks the path's Hoare-triple obligation, which owns
-  // the vacuity protocol.
-  auto submitObligation = [this, &Engine, &Budget, StrengthFor,
-                           maybeProbeVacuity](PathWork &W, std::string Name,
-                                              size_t NumAssumptions,
-                                              const Formula *Goal,
-                                              ObligationResult *Slot,
-                                              bool IsMain) {
+  // journal key, applies the shard filter, reuses a journaled proof when
+  // resuming, and otherwise submits it to the engine. \p Slot is where the
+  // completion writes the result; \p IsMain marks the path's Hoare-triple
+  // obligation, which owns the vacuity protocol.
+  auto submitObligation = [this, &Engine, &St, StrengthFor, maybeProbeVacuity,
+                           assembleObligation](PathWork &W, std::string Name,
+                                               size_t NumAssumptions,
+                                               const Formula *Goal,
+                                               ObligationResult *Slot,
+                                               bool IsMain) {
     std::string Stem;
     if (!Opts.DumpSmt2Dir.empty())
       Stem = uniqueDumpStem(Name);
 
     // Journal key: content hash of the full-tactics query plus the tactic
     // configuration. Computed at plan time so a resumed run can skip the
-    // solve entirely.
+    // solve entirely — and so the shard partition can be decided without
+    // coordination: every shard derives the same keys from the same plan.
     std::string Key;
     if (Jrnl.isOpen()) {
       SmtSolver KeySolver;
@@ -299,6 +393,26 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
       Key = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
       if (IsMain)
         W.MainKey = Key;
+
+      if (Opts.ShardCount > 1) {
+        if (SliceCounts.size() < Opts.ShardCount)
+          SliceCounts.resize(Opts.ShardCount, 0);
+        unsigned Shard = shardOf(Key, Opts.ShardCount);
+        ++SliceCounts[Shard];
+        if (!Opts.AssembleFromJournal && Shard != Opts.ShardIndex) {
+          // Another shard owns this obligation. Leave a placeholder slot so
+          // plan-order bookkeeping (dump stems, slice counts) stays
+          // identical to the unsharded run; collection drops it.
+          Slot->Name = std::move(Name);
+          Slot->OutOfShard = true;
+          return;
+        }
+      }
+
+      if (Opts.AssembleFromJournal) {
+        assembleObligation(W, Name, Key, Slot, IsMain);
+        return;
+      }
 
       if (Opts.Resume) {
         const JournalRecord *R = Jrnl.lookup(Key);
@@ -325,7 +439,7 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
     Spec.Policy = retryPolicy();
     Spec.Inject = Opts.Inject;
     Spec.Sandbox = sandboxOptions();
-    Spec.Budget = &Budget;
+    Spec.Budget = &St.Budget;
     Spec.Portfolio = Opts.Portfolio;
     Spec.Build = [this, &W, StrengthFor, NumAssumptions, Goal,
                   Stem](SmtSolver &Solver, const AttemptInfo &Info) {
@@ -365,7 +479,9 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
       // The journal is appended from the event-loop thread only (this
       // completion), so records never interleave mid-line even at
       // `--jobs N`; completion order varies with worker timing, which the
-      // content-keyed later-records-win format absorbs.
+      // content-keyed later-records-win format absorbs. Concurrent *shard*
+      // writers are a different matter — the journal flock(2)s each append
+      // for them.
       if (Jrnl.isOpen()) {
         JournalRecord R;
         R.Key = Key;
@@ -389,14 +505,14 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
   // Plan phase: walk the paths in deterministic order, generate each VC,
   // and submit every obligation. Without a sandbox the engine solves
   // synchronously right here (the classic sequential run); with one,
-  // submissions queue FIFO and the drain below runs them `--jobs N` wide.
+  // submissions queue FIFO and drain() runs them `--jobs N` wide.
   for (const BasicPath &BP : Paths) {
-    Work.emplace_back();
-    PathWork &W = Work.back();
+    St.Work.emplace_back();
+    PathWork &W = St.Work.back();
     W.VC = Gen.generate(P, BP, Diags);
     if (!W.VC) {
-      PR.Verified = false;
-      Work.pop_back();
+      St.PR.Verified = false;
+      St.Work.pop_back();
       continue;
     }
 
@@ -412,22 +528,30 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
     submitObligation(W, W.VC->Name, W.VC->Assumptions.size(), W.VC->Goal,
                      &W.Main, /*IsMain=*/true);
   }
+}
 
-  // Drain phase: run the event loop until every obligation — including
-  // retries and probes submitted from completions — has concluded.
-  Engine.drain();
-
-  // Collect phase: assemble the report in plan order, not completion
-  // order, so the output is byte-identical across `--jobs` values.
-  for (PathWork &W : Work) {
+ProcResult Verifier::collectProc(ProcState &St) {
+  // Assemble the report in plan order, not completion order, so the output
+  // is byte-identical across `--jobs` values (and across shard counts,
+  // once the journals are merged and assembled).
+  ProcResult PR = std::move(St.PR);
+  for (PathWork &W : St.Work) {
     for (ObligationResult &O : W.Calls) {
+      if (O.OutOfShard) {
+        ++PR.OutOfShard;
+        continue;
+      }
       PR.Verified &= (O.Status == SmtStatus::Unsat);
       PR.Seconds += O.Seconds;
       PR.Obligations.push_back(std::move(O));
     }
-    PR.Verified &= (W.Main.Status == SmtStatus::Unsat);
-    PR.Seconds += W.Main.Seconds;
-    PR.Obligations.push_back(std::move(W.Main));
+    if (W.Main.OutOfShard) {
+      ++PR.OutOfShard;
+    } else {
+      PR.Verified &= (W.Main.Status == SmtStatus::Unsat);
+      PR.Seconds += W.Main.Seconds;
+      PR.Obligations.push_back(std::move(W.Main));
+    }
     if (W.HasVac) {
       if (W.VacFailed)
         PR.Verified = false;
@@ -435,16 +559,42 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
     }
     PR.Seconds += W.ProbeSeconds;
   }
+  St.Work.clear();
   return PR;
 }
 
+ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
+  Scheduler Pool(std::max(1u, Opts.Jobs));
+  DispatchEngine Engine(Pool);
+  ProcState St;
+  St.Proc = &P;
+  planProc(Engine, St, Diags);
+  Engine.drain();
+  return collectProc(St);
+}
+
 std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
-  std::vector<ProcResult> Out;
+  // One pool and engine for the whole module: obligations from different
+  // procedures share the `--jobs N` slots, so a slot freed by the last
+  // obligation of one procedure immediately starts the next procedure's
+  // work instead of idling at the drain barrier. Per-procedure deadline
+  // budgets still hold — each arms when its first attempt actually starts
+  // (see DeadlineBudget::arm), so time queued behind other procedures is
+  // never billed.
+  Scheduler Pool(std::max(1u, Opts.Jobs));
+  DispatchEngine Engine(Pool);
+  std::deque<ProcState> Procs;
   for (const Procedure &P : M.Procs) {
     // Contract-only declarations have nothing to check.
     if (!P.HasBody)
       continue;
-    Out.push_back(verifyProc(P, Diags));
+    Procs.emplace_back();
+    Procs.back().Proc = &P;
+    planProc(Engine, Procs.back(), Diags);
   }
+  Engine.drain();
+  std::vector<ProcResult> Out;
+  for (ProcState &St : Procs)
+    Out.push_back(collectProc(St));
   return Out;
 }

@@ -78,6 +78,23 @@ struct VerifyOptions {
   /// definitive answer wins and the losers are killed (`--portfolio`).
   /// Forces process isolation.
   bool Portfolio = false;
+  /// Sharded verification (`--shard i/n`): plan every obligation, but
+  /// dispatch only those whose plan-time content key maps to ShardIndex
+  /// under shardOf(key, ShardCount). Requires a journal — a shard's whole
+  /// point is the records it leaves for the merge. ShardCount == 1 means
+  /// unsharded.
+  unsigned ShardIndex = 0;
+  unsigned ShardCount = 1;
+  /// fsync(2) the journal after every record (`--fsync-journal`): a power
+  /// loss costs at most one torn tail record instead of the page cache.
+  bool FsyncJournal = false;
+  /// Report assembly (`--from-journal`, and the `--shards` supervisor's
+  /// merge step): plan every obligation but dispatch nothing — results
+  /// come from the journal's records. An obligation with no record is an
+  /// infrastructure failure (a lost shard), and a journaled proof whose
+  /// vacuity verdict is missing is surfaced as unresolved rather than
+  /// trusted.
+  bool AssembleFromJournal = false;
 };
 
 struct ObligationResult {
@@ -97,6 +114,9 @@ struct ObligationResult {
   /// True when the outcome was reused from a resumed journal instead of
   /// dispatched (Attempts is then 0).
   bool FromJournal = false;
+  /// True when the obligation was planned but belongs to a different shard
+  /// (`--shard i/n`): the slot is a placeholder that collection drops.
+  bool OutOfShard = false;
 };
 
 struct ProcResult {
@@ -104,27 +124,58 @@ struct ProcResult {
   bool Verified = false;
   double Seconds = 0.0;
   std::vector<ObligationResult> Obligations;
+  /// Obligations planned but skipped because their content key maps to a
+  /// different shard (always 0 when unsharded). Skipped obligations do not
+  /// appear in Obligations and do not affect Verified.
+  unsigned OutOfShard = 0;
 };
+
+class DispatchEngine;
 
 class Verifier {
 public:
-  /// Opens the journal (when VerifyOptions::JournalPath is set); a failure
-  /// to open is recorded in journalError() and verification proceeds
-  /// without journaling rather than aborting the run.
+  /// Opens the journal (when VerifyOptions::JournalPath is set; read-only
+  /// under AssembleFromJournal); a failure to open is recorded in
+  /// journalError() and verification proceeds without journaling rather
+  /// than aborting the run.
   Verifier(Module &M, VerifyOptions Opts = {});
+  ~Verifier();
 
   /// Verifies one procedure (all of its basic paths and call checks).
   ProcResult verifyProc(const Procedure &P, DiagEngine &Diags);
 
-  /// Verifies every procedure with a body.
+  /// Verifies every procedure with a body. All procedures are planned up
+  /// front against one shared worker pool, so `--jobs N` slots stay busy
+  /// across procedure boundaries; per-procedure deadline budgets arm when
+  /// their first attempt starts, and results are collected in plan order.
   std::vector<ProcResult> verifyAll(DiagEngine &Diags);
 
   /// Non-empty when the requested journal could not be opened.
   const std::string &journalError() const { return JournalErr; }
 
+  /// After verifyAll/verifyProc under ShardCount > 1: how many planned
+  /// obligations (mains and call checks; vacuity probes ride along and are
+  /// not counted) map to each shard index. Empty when unsharded.
+  const std::vector<size_t> &shardSliceCounts() const { return SliceCounts; }
+
+  /// Raw fd of the journal writer, or -1 — for the async-signal-safe
+  /// termination handler, which may only fsync, not fflush.
+  int journalFd() const { return Jrnl.writerFd(); }
+
 private:
+  struct ProcState;
+
   RetryPolicy retryPolicy() const;
   SandboxOptions sandboxOptions() const;
+
+  /// Plans every obligation of St's procedure into \p Engine (or, under
+  /// AssembleFromJournal, resolves each from the journal without
+  /// dispatching anything).
+  void planProc(DispatchEngine &Engine, ProcState &St, DiagEngine &Diags);
+
+  /// Folds St's completed obligation slots into the procedure's result, in
+  /// plan order. Only valid after the engine has drained.
+  ProcResult collectProc(ProcState &St);
 
   /// Dump filename stem for an obligation, unique within this Verifier: a
   /// second obligation with the same name (two calls to the same callee on
@@ -137,6 +188,7 @@ private:
   Journal Jrnl;
   std::string JournalErr;
   std::unordered_map<std::string, unsigned> StemCounts;
+  std::vector<size_t> SliceCounts;
 };
 
 } // namespace dryad

@@ -17,6 +17,10 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 using namespace dryad;
 using namespace dryad::test;
@@ -556,6 +560,190 @@ TEST(VerifierJournalParallel, LaterRecordsWinAcrossAnUpgradeCycle) {
     for (const ObligationResult &O : PR.Obligations)
       EXPECT_TRUE(O.FromJournal && O.Attempts == 0)
           << O.Name << ": the upgraded (later) record must win on reload";
+}
+
+//===----------------------------------------------------------------------===//
+// Journal merge (sharded runs)
+//===----------------------------------------------------------------------===//
+
+namespace {
+JournalRecord mkRecord(const std::string &Key, SmtStatus St,
+                       const std::string &Name = "p") {
+  JournalRecord R;
+  R.Key = Key;
+  R.Name = Name;
+  R.Status = St;
+  if (St == SmtStatus::Unknown)
+    R.Failure = FailureKind::Timeout;
+  return R;
+}
+
+void writeLines(const std::string &Path, const std::string &Content) {
+  std::ofstream Out(Path, std::ios::trunc);
+  Out << Content;
+}
+} // namespace
+
+TEST(JournalMerge, LaterRecordsWinWithinAndAcrossFiles) {
+  std::string A = journalPath("merge-a"), B = journalPath("merge-b");
+  std::string Out = journalPath("merge-out");
+  // A: key1 fails then succeeds (retry within one shard run); key2 fails.
+  writeLines(A, Journal::serialize(mkRecord("v1-0000000000000001",
+                                            SmtStatus::Unknown)) +
+                    Journal::serialize(
+                        mkRecord("v1-0000000000000001", SmtStatus::Unsat)) +
+                    Journal::serialize(
+                        mkRecord("v1-0000000000000002", SmtStatus::Unknown)));
+  // B (read later, so it wins conflicts): key2 succeeded here.
+  writeLines(B, Journal::serialize(
+                    mkRecord("v1-0000000000000002", SmtStatus::Unsat)));
+
+  std::string Err;
+  ASSERT_TRUE(Journal::mergeFiles({A, B}, Out, Err)) << Err;
+  Journal J;
+  ASSERT_TRUE(J.openReadOnly(Out, Err)) << Err;
+  EXPECT_EQ(J.size(), 2u);
+  ASSERT_NE(J.lookup("v1-0000000000000001"), nullptr);
+  EXPECT_EQ(J.lookup("v1-0000000000000001")->Status, SmtStatus::Unsat)
+      << "within a file, the later (retried) record wins";
+  ASSERT_NE(J.lookup("v1-0000000000000002"), nullptr);
+  EXPECT_EQ(J.lookup("v1-0000000000000002")->Status, SmtStatus::Unsat)
+      << "across files, the later file's record wins";
+}
+
+TEST(JournalMerge, TornTailDoesNotPoisonMerge) {
+  std::string A = journalPath("merge-torn-a"), B = journalPath("merge-torn-b");
+  std::string Out = journalPath("merge-torn-out");
+  // A crashed mid-append: a good record, then a torn half-line.
+  writeLines(A, Journal::serialize(
+                    mkRecord("v1-00000000000000a1", SmtStatus::Unsat)) +
+                    "{\"key\":\"v1-00000000000000a2\",\"status\":\"uns");
+  writeLines(B, Journal::serialize(
+                    mkRecord("v1-00000000000000b1", SmtStatus::Unsat)));
+
+  std::string Err;
+  ASSERT_TRUE(Journal::mergeFiles({A, B}, Out, Err)) << Err;
+
+  // Every line of the merged journal must parse; the torn record is gone.
+  std::ifstream In(Out);
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    EXPECT_TRUE(Journal::parseLine(Line + "\n")) << "unparseable: " << Line;
+  }
+  EXPECT_EQ(Lines, 2u);
+  Journal J;
+  ASSERT_TRUE(J.openReadOnly(Out, Err)) << Err;
+  EXPECT_NE(J.lookup("v1-00000000000000a1"), nullptr);
+  EXPECT_NE(J.lookup("v1-00000000000000b1"), nullptr);
+  EXPECT_EQ(J.lookup("v1-00000000000000a2"), nullptr)
+      << "a torn record must be dropped, not resurrected";
+}
+
+TEST(JournalMerge, VacuityRecordsSurviveTheMerge) {
+  std::string A = journalPath("merge-vac-a");
+  std::string Out = journalPath("merge-vac-out");
+  JournalRecord Probe = mkRecord("v1-00000000000000c1:vacuity",
+                                 SmtStatus::Sat, "p [vacuity]");
+  writeLines(A, Journal::serialize(
+                    mkRecord("v1-00000000000000c1", SmtStatus::Unsat)) +
+                    Journal::serialize(Probe));
+  std::string Err;
+  ASSERT_TRUE(Journal::mergeFiles({A}, Out, Err)) << Err;
+  Journal J;
+  ASSERT_TRUE(J.openReadOnly(Out, Err)) << Err;
+  ASSERT_NE(J.lookup("v1-00000000000000c1:vacuity"), nullptr)
+      << "probe verdicts must survive the merge or assembly would distrust "
+         "every proof";
+  EXPECT_EQ(J.lookup("v1-00000000000000c1:vacuity")->Status, SmtStatus::Sat);
+}
+
+TEST(JournalMerge, MissingInputCountsAsEmpty) {
+  std::string A = journalPath("merge-missing-a"); // never created
+  std::string B = journalPath("merge-missing-b");
+  std::string Out = journalPath("merge-missing-out");
+  writeLines(B, Journal::serialize(
+                    mkRecord("v1-00000000000000d1", SmtStatus::Unsat)));
+  std::string Err;
+  ASSERT_TRUE(Journal::mergeFiles({A, B}, Out, Err))
+      << "a shard that died before its first append must not fail the "
+         "merge: "
+      << Err;
+  Journal J;
+  ASSERT_TRUE(J.openReadOnly(Out, Err)) << Err;
+  EXPECT_EQ(J.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent writers (flock) and fsync
+//===----------------------------------------------------------------------===//
+
+TEST(JournalConcurrency, ForkedWritersNeverInterleaveRecords) {
+  // Several processes appending to one journal file — the hand-run
+  // multi-writer case flock(2) exists for. Large details maximize the
+  // chance un-locked appends would tear.
+  std::string Path = journalPath("flock");
+  constexpr int Writers = 4, Each = 25;
+  std::vector<pid_t> Pids;
+  for (int W = 0; W != Writers; ++W) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0);
+    if (Pid == 0) {
+      Journal J;
+      std::string Err;
+      if (!J.open(Path, /*LoadExisting=*/false, Err))
+        _exit(1);
+      for (int I = 0; I != Each; ++I) {
+        JournalRecord R;
+        R.Key = "v1-w" + std::to_string(W) + "-" + std::to_string(I);
+        R.Name = "writer " + std::to_string(W);
+        R.Status = SmtStatus::Unsat;
+        R.Detail = std::string(2048, 'a' + static_cast<char>(W));
+        J.append(R);
+      }
+      _exit(0);
+    }
+    Pids.push_back(Pid);
+  }
+  for (pid_t P : Pids) {
+    int St = 0;
+    ASSERT_EQ(waitpid(P, &St, 0), P);
+    EXPECT_TRUE(WIFEXITED(St) && WEXITSTATUS(St) == 0);
+  }
+
+  std::ifstream In(Path);
+  std::string Line;
+  size_t Lines = 0;
+  while (std::getline(In, Line)) {
+    ++Lines;
+    ASSERT_TRUE(Journal::parseLine(Line + "\n"))
+        << "interleaved/torn line: " << Line.substr(0, 80);
+  }
+  EXPECT_EQ(Lines, static_cast<size_t>(Writers * Each));
+  Journal J;
+  std::string Err;
+  ASSERT_TRUE(J.openReadOnly(Path, Err)) << Err;
+  EXPECT_EQ(J.size(), static_cast<size_t>(Writers * Each))
+      << "every record from every writer must be present and distinct";
+}
+
+TEST(JournalFile, FsyncedAppendsReloadIdentically) {
+  std::string Path = journalPath("fsync");
+  {
+    Journal J;
+    std::string Err;
+    ASSERT_TRUE(J.open(Path, /*LoadExisting=*/false, Err)) << Err;
+    J.setFsync(true);
+    EXPECT_GE(J.writerFd(), 0) << "the termination handler needs the raw fd";
+    for (int I = 0; I != 3; ++I)
+      J.append(mkRecord("v1-00000000000000e" + std::to_string(I),
+                        SmtStatus::Unsat));
+  }
+  Journal J2;
+  std::string Err;
+  ASSERT_TRUE(J2.open(Path, /*LoadExisting=*/true, Err)) << Err;
+  EXPECT_EQ(J2.size(), 3u);
 }
 
 TEST(VerifierJournal, UnwritableJournalIsNonFatal) {

@@ -16,6 +16,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <csignal>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
 using namespace dryad;
 using namespace dryad::test;
 
@@ -287,5 +293,61 @@ TEST(VerifierSandbox, UnabsorbedCrashesReportSolverCrashTaxonomy) {
     EXPECT_EQ(O.Status, SmtStatus::Unknown);
     EXPECT_EQ(O.Failure, FailureKind::SolverCrash)
         << "the wait-status classification must reach the report";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Termination handlers: SIGTERM mid-pool leaves no orphans, no zombies
+//===----------------------------------------------------------------------===//
+
+TEST(Termination, SigtermMidPoolKillsWorkersAndExits130) {
+  // A driver process with two live stalling workers receives SIGTERM. The
+  // handler must SIGKILL and reap both workers (no orphans keep burning the
+  // solver deadline in the background) and _exit(130).
+  int PidPipe[2];
+  ASSERT_EQ(pipe(PidPipe), 0);
+
+  pid_t Driver = fork();
+  ASSERT_GE(Driver, 0);
+  if (Driver == 0) {
+    close(PidPipe[0]);
+    installTerminationHandlers(/*JournalFd=*/-1);
+    SandboxRequest Req;
+    Req.Smt2 = UnsatSmt2;
+    Req.TimeoutMs = 60000; // far past the test horizon: only SIGKILL ends them
+    Req.Fault = SandboxFault::Stall;
+    WorkerHandle W1 = spawnWorker(Req);
+    WorkerHandle W2 = spawnWorker(Req);
+    if (W1.SpawnFailed || W2.SpawnFailed)
+      _exit(99);
+    pid_t Pids[2] = {W1.Pid, W2.Pid};
+    if (write(PidPipe[1], Pids, sizeof(Pids)) != sizeof(Pids))
+      _exit(98);
+    close(PidPipe[1]);
+    for (;;)
+      pause(); // the SIGTERM handler is the only way out
+  }
+
+  close(PidPipe[1]);
+  pid_t Workers[2] = {-1, -1};
+  ASSERT_EQ(read(PidPipe[0], Workers, sizeof(Workers)),
+            static_cast<ssize_t>(sizeof(Workers)));
+  close(PidPipe[0]);
+  ASSERT_GT(Workers[0], 0);
+  ASSERT_GT(Workers[1], 0);
+
+  ASSERT_EQ(kill(Driver, SIGTERM), 0);
+  int St = 0;
+  ASSERT_EQ(waitpid(Driver, &St, 0), Driver);
+  ASSERT_TRUE(WIFEXITED(St)) << "handler must _exit, not die on the signal";
+  EXPECT_EQ(WEXITSTATUS(St), 130);
+
+  // The workers were the driver's children; the handler reaped them before
+  // exiting, so their pids must be gone (not zombies owned by anyone).
+  for (pid_t P : Workers) {
+    for (int I = 0; I != 100 && kill(P, 0) == 0; ++I)
+      usleep(10 * 1000); // allow kernel teardown to finish
+    EXPECT_EQ(kill(P, 0), -1) << "worker " << P << " survived the handler";
+    EXPECT_EQ(errno, ESRCH);
   }
 }

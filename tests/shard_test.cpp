@@ -1,0 +1,429 @@
+//===--- shard_test.cpp - Sharded verification ------------------------------===//
+//
+// Exercises sched/shard.* and the verifier's shard/assembly modes: the
+// content-keyed partition (deterministic, disjoint, complete), journal
+// merge + report assembly matching an unsharded run, the soundness rules
+// for missing records (a lost shard's obligations and unprobed proofs must
+// surface as failures, never be trusted), and the ShardSupervisor's
+// crash/stall retry machinery with fake shard drivers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sched/shard.h"
+#include "verifier/journal.h"
+#include "verifier/verifier.h"
+#include "testutil.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include <signal.h>
+#include <unistd.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+
+std::string shardPath(const std::string &Name) {
+  std::string P = ::testing::TempDir() + "dryad-shard-" + Name + ".jsonl";
+  std::remove(P.c_str());
+  return P;
+}
+
+const char *TwoProcs = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+
+std::vector<ProcResult> verifyWith(Module &M, const VerifyOptions &Opts) {
+  Verifier V(M, Opts);
+  EXPECT_TRUE(V.journalError().empty()) << V.journalError();
+  DiagEngine D;
+  return V.verifyAll(D);
+}
+
+/// Distinct non-probe keys in a journal file.
+std::unordered_set<std::string> mainKeysOf(const std::string &Path) {
+  std::unordered_set<std::string> Keys;
+  std::ifstream In(Path);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    auto R = Journal::parseLine(Line);
+    if (R && R->Key.find(":vacuity") == std::string::npos)
+      Keys.insert(R->Key);
+  }
+  return Keys;
+}
+
+size_t totalObligations(const std::vector<ProcResult> &Results) {
+  size_t N = 0;
+  for (const ProcResult &PR : Results)
+    N += PR.Obligations.size();
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Partition function
+//===----------------------------------------------------------------------===//
+
+TEST(ShardPartition, DeterministicAndInRange) {
+  for (unsigned N : {1u, 2u, 3u, 7u}) {
+    for (const char *Key : {"v1-0011223344556677", "v1-deadbeefcafebabe",
+                            "v1-0000000000000000"}) {
+      unsigned S = shardOf(Key, N);
+      EXPECT_LT(S, N);
+      EXPECT_EQ(S, shardOf(Key, N)) << "the partition must be a pure function";
+    }
+  }
+  EXPECT_EQ(shardOf("anything", 1), 0u);
+}
+
+TEST(ShardPartition, SpreadsKeysAcrossShards) {
+  // Not a distribution-quality test — just that the hash does not collapse
+  // every key onto one shard.
+  std::unordered_set<unsigned> Seen;
+  for (int I = 0; I != 64; ++I)
+    Seen.insert(shardOf("v1-key-" + std::to_string(I), 4));
+  EXPECT_GT(Seen.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Shard filter: disjoint, complete, merge-assembles to the unsharded run
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedVerifier, SlicesAreDisjointCompleteAndReassemble) {
+  auto M = parsePrelude(TwoProcs);
+
+  // Ground truth: the unsharded run.
+  VerifyOptions Base;
+  Base.TimeoutMs = 30000;
+  Base.VacuityTimeoutMs = 30000;
+  auto Full = verifyWith(*M, Base);
+  ASSERT_EQ(Full.size(), 2u);
+  EXPECT_TRUE(Full[0].Verified && Full[1].Verified);
+  size_t Total = totalObligations(Full);
+
+  // One run per shard, each with its own journal.
+  std::string J0 = shardPath("slice0"), J1 = shardPath("slice1");
+  size_t InShard = 0, OutOfShard = 0;
+  for (unsigned S = 0; S != 2; ++S) {
+    VerifyOptions Opts = Base;
+    Opts.ShardCount = 2;
+    Opts.ShardIndex = S;
+    Opts.JournalPath = S == 0 ? J0 : J1;
+    Verifier V(*M, Opts);
+    ASSERT_TRUE(V.journalError().empty()) << V.journalError();
+    DiagEngine D;
+    auto Results = V.verifyAll(D);
+    ASSERT_EQ(Results.size(), 2u);
+    for (const ProcResult &PR : Results) {
+      InShard += PR.Obligations.size();
+      OutOfShard += PR.OutOfShard;
+    }
+    // The plan-time slice tally must agree with what was dispatched.
+    ASSERT_EQ(V.shardSliceCounts().size(), 2u);
+    EXPECT_EQ(V.shardSliceCounts()[0] + V.shardSliceCounts()[1], Total);
+  }
+  // Every obligation ran on exactly one shard.
+  EXPECT_EQ(InShard, Total);
+  EXPECT_EQ(OutOfShard, Total) << "each obligation is out-of-shard exactly "
+                                  "once across two complementary runs";
+  auto K0 = mainKeysOf(J0), K1 = mainKeysOf(J1);
+  for (const std::string &K : K0)
+    EXPECT_EQ(K1.count(K), 0u) << "slices must be disjoint: " << K;
+
+  // Merge + assemble must reproduce the unsharded run's verdicts.
+  std::string Merged = shardPath("slice-merged");
+  std::string Err;
+  ASSERT_TRUE(Journal::mergeFiles({J0, J1}, Merged, Err)) << Err;
+
+  VerifyOptions Asm = Base;
+  Asm.JournalPath = Merged;
+  Asm.AssembleFromJournal = true;
+  auto Assembled = verifyWith(*M, Asm);
+  ASSERT_EQ(Assembled.size(), Full.size());
+  for (size_t P = 0; P != Full.size(); ++P) {
+    EXPECT_EQ(Assembled[P].Verified, Full[P].Verified);
+    ASSERT_EQ(Assembled[P].Obligations.size(), Full[P].Obligations.size());
+    for (size_t O = 0; O != Full[P].Obligations.size(); ++O) {
+      EXPECT_EQ(Assembled[P].Obligations[O].Name, Full[P].Obligations[O].Name);
+      EXPECT_EQ(Assembled[P].Obligations[O].Status,
+                Full[P].Obligations[O].Status);
+      EXPECT_FALSE(Assembled[P].Obligations[O].FromJournal)
+          << "assembly mimics the live run's report, not a resume";
+    }
+  }
+}
+
+TEST(ShardedVerifier, ShardModeWithoutJournalRefusesNothingButDispatchesAll) {
+  // ShardCount > 1 without an open journal cannot compute keys, so no
+  // obligation can be skipped — the run degrades to a full (correct) one.
+  // dryadv refuses this combination up front; the library stays safe.
+  auto M = parsePrelude(TwoProcs);
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.ShardCount = 2;
+  Opts.ShardIndex = 1;
+  auto R = verifyWith(*M, Opts);
+  ASSERT_EQ(R.size(), 2u);
+  EXPECT_TRUE(R[0].Verified && R[1].Verified);
+  EXPECT_EQ(R[0].OutOfShard + R[1].OutOfShard, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Assembly soundness: missing records fail, never verify
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedVerifier, AssemblyReportsLostShardObligationsAsInfra) {
+  auto M = parsePrelude(TwoProcs);
+  std::string J0 = shardPath("lost0");
+
+  // Only shard 0 of 2 ever ran: shard 1's slice has no records.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.VacuityTimeoutMs = 30000;
+  Opts.ShardCount = 2;
+  Opts.ShardIndex = 0;
+  Opts.JournalPath = J0;
+  auto Partial = verifyWith(*M, Opts);
+  size_t Skipped = Partial[0].OutOfShard + Partial[1].OutOfShard;
+  if (Skipped == 0)
+    GTEST_SKIP() << "every obligation hashed to shard 0; nothing to lose";
+
+  VerifyOptions Asm;
+  Asm.TimeoutMs = 30000;
+  Asm.JournalPath = J0;
+  Asm.AssembleFromJournal = true;
+  auto Assembled = verifyWith(*M, Asm);
+  size_t Missing = 0;
+  bool AnyProcFailed = false;
+  for (const ProcResult &PR : Assembled) {
+    AnyProcFailed |= !PR.Verified;
+    for (const ObligationResult &O : PR.Obligations)
+      if (O.Status == SmtStatus::Unknown &&
+          O.FailureDetail.find("no journaled outcome") != std::string::npos) {
+        ++Missing;
+        EXPECT_EQ(O.Failure, FailureKind::SolverCrash)
+            << "lost-shard obligations are infrastructure failures";
+      }
+  }
+  EXPECT_EQ(Missing, Skipped)
+      << "every obligation of the lost shard must surface as missing";
+  EXPECT_TRUE(AnyProcFailed)
+      << "a partial journal must never assemble into a clean pass";
+}
+
+TEST(ShardedVerifier, AssemblyRefusesProofWithoutVacuityVerdict) {
+  // A journaled unsat whose vacuity probe record is missing (the shard died
+  // between journaling the proof and probing the contract) cannot be
+  // re-probed during assembly — it must fail the procedure, exactly like
+  // the resume path would re-probe rather than trust it.
+  auto M = parsePrelude(TwoProcs);
+  std::string Path = shardPath("unprobed");
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.VacuityTimeoutMs = 30000;
+  Opts.JournalPath = Path;
+  auto Full = verifyWith(*M, Opts);
+  EXPECT_TRUE(Full[0].Verified && Full[1].Verified);
+
+  // Strip the probe records, keep the proofs.
+  std::string Kept;
+  {
+    std::ifstream In(Path);
+    std::string Line;
+    while (std::getline(In, Line))
+      if (Line.find(":vacuity\"") == std::string::npos)
+        Kept += Line + "\n";
+  }
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << Kept;
+  }
+
+  VerifyOptions Asm;
+  Asm.TimeoutMs = 30000;
+  Asm.JournalPath = Path;
+  Asm.AssembleFromJournal = true;
+  auto Assembled = verifyWith(*M, Asm);
+  bool SawUnresolved = false;
+  for (const ProcResult &PR : Assembled)
+    for (const ObligationResult &O : PR.Obligations)
+      if (O.Name.find("[vacuity unresolved]") != std::string::npos) {
+        SawUnresolved = true;
+        EXPECT_EQ(O.Status, SmtStatus::Unknown);
+        EXPECT_EQ(O.Failure, FailureKind::SolverCrash);
+        EXPECT_FALSE(PR.Verified)
+            << "an unvalidated contract must fail its procedure";
+      }
+  EXPECT_TRUE(SawUnresolved)
+      << "assembly must flag journaled proofs with no probe verdict";
+}
+
+//===----------------------------------------------------------------------===//
+// ShardSupervisor: crash retry, stall detection, retry-cap, injection
+//===----------------------------------------------------------------------===//
+//
+// The supervisor only needs a ShardFn that behaves like a shard driver:
+// append journal records, then exit/crash/hang. Faking it keeps these tests
+// solver-free and fast, and makes every fate deterministic.
+
+namespace {
+
+void appendFakeRecord(const std::string &Path, const std::string &Key) {
+  Journal J;
+  std::string Err;
+  ASSERT_TRUE(J.open(Path, /*LoadExisting=*/false, Err)) << Err;
+  JournalRecord R;
+  R.Key = Key;
+  R.Name = "fake " + Key;
+  R.Status = SmtStatus::Unsat;
+  J.append(R);
+}
+
+} // namespace
+
+TEST(ShardSupervisorTest, CrashedShardIsRetriedWithSurvivingJournal) {
+  std::string J0 = shardPath("sup-crash0");
+  ShardSupervisorOptions O;
+  O.Shards = 1;
+  O.MaxRetries = 2;
+  O.StallMs = 30000;
+  O.ShardJournals = {J0};
+  ShardSupervisor Sup(O, [&](unsigned, bool Resuming) -> int {
+    appendFakeRecord(J0, "v1-0000000000000001");
+    if (!Resuming) {
+      signal(SIGSEGV, SIG_DFL);
+      raise(SIGSEGV); // first launch dies after one journaled obligation
+    }
+    appendFakeRecord(J0, "v1-0000000000000002");
+    return 0;
+  });
+  EXPECT_TRUE(Sup.run());
+  const ShardStat &S = Sup.stats()[0];
+  EXPECT_TRUE(S.Completed);
+  EXPECT_EQ(S.Launches, 2u);
+  EXPECT_EQ(S.Crashes, 1u);
+  EXPECT_EQ(S.RecoveredRecords, 1u)
+      << "the record journaled before the crash must be counted as recovered";
+  EXPECT_EQ(S.ExitCode, 0);
+  EXPECT_EQ(mainKeysOf(J0).size(), 2u)
+      << "the retry appends to the surviving journal, not over it";
+}
+
+TEST(ShardSupervisorTest, GenuineFailureExitIsCompletionNotCrash) {
+  // Exit 1 (disproof) and 3 (infra) are the shard driver *finishing*; only
+  // abnormal deaths may burn retries.
+  std::string J0 = shardPath("sup-exit1");
+  ShardSupervisorOptions O;
+  O.Shards = 1;
+  O.StallMs = 30000;
+  O.ShardJournals = {J0};
+  ShardSupervisor Sup(O, [&](unsigned, bool) -> int { return 1; });
+  EXPECT_TRUE(Sup.run());
+  EXPECT_TRUE(Sup.stats()[0].Completed);
+  EXPECT_EQ(Sup.stats()[0].Launches, 1u);
+  EXPECT_EQ(Sup.stats()[0].ExitCode, 1);
+}
+
+TEST(ShardSupervisorTest, HungShardIsKilledAndRetried) {
+  std::string J0 = shardPath("sup-stall0");
+  ShardSupervisorOptions O;
+  O.Shards = 1;
+  O.MaxRetries = 1;
+  O.StallMs = 300; // declare a hang after 300ms of journal silence
+  O.ShardJournals = {J0};
+  ShardSupervisor Sup(O, [&](unsigned, bool Resuming) -> int {
+    if (!Resuming)
+      for (int I = 0; I != 300; ++I)
+        usleep(100000); // wedge without journaling; the supervisor must act
+    return 0;
+  });
+  EXPECT_TRUE(Sup.run());
+  const ShardStat &S = Sup.stats()[0];
+  EXPECT_TRUE(S.Completed);
+  EXPECT_EQ(S.Launches, 2u);
+  EXPECT_GE(S.Stalls, 1u) << "the kill must be attributed to the heartbeat";
+}
+
+TEST(ShardSupervisorTest, ShardLostAfterRetryCapYieldsPartialRun) {
+  std::string J0 = shardPath("sup-lost0");
+  ShardSupervisorOptions O;
+  O.Shards = 1;
+  O.MaxRetries = 1;
+  O.StallMs = 30000;
+  O.ShardJournals = {J0};
+  ShardSupervisor Sup(O, [&](unsigned, bool) -> int {
+    signal(SIGSEGV, SIG_DFL);
+    raise(SIGSEGV);
+    return 0;
+  });
+  EXPECT_FALSE(Sup.run()) << "an unrecoverable shard degrades the run";
+  const ShardStat &S = Sup.stats()[0];
+  EXPECT_FALSE(S.Completed);
+  EXPECT_EQ(S.Launches, 2u) << "1 launch + MaxRetries relaunches";
+  EXPECT_EQ(S.Crashes, 2u);
+}
+
+TEST(ShardSupervisorTest, InjectedCrashKillsNamedShardOnceAfterFirstRecord) {
+  std::string J0 = shardPath("sup-inject0");
+  ShardSupervisorOptions O;
+  O.Shards = 1;
+  O.MaxRetries = 2;
+  O.StallMs = 30000;
+  O.ShardJournals = {J0};
+  std::string Err;
+  O.Inject = *FaultPlan::parse("crash@1", Err); // crash@<1-based shard index>
+  ShardSupervisor Sup(O, [&](unsigned, bool Resuming) -> int {
+    appendFakeRecord(J0, "v1-00000000000000aa");
+    if (!Resuming)
+      for (int I = 0; I != 300; ++I)
+        usleep(100000); // stay alive so the supervisor's SIGKILL is what ends us
+    return 0;
+  });
+  EXPECT_TRUE(Sup.run());
+  const ShardStat &S = Sup.stats()[0];
+  EXPECT_TRUE(S.Completed);
+  EXPECT_EQ(S.Launches, 2u) << "injected kill fires exactly once, then the "
+                               "relaunch must be left alone";
+  EXPECT_EQ(S.Crashes, 1u);
+  EXPECT_EQ(S.RecoveredRecords, 1u);
+}
+
+TEST(ShardSupervisorTest, MultipleShardsRunToCompletion) {
+  std::string J0 = shardPath("sup-multi0"), J1 = shardPath("sup-multi1");
+  ShardSupervisorOptions O;
+  O.Shards = 2;
+  O.StallMs = 30000;
+  O.ShardJournals = {J0, J1};
+  ShardSupervisor Sup(O, [&](unsigned Shard, bool) -> int {
+    appendFakeRecord(Shard == 0 ? J0 : J1,
+                     "v1-000000000000000" + std::to_string(Shard));
+    return Shard == 0 ? 0 : 3; // one clean, one infra-flaky — both complete
+  });
+  EXPECT_TRUE(Sup.run());
+  EXPECT_TRUE(Sup.stats()[0].Completed && Sup.stats()[1].Completed);
+  EXPECT_EQ(Sup.stats()[0].ExitCode, 0);
+  EXPECT_EQ(Sup.stats()[1].ExitCode, 3);
+}
