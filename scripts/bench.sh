@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
-# Benchmarks the parallel proof scheduler: runs each benchmark suite at
-# --jobs 1 and --jobs $(nproc) and writes BENCH_sched.json with per-suite
-# wall time, obligation throughput, and the parallel speedup. Then
-# benchmarks the sharded supervisor on fig6 at --shards 1/2/$(nproc) —
-# including the recovery overhead of one injected shard crash — and writes
-# BENCH_shard.json.
+# Benchmarks the proof scheduler and worker lifecycle:
 #
-# The speedup is bounded by the host's parallelism (recorded in the output):
-# on a single-core box the two runs are the same schedule and the speedup is
-# ~1.0 by construction.
+#   BENCH_sched.json  — each suite at --jobs 1 and --jobs $(nproc)
+#   BENCH_warm.json   — warm (persistent) vs cold (fork-per-obligation)
+#                       workers under --isolate, with spawn counts and
+#                       per-obligation cost from the workers stderr line
+#   BENCH_shard.json  — the sharded supervisor on fig6, including the
+#                       recovery overhead of one injected shard crash
+#
+# HONESTY RULES (all three files):
+#  * host_parallelism is always recorded;
+#  * a speedup field is only stamped when nproc > 1 — on a single-core box
+#    "--jobs N" and "--jobs 1" are the same schedule and a speedup would be
+#    1.0 by construction, which is a measurement of nothing;
+#  * runs that would be literal duplicates on this host (jobs nproc == jobs
+#    1) are not re-run; the JSON says so instead of pretending otherwise.
 #
 # Dispatch is single-shot (--attempts 1 --no-degrade): the retry ladder can
 # spend ~100s per stubborn obligation, which measures Z3's escalation
@@ -24,22 +30,28 @@ JOBS_N=$(nproc)
 
 [ -x "$DRYADV" ] || { echo "build dryadv first: cmake --build build" >&2; exit 1; }
 
-# One suite run; prints "<wall-seconds> <obligations>".
-run_suite() { # <jobs> <file...>
+# One suite run; prints "<wall-seconds> <obligations>". Extra flags (e.g.
+# --isolate --cold) go after the jobs count; stderr (the workers line) is
+# appended to $ERRFILE when set.
+run_suite() { # <jobs> [extra-flags...] -- <file...>
   local jobs=$1; shift
-  local t0 t1 out
-  out=$(mktemp)
+  local flags=()
+  while [ "$1" != "--" ]; do flags+=("$1"); shift; done
+  shift
+  local t0 t1 out err
+  out=$(mktemp); err=$(mktemp)
   t0=$(date +%s.%N)
   # The negative corpus exits 1 by design and infrastructure flakes exit 3;
   # the benchmark measures throughput, not verdicts (check.sh gates those).
   "$DRYADV" --jobs "$jobs" --timeout "$TIMEOUT_MS" --attempts 1 --no-degrade \
-      --verbose "$@" > "$out" 2>&1 || true
+      --verbose ${flags[@]+"${flags[@]}"} "$@" > "$out" 2> "$err" || true
   t1=$(date +%s.%N)
+  [ -n "${ERRFILE:-}" ] && cat "$err" >> "$ERRFILE"
   # --verbose prints one indented row per obligation: "  <name> <verdict>
   # (N attempts, T s)".
   local obs
   obs=$(grep -c 'attempt' "$out" || true)
-  rm -f "$out"
+  rm -f "$out" "$err"
   awk -v a="$t0" -v b="$t1" -v n="$obs" 'BEGIN { printf "%.2f %d\n", b - a, n }'
 }
 
@@ -47,18 +59,28 @@ json_entries=""
 for suite in fig6 fig7; do
   files=(bench/suite/$suite/*.dryad)
   echo "== $suite: --jobs 1 ==" >&2
-  read -r wall1 obs1 < <(run_suite 1 "${files[@]}")
-  echo "== $suite: --jobs $JOBS_N ==" >&2
-  read -r walln obsn < <(run_suite "$JOBS_N" "${files[@]}")
-  entry=$(awk -v suite="$suite" -v w1="$wall1" -v o1="$obs1" \
-              -v wn="$walln" -v on="$obsn" -v jn="$JOBS_N" 'BEGIN {
-    printf "    {\"suite\": \"%s\", \"obligations\": %d,\n", suite, o1
-    printf "     \"sequential\": {\"jobs\": 1, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
-           w1, (w1 > 0 ? o1 / w1 : 0)
-    printf "     \"parallel\": {\"jobs\": %d, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
-           jn, wn, (wn > 0 ? on / wn : 0)
-    printf "     \"speedup\": %.2f}", (wn > 0 ? w1 / wn : 0)
-  }')
+  read -r wall1 obs1 < <(run_suite 1 -- "${files[@]}")
+  if [ "$JOBS_N" -gt 1 ]; then
+    echo "== $suite: --jobs $JOBS_N ==" >&2
+    read -r walln obsn < <(run_suite "$JOBS_N" -- "${files[@]}")
+    entry=$(awk -v suite="$suite" -v w1="$wall1" -v o1="$obs1" \
+                -v wn="$walln" -v on="$obsn" -v jn="$JOBS_N" 'BEGIN {
+      printf "    {\"suite\": \"%s\", \"obligations\": %d,\n", suite, o1
+      printf "     \"sequential\": {\"jobs\": 1, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
+             w1, (w1 > 0 ? o1 / w1 : 0)
+      printf "     \"parallel\": {\"jobs\": %d, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
+             jn, wn, (wn > 0 ? on / wn : 0)
+      printf "     \"speedup\": %.2f}", (wn > 0 ? w1 / wn : 0)
+    }')
+  else
+    # nproc == 1: --jobs $(nproc) IS --jobs 1. No second run, no speedup.
+    entry=$(awk -v suite="$suite" -v w1="$wall1" -v o1="$obs1" 'BEGIN {
+      printf "    {\"suite\": \"%s\", \"obligations\": %d,\n", suite, o1
+      printf "     \"sequential\": {\"jobs\": 1, \"wall_s\": %.2f, \"obligations_per_s\": %.2f},\n", \
+             w1, (w1 > 0 ? o1 / w1 : 0)
+      printf "     \"note\": \"host_parallelism is 1: jobs nproc duplicates jobs 1, speedup unmeasurable\"}"
+    }')
+  fi
   json_entries+="${json_entries:+,$'\n'}$entry"
 done
 
@@ -76,11 +98,91 @@ echo "wrote $OUT" >&2
 cat "$OUT"
 
 # ---------------------------------------------------------------------------
-# Sharded supervisor bench: fig6 at --shards 1/2/$(nproc), plus the recovery
-# overhead of one injected shard crash (SIGKILL after the first journal
-# record; the retry resumes from the surviving journal). Writes
-# BENCH_shard.json. --shards 1 degenerates to the plain driver, so it is the
-# honest sequential baseline including journal writes.
+# Warm-worker bench: cold (fork-per-obligation) vs warm (persistent fleet)
+# under --isolate, at --jobs 1 (pure init-amortization) and --jobs $(nproc).
+# Spawn/served counts come from the "workers:" stderr line, so the
+# amortization claim (spawns << obligations) is measured, not assumed.
+# Writes BENCH_warm.json.
+# ---------------------------------------------------------------------------
+WARM_OUT=BENCH_warm.json
+
+# Sums a field like "spawns=" or "served=" across every workers: line.
+stat_sum() { # <file> <field>
+  grep -o "$2[0-9]*" "$1" | sed "s/$2//" | awk '{ s += $1 } END { print s + 0 }'
+}
+
+warm_entries=""
+for suite in fig6 fig7; do
+  files=(bench/suite/$suite/*.dryad)
+
+  ERRFILE=$(mktemp)
+  echo "== warm bench $suite: --cold --jobs 1 ==" >&2
+  read -r wall_cold obs < <(run_suite 1 --isolate --cold -- "${files[@]}")
+  cold_spawns=$(stat_sum "$ERRFILE" "spawns=")
+  rm -f "$ERRFILE"
+
+  ERRFILE=$(mktemp)
+  echo "== warm bench $suite: warm --jobs 1 ==" >&2
+  read -r wall_warm obs_w < <(run_suite 1 --isolate -- "${files[@]}")
+  warm_spawns=$(stat_sum "$ERRFILE" "spawns=")
+  warm_served=$(stat_sum "$ERRFILE" "served=")
+  rm -f "$ERRFILE"
+
+  if [ "$JOBS_N" -gt 1 ]; then
+    ERRFILE=$(mktemp)
+    echo "== warm bench $suite: --cold --jobs $JOBS_N ==" >&2
+    read -r wall_cold_n _ < <(run_suite "$JOBS_N" --isolate --cold -- "${files[@]}")
+    rm -f "$ERRFILE"
+    ERRFILE=$(mktemp)
+    echo "== warm bench $suite: warm --jobs $JOBS_N ==" >&2
+    read -r wall_warm_n _ < <(run_suite "$JOBS_N" --isolate -- "${files[@]}")
+    rm -f "$ERRFILE"
+    njobs_json=$(awk -v jc="$wall_cold_n" -v jw="$wall_warm_n" -v jn="$JOBS_N" 'BEGIN {
+      printf "     \"jobs_nproc\": {\"jobs\": %d, \"cold_wall_s\": %.2f, \"warm_wall_s\": %.2f},", \
+             jn, jc, jw
+    }')
+  else
+    njobs_json='     "jobs_nproc": "host_parallelism is 1: identical to jobs 1, not re-run",'
+  fi
+
+  entry=$(awk -v suite="$suite" -v obs="$obs" \
+              -v wc="$wall_cold" -v ww="$wall_warm" \
+              -v cs="$cold_spawns" -v ws="$warm_spawns" -v srv="$warm_served" \
+              -v extra="$njobs_json" 'BEGIN {
+    printf "    {\"suite\": \"%s\", \"obligations\": %d,\n", suite, obs
+    printf "     \"cold\": {\"jobs\": 1, \"wall_s\": %.2f, \"spawns\": %d, \"per_obligation_ms\": %.1f},\n", \
+           wc, cs, (obs > 0 ? wc * 1000 / obs : 0)
+    printf "     \"warm\": {\"jobs\": 1, \"wall_s\": %.2f, \"spawns\": %d, \"served\": %d, \"per_obligation_ms\": %.1f},\n", \
+           ww, ws, srv, (obs > 0 ? ww * 1000 / obs : 0)
+    printf "%s\n", extra
+    printf "     \"saved_wall_s\": %.2f, \"saved_per_obligation_ms\": %.1f,\n", \
+           wc - ww, (obs > 0 ? (wc - ww) * 1000 / obs : 0)
+    printf "     \"spawns_avoided\": %d}", cs - ws
+  }')
+  warm_entries+="${warm_entries:+,$'\n'}$entry"
+done
+
+cat > "$WARM_OUT" <<EOF
+{
+  "bench": "warm solver workers (--warm-workers vs --cold)",
+  "host_parallelism": $JOBS_N,
+  "timeout_ms": $TIMEOUT_MS,
+  "suites": [
+$warm_entries
+  ]
+}
+EOF
+echo "wrote $WARM_OUT" >&2
+cat "$WARM_OUT"
+
+# ---------------------------------------------------------------------------
+# Sharded supervisor bench: fig6 at --shards 1/2 (and $(nproc) when that is
+# not a duplicate), plus the recovery overhead of one injected shard crash
+# (SIGKILL after the first journal record; the retry resumes from the
+# surviving journal). Writes BENCH_shard.json. --shards 1 degenerates to
+# the plain driver, so it is the honest sequential baseline including
+# journal writes. Shard wall-clock ratios are only stamped as "speedup"
+# when the host can actually run shards in parallel.
 # ---------------------------------------------------------------------------
 SHARD_OUT=BENCH_shard.json
 SHARD_FILES=(bench/suite/fig6/*.dryad)
@@ -104,8 +206,12 @@ echo "== shard bench: --shards 1 ==" >&2
 wall_s1=$(run_shards 1)
 echo "== shard bench: --shards 2 ==" >&2
 wall_s2=$(run_shards 2)
-echo "== shard bench: --shards $JOBS_N ==" >&2
-wall_sn=$(run_shards "$JOBS_N")
+if [ "$JOBS_N" -gt 2 ]; then
+  echo "== shard bench: --shards $JOBS_N ==" >&2
+  wall_sn=$(run_shards "$JOBS_N")
+else
+  wall_sn=""
+fi
 echo "== shard bench: --shards 2 with one injected shard crash ==" >&2
 wall_crash=$(run_shards 2 --inject crash@1)
 
@@ -117,12 +223,20 @@ awk -v w1="$wall_s1" -v w2="$wall_s2" -v wn="$wall_sn" -v wc="$wall_crash" \
   printf "  \"host_parallelism\": %d,\n", jn
   printf "  \"timeout_ms\": %d,\n", tmo
   printf "  \"shards\": [\n"
-  printf "    {\"shards\": 1, \"wall_s\": %.2f, \"speedup\": 1.00},\n", w1
-  printf "    {\"shards\": 2, \"wall_s\": %.2f, \"speedup\": %.2f},\n", \
-         w2, (w2 > 0 ? w1 / w2 : 0)
-  printf "    {\"shards\": %d, \"wall_s\": %.2f, \"speedup\": %.2f}\n", \
-         jn, wn, (wn > 0 ? w1 / wn : 0)
-  printf "  ],\n"
+  printf "    {\"shards\": 1, \"wall_s\": %.2f}", w1
+  if (jn > 1) {
+    printf ",\n    {\"shards\": 2, \"wall_s\": %.2f, \"speedup\": %.2f}", \
+           w2, (w2 > 0 ? w1 / w2 : 0)
+  } else {
+    printf ",\n    {\"shards\": 2, \"wall_s\": %.2f,", w2
+    printf " \"note\": \"host_parallelism is 1: both shards share one core, speedup unmeasurable\"}"
+  }
+  if (wn != "") {
+    printf ",\n    {\"shards\": %d, \"wall_s\": %.2f", jn, wn
+    if (jn > 1) printf ", \"speedup\": %.2f", (wn > 0 ? w1 / wn : 0)
+    printf "}"
+  }
+  printf "\n  ],\n"
   printf "  \"crash_recovery\": {\"shards\": 2, \"injected_crashes\": 1,\n"
   printf "    \"wall_s\": %.2f, \"overhead_s\": %.2f, \"overhead_x\": %.2f}\n", \
          wc, wc - w2, (w2 > 0 ? wc / w2 : 0)

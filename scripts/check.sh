@@ -78,6 +78,35 @@ echo "== smoke: a pool of 4 absorbs injected worker crashes =="
 # retry, and still verify everything — one crash never takes down siblings.
 "$DRYADV" --jobs 4 --inject crash@1 --timeout 30000 "$SLL"
 
+echo "== smoke: warm --jobs 4 verdicts and exit code match --cold --jobs 1 =="
+# The warm fleet (persistent workers, the default) against the historical
+# fork-per-obligation sandbox at one slot: verdicts and exit code must be
+# identical — the worker lifecycle must never show through in the report.
+rcc=0
+"$DRYADV" --cold --isolate --timeout 30000 "${SUITE[@]}" \
+    > /tmp/dryadv-cold1.out 2>&1 || rcc=$?
+if [ "$rcc" -ne "$rc4" ]; then
+  echo "exit codes diverge: --cold --jobs 1 -> $rcc, warm --jobs 4 -> $rc4" >&2
+  exit 1
+fi
+if ! diff <(verdicts /tmp/dryadv-cold1.out) <(verdicts /tmp/dryadv-jobs4.out); then
+  echo "per-routine verdicts diverge between --cold --jobs 1 and warm --jobs 4" >&2
+  exit 1
+fi
+
+echo "== smoke: warm fleet absorbs an injected crash mid-queue =="
+# crash@1 kills attempt 1 of every obligation inside its warm worker; the
+# pool must reap each corpse, replace it with a fresh fork, retry the
+# in-flight obligation, and still verify everything — queued obligations
+# are never poisoned by a predecessor's death.
+"$DRYADV" --isolate --inject crash@1 --attempts 2 --timeout 30000 \
+    "$SLL" 2> /tmp/dryadv-warmcrash.err
+grep -q "crash=[1-9]" /tmp/dryadv-warmcrash.err || {
+  echo "expected the workers stats line to record crash recycles" >&2
+  cat /tmp/dryadv-warmcrash.err >&2
+  exit 1
+}
+
 echo "== smoke: journal resume skips already-proved obligations =="
 JRNL=/tmp/dryadv-journal.jsonl
 rm -f "$JRNL"

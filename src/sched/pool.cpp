@@ -10,15 +10,23 @@
 
 using namespace dryad;
 
-Scheduler::Scheduler(unsigned Jobs) : Slots(Jobs == 0 ? 1 : Jobs) {}
+Scheduler::Scheduler(unsigned Jobs, WarmPoolOptions Warm)
+    : Slots(Jobs == 0 ? 1 : Jobs), Opts(Warm) {}
 
 Scheduler::~Scheduler() {
   // Abandoned run (exception unwound through run(), or run() never called):
   // never leave zombies or orphaned solvers behind.
   for (RunningTask &T : Active) {
-    killWorker(T.W, /*AtDeadline=*/false);
-    finishWorker(T.W);
+    if (T.Warm) {
+      killWarmWorker(T.WW, /*AtDeadline=*/false);
+      finishWarmRequest(T.WW);
+    } else {
+      killWorker(T.W, /*AtDeadline=*/false);
+      finishWorker(T.W);
+    }
   }
+  for (WarmWorker &WW : Idle)
+    retireWarmWorker(WW);
 }
 
 TaskId Scheduler::submit(SandboxRequest Req, Completion Done, OnStart Start) {
@@ -42,12 +50,63 @@ bool Scheduler::cancel(TaskId Id) {
     }
   for (auto It = Active.begin(); It != Active.end(); ++It)
     if (It->Id == Id) {
-      killWorker(It->W, /*AtDeadline=*/false);
-      finishWorker(It->W); // reap; the result is deliberately discarded
+      if (It->Warm) {
+        // A cancelled warm worker cannot be reused: its pipe may still
+        // carry the killed request's partial answer. Kill, reap, replace.
+        killWarmWorker(It->WW, /*AtDeadline=*/false);
+        finishWarmRequest(It->WW); // reap; result deliberately discarded
+        ++Stats.RecycledCrash;
+      } else {
+        killWorker(It->W, /*AtDeadline=*/false);
+        finishWorker(It->W); // reap; the result is deliberately discarded
+      }
       Active.erase(It);
       return true;
     }
   return false;
+}
+
+WarmWorker Scheduler::acquireWarmWorker() {
+  if (!Idle.empty()) {
+    WarmWorker WW = std::move(Idle.back());
+    Idle.pop_back();
+    return WW;
+  }
+  WarmWorker WW = spawnWarmWorker();
+  if (!WW.SpawnFailed)
+    ++Stats.WarmSpawns;
+  return WW;
+}
+
+void Scheduler::recycleOrRetain(WarmWorker &&WW, const SmtResult &R) {
+  if (!WW.usable()) {
+    // Already dead and reaped by finishWarmRequest (crash, deadline kill,
+    // rlimit death, torn frame).
+    ++Stats.RecycledCrash;
+    return;
+  }
+  if (R.Status == SmtStatus::Unknown) {
+    // Any non-verdict answer — in-solver timeout, resource trouble the
+    // worker survived, lowering error — is grounds for a fresh process:
+    // whatever state the solver left behind is not worth trusting.
+    retireWarmWorker(WW);
+    ++Stats.RecycledCrash;
+    return;
+  }
+  if (Opts.RecycleAfter != 0 && WW.Served >= Opts.RecycleAfter) {
+    retireWarmWorker(WW);
+    ++Stats.RecycledCount;
+    return;
+  }
+  size_t HighWaterKb = Opts.RssHighWaterKb;
+  if (HighWaterKb == 0 && WW.MemLimitMb != 0)
+    HighWaterKb = static_cast<size_t>(WW.MemLimitMb) * 1024 * 3 / 4;
+  if (HighWaterKb != 0 && WW.RssKb > HighWaterKb) {
+    retireWarmWorker(WW);
+    ++Stats.RecycledRss;
+    return;
+  }
+  Idle.push_back(std::move(WW));
 }
 
 void Scheduler::fill() {
@@ -56,16 +115,57 @@ void Scheduler::fill() {
     Pending.pop_front();
     if (T.Start)
       T.Start(); // queued work becomes running work right here
-    WorkerHandle W = spawnWorker(T.Req);
-    if (W.SpawnFailed) {
-      // fork/pipe exhaustion: classify and complete right here. The
-      // completion may re-submit (the retry ladder treats this as a
-      // SolverCrash), which lands back in Pending for the next fill pass.
-      SmtResult R = finishWorker(W);
+
+    if (!Opts.Warm) {
+      WorkerHandle W = spawnWorker(T.Req);
+      ++Stats.ColdSpawns;
+      if (W.SpawnFailed) {
+        // fork/pipe exhaustion: classify and complete right here. The
+        // completion may re-submit (the retry ladder treats this as a
+        // SolverCrash), which lands back in Pending for the next fill pass.
+        --Stats.ColdSpawns;
+        SmtResult R = finishWorker(W);
+        ++Stats.Served;
+        Stats.SolveSeconds += R.Seconds;
+        T.Done(R);
+        continue;
+      }
+      RunningTask RT;
+      RT.Id = T.Id;
+      RT.Warm = false;
+      RT.W = std::move(W);
+      RT.Done = std::move(T.Done);
+      Active.push_back(std::move(RT));
+      continue;
+    }
+
+    WarmWorker WW = acquireWarmWorker();
+    if (!WW.SpawnFailed && !startWarmRequest(WW, T.Req)) {
+      // The leased worker died while idle (EPIPE on the request write).
+      // Reap it and retry once on a guaranteed-fresh fork before giving up.
+      finishWarmRequest(WW); // classification of an idle death: discarded
+      ++Stats.RecycledCrash;
+      WW = spawnWarmWorker();
+      if (!WW.SpawnFailed) {
+        ++Stats.WarmSpawns;
+        startWarmRequest(WW, T.Req);
+      }
+    }
+    if (WW.SpawnFailed || !WW.running()) {
+      // fork/pipe exhaustion, or even the fresh fork's pipe broke:
+      // classify and complete right here, like a cold spawn failure.
+      SmtResult R = finishWarmRequest(WW);
+      ++Stats.Served;
+      Stats.SolveSeconds += R.Seconds;
       T.Done(R);
       continue;
     }
-    Active.push_back({T.Id, std::move(W), std::move(T.Done)});
+    RunningTask RT;
+    RT.Id = T.Id;
+    RT.Warm = true;
+    RT.WW = std::move(WW);
+    RT.Done = std::move(T.Done);
+    Active.push_back(std::move(RT));
   }
 }
 
@@ -86,13 +186,15 @@ void Scheduler::run() {
     auto Now = std::chrono::steady_clock::now();
     for (const RunningTask &T : Active) {
       pollfd PF;
-      PF.fd = T.W.Fd;
+      PF.fd = T.Warm ? T.WW.FromFd : T.W.Fd;
       PF.events = POLLIN;
       PF.revents = 0;
       PFs.push_back(PF);
-      if (T.W.HasDeadline) {
+      bool HasDeadline = T.Warm ? T.WW.HasDeadline : T.W.HasDeadline;
+      if (HasDeadline) {
+        auto Deadline = T.Warm ? T.WW.Deadline : T.W.Deadline;
         auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          T.W.Deadline - Now)
+                          Deadline - Now)
                           .count();
         int Ms = Remain <= 0 ? 0 : static_cast<int>(Remain);
         if (PollMs < 0 || Ms < PollMs)
@@ -105,12 +207,22 @@ void Scheduler::run() {
 
     // Drain readable pipes, then fire any expired deadlines.
     for (size_t I = 0; I != Active.size(); ++I)
-      if (PFs[I].revents & (POLLIN | POLLHUP | POLLERR))
-        pumpWorker(Active[I].W);
+      if (PFs[I].revents & (POLLIN | POLLHUP | POLLERR)) {
+        if (Active[I].Warm)
+          pumpWarmWorker(Active[I].WW);
+        else
+          pumpWorker(Active[I].W);
+      }
     Now = std::chrono::steady_clock::now();
-    for (RunningTask &T : Active)
-      if (!T.W.Eof && T.W.HasDeadline && Now >= T.W.Deadline)
-        killWorker(T.W, /*AtDeadline=*/true);
+    for (RunningTask &T : Active) {
+      if (T.Warm) {
+        if (T.WW.running() && T.WW.HasDeadline && Now >= T.WW.Deadline)
+          killWarmWorker(T.WW, /*AtDeadline=*/true);
+      } else {
+        if (!T.W.Eof && T.W.HasDeadline && Now >= T.W.Deadline)
+          killWorker(T.W, /*AtDeadline=*/true);
+      }
+    }
 
     // Extract finished workers *before* running completions: a completion
     // may submit new tasks or cancel running siblings, both of which
@@ -118,15 +230,23 @@ void Scheduler::run() {
     // among the workers that finished in this poll round, so completion
     // order is deterministic given worker fates.
     Finished.clear();
-    for (auto It = Active.begin(); It != Active.end();)
-      if (It->W.Eof || It->W.KilledByDeadline) {
+    for (auto It = Active.begin(); It != Active.end();) {
+      bool Done = It->Warm ? !It->WW.running()
+                           : (It->W.Eof || It->W.KilledByDeadline);
+      if (Done) {
         Finished.push_back(std::move(*It));
         It = Active.erase(It);
       } else {
         ++It;
       }
+    }
     for (RunningTask &T : Finished) {
-      SmtResult R = finishWorker(T.W);
+      SmtResult R =
+          T.Warm ? finishWarmRequest(T.WW) : finishWorker(T.W);
+      ++Stats.Served;
+      Stats.SolveSeconds += R.Seconds;
+      if (T.Warm)
+        recycleOrRetain(std::move(T.WW), R);
       T.Done(R);
     }
   }

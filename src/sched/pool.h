@@ -6,9 +6,17 @@
 ///
 /// \file
 /// A worker-pool scheduler over the solver sandbox: every submitted task is
-/// one SMT-LIB2 benchmark discharged in its own forked, rlimited worker
+/// one SMT-LIB2 benchmark discharged in a forked, rlimited worker
 /// (smt/sandbox.h), and up to `--jobs N` workers run concurrently under a
 /// single poll(2)-based event loop in the parent.
+///
+/// By default the pool owns a fleet of WARM workers (spawned once, looping
+/// over framed requests) so fork + solver-init cost is amortized across the
+/// obligation queue; `WarmPoolOptions::Warm = false` (`dryadv --cold`)
+/// restores the historical fork-per-obligation worker. A recycling policy
+/// bounds state leakage: a warm worker is replaced after `RecycleAfter`
+/// answers, when its RSS crosses the high-water mark, or after any answer
+/// that was not a clean sat/unsat verdict.
 ///
 /// The parent stays single-threaded. All concurrency is between worker
 /// *processes*; completions, retries, journal appends, and report assembly
@@ -50,6 +58,47 @@ namespace dryad {
 /// scheduler's lifetime.
 using TaskId = uint64_t;
 
+/// Worker-lifecycle policy for a Scheduler.
+struct WarmPoolOptions {
+  /// Warm fleet (default): fork once per slot, loop over framed requests.
+  /// False restores fork-per-obligation (`--cold`).
+  bool Warm = true;
+  /// Retire a warm worker after this many answers (`--recycle-after`);
+  /// 0 = never recycle on count.
+  unsigned RecycleAfter = 64;
+  /// Retire a warm worker whose post-answer RSS exceeds this, in KiB.
+  /// 0 = derive from the request's MemLimitMb (75% of the cap), or no RSS
+  /// recycling when the request is uncapped.
+  size_t RssHighWaterKb = 0;
+};
+
+/// Worker-lifecycle counters, accumulated over a Scheduler's lifetime. The
+/// amortization claim (spawns << obligations) is read off these, not
+/// assumed.
+struct PoolStats {
+  unsigned WarmSpawns = 0; ///< persistent workers forked
+  unsigned ColdSpawns = 0; ///< one-shot workers forked (cold mode)
+  unsigned Served = 0;     ///< obligations completed by pool workers
+  unsigned RecycledCount = 0; ///< warm workers retired by RecycleAfter
+  unsigned RecycledRss = 0;   ///< warm workers retired by RSS high-water
+  unsigned RecycledCrash = 0; ///< warm workers lost to death/kill/non-verdict
+  double SolveSeconds = 0;    ///< cumulative wall time inside workers
+
+  void accumulate(const PoolStats &O) {
+    WarmSpawns += O.WarmSpawns;
+    ColdSpawns += O.ColdSpawns;
+    Served += O.Served;
+    RecycledCount += O.RecycledCount;
+    RecycledRss += O.RecycledRss;
+    RecycledCrash += O.RecycledCrash;
+    SolveSeconds += O.SolveSeconds;
+  }
+  unsigned spawns() const { return WarmSpawns + ColdSpawns; }
+  unsigned recycles() const {
+    return RecycledCount + RecycledRss + RecycledCrash;
+  }
+};
+
 class Scheduler {
 public:
   /// Runs on the event-loop thread once the task's worker fate has been
@@ -62,13 +111,18 @@ public:
   /// queued behind other procedures is never billed.
   using OnStart = std::function<void()>;
 
-  /// \p Jobs concurrent worker slots (clamped to at least 1).
-  explicit Scheduler(unsigned Jobs);
+  /// \p Jobs concurrent worker slots (clamped to at least 1); \p Warm
+  /// selects the worker lifecycle (warm fleet by default).
+  explicit Scheduler(unsigned Jobs, WarmPoolOptions Warm = {});
   ~Scheduler();
   Scheduler(const Scheduler &) = delete;
   Scheduler &operator=(const Scheduler &) = delete;
 
   unsigned jobs() const { return Slots; }
+
+  /// Lifecycle counters accumulated since construction (idle fleet
+  /// included: retiring it in the destructor does not change them).
+  const PoolStats &stats() const { return Stats; }
 
   /// Queues one sandboxed solve behind all earlier submissions.
   TaskId submit(SandboxRequest Req, Completion Done, OnStart Start = {});
@@ -99,7 +153,9 @@ private:
   };
   struct RunningTask {
     TaskId Id;
-    WorkerHandle W;
+    bool Warm = false;
+    WorkerHandle W;  ///< cold mode: the one-shot worker
+    WarmWorker WW;   ///< warm mode: the leased fleet worker
     Completion Done;
   };
 
@@ -107,10 +163,20 @@ private:
   /// complete immediately with the sandbox's infrastructure result.
   void fill();
 
+  /// Leases a warm worker: pops the idle fleet or forks a fresh one.
+  WarmWorker acquireWarmWorker();
+
+  /// Returns an answered worker to the idle fleet, or retires it per the
+  /// recycling policy (count / RSS / any non-verdict answer), counting why.
+  void recycleOrRetain(WarmWorker &&WW, const SmtResult &R);
+
   unsigned Slots;
+  WarmPoolOptions Opts;
+  PoolStats Stats;
   TaskId NextId = 1;
   std::deque<PendingTask> Pending;
   std::vector<RunningTask> Active;
+  std::vector<WarmWorker> Idle; ///< answered warm workers awaiting reuse
 };
 
 } // namespace dryad

@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <new>
 #include <string>
@@ -152,15 +153,11 @@ void writeAll(int Fd, const std::string &Data) {
   }
 }
 
-[[noreturn]] void childMain(const SandboxRequest &Req, int Fd) {
-  // The parent's SIGINT/SIGTERM handlers must not run here: this process's
-  // copy of the pid table lists siblings, not children.
-  signal(SIGINT, SIG_DFL);
-  signal(SIGTERM, SIG_DFL);
-  if (!applyLimits(Req))
-    _exit(ExitSetup);
-
-  switch (Req.Fault) {
+/// Realizes an injected fault inside the worker. Returns only for
+/// SandboxFault::None; every other kind ends the process one way or
+/// another, exercising a distinct parent-side classification path.
+void realizeFault(SandboxFault Fault) {
+  switch (Fault) {
   case SandboxFault::Crash:
     // A real signal death, not an exit code: the parent must classify it
     // from the wait status exactly as it would a genuine solver segfault.
@@ -188,7 +185,12 @@ void writeAll(int Fd, const std::string &Data) {
   case SandboxFault::None:
     break;
   }
+}
 
+/// Solves one request in a fresh Z3 context. Shared by the one-shot and
+/// warm worker loops; may _exit(ExitOom) when allocation can no longer be
+/// trusted to build a payload.
+SmtResult solveRequest(const SandboxRequest &Req) {
   SmtResult R;
   try {
     z3::context Ctx;
@@ -238,9 +240,137 @@ void writeAll(int Fd, const std::string &Data) {
   } catch (const std::bad_alloc &) {
     _exit(ExitOom);
   }
+  return R;
+}
 
-  writeAll(Fd, encodePayload(R));
+[[noreturn]] void childMain(const SandboxRequest &Req, int Fd) {
+  // The parent's SIGINT/SIGTERM handlers must not run here: this process's
+  // copy of the pid table lists siblings, not children.
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
+  if (!applyLimits(Req))
+    _exit(ExitSetup);
+  realizeFault(Req.Fault);
+  writeAll(Fd, encodePayload(solveRequest(Req)));
   _exit(0);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm worker: child-side request loop
+//===----------------------------------------------------------------------===//
+
+/// Per-request rlimit refresh for a long-lived worker. Unlike the one-shot
+/// applyLimits, only the SOFT limits move: the hard limits stay at their
+/// inherited values, because an unprivileged process can never raise a hard
+/// limit again and consecutive requests legitimately need both tighter and
+/// looser caps (and RLIMIT_CPU must keep growing with cumulative usage).
+bool setSoftLimit(int Resource, rlim_t Cur) {
+  rlimit RL;
+  if (getrlimit(Resource, &RL) != 0)
+    return false;
+  if (RL.rlim_max != RLIM_INFINITY && Cur > RL.rlim_max)
+    Cur = RL.rlim_max; // clamp: the cap still holds, tighter than asked
+  RL.rlim_cur = Cur;
+  return setrlimit(Resource, &RL) == 0;
+}
+
+/// Returns false when a requested cap could not be enforced; the worker
+/// then _exits(ExitSetup) rather than serve the request unsandboxed.
+bool applyLimitsWarm(const SandboxRequest &Req) {
+  unsigned MemMb = Req.MemLimitMb;
+  // Same rule as the one-shot path: an injected oom must hit a ceiling
+  // even when the caller set none.
+  if (Req.Fault == SandboxFault::Oom && MemMb == 0)
+    MemMb = 256;
+  if (MemMb) {
+    if (!setSoftLimit(RLIMIT_AS, static_cast<rlim_t>(MemMb) << 20))
+      return false;
+  } else {
+    // No cap requested: a previous request's tighter soft cap must not
+    // leak into this one.
+    rlimit RL;
+    if (getrlimit(RLIMIT_AS, &RL) == 0 && RL.rlim_cur != RL.rlim_max) {
+      RL.rlim_cur = RL.rlim_max;
+      if (setrlimit(RLIMIT_AS, &RL) != 0)
+        return false;
+    }
+  }
+  unsigned CpuS = Req.CpuLimitS;
+  if (CpuS == 0 && Req.TimeoutMs != 0)
+    CpuS = Req.TimeoutMs / 1000 + 2;
+  if (CpuS) {
+    // RLIMIT_CPU counts the process's CUMULATIVE CPU time, and a warm
+    // worker has already burned some on earlier requests — the cap is set
+    // relative to current usage so a healthy long-lived worker is never
+    // killed for its past.
+    rusage RU;
+    std::memset(&RU, 0, sizeof(RU));
+    getrusage(RUSAGE_SELF, &RU);
+    rlim_t Used = static_cast<rlim_t>(RU.ru_utime.tv_sec) +
+                  static_cast<rlim_t>(RU.ru_stime.tv_sec);
+    if (!setSoftLimit(RLIMIT_CPU, Used + CpuS + 1))
+      return false;
+  }
+  return true;
+}
+
+/// Reads one request frame off the buffered pipe. Returns 1 on a frame, 0
+/// on clean EOF between frames (retirement), -1 on a torn frame.
+int readRequestFrame(FILE *In, SandboxRequest &Req) {
+  char Line[128];
+  if (!std::fgets(Line, sizeof(Line), In))
+    return std::feof(In) ? 0 : -1;
+  if (std::strcmp(Line, "DRYQ1\n") != 0)
+    return -1;
+  unsigned TimeoutMs, MemLimitMb, CpuLimitS, Seed, HasSeed, Fault;
+  if (!std::fgets(Line, sizeof(Line), In) ||
+      std::sscanf(Line, "%u %u %u %u %u %u", &TimeoutMs, &MemLimitMb,
+                  &CpuLimitS, &Seed, &HasSeed, &Fault) != 6)
+    return -1;
+  if (!std::fgets(Line, sizeof(Line), In))
+    return -1;
+  char *End = nullptr;
+  unsigned long Size = std::strtoul(Line, &End, 10);
+  if (End == Line || *End != '\n')
+    return -1;
+  Req.TimeoutMs = TimeoutMs;
+  Req.MemLimitMb = MemLimitMb;
+  Req.CpuLimitS = CpuLimitS;
+  Req.Seed = Seed;
+  Req.HasSeed = HasSeed != 0;
+  Req.Fault = static_cast<SandboxFault>(Fault);
+  Req.Smt2.resize(Size);
+  if (Size != 0 && std::fread(&Req.Smt2[0], 1, Size, In) != Size)
+    return -1;
+  return 1;
+}
+
+[[noreturn]] void warmChildMain(int InFd, int OutFd) {
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
+  // The parent set SIGPIPE to SIG_IGN for its own writes; this process
+  // should die writing to an orphaned pipe, not spin.
+  signal(SIGPIPE, SIG_DFL);
+  FILE *In = fdopen(InFd, "r");
+  if (!In)
+    _exit(ExitProto);
+  for (;;) {
+    SandboxRequest Req;
+    int RC = readRequestFrame(In, Req);
+    if (RC == 0)
+      _exit(0); // pipe closed between frames: graceful retirement
+    if (RC < 0)
+      _exit(ExitProto);
+    // Isolation is re-established per request, never assumed to have
+    // survived the previous one.
+    if (!applyLimitsWarm(Req))
+      _exit(ExitSetup);
+    realizeFault(Req.Fault);
+    std::string Payload = encodePayload(solveRequest(Req));
+    std::string Frame =
+        "DRYR1\n" + std::to_string(Payload.size()) + "\n" + Payload;
+    writeAll(OutFd, Frame);
+  }
 }
 
 } // namespace
@@ -371,6 +501,51 @@ void dryad::killWorker(WorkerHandle &W, bool AtDeadline) {
     W.KilledByDeadline = true;
 }
 
+namespace {
+/// Maps a dead worker's wait status onto the failure taxonomy — the table
+/// in the file header. Shared verbatim by the one-shot and warm paths so
+/// the two report byte-identical classifications.
+void classifyDeadWorker(SmtResult &R, int WStatus, bool KilledByDeadline,
+                        unsigned TimeoutMs, unsigned MemLimitMb) {
+  R.Status = SmtStatus::Unknown;
+  if (KilledByDeadline) {
+    R.Failure = FailureKind::Timeout;
+    R.Detail = "solver worker killed at the " + std::to_string(TimeoutMs) +
+               " ms wall-clock deadline";
+  } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitOom) {
+    R.Failure = FailureKind::ResourceOut;
+    R.Detail = "solver worker exceeded its memory limit";
+    if (MemLimitMb)
+      R.Detail += " (RLIMIT_AS " + std::to_string(MemLimitMb) + " MiB)";
+  } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitSetup) {
+    R.Failure = FailureKind::SolverCrash;
+    R.Detail = "solver worker could not apply its resource limits "
+               "(setrlimit failed); refusing to run unsandboxed";
+  } else if (WIFSIGNALED(WStatus)) {
+    int Sig = WTERMSIG(WStatus);
+    if (Sig == SIGXCPU || Sig == SIGKILL) {
+      // SIGKILL we did not send is the kernel's: the CPU rlimit's hard cap
+      // or the OOM killer — resource exhaustion either way. (A portfolio
+      // cancellation is also a parent SIGKILL, but cancelled workers'
+      // results are discarded, so the label never surfaces for them.)
+      R.Failure = FailureKind::ResourceOut;
+      R.Detail = std::string("solver worker killed by resource limit (") +
+                 strsignal(Sig) + ")";
+    } else {
+      R.Failure = FailureKind::SolverCrash;
+      R.Detail = std::string("solver worker died on signal ") +
+                 std::to_string(Sig) + " (" + strsignal(Sig) + ")";
+    }
+  } else {
+    R.Failure = FailureKind::SolverCrash;
+    R.Detail = "solver worker exited with code " +
+               std::to_string(WIFEXITED(WStatus) ? WEXITSTATUS(WStatus) : -1) +
+               " without a result";
+  }
+  R.ModelText = R.Detail;
+}
+} // namespace
+
 SmtResult dryad::finishWorker(WorkerHandle &W) {
   if (W.SpawnFailed) {
     SmtResult R;
@@ -399,42 +574,8 @@ SmtResult dryad::finishWorker(WorkerHandle &W) {
       decodePayload(W.Payload, R))
     return R;
 
-  R.Status = SmtStatus::Unknown;
-  if (W.KilledByDeadline) {
-    R.Failure = FailureKind::Timeout;
-    R.Detail = "solver worker killed at the " + std::to_string(W.TimeoutMs) +
-               " ms wall-clock deadline";
-  } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitOom) {
-    R.Failure = FailureKind::ResourceOut;
-    R.Detail = "solver worker exceeded its memory limit";
-    if (W.MemLimitMb)
-      R.Detail += " (RLIMIT_AS " + std::to_string(W.MemLimitMb) + " MiB)";
-  } else if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == ExitSetup) {
-    R.Failure = FailureKind::SolverCrash;
-    R.Detail = "solver worker could not apply its resource limits "
-               "(setrlimit failed); refusing to run unsandboxed";
-  } else if (WIFSIGNALED(WStatus)) {
-    int Sig = WTERMSIG(WStatus);
-    if (Sig == SIGXCPU || Sig == SIGKILL) {
-      // SIGKILL we did not send is the kernel's: the CPU rlimit's hard cap
-      // or the OOM killer — resource exhaustion either way. (A portfolio
-      // cancellation is also a parent SIGKILL, but cancelled workers'
-      // results are discarded, so the label never surfaces for them.)
-      R.Failure = FailureKind::ResourceOut;
-      R.Detail = std::string("solver worker killed by resource limit (") +
-                 strsignal(Sig) + ")";
-    } else {
-      R.Failure = FailureKind::SolverCrash;
-      R.Detail = std::string("solver worker died on signal ") +
-                 std::to_string(Sig) + " (" + strsignal(Sig) + ")";
-    }
-  } else {
-    R.Failure = FailureKind::SolverCrash;
-    R.Detail = "solver worker exited with code " +
-               std::to_string(WIFEXITED(WStatus) ? WEXITSTATUS(WStatus) : -1) +
-               " without a result";
-  }
-  R.ModelText = R.Detail;
+  classifyDeadWorker(R, WStatus, W.KilledByDeadline, W.TimeoutMs,
+                     W.MemLimitMb);
   return R;
 }
 
@@ -469,4 +610,287 @@ SmtResult dryad::solveInSandbox(const SandboxRequest &Req) {
     pumpWorker(W);
   }
   return finishWorker(W);
+}
+
+//===----------------------------------------------------------------------===//
+// Warm worker: parent side
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Parent-side full write. Unlike the child's writeAll this must not _exit:
+/// a failed write (EPIPE from a worker that died while idle) is a
+/// respawnable condition, reported to the caller as false.
+bool writeAllParent(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off < Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// True when \p Buf holds one complete "DRYR1\n<len>\n<payload>" frame;
+/// \p Payload receives the payload bytes. Torn header lines report
+/// incomplete (false with Torn unset) until more bytes arrive; a malformed
+/// header sets \p Torn so the owner can give up on the worker.
+bool parseResponseFrame(const std::string &Buf, std::string &Payload,
+                        bool &Torn) {
+  size_t Nl = Buf.find('\n');
+  if (Nl == std::string::npos)
+    return false;
+  if (Buf.compare(0, Nl + 1, "DRYR1\n") != 0) {
+    Torn = true;
+    return false;
+  }
+  size_t Nl2 = Buf.find('\n', Nl + 1);
+  if (Nl2 == std::string::npos)
+    return false;
+  std::string Len = Buf.substr(Nl + 1, Nl2 - Nl - 1);
+  char *End = nullptr;
+  unsigned long N = std::strtoul(Len.c_str(), &End, 10);
+  if (Len.empty() || *End != '\0') {
+    Torn = true;
+    return false;
+  }
+  if (Buf.size() < Nl2 + 1 + N)
+    return false;
+  Payload = Buf.substr(Nl2 + 1, N);
+  return true;
+}
+} // namespace
+
+WarmWorker dryad::spawnWarmWorker() {
+  WarmWorker W;
+  // The parent must survive writing a request to a worker that died while
+  // idle: turn the fatal SIGPIPE into a plain EPIPE write error.
+  signal(SIGPIPE, SIG_IGN);
+
+  int Down[2], Up[2]; // Down: parent -> worker requests; Up: responses back
+  if (pipe(Down) != 0) {
+    W.SpawnFailed = true;
+    W.FailReason = std::string("pipe: ") + std::strerror(errno);
+    return W;
+  }
+  if (pipe(Up) != 0) {
+    close(Down[0]);
+    close(Down[1]);
+    W.SpawnFailed = true;
+    W.FailReason = std::string("pipe: ") + std::strerror(errno);
+    return W;
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Down[0]);
+    close(Down[1]);
+    close(Up[0]);
+    close(Up[1]);
+    W.SpawnFailed = true;
+    W.FailReason = std::string("fork: ") + std::strerror(errno);
+    return W;
+  }
+  if (Pid == 0) {
+    close(Down[1]);
+    close(Up[0]);
+    warmChildMain(Down[0], Up[1]); // never returns
+  }
+  close(Down[0]);
+  close(Up[1]);
+  W.Pid = Pid;
+  W.ToFd = Down[1];
+  W.FromFd = Up[0];
+  // Registered at SPAWN, not at first request: an idle warm fleet must be
+  // reapable by the SIGINT/SIGTERM termination handlers.
+  registerChildPid(Pid);
+  return W;
+}
+
+bool dryad::startWarmRequest(WarmWorker &W, const SandboxRequest &Req) {
+  if (!W.usable())
+    return false;
+  W.Busy = true;
+  W.Start = std::chrono::steady_clock::now();
+  W.TimeoutMs = Req.TimeoutMs;
+  W.MemLimitMb = Req.MemLimitMb;
+  W.HasDeadline = Req.TimeoutMs != 0;
+  if (W.HasDeadline)
+    W.Deadline =
+        W.Start + std::chrono::milliseconds(Req.TimeoutMs + WallGraceMs);
+  W.Buf.clear();
+  W.FrameComplete = false;
+  W.KilledByDeadline = false;
+
+  std::string Frame = "DRYQ1\n";
+  Frame += std::to_string(Req.TimeoutMs) + " " +
+           std::to_string(Req.MemLimitMb) + " " +
+           std::to_string(Req.CpuLimitS) + " " + std::to_string(Req.Seed) +
+           " " + std::to_string(Req.HasSeed ? 1 : 0) + " " +
+           std::to_string(static_cast<unsigned>(Req.Fault)) + "\n";
+  Frame += std::to_string(Req.Smt2.size()) + "\n" + Req.Smt2;
+  if (!writeAllParent(W.ToFd, Frame)) {
+    // The worker died while idle (EPIPE). Mark it dead; the caller reaps
+    // it with finishWarmRequest / retireWarmWorker and respawns.
+    W.Dead = true;
+    return false;
+  }
+  return true;
+}
+
+bool dryad::pumpWarmWorker(WarmWorker &W) {
+  if (!W.Busy || W.Dead || W.FrameComplete || W.FromFd < 0)
+    return true;
+  char Buf[4096];
+  ssize_t N = read(W.FromFd, Buf, sizeof(Buf));
+  if (N > 0) {
+    W.Buf.append(Buf, static_cast<size_t>(N));
+    std::string Payload;
+    bool Torn = false;
+    if (parseResponseFrame(W.Buf, Payload, Torn))
+      W.FrameComplete = true;
+    else if (Torn)
+      W.Dead = true; // garbage on the wire: the worker cannot be trusted
+  } else if (N == 0) {
+    W.Dead = true; // EOF mid-request: the worker died
+  } else if (errno != EINTR) {
+    W.Dead = true;
+  }
+  return !W.running();
+}
+
+void dryad::killWarmWorker(WarmWorker &W, bool AtDeadline) {
+  if (W.Pid > 0)
+    kill(W.Pid, SIGKILL);
+  if (AtDeadline)
+    W.KilledByDeadline = true;
+}
+
+SmtResult dryad::finishWarmRequest(WarmWorker &W) {
+  if (W.SpawnFailed) {
+    SmtResult R;
+    R.Status = SmtStatus::Unknown;
+    R.Failure = FailureKind::SolverCrash;
+    R.Detail = "sandbox setup failed: " + W.FailReason;
+    R.ModelText = R.Detail;
+    return R;
+  }
+  SmtResult R;
+  R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            W.Start)
+                  .count();
+  W.Busy = false;
+
+  if (W.FrameComplete && !W.KilledByDeadline) {
+    std::string Payload;
+    bool Torn = false;
+    if (parseResponseFrame(W.Buf, Payload, Torn) && decodePayload(Payload, R)) {
+      // Clean answer: the worker stays alive and idle for the next request.
+      W.Buf.clear();
+      W.FrameComplete = false;
+      ++W.Served;
+      W.RssKb = sampleWorkerRssKb(W.Pid);
+      return R;
+    }
+    // A complete-looking frame that does not decode: treat as a torn wire.
+    W.Dead = true;
+  }
+
+  // Every other fate kills the worker: SIGKILL (idempotent if the kernel or
+  // our deadline already did), reap, and classify the wait status exactly
+  // like the one-shot path. Guard on Pid: waitpid(-1) would reap an
+  // unrelated sibling child.
+  int WStatus = 0;
+  if (W.Pid > 0) {
+    kill(W.Pid, SIGKILL);
+    if (W.ToFd >= 0) {
+      close(W.ToFd);
+      W.ToFd = -1;
+    }
+    if (W.FromFd >= 0) {
+      close(W.FromFd);
+      W.FromFd = -1;
+    }
+    while (waitpid(W.Pid, &WStatus, 0) < 0 && errno == EINTR)
+      ;
+    unregisterChildPid(W.Pid);
+    W.Pid = -1;
+  }
+  W.Dead = true;
+
+  classifyDeadWorker(R, WStatus, W.KilledByDeadline, W.TimeoutMs,
+                     W.MemLimitMb);
+  return R;
+}
+
+void dryad::retireWarmWorker(WarmWorker &W) {
+  if (W.ToFd >= 0) {
+    close(W.ToFd); // EOF between frames: the worker exits 0 on its own...
+    W.ToFd = -1;
+  }
+  if (W.FromFd >= 0) {
+    close(W.FromFd);
+    W.FromFd = -1;
+  }
+  if (W.Pid > 0) {
+    // ...but never WAIT on that: a wedged worker must not hang retirement.
+    kill(W.Pid, SIGKILL);
+    while (waitpid(W.Pid, nullptr, 0) < 0 && errno == EINTR)
+      ;
+    unregisterChildPid(W.Pid);
+    W.Pid = -1;
+  }
+  W.Dead = true;
+}
+
+SmtResult dryad::solveOnWarmWorker(WarmWorker &W, const SandboxRequest &Req) {
+  if (!startWarmRequest(W, Req))
+    return finishWarmRequest(W);
+  while (W.running()) {
+    int PollMs = -1;
+    if (W.HasDeadline) {
+      auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        W.Deadline - std::chrono::steady_clock::now())
+                        .count();
+      if (Remain <= 0) {
+        killWarmWorker(W, /*AtDeadline=*/true);
+        break;
+      }
+      PollMs = static_cast<int>(Remain);
+    }
+    pollfd PF;
+    PF.fd = W.FromFd;
+    PF.events = POLLIN;
+    PF.revents = 0;
+    int PR = poll(&PF, 1, PollMs);
+    if (PR == 0) {
+      killWarmWorker(W, /*AtDeadline=*/true);
+      break;
+    }
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    pumpWarmWorker(W);
+  }
+  return finishWarmRequest(W);
+}
+
+size_t dryad::sampleWorkerRssKb(pid_t Pid) {
+  if (Pid <= 0)
+    return 0;
+  std::string Path = "/proc/" + std::to_string(Pid) + "/statm";
+  FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return 0;
+  unsigned long SizePages = 0, RssPages = 0;
+  int Got = std::fscanf(F, "%lu %lu", &SizePages, &RssPages);
+  std::fclose(F);
+  if (Got != 2)
+    return 0;
+  long PageKb = sysconf(_SC_PAGESIZE) / 1024;
+  return static_cast<size_t>(RssPages) * static_cast<size_t>(PageKb);
 }

@@ -142,6 +142,115 @@ SmtResult finishWorker(WorkerHandle &W);
 /// FailureKind::SolverCrash results.
 SmtResult solveInSandbox(const SandboxRequest &Req);
 
+//===----------------------------------------------------------------------===//
+// Warm (persistent) workers and the framed wire protocol
+//===----------------------------------------------------------------------===//
+//
+// The one-shot worker above pays fork + process teardown per obligation.
+// A warm worker is forked ONCE and then loops: read a length-prefixed
+// request frame off its pipe, re-apply the request's rlimits, solve in a
+// fresh Z3 context, write a length-prefixed response frame, repeat. Every
+// isolation property of the one-shot sandbox is preserved per request:
+//
+//  * rlimits are re-checked before each solve (RLIMIT_AS soft cap raised or
+//    lowered to the request's; RLIMIT_CPU soft cap set relative to the CPU
+//    the worker has already burned, since the limit counts cumulatively);
+//  * the parent enforces the same wall-clock deadline with SIGKILL;
+//  * a worker that dies mid-request is reaped and classified from its wait
+//    status exactly like a one-shot worker (SolverCrash / ResourceOut /
+//    Timeout), and the owner retries the obligation on a fresh worker.
+//
+// Wire protocol (all fields length- or line-delimited so solver text can
+// contain anything):
+//
+//   request  (parent -> worker):
+//     "DRYQ1\n"
+//     <timeout-ms> SP <mem-limit-mb> SP <cpu-limit-s> SP <seed>
+//         SP <has-seed> SP <fault> "\n"
+//     <smt2-bytes> "\n" <smt2>
+//   response (worker -> parent):
+//     "DRYR1\n" <payload-bytes> "\n" <payload>
+//
+// where <payload> is the same "DRYD1" encoding the one-shot worker writes.
+// Closing the request pipe retires the worker: it reads EOF between frames
+// and exits 0. The worker is registered in the pid registry at SPAWN (not
+// at first request), so SIGINT/SIGTERM reaps an idle warm fleet too.
+
+/// A live persistent worker. Owned by the scheduler's pool; between
+/// requests it sits idle, blocked reading its request pipe.
+struct WarmWorker {
+  pid_t Pid = -1;
+  int ToFd = -1;   ///< parent's write end: framed requests travel down
+  int FromFd = -1; ///< parent's read end: framed responses travel up
+  bool SpawnFailed = false; ///< fork/pipe failed; FailReason says why
+  std::string FailReason;
+
+  // Per-request state, meaningful while Busy.
+  bool Busy = false;
+  std::chrono::steady_clock::time_point Start;
+  std::chrono::steady_clock::time_point Deadline;
+  bool HasDeadline = false;
+  unsigned TimeoutMs = 0;  ///< echoed from the request, for classification
+  unsigned MemLimitMb = 0; ///< echoed from the request, for classification
+  std::string Buf;         ///< response bytes drained so far
+  bool FrameComplete = false; ///< a full response frame has arrived
+  bool Dead = false; ///< EOF (or torn frame) from the worker: it is gone
+  bool KilledByDeadline = false;
+
+  unsigned Served = 0; ///< requests answered over this worker's lifetime
+  size_t RssKb = 0;    ///< resident set sampled after the last answer
+
+  /// True while the owner must keep polling the in-flight request.
+  bool running() const {
+    return Busy && !Dead && !KilledByDeadline && !FrameComplete;
+  }
+  /// True when the worker process can accept another request.
+  bool usable() const { return Pid > 0 && !Dead && !SpawnFailed; }
+};
+
+/// Forks one persistent worker and registers it with the pid registry
+/// immediately — an idle warm fleet must be reapable by the termination
+/// handlers. Also sets SIGPIPE to SIG_IGN in the calling process, so a
+/// request written to a worker that died while idle surfaces as EPIPE (a
+/// respawnable condition), not a fatal signal.
+WarmWorker spawnWarmWorker();
+
+/// Writes one framed request to an idle worker and arms the per-request
+/// deadline state. Returns false when the worker is unusable or the write
+/// fails (it died while idle) — the caller reaps it with finishWarmRequest
+/// and retries on a fresh worker.
+bool startWarmRequest(WarmWorker &W, const SandboxRequest &Req);
+
+/// Drains available response bytes (one read). Returns true once the
+/// in-flight request has concluded: a complete frame arrived, or the worker
+/// died (EOF / torn frame).
+bool pumpWarmWorker(WarmWorker &W);
+
+/// SIGKILLs the worker; \p AtDeadline marks the parent's wall-clock
+/// deadline firing (classified as Timeout by finishWarmRequest).
+void killWarmWorker(WarmWorker &W, bool AtDeadline);
+
+/// Concludes the in-flight request. A complete, decodable frame returns
+/// the payload's own result and leaves the worker alive and idle for the
+/// next request; any other fate (deadline kill, signal death, rlimit kill,
+/// torn frame) SIGKILLs + reaps the worker and classifies its wait status
+/// exactly like the one-shot finishWorker. After a death the handle is
+/// unusable (Pid == -1) and the owner must spawn a replacement.
+SmtResult finishWarmRequest(WarmWorker &W);
+
+/// Retires an idle worker: closes its pipes, SIGKILLs, reaps, and
+/// unregisters it. Safe on dead or never-spawned handles.
+void retireWarmWorker(WarmWorker &W);
+
+/// One synchronous request on a warm worker — the warm analogue of
+/// solveInSandbox, driving start/pump/kill/finish under a private poll
+/// loop. The worker survives (idle) iff the request concluded cleanly.
+SmtResult solveOnWarmWorker(WarmWorker &W, const SandboxRequest &Req);
+
+/// Resident-set size of \p Pid in KiB via /proc, or 0 when unreadable.
+/// The pool samples this after each answer to drive RSS-pressure recycling.
+size_t sampleWorkerRssKb(pid_t Pid);
+
 /// Parent-facing switch threaded from `dryadv --isolate` down to the
 /// dispatch layer.
 struct SandboxOptions {

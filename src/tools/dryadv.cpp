@@ -27,6 +27,19 @@
 //   --portfolio           race the natural-proof tactic rungs per
 //                         obligation and take the first definitive answer,
 //                         killing the losers (implies --isolate)
+//   --warm-workers        persistent solver workers (the default): each pool
+//                         slot forks once and streams framed requests to it,
+//                         amortizing fork + solver init across the queue.
+//                         Verdicts and reports are byte-identical to --cold
+//   --cold                fork one worker per obligation attempt (the
+//                         historical sandbox); escape hatch for warm-worker
+//                         trouble
+//   --recycle-after <k>   retire a warm worker after <k> answers (default
+//                         64; 0 = never on count). RSS pressure and any
+//                         non-verdict answer recycle regardless
+//   --json <file>         also write a machine-readable report: per-routine
+//                         verdicts plus worker lifecycle stats (spawns,
+//                         recycles and why, obligations served, solve time)
 //   --mem-limit-mb <mb>   RLIMIT_AS cap for isolated workers; 0 = no cap
 //   --journal <file>      append every obligation outcome to a crash-safe
 //                         JSONL journal (write-then-flush per record, each
@@ -121,8 +134,11 @@ bool parseShardSpec(const char *Spec, unsigned &Index, unsigned &Count) {
 /// assembly. When \p SliceCounts is non-null, each file's per-shard
 /// obligation counts are accumulated into it.
 int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
-             bool Verbose, std::vector<size_t> *SliceCounts = nullptr) {
+             bool Verbose, std::vector<size_t> *SliceCounts = nullptr,
+             const std::string &JsonPath = "") {
   bool AllVerified = true;
+  PoolStats Workers;
+  std::vector<FileReport> Reports;
   // Exit-code taxonomy: a genuine failure (counterexample, vacuous
   // contract, honestly-unproved obligation, unparseable input) beats an
   // infrastructure failure — a refutation stays a refutation even if other
@@ -154,6 +170,7 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
     // forked worker before exiting 130.
     installTerminationHandlers(V.journalFd());
     std::vector<ProcResult> Results = V.verifyAll(Diags);
+    Workers.accumulate(V.poolStats());
     if (SliceCounts) {
       const std::vector<size_t> &S = V.shardSliceCounts();
       if (SliceCounts->size() < S.size())
@@ -205,10 +222,25 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
       // errors); that is a genuine failure, not a solver flake.
       AnyGenuineFailure |= ProcGenuine || !ProcInfra;
     }
+    Reports.push_back({File, std::move(Results)});
   }
-  if (AllVerified)
-    return 0;
-  return AnyGenuineFailure ? 1 : 3;
+  int Exit = AllVerified ? 0 : AnyGenuineFailure ? 1 : 3;
+  // Worker lifecycle, on stderr so stdout stays the plain report (and warm
+  // vs cold runs stay byte-identical on stdout).
+  if (Workers.spawns() != 0 || Workers.Served != 0)
+    std::fprintf(stderr, "%s", formatWorkerStats(Workers).c_str());
+  if (!JsonPath.empty()) {
+    FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write --json report to %s\n",
+                   JsonPath.c_str());
+    } else {
+      std::string J = jsonReport(Reports, Workers, Exit);
+      std::fwrite(J.data(), 1, J.size(), F);
+      std::fclose(F);
+    }
+  }
+  return Exit;
 }
 
 /// The `--shards n` supervisor: fork shard drivers, babysit them, merge
@@ -216,7 +248,8 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
 /// merge. Returns the process exit code.
 int runSupervised(const std::vector<std::string> &Files,
                   const VerifyOptions &Opts, bool Verbose, unsigned Shards,
-                  unsigned Retries, unsigned StallMs) {
+                  unsigned Retries, unsigned StallMs,
+                  const std::string &JsonPath) {
   ShardSupervisorOptions SO;
   SO.Shards = Shards;
   SO.MaxRetries = Retries;
@@ -268,8 +301,10 @@ int runSupervised(const std::vector<std::string> &Files,
   Asm.AssembleFromJournal = true;
   Asm.Resume = false;
   Asm.Inject = FaultPlan();
+  // The assembly dispatches nothing, so its --json worker stats honestly
+  // report zero spawns; the shard drivers' own stats went to their stderr.
   std::vector<size_t> SliceCounts;
-  int Exit = runFiles(Files, Asm, Verbose, &SliceCounts);
+  int Exit = runFiles(Files, Asm, Verbose, &SliceCounts, JsonPath);
 
   // Recovery accounting, on stderr so stdout stays the plain report.
   size_t TotalRecovered = 0;
@@ -309,6 +344,7 @@ int main(int Argc, char **Argv) {
   unsigned Shards = 0; // --shards n supervisor mode when > 1
   unsigned ShardRetries = 2;
   unsigned ShardStallMs = 0;
+  std::string JsonPath;
   std::vector<std::string> Files;
 
   for (int I = 1; I != Argc; ++I) {
@@ -339,6 +375,14 @@ int main(int Argc, char **Argv) {
       }
     } else if (!std::strcmp(Argv[I], "--portfolio"))
       Opts.Portfolio = true;
+    else if (!std::strcmp(Argv[I], "--warm-workers"))
+      Opts.WarmWorkers = true;
+    else if (!std::strcmp(Argv[I], "--cold"))
+      Opts.WarmWorkers = false;
+    else if (!std::strcmp(Argv[I], "--recycle-after") && I + 1 < Argc)
+      Opts.RecycleAfter = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
     else if (!std::strcmp(Argv[I], "--mem-limit-mb") && I + 1 < Argc)
       Opts.MemLimitMb = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--journal") && I + 1 < Argc)
@@ -408,7 +452,7 @@ int main(int Argc, char **Argv) {
 
   if (Shards > 1)
     return runSupervised(Files, Opts, Verbose, Shards, ShardRetries,
-                         ShardStallMs);
+                         ShardStallMs, JsonPath);
   // --shards 1 is a degenerate but valid request: run unsharded.
-  return runFiles(Files, Opts, Verbose);
+  return runFiles(Files, Opts, Verbose, /*SliceCounts=*/nullptr, JsonPath);
 }

@@ -111,3 +111,84 @@ std::string dryad::summarize(const std::vector<ProcResult> &Results) {
   }
   return Out;
 }
+
+std::string dryad::formatWorkerStats(const PoolStats &S) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "workers: spawns=%u (warm=%u cold=%u) served=%u recycles=%u "
+                "(count=%u rss=%u crash=%u) solve_s=%.2f\n",
+                S.spawns(), S.WarmSpawns, S.ColdSpawns, S.Served, S.recycles(),
+                S.RecycledCount, S.RecycledRss, S.RecycledCrash,
+                S.SolveSeconds);
+  return Buf;
+}
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string dryad::jsonReport(const std::vector<FileReport> &Files,
+                              const PoolStats &Workers, int ExitCode) {
+  char Buf[256];
+  std::string Out = "{\n  \"files\": [\n";
+  for (size_t FI = 0; FI != Files.size(); ++FI) {
+    const FileReport &F = Files[FI];
+    Out += "    {\"file\": \"" + jsonEscape(F.File) + "\", \"routines\": [\n";
+    for (size_t RI = 0; RI != F.Results.size(); ++RI) {
+      const ProcResult &R = F.Results[RI];
+      size_t Obligations = R.Obligations.size();
+      std::snprintf(Buf, sizeof(Buf),
+                    "\"verified\": %s, \"seconds\": %.3f, "
+                    "\"obligations\": %zu}",
+                    R.Verified ? "true" : "false", R.Seconds, Obligations);
+      Out += "      {\"name\": \"" + jsonEscape(R.Proc) + "\", " + Buf;
+      Out += RI + 1 != F.Results.size() ? ",\n" : "\n";
+    }
+    Out += "    ]}";
+    Out += FI + 1 != Files.size() ? ",\n" : "\n";
+  }
+  Out += "  ],\n";
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"workers\": {\"spawns\": %u, \"warm_spawns\": %u, "
+                "\"cold_spawns\": %u, \"served\": %u,\n"
+                "    \"recycles\": {\"total\": %u, \"count\": %u, \"rss\": "
+                "%u, \"crash\": %u},\n"
+                "    \"solve_seconds\": %.3f},\n",
+                Workers.spawns(), Workers.WarmSpawns, Workers.ColdSpawns,
+                Workers.Served, Workers.recycles(), Workers.RecycledCount,
+                Workers.RecycledRss, Workers.RecycledCrash,
+                Workers.SolveSeconds);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"exit\": %d\n}\n", ExitCode);
+  Out += Buf;
+  return Out;
+}

@@ -34,6 +34,24 @@ std::string formatResults(const std::string &Title,
 /// One summary line: verified/total and cumulative time.
 std::string summarize(const std::vector<ProcResult> &Results);
 
+/// One worker-lifecycle line for stderr, e.g.
+///   workers: spawns=4 (warm=4 cold=0) served=267 recycles=3 (count=3 rss=0
+///   crash=0) solve_s=41.20
+/// Stays off stdout so warm and cold runs keep byte-identical reports.
+std::string formatWorkerStats(const PoolStats &S);
+
+/// Per-file results for the machine-readable report.
+struct FileReport {
+  std::string File;
+  std::vector<ProcResult> Results;
+};
+
+/// The `--json` report: per-file, per-routine verdicts plus the worker
+/// lifecycle counters (spawns, recycles and why, obligations served,
+/// cumulative solve time) and the process exit code.
+std::string jsonReport(const std::vector<FileReport> &Files,
+                       const PoolStats &Workers, int ExitCode);
+
 } // namespace dryad
 
 #endif // DRYAD_VERIFIER_REPORT_H

@@ -99,6 +99,13 @@ SandboxOptions Verifier::sandboxOptions() const {
   return S;
 }
 
+WarmPoolOptions Verifier::warmPoolOptions() const {
+  WarmPoolOptions W;
+  W.Warm = Opts.WarmWorkers;
+  W.RecycleAfter = Opts.RecycleAfter;
+  return W;
+}
+
 RetryPolicy Verifier::retryPolicy() const {
   RetryPolicy P;
   P.MaxAttempts = std::max(1u, Opts.Attempts);
@@ -564,12 +571,13 @@ ProcResult Verifier::collectProc(ProcState &St) {
 }
 
 ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
-  Scheduler Pool(std::max(1u, Opts.Jobs));
+  Scheduler Pool(std::max(1u, Opts.Jobs), warmPoolOptions());
   DispatchEngine Engine(Pool);
   ProcState St;
   St.Proc = &P;
   planProc(Engine, St, Diags);
   Engine.drain();
+  WorkerStats.accumulate(Pool.stats());
   return collectProc(St);
 }
 
@@ -581,7 +589,7 @@ std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
   // budgets still hold — each arms when its first attempt actually starts
   // (see DeadlineBudget::arm), so time queued behind other procedures is
   // never billed.
-  Scheduler Pool(std::max(1u, Opts.Jobs));
+  Scheduler Pool(std::max(1u, Opts.Jobs), warmPoolOptions());
   DispatchEngine Engine(Pool);
   std::deque<ProcState> Procs;
   for (const Procedure &P : M.Procs) {
@@ -593,6 +601,7 @@ std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
     planProc(Engine, Procs.back(), Diags);
   }
   Engine.drain();
+  WorkerStats.accumulate(Pool.stats());
   std::vector<ProcResult> Out;
   for (ProcState &St : Procs)
     Out.push_back(collectProc(St));

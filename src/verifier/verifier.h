@@ -18,6 +18,7 @@
 
 #include "lang/ast.h"
 #include "natural/engine.h"
+#include "sched/pool.h"
 #include "smt/inject.h"
 #include "smt/resilient.h"
 #include "smt/sandbox.h"
@@ -61,6 +62,15 @@ struct VerifyOptions {
   /// RLIMIT_AS cap for isolated workers, in MiB; 0 = no cap
   /// (`--mem-limit-mb`).
   unsigned MemLimitMb = 0;
+  /// Persistent warm workers (default): the pool forks each worker once
+  /// and streams framed requests to it, amortizing fork + solver init
+  /// across the obligation queue. False (`--cold`) restores the historical
+  /// fork-per-obligation sandbox.
+  bool WarmWorkers = true;
+  /// Retire a warm worker after this many answers (`--recycle-after K`);
+  /// 0 = never recycle on count. Recycling on RSS pressure and on any
+  /// non-verdict answer happens regardless.
+  unsigned RecycleAfter = 64;
   /// Crash-safe obligation journal (`--journal <file>`): every outcome is
   /// appended (write-then-flush) as it is produced. Empty = off.
   std::string JournalPath;
@@ -153,6 +163,10 @@ public:
   /// Non-empty when the requested journal could not be opened.
   const std::string &journalError() const { return JournalErr; }
 
+  /// Worker-lifecycle counters from every pool this verifier has driven
+  /// (verifyAll uses one pool; repeated verifyProc calls accumulate).
+  const PoolStats &poolStats() const { return WorkerStats; }
+
   /// After verifyAll/verifyProc under ShardCount > 1: how many planned
   /// obligations (mains and call checks; vacuity probes ride along and are
   /// not counted) map to each shard index. Empty when unsharded.
@@ -167,6 +181,7 @@ private:
 
   RetryPolicy retryPolicy() const;
   SandboxOptions sandboxOptions() const;
+  WarmPoolOptions warmPoolOptions() const;
 
   /// Plans every obligation of St's procedure into \p Engine (or, under
   /// AssembleFromJournal, resolves each from the journal without
@@ -189,6 +204,7 @@ private:
   std::string JournalErr;
   std::unordered_map<std::string, unsigned> StemCounts;
   std::vector<size_t> SliceCounts;
+  PoolStats WorkerStats;
 };
 
 } // namespace dryad

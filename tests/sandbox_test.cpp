@@ -351,3 +351,145 @@ TEST(Termination, SigtermMidPoolKillsWorkersAndExits130) {
     EXPECT_EQ(errno, ESRCH);
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Warm workers: one process, many requests, same isolation
+//===----------------------------------------------------------------------===//
+
+TEST(WarmWorker, OnePidServesManyRequests) {
+  WarmWorker W = spawnWarmWorker();
+  ASSERT_FALSE(W.SpawnFailed) << W.FailReason;
+  pid_t Pid = W.Pid;
+
+  SandboxRequest Unsat;
+  Unsat.Smt2 = UnsatSmt2;
+  Unsat.TimeoutMs = 10000;
+  SandboxRequest Sat;
+  Sat.Smt2 = SatSmt2;
+  Sat.TimeoutMs = 10000;
+
+  SmtResult R1 = solveOnWarmWorker(W, Unsat);
+  EXPECT_EQ(R1.Status, SmtStatus::Unsat);
+  SmtResult R2 = solveOnWarmWorker(W, Sat);
+  EXPECT_EQ(R2.Status, SmtStatus::Sat);
+  EXPECT_NE(R2.ModelText.find("x = 42"), std::string::npos)
+      << "the model must cross the framed pipe: " << R2.ModelText;
+  SmtResult R3 = solveOnWarmWorker(W, Unsat);
+  EXPECT_EQ(R3.Status, SmtStatus::Unsat);
+
+  EXPECT_EQ(W.Pid, Pid) << "one process must have served all three requests";
+  EXPECT_EQ(W.Served, 3u);
+  EXPECT_TRUE(W.usable());
+  EXPECT_GT(W.RssKb, 0u) << "RSS sampling feeds the recycle policy";
+  retireWarmWorker(W);
+}
+
+TEST(WarmWorker, RlimitsReappliedPerRequest) {
+  // The first request runs uncapped; the second's RLIMIT_AS must still
+  // bite — per-request soft-limit refresh, not spawn-time configuration.
+  WarmWorker W = spawnWarmWorker();
+  ASSERT_FALSE(W.SpawnFailed) << W.FailReason;
+
+  SandboxRequest Plain;
+  Plain.Smt2 = UnsatSmt2;
+  Plain.TimeoutMs = 10000;
+  EXPECT_EQ(solveOnWarmWorker(W, Plain).Status, SmtStatus::Unsat);
+
+  SandboxRequest Oom = Plain;
+  Oom.TimeoutMs = 30000;
+  Oom.MemLimitMb = 64;
+  Oom.Fault = SandboxFault::Oom;
+  SmtResult R = solveOnWarmWorker(W, Oom);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::ResourceOut);
+  EXPECT_NE(R.Detail.find("memory"), std::string::npos) << R.Detail;
+  EXPECT_FALSE(W.usable()) << "the rlimit death must retire the worker";
+  retireWarmWorker(W);
+}
+
+TEST(WarmWorker, CrashMidRequestClassifiedAndWorkerReaped) {
+  WarmWorker W = spawnWarmWorker();
+  ASSERT_FALSE(W.SpawnFailed) << W.FailReason;
+  SandboxRequest Crash;
+  Crash.Smt2 = UnsatSmt2;
+  Crash.TimeoutMs = 10000;
+  Crash.Fault = SandboxFault::Crash;
+  SmtResult R = solveOnWarmWorker(W, Crash);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::SolverCrash);
+  EXPECT_NE(R.Detail.find("signal"), std::string::npos) << R.Detail;
+  EXPECT_EQ(W.Pid, -1) << "the dead worker must be reaped in finish";
+
+  // The obligation retries on a fresh worker, unaffected by the corpse.
+  WarmWorker W2 = spawnWarmWorker();
+  ASSERT_FALSE(W2.SpawnFailed) << W2.FailReason;
+  SandboxRequest Req;
+  Req.Smt2 = UnsatSmt2;
+  Req.TimeoutMs = 10000;
+  EXPECT_EQ(solveOnWarmWorker(W2, Req).Status, SmtStatus::Unsat);
+  retireWarmWorker(W2);
+}
+
+TEST(WarmWorker, WedgedRequestKilledAtWallDeadline) {
+  WarmWorker W = spawnWarmWorker();
+  ASSERT_FALSE(W.SpawnFailed) << W.FailReason;
+  SandboxRequest Stall;
+  Stall.Smt2 = UnsatSmt2;
+  Stall.TimeoutMs = 300; // the stalling worker never answers
+  Stall.Fault = SandboxFault::Stall;
+  SmtResult R = solveOnWarmWorker(W, Stall);
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::Timeout);
+  EXPECT_NE(R.Detail.find("deadline"), std::string::npos) << R.Detail;
+  EXPECT_LT(R.Seconds, 10.0) << "SIGKILL must fire near the deadline";
+  EXPECT_FALSE(W.usable());
+  retireWarmWorker(W);
+}
+
+TEST(Termination, SigtermIdleWarmFleetLeavesNoOrphans) {
+  // Warm workers are registered in the pid registry at SPAWN, not at first
+  // request: a SIGTERM that lands while the whole fleet is idle (blocked
+  // reading its request pipe) must still kill and reap every worker.
+  int PidPipe[2];
+  ASSERT_EQ(pipe(PidPipe), 0);
+
+  pid_t Driver = fork();
+  ASSERT_GE(Driver, 0);
+  if (Driver == 0) {
+    close(PidPipe[0]);
+    installTerminationHandlers(/*JournalFd=*/-1);
+    WarmWorker W1 = spawnWarmWorker();
+    WarmWorker W2 = spawnWarmWorker();
+    if (W1.SpawnFailed || W2.SpawnFailed)
+      _exit(99);
+    // No request is ever started: both workers sit idle.
+    pid_t Pids[2] = {W1.Pid, W2.Pid};
+    if (write(PidPipe[1], Pids, sizeof(Pids)) != sizeof(Pids))
+      _exit(98);
+    close(PidPipe[1]);
+    for (;;)
+      pause(); // the SIGTERM handler is the only way out
+  }
+
+  close(PidPipe[1]);
+  pid_t Workers[2] = {-1, -1};
+  ASSERT_EQ(read(PidPipe[0], Workers, sizeof(Workers)),
+            static_cast<ssize_t>(sizeof(Workers)));
+  close(PidPipe[0]);
+  ASSERT_GT(Workers[0], 0);
+  ASSERT_GT(Workers[1], 0);
+
+  ASSERT_EQ(kill(Driver, SIGTERM), 0);
+  int St = 0;
+  ASSERT_EQ(waitpid(Driver, &St, 0), Driver);
+  ASSERT_TRUE(WIFEXITED(St)) << "handler must _exit, not die on the signal";
+  EXPECT_EQ(WEXITSTATUS(St), 130);
+
+  for (pid_t P : Workers) {
+    for (int I = 0; I != 100 && kill(P, 0) == 0; ++I)
+      usleep(10 * 1000); // allow kernel teardown to finish
+    EXPECT_EQ(kill(P, 0), -1)
+        << "idle warm worker " << P << " survived the handler";
+    EXPECT_EQ(errno, ESRCH);
+  }
+}

@@ -358,3 +358,138 @@ TEST(SchedVerifier, PortfolioProvesAndAgreesWithLadder) {
   // not comparable — verdicts and report order are.
   expectSameVerdicts(A, B);
 }
+
+//===----------------------------------------------------------------------===//
+// Warm fleet: amortization, recycling policy, warm-vs-cold parity
+//===----------------------------------------------------------------------===//
+
+TEST(SchedPool, WarmWorkerAmortizesSpawnsAcrossQueue) {
+  Scheduler Pool(1); // warm by default
+  unsigned Done = 0;
+  for (int I = 0; I != 6; ++I)
+    Pool.submit(quickUnsat(), [&Done](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+  Pool.run();
+  EXPECT_EQ(Done, 6u);
+  const PoolStats &S = Pool.stats();
+  EXPECT_EQ(S.Served, 6u);
+  EXPECT_EQ(S.WarmSpawns, 1u) << "one process must serve the whole queue";
+  EXPECT_EQ(S.ColdSpawns, 0u);
+  EXPECT_EQ(S.recycles(), 0u);
+}
+
+TEST(SchedPool, RecycleAfterCountReplacesWorker) {
+  WarmPoolOptions WO;
+  WO.RecycleAfter = 2;
+  Scheduler Pool(1, WO);
+  unsigned Done = 0;
+  for (int I = 0; I != 5; ++I)
+    Pool.submit(quickUnsat(), [&Done](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+  Pool.run();
+  EXPECT_EQ(Done, 5u);
+  const PoolStats &S = Pool.stats();
+  // Workers retire after their 2nd answer: 2 + 2 + 1 answers = 3 spawns,
+  // 2 count-recycles (the last worker retires idle, uncounted).
+  EXPECT_EQ(S.WarmSpawns, 3u);
+  EXPECT_EQ(S.RecycledCount, 2u);
+  EXPECT_EQ(S.RecycledCrash, 0u);
+  EXPECT_EQ(S.RecycledRss, 0u);
+}
+
+TEST(SchedPool, RssHighWaterReplacesWorker) {
+  WarmPoolOptions WO;
+  WO.RssHighWaterKb = 1; // any live process exceeds 1 KiB resident
+  Scheduler Pool(1, WO);
+  unsigned Done = 0;
+  for (int I = 0; I != 3; ++I)
+    Pool.submit(quickUnsat(), [&Done](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+  Pool.run();
+  EXPECT_EQ(Done, 3u);
+  const PoolStats &S = Pool.stats();
+  EXPECT_EQ(S.RecycledRss, 3u)
+      << "every answer must trip the 1 KiB high-water mark";
+  EXPECT_EQ(S.WarmSpawns, 3u);
+}
+
+TEST(SchedPool, CrashMidRequestDoesNotPoisonQueuedObligations) {
+  Scheduler Pool(1);
+  SandboxRequest Crash = quickUnsat();
+  Crash.Fault = SandboxFault::Crash;
+
+  SmtResult RCrash;
+  unsigned Healthy = 0;
+  Pool.submit(std::move(Crash), [&RCrash](const SmtResult &R) { RCrash = R; });
+  for (int I = 0; I != 3; ++I)
+    Pool.submit(quickUnsat(), [&Healthy](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Healthy;
+    });
+  Pool.run();
+
+  EXPECT_EQ(RCrash.Failure, FailureKind::SolverCrash);
+  EXPECT_EQ(Healthy, 3u)
+      << "obligations queued behind a crash must solve on a fresh worker";
+  const PoolStats &S = Pool.stats();
+  EXPECT_GE(S.RecycledCrash, 1u);
+  EXPECT_GE(S.WarmSpawns, 2u) << "the dead worker must have been replaced";
+}
+
+TEST(SchedVerifier, WarmAndColdVerdictsMatchAtJobsFour) {
+  VerifyOptions Cold;
+  Cold.TimeoutMs = 30000;
+  Cold.Jobs = 4;
+  Cold.WarmWorkers = false;
+  auto A = verifyWith(Cold);
+
+  VerifyOptions Warm = Cold;
+  Warm.WarmWorkers = true;
+  auto B = verifyWith(Warm);
+
+  expectSameVerdicts(A, B);
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_TRUE(B[0].Verified && B[1].Verified);
+  EXPECT_FALSE(B[2].Verified) << "warm workers must preserve the refutation";
+}
+
+TEST(SchedVerifier, InjectedOomAbsorbedByWarmFleet) {
+  // oom@1 kills attempt 1 of every obligation with a real rlimit death
+  // inside its warm worker; the retry ladder must absorb it and converge on
+  // the clean run's verdicts, with the pool replacing workers as they die.
+  std::string Err;
+  VerifyOptions Clean;
+  Clean.TimeoutMs = 30000;
+  Clean.Isolate = true;
+  auto A = verifyWith(Clean);
+
+  VerifyOptions Oom = Clean;
+  Oom.Inject = *FaultPlan::parse("oom@1", Err);
+  auto B = verifyWith(Oom);
+
+  expectSameVerdicts(A, B);
+}
+
+TEST(SchedVerifier, WarmFleetAmortizationVisibleInStats) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.Isolate = true;
+  Opts.VacuityTimeoutMs = Opts.TimeoutMs;
+  auto M = parsePrelude(ThreeProcs);
+  DiagEngine D;
+  Verifier V(*M, Opts);
+  V.verifyAll(D);
+  const PoolStats &S = V.poolStats();
+  EXPECT_GT(S.Served, 0u);
+  EXPECT_GT(S.WarmSpawns, 0u);
+  EXPECT_LT(S.WarmSpawns, S.Served)
+      << "fork count must amortize below the obligation count";
+  EXPECT_EQ(S.ColdSpawns, 0u);
+  EXPECT_GT(S.SolveSeconds, 0.0);
+}
