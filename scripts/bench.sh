@@ -28,6 +28,12 @@ OUT=BENCH_sched.json
 TIMEOUT_MS=${TIMEOUT_MS:-10000}
 JOBS_N=$(nproc)
 
+# Provenance, stamped into every BENCH json: the exact tree and the flag
+# set the numbers were measured under, so two BENCH files are comparable
+# only when these match.
+GIT_REV=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+BASE_FLAGS="--timeout $TIMEOUT_MS --attempts 1 --no-degrade"
+
 [ -x "$DRYADV" ] || { echo "build dryadv first: cmake --build build" >&2; exit 1; }
 
 # One suite run; prints "<wall-seconds> <obligations>". Extra flags (e.g.
@@ -87,6 +93,8 @@ done
 cat > "$OUT" <<EOF
 {
   "bench": "parallel proof scheduler (--jobs)",
+  "git_rev": "$GIT_REV",
+  "flags": "$BASE_FLAGS --verbose",
   "host_parallelism": $JOBS_N,
   "timeout_ms": $TIMEOUT_MS,
   "suites": [
@@ -165,6 +173,8 @@ done
 cat > "$WARM_OUT" <<EOF
 {
   "bench": "warm solver workers (--warm-workers vs --cold)",
+  "git_rev": "$GIT_REV",
+  "flags": "$BASE_FLAGS --verbose --isolate",
   "host_parallelism": $JOBS_N,
   "timeout_ms": $TIMEOUT_MS,
   "suites": [
@@ -216,9 +226,12 @@ echo "== shard bench: --shards 2 with one injected shard crash ==" >&2
 wall_crash=$(run_shards 2 --inject crash@1)
 
 awk -v w1="$wall_s1" -v w2="$wall_s2" -v wn="$wall_sn" -v wc="$wall_crash" \
-    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" 'BEGIN {
+    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" -v rev="$GIT_REV" \
+    -v flags="$BASE_FLAGS --journal <tmp>" 'BEGIN {
   printf "{\n"
   printf "  \"bench\": \"sharded supervisor (--shards)\",\n"
+  printf "  \"git_rev\": \"%s\",\n", rev
+  printf "  \"flags\": \"%s\",\n", flags
   printf "  \"suite\": \"fig6\",\n"
   printf "  \"host_parallelism\": %d,\n", jn
   printf "  \"timeout_ms\": %d,\n", tmo
@@ -244,3 +257,60 @@ awk -v w1="$wall_s1" -v w2="$wall_s2" -v wn="$wall_sn" -v wc="$wall_crash" \
 }' > "$SHARD_OUT"
 echo "wrote $SHARD_OUT" >&2
 cat "$SHARD_OUT"
+
+# ---------------------------------------------------------------------------
+# Persistent proof store bench: fig6 cold (empty store, everything solved)
+# vs warm (unchanged files, everything answered from the store). The warm
+# run's hit rate comes from the measured store counters, not assumption;
+# --no-vacuity keeps the runs comparable (hard vacuity probes time out
+# advisory-unknown and would re-probe — a by-design persistent miss).
+# Writes BENCH_store.json.
+# ---------------------------------------------------------------------------
+STORE_OUT=BENCH_store.json
+STORE_SEG=$(mktemp -u /tmp/dryadv-bench-store.XXXXXX.seg)
+STORE_FILES=(bench/suite/fig6/*.dryad)
+STORE_FLAGS=(--no-vacuity --store "$STORE_SEG")
+
+run_store() { # prints "<wall-seconds> <hits> <misses>"
+  local t0 t1 err
+  err=$(mktemp)
+  t0=$(date +%s.%N)
+  "$DRYADV" --timeout "$TIMEOUT_MS" --attempts 1 --no-degrade \
+      "${STORE_FLAGS[@]}" "${STORE_FILES[@]}" > /dev/null 2> "$err" || true
+  t1=$(date +%s.%N)
+  local hits misses
+  hits=$(stat_sum "$err" "hits=")
+  misses=$(stat_sum "$err" "misses=")
+  rm -f "$err"
+  awk -v a="$t0" -v b="$t1" -v h="$hits" -v m="$misses" \
+      'BEGIN { printf "%.2f %d %d\n", b - a, h, m }'
+}
+
+rm -f "$STORE_SEG" "$STORE_SEG".stale
+echo "== store bench: cold (empty store) ==" >&2
+read -r wall_cold hits_cold misses_cold < <(run_store)
+echo "== store bench: warm (unchanged files) ==" >&2
+read -r wall_warm hits_warm misses_warm < <(run_store)
+rm -f "$STORE_SEG" "$STORE_SEG".stale
+
+awk -v wc="$wall_cold" -v hc="$hits_cold" -v mc="$misses_cold" \
+    -v ww="$wall_warm" -v hw="$hits_warm" -v mw="$misses_warm" \
+    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" -v rev="$GIT_REV" \
+    -v flags="--timeout $TIMEOUT_MS --attempts 1 --no-degrade --no-vacuity --store <tmp>" 'BEGIN {
+  printf "{\n"
+  printf "  \"bench\": \"persistent proof store (--store)\",\n"
+  printf "  \"git_rev\": \"%s\",\n", rev
+  printf "  \"flags\": \"%s\",\n", flags
+  printf "  \"suite\": \"fig6\",\n"
+  printf "  \"host_parallelism\": %d,\n", jn
+  printf "  \"timeout_ms\": %d,\n", tmo
+  printf "  \"cold\": {\"wall_s\": %.2f, \"hits\": %d, \"misses\": %d},\n", \
+         wc, hc, mc
+  printf "  \"warm\": {\"wall_s\": %.2f, \"hits\": %d, \"misses\": %d,\n", \
+         ww, hw, mw
+  printf "    \"hit_rate\": %.3f},\n", (hw + mw > 0 ? hw / (hw + mw) : 0)
+  printf "  \"speedup\": %.1f\n", (ww > 0 ? wc / ww : 0)
+  printf "}\n"
+}' > "$STORE_OUT"
+echo "wrote $STORE_OUT" >&2
+cat "$STORE_OUT"

@@ -174,4 +174,156 @@ grep -Eq "recovered=[1-9]" /tmp/dryadv-crash.err || {
   exit 1
 }
 
+echo "== smoke: --store warm run is all hits with byte-identical stdout =="
+# The persistent proof store: a second run over an unchanged file must
+# re-solve nothing (misses=0) and print byte-for-byte the same report —
+# hits replay the recorded solve times, so the cache never shows through
+# on stdout. (--no-vacuity keeps the smoke deterministic: hard vacuity
+# probes time out advisory-unknown and re-probe every run by design.)
+STORE=/tmp/dryadv-store.seg
+rm -f "$STORE" "$STORE".stale
+"$DRYADV" --store "$STORE" --no-vacuity --timeout 30000 "$SLL" \
+    > /tmp/dryadv-store-cold.out 2> /dev/null
+"$DRYADV" --store "$STORE" --no-vacuity --timeout 30000 "$SLL" \
+    > /tmp/dryadv-store-warm.out 2> /tmp/dryadv-store-warm.err
+cmp /tmp/dryadv-store-cold.out /tmp/dryadv-store-warm.out || {
+  echo "store-warm stdout diverges from the cold run" >&2
+  exit 1
+}
+grep -q "store: hits=[1-9][0-9]* misses=0 " /tmp/dryadv-store-warm.err || {
+  echo "expected the warm run to be all store hits" >&2
+  cat /tmp/dryadv-store-warm.err >&2
+  exit 1
+}
+"$DRYADV" --store-verify "$STORE" > /dev/null || {
+  echo "expected a clean fsck after two store runs" >&2
+  exit 1
+}
+
+echo "== smoke: corrupted store record is quarantined and re-solved =="
+# storecrc@1 lands one record with a bad CRC. The next run must quarantine
+# it (counted on stderr), re-solve that obligation, exit 0 — corruption is
+# never fatal and never exit 1 — and compaction must drop the bad bytes.
+rm -f "$STORE" "$STORE".stale
+"$DRYADV" --store "$STORE" --inject storecrc@1 --no-vacuity --timeout 30000 \
+    "$SLL" > /dev/null 2>&1
+rc=0
+"$DRYADV" --store-verify "$STORE" > /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected fsck exit 3 on a CRC-corrupted store, got $rc" >&2
+  exit 1
+fi
+"$DRYADV" --store "$STORE" --no-vacuity --timeout 30000 "$SLL" \
+    > /dev/null 2> /tmp/dryadv-store-crc.err
+grep -q "quarantined=1" /tmp/dryadv-store-crc.err || {
+  echo "expected exactly one quarantined record on the recovery run" >&2
+  cat /tmp/dryadv-store-crc.err >&2
+  exit 1
+}
+"$DRYADV" --store-compact "$STORE" > /dev/null
+"$DRYADV" --store-verify "$STORE" > /dev/null || {
+  echo "expected a clean fsck after compaction" >&2
+  exit 1
+}
+
+echo "== smoke: --serve daemon answers --remote, warm and byte-identical =="
+# The incremental daemon: populate the store locally (the cold baseline),
+# serve it, and verify twice via --remote. Both remote runs must be all
+# hits and byte-identical to the cold local run's stdout.
+SOCK=/tmp/dryadv-check.sock
+rm -f "$STORE" "$STORE".stale "$SOCK"
+"$DRYADV" --store "$STORE" --no-vacuity --timeout 30000 "$SLL" \
+    > /tmp/dryadv-serve-cold.out 2> /dev/null
+{ "$DRYADV" --serve "$SOCK" --store "$STORE" --no-vacuity --timeout 30000 \
+    --jobs 2 2> /tmp/dryadv-serve.err & }
+SERVEPID=$!
+for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
+"$DRYADV" --remote "$SOCK" --json /tmp/dryadv-remote1.json "$SLL" \
+    > /tmp/dryadv-remote1.out 2> /dev/null
+"$DRYADV" --remote "$SOCK" --json /tmp/dryadv-remote2.json "$SLL" \
+    > /tmp/dryadv-remote2.out 2> /dev/null
+cmp /tmp/dryadv-serve-cold.out /tmp/dryadv-remote1.out || {
+  echo "--remote stdout diverges from the cold local run" >&2
+  exit 1
+}
+cmp /tmp/dryadv-remote1.out /tmp/dryadv-remote2.out || {
+  echo "the two --remote runs diverge on stdout" >&2
+  exit 1
+}
+grep -q '"misses": 0' /tmp/dryadv-remote2.json || {
+  echo "expected the second remote run to be all store hits" >&2
+  cat /tmp/dryadv-remote2.json >&2
+  exit 1
+}
+
+echo "== smoke: an edit re-solves only the dirtied obligations =="
+# Append one procedure to a copy of the file: the daemon must answer every
+# old obligation from the store and solve only the new ones.
+EDITED=/tmp/dryadv-edited.dryad
+cp "$SLL" "$EDITED"
+cat >> "$EDITED" <<'EOF'
+
+proc check_id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+EOF
+"$DRYADV" --remote "$SOCK" --json /tmp/dryadv-edit.json "$EDITED" \
+    > /tmp/dryadv-edit.out 2> /dev/null
+grep -q "check_id" /tmp/dryadv-edit.out || {
+  echo "expected the edited file's report to include the new procedure" >&2
+  exit 1
+}
+hits=$(sed -n 's/.*"hits": \([0-9]*\).*/\1/p' /tmp/dryadv-edit.json | head -1)
+misses=$(sed -n 's/.*"misses": \([0-9]*\).*/\1/p' /tmp/dryadv-edit.json | head -1)
+if [ "$hits" -eq 0 ] || [ "$misses" -eq 0 ]; then
+  echo "expected a mixed hit/miss split after the edit (hits=$hits misses=$misses)" >&2
+  cat /tmp/dryadv-edit.json >&2
+  exit 1
+fi
+if [ "$misses" -ge "$hits" ]; then
+  echo "the edit dirtied too much: hits=$hits misses=$misses" >&2
+  exit 1
+fi
+
+echo "== smoke: SIGTERM daemon leaves no orphans, no socket, a clean store =="
+kill -TERM "$SERVEPID"
+wait "$SERVEPID" 2>/dev/null || true
+for _ in $(seq 50); do [ ! -S "$SOCK" ] && break; sleep 0.1; done
+[ ! -S "$SOCK" ] || { echo "daemon left its socket behind" >&2; exit 1; }
+if pgrep -f "dryadv --serve $SOCK" > /dev/null; then
+  echo "daemon processes survived SIGTERM" >&2
+  exit 1
+fi
+"$DRYADV" --store-verify "$STORE" > /dev/null || {
+  echo "expected a clean store after daemon shutdown" >&2
+  exit 1
+}
+
+echo "== smoke: unreachable daemon falls back locally, or exits 3 =="
+# The exit taxonomy for remote trouble: with fallback (the default) the run
+# solves locally and succeeds; with --no-remote-fallback it must exit 3 —
+# an unreachable daemon is infrastructure, never a disproof (exit 1).
+rc=0
+"$DRYADV" --remote /tmp/dryadv-nobody.sock --no-remote-fallback \
+    --connect-timeout-ms 300 --remote-retries 0 "$SLL" \
+    > /dev/null 2>&1 || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit 3 for an unreachable daemon without fallback, got $rc" >&2
+  exit 1
+fi
+"$DRYADV" --remote /tmp/dryadv-nobody.sock --no-vacuity --timeout 30000 \
+    --connect-timeout-ms 300 --remote-retries 0 "$SLL" \
+    > /tmp/dryadv-fallback.out 2> /dev/null || {
+  echo "expected the fallback run to solve locally and succeed" >&2
+  exit 1
+}
+if ! diff <(verdicts /tmp/dryadv-serve-cold.out) <(verdicts /tmp/dryadv-fallback.out); then
+  echo "fallback verdicts diverge from the local run" >&2
+  exit 1
+fi
+
 echo "check.sh: all gates passed"

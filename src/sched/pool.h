@@ -84,6 +84,14 @@ struct PoolStats {
   unsigned RecycledCrash = 0; ///< warm workers lost to death/kill/non-verdict
   double SolveSeconds = 0;    ///< cumulative wall time inside workers
 
+  // Persistent proof-store effectiveness (store/store.h). Counted by the
+  // verifier, not the pool, but carried here so every surface that reports
+  // worker lifecycle (stderr `workers:` line, `--json`, the daemon's
+  // response frames) gets cache observability for free.
+  unsigned StoreHits = 0;   ///< obligations answered from the store
+  unsigned StoreMisses = 0; ///< store consulted, obligation solved fresh
+  unsigned StoreQuarantined = 0; ///< corrupt records skipped at store load
+
   void accumulate(const PoolStats &O) {
     WarmSpawns += O.WarmSpawns;
     ColdSpawns += O.ColdSpawns;
@@ -92,10 +100,30 @@ struct PoolStats {
     RecycledRss += O.RecycledRss;
     RecycledCrash += O.RecycledCrash;
     SolveSeconds += O.SolveSeconds;
+    StoreHits += O.StoreHits;
+    StoreMisses += O.StoreMisses;
+    StoreQuarantined += O.StoreQuarantined;
   }
   unsigned spawns() const { return WarmSpawns + ColdSpawns; }
   unsigned recycles() const {
     return RecycledCount + RecycledRss + RecycledCrash;
+  }
+  /// The delta `*this - Before`, where \p Before is an earlier snapshot of
+  /// this same accumulating counter set. The serve daemon uses it to report
+  /// per-request hit/miss/lifecycle numbers off its long-lived pool.
+  PoolStats since(const PoolStats &Before) const {
+    PoolStats D;
+    D.WarmSpawns = WarmSpawns - Before.WarmSpawns;
+    D.ColdSpawns = ColdSpawns - Before.ColdSpawns;
+    D.Served = Served - Before.Served;
+    D.RecycledCount = RecycledCount - Before.RecycledCount;
+    D.RecycledRss = RecycledRss - Before.RecycledRss;
+    D.RecycledCrash = RecycledCrash - Before.RecycledCrash;
+    D.SolveSeconds = SolveSeconds - Before.SolveSeconds;
+    D.StoreHits = StoreHits - Before.StoreHits;
+    D.StoreMisses = StoreMisses - Before.StoreMisses;
+    D.StoreQuarantined = StoreQuarantined - Before.StoreQuarantined;
+    return D;
   }
 };
 

@@ -18,7 +18,19 @@ FaultPlan FaultPlan::withoutCrashes() const {
   for (const Fault &F : Faults)
     if (F.Kind != FailureKind::SolverCrash)
       Out.addFault(F);
+  // Infrastructure faults are realized by whichever process owns the store
+  // writer / serve socket, not by the shard supervisor — forward them.
+  for (const InfraFault &F : InfraFaults)
+    Out.addInfraFault(F);
   return Out;
+}
+
+std::optional<InfraFault> FaultPlan::infraFaultFor(InfraFaultKind Kind,
+                                                   unsigned N) const {
+  for (const InfraFault &F : InfraFaults)
+    if (F.Kind == Kind && F.At == N)
+      return F;
+  return std::nullopt;
 }
 
 namespace {
@@ -66,10 +78,36 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
       Err = "fault '" + Entry + "' is missing '@<attempt>' (e.g. timeout@1)";
       return std::nullopt;
     }
-    std::optional<ParsedKind> Kind = kindFromName(Entry.substr(0, At));
+    std::string KindName = Entry.substr(0, At);
+
+    // Infrastructure faults take a 1-based event ordinal, never '*' (a
+    // store that tears EVERY append is not a crash model, it is a broken
+    // disk — out of scope for deterministic recovery tests).
+    std::optional<InfraFaultKind> Infra;
+    if (KindName == "storetorn")
+      Infra = InfraFaultKind::StoreTorn;
+    else if (KindName == "storecrc")
+      Infra = InfraFaultKind::StoreCrc;
+    else if (KindName == "servedrop")
+      Infra = InfraFaultKind::ServeDrop;
+    if (Infra) {
+      std::string Where = Entry.substr(At + 1);
+      char *End = nullptr;
+      long N = std::strtol(Where.c_str(), &End, 10);
+      if (Where.empty() || *End != '\0' || N < 1) {
+        Err = "infrastructure fault '" + KindName +
+              "' wants a positive event ordinal (e.g. " + KindName + "@1)";
+        return std::nullopt;
+      }
+      Plan.addInfraFault({*Infra, static_cast<unsigned>(N)});
+      continue;
+    }
+
+    std::optional<ParsedKind> Kind = kindFromName(KindName);
     if (!Kind) {
-      Err = "unknown fault kind '" + Entry.substr(0, At) +
-            "' (expected timeout|unknown|lowering|resourceout|crash|oom|fault)";
+      Err = "unknown fault kind '" + KindName +
+            "' (expected timeout|unknown|lowering|resourceout|crash|oom|fault|"
+            "storetorn|storecrc|servedrop)";
       return std::nullopt;
     }
     Fault F;
@@ -124,6 +162,22 @@ std::string FaultPlan::describe() const {
     }
     Out += "@" + (F.EveryAttempt ? std::string("*")
                                  : std::to_string(F.Attempt));
+  }
+  for (const InfraFault &F : InfraFaults) {
+    if (!Out.empty())
+      Out += ",";
+    switch (F.Kind) {
+    case InfraFaultKind::StoreTorn:
+      Out += "storetorn";
+      break;
+    case InfraFaultKind::StoreCrc:
+      Out += "storecrc";
+      break;
+    case InfraFaultKind::ServeDrop:
+      Out += "servedrop";
+      break;
+    }
+    Out += "@" + std::to_string(F.At);
   }
   return Out;
 }

@@ -26,6 +26,18 @@
 ///                    --isolate the worker really allocates into the cap
 ///   timeout@*        fail every attempt
 ///
+/// Infrastructure faults (consumed by the proof store and the serve daemon
+/// rather than the dispatch ladder; see store/store.h and store/serve.h):
+///   storetorn@N      the Nth proof-store append is torn mid-record and the
+///                    writer dies (emulating kill -9 mid-write): the record
+///                    is truncated on disk and nothing further is appended
+///   storecrc@N       the Nth proof-store append lands with a corrupted
+///                    CRC: a complete-looking record that must be
+///                    quarantined on the next load, never trusted
+///   servedrop@N      the serve daemon drops the connection of its Nth
+///                    request without responding, exercising the client's
+///                    retry/fallback ladder
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRYAD_SMT_INJECT_H
@@ -53,12 +65,34 @@ struct Fault {
   bool InWorker = false;
 };
 
+/// A fault realized by the storage/serving infrastructure instead of a
+/// solver attempt. `At` is 1-based and counts per consumer instance (the
+/// Nth append of one ProofStore writer; the Nth request one daemon
+/// accepts), so a plan is deterministic regardless of solver timing.
+enum class InfraFaultKind {
+  StoreTorn, ///< tear the Nth store append mid-record, then kill the writer
+  StoreCrc,  ///< corrupt the CRC of the Nth store append
+  ServeDrop, ///< drop the daemon connection of the Nth serve request
+};
+
+struct InfraFault {
+  InfraFaultKind Kind = InfraFaultKind::StoreTorn;
+  unsigned At = 1;
+};
+
 class FaultPlan {
 public:
   FaultPlan() = default;
 
-  bool empty() const { return Faults.empty(); }
+  bool empty() const { return Faults.empty() && InfraFaults.empty(); }
   void addFault(Fault F) { Faults.push_back(F); }
+  void addInfraFault(InfraFault F) { InfraFaults.push_back(F); }
+
+  /// The infrastructure fault of kind \p Kind scheduled for the \p N'th
+  /// event (append / request), or nullopt. Store and daemon code calls this
+  /// with its own monotone event counter.
+  std::optional<InfraFault> infraFaultFor(InfraFaultKind Kind,
+                                          unsigned N) const;
 
   /// The fault to inject into attempt \p Attempt (1-based) of a dispatch,
   /// or nullopt to let the real solver run.
@@ -79,6 +113,7 @@ public:
 
 private:
   std::vector<Fault> Faults;
+  std::vector<InfraFault> InfraFaults;
 };
 
 /// The SmtResult an injected fault produces (status Unknown, the fault's

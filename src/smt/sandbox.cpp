@@ -385,13 +385,24 @@ namespace {
 constexpr int MaxTrackedChildren = 512;
 std::atomic<pid_t> TrackedPids[MaxTrackedChildren];
 std::atomic<int> TermJournalFd{-1};
+std::atomic<int> TermStoreFd{-1};
+// Unix-socket path the serve daemon bound; unlinked by the handler. Plain
+// char buffer + ready flag so the handler never touches std::string.
+char TermUnlinkPath[256];
+std::atomic<bool> TermUnlinkArmed{false};
 
 void terminationHandler(int) {
-  // Async-signal-safe only: fsync, kill, waitpid, _exit. The journal was
-  // already flushed per record from userspace; fsync pushes it to disk.
+  // Async-signal-safe only: fsync, kill, waitpid, unlink, _exit. Journal
+  // and proof store were already flushed per record from userspace; fsync
+  // pushes them to disk.
   int Fd = TermJournalFd.load(std::memory_order_relaxed);
   if (Fd >= 0)
     fsync(Fd);
+  Fd = TermStoreFd.load(std::memory_order_relaxed);
+  if (Fd >= 0)
+    fsync(Fd);
+  if (TermUnlinkArmed.load(std::memory_order_acquire))
+    unlink(TermUnlinkPath);
   for (int I = 0; I != MaxTrackedChildren; ++I) {
     pid_t P = TrackedPids[I].load(std::memory_order_relaxed);
     if (P > 0)
@@ -425,8 +436,17 @@ void dryad::unregisterChildPid(pid_t Pid) {
   }
 }
 
-void dryad::installTerminationHandlers(int JournalFd) {
+void dryad::registerUnlinkOnTermination(const std::string &Path) {
+  TermUnlinkArmed.store(false, std::memory_order_release);
+  if (Path.empty() || Path.size() >= sizeof(TermUnlinkPath))
+    return;
+  std::memcpy(TermUnlinkPath, Path.c_str(), Path.size() + 1);
+  TermUnlinkArmed.store(true, std::memory_order_release);
+}
+
+void dryad::installTerminationHandlers(int JournalFd, int StoreFd) {
   TermJournalFd.store(JournalFd);
+  TermStoreFd.store(StoreFd);
   struct sigaction SA;
   std::memset(&SA, 0, sizeof(SA));
   SA.sa_handler = terminationHandler;

@@ -275,13 +275,22 @@ void registerChildPid(pid_t Pid);
 /// Removes \p Pid after it has been reaped.
 void unregisterChildPid(pid_t Pid);
 
-/// Installs SIGINT/SIGTERM handlers that fsync(\p JournalFd) when it is
-/// >= 0 (the journal is flushed per record by construction, so fsync is all
-/// that is left — and all that is async-signal-safe), SIGKILL and reap
-/// every registered child (no zombie workers survive the run), and
-/// _exit(130). Forked children reset these to SIG_DFL so a group-wide
-/// signal cannot make workers kill their siblings' entries.
-void installTerminationHandlers(int JournalFd);
+/// Installs SIGINT/SIGTERM handlers that fsync(\p JournalFd) and
+/// fsync(\p StoreFd) when they are >= 0 (journal and proof store are both
+/// flushed per record by construction, so fsync is all that is left — and
+/// all that is async-signal-safe), SIGKILL and reap every registered child
+/// (no zombie workers survive the run), unlink any path registered with
+/// registerUnlinkOnTermination, and _exit(130). Forked children reset these
+/// to SIG_DFL so a group-wide signal cannot make workers kill their
+/// siblings' entries.
+void installTerminationHandlers(int JournalFd, int StoreFd = -1);
+
+/// Registers \p Path (a unix socket the serve daemon bound) to be
+/// unlink(2)ed — async-signal-safely — by the termination handler, so a
+/// SIGTERMed daemon never leaves a stale socket behind. Pass an empty
+/// string to clear. Only one path is tracked; paths longer than the
+/// internal buffer are ignored.
+void registerUnlinkOnTermination(const std::string &Path);
 
 } // namespace dryad
 

@@ -1,0 +1,107 @@
+//===--- remote.cpp - Thin client for the serve daemon ------------------------===//
+
+#include "store/remote.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dryad;
+
+namespace {
+
+/// Non-blocking connect with a deadline: a daemon whose accept queue is
+/// wedged must not hang the client past ConnectTimeoutMs. Returns the
+/// connected fd or -1 with a reason in \p Err.
+int connectWithTimeout(const std::string &Path, unsigned TimeoutMs,
+                       std::string &Err) {
+  struct sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+
+  int CR = connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                   sizeof(Addr));
+  if (CR < 0 && errno == EINPROGRESS) {
+    struct pollfd Pfd = {Fd, POLLOUT, 0};
+    int PR = poll(&Pfd, 1, static_cast<int>(TimeoutMs));
+    if (PR <= 0) {
+      Err = "connect to " + Path + ": timed out";
+      close(Fd);
+      return -1;
+    }
+    int SoErr = 0;
+    socklen_t Len = sizeof(SoErr);
+    getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len);
+    if (SoErr != 0) {
+      Err = "connect to " + Path + ": " + std::strerror(SoErr);
+      close(Fd);
+      return -1;
+    }
+  } else if (CR < 0) {
+    Err = "connect to " + Path + ": " + std::strerror(errno);
+    close(Fd);
+    return -1;
+  }
+  fcntl(Fd, F_SETFL, Flags); // back to blocking for the exchange
+  return Fd;
+}
+
+} // namespace
+
+bool dryad::remoteVerify(const RemoteOptions &RO, const std::string &File,
+                         const std::string &Source, ServeResponse &Resp,
+                         std::string &Err) {
+  // A daemon that dies mid-exchange turns our write into EPIPE, not a
+  // process kill.
+  signal(SIGPIPE, SIG_IGN);
+
+  std::string Frame = frameServeRequest({File, Source});
+  for (unsigned Try = 0; Try <= RO.Retries; ++Try) {
+    if (Try != 0)
+      std::fprintf(stderr, "remote: retrying (%u/%u): %s\n", Try, RO.Retries,
+                   Err.c_str());
+    int Fd = connectWithTimeout(RO.SocketPath, RO.ConnectTimeoutMs, Err);
+    if (Fd < 0)
+      continue;
+    if (!writeFully(Fd, Frame)) {
+      Err = std::string("send failed: ") + std::strerror(errno);
+      close(Fd);
+      continue;
+    }
+    std::string Payload;
+    if (!readFrame(Fd, "DRYT1", Payload, RO.RequestTimeoutMs, Err)) {
+      // Covers servedrop (daemon hung up after reading the request), a
+      // killed daemon, and a wedged solve past the deadline alike.
+      Err = "daemon lost mid-request: " + Err;
+      close(Fd);
+      continue;
+    }
+    close(Fd);
+    if (!decodeServeResponse(Payload, Resp)) {
+      Err = "malformed response from daemon";
+      continue;
+    }
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,52 @@
+//===--- remote.h - Thin client for the serve daemon ------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `dryadv --remote SOCK file.dryad`: ship the module source to a
+/// `--serve` daemon and replay its answer — stdout report verbatim, the
+/// daemon's exit code as ours. The client holds no solver, no store, and
+/// no fleet; an edit-verify loop pays only the dirtied obligations, solved
+/// daemon-side.
+///
+/// Failure ladder (the taxonomy rule: infrastructure trouble must never
+/// masquerade as a disproof):
+///
+///  1. connect or exchange fails -> retry, up to Retries times;
+///  2. retries exhausted, fallback enabled (default) -> the caller solves
+///     locally and the run's exit code is the local result;
+///  3. retries exhausted, `--no-remote-fallback` -> exit 3 (infra), with
+///     the last error on stderr. Never exit 1: an unreachable daemon is
+///     not a counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_STORE_REMOTE_H
+#define DRYAD_STORE_REMOTE_H
+
+#include "store/wire.h"
+
+#include <string>
+
+namespace dryad {
+
+struct RemoteOptions {
+  std::string SocketPath;
+  unsigned ConnectTimeoutMs = 2000;    ///< per connect() attempt
+  unsigned RequestTimeoutMs = 600000;  ///< solve-and-respond deadline
+  unsigned Retries = 2;                ///< re-attempts after the first try
+  bool Fallback = true;                ///< solve locally when all tries fail
+};
+
+/// One request against the daemon, with the retry ladder applied. Returns
+/// true and fills \p Resp on success; false with the last failure's reason
+/// in \p Err (the caller decides between fallback and exit 3).
+bool remoteVerify(const RemoteOptions &RO, const std::string &File,
+                  const std::string &Source, ServeResponse &Resp,
+                  std::string &Err);
+
+} // namespace dryad
+
+#endif // DRYAD_STORE_REMOTE_H

@@ -1,0 +1,203 @@
+//===--- serve.cpp - Incremental verification daemon -------------------------===//
+
+#include "store/serve.h"
+
+#include "lang/parser.h"
+#include "sched/dispatch.h"
+#include "smt/sandbox.h"
+#include "store/store.h"
+#include "store/wire.h"
+#include "verifier/report.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace dryad;
+
+namespace {
+
+/// A client that connects but never sends its request must not wedge the
+/// accept loop forever.
+constexpr unsigned RequestReadTimeoutMs = 30000;
+
+/// Binds a listening unix socket at \p Path. A live listener already there
+/// is an error (two daemons would race the accept queue); a stale socket
+/// file — connect refused — is unlinked and replaced. Returns -1 with a
+/// message on \p Err.
+int bindListener(const std::string &Path, std::string &Err) {
+  struct sockaddr_un Addr;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long (max " +
+          std::to_string(sizeof(Addr.sun_path) - 1) + " bytes): " + Path;
+    return -1;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+
+  if (access(Path.c_str(), F_OK) == 0) {
+    int Probe = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Probe >= 0) {
+      int CR = connect(Probe, reinterpret_cast<struct sockaddr *>(&Addr),
+                       sizeof(Addr));
+      close(Probe);
+      if (CR == 0) {
+        Err = "a daemon is already serving " + Path;
+        return -1;
+      }
+    }
+    // Refused/failed connect: the last daemon died without unlinking
+    // (kill -9). The socket file is a corpse; replace it.
+    unlink(Path.c_str());
+  }
+
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      listen(Fd, 8) < 0) {
+    Err = std::string("bind/listen ") + Path + ": " + std::strerror(errno);
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+} // namespace
+
+int dryad::runServeDaemon(const ServeDaemonOptions &SO) {
+  // A client that vanishes mid-response costs one failed write, never the
+  // daemon.
+  signal(SIGPIPE, SIG_IGN);
+
+  ProofStore Store;
+  std::string Err;
+  if (!Store.open(SO.Verify.StorePath, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  Store.setInject(SO.Verify.Inject);
+
+  int ListenFd = bindListener(SO.SocketPath, Err);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  // From here on SIGINT/SIGTERM flushes the store, SIGKILLs + reaps every
+  // fleet worker via the pid registry, unlinks the socket, and _exit(130)s.
+  registerUnlinkOnTermination(SO.SocketPath);
+  installTerminationHandlers(/*JournalFd=*/-1, Store.writerFd());
+
+  // The long-lived warm fleet: every request's misses are scheduled on it,
+  // so solver init is paid once per worker for the daemon's lifetime.
+  VerifyOptions Base = SO.Verify;
+  Base.JournalPath.clear();
+  Base.StorePath.clear(); // injected below; the verifier must not reopen it
+  Base.Resume = false;
+  WarmPoolOptions WPO;
+  WPO.Warm = Base.WarmWorkers;
+  WPO.RecycleAfter = Base.RecycleAfter;
+  Scheduler Pool(std::max(1u, Base.Jobs), WPO);
+
+  std::fprintf(stderr, "serve: listening on %s (store %s, %zu cached keys)\n",
+               SO.SocketPath.c_str(), Store.path().c_str(), Store.size());
+
+  unsigned Requests = 0;
+  for (;;) {
+    if (SO.MaxRequests != 0 && Requests >= SO.MaxRequests)
+      break;
+    int Client = accept(ListenFd, nullptr, nullptr);
+    if (Client < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "error: accept: %s\n", std::strerror(errno));
+      break;
+    }
+    std::string Payload, ReadErr;
+    if (!readFrame(Client, "DRYS1", Payload, RequestReadTimeoutMs, ReadErr)) {
+      // Not counted as a request: a connect that hangs up without a full
+      // frame is a readiness probe or a port scan, and must not consume
+      // MaxRequests budget or a servedrop ordinal.
+      std::fprintf(stderr, "serve: connection dropped before a full request: %s\n",
+                   ReadErr.c_str());
+      close(Client);
+      continue;
+    }
+    ++Requests;
+    ServeRequest Q;
+    if (!decodeServeRequest(Payload, Q)) {
+      std::fprintf(stderr, "serve: request %u malformed\n", Requests);
+      close(Client);
+      continue;
+    }
+
+    // servedrop@N: hang up after reading the Nth request, before answering
+    // — the deterministic stand-in for a daemon crash mid-request, which
+    // is what the client's retry/fallback ladder must absorb.
+    if (SO.Verify.Inject.infraFaultFor(InfraFaultKind::ServeDrop, Requests)) {
+      std::fprintf(stderr,
+                   "serve: request %u dropped by injected fault servedrop\n",
+                   Requests);
+      close(Client);
+      continue;
+    }
+
+    ServeResponse Resp;
+    Module M;
+    DiagEngine Diags;
+    if (!parseModule(Q.Source, M, Diags)) {
+      // Mirror the local driver: parse failure is a genuine failure (exit
+      // 1) with the diagnostics on stderr — relayed via the diag field.
+      Resp.Exit = 1;
+      Resp.Diag = Q.File + ":\n" + Diags.str();
+    } else {
+      Verifier V(M, Base);
+      V.setExternalStore(&Store);
+      V.setExternalPool(&Pool);
+      std::vector<ProcResult> Results = V.verifyAll(Diags);
+      if (Diags.hasErrors())
+        Resp.Diag = Diags.str();
+      Resp.Report = formatResults(Q.File, Results);
+      bool AllVerified = true, AnyGenuine = false;
+      classifyResults(Results, AllVerified, AnyGenuine);
+      Resp.Exit = AllVerified ? 0 : AnyGenuine ? 1 : 3;
+      const PoolStats &S = V.poolStats();
+      Resp.StoreHits = S.StoreHits;
+      Resp.StoreMisses = S.StoreMisses;
+      // Load-time quarantine belongs to the daemon, not any one request;
+      // surfacing it on every response keeps corruption visible to the
+      // clients whose cache it degraded.
+      Resp.StoreQuarantined =
+          S.StoreQuarantined + static_cast<unsigned>(Store.quarantinedOnLoad());
+      std::vector<FileReport> Files;
+      Files.push_back({Q.File, std::move(Results)});
+      PoolStats WithQuarantine = S;
+      WithQuarantine.StoreQuarantined = Resp.StoreQuarantined;
+      Resp.Json = jsonReport(Files, WithQuarantine, Resp.Exit);
+      std::fprintf(stderr,
+                   "serve: request %u %s exit=%d hits=%u misses=%u "
+                   "solve_s=%.2f\n",
+                   Requests, Q.File.c_str(), Resp.Exit, Resp.StoreHits,
+                   Resp.StoreMisses, S.SolveSeconds);
+    }
+
+    if (!writeFully(Client, frameServeResponse(Resp)))
+      std::fprintf(stderr, "serve: request %u client went away mid-response\n",
+                   Requests);
+    close(Client);
+  }
+
+  close(ListenFd);
+  unlink(SO.SocketPath.c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+//===--- serve.h - Incremental verification daemon --------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `dryadv --serve SOCK`: a unix-socket daemon holding a warm solver fleet
+/// and an open proof store across requests, so an edit-verify loop pays
+/// solver time only for the obligations the edit actually dirtied.
+///
+/// One connection = one request = one module (src/store/wire.h). For each
+/// request the daemon re-plans the module from the source text it was sent,
+/// answers store hits instantly, schedules the misses through the shared
+/// fleet, appends the fresh outcomes to the store, and streams back the
+/// exact stdout report a local run would have printed plus per-request
+/// store counters and a ready-made `--json` report.
+///
+/// Robustness discipline:
+///
+///  * a stale socket file (no listener behind it) is detected by a probe
+///    connect and replaced; a LIVE listener is an error — two daemons on
+///    one socket would race the accept queue;
+///  * SIGINT/SIGTERM runs the async-signal-safe termination path: fsync the
+///    store, SIGKILL + reap every fleet worker via the pid registry, unlink
+///    the socket, _exit(130) — no orphans, no torn store;
+///  * a client that disappears mid-request costs the daemon one EPIPE'd
+///    write (SIGPIPE is ignored), never the process; a connection that
+///    closes before delivering a full request frame (a readiness probe, a
+///    port scan) is not counted as a request at all;
+///  * `servedrop@N` (smt/inject.h) deterministically drops the Nth
+///    connection after reading its request — how the client's retry and
+///    fallback paths are exercised in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_STORE_SERVE_H
+#define DRYAD_STORE_SERVE_H
+
+#include "verifier/verifier.h"
+
+#include <string>
+
+namespace dryad {
+
+struct ServeDaemonOptions {
+  std::string SocketPath;
+  /// Per-request verification options. JournalPath/StorePath are not used
+  /// directly — the daemon opens StorePath once and injects it into every
+  /// request's verifier.
+  VerifyOptions Verify;
+  /// Stop after this many requests; 0 = run until signalled. Tests use it
+  /// to get a daemon that exits on its own.
+  unsigned MaxRequests = 0;
+};
+
+/// Runs the daemon loop. Returns the process exit code (2 on setup errors:
+/// bad socket path, live sibling daemon, store open failure).
+int runServeDaemon(const ServeDaemonOptions &SO);
+
+} // namespace dryad
+
+#endif // DRYAD_STORE_SERVE_H

@@ -1,0 +1,411 @@
+//===--- store.cpp - Crash-safe persistent proof store ----------------------===//
+
+#include "store/store.h"
+
+#include "support/crc32.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <fcntl.h>
+#include <libgen.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace dryad;
+
+// Bump history: v1/engine-1 — initial persistent store (PR 7). The content
+// key already covers the smt2 text and tactic config; this covers silent
+// semantic drift (a changed translation producing the same key).
+const char *dryad::StoreEngineVersion = "1";
+
+static const char *StoreMagic = "DRYADSTORE v1 engine=";
+
+std::string ProofStore::headerLine() {
+  return std::string(StoreMagic) + StoreEngineVersion + "\n";
+}
+
+std::string ProofStore::encodeRecord(const JournalRecord &R) {
+  std::string Json = Journal::serialize(R);
+  if (!Json.empty() && Json.back() == '\n')
+    Json.pop_back();
+  return crc32Hex(crc32(Json)) + " " + Json + "\n";
+}
+
+ProofStore::~ProofStore() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+/// Reads all of \p Fd (from offset 0) into \p Out. Returns false on error.
+static bool readWhole(int Fd, std::string &Out) {
+  Out.clear();
+  if (lseek(Fd, 0, SEEK_SET) < 0)
+    return false;
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return true;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+static bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    ssize_t N = ::write(Fd, Data, Len);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Decodes one "<crc32> <json>" line. Returns the record, or nullopt for a
+/// quarantined line (short, bad CRC, or unparseable payload).
+static std::optional<JournalRecord> decodeLine(const std::string &Line) {
+  if (Line.size() < 10 || Line[8] != ' ')
+    return std::nullopt;
+  std::string_view Json(Line.data() + 9, Line.size() - 9);
+  if (crc32Hex(crc32(Json)) != Line.substr(0, 8))
+    return std::nullopt;
+  return Journal::parseLine(std::string(Json));
+}
+
+size_t ProofStore::loadSegment(const std::string &Bytes) {
+  size_t Pos = 0, Durable = 0;
+  while (Pos < Bytes.size()) {
+    size_t Nl = Bytes.find('\n', Pos);
+    if (Nl == std::string::npos)
+      break; // unterminated tail — not durable, caller truncates it
+    std::string Line = Bytes.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    Durable = Pos; // complete lines stay on disk even when quarantined
+    if (std::optional<JournalRecord> R = decodeLine(Line))
+      Index[R->Key] = *R; // later records win
+    else
+      ++Quarantined; // skipped, never trusted; compaction drops it
+  }
+  return Durable;
+}
+
+bool ProofStore::open(const std::string &P, std::string &Err) {
+  if (Fd >= 0) {
+    Err = "store already open";
+    return false;
+  }
+  Path = P;
+  for (int Attempt = 0; Attempt != 2; ++Attempt) {
+    Fd = ::open(P.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (Fd < 0) {
+      Err = "cannot open proof store '" + P + "': " + std::strerror(errno);
+      return false;
+    }
+    // The open-time scan (and any torn-tail truncation) happens under the
+    // same lock appenders take, so a concurrent writer can never land a
+    // record between "read EOF" and "truncate to EOF".
+    bool Locked = flock(Fd, LOCK_EX) == 0;
+    std::string Bytes;
+    if (!readWhole(Fd, Bytes)) {
+      Err = "cannot read proof store '" + P + "': " + std::strerror(errno);
+      if (Locked)
+        flock(Fd, LOCK_UN);
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+
+    if (Bytes.empty()) {
+      // Fresh store: stamp the header so every later open can tell "ours"
+      // from "stale schema".
+      std::string H = headerLine();
+      if (!writeAll(Fd, H.data(), H.size())) {
+        Err = "cannot initialize proof store '" + P +
+              "': " + std::strerror(errno);
+        if (Locked)
+          flock(Fd, LOCK_UN);
+        ::close(Fd);
+        Fd = -1;
+        return false;
+      }
+      fsync(Fd);
+      if (Locked)
+        flock(Fd, LOCK_UN);
+      return true;
+    }
+
+    size_t Nl = Bytes.find('\n');
+    std::string Header =
+        Nl == std::string::npos ? Bytes : Bytes.substr(0, Nl + 1);
+    if (Header != headerLine()) {
+      // Stale schema or engine version (or a file that is not a store at
+      // all): rebuild, never misread. The old bytes are rotated aside so a
+      // human can still inspect them.
+      if (Locked)
+        flock(Fd, LOCK_UN);
+      ::close(Fd);
+      Fd = -1;
+      std::string Stale = P + ".stale";
+      if (::rename(P.c_str(), Stale.c_str()) != 0) {
+        Err = "stale proof store '" + P +
+              "' could not be rotated aside: " + std::strerror(errno);
+        return false;
+      }
+      continue; // second pass creates a fresh segment
+    }
+
+    size_t Durable = Nl + 1 + loadSegment(Bytes.substr(Nl + 1));
+    if (Durable < Bytes.size()) {
+      // Torn tail from a killed writer: truncate to the last durable
+      // record. The torn obligation is simply re-solved; appending past
+      // un-newlined garbage would corrupt the NEXT record too.
+      if (ftruncate(Fd, static_cast<off_t>(Durable)) == 0)
+        fsync(Fd);
+    }
+    if (Locked)
+      flock(Fd, LOCK_UN);
+    return true;
+  }
+  Err = "could not rebuild stale proof store '" + P + "'";
+  return false;
+}
+
+const JournalRecord *ProofStore::lookup(const std::string &Key) const {
+  auto It = Index.find(Key);
+  return It == Index.end() ? nullptr : &It->second;
+}
+
+void ProofStore::put(const JournalRecord &R) {
+  if (Fd < 0 || Degraded)
+    return;
+  ++Puts;
+  std::string Line = encodeRecord(R);
+
+  if (Inject.infraFaultFor(InfraFaultKind::StoreTorn, Puts)) {
+    // Emulate kill -9 mid-write: half the record lands, no newline, and
+    // this writer never appends again. The next open must repair exactly
+    // this tail and re-solve exactly this obligation.
+    std::string Torn = Line.substr(0, Line.size() / 2);
+    bool Locked = flock(Fd, LOCK_EX) == 0;
+    writeAll(Fd, Torn.data(), Torn.size());
+    fsync(Fd);
+    if (Locked)
+      flock(Fd, LOCK_UN);
+    ::close(Fd);
+    Fd = -1;
+    Degraded = true;
+    return;
+  }
+  if (Inject.infraFaultFor(InfraFaultKind::StoreCrc, Puts)) {
+    // Silent corruption: a complete-looking record whose CRC lies. Not
+    // indexed in memory either — the store must behave exactly as the next
+    // load will see it (quarantined, re-solved).
+    for (size_t I = 0; I != 8; ++I)
+      Line[I] = Line[I] == 'f' ? '0' : 'f';
+    bool Locked = flock(Fd, LOCK_EX) == 0;
+    writeAll(Fd, Line.data(), Line.size());
+    fsync(Fd);
+    if (Locked)
+      flock(Fd, LOCK_UN);
+    return;
+  }
+
+  // The real append: flock so concurrent writers (daemon + a hand-run
+  // client sharing one store) never interleave; O_APPEND puts the whole
+  // line atomically at EOF; fsync makes it durable before the next
+  // obligation starts — a power loss costs at most this one record.
+  bool Locked = flock(Fd, LOCK_EX) == 0;
+  bool Ok = writeAll(Fd, Line.data(), Line.size());
+  if (Ok)
+    fsync(Fd);
+  if (Locked)
+    flock(Fd, LOCK_UN);
+  if (!Ok) {
+    // A broken cache must never break the run: stop writing, keep serving
+    // lookups from memory.
+    Degraded = true;
+    return;
+  }
+  Index[R.Key] = R;
+}
+
+bool ProofStore::compact(const std::string &Path, std::string &Err) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Err = "cannot read proof store '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  std::string Line;
+  if (!std::getline(In, Line) || Line + "\n" != headerLine()) {
+    Err = "'" + Path + "' is not a current-engine proof store; nothing to "
+          "compact (a stale store is rebuilt on next open)";
+    return false;
+  }
+  // Later records win, first-appearance order — the journal merge's policy.
+  std::unordered_map<std::string, JournalRecord> Win;
+  std::vector<std::string> Order;
+  while (std::getline(In, Line)) {
+    std::optional<JournalRecord> R = decodeLine(Line);
+    if (!R)
+      continue; // quarantined or torn: dropped by compaction
+    if (!Win.count(R->Key))
+      Order.push_back(R->Key);
+    Win[R->Key] = *R;
+  }
+
+  // Write-then-fsync-then-rename: the new segment is durable before it
+  // replaces the old one, so a crash at any instant leaves a valid store.
+  std::string Tmp = Path + ".compact.tmp";
+  int OutFd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (OutFd < 0) {
+    Err = "cannot write '" + Tmp + "': " + std::strerror(errno);
+    return false;
+  }
+  std::string Out = headerLine();
+  for (const std::string &Key : Order)
+    Out += encodeRecord(Win[Key]);
+  if (!writeAll(OutFd, Out.data(), Out.size()) || fsync(OutFd) != 0) {
+    Err = "short write compacting into '" + Tmp + "'";
+    ::close(OutFd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  ::close(OutFd);
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Err = "cannot rename '" + Tmp + "' over '" + Path +
+          "': " + std::strerror(errno);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  // fsync the directory so the rename itself survives power loss.
+  std::string Dir = Path;
+  char *D = dirname(Dir.data());
+  int DirFd = ::open(D, O_RDONLY);
+  if (DirFd >= 0) {
+    fsync(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}
+
+StoreFsck ProofStore::verifySegment(const std::string &Path) {
+  StoreFsck F;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return F; // missing file: HeaderOk stays false
+  std::string Bytes((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  size_t Nl = Bytes.find('\n');
+  if (Nl == std::string::npos) {
+    F.TornTail = !Bytes.empty();
+    F.TornTailBytes = Bytes.size();
+    return F;
+  }
+  std::string Header = Bytes.substr(0, Nl + 1);
+  std::string Expect(StoreMagic);
+  if (Header.size() > Expect.size() &&
+      Header.compare(0, Expect.size(), Expect) == 0) {
+    F.HeaderOk = true;
+    F.HeaderEngine = Header.substr(Expect.size(),
+                                   Header.size() - Expect.size() - 1);
+    F.EngineMatch = Header == headerLine();
+  }
+
+  std::unordered_map<std::string, unsigned> Verdicts; // 1 = unsat, 2 = sat
+  size_t Pos = Nl + 1;
+  while (Pos < Bytes.size()) {
+    size_t End = Bytes.find('\n', Pos);
+    if (End == std::string::npos) {
+      F.TornTail = true;
+      F.TornTailBytes = Bytes.size() - Pos;
+      break;
+    }
+    std::string Line = Bytes.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Line.size() < 10 || Line[8] != ' ') {
+      ++F.BadCrc;
+      continue;
+    }
+    std::string_view Json(Line.data() + 9, Line.size() - 9);
+    if (crc32Hex(crc32(Json)) != Line.substr(0, 8)) {
+      ++F.BadCrc;
+      continue;
+    }
+    std::optional<JournalRecord> R = Journal::parseLine(std::string(Json));
+    if (!R) {
+      ++F.Malformed;
+      continue;
+    }
+    ++F.ValidRecords;
+    // Bits: 1 = an unsat record seen, 2 = a sat record seen, 4 = key seen.
+    unsigned &V = Verdicts[R->Key];
+    if (!(V & 4u)) {
+      ++F.DistinctKeys;
+      V |= 4u;
+    }
+    unsigned Bit = R->Status == SmtStatus::Unsat  ? 1u
+                   : R->Status == SmtStatus::Sat ? 2u
+                                                 : 0u;
+    if (Bit && ((V & 3u) | Bit) == 3u && (V & 3u) != 3u)
+      F.DivergentKeys.push_back(R->Key);
+    V |= Bit;
+  }
+  return F;
+}
+
+std::string ProofStore::formatFsck(const StoreFsck &F) {
+  char Buf[256];
+  std::string Out;
+  if (!F.HeaderOk) {
+    Out += "store: MISSING OR UNRECOGNIZED header (not a proof store, or "
+           "torn before the first record)\n";
+  } else {
+    std::snprintf(Buf, sizeof(Buf),
+                  "store: header ok, engine %s%s, %zu valid record(s), "
+                  "%zu key(s)\n",
+                  F.HeaderEngine.c_str(),
+                  F.EngineMatch ? "" : " (STALE: will be rebuilt on open)",
+                  F.ValidRecords, F.DistinctKeys);
+    Out += Buf;
+  }
+  if (F.BadCrc) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "store: %zu corrupt line(s) (CRC mismatch) — quarantined, "
+                  "their obligations will be re-solved\n",
+                  F.BadCrc);
+    Out += Buf;
+  }
+  if (F.Malformed) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "store: %zu CRC-clean but unparseable line(s) — "
+                  "quarantined\n",
+                  F.Malformed);
+    Out += Buf;
+  }
+  if (F.TornTail) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "store: torn tail: %zu byte(s) past the last durable "
+                  "record (killed writer; repaired on next open)\n",
+                  F.TornTailBytes);
+    Out += Buf;
+  }
+  for (const std::string &K : F.DivergentKeys)
+    Out += "store: DIVERGENT key " + K +
+           ": both sat and unsat recorded — investigate before trusting "
+           "either\n";
+  if (F.clean())
+    Out += "store: clean\n";
+  return Out;
+}

@@ -1,0 +1,172 @@
+//===--- store.h - Crash-safe persistent proof store ------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, content-addressed proof store: the per-run journal's
+/// "content key -> outcome" mapping promoted to a durable cross-run cache —
+/// a ccache for proofs. An obligation whose key is in the store with a
+/// proved (unsat) verdict is answered instantly; everything else is
+/// re-solved and the fresh outcome appended. Vacuity probe verdicts ride
+/// along under the journal's `<key>:vacuity` sub-key protocol, so a cached
+/// proof can never mask a vacuous contract.
+///
+/// On-disk layout — one append-only segment file:
+///
+///   DRYADSTORE v1 engine=<version>\n        <- header, line 1
+///   <crc32-8hex> <journal JSONL record>\n   <- one record per line
+///   ...
+///
+/// The record payload is exactly the journal's serialization
+/// (Journal::serialize / parseLine), checksummed with CRC-32 over the JSON
+/// text. Durability and recovery discipline:
+///
+///  * every append is taken under flock(2) LOCK_EX and is
+///    write-then-flush-then-fsync, so a kill -9 costs at most the one
+///    in-flight record and concurrent writers can never interleave a line;
+///  * a header whose schema or engine version does not match is a *stale
+///    store*: it is rotated aside (renamed to `<path>.stale`) and rebuilt
+///    empty — old bytes are never reinterpreted under a new schema;
+///  * a torn tail (final line without a newline, or an incomplete record)
+///    is repaired at writer-open by truncating to the last durable record:
+///    the torn obligation is simply re-solved;
+///  * a complete line whose CRC does not match its payload is QUARANTINED:
+///    it is skipped (never indexed, never trusted), counted, and the
+///    obligation it hid is re-solved; compaction drops it from disk;
+///  * compaction (`dryadv --store-compact`) rewrites later-records-win into
+///    a fresh segment with write-then-fsync-then-rename, so a crash during
+///    compaction leaves the old segment intact;
+///  * `dryadv --store-verify` is the fsck: it reports torn tails, CRC
+///    failures, and duplicate-key *divergence* (one key with both sat and
+///    unsat valid records — a soundness alarm worth a human's attention)
+///    without modifying anything.
+///
+/// The storetorn@N / storecrc@N fault injections (smt/inject.h) emulate a
+/// mid-write crash and silent corruption deterministically so every one of
+/// these recovery paths is exercised in tests and CI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_STORE_STORE_H
+#define DRYAD_STORE_STORE_H
+
+#include "smt/inject.h"
+#include "verifier/journal.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dryad {
+
+/// Bump when a change anywhere in the pipeline (translation, strengthening,
+/// lowering) can change what a cached verdict MEANS without changing the
+/// obligation's content key. Stores written by another engine version are
+/// rebuilt, not misread.
+extern const char *StoreEngineVersion;
+
+/// What ProofStore::open / verifySegment found on disk.
+struct StoreFsck {
+  bool HeaderOk = false;      ///< magic + schema line parsed
+  bool EngineMatch = false;   ///< header's engine version is ours
+  std::string HeaderEngine;   ///< engine version the header names
+  size_t ValidRecords = 0;    ///< CRC-clean, parseable records
+  size_t DistinctKeys = 0;    ///< distinct keys among valid records
+  size_t BadCrc = 0;          ///< complete lines whose CRC failed (quarantined)
+  size_t Malformed = 0;       ///< CRC-clean lines whose JSON failed to parse
+  bool TornTail = false;      ///< file ends mid-record
+  size_t TornTailBytes = 0;   ///< bytes past the last durable record
+  /// Keys carrying both a sat and an unsat valid record. Later-records-win
+  /// resolves the lookup, but fsck surfaces the divergence: a proof and a
+  /// refutation of the same content key should never coexist.
+  std::vector<std::string> DivergentKeys;
+
+  bool clean() const {
+    return HeaderOk && EngineMatch && BadCrc == 0 && Malformed == 0 &&
+           !TornTail && DivergentKeys.empty();
+  }
+};
+
+class ProofStore {
+public:
+  ProofStore() = default;
+  ~ProofStore();
+  ProofStore(const ProofStore &) = delete;
+  ProofStore &operator=(const ProofStore &) = delete;
+
+  /// Opens \p Path for lookups and appends, creating it (with a fresh
+  /// header) if missing. A stale-engine store is rotated to `<path>.stale`
+  /// and rebuilt; a torn tail is truncated away. Returns false and fills
+  /// \p Err only on I/O failure — corruption is quarantined, never fatal.
+  bool open(const std::string &Path, std::string &Err);
+
+  bool isOpen() const { return Fd >= 0; }
+  const std::string &path() const { return Path; }
+
+  /// The most recent valid record for \p Key, or nullptr. Quarantined
+  /// (CRC-failed) records are invisible here by construction.
+  const JournalRecord *lookup(const std::string &Key) const;
+
+  /// Appends one record (flock + write + flush + fsync) and updates the
+  /// index. Append failures flip the store to read-only lookups (Degraded)
+  /// rather than failing the run: a broken cache must never fail a proof.
+  void put(const JournalRecord &R);
+
+  /// Number of distinct keys indexed.
+  size_t size() const { return Index.size(); }
+
+  /// Records quarantined (bad CRC / unparseable payload) while loading.
+  size_t quarantinedOnLoad() const { return Quarantined; }
+  /// True when the writer died (append error or injected storetorn crash);
+  /// lookups still work, puts are dropped.
+  bool degraded() const { return Degraded; }
+
+  /// Raw fd of the segment writer, or -1 — for the async-signal-safe
+  /// termination handler (fsync only).
+  int writerFd() const { return Fd; }
+
+  /// Arms deterministic fault injection for this writer instance:
+  /// storetorn@N tears the Nth put mid-record and kills the writer,
+  /// storecrc@N corrupts the Nth put's CRC (see smt/inject.h).
+  void setInject(const FaultPlan &Plan) { Inject = Plan; }
+
+  /// Later-records-win compaction: rewrites \p Path's winning records into
+  /// a fresh segment via write-then-fsync-then-rename. Quarantined and torn
+  /// bytes are dropped; verdicts are otherwise identical before and after.
+  /// Returns false and fills \p Err on I/O failure.
+  static bool compact(const std::string &Path, std::string &Err);
+
+  /// Read-only fsck of \p Path (no repair, no truncation). A missing file
+  /// reports HeaderOk = false.
+  static StoreFsck verifySegment(const std::string &Path);
+
+  /// Human-readable fsck summary, one finding per line.
+  static std::string formatFsck(const StoreFsck &F);
+
+  /// One record line as stored on disk: "<crc32> <json>\n". Exposed for
+  /// tests (and for handcrafting corrupt stores in them).
+  static std::string encodeRecord(const JournalRecord &R);
+
+  /// The header line for a fresh segment.
+  static std::string headerLine();
+
+private:
+  /// Scans the segment, fills the index, counts quarantine, and returns the
+  /// byte offset just past the last durable line (the truncation point for
+  /// torn-tail repair).
+  size_t loadSegment(const std::string &Bytes);
+
+  std::string Path;
+  int Fd = -1;
+  bool Degraded = false;
+  size_t Quarantined = 0;
+  unsigned Puts = 0; ///< appends attempted by this writer (injection ordinal)
+  FaultPlan Inject;
+  std::unordered_map<std::string, JournalRecord> Index;
+};
+
+} // namespace dryad
+
+#endif // DRYAD_STORE_STORE_H

@@ -1,0 +1,197 @@
+//===--- wire.cpp - Serve-protocol framing -----------------------------------===//
+
+#include "store/wire.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <time.h>
+#include <unistd.h>
+
+using namespace dryad;
+
+namespace {
+
+/// `<name> <len>\n<bytes>\n` — the byte-counted field encoding. No quoting:
+/// the length says exactly how many payload bytes follow.
+void putField(std::string &Out, const char *Name, const std::string &Bytes) {
+  Out += Name;
+  Out += ' ';
+  Out += std::to_string(Bytes.size());
+  Out += '\n';
+  Out += Bytes;
+  Out += '\n';
+}
+
+/// Consumes one `<name> <len>\n<bytes>\n` field at \p Pos. Returns false
+/// when the name does not match or the field is truncated/malformed.
+bool getField(const std::string &In, size_t &Pos, const char *Name,
+              std::string &Bytes) {
+  size_t NameLen = std::strlen(Name);
+  if (In.compare(Pos, NameLen, Name) != 0 || Pos + NameLen >= In.size() ||
+      In[Pos + NameLen] != ' ')
+    return false;
+  size_t LenStart = Pos + NameLen + 1;
+  size_t Nl = In.find('\n', LenStart);
+  if (Nl == std::string::npos)
+    return false;
+  char *End = nullptr;
+  unsigned long Len = std::strtoul(In.c_str() + LenStart, &End, 10);
+  if (End != In.c_str() + Nl)
+    return false;
+  size_t DataStart = Nl + 1;
+  if (DataStart + Len + 1 > In.size() || In[DataStart + Len] != '\n')
+    return false;
+  Bytes.assign(In, DataStart, Len);
+  Pos = DataStart + Len + 1;
+  return true;
+}
+
+std::string frame(const char *Magic, const std::string &Payload) {
+  std::string Out = Magic;
+  Out += '\n';
+  Out += std::to_string(Payload.size());
+  Out += '\n';
+  Out += Payload;
+  return Out;
+}
+
+double nowMs() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return Ts.tv_sec * 1000.0 + Ts.tv_nsec / 1e6;
+}
+
+} // namespace
+
+std::string dryad::frameServeRequest(const ServeRequest &Q) {
+  std::string P;
+  putField(P, "file", Q.File);
+  putField(P, "source", Q.Source);
+  return frame("DRYS1", P);
+}
+
+bool dryad::decodeServeRequest(const std::string &Payload, ServeRequest &Q) {
+  size_t Pos = 0;
+  return getField(Payload, Pos, "file", Q.File) &&
+         getField(Payload, Pos, "source", Q.Source) && Pos == Payload.size();
+}
+
+std::string dryad::frameServeResponse(const ServeResponse &R) {
+  std::string P;
+  putField(P, "exit", std::to_string(R.Exit));
+  putField(P, "hits", std::to_string(R.StoreHits));
+  putField(P, "misses", std::to_string(R.StoreMisses));
+  putField(P, "quarantined", std::to_string(R.StoreQuarantined));
+  putField(P, "report", R.Report);
+  putField(P, "json", R.Json);
+  putField(P, "diag", R.Diag);
+  return frame("DRYT1", P);
+}
+
+bool dryad::decodeServeResponse(const std::string &Payload, ServeResponse &R) {
+  size_t Pos = 0;
+  std::string Exit, Hits, Misses, Quar;
+  if (!getField(Payload, Pos, "exit", Exit) ||
+      !getField(Payload, Pos, "hits", Hits) ||
+      !getField(Payload, Pos, "misses", Misses) ||
+      !getField(Payload, Pos, "quarantined", Quar) ||
+      !getField(Payload, Pos, "report", R.Report) ||
+      !getField(Payload, Pos, "json", R.Json) ||
+      !getField(Payload, Pos, "diag", R.Diag) || Pos != Payload.size())
+    return false;
+  R.Exit = std::atoi(Exit.c_str());
+  R.StoreHits = static_cast<unsigned>(std::strtoul(Hits.c_str(), nullptr, 10));
+  R.StoreMisses =
+      static_cast<unsigned>(std::strtoul(Misses.c_str(), nullptr, 10));
+  R.StoreQuarantined =
+      static_cast<unsigned>(std::strtoul(Quar.c_str(), nullptr, 10));
+  return true;
+}
+
+int dryad::tryParseFrame(const std::string &Buf, const char *Magic,
+                         std::string &Payload, size_t &Consumed) {
+  size_t MagicLen = std::strlen(Magic);
+  // Reject as soon as the prefix can no longer become `<Magic>\n`.
+  if (Buf.compare(0, std::min(Buf.size(), MagicLen), Magic,
+                  std::min(Buf.size(), MagicLen)) != 0)
+    return -1;
+  if (Buf.size() <= MagicLen)
+    return 0;
+  if (Buf[MagicLen] != '\n')
+    return -1;
+  size_t LenStart = MagicLen + 1;
+  size_t Nl = Buf.find('\n', LenStart);
+  if (Nl == std::string::npos)
+    return Buf.size() - LenStart > 20 ? -1 : 0; // length line is short
+  char *End = nullptr;
+  unsigned long Len = std::strtoul(Buf.c_str() + LenStart, &End, 10);
+  if (End == Buf.c_str() + LenStart || End != Buf.c_str() + Nl)
+    return -1;
+  if (Buf.size() < Nl + 1 + Len)
+    return 0;
+  Payload.assign(Buf, Nl + 1, Len);
+  Consumed = Nl + 1 + Len;
+  return 1;
+}
+
+bool dryad::writeFully(int Fd, const std::string &Data) {
+  size_t Off = 0;
+  while (Off != Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool dryad::readFrame(int Fd, const char *Magic, std::string &Payload,
+                      unsigned TimeoutMs, std::string &Err) {
+  std::string Buf;
+  double Deadline = nowMs() + TimeoutMs;
+  for (;;) {
+    size_t Consumed = 0;
+    int Parsed = tryParseFrame(Buf, Magic, Payload, Consumed);
+    if (Parsed == 1)
+      return true;
+    if (Parsed == -1) {
+      Err = "malformed frame (expected " + std::string(Magic) + ")";
+      return false;
+    }
+    double Left = Deadline - nowMs();
+    if (Left <= 0) {
+      Err = "timed out after " + std::to_string(TimeoutMs) + "ms";
+      return false;
+    }
+    struct pollfd Pfd = {Fd, POLLIN, 0};
+    int PR = poll(&Pfd, 1, static_cast<int>(Left) + 1);
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("poll: ") + std::strerror(errno);
+      return false;
+    }
+    if (PR == 0)
+      continue; // deadline re-checked at loop top
+    char Chunk[65536];
+    ssize_t N = read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (N == 0) {
+      Err = "connection closed mid-frame";
+      return false;
+    }
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}

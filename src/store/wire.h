@@ -1,0 +1,84 @@
+//===--- wire.h - Serve-protocol framing ------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `dryadv --serve` / `dryadv --remote` wire protocol, in the style of
+/// the warm-worker DRYQ1/DRYR1 frames (smt/sandbox.h): length-prefixed,
+/// byte-counted, no quoting or escaping anywhere.
+///
+/// One request/response exchange per connection:
+///
+///   client -> daemon:  "DRYS1\n" <payload-bytes> "\n" <payload>
+///   daemon -> client:  "DRYT1\n" <payload-bytes> "\n" <payload>
+///
+/// The request payload carries the module *source text*, not a path: the
+/// daemon never touches the client's filesystem, so client and daemon can
+/// run in different directories (or different mount namespaces). Payload
+/// fields are themselves byte-counted (`<name> <len>\n<bytes>\n`), so a
+/// module containing any byte sequence round-trips.
+///
+/// The response carries the daemon's verdict for the module: the exit code
+/// (the CLI's 0/1/3 taxonomy), the exact stdout report bytes the client
+/// must replay (keeping remote and local runs byte-identical on stdout),
+/// the per-request store counters, and a ready-made `--json` report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_STORE_WIRE_H
+#define DRYAD_STORE_WIRE_H
+
+#include <string>
+
+namespace dryad {
+
+/// One verification request: a module to verify, identified by the name the
+/// report should print (the client's path string).
+struct ServeRequest {
+  std::string File;   ///< display name for the report
+  std::string Source; ///< full module text
+};
+
+/// The daemon's answer for one request.
+struct ServeResponse {
+  int Exit = 3; ///< the CLI exit taxonomy (0 verified / 1 genuine / 3 infra)
+  unsigned StoreHits = 0;        ///< this request's store hits
+  unsigned StoreMisses = 0;      ///< this request's store misses
+  unsigned StoreQuarantined = 0; ///< records quarantined serving this request
+  std::string Report; ///< stdout bytes, byte-identical to a local run
+  std::string Json;   ///< the `--json` report for this request
+  std::string Diag;   ///< stderr diagnostics (parse errors etc.), often empty
+};
+
+/// "DRYS1\n<len>\n<payload>" around an encoded request.
+std::string frameServeRequest(const ServeRequest &Q);
+/// "DRYT1\n<len>\n<payload>" around an encoded response.
+std::string frameServeResponse(const ServeResponse &R);
+
+/// Incremental frame parser: returns 1 and fills \p Payload / \p Consumed
+/// when \p Buf starts with one complete `<Magic>\n<len>\n<payload>` frame,
+/// 0 when more bytes are needed, -1 when the buffer cannot be a frame.
+int tryParseFrame(const std::string &Buf, const char *Magic,
+                  std::string &Payload, size_t &Consumed);
+
+/// Decoders for the byte-counted payloads. Return false on malformed input
+/// (a truncated field, a wrong field name) — the caller treats that like a
+/// dropped connection, never trusts a partial decode.
+bool decodeServeRequest(const std::string &Payload, ServeRequest &Q);
+bool decodeServeResponse(const std::string &Payload, ServeResponse &R);
+
+/// Full write to \p Fd, retrying short writes and EINTR. Returns false on
+/// any error (EPIPE included — callers must have SIGPIPE ignored).
+bool writeFully(int Fd, const std::string &Data);
+
+/// Reads one `<Magic>\n<len>\n<payload>` frame from \p Fd under a total
+/// deadline of \p TimeoutMs (poll(2)-driven). Returns false on timeout,
+/// EOF, or a malformed frame, with a one-line reason in \p Err.
+bool readFrame(int Fd, const char *Magic, std::string &Payload,
+               unsigned TimeoutMs, std::string &Err);
+
+} // namespace dryad
+
+#endif // DRYAD_STORE_WIRE_H

@@ -1,0 +1,61 @@
+//===--- crc32.h - CRC-32 (IEEE 802.3) --------------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table-driven CRC-32 (the reflected IEEE polynomial, as used by zlib and
+/// gzip) for the persistent proof store's per-record checksums. A content
+/// hash (support/hash.h) answers "is this the same obligation?"; the CRC
+/// answers "did these exact bytes survive the disk?" — torn tails and
+/// bit rot must be *detected*, never silently trusted as verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_SUPPORT_CRC32_H
+#define DRYAD_SUPPORT_CRC32_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace dryad {
+
+namespace detail {
+inline const std::array<uint32_t, 256> &crc32Table() {
+  static const std::array<uint32_t, 256> Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I != 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K != 8; ++K)
+        C = (C >> 1) ^ ((C & 1) ? 0xEDB88320u : 0);
+      T[I] = C;
+    }
+    return T;
+  }();
+  return Table;
+}
+} // namespace detail
+
+/// CRC-32 of \p Data (zlib-compatible: reflected, init/final XOR 0xFFFFFFFF).
+inline uint32_t crc32(std::string_view Data) {
+  const std::array<uint32_t, 256> &T = detail::crc32Table();
+  uint32_t C = 0xFFFFFFFFu;
+  for (unsigned char B : Data)
+    C = T[(C ^ B) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+/// Fixed-width 8-digit lowercase hex rendering of a CRC.
+inline std::string crc32Hex(uint32_t C) {
+  static const char *Hex = "0123456789abcdef";
+  std::string Out(8, '0');
+  for (unsigned I = 8; I-- > 0; C >>= 4)
+    Out[I] = Hex[C & 0xF];
+  return Out;
+}
+
+} // namespace dryad
+
+#endif // DRYAD_SUPPORT_CRC32_H

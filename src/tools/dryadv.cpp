@@ -7,6 +7,14 @@
 //   --attempts <n>        dispatch attempts per obligation with escalating
 //                         deadlines and reseeding (default 3)
 //   --proc-budget-ms <ms> wall-clock budget per procedure; 0 = unlimited
+//   --vacuity-timeout <ms> deadline for precondition-vacuity probes
+//                         (default 2000, capped by --timeout). A probe that
+//                         times out is advisory-unknown and re-probed on
+//                         the next run, so generous values help --store and
+//                         --serve runs converge to all-hits
+//   --no-vacuity          skip precondition-vacuity probes entirely
+//                         (ablation; a vacuous contract then reads as
+//                         verified, as in the original tool)
 //   --no-degrade          don't retry with reduced tactic sets after the
 //                         scheduled attempts are exhausted
 //   --inject <plan>       deterministic fault injection, e.g. timeout@1,
@@ -74,6 +82,35 @@
 //                         obligation without a record, or a journaled proof
 //                         whose vacuity verdict is missing, is reported as
 //                         an infrastructure failure, never trusted
+//   --store <file>        persistent cross-run proof store (a ccache for
+//                         proofs): obligations whose content key already
+//                         carries a proved verdict are answered without
+//                         solving, fresh outcomes are appended (CRC-checked,
+//                         flock'd, fsync'd). Corruption is quarantined and
+//                         re-solved, never trusted and never fatal
+//   --store-compact <f>   rewrite <f> later-records-win (drops superseded,
+//                         quarantined, and torn bytes) and exit
+//   --store-verify <f>    fsck <f> without modifying it: report torn tails,
+//                         CRC failures, and duplicate-key divergence; exit 0
+//                         clean, 3 findings, 2 unreadable
+//   --serve <sock>        daemon mode (requires --store): hold the warm
+//                         fleet and the store open across requests on a
+//                         unix socket; each connection ships a module and
+//                         gets back verdicts, per-request store counters,
+//                         and a --json report. SIGINT/SIGTERM flushes the
+//                         store, reaps the fleet, unlinks the socket
+//   --serve-max-requests <n>  exit the daemon after <n> requests (tests)
+//   --remote <sock>       thin-client mode: ship each file to the daemon at
+//                         <sock> and replay its answer (stdout byte-
+//                         identical to a local run). Connect/request
+//                         timeouts and bounded retries below; when the
+//                         daemon stays unreachable the client solves
+//                         locally (or exits 3 under --no-remote-fallback)
+//   --connect-timeout-ms <ms>  per-connect deadline (default 2000)
+//   --request-timeout-ms <ms>  per-request solve deadline (default 600000)
+//   --remote-retries <k>  re-attempts after the first failed try (default 2)
+//   --no-remote-fallback  exit 3 instead of solving locally when the daemon
+//                         cannot be reached or is lost mid-request
 //   --no-unfold           disable unfolding across the footprint (ablation)
 //   --no-frames           disable frame instantiation (ablation)
 //   --no-axioms           disable user-axiom instantiation (ablation)
@@ -97,13 +134,19 @@
 #include "lang/parser.h"
 #include "sched/shard.h"
 #include "smt/sandbox.h"
+#include "store/remote.h"
+#include "store/serve.h"
+#include "store/store.h"
 #include "verifier/journal.h"
 #include "verifier/report.h"
 #include "verifier/verifier.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
+#include <sstream>
 #include <thread>
 
 #include <unistd.h>
@@ -166,9 +209,12 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
       std::fprintf(stderr, "warning: %s (continuing without a journal)\n",
                    V.journalError().c_str());
     }
-    // From here on, SIGINT/SIGTERM flushes this journal and kills every
-    // forked worker before exiting 130.
-    installTerminationHandlers(V.journalFd());
+    if (!V.storeError().empty())
+      std::fprintf(stderr, "warning: %s (continuing without a store)\n",
+                   V.storeError().c_str());
+    // From here on, SIGINT/SIGTERM flushes this journal and the proof
+    // store, and kills every forked worker before exiting 130.
+    installTerminationHandlers(V.journalFd(), V.storeFd());
     std::vector<ProcResult> Results = V.verifyAll(Diags);
     Workers.accumulate(V.poolStats());
     if (SliceCounts) {
@@ -191,43 +237,19 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
                           ? "unknown"
                           : failureKindName(O.Failure),
                       O.Attempts, O.Attempts == 1 ? "" : "s", O.Seconds,
-                      O.FromJournal ? " [journal]" : "");
-    for (const ProcResult &R : Results) {
-      AllVerified &= R.Verified;
-      if (R.Verified)
-        continue;
-      bool ProcInfra = false, ProcGenuine = false;
-      auto endsWith = [](const std::string &S, const char *Suffix) {
-        size_t N = std::strlen(Suffix);
-        return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
-      };
-      for (const ObligationResult &O : R.Obligations) {
-        // Advisory records never fail a proc, so they must not color the
-        // exit code of one that failed for another reason.
-        if (endsWith(O.Name, "[vacuity skipped]"))
-          continue;
-        if (O.Status == SmtStatus::Sat)
-          ProcGenuine = true; // counterexample
-        else if (O.Status == SmtStatus::Unknown) {
-          // SolverUnknown is the solver honestly answering "can't prove" —
-          // an unproved obligation, not a flake. Same taxonomy split as
-          // summarize() in report.cpp.
-          bool Infra = O.Failure != FailureKind::None &&
-                       O.Failure != FailureKind::SolverUnknown;
-          (Infra ? ProcInfra : ProcGenuine) = true;
-        } else if (endsWith(O.Name, "[vacuity]"))
-          ProcGenuine = true; // vacuous contract: a spec bug, not a flake
-      }
-      // A proc can also fail with no failing obligation (VC generation
-      // errors); that is a genuine failure, not a solver flake.
-      AnyGenuineFailure |= ProcGenuine || !ProcInfra;
-    }
+                      O.FromJournal ? " [journal]"
+                      : O.FromStore ? " [store]"
+                                    : "");
+    classifyResults(Results, AllVerified, AnyGenuineFailure);
     Reports.push_back({File, std::move(Results)});
   }
   int Exit = AllVerified ? 0 : AnyGenuineFailure ? 1 : 3;
   // Worker lifecycle, on stderr so stdout stays the plain report (and warm
-  // vs cold runs stay byte-identical on stdout).
-  if (Workers.spawns() != 0 || Workers.Served != 0)
+  // vs cold runs stay byte-identical on stdout). Store counters count too:
+  // an all-hits run spawns no workers but its cache effectiveness is the
+  // whole story.
+  if (Workers.spawns() != 0 || Workers.Served != 0 || Workers.StoreHits != 0 ||
+      Workers.StoreMisses != 0 || Workers.StoreQuarantined != 0)
     std::fprintf(stderr, "%s", formatWorkerStats(Workers).c_str());
   if (!JsonPath.empty()) {
     FILE *F = std::fopen(JsonPath.c_str(), "w");
@@ -336,6 +358,80 @@ int runSupervised(const std::vector<std::string> &Files,
   return Exit;
 }
 
+/// The `--remote` thin client: one daemon round-trip per file, replaying
+/// the daemon's stdout bytes and exit taxonomy. A file whose round-trip
+/// fails after the retry ladder is solved locally (per-file fallback) —
+/// unless \p Fallback is off, in which case the run is an infrastructure
+/// failure (exit 3), never a disproof. Returns the combined exit code.
+int runRemote(const std::vector<std::string> &Files, const RemoteOptions &RO,
+              const VerifyOptions &Opts, bool Verbose, bool Fallback,
+              const std::string &JsonPath) {
+  bool AllVerified = true, AnyGenuineFailure = false, AnyInfra = false;
+  unsigned Hits = 0, Misses = 0, Quarantined = 0;
+  std::string LastJson;
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "%s: cannot read file\n", File.c_str());
+      AllVerified = false;
+      AnyGenuineFailure = true;
+      continue;
+    }
+    std::ostringstream Ss;
+    Ss << In.rdbuf();
+
+    ServeResponse Resp;
+    std::string Err;
+    if (remoteVerify(RO, File, Ss.str(), Resp, Err)) {
+      if (!Resp.Diag.empty())
+        std::fprintf(stderr, "%s", Resp.Diag.c_str());
+      std::fwrite(Resp.Report.data(), 1, Resp.Report.size(), stdout);
+      Hits += Resp.StoreHits;
+      Misses += Resp.StoreMisses;
+      Quarantined = std::max(Quarantined, Resp.StoreQuarantined);
+      LastJson = Resp.Json;
+      AllVerified &= Resp.Exit == 0;
+      AnyGenuineFailure |= Resp.Exit == 1;
+      AnyInfra |= Resp.Exit == 3;
+      continue;
+    }
+    if (!Fallback) {
+      std::fprintf(stderr,
+                   "error: %s; daemon unreachable and --no-remote-fallback "
+                   "is set\n",
+                   Err.c_str());
+      AllVerified = false;
+      AnyInfra = true;
+      continue;
+    }
+    std::fprintf(stderr, "remote: %s; solving %s locally\n", Err.c_str(),
+                 File.c_str());
+    int Local = runFiles({File}, Opts, Verbose, /*SliceCounts=*/nullptr,
+                         /*JsonPath=*/"");
+    AllVerified &= Local == 0;
+    AnyGenuineFailure |= Local == 1;
+    AnyInfra |= Local == 3;
+  }
+  if (Hits || Misses || Quarantined)
+    std::fprintf(stderr, "remote: store hits=%u misses=%u quarantined=%u\n",
+                 Hits, Misses, Quarantined);
+  if (!JsonPath.empty() && !LastJson.empty()) {
+    if (Files.size() > 1)
+      std::fprintf(stderr, "warning: --json under --remote records the last "
+                           "file's report only\n");
+    FILE *F = std::fopen(JsonPath.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write --json report to %s\n",
+                   JsonPath.c_str());
+    } else {
+      std::fwrite(LastJson.data(), 1, LastJson.size(), F);
+      std::fclose(F);
+    }
+  }
+  (void)AnyInfra;
+  return AllVerified ? 0 : AnyGenuineFailure ? 1 : 3;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -345,6 +441,11 @@ int main(int Argc, char **Argv) {
   unsigned ShardRetries = 2;
   unsigned ShardStallMs = 0;
   std::string JsonPath;
+  std::string CompactPath, FsckPath; // --store-compact / --store-verify
+  std::string ServeSock, RemoteSock; // --serve / --remote
+  unsigned ServeMaxRequests = 0;
+  RemoteOptions Remote;
+  bool RemoteFallback = true;
   std::vector<std::string> Files;
 
   for (int I = 1; I != Argc; ++I) {
@@ -354,6 +455,10 @@ int main(int Argc, char **Argv) {
       Opts.Attempts = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--proc-budget-ms") && I + 1 < Argc)
       Opts.ProcBudgetMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--vacuity-timeout") && I + 1 < Argc)
+      Opts.VacuityTimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-vacuity"))
+      Opts.CheckVacuity = false;
     else if (!std::strcmp(Argv[I], "--no-degrade"))
       Opts.DegradeTactics = false;
     else if (!std::strcmp(Argv[I], "--inject") && I + 1 < Argc) {
@@ -411,6 +516,26 @@ int main(int Argc, char **Argv) {
       ShardStallMs = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--from-journal"))
       Opts.AssembleFromJournal = true;
+    else if (!std::strcmp(Argv[I], "--store") && I + 1 < Argc)
+      Opts.StorePath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--store-compact") && I + 1 < Argc)
+      CompactPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--store-verify") && I + 1 < Argc)
+      FsckPath = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--serve") && I + 1 < Argc)
+      ServeSock = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--serve-max-requests") && I + 1 < Argc)
+      ServeMaxRequests = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--remote") && I + 1 < Argc)
+      RemoteSock = Argv[++I];
+    else if (!std::strcmp(Argv[I], "--connect-timeout-ms") && I + 1 < Argc)
+      Remote.ConnectTimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--request-timeout-ms") && I + 1 < Argc)
+      Remote.RequestTimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--remote-retries") && I + 1 < Argc)
+      Remote.Retries = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--no-remote-fallback"))
+      RemoteFallback = false;
     else if (!std::strcmp(Argv[I], "--no-unfold"))
       Opts.Natural.Unfold = false;
     else if (!std::strcmp(Argv[I], "--no-frames"))
@@ -428,9 +553,59 @@ int main(int Argc, char **Argv) {
       Files.push_back(Argv[I]);
     }
   }
+  // Store maintenance modes need no input files; they act on the segment
+  // and exit.
+  if (!CompactPath.empty()) {
+    std::string Err;
+    if (!ProofStore::compact(CompactPath, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    StoreFsck F = ProofStore::verifySegment(CompactPath);
+    std::printf("compacted %s: %zu record(s), %zu key(s)\n",
+                CompactPath.c_str(), F.ValidRecords, F.DistinctKeys);
+    return F.clean() ? 0 : 3;
+  }
+  if (!FsckPath.empty()) {
+    StoreFsck F = ProofStore::verifySegment(FsckPath);
+    std::printf("%s", ProofStore::formatFsck(F).c_str());
+    if (!F.HeaderOk)
+      return 2;
+    return F.clean() ? 0 : 3;
+  }
+
+  if (!ServeSock.empty()) {
+    if (Opts.StorePath.empty()) {
+      std::fprintf(stderr, "--serve requires --store <file>: the store is "
+                           "what makes the daemon incremental\n");
+      return 2;
+    }
+    if (!RemoteSock.empty() || Shards > 0 || Opts.ShardCount > 1 ||
+        Opts.AssembleFromJournal || !Opts.JournalPath.empty()) {
+      std::fprintf(stderr, "--serve cannot be combined with --remote, "
+                           "--journal, or shard modes\n");
+      return 2;
+    }
+    ServeDaemonOptions SO;
+    SO.SocketPath = ServeSock;
+    SO.Verify = Opts;
+    SO.MaxRequests = ServeMaxRequests;
+    return runServeDaemon(SO);
+  }
+
   if (Files.empty()) {
     std::fprintf(stderr, "usage: dryadv [options] file.dryad...\n");
     return 2;
+  }
+  if (!RemoteSock.empty()) {
+    if (Shards > 0 || Opts.ShardCount > 1 || Opts.AssembleFromJournal) {
+      std::fprintf(stderr,
+                   "--remote cannot be combined with shard modes\n");
+      return 2;
+    }
+    Remote.SocketPath = RemoteSock;
+    Remote.Fallback = RemoteFallback;
+    return runRemote(Files, Remote, Opts, Verbose, RemoteFallback, JsonPath);
   }
   if (Opts.Resume && Opts.JournalPath.empty()) {
     std::fprintf(stderr, "--resume requires --journal <file>\n");

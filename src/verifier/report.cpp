@@ -116,11 +116,53 @@ std::string dryad::formatWorkerStats(const PoolStats &S) {
   char Buf[256];
   std::snprintf(Buf, sizeof(Buf),
                 "workers: spawns=%u (warm=%u cold=%u) served=%u recycles=%u "
-                "(count=%u rss=%u crash=%u) solve_s=%.2f\n",
+                "(count=%u rss=%u crash=%u) solve_s=%.2f",
                 S.spawns(), S.WarmSpawns, S.ColdSpawns, S.Served, S.recycles(),
                 S.RecycledCount, S.RecycledRss, S.RecycledCrash,
                 S.SolveSeconds);
-  return Buf;
+  std::string Out(Buf);
+  if (S.StoreHits || S.StoreMisses || S.StoreQuarantined) {
+    std::snprintf(Buf, sizeof(Buf),
+                  " store: hits=%u misses=%u quarantined=%u", S.StoreHits,
+                  S.StoreMisses, S.StoreQuarantined);
+    Out += Buf;
+  }
+  Out += "\n";
+  return Out;
+}
+
+void dryad::classifyResults(const std::vector<ProcResult> &Results,
+                            bool &AllVerified, bool &AnyGenuineFailure) {
+  auto endsWith = [](const std::string &S, const char *Suffix) {
+    size_t N = std::char_traits<char>::length(Suffix);
+    return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+  };
+  for (const ProcResult &R : Results) {
+    AllVerified &= R.Verified;
+    if (R.Verified)
+      continue;
+    bool ProcInfra = false, ProcGenuine = false;
+    for (const ObligationResult &O : R.Obligations) {
+      // Advisory records never fail a proc, so they must not color the
+      // exit code of one that failed for another reason.
+      if (endsWith(O.Name, "[vacuity skipped]"))
+        continue;
+      if (O.Status == SmtStatus::Sat)
+        ProcGenuine = true; // counterexample
+      else if (O.Status == SmtStatus::Unknown) {
+        // SolverUnknown is the solver honestly answering "can't prove" —
+        // an unproved obligation, not a flake. Same taxonomy split as
+        // summarize().
+        bool Infra = O.Failure != FailureKind::None &&
+                     O.Failure != FailureKind::SolverUnknown;
+        (Infra ? ProcInfra : ProcGenuine) = true;
+      } else if (endsWith(O.Name, "[vacuity]"))
+        ProcGenuine = true; // vacuous contract: a spec bug, not a flake
+    }
+    // A proc can also fail with no failing obligation (VC generation
+    // errors); that is a genuine failure, not a solver flake.
+    AnyGenuineFailure |= ProcGenuine || !ProcInfra;
+  }
 }
 
 static std::string jsonEscape(const std::string &S) {
@@ -187,6 +229,12 @@ std::string dryad::jsonReport(const std::vector<FileReport> &Files,
                 Workers.Served, Workers.recycles(), Workers.RecycledCount,
                 Workers.RecycledRss, Workers.RecycledCrash,
                 Workers.SolveSeconds);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"store\": {\"hits\": %u, \"misses\": %u, "
+                "\"quarantined\": %u},\n",
+                Workers.StoreHits, Workers.StoreMisses,
+                Workers.StoreQuarantined);
   Out += Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"exit\": %d\n}\n", ExitCode);
   Out += Buf;

@@ -36,9 +36,21 @@ std::string summarize(const std::vector<ProcResult> &Results);
 
 /// One worker-lifecycle line for stderr, e.g.
 ///   workers: spawns=4 (warm=4 cold=0) served=267 recycles=3 (count=3 rss=0
-///   crash=0) solve_s=41.20
-/// Stays off stdout so warm and cold runs keep byte-identical reports.
+///   crash=0) solve_s=41.20 store: hits=12 misses=255 quarantined=0
+/// (the `store:` tail appears only when a proof store was in play). Stays
+/// off stdout so warm/cold and cold-store/warm-store runs keep
+/// byte-identical reports.
 std::string formatWorkerStats(const PoolStats &S);
+
+/// The single source of the exit-code taxonomy: folds \p Results into
+/// \p AllVerified (every routine verified) and \p AnyGenuineFailure (some
+/// failure is a disproof — counterexample, solver-unknown, vacuous
+/// contract, or a VC-generation error — rather than an infrastructure
+/// flake). Callers map (AllVerified, AnyGenuineFailure) to exit 0/1/3.
+/// Shared by the CLI driver and the serve daemon so the two can never
+/// drift.
+void classifyResults(const std::vector<ProcResult> &Results, bool &AllVerified,
+                     bool &AnyGenuineFailure);
 
 /// Per-file results for the machine-readable report.
 struct FileReport {

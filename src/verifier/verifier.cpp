@@ -5,6 +5,7 @@
 #include "lang/paths.h"
 #include "sched/dispatch.h"
 #include "sched/shard.h"
+#include "store/store.h"
 #include "support/hash.h"
 #include "vcgen/vc.h"
 
@@ -85,9 +86,27 @@ Verifier::Verifier(Module &M, VerifyOptions Opts) : M(M), Opts(Opts) {
       Jrnl.setFsync(Opts.FsyncJournal);
     }
   }
+  if (!Opts.StorePath.empty() && !Opts.AssembleFromJournal) {
+    // The persistent cross-run cache. Open failures degrade to a warning:
+    // a broken cache must never fail a proof run. Corruption found while
+    // loading (bad CRCs) is quarantined, counted, and re-solved.
+    OwnedStore = std::make_unique<ProofStore>();
+    if (OwnedStore->open(Opts.StorePath, StoreErr)) {
+      OwnedStore->setInject(Opts.Inject);
+      Store = OwnedStore.get();
+      WorkerStats.StoreQuarantined +=
+          static_cast<unsigned>(Store->quarantinedOnLoad());
+    } else {
+      OwnedStore.reset();
+    }
+  }
 }
 
 Verifier::~Verifier() = default;
+
+int Verifier::storeFd() const {
+  return OwnedStore ? OwnedStore->writerFd() : -1;
+}
 
 SandboxOptions Verifier::sandboxOptions() const {
   SandboxOptions S;
@@ -128,6 +147,13 @@ std::string Verifier::uniqueDumpStem(const std::string &Name) {
   return Stem;
 }
 
+namespace {
+/// Where a reused main-proof verdict came from, which decides where its
+/// vacuity probe verdict must come from: the probe record is only as
+/// trustworthy as the medium that recorded the proof alongside it.
+enum class ReuseSource { None, Journal, Store };
+} // namespace
+
 void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
                         DiagEngine &Diags) {
   const Procedure &P = *St.Proc;
@@ -157,8 +183,10 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
 
     // Journal the probe verdict so the next --resume can skip a passed
     // probe (Sat), replay a vacuity failure (Unsat), or re-probe an
-    // unanswered one (Unknown).
-    if (Jrnl.isOpen()) {
+    // unanswered one (Unknown). The store records the same verdict under
+    // the same suffixed key, for the same soundness reason: a stored proof
+    // without its probe verdict must be re-probed, never trusted.
+    if ((Jrnl.isOpen() || Store) && !ProbeKey.empty()) {
       JournalRecord R;
       R.Key = ProbeKey;
       R.Name = W.VC->Name + " [vacuity]";
@@ -170,7 +198,10 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
       R.Detail = PD.Status == SmtStatus::Unsat    ? VacuousMsg
                  : PD.Status == SmtStatus::Unknown ? PD.Detail
                                                    : "";
-      Jrnl.append(R);
+      if (Jrnl.isOpen())
+        Jrnl.append(R);
+      if (Store)
+        Store->put(R);
     }
 
     if (PD.Status == SmtStatus::Unsat) {
@@ -215,29 +246,48 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
   // one slot); a probe for a plan-time journal-reused main is planned in
   // FIFO order, in the position the main solve would have occupied.
   auto maybeProbeVacuity = [this, &Engine, &St, StrengthFor,
-                            OnProbeDone](PathWork &W, bool MainFromJournal,
+                            OnProbeDone](PathWork &W, ReuseSource Src,
                                          bool Urgent) {
     if (!Opts.CheckVacuity || W.VC->Assumptions.empty())
       return;
     const std::string ProbeKey =
         W.MainKey.empty() ? "" : W.MainKey + ":vacuity";
-    const JournalRecord *ProbePast =
-        (MainFromJournal && Jrnl.isOpen()) ? Jrnl.lookup(ProbeKey) : nullptr;
+    // The probe verdict must come from the same medium as the reused proof:
+    // a journal-reused proof consults the journal, a store-answered proof
+    // consults the store. A freshly solved main always probes live.
+    const JournalRecord *ProbePast = nullptr;
+    if (Src == ReuseSource::Journal && Jrnl.isOpen())
+      ProbePast = Jrnl.lookup(ProbeKey);
+    else if (Src == ReuseSource::Store && Store)
+      ProbePast = Store->lookup(ProbeKey);
     if (ProbePast && ProbePast->Status == SmtStatus::Sat) {
-      // The journal shows this probe already passed: the contract is known
-      // satisfiable, and --resume need not pay the vacuity cost again.
-      // This is the ONLY case where a journal-reused proof skips the probe.
+      // The record shows this probe already passed: the contract is known
+      // satisfiable, and the reused proof need not pay the vacuity cost
+      // again. This is the ONLY case where a reused proof skips the probe.
+      if (Src == ReuseSource::Store) {
+        // Replay the recorded probe time so aggregate per-procedure timings
+        // (and thus stdout) match the run that produced the proof.
+        W.ProbeSeconds = ProbePast->Seconds;
+        ++WorkerStats.StoreHits;
+      }
       return;
     }
     if (ProbePast && ProbePast->Status == SmtStatus::Unsat) {
-      // The run that journaled the proof also found the contract vacuous.
+      // The run that recorded the proof also found the contract vacuous.
       // Replay that verdict rather than re-probing: the refutation is as
       // durable as the proof it voids.
       ObligationResult V;
       V.Name = W.VC->Name + " [vacuity]";
       V.Status = SmtStatus::Unsat;
       V.Model = ProbePast->Detail;
-      V.FromJournal = true;
+      if (Src == ReuseSource::Store) {
+        V.FromStore = true;
+        V.Seconds = ProbePast->Seconds;
+        W.ProbeSeconds = ProbePast->Seconds;
+        ++WorkerStats.StoreHits;
+      } else {
+        V.FromJournal = true;
+      }
       W.Vac = std::move(V);
       W.HasVac = true;
       W.VacFailed = true;
@@ -245,6 +295,10 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
     }
     if (St.Budget.exhausted())
       return;
+    // A live probe with a store attached is a cache miss: its verdict will
+    // be recorded (OnProbeDone) so the next run can hit.
+    if (Store)
+      ++WorkerStats.StoreMisses;
 
     // Reaching here with a journal-reused proof means the journal holds no
     // probe verdict (the run was killed between journaling the unsat and
@@ -385,12 +439,14 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
     if (!Opts.DumpSmt2Dir.empty())
       Stem = uniqueDumpStem(Name);
 
-    // Journal key: content hash of the full-tactics query plus the tactic
-    // configuration. Computed at plan time so a resumed run can skip the
-    // solve entirely — and so the shard partition can be decided without
-    // coordination: every shard derives the same keys from the same plan.
+    // Content key: hash of the full-tactics query plus the tactic
+    // configuration. Computed at plan time so a resumed run (or a store
+    // hit) can skip the solve entirely — and so the shard partition can be
+    // decided without coordination: every shard derives the same keys from
+    // the same plan. The persistent store shares the journal's key space,
+    // which is what makes its records journal-schema-compatible.
     std::string Key;
-    if (Jrnl.isOpen()) {
+    if (Jrnl.isOpen() || Store) {
       SmtSolver KeySolver;
       for (size_t I = 0; I != NumAssumptions; ++I)
         KeySolver.add(W.VC->Assumptions[I]);
@@ -421,7 +477,7 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
         return;
       }
 
-      if (Opts.Resume) {
+      if (Opts.Resume && Jrnl.isOpen()) {
         const JournalRecord *R = Jrnl.lookup(Key);
         if (R && R->Status == SmtStatus::Unsat) {
           // Already proved by an earlier run of this exact query under this
@@ -432,12 +488,36 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
           O.FromJournal = true;
           *Slot = std::move(O);
           if (IsMain)
-            maybeProbeVacuity(W, /*MainFromJournal=*/true, /*Urgent=*/false);
+            maybeProbeVacuity(W, ReuseSource::Journal, /*Urgent=*/false);
           return;
         }
         // Sat / unknown / infrastructure failures are replayed: those are
         // exactly the outcomes a retry (or a fixed environment) can
         // improve.
+      }
+
+      if (Store) {
+        const JournalRecord *R = Store->lookup(Key);
+        if (R && R->Status == SmtStatus::Unsat) {
+          // Cache hit: this exact query under this exact configuration was
+          // proved by some earlier run. Replay the recorded verdict (and
+          // its solve time, so aggregate timings — and thus stdout — match
+          // the run that produced the proof). Only proofs are reused:
+          // sat/unknown outcomes are exactly what a retry can improve.
+          ++WorkerStats.StoreHits;
+          ObligationResult O;
+          O.Name = Name;
+          O.Status = SmtStatus::Unsat;
+          O.Attempts = R->Attempts;
+          O.DegradeLevel = R->DegradeLevel;
+          O.Seconds = R->Seconds;
+          O.FromStore = true;
+          *Slot = std::move(O);
+          if (IsMain)
+            maybeProbeVacuity(W, ReuseSource::Store, /*Urgent=*/false);
+          return;
+        }
+        ++WorkerStats.StoreMisses;
       }
     }
 
@@ -483,13 +563,13 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
       O.Seconds = D.Seconds;
       O.Model = D.ModelText;
 
-      // The journal is appended from the event-loop thread only (this
-      // completion), so records never interleave mid-line even at
-      // `--jobs N`; completion order varies with worker timing, which the
-      // content-keyed later-records-win format absorbs. Concurrent *shard*
-      // writers are a different matter — the journal flock(2)s each append
-      // for them.
-      if (Jrnl.isOpen()) {
+      // The journal (and store) are appended from the event-loop thread
+      // only (this completion), so records never interleave mid-line even
+      // at `--jobs N`; completion order varies with worker timing, which
+      // the content-keyed later-records-win format absorbs. Concurrent
+      // writers from *other processes* are a different matter — both media
+      // flock(2) each append for them.
+      if ((Jrnl.isOpen() || Store) && !Key.empty()) {
         JournalRecord R;
         R.Key = Key;
         R.Name = Name;
@@ -499,13 +579,16 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
         R.DegradeLevel = O.DegradeLevel;
         R.Seconds = O.Seconds;
         R.Detail = O.Status == SmtStatus::Sat ? O.Model : O.FailureDetail;
-        Jrnl.append(R);
+        if (Jrnl.isOpen())
+          Jrnl.append(R);
+        if (Store)
+          Store->put(R);
       }
 
       bool Proved = O.Status == SmtStatus::Unsat;
       *Slot = std::move(O);
       if (IsMain && Proved)
-        maybeProbeVacuity(W, /*MainFromJournal=*/false, /*Urgent=*/true);
+        maybeProbeVacuity(W, ReuseSource::None, /*Urgent=*/true);
     });
   };
 
@@ -571,13 +654,22 @@ ProcResult Verifier::collectProc(ProcState &St) {
 }
 
 ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
-  Scheduler Pool(std::max(1u, Opts.Jobs), warmPoolOptions());
-  DispatchEngine Engine(Pool);
+  // An external pool (the serve daemon's long-lived warm fleet) is used in
+  // place of a per-call pool; its stats are folded in as a delta so a
+  // daemon's lifetime counters are not re-counted per request.
+  std::optional<Scheduler> Local;
+  Scheduler *PoolP = ExternalPool;
+  if (!PoolP) {
+    Local.emplace(std::max(1u, Opts.Jobs), warmPoolOptions());
+    PoolP = &*Local;
+  }
+  DispatchEngine Engine(*PoolP);
+  PoolStats Before = PoolP->stats();
   ProcState St;
   St.Proc = &P;
   planProc(Engine, St, Diags);
   Engine.drain();
-  WorkerStats.accumulate(Pool.stats());
+  WorkerStats.accumulate(PoolP->stats().since(Before));
   return collectProc(St);
 }
 
@@ -589,8 +681,14 @@ std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
   // budgets still hold — each arms when its first attempt actually starts
   // (see DeadlineBudget::arm), so time queued behind other procedures is
   // never billed.
-  Scheduler Pool(std::max(1u, Opts.Jobs), warmPoolOptions());
-  DispatchEngine Engine(Pool);
+  std::optional<Scheduler> Local;
+  Scheduler *PoolP = ExternalPool;
+  if (!PoolP) {
+    Local.emplace(std::max(1u, Opts.Jobs), warmPoolOptions());
+    PoolP = &*Local;
+  }
+  DispatchEngine Engine(*PoolP);
+  PoolStats Before = PoolP->stats();
   std::deque<ProcState> Procs;
   for (const Procedure &P : M.Procs) {
     // Contract-only declarations have nothing to check.
@@ -601,7 +699,7 @@ std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
     planProc(Engine, Procs.back(), Diags);
   }
   Engine.drain();
-  WorkerStats.accumulate(Pool.stats());
+  WorkerStats.accumulate(PoolP->stats().since(Before));
   std::vector<ProcResult> Out;
   for (ProcState &St : Procs)
     Out.push_back(collectProc(St));

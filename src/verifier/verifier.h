@@ -26,6 +26,7 @@
 #include "verifier/journal.h"
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 
 namespace dryad {
@@ -105,6 +106,14 @@ struct VerifyOptions {
   /// vacuity verdict is missing is surfaced as unresolved rather than
   /// trusted.
   bool AssembleFromJournal = false;
+  /// Persistent cross-run proof store (`--store <file>`; see
+  /// store/store.h): obligations whose content key carries a proved
+  /// verdict are answered from the store without solving, every fresh
+  /// outcome is appended, and vacuity verdicts follow the same `:vacuity`
+  /// sub-key protocol as the journal so a cached proof can never mask a
+  /// vacuous contract. A store that cannot be opened degrades to a warning
+  /// (recorded in storeError()), never a failed run. Empty = off.
+  std::string StorePath;
 };
 
 struct ObligationResult {
@@ -124,6 +133,10 @@ struct ObligationResult {
   /// True when the outcome was reused from a resumed journal instead of
   /// dispatched (Attempts is then 0).
   bool FromJournal = false;
+  /// True when the outcome was answered from the persistent proof store
+  /// (Attempts is then 0; Seconds replays the recorded solve time so
+  /// aggregate timings match the run that produced the proof).
+  bool FromStore = false;
   /// True when the obligation was planned but belongs to a different shard
   /// (`--shard i/n`): the slot is a placeholder that collection drops.
   bool OutOfShard = false;
@@ -141,6 +154,7 @@ struct ProcResult {
 };
 
 class DispatchEngine;
+class ProofStore;
 
 class Verifier {
 public:
@@ -163,6 +177,20 @@ public:
   /// Non-empty when the requested journal could not be opened.
   const std::string &journalError() const { return JournalErr; }
 
+  /// Non-empty when the requested proof store could not be opened (the run
+  /// proceeds without one — a broken cache must never fail a proof).
+  const std::string &storeError() const { return StoreErr; }
+
+  /// Uses \p S (owned by the caller, e.g. the serve daemon's long-lived
+  /// store) instead of opening VerifyOptions::StorePath. Call before
+  /// verifyAll/verifyProc.
+  void setExternalStore(ProofStore *S) { Store = S; }
+
+  /// Uses \p P (owned by the caller) instead of constructing a fresh pool,
+  /// so a daemon's warm fleet survives across requests. Stats are
+  /// accumulated as per-run deltas. Call before verifyAll/verifyProc.
+  void setExternalPool(Scheduler *P) { ExternalPool = P; }
+
   /// Worker-lifecycle counters from every pool this verifier has driven
   /// (verifyAll uses one pool; repeated verifyProc calls accumulate).
   const PoolStats &poolStats() const { return WorkerStats; }
@@ -175,6 +203,10 @@ public:
   /// Raw fd of the journal writer, or -1 — for the async-signal-safe
   /// termination handler, which may only fsync, not fflush.
   int journalFd() const { return Jrnl.writerFd(); }
+
+  /// Raw fd of the proof-store writer this verifier OWNS, or -1 (external
+  /// stores are the owner's to register with the handler).
+  int storeFd() const;
 
 private:
   struct ProcState;
@@ -202,6 +234,13 @@ private:
   VerifyOptions Opts;
   Journal Jrnl;
   std::string JournalErr;
+  /// The store consulted at plan time and appended on completion: the one
+  /// this verifier opened from Opts.StorePath, or an external one. Null
+  /// when the store is off or failed to open.
+  ProofStore *Store = nullptr;
+  std::unique_ptr<ProofStore> OwnedStore;
+  std::string StoreErr;
+  Scheduler *ExternalPool = nullptr;
   std::unordered_map<std::string, unsigned> StemCounts;
   std::vector<size_t> SliceCounts;
   PoolStats WorkerStats;

@@ -1,0 +1,378 @@
+//===--- serve_test.cpp - Serve protocol and daemon tests ---------------------===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+// Three layers under test:
+//  * the DRYS1/DRYT1 wire codec (store/wire.h): byte-counted framing that
+//    round-trips arbitrary module bytes, and an incremental parser that
+//    never misreads a partial or foreign buffer;
+//  * the thin client (store/remote.h): bounded connect/request timeouts and
+//    the retry ladder, so a dead or wedged daemon costs milliseconds, not a
+//    hang;
+//  * the daemon itself (store/serve.h), forked as a real process: warm
+//    store across requests, byte-identical reports, servedrop recovery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/inject.h"
+#include "store/remote.h"
+#include "store/serve.h"
+#include "store/store.h"
+#include "store/wire.h"
+
+#include "testutil.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+
+std::string sockPath(const std::string &Name) {
+  // Socket paths have a ~108 byte limit; TempDir may be long, so anchor the
+  // names in /tmp directly.
+  std::string P = "/tmp/dryad-serve-" + Name + "-" +
+                  std::to_string(static_cast<long>(getpid())) + ".sock";
+  std::remove(P.c_str());
+  return P;
+}
+
+std::string tmpStore(const std::string &Name) {
+  std::string P = ::testing::TempDir() + "dryad-serve-" + Name + ".seg";
+  std::remove(P.c_str());
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire codec
+//===----------------------------------------------------------------------===//
+
+TEST(Wire, RequestRoundTripsArbitraryBytes) {
+  ServeRequest Q;
+  Q.File = "dir with spaces/m.dryad";
+  // Embedded newlines, a NUL, and the frame magics themselves: byte-counted
+  // framing must not care.
+  Q.Source = std::string("proc p()\nDRYS1\nDRYT1\n\0tail", 25);
+
+  std::string Frame = frameServeRequest(Q);
+  EXPECT_EQ(Frame.find("DRYS1\n"), 0u);
+
+  std::string Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(tryParseFrame(Frame, "DRYS1", Payload, Consumed), 1);
+  EXPECT_EQ(Consumed, Frame.size());
+
+  ServeRequest Back;
+  ASSERT_TRUE(decodeServeRequest(Payload, Back));
+  EXPECT_EQ(Back.File, Q.File);
+  EXPECT_EQ(Back.Source, Q.Source) << "NULs and magics must survive";
+}
+
+TEST(Wire, ResponseRoundTripsEveryField) {
+  ServeResponse R;
+  R.Exit = 3;
+  R.StoreHits = 41;
+  R.StoreMisses = 7;
+  R.StoreQuarantined = 2;
+  R.Report = "m.dryad: 7/7 procedures verified\n";
+  R.Json = "{\"exit\": 3}\n";
+  R.Diag = "warning: something\n";
+
+  std::string Payload;
+  size_t Consumed = 0;
+  std::string Frame = frameServeResponse(R);
+  ASSERT_EQ(tryParseFrame(Frame, "DRYT1", Payload, Consumed), 1);
+
+  ServeResponse Back;
+  ASSERT_TRUE(decodeServeResponse(Payload, Back));
+  EXPECT_EQ(Back.Exit, 3);
+  EXPECT_EQ(Back.StoreHits, 41u);
+  EXPECT_EQ(Back.StoreMisses, 7u);
+  EXPECT_EQ(Back.StoreQuarantined, 2u);
+  EXPECT_EQ(Back.Report, R.Report);
+  EXPECT_EQ(Back.Json, R.Json);
+  EXPECT_EQ(Back.Diag, R.Diag);
+}
+
+TEST(Wire, TryParseFrameIsIncremental) {
+  ServeRequest Q{"f.dryad", "proc p() {}"};
+  std::string Frame = frameServeRequest(Q);
+
+  std::string Payload;
+  size_t Consumed = 0;
+  // Every strict prefix is "need more bytes", never an error: the reader
+  // accumulates from a stream and must not give up on a short read.
+  for (size_t Len = 0; Len < Frame.size(); ++Len)
+    ASSERT_EQ(tryParseFrame(Frame.substr(0, Len), "DRYS1", Payload, Consumed),
+              0)
+        << "prefix of " << Len << " bytes";
+  ASSERT_EQ(tryParseFrame(Frame, "DRYS1", Payload, Consumed), 1);
+
+  // Trailing bytes after a complete frame are left for the next parse.
+  std::string Two = Frame + "XYZ";
+  ASSERT_EQ(tryParseFrame(Two, "DRYS1", Payload, Consumed), 1);
+  EXPECT_EQ(Consumed, Frame.size());
+}
+
+TEST(Wire, TryParseFrameRejectsForeignBuffers) {
+  std::string Payload;
+  size_t Consumed = 0;
+  EXPECT_EQ(tryParseFrame("GET / HTTP/1.1\r\n\r\n", "DRYS1", Payload, Consumed),
+            -1)
+      << "a non-protocol client must be rejected, not buffered forever";
+  EXPECT_EQ(tryParseFrame("DRYT1\n4\nabcd", "DRYS1", Payload, Consumed), -1)
+      << "a response frame is not a request frame";
+  EXPECT_EQ(tryParseFrame("DRYS1\nnotanumber\nxx", "DRYS1", Payload, Consumed),
+            -1);
+}
+
+TEST(Wire, DecodersRejectTruncation) {
+  ServeRequest Q{"f.dryad", "proc p() {}"};
+  std::string Frame = frameServeRequest(Q);
+  std::string Payload;
+  size_t Consumed = 0;
+  ASSERT_EQ(tryParseFrame(Frame, "DRYS1", Payload, Consumed), 1);
+
+  ServeRequest Back;
+  for (size_t Len = 0; Len < Payload.size(); ++Len)
+    EXPECT_FALSE(decodeServeRequest(Payload.substr(0, Len), Back))
+        << "truncated to " << Len << " bytes: must not half-decode";
+  EXPECT_FALSE(decodeServeRequest(Payload + "extra", Back))
+      << "trailing garbage means a framing bug somewhere — reject it";
+  ServeResponse RBack;
+  EXPECT_FALSE(decodeServeResponse(Payload, RBack))
+      << "a request payload is not a response payload";
+}
+
+//===----------------------------------------------------------------------===//
+// Client failure ladder
+//===----------------------------------------------------------------------===//
+
+TEST(RemoteClient, DeadSocketFailsFastWithinTimeouts) {
+  RemoteOptions RO;
+  RO.SocketPath = sockPath("nobody-home");
+  RO.ConnectTimeoutMs = 200;
+  RO.RequestTimeoutMs = 200;
+  RO.Retries = 1;
+
+  struct timeval T0, T1;
+  gettimeofday(&T0, nullptr);
+  ServeResponse Resp;
+  std::string Err;
+  EXPECT_FALSE(remoteVerify(RO, "f.dryad", "proc p() {}", Resp, Err));
+  gettimeofday(&T1, nullptr);
+  EXPECT_FALSE(Err.empty());
+  double Elapsed = (T1.tv_sec - T0.tv_sec) + (T1.tv_usec - T0.tv_usec) * 1e-6;
+  EXPECT_LT(Elapsed, 2.0)
+      << "2 connect attempts at 200ms each must not take seconds";
+}
+
+TEST(RemoteClient, SilentDaemonHitsTheRequestDeadline) {
+  // A listener that accepts but never answers: the wedged-daemon case. The
+  // client must hit RequestTimeoutMs per try, not hang.
+  std::string Path = sockPath("silent");
+  int LFd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(LFd, 0);
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+  ASSERT_EQ(bind(LFd, reinterpret_cast<struct sockaddr *>(&Addr),
+                 sizeof(Addr)),
+            0)
+      << strerror(errno);
+  ASSERT_EQ(listen(LFd, 4), 0);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.ConnectTimeoutMs = 500;
+  RO.RequestTimeoutMs = 300;
+  RO.Retries = 0;
+
+  ServeResponse Resp;
+  std::string Err;
+  EXPECT_FALSE(remoteVerify(RO, "f.dryad", "proc p() {}", Resp, Err));
+  EXPECT_NE(Err.find("daemon lost mid-request"), std::string::npos) << Err;
+
+  close(LFd);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon end-to-end (forked as a real process)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The daemon parses the raw source it is sent — unlike parsePrelude-based
+/// tests, the request must carry its own predicate definitions.
+std::string moduleText() {
+  return std::string(preludeText()) + R"(
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+}
+
+/// Forks a daemon on \p Path answering \p MaxRequests requests and returns
+/// its pid. The parent waits for the socket to accept before returning, so
+/// tests don't race daemon startup.
+pid_t spawnDaemon(const std::string &Path, const std::string &StorePath,
+                  unsigned MaxRequests, const char *Inject = nullptr) {
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    ServeDaemonOptions SO;
+    SO.SocketPath = Path;
+    SO.MaxRequests = MaxRequests;
+    SO.Verify.StorePath = StorePath;
+    SO.Verify.TimeoutMs = 30000;
+    SO.Verify.Jobs = 2;
+    if (Inject) {
+      std::string Err;
+      SO.Verify.Inject = *FaultPlan::parse(Inject, Err);
+    }
+    _exit(runServeDaemon(SO));
+  }
+  // Poll until the listener is up (the daemon binds before accepting).
+  for (int I = 0; I < 200; ++I) {
+    int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    struct sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+    int CR =
+        connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr));
+    close(Fd);
+    if (CR == 0)
+      return Pid;
+    usleep(25 * 1000);
+  }
+  return Pid; // let the test fail on its own terms
+}
+
+int reapDaemon(pid_t Pid) {
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+} // namespace
+
+TEST(ServeDaemon, WarmStoreAnswersTheSecondRequestInstantly) {
+  std::string Path = sockPath("warm");
+  std::string Store = tmpStore("warm");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/2);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.Retries = 2;
+
+  ServeResponse R1, R2;
+  std::string Err;
+  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R1, Err)) << Err;
+  EXPECT_EQ(R1.Exit, 0) << R1.Report << R1.Diag;
+  EXPECT_EQ(R1.StoreHits, 0u) << "request 1 hits a cold store";
+  EXPECT_GE(R1.StoreMisses, 1u);
+  EXPECT_NE(R1.Report.find("verified"), std::string::npos);
+
+  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R2, Err)) << Err;
+  EXPECT_EQ(R2.Exit, 0);
+  EXPECT_EQ(R2.StoreMisses, 0u)
+      << "the unchanged module must be answered wholly from the warm store";
+  EXPECT_GE(R2.StoreHits, 1u);
+  EXPECT_EQ(R2.Report, R1.Report)
+      << "store hits replay recorded timings: stdout must be byte-identical";
+
+  EXPECT_EQ(reapDaemon(Pid), 0) << "--serve-max-requests exit is clean";
+  EXPECT_NE(access(Path.c_str(), F_OK), 0)
+      << "the daemon must unlink its socket on the way out";
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, ParseErrorIsAGenuineFailureNotACrash) {
+  std::string Path = sockPath("parse");
+  std::string Store = tmpStore("parse");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/2);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+
+  ServeResponse Bad;
+  std::string Err;
+  ASSERT_TRUE(remoteVerify(RO, "bad.dryad", "proc oops(", Bad, Err)) << Err;
+  EXPECT_EQ(Bad.Exit, 1) << "a module that does not parse is the user's bug";
+  EXPECT_FALSE(Bad.Diag.empty()) << "the parse diagnostic must reach the client";
+
+  // The daemon survives the bad request and still serves good ones.
+  ServeResponse Good;
+  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), Good, Err)) << Err;
+  EXPECT_EQ(Good.Exit, 0);
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, ServedropIsAbsorbedByTheClientRetryLadder) {
+  std::string Path = sockPath("drop");
+  std::string Store = tmpStore("drop");
+  // The daemon drops request 1 on the floor; the client's retry becomes
+  // request 2 and succeeds.
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/2, "servedrop@1");
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.RequestTimeoutMs = 30000;
+  RO.Retries = 2;
+
+  ServeResponse R;
+  std::string Err;
+  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R, Err))
+      << "one dropped connection must not fail the client: " << Err;
+  EXPECT_EQ(R.Exit, 0);
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, SigtermUnlinksSocketAndLeavesStoreClean) {
+  std::string Path = sockPath("term");
+  std::string Store = tmpStore("term");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/0);
+
+  // Populate the store through a real request first, so the flush-on-exit
+  // path has bytes to lose if it is wrong.
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  ServeResponse R;
+  std::string Err;
+  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R, Err)) << Err;
+
+  kill(Pid, SIGTERM);
+  int Status = 0;
+  waitpid(Pid, &Status, 0);
+  EXPECT_TRUE(WIFEXITED(Status))
+      << "SIGTERM takes the handler's _exit path, not a signal death";
+
+  EXPECT_NE(access(Path.c_str(), F_OK), 0)
+      << "no stale socket after SIGTERM";
+  StoreFsck F = ProofStore::verifySegment(Store);
+  EXPECT_TRUE(F.clean()) << ProofStore::formatFsck(F)
+                         << " (the store must be flushed, not torn)";
+  EXPECT_GE(F.ValidRecords, 1u) << "the request's proofs were persisted";
+  std::remove(Store.c_str());
+}

@@ -1,0 +1,698 @@
+//===--- store_test.cpp - Persistent proof store tests ------------------------===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+// The crash-safety contract under test (store/store.h):
+//  * a kill -9 mid-append costs at most the one torn tail record, which
+//    fsck reports precisely and the next writer-open repairs;
+//  * a complete line with a bad CRC is quarantined — skipped, counted,
+//    re-solved — never trusted and never fatal;
+//  * compaction is verdict-preserving and drops superseded/corrupt bytes;
+//  * a store written by another engine version is rebuilt, not misread;
+//  * cached proofs follow the journal's `:vacuity` sub-key protocol, so a
+//    store hit can never mask a vacuous contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/store.h"
+#include "support/crc32.h"
+#include "verifier/report.h"
+#include "verifier/verifier.h"
+
+#include "testutil.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+
+std::string storePath(const std::string &Name) {
+  std::string P = ::testing::TempDir() + "dryad-store-" + Name + ".seg";
+  std::remove(P.c_str());
+  std::remove((P + ".stale").c_str());
+  return P;
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+JournalRecord mkRecord(const std::string &Key, SmtStatus S,
+                       double Seconds = 0.5) {
+  JournalRecord R;
+  R.Key = Key;
+  R.Name = "p [path 1]";
+  R.Status = S;
+  R.Attempts = 1;
+  R.Seconds = Seconds;
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+TEST(Crc32, KnownAnswerAndSensitivity) {
+  // The IEEE 802.3 check value: crc32("123456789") == 0xcbf43926. Matching
+  // it pins our table to the standard reflected polynomial — a store
+  // written here stays checkable by any stock CRC tool.
+  EXPECT_EQ(crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(crc32Hex(crc32("123456789")), "cbf43926");
+  EXPECT_EQ(crc32(""), 0u);
+  EXPECT_NE(crc32("a"), crc32("b"));
+  EXPECT_EQ(crc32Hex(0), "00000000") << "fixed width, zero padded";
+}
+
+//===----------------------------------------------------------------------===//
+// Record encoding and the segment header
+//===----------------------------------------------------------------------===//
+
+TEST(StoreFormat, EncodeRecordIsCrcThenJournalLine) {
+  JournalRecord R = mkRecord("v1-0000000000000001", SmtStatus::Unsat);
+  std::string Line = ProofStore::encodeRecord(R);
+  ASSERT_GT(Line.size(), 10u);
+  EXPECT_EQ(Line[8], ' ') << "8 hex CRC digits, then one space";
+  EXPECT_EQ(Line.back(), '\n');
+  std::string Payload = Line.substr(9, Line.size() - 10);
+  EXPECT_EQ(Line.substr(0, 8), crc32Hex(crc32(Payload)))
+      << "CRC must cover exactly the journal JSON bytes";
+  auto P = Journal::parseLine(Payload);
+  ASSERT_TRUE(P) << "payload must stay journal-schema compatible";
+  EXPECT_EQ(P->Key, R.Key);
+}
+
+TEST(StoreFormat, HeaderNamesSchemaAndEngine) {
+  std::string H = ProofStore::headerLine();
+  EXPECT_EQ(H.find("DRYADSTORE v1 engine="), 0u);
+  EXPECT_NE(H.find(StoreEngineVersion), std::string::npos);
+  EXPECT_EQ(H.back(), '\n');
+}
+
+//===----------------------------------------------------------------------===//
+// Open / put / reopen durability
+//===----------------------------------------------------------------------===//
+
+TEST(StoreFile, PutSurvivesReopen) {
+  std::string Path = storePath("reopen");
+  {
+    ProofStore S;
+    std::string Err;
+    ASSERT_TRUE(S.open(Path, Err)) << Err;
+    EXPECT_EQ(S.size(), 0u);
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat, 1.25));
+    S.put(mkRecord("v1-0000000000000002", SmtStatus::Sat));
+    EXPECT_FALSE(S.degraded());
+  }
+  ProofStore S2;
+  std::string Err;
+  ASSERT_TRUE(S2.open(Path, Err)) << Err;
+  EXPECT_EQ(S2.size(), 2u);
+  EXPECT_EQ(S2.quarantinedOnLoad(), 0u);
+  const JournalRecord *Hit = S2.lookup("v1-0000000000000001");
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Status, SmtStatus::Unsat);
+  EXPECT_NEAR(Hit->Seconds, 1.25, 1e-9)
+      << "the recorded solve time is what store hits replay";
+  EXPECT_EQ(S2.lookup("v1-00000000000000ff"), nullptr);
+}
+
+TEST(StoreFile, LaterRecordsWin) {
+  std::string Path = storePath("laterwins");
+  ProofStore S;
+  std::string Err;
+  ASSERT_TRUE(S.open(Path, Err)) << Err;
+  S.put(mkRecord("v1-0000000000000001", SmtStatus::Unknown));
+  S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat)); // the retry won
+  EXPECT_EQ(S.size(), 1u);
+  ASSERT_NE(S.lookup("v1-0000000000000001"), nullptr);
+  EXPECT_EQ(S.lookup("v1-0000000000000001")->Status, SmtStatus::Unsat);
+
+  ProofStore S2;
+  ASSERT_TRUE(S2.open(Path, Err)) << Err;
+  ASSERT_NE(S2.lookup("v1-0000000000000001"), nullptr);
+  EXPECT_EQ(S2.lookup("v1-0000000000000001")->Status, SmtStatus::Unsat)
+      << "later-records-win must hold across reload";
+}
+
+//===----------------------------------------------------------------------===//
+// Torn tails: fsck reports exactly the tear, writer-open repairs it
+//===----------------------------------------------------------------------===//
+
+TEST(StoreCrash, FsckReportsTornTailAndOpenRepairsIt) {
+  std::string Path = storePath("torn");
+  {
+    ProofStore S;
+    std::string Err;
+    ASSERT_TRUE(S.open(Path, Err)) << Err;
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat));
+  }
+  // The kill -9 mid-append: half a record, no newline.
+  std::string HalfLine =
+      ProofStore::encodeRecord(mkRecord("v1-0000000000000002", SmtStatus::Unsat));
+  HalfLine.resize(HalfLine.size() / 2);
+  {
+    std::ofstream Out(Path, std::ios::app | std::ios::binary);
+    Out << HalfLine;
+  }
+
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(F.HeaderOk && F.EngineMatch);
+  EXPECT_EQ(F.ValidRecords, 1u);
+  EXPECT_TRUE(F.TornTail);
+  EXPECT_EQ(F.TornTailBytes, HalfLine.size())
+      << "fsck must report exactly the torn bytes, nothing more";
+  EXPECT_FALSE(F.clean());
+
+  // Writer-open truncates the tear so the next append cannot merge into it.
+  ProofStore S;
+  std::string Err;
+  ASSERT_TRUE(S.open(Path, Err)) << Err;
+  EXPECT_EQ(S.size(), 1u) << "only the torn record is lost";
+  S.put(mkRecord("v1-0000000000000003", SmtStatus::Unsat));
+
+  StoreFsck F2 = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(F2.clean()) << ProofStore::formatFsck(F2);
+  EXPECT_EQ(F2.ValidRecords, 2u);
+}
+
+TEST(StoreCrash, InjectedTornPutKillsWriterButNotLookups) {
+  std::string Path = storePath("injtorn");
+  std::string Err;
+  FaultPlan Plan = *FaultPlan::parse("storetorn@2", Err);
+  {
+    ProofStore S;
+    ASSERT_TRUE(S.open(Path, Err)) << Err;
+    S.setInject(Plan);
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat));
+    EXPECT_FALSE(S.degraded());
+    S.put(mkRecord("v1-0000000000000002", SmtStatus::Unsat)); // torn here
+    EXPECT_TRUE(S.degraded()) << "the writer died mid-append";
+    S.put(mkRecord("v1-0000000000000003", SmtStatus::Unsat));
+    EXPECT_EQ(S.lookup("v1-0000000000000003"), nullptr)
+        << "a degraded store drops puts";
+    EXPECT_NE(S.lookup("v1-0000000000000001"), nullptr)
+        << "lookups keep working after the writer dies";
+  }
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(F.TornTail) << "the injected tear is on disk";
+  EXPECT_EQ(F.ValidRecords, 1u);
+
+  ProofStore S2;
+  ASSERT_TRUE(S2.open(Path, Err)) << Err;
+  EXPECT_EQ(S2.size(), 1u);
+  EXPECT_TRUE(ProofStore::verifySegment(Path).clean())
+      << "writer-open must have repaired the tear";
+}
+
+TEST(StoreCrash, Kill9WriterLosesAtMostTheTailRecord) {
+  // The real thing, not an emulation: a child appends records as fast as it
+  // can, the parent SIGKILLs it mid-stream. Invariant: the segment holds
+  // some prefix of the child's appends plus at most one torn tail — never a
+  // bad-CRC line, never an unparseable complete line.
+  std::string Path = storePath("kill9");
+  {
+    ProofStore S;
+    std::string Err;
+    ASSERT_TRUE(S.open(Path, Err)) << Err; // header written before the fork
+  }
+  pid_t Child = fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    ProofStore S;
+    std::string Err;
+    if (!S.open(Path, Err))
+      _exit(1);
+    for (unsigned I = 1;; ++I) {
+      char Key[32];
+      std::snprintf(Key, sizeof(Key), "v1-%016x", I);
+      S.put(mkRecord(Key, SmtStatus::Unsat));
+    }
+  }
+  usleep(50 * 1000); // let some appends land
+  kill(Child, SIGKILL);
+  waitpid(Child, nullptr, 0);
+
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(F.HeaderOk && F.EngineMatch);
+  EXPECT_EQ(F.BadCrc, 0u) << "a kill -9 must never fabricate a bad CRC line";
+  EXPECT_EQ(F.Malformed, 0u);
+  EXPECT_GE(F.ValidRecords, 1u) << "the child had 50ms of fsync'd appends";
+
+  ProofStore S;
+  std::string Err;
+  ASSERT_TRUE(S.open(Path, Err)) << Err;
+  EXPECT_EQ(S.size(), F.ValidRecords)
+      << "recovery must keep every durable record";
+  EXPECT_TRUE(ProofStore::verifySegment(Path).clean())
+      << ProofStore::formatFsck(ProofStore::verifySegment(Path));
+}
+
+//===----------------------------------------------------------------------===//
+// CRC corruption: quarantined, counted, re-solved — never trusted
+//===----------------------------------------------------------------------===//
+
+TEST(StoreCorruption, BadCrcLineIsQuarantinedOnLoad) {
+  std::string Path = storePath("badcrc");
+  {
+    ProofStore S;
+    std::string Err;
+    ASSERT_TRUE(S.open(Path, Err)) << Err;
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat));
+    S.put(mkRecord("v1-0000000000000002", SmtStatus::Unsat));
+  }
+  // Flip one payload byte of the second record: its CRC no longer matches.
+  std::string Bytes = slurp(Path);
+  size_t Pos = Bytes.rfind("unsat");
+  ASSERT_NE(Pos, std::string::npos);
+  Bytes[Pos] = 'X';
+  {
+    std::ofstream Out(Path, std::ios::trunc | std::ios::binary);
+    Out << Bytes;
+  }
+
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_EQ(F.BadCrc, 1u);
+  EXPECT_EQ(F.ValidRecords, 1u);
+  EXPECT_FALSE(F.clean());
+
+  ProofStore S;
+  std::string Err;
+  ASSERT_TRUE(S.open(Path, Err)) << Err << " (corruption must not be fatal)";
+  EXPECT_EQ(S.quarantinedOnLoad(), 1u);
+  EXPECT_EQ(S.lookup("v1-0000000000000002"), nullptr)
+      << "a quarantined record must be invisible: its obligation re-solves";
+  EXPECT_NE(S.lookup("v1-0000000000000001"), nullptr);
+}
+
+TEST(StoreCorruption, InjectedCrcFaultIsInvisibleToLookupsAndCompactsAway) {
+  std::string Path = storePath("injcrc");
+  std::string Err;
+  {
+    ProofStore S;
+    ASSERT_TRUE(S.open(Path, Err)) << Err;
+    S.setInject(*FaultPlan::parse("storecrc@1", Err));
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat)); // corrupted
+    S.put(mkRecord("v1-0000000000000002", SmtStatus::Unsat)); // clean
+    EXPECT_EQ(S.lookup("v1-0000000000000001"), nullptr)
+        << "the writer must not trust in memory what it corrupted on disk";
+    EXPECT_FALSE(S.degraded()) << "CRC corruption is silent, unlike a tear";
+  }
+  EXPECT_EQ(ProofStore::verifySegment(Path).BadCrc, 1u);
+
+  ASSERT_TRUE(ProofStore::compact(Path, Err)) << Err;
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(F.clean()) << ProofStore::formatFsck(F);
+  EXPECT_EQ(F.ValidRecords, 1u) << "compaction drops the quarantined line";
+}
+
+//===----------------------------------------------------------------------===//
+// Compaction: verdict-identical, later-records-win, crash-safe rename
+//===----------------------------------------------------------------------===//
+
+TEST(StoreCompact, RoundTripPreservesWinningVerdicts) {
+  std::string Path = storePath("compact");
+  std::string Err;
+  {
+    ProofStore S;
+    ASSERT_TRUE(S.open(Path, Err)) << Err;
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unknown));
+    S.put(mkRecord("v1-0000000000000002", SmtStatus::Unsat, 2.0));
+    S.put(mkRecord("v1-0000000000000001", SmtStatus::Unsat, 3.0)); // supersedes
+  }
+  ASSERT_TRUE(ProofStore::compact(Path, Err)) << Err;
+
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(F.clean()) << ProofStore::formatFsck(F);
+  EXPECT_EQ(F.ValidRecords, 2u) << "one winner per key";
+  EXPECT_EQ(F.DistinctKeys, 2u);
+
+  ProofStore S;
+  ASSERT_TRUE(S.open(Path, Err)) << Err;
+  ASSERT_NE(S.lookup("v1-0000000000000001"), nullptr);
+  EXPECT_EQ(S.lookup("v1-0000000000000001")->Status, SmtStatus::Unsat);
+  EXPECT_NEAR(S.lookup("v1-0000000000000001")->Seconds, 3.0, 1e-9)
+      << "the WINNING record's payload, not the superseded one's";
+  ASSERT_NE(S.lookup("v1-0000000000000002"), nullptr);
+  EXPECT_EQ(S.lookup("v1-0000000000000002")->Status, SmtStatus::Unsat);
+}
+
+TEST(StoreCompact, MissingFileIsAnError) {
+  std::string Err;
+  EXPECT_FALSE(ProofStore::compact(storePath("nosuch"), Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Stale engine versions rotate aside; divergence is surfaced
+//===----------------------------------------------------------------------===//
+
+TEST(StoreSchema, StaleEngineIsRotatedAndRebuilt) {
+  std::string Path = storePath("stale");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << "DRYADSTORE v1 engine=999\n";
+    Out << ProofStore::encodeRecord(
+        mkRecord("v1-0000000000000001", SmtStatus::Unsat));
+  }
+  StoreFsck Pre = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(Pre.HeaderOk);
+  EXPECT_FALSE(Pre.EngineMatch);
+  EXPECT_EQ(Pre.HeaderEngine, "999");
+
+  ProofStore S;
+  std::string Err;
+  ASSERT_TRUE(S.open(Path, Err)) << Err;
+  EXPECT_EQ(S.size(), 0u)
+      << "another engine's verdicts must never be reused under this one";
+  StoreFsck Post = ProofStore::verifySegment(Path);
+  EXPECT_TRUE(Post.EngineMatch) << "rebuilt with our header";
+  EXPECT_FALSE(slurp(Path + ".stale").empty())
+      << "the stale segment is kept aside for forensics, not destroyed";
+}
+
+TEST(StoreSchema, FsckFlagsSatUnsatDivergence) {
+  std::string Path = storePath("diverge");
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << ProofStore::headerLine();
+    Out << ProofStore::encodeRecord(
+        mkRecord("v1-0000000000000001", SmtStatus::Unsat));
+    Out << ProofStore::encodeRecord(
+        mkRecord("v1-0000000000000001", SmtStatus::Sat));
+    Out << ProofStore::encodeRecord(
+        mkRecord("v1-0000000000000002", SmtStatus::Unknown));
+    Out << ProofStore::encodeRecord(
+        mkRecord("v1-0000000000000002", SmtStatus::Unsat));
+  }
+  StoreFsck F = ProofStore::verifySegment(Path);
+  ASSERT_EQ(F.DivergentKeys.size(), 1u)
+      << "a proof and a refutation of one key is the alarm; "
+         "unknown->unsat is a normal retry upgrade";
+  EXPECT_EQ(F.DivergentKeys[0], "v1-0000000000000001");
+  EXPECT_FALSE(F.clean());
+  EXPECT_NE(ProofStore::formatFsck(F).find("DIVERGENT"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier integration: hits, misses, vacuity soundness
+//===----------------------------------------------------------------------===//
+
+namespace {
+const char *TwoProcs = R"(
+proc insert_front(x: loc, k: int) returns (ret: loc)
+  spec (K: intset)
+  requires list(x) && keys(x) == K
+  ensures  list(ret) && keys(ret) == union(K, {k})
+{
+  var u: loc;
+  u := new;
+  u.next := x;
+  u.key := k;
+  return u;
+}
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+
+/// keys(x) == K scopes only x's list under a two-structure heaplet, so the
+/// precondition is unsatisfiable: every proof of this proc is vacuous.
+const char *VacuousProc = R"(
+proc vac(x: loc, y: loc) returns (ret: loc)
+  spec (A: intset)
+  requires ((list(x) * list(y)) && keys(x) == A) && y != nil
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+
+std::vector<ProcResult> verifyStored(const char *Text, VerifyOptions Opts,
+                                     PoolStats *Stats = nullptr) {
+  auto M = parsePrelude(Text);
+  Verifier V(*M, Opts);
+  EXPECT_TRUE(V.storeError().empty()) << V.storeError();
+  DiagEngine D;
+  auto R = V.verifyAll(D);
+  if (Stats)
+    *Stats = V.poolStats();
+  return R;
+}
+} // namespace
+
+TEST(VerifierStore, SecondRunAnswersEverythingFromTheStore) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.StorePath = storePath("verifier");
+
+  PoolStats Cold;
+  auto First = verifyStored(TwoProcs, Opts, &Cold);
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_TRUE(First[0].Verified && First[1].Verified);
+  EXPECT_EQ(Cold.StoreHits, 0u);
+  EXPECT_GE(Cold.StoreMisses, 2u) << "every obligation missed the cold store";
+
+  PoolStats Warm;
+  auto Second = verifyStored(TwoProcs, Opts, &Warm);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  EXPECT_EQ(Warm.StoreMisses, 0u) << "an unchanged module re-solves nothing";
+  EXPECT_GE(Warm.StoreHits, 2u);
+  for (size_t I = 0; I != Second.size(); ++I) {
+    // 1e-6: the journal serializes seconds at microsecond precision, far
+    // finer than the report ever prints — byte-identity is intact.
+    EXPECT_NEAR(Second[I].Seconds, First[I].Seconds, 1e-6)
+        << Second[I].Proc
+        << ": store hits must replay the recorded solve time";
+    ASSERT_EQ(Second[I].Obligations.size(), First[I].Obligations.size());
+    for (size_t J = 0; J != Second[I].Obligations.size(); ++J) {
+      const ObligationResult &O = Second[I].Obligations[J];
+      EXPECT_TRUE(O.FromStore) << O.Name;
+      EXPECT_FALSE(O.FromJournal)
+          << O.Name << ": store hits must not print the --resume summary";
+      EXPECT_EQ(O.Attempts, First[I].Obligations[J].Attempts)
+          << O.Name << ": stdout byte-identity needs the recorded attempts";
+      EXPECT_EQ(O.Status, SmtStatus::Unsat);
+    }
+  }
+}
+
+TEST(VerifierStore, EditDirtiesOnlyTheEditedProcedure) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.CheckVacuity = false;
+  Opts.StorePath = storePath("dirty");
+
+  auto First = verifyStored(TwoProcs, Opts);
+  ASSERT_EQ(First.size(), 2u);
+
+  // Weaken id's contract: its obligation keys change, insert_front's don't.
+  std::string Edited(TwoProcs);
+  size_t Pos = Edited.find("ensures  list(ret)\n{\n  return x;");
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, std::strlen("ensures  list(ret)"),
+                 "ensures  list(ret) && keys(ret) == keys(ret)");
+
+  PoolStats Incr;
+  auto Second = verifyStored(Edited.c_str(), Opts, &Incr);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified);
+  EXPECT_GE(Incr.StoreHits, 1u) << "the untouched procedure stays cached";
+  EXPECT_GE(Incr.StoreMisses, 1u) << "the edited procedure re-solves";
+  for (const ObligationResult &O : Second[0].Obligations)
+    EXPECT_TRUE(O.FromStore) << O.Name << ": untouched proc must be all hits";
+  for (const ObligationResult &O : Second[1].Obligations)
+    EXPECT_FALSE(O.FromStore) << O.Name << ": edited proc must re-solve";
+}
+
+TEST(VerifierStore, StoredVacuityRefutationReplays) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.VacuityTimeoutMs = 30000;
+  Opts.StorePath = storePath("vacuous");
+
+  auto First = verifyStored(VacuousProc, Opts);
+  ASSERT_EQ(First.size(), 1u);
+  EXPECT_FALSE(First[0].Verified) << "the vacuous contract must fail the run";
+
+  PoolStats Warm;
+  auto Second = verifyStored(VacuousProc, Opts, &Warm);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_FALSE(Second[0].Verified)
+      << "SOUNDNESS: a store hit must never flip a vacuous contract to "
+         "verified";
+  EXPECT_EQ(Warm.StoreMisses, 0u)
+      << "both the proof and its refutation replay from the store";
+}
+
+TEST(VerifierStore, MissingVacuityRecordForcesReprobe) {
+  // Strip the :vacuity records from a populated store: a run killed between
+  // recording the proof and probing it. The next run must re-probe, not
+  // trust the bare proof.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.VacuityTimeoutMs = 30000;
+  Opts.StorePath = storePath("novac");
+
+  auto First = verifyStored(VacuousProc, Opts);
+  ASSERT_EQ(First.size(), 1u);
+  EXPECT_FALSE(First[0].Verified);
+
+  std::string Bytes = slurp(Opts.StorePath), Kept;
+  size_t Start = 0;
+  while (Start < Bytes.size()) {
+    size_t Eol = Bytes.find('\n', Start);
+    if (Eol == std::string::npos)
+      break;
+    std::string Line = Bytes.substr(Start, Eol + 1 - Start);
+    if (Line.find(":vacuity") == std::string::npos)
+      Kept += Line;
+    Start = Eol + 1;
+  }
+  ASSERT_LT(Kept.size(), Bytes.size()) << "there was a probe record to strip";
+  {
+    std::ofstream Out(Opts.StorePath, std::ios::trunc | std::ios::binary);
+    Out << Kept;
+  }
+
+  PoolStats Stats;
+  auto Second = verifyStored(VacuousProc, Opts, &Stats);
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_FALSE(Second[0].Verified)
+      << "SOUNDNESS: a proof without its probe verdict must be re-probed";
+  EXPECT_GE(Stats.StoreMisses, 1u) << "the re-probe is a miss";
+}
+
+//===----------------------------------------------------------------------===//
+// Exit taxonomy: infrastructure trouble must never read as a disproof
+//===----------------------------------------------------------------------===//
+
+namespace {
+ProcResult procWith(ObligationResult O, bool Verified = false) {
+  ProcResult R;
+  R.Proc = "p";
+  R.Verified = Verified;
+  R.Obligations.push_back(std::move(O));
+  return R;
+}
+} // namespace
+
+TEST(ExitTaxonomy, ClassifyResultsSplitsGenuineFromInfra) {
+  // Counterexample: genuine.
+  {
+    ObligationResult O;
+    O.Name = "p [path 1]";
+    O.Status = SmtStatus::Sat;
+    bool All = true, Genuine = false;
+    classifyResults({procWith(O)}, All, Genuine);
+    EXPECT_FALSE(All);
+    EXPECT_TRUE(Genuine);
+  }
+  // Timeout: infra.
+  {
+    ObligationResult O;
+    O.Name = "p [path 1]";
+    O.Status = SmtStatus::Unknown;
+    O.Failure = FailureKind::Timeout;
+    bool All = true, Genuine = false;
+    classifyResults({procWith(O)}, All, Genuine);
+    EXPECT_FALSE(All);
+    EXPECT_FALSE(Genuine) << "a timeout is exit 3, never exit 1";
+  }
+  // Solver honestly unknown: genuine (unproved is unproved).
+  {
+    ObligationResult O;
+    O.Name = "p [path 1]";
+    O.Status = SmtStatus::Unknown;
+    O.Failure = FailureKind::SolverUnknown;
+    bool All = true, Genuine = false;
+    classifyResults({procWith(O)}, All, Genuine);
+    EXPECT_TRUE(Genuine);
+  }
+  // Vacuous contract: genuine (a spec bug).
+  {
+    ObligationResult O;
+    O.Name = "p [path 1] [vacuity]";
+    O.Status = SmtStatus::Unsat;
+    bool All = true, Genuine = false;
+    classifyResults({procWith(O)}, All, Genuine);
+    EXPECT_TRUE(Genuine);
+  }
+  // Advisory skipped probe alongside an infra failure: still infra.
+  {
+    ObligationResult Skip;
+    Skip.Name = "p [path 1] [vacuity skipped]";
+    Skip.Status = SmtStatus::Unknown;
+    Skip.Failure = FailureKind::Timeout;
+    ObligationResult Infra;
+    Infra.Name = "p [path 1]";
+    Infra.Status = SmtStatus::Unknown;
+    Infra.Failure = FailureKind::SolverCrash;
+    ProcResult R;
+    R.Proc = "p";
+    R.Verified = false;
+    R.Obligations = {Skip, Infra};
+    bool All = true, Genuine = false;
+    classifyResults({R}, All, Genuine);
+    EXPECT_FALSE(Genuine)
+        << "the advisory record must not color the exit code";
+  }
+  // All verified: nothing flips.
+  {
+    ObligationResult O;
+    O.Name = "p [path 1]";
+    O.Status = SmtStatus::Unsat;
+    bool All = true, Genuine = false;
+    classifyResults({procWith(O, /*Verified=*/true)}, All, Genuine);
+    EXPECT_TRUE(All);
+    EXPECT_FALSE(Genuine);
+  }
+}
+
+TEST(ExitTaxonomy, QuarantinedStoreStillVerifiesCleanly) {
+  // A corrupt store must cost a re-solve, never a failed run: quarantine is
+  // counted, the verdict is still exit-0 verified.
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.StorePath = storePath("quarantine-taxonomy");
+
+  auto First = verifyStored(TwoProcs, Opts);
+  ASSERT_EQ(First.size(), 2u);
+
+  std::string Bytes = slurp(Opts.StorePath);
+  size_t Pos = Bytes.rfind("unsat");
+  ASSERT_NE(Pos, std::string::npos);
+  Bytes[Pos] = 'X';
+  {
+    std::ofstream Out(Opts.StorePath, std::ios::trunc | std::ios::binary);
+    Out << Bytes;
+  }
+
+  PoolStats Stats;
+  auto Second = verifyStored(TwoProcs, Opts, &Stats);
+  ASSERT_EQ(Second.size(), 2u);
+  EXPECT_TRUE(Second[0].Verified && Second[1].Verified)
+      << "corruption re-solves; it must never fail the run";
+  EXPECT_EQ(Stats.StoreQuarantined, 1u);
+  EXPECT_GE(Stats.StoreMisses, 1u) << "the quarantined obligation re-solved";
+  bool All = true, Genuine = false;
+  classifyResults(Second, All, Genuine);
+  EXPECT_TRUE(All) << "exit 0, not 1: quarantine is not a disproof";
+}
