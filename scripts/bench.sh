@@ -36,6 +36,18 @@ BASE_FLAGS="--timeout $TIMEOUT_MS --attempts 1 --no-degrade"
 
 [ -x "$DRYADV" ] || { echo "build dryadv first: cmake --build build" >&2; exit 1; }
 
+# Backend provenance, stamped into every BENCH json: solver numbers are
+# meaningless without knowing which solver (and which build of it)
+# produced them. Probes z3 plus cvc5 so the record also says what this
+# host could NOT run.
+BACKENDS_PROV=$("$DRYADV" --list-backends --backends z3,cvc5 | awk -F'\t' '{
+  printf "%s{\"name\": \"%s\", \"available\": %s, \"version\": \"%s\"}", \
+         (NR > 1 ? ", " : ""), $1, ($2 == "available" ? "true" : "false"), \
+         ($2 == "available" ? $3 : "")
+}')
+CVC5_OK=$("$DRYADV" --list-backends --backends z3,cvc5 |
+  awk -F'\t' '$1 == "cvc5" { print ($2 == "available" ? 1 : 0) }')
+
 # One suite run; prints "<wall-seconds> <obligations>". Extra flags (e.g.
 # --isolate --cold) go after the jobs count; stderr (the workers line) is
 # appended to $ERRFILE when set.
@@ -94,6 +106,7 @@ cat > "$OUT" <<EOF
 {
   "bench": "parallel proof scheduler (--jobs)",
   "git_rev": "$GIT_REV",
+  "backends": [$BACKENDS_PROV],
   "flags": "$BASE_FLAGS --verbose",
   "host_parallelism": $JOBS_N,
   "timeout_ms": $TIMEOUT_MS,
@@ -174,6 +187,7 @@ cat > "$WARM_OUT" <<EOF
 {
   "bench": "warm solver workers (--warm-workers vs --cold)",
   "git_rev": "$GIT_REV",
+  "backends": [$BACKENDS_PROV],
   "flags": "$BASE_FLAGS --verbose --isolate",
   "host_parallelism": $JOBS_N,
   "timeout_ms": $TIMEOUT_MS,
@@ -226,11 +240,12 @@ echo "== shard bench: --shards 2 with one injected shard crash ==" >&2
 wall_crash=$(run_shards 2 --inject crash@1)
 
 awk -v w1="$wall_s1" -v w2="$wall_s2" -v wn="$wall_sn" -v wc="$wall_crash" \
-    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" -v rev="$GIT_REV" \
+    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" -v rev="$GIT_REV" -v prov="$BACKENDS_PROV" \
     -v flags="$BASE_FLAGS --journal <tmp>" 'BEGIN {
   printf "{\n"
   printf "  \"bench\": \"sharded supervisor (--shards)\",\n"
   printf "  \"git_rev\": \"%s\",\n", rev
+  printf "  \"backends\": [%s],\n", prov
   printf "  \"flags\": \"%s\",\n", flags
   printf "  \"suite\": \"fig6\",\n"
   printf "  \"host_parallelism\": %d,\n", jn
@@ -295,11 +310,12 @@ rm -f "$STORE_SEG" "$STORE_SEG".stale
 
 awk -v wc="$wall_cold" -v hc="$hits_cold" -v mc="$misses_cold" \
     -v ww="$wall_warm" -v hw="$hits_warm" -v mw="$misses_warm" \
-    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" -v rev="$GIT_REV" \
+    -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" -v rev="$GIT_REV" -v prov="$BACKENDS_PROV" \
     -v flags="--timeout $TIMEOUT_MS --attempts 1 --no-degrade --no-vacuity --store <tmp>" 'BEGIN {
   printf "{\n"
   printf "  \"bench\": \"persistent proof store (--store)\",\n"
   printf "  \"git_rev\": \"%s\",\n", rev
+  printf "  \"backends\": [%s],\n", prov
   printf "  \"flags\": \"%s\",\n", flags
   printf "  \"suite\": \"fig6\",\n"
   printf "  \"host_parallelism\": %d,\n", jn
@@ -314,3 +330,66 @@ awk -v wc="$wall_cold" -v hc="$hits_cold" -v mc="$misses_cold" \
 }' > "$STORE_OUT"
 echo "wrote $STORE_OUT" >&2
 cat "$STORE_OUT"
+
+# ---------------------------------------------------------------------------
+# Backend portfolio bench: fig6 single-backend (the in-process z3 API) vs
+# the cross-solver portfolio (--backends z3,cvc5 --portfolio), with the
+# per-rung win counts parsed from the measured "backends:" stderr tail.
+# HONESTY RULES: on a host without cvc5 the portfolio run degenerates to a
+# z3-only rung race; the JSON says so (cvc5.available=false, wins absent)
+# instead of inventing a cross-solver number. Writes BENCH_backend.json.
+# ---------------------------------------------------------------------------
+BACKEND_OUT=BENCH_backend.json
+BACKEND_FILES=(bench/suite/fig6/*.dryad)
+
+# Win count for one backend name out of the stderr tail
+# ("... backends: z3 served=12 crashes=0 wins=9; cvc5 ..."). A degraded
+# plain-z3 fleet prints no tail at all, so zero matches means zero wins,
+# not a failure (grep's exit 1 would otherwise trip pipefail).
+wins_for() { # <file> <name>
+  { grep -o "$2 served=[0-9]* crashes=[0-9]* wins=[0-9]*" "$1" || true; } |
+    sed 's/.*wins=//' | awk '{ s += $1 } END { print s + 0 }'
+}
+
+ERRFILE=$(mktemp)
+echo "== backend bench: single backend (z3), --jobs $JOBS_N ==" >&2
+read -r wall_single _ < <(run_suite "$JOBS_N" -- "${BACKEND_FILES[@]}")
+rm -f "$ERRFILE"
+
+ERRFILE=$(mktemp)
+echo "== backend bench: --backends z3,cvc5 portfolio, --jobs $JOBS_N ==" >&2
+read -r wall_port _ < <(run_suite "$JOBS_N" --backends z3,cvc5 --portfolio \
+    -- "${BACKEND_FILES[@]}")
+wins_z3=$(wins_for "$ERRFILE" "z3")
+wins_cvc5=$(wins_for "$ERRFILE" "cvc5")
+rm -f "$ERRFILE"
+
+awk -v ws="$wall_single" -v wp="$wall_port" -v wz="$wins_z3" \
+    -v wc="$wins_cvc5" -v ok="$CVC5_OK" -v jn="$JOBS_N" -v tmo="$TIMEOUT_MS" \
+    -v rev="$GIT_REV" -v prov="$BACKENDS_PROV" \
+    -v flags="$BASE_FLAGS --verbose --backends z3,cvc5 --portfolio" 'BEGIN {
+  printf "{\n"
+  printf "  \"bench\": \"solver backends (--backends portfolio)\",\n"
+  printf "  \"git_rev\": \"%s\",\n", rev
+  printf "  \"backends\": [%s],\n", prov
+  printf "  \"flags\": \"%s\",\n", flags
+  printf "  \"suite\": \"fig6\",\n"
+  printf "  \"host_parallelism\": %d,\n", jn
+  printf "  \"timeout_ms\": %d,\n", tmo
+  printf "  \"single\": {\"backend\": \"z3\", \"jobs\": %d, \"wall_s\": %.2f},\n", \
+         jn, ws
+  if (ok == 1) {
+    printf "  \"portfolio\": {\"backends\": \"z3,cvc5\", \"jobs\": %d, \"wall_s\": %.2f,\n", \
+           jn, wp
+    printf "    \"wins\": {\"z3\": %d, \"cvc5\": %d},\n", wz, wc
+    printf "    \"win_rate_cvc5\": %.3f},\n", (wz + wc > 0 ? wc / (wz + wc) : 0)
+  } else {
+    printf "  \"portfolio\": {\"backends\": \"z3,cvc5\", \"jobs\": %d, \"wall_s\": %.2f,\n", \
+           jn, wp
+    printf "    \"note\": \"cvc5 unavailable on this host: the portfolio degenerated to a z3-only rung race, per-backend wins unmeasurable\"},\n"
+  }
+  printf "  \"portfolio_overhead_x\": %.2f\n", (ws > 0 ? wp / ws : 0)
+  printf "}\n"
+}' > "$BACKEND_OUT"
+echo "wrote $BACKEND_OUT" >&2
+cat "$BACKEND_OUT"

@@ -326,4 +326,92 @@ if ! diff <(verdicts /tmp/dryadv-serve-cold.out) <(verdicts /tmp/dryadv-fallback
   exit 1
 fi
 
+echo "== smoke: a missing backend degrades with a warning, never an error =="
+# --backends z3,cvc5 on a host without cvc5 must warn once, drop the rung,
+# and verify exactly like the z3-only baseline with an unchanged exit code.
+# On a host that does have cvc5 this runs the real cross-solver portfolio,
+# which must also match the baseline (first conclusive answer wins; both
+# solvers agree on this suite).
+rc=0
+"$DRYADV" --backends z3,cvc5 --timeout 30000 "$SLL" \
+    > /tmp/dryadv-degrade.out 2> /tmp/dryadv-degrade.err || rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "expected exit 0 from --backends z3,cvc5 regardless of cvc5, got $rc" >&2
+  cat /tmp/dryadv-degrade.err >&2
+  exit 1
+fi
+if ! command -v cvc5 > /dev/null; then
+  grep -q "backend 'cvc5' unavailable" /tmp/dryadv-degrade.err || {
+    echo "expected a warning naming the dropped cvc5 backend" >&2
+    cat /tmp/dryadv-degrade.err >&2
+    exit 1
+  }
+fi
+if ! diff <(verdicts /tmp/dryadv-sll.out) <(verdicts /tmp/dryadv-degrade.out); then
+  echo "verdicts diverge between the z3 baseline and --backends z3,cvc5" >&2
+  exit 1
+fi
+"$DRYADV" --list-backends | grep -q "^z3" || {
+  echo "expected --list-backends to report the in-process z3 backend" >&2
+  exit 1
+}
+
+echo "== smoke: cross-backend portfolio agrees with the z3 baseline =="
+# A fake pipe backend that answers unsat to everything races z3 as a
+# cross-check; verdicts must match the baseline (both agree on this file)
+# and the stats line must grow the per-backend tail.
+FAKE=/tmp/dryadv-fakesolver
+cat > "$FAKE" <<'EOF'
+#!/bin/sh
+cat >/dev/null
+echo unsat
+EOF
+chmod +x "$FAKE"
+"$DRYADV" --backends z3,fake:"$FAKE" --jobs 4 --timeout 30000 "$SLL" \
+    > /tmp/dryadv-fake.out 2> /tmp/dryadv-fake.err || {
+  echo "the z3+fake portfolio run failed" >&2
+  cat /tmp/dryadv-fake.err >&2
+  exit 1
+}
+if ! diff <(verdicts /tmp/dryadv-sll.out) <(verdicts /tmp/dryadv-fake.out); then
+  echo "verdicts diverge between the z3 baseline and the z3+fake portfolio" >&2
+  exit 1
+fi
+grep -q "backends: fake served=" /tmp/dryadv-fake.err || {
+  echo "expected the workers stats line to grow a per-backend tail" >&2
+  cat /tmp/dryadv-fake.err >&2
+  exit 1
+}
+
+echo "== smoke: a forced cross-backend disagreement exits 3, never silent =="
+# diverge@1 flips each worker's first in-worker verdict, so z3 and the fake
+# contradict each other on identical formulas. The run must report both
+# answers, write the divergence dump, and exit 3 (infrastructure) — a
+# solver contradiction is never a trustworthy verdict, in either direction.
+rc=0
+rm -f /tmp/dryadv-divdump/dryadv-divergence.log
+mkdir -p /tmp/dryadv-divdump
+"$DRYADV" --backends z3,fake:"$FAKE" --jobs 4 --no-vacuity \
+    --inject diverge@1 --dump-smt2 /tmp/dryadv-divdump --timeout 30000 \
+    "$SLL" > /tmp/dryadv-div.out 2> /tmp/dryadv-div.err || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "expected exit 3 on a cross-backend divergence, got $rc" >&2
+  cat /tmp/dryadv-div.err >&2
+  exit 1
+fi
+grep -q "backend divergence" /tmp/dryadv-div.err || {
+  echo "expected stderr to report the divergence" >&2
+  cat /tmp/dryadv-div.err >&2
+  exit 1
+}
+grep -Eq "answered (sat|unsat), .* answered (sat|unsat)" /tmp/dryadv-div.err || {
+  echo "expected both backends' answers in the divergence report" >&2
+  cat /tmp/dryadv-div.err >&2
+  exit 1
+}
+[ -s /tmp/dryadv-divdump/dryadv-divergence.log ] || {
+  echo "expected a non-empty divergence dump next to the smt2 dumps" >&2
+  exit 1
+}
+
 echo "check.sh: all gates passed"

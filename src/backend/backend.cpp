@@ -1,0 +1,495 @@
+//===--- backend.cpp - Pluggable solver backends ----------------------------===//
+
+#include "backend/backend.h"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <new>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <z3++.h>
+
+using namespace dryad;
+
+//===----------------------------------------------------------------------===//
+// BackendSpec parsing
+//===----------------------------------------------------------------------===//
+
+static bool validBackendName(const std::string &Name) {
+  if (Name.empty())
+    return false;
+  for (char C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)) && C != '-' && C != '_' &&
+        C != '.')
+      return false;
+  return true;
+}
+
+bool BackendSpec::parse(const std::string &Text, BackendSpec &Out,
+                        std::string &Err) {
+  size_t Colon = Text.find(':');
+  Out.Name = Text.substr(0, Colon);
+  Out.Path = Colon == std::string::npos ? "" : Text.substr(Colon + 1);
+  if (!validBackendName(Out.Name)) {
+    Err = "bad backend name '" + Out.Name +
+          "' (expected NAME[:PATH], NAME from [A-Za-z0-9._-])";
+    return false;
+  }
+  if (Colon != std::string::npos && Out.Path.empty()) {
+    Err = "backend '" + Out.Name + ":' has an empty path";
+    return false;
+  }
+  return true;
+}
+
+bool BackendSpec::parseList(const std::string &Text,
+                            std::vector<BackendSpec> &Out, std::string &Err) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Comma = Text.find(',', Pos);
+    std::string Item = Text.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    BackendSpec S;
+    if (!parse(Item, S, Err))
+      return false;
+    for (const BackendSpec &Prev : Out)
+      if (Prev.Name == S.Name) {
+        Err = "duplicate backend name '" + S.Name +
+              "' (names identify cache entries and portfolio rungs)";
+        return false;
+      }
+    Out.push_back(std::move(S));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  if (Out.empty()) {
+    Err = "empty backend list";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Z3ApiBackend: the historical in-process path, verbatim
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Z3ApiBackend final : public Backend {
+  BackendSpec Spec;
+
+public:
+  explicit Z3ApiBackend(BackendSpec S) : Spec(std::move(S)) {}
+  const BackendSpec &spec() const override { return Spec; }
+  BackendCaps caps() const override { return {true, true}; }
+  SmtResult solve(const SandboxRequest &Req) override;
+};
+
+SmtResult Z3ApiBackend::solve(const SandboxRequest &Req) {
+  SmtResult R;
+  try {
+    z3::context Ctx;
+    z3::solver Solver(Ctx);
+    Solver.from_string(Req.Smt2.c_str());
+    z3::params P(Ctx);
+    P.set("timeout", Req.TimeoutMs == 0 ? 4294967295u : Req.TimeoutMs);
+    if (Req.HasSeed)
+      P.set("random_seed", Req.Seed);
+    Solver.set(P);
+    z3::check_result CR = Solver.check();
+    if (CR == z3::unsat) {
+      R.Status = SmtStatus::Unsat;
+    } else if (CR == z3::sat) {
+      R.Status = SmtStatus::Sat;
+      z3::model Mdl = Solver.get_model();
+      std::string Text;
+      for (unsigned J = 0; J != Mdl.num_consts(); ++J) {
+        z3::func_decl D = Mdl.get_const_decl(J);
+        std::string Name = D.name().str();
+        // Same counterexample filter as the in-process path: scalar
+        // program/spec constants only, no field arrays or quantifier
+        // witnesses.
+        if (Name.rfind("fld.", 0) == 0 || Name.rfind("qa!", 0) == 0 ||
+            Name.rfind("qb!", 0) == 0 || Name.rfind("qs!", 0) == 0 ||
+            Name.rfind("mi!", 0) == 0)
+          continue;
+        z3::expr Val = Mdl.get_const_interp(D);
+        if (!Val.is_numeral() && !Val.is_bool())
+          continue;
+        Text += Name + " = " + Val.to_string() + "; ";
+      }
+      R.ModelText = Text;
+    } else {
+      R.Status = SmtStatus::Unknown;
+      R.Detail = Solver.reason_unknown();
+      R.ModelText = R.Detail;
+      R.Failure = classifyUnknownReason(R.Detail);
+    }
+  } catch (const z3::exception &E) {
+    R.Status = SmtStatus::Unknown;
+    R.Detail = E.msg();
+    R.ModelText = R.Detail;
+    R.Failure = classifyUnknownReason(R.Detail);
+    if (R.Failure == FailureKind::ResourceOut)
+      _exit(WorkerExitOom); // don't trust allocation for the payload
+  } catch (const std::bad_alloc &) {
+    _exit(WorkerExitOom);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// PipeBackend: exec an external SMT-LIB2 solver
+//===----------------------------------------------------------------------===//
+
+/// Argument vector for one solve. Known solvers get their native timeout
+/// and seed flags (so a healthy solver reports its own `unknown` before the
+/// parent's wall-clock SIGKILL lands); anything else is a bare exec of a
+/// benchmark-on-stdin solver.
+std::vector<std::string> solverArgv(const BackendSpec &Spec,
+                                    const SandboxRequest &Req) {
+  std::string Bin = Spec.Path.empty() ? Spec.Name : Spec.Path;
+  std::vector<std::string> Argv;
+  if (Spec.Name == "cvc5" || Spec.Name == "cvc4") {
+    Argv = {Bin, "--lang", "smt2", "--force-logic=ALL", "-q"};
+    if (Req.TimeoutMs != 0)
+      Argv.push_back("--tlimit=" + std::to_string(Req.TimeoutMs));
+    if (Req.HasSeed)
+      Argv.push_back("--seed=" + std::to_string(Req.Seed));
+  } else if (Spec.Name == "z3" || Spec.Name.rfind("z3-", 0) == 0) {
+    // A second z3 *binary* (e.g. a different release pinned via PATH).
+    Argv = {Bin, "-in", "-smt2"};
+    if (Req.TimeoutMs != 0)
+      Argv.push_back("-T:" + std::to_string((Req.TimeoutMs + 999) / 1000));
+    if (Req.HasSeed) {
+      Argv.push_back("sat.random_seed=" + std::to_string(Req.Seed));
+      Argv.push_back("smt.random_seed=" + std::to_string(Req.Seed));
+    }
+  } else {
+    Argv = {Bin};
+  }
+  return Argv;
+}
+
+class PipeBackend final : public Backend {
+  BackendSpec Spec;
+
+public:
+  explicit PipeBackend(BackendSpec S) : Spec(std::move(S)) {}
+  const BackendSpec &spec() const override { return Spec; }
+  BackendCaps caps() const override { return {false, false}; }
+  SmtResult solve(const SandboxRequest &Req) override;
+};
+
+SmtResult crashResult(const std::string &Detail) {
+  SmtResult R;
+  R.Status = SmtStatus::Unknown;
+  R.Failure = FailureKind::SolverCrash;
+  R.Detail = Detail;
+  R.ModelText = Detail;
+  return R;
+}
+
+/// First whitespace-trimmed line of \p Text, bounded for failure reports.
+std::string firstLine(const std::string &Text) {
+  size_t B = Text.find_first_not_of(" \t\r\n");
+  if (B == std::string::npos)
+    return "";
+  size_t E = Text.find('\n', B);
+  std::string Line = Text.substr(B, E == std::string::npos ? E : E - B);
+  while (!Line.empty() && (Line.back() == '\r' || Line.back() == ' '))
+    Line.pop_back();
+  if (Line.size() > 200)
+    Line.resize(200);
+  return Line;
+}
+
+SmtResult PipeBackend::solve(const SandboxRequest &Req) {
+  int In[2], Out[2];
+  if (pipe(In) != 0)
+    return crashResult(std::string("backend '") + Spec.str() +
+                       "' pipe: " + std::strerror(errno));
+  if (pipe(Out) != 0) {
+    close(In[0]);
+    close(In[1]);
+    return crashResult(std::string("backend '") + Spec.str() +
+                       "' pipe: " + std::strerror(errno));
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(In[0]);
+    close(In[1]);
+    close(Out[0]);
+    close(Out[1]);
+    return crashResult(std::string("backend '") + Spec.str() +
+                       "' fork: " + std::strerror(errno));
+  }
+  if (Pid == 0) {
+    // The external solver, a grandchild of the scheduler. Tied to this
+    // worker's life: a portfolio-loser or deadline SIGKILL of the worker
+    // must never leak a still-running solver.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() == 1)
+      _exit(127); // the worker died before the prctl took
+    dup2(In[0], 0);
+    dup2(Out[1], 1);
+    dup2(Out[1], 2); // merged: diagnostics land in the failure detail
+    close(In[0]);
+    close(In[1]);
+    close(Out[0]);
+    close(Out[1]);
+    std::vector<std::string> Args = solverArgv(Spec, Req);
+    std::vector<char *> Argv;
+    for (std::string &A : Args)
+      Argv.push_back(const_cast<char *>(A.c_str()));
+    Argv.push_back(nullptr);
+    execvp(Argv[0], Argv.data());
+    _exit(127);
+  }
+  close(In[0]);
+  close(Out[1]);
+
+  // Feed the benchmark, then close stdin so the solver sees EOF. The solver
+  // may exit before reading everything (a parse error on line one): the
+  // write then takes EPIPE, which is fine — the verdict scan below decides.
+  // SIGPIPE is ignored around the write only; the worker's own response
+  // writes keep their die-on-orphaned-pipe default.
+  {
+    struct sigaction Ign, Old;
+    std::memset(&Ign, 0, sizeof(Ign));
+    Ign.sa_handler = SIG_IGN;
+    sigemptyset(&Ign.sa_mask);
+    sigaction(SIGPIPE, &Ign, &Old);
+    size_t Off = 0;
+    std::string Query = Req.Smt2;
+    if (Query.empty() || Query.back() != '\n')
+      Query += '\n';
+    // toSmt2() benchmarks already end in (check-sat); only bare assertion
+    // scripts need one appended, and never a second (a duplicate would make
+    // the solver check twice).
+    if (Query.find("(check-sat)") == std::string::npos)
+      Query += "(check-sat)\n";
+    while (Off < Query.size()) {
+      ssize_t N = write(In[1], Query.data() + Off, Query.size() - Off);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        break;
+      }
+      Off += static_cast<size_t>(N);
+    }
+    sigaction(SIGPIPE, &Old, nullptr);
+  }
+  close(In[1]);
+
+  std::string Output;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = read(Out[0], Buf, sizeof(Buf));
+    if (N > 0) {
+      Output.append(Buf, static_cast<size_t>(N));
+    } else if (N == 0) {
+      break;
+    } else if (errno != EINTR) {
+      break;
+    }
+  }
+  close(Out[0]);
+  int WStatus = 0;
+  while (waitpid(Pid, &WStatus, 0) < 0 && errno == EINTR)
+    ;
+
+  // Scan for the verdict: the first line that is exactly sat/unsat/unknown.
+  // Later lines are ignored — some solvers echo diagnostics after it.
+  SmtResult R;
+  size_t Pos = 0;
+  std::string Verdict;
+  while (Pos < Output.size()) {
+    size_t Nl = Output.find('\n', Pos);
+    std::string Line =
+        Output.substr(Pos, Nl == std::string::npos ? Nl : Nl - Pos);
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    if (Line == "sat" || Line == "unsat" || Line == "unknown") {
+      Verdict = Line;
+      break;
+    }
+    if (Nl == std::string::npos)
+      break;
+    Pos = Nl + 1;
+  }
+
+  if (Verdict == "unsat") {
+    R.Status = SmtStatus::Unsat;
+  } else if (Verdict == "sat") {
+    R.Status = SmtStatus::Sat;
+    // Pipe backends answer the decision problem only; counterexample
+    // values stay a Z3-API capability.
+    R.ModelText =
+        "counterexample values unavailable over the '" + Spec.Name +
+        "' pipe backend";
+  } else if (Verdict == "unknown") {
+    R.Status = SmtStatus::Unknown;
+    R.Detail = firstLine(Output.substr(0, Output.find("unknown")));
+    if (R.Detail.empty())
+      R.Detail = firstLine(Output.substr(Output.find("unknown") + 7));
+    if (R.Detail.empty())
+      R.Detail = "backend '" + Spec.Name + "' answered unknown";
+    // In-solver timeouts surface here ("cvc5 interrupted by timeout"),
+    // keeping the richer classification the wall-clock kill would lose.
+    R.Failure = classifyUnknownReason(R.Detail.empty() ? Output : R.Detail);
+    R.ModelText = R.Detail;
+  } else {
+    std::string Why = firstLine(Output);
+    R = crashResult("backend '" + Spec.str() + "' produced no verdict (" +
+                    (WIFEXITED(WStatus)
+                         ? "exit " + std::to_string(WEXITSTATUS(WStatus))
+                         : WIFSIGNALED(WStatus)
+                               ? "signal " + std::to_string(WTERMSIG(WStatus))
+                               : "unknown fate") +
+                    (Why.empty() ? "" : "; said: " + Why) + ")");
+  }
+  return R;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Construction and the worker-child entry point
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Backend> dryad::makeBackend(const BackendSpec &Spec) {
+  if (Spec.isZ3Api())
+    return std::make_unique<Z3ApiBackend>(Spec);
+  return std::make_unique<PipeBackend>(Spec);
+}
+
+SmtResult dryad::solveWithBackend(const std::string &Spec,
+                                  const SandboxRequest &Req) {
+  BackendSpec S;
+  std::string Err;
+  if (Spec.empty()) {
+    S.Name = "z3";
+  } else if (!BackendSpec::parse(Spec, S, Err)) {
+    return crashResult("unparseable backend spec in request frame: " + Err);
+  }
+  return makeBackend(S)->solve(Req);
+}
+
+//===----------------------------------------------------------------------===//
+// Version probe
+//===----------------------------------------------------------------------===//
+
+ProbedBackend dryad::probeBackend(const BackendSpec &Spec) {
+  ProbedBackend P;
+  P.Spec = Spec;
+  if (Spec.isZ3Api()) {
+    unsigned Major = 0, Minor = 0, Build = 0, Rev = 0;
+    Z3_get_version(&Major, &Minor, &Build, &Rev);
+    P.Available = true;
+    P.Version = "Z3 " + std::to_string(Major) + "." + std::to_string(Minor) +
+                "." + std::to_string(Build) + " (in-process API)";
+    return P;
+  }
+
+  std::string Bin = Spec.Path.empty() ? Spec.Name : Spec.Path;
+  int Fds[2];
+  if (pipe(Fds) != 0) {
+    P.Error = std::string("pipe: ") + std::strerror(errno);
+    return P;
+  }
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    close(Fds[0]);
+    close(Fds[1]);
+    P.Error = std::string("fork: ") + std::strerror(errno);
+    return P;
+  }
+  if (Pid == 0) {
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    int Null = open("/dev/null", O_RDONLY);
+    if (Null >= 0)
+      dup2(Null, 0);
+    dup2(Fds[1], 1);
+    dup2(Fds[1], 2);
+    close(Fds[0]);
+    close(Fds[1]);
+    execlp(Bin.c_str(), Bin.c_str(), "--version", (char *)nullptr);
+    _exit(127);
+  }
+  close(Fds[1]);
+
+  // Bounded read: a probe must never hang startup. 5 s is generous for
+  // printing a version string.
+  std::string Output;
+  char Buf[1024];
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool TimedOut = false;
+  for (;;) {
+    auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      Deadline - std::chrono::steady_clock::now())
+                      .count();
+    if (Remain <= 0) {
+      TimedOut = true;
+      break;
+    }
+    pollfd PF;
+    PF.fd = Fds[0];
+    PF.events = POLLIN;
+    PF.revents = 0;
+    int PR = poll(&PF, 1, static_cast<int>(Remain));
+    if (PR == 0) {
+      TimedOut = true;
+      break;
+    }
+    if (PR < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    ssize_t N = read(Fds[0], Buf, sizeof(Buf));
+    if (N > 0)
+      Output.append(Buf, static_cast<size_t>(N));
+    else if (N == 0 || errno != EINTR)
+      break;
+  }
+  close(Fds[0]);
+  if (TimedOut)
+    kill(Pid, SIGKILL);
+  int WStatus = 0;
+  while (waitpid(Pid, &WStatus, 0) < 0 && errno == EINTR)
+    ;
+
+  if (TimedOut) {
+    P.Error = "version probe timed out after 5 s";
+    return P;
+  }
+  if (!WIFEXITED(WStatus) || WEXITSTATUS(WStatus) != 0) {
+    if (WIFEXITED(WStatus) && WEXITSTATUS(WStatus) == 127)
+      P.Error = "'" + Bin + "' not found on $PATH";
+    else
+      P.Error = "version probe failed (" +
+                (WIFEXITED(WStatus)
+                     ? "exit " + std::to_string(WEXITSTATUS(WStatus))
+                     : "signal " + std::to_string(WIFSIGNALED(WStatus)
+                                                      ? WTERMSIG(WStatus)
+                                                      : 0)) +
+                ")";
+    return P;
+  }
+  P.Available = true;
+  P.Version = firstLine(Output);
+  if (P.Version.empty())
+    P.Version = "(no version string)";
+  return P;
+}

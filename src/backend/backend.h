@@ -1,0 +1,114 @@
+//===--- backend.h - Pluggable solver backends ------------------*- C++ -*-===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solver-backend layer: one obligation, expressed as neutral SMT-LIB2
+/// text, discharged by any of several interchangeable solvers.
+///
+/// A `Backend` answers exactly one request. Two implementations exist:
+///
+///  * `Z3ApiBackend` — the historical path: a fresh in-process z3::context
+///    fed through `solver::from_string`. Always available (the library is
+///    linked in) and the only backend that reports counterexample models.
+///  * `PipeBackend` — execs an external SMT-LIB2 solver (`cvc5`, a second
+///    `z3` binary, anything that reads a benchmark on stdin and prints
+///    sat/unsat/unknown), with per-solver argument templates for the
+///    binaries we know and a bare exec for the rest.
+///
+/// Backends run *inside* the sandboxed worker processes: the backend spec
+/// travels in the DRYQ1 request frame, the worker child constructs the
+/// backend on demand, and the existing deadline/rlimit/crash machinery
+/// (`classifyDeadWorker`) applies unchanged to both kinds. A PipeBackend's
+/// external solver is a grandchild wired with PR_SET_PDEATHSIG, so
+/// SIGKILLing the worker (portfolio loser, deadline) can never leak it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRYAD_BACKEND_BACKEND_H
+#define DRYAD_BACKEND_BACKEND_H
+
+#include "smt/sandbox.h"
+#include "smt/solver.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dryad {
+
+/// Reserved exit codes for sandboxed solver workers, shared between the
+/// worker mains in sandbox.cpp and the backends that run inside them.
+enum WorkerExitCode {
+  WorkerExitSetup = 96, ///< setrlimit failed; refusing to run unsandboxed
+  WorkerExitOom = 97,   ///< allocation failure — classified as ResourceOut
+  WorkerExitProto = 98, ///< response pipe write failed mid-frame
+};
+
+/// Parsed `NAME[:PATH]` backend designator. The name is the identity that
+/// flows into journal/store keys and per-backend stats; the optional path
+/// pins the binary (otherwise $PATH resolves the name).
+struct BackendSpec {
+  std::string Name;
+  std::string Path;
+
+  /// The default backend: the in-process Z3 API, no binary involved.
+  bool isZ3Api() const { return Name == "z3" && Path.empty(); }
+
+  /// Canonical `NAME[:PATH]` round-trip of this spec.
+  std::string str() const { return Path.empty() ? Name : Name + ":" + Path; }
+
+  /// Parses `NAME[:PATH]`. Names are restricted to [A-Za-z0-9._-] so they
+  /// can be embedded in store keys (which use '@' and ':' as separators).
+  static bool parse(const std::string &Text, BackendSpec &Out,
+                    std::string &Err);
+
+  /// Parses a comma-separated backend list; rejects duplicate names (two
+  /// backends sharing a name would share cache keys).
+  static bool parseList(const std::string &Text, std::vector<BackendSpec> &Out,
+                        std::string &Err);
+};
+
+struct BackendCaps {
+  bool Models = true;    ///< sat verdicts carry counterexample values
+  bool InProcess = true; ///< solves in the worker itself, no exec
+};
+
+/// One solver backend. solve() runs inside a sandboxed worker process and
+/// may _exit(WorkerExitOom) when allocation can no longer be trusted — the
+/// parent classifies that exit, never the backend itself.
+class Backend {
+public:
+  virtual ~Backend() = default;
+  virtual const BackendSpec &spec() const = 0;
+  virtual BackendCaps caps() const = 0;
+  virtual SmtResult solve(const SandboxRequest &Req) = 0;
+};
+
+/// Constructs the backend for \p Spec (never fails: unknown names get the
+/// generic pipe treatment; availability is the prober's problem).
+std::unique_ptr<Backend> makeBackend(const BackendSpec &Spec);
+
+/// Worker-child entry point: parse \p Spec (empty means the in-process Z3
+/// API), construct, solve. Malformed specs — impossible through the CLI,
+/// conceivable through a torn frame — answer SolverCrash rather than abort.
+SmtResult solveWithBackend(const std::string &Spec, const SandboxRequest &Req);
+
+/// Result of the startup availability/version probe for one backend.
+struct ProbedBackend {
+  BackendSpec Spec;
+  bool Available = false;
+  std::string Version; ///< first line of `binary --version` (or the library)
+  std::string Error;   ///< why the probe failed, for the degradation warning
+};
+
+/// Probes one backend: the in-process Z3 API reports the linked library
+/// version and is always available; pipe backends fork/exec
+/// `binary --version` (no shell) with a short deadline and require exit 0.
+ProbedBackend probeBackend(const BackendSpec &Spec);
+
+} // namespace dryad
+
+#endif // DRYAD_BACKEND_BACKEND_H

@@ -19,14 +19,48 @@ struct DispatchEngine::ObState {
   bool Finished = false;
 
   // Portfolio bookkeeping.
-  std::vector<TaskId> Racing; ///< pool ids of rungs still in flight
+  struct RacingRung {
+    TaskId Id = 0;
+    std::string Backend;
+    unsigned DegradeLevel = 0;
+  };
+  std::vector<RacingRung> Racing; ///< rungs still in flight
   unsigned RacersPending = 0;
   bool HaveRung0Failure = false;
   SmtResult Rung0Failure; ///< full-tactics rung's failure, preferred report
-  SmtResult LastFailure;  ///< fallback when rung 0 never completed
+  std::string Rung0Backend;
+  SmtResult LastFailure; ///< fallback when rung 0 never completed
   unsigned LastFailureLevel = 0;
+  std::string LastFailureBackend;
   unsigned RungsRun = 0;
 };
+
+namespace {
+/// The spec's primary backend; the historical in-process Z3 API when the
+/// caller configured none.
+BackendSpec primaryBackend(const ObligationSpec &Spec) {
+  return Spec.Backends.empty() ? BackendSpec{"z3", ""} : Spec.Backends.front();
+}
+
+/// The request-frame backend field: empty keeps the in-process default.
+std::string wireBackend(const BackendSpec &B) {
+  return B.isZ3Api() ? std::string() : B.str();
+}
+
+/// Maps a worker-realized fault kind onto what the worker should do.
+SandboxFault workerFault(FailureKind K) {
+  if (K == FailureKind::SolverCrash)
+    return SandboxFault::Crash;
+  if (K == FailureKind::Injected)
+    return SandboxFault::Diverge;
+  return SandboxFault::Oom;
+}
+
+const char *statusWord(SmtStatus S) {
+  return S == SmtStatus::Unsat ? "unsat" : S == SmtStatus::Sat ? "sat"
+                                                               : "unknown";
+}
+} // namespace
 
 void DispatchEngine::submit(ObligationSpec Spec, OnDone Done) {
   auto St = std::make_shared<ObState>();
@@ -67,8 +101,10 @@ void DispatchEngine::startAttempt(const StatePtr &St, unsigned Attempt) {
     return;
   }
 
+  const BackendSpec Primary = primaryBackend(Spec);
   AttemptInfo Info;
   Info.Index = Attempt;
+  Info.Backend = Primary.Name;
   // Degraded attempts run after the scheduled ones, each with the full
   // remaining deadline: the point is a smaller problem, not a longer wait.
   Info.DegradeLevel = Attempt <= St->Scheduled ? 0 : Attempt - St->Scheduled;
@@ -107,9 +143,9 @@ void DispatchEngine::startAttempt(const StatePtr &St, unsigned Attempt) {
     Req.MemLimitMb = Spec.Sandbox.MemLimitMb;
     Req.Seed = Info.Seed;
     Req.HasSeed = Spec.Policy.ReseedOnRetry && Attempt > 1;
+    Req.Backend = wireBackend(Primary);
     if (F)
-      Req.Fault = F->Kind == FailureKind::SolverCrash ? SandboxFault::Crash
-                                                      : SandboxFault::Oom;
+      Req.Fault = workerFault(F->Kind);
     auto OnWorker = [this, St, Info](const SmtResult &R) {
       handleResult(St, Info, R);
     };
@@ -140,6 +176,7 @@ void DispatchEngine::handleResult(const StatePtr &St, const AttemptInfo &Info,
     return;
   St->Out.Attempts = Info.Index;
   St->Out.DegradeLevel = Info.DegradeLevel;
+  St->Out.Backend = Info.Backend;
   St->Out.Seconds += R.Seconds;
   St->Out.Status = R.Status;
   St->Out.Failure = R.Failure;
@@ -172,8 +209,24 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
     return;
   }
 
-  const unsigned Rungs =
-      1 + (Spec.Policy.DegradeTactics ? Spec.Policy.DegradeLevels : 0);
+  // The rung plan: the primary backend's full-tactics rung and its
+  // degradation levels (the historical race), then one full-tactics rung
+  // per secondary backend — a heterogeneous cross-check on the identical
+  // formula.
+  struct RungPlan {
+    BackendSpec B;
+    unsigned Level = 0;
+  };
+  std::vector<RungPlan> Plan;
+  const BackendSpec Primary = primaryBackend(Spec);
+  const unsigned DegradedRungs =
+      Spec.Policy.DegradeTactics ? Spec.Policy.DegradeLevels : 0;
+  for (unsigned L = 0; L <= DegradedRungs; ++L)
+    Plan.push_back({Primary, L});
+  for (size_t I = 1; I < Spec.Backends.size(); ++I)
+    Plan.push_back({Spec.Backends[I], 0});
+
+  const unsigned Rungs = static_cast<unsigned>(Plan.size());
   // Guard racer so a rung that resolves *synchronously* during this loop
   // (short-circuited injection, lowering error) cannot see RacersPending
   // drop to zero and report "all rungs failed" before the later rungs were
@@ -182,7 +235,8 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
   for (unsigned Rung = 0; Rung != Rungs && !St->Finished; ++Rung) {
     AttemptInfo Info;
     Info.Index = Rung + 1;
-    Info.DegradeLevel = Rung;
+    Info.DegradeLevel = Plan[Rung].Level;
+    Info.Backend = Plan[Rung].B.Name;
     // Every rung gets the full per-obligation ceiling: the race replaces
     // deadline escalation, it does not stack on top of it.
     Info.TimeoutMs = Spec.Policy.MaxTimeoutMs;
@@ -223,9 +277,9 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
     Req.MemLimitMb = Spec.Sandbox.MemLimitMb;
     Req.Seed = Info.Seed;
     Req.HasSeed = Spec.Policy.ReseedOnRetry && Rung > 0;
+    Req.Backend = wireBackend(Plan[Rung].B);
     if (F)
-      Req.Fault = F->Kind == FailureKind::SolverCrash ? SandboxFault::Crash
-                                                      : SandboxFault::Oom;
+      Req.Fault = workerFault(F->Kind);
     ++St->RacersPending;
     ++St->RungsRun;
     auto OnWorker = [this, St, Info](const SmtResult &R) {
@@ -235,7 +289,7 @@ void DispatchEngine::startPortfolio(const StatePtr &St) {
     TaskId Id = Spec.Urgent
                     ? Pool.submitFront(std::move(Req), OnWorker, ArmBudget)
                     : Pool.submit(std::move(Req), OnWorker, ArmBudget);
-    St->Racing.push_back(Id);
+    St->Racing.push_back({Id, Info.Backend, Info.DegradeLevel});
   }
   --St->RacersPending;
   // Every rung resolved synchronously (injection short-circuits, lowering
@@ -251,6 +305,10 @@ void DispatchEngine::finishAllRungsFailed(const StatePtr &St) {
       St->HaveRung0Failure ? St->Rung0Failure : St->LastFailure;
   St->Out.Attempts = St->RungsRun;
   St->Out.DegradeLevel = St->HaveRung0Failure ? 0 : St->LastFailureLevel;
+  St->Out.Backend =
+      St->HaveRung0Failure ? St->Rung0Backend : St->LastFailureBackend;
+  if (St->Out.Backend.empty())
+    St->Out.Backend = primaryBackend(St->Spec).Name;
   St->Out.Status = Rep.Status;
   St->Out.Failure = Rep.Failure;
   St->Out.Detail = Rep.Detail;
@@ -261,8 +319,35 @@ void DispatchEngine::finishAllRungsFailed(const StatePtr &St) {
 void DispatchEngine::handleRungResult(const StatePtr &St,
                                       const AttemptInfo &Info,
                                       const SmtResult &R) {
-  if (St->Finished)
-    return; // a loser that classified in the same poll round as the winner
+  if (St->Finished) {
+    // A loser that classified in the same poll round as the winner — or a
+    // cross-checking backend's full-tactics rung, deliberately left racing
+    // after the winner finished. The cross-check's one job: a decisive
+    // answer that contradicts the reported one on the identical formula
+    // (same tactic level, different backend) is a divergence alarm.
+    if (R.Status != SmtStatus::Unknown &&
+        St->Out.Status != SmtStatus::Unknown &&
+        R.Status != St->Out.Status && Info.Backend != St->Out.Backend &&
+        Info.DegradeLevel == St->Out.DegradeLevel) {
+      DivergenceAlarm A;
+      A.Obligation = St->Spec.Name;
+      A.WinnerBackend = St->Out.Backend;
+      A.WinnerStatus = St->Out.Status;
+      A.OtherBackend = Info.Backend;
+      A.OtherStatus = R.Status;
+      A.Detail = std::string("backend '") + A.WinnerBackend + "' answered " +
+                 statusWord(A.WinnerStatus) + " but backend '" +
+                 A.OtherBackend + "' answered " + statusWord(A.OtherStatus) +
+                 " on the same query (tactic level " +
+                 std::to_string(Info.DegradeLevel) + ")";
+      if (!St->Out.ModelText.empty())
+        A.Detail += "; winner's model/detail: " + St->Out.ModelText;
+      if (!R.ModelText.empty())
+        A.Detail += "; dissenter's model/detail: " + R.ModelText;
+      Divergences.push_back(std::move(A));
+    }
+    return;
+  }
   --St->RacersPending;
   St->Out.Seconds += R.Seconds;
 
@@ -271,24 +356,44 @@ void DispatchEngine::handleRungResult(const StatePtr &St,
   if (Decisive) {
     St->Out.Attempts = St->RungsRun;
     St->Out.DegradeLevel = Info.DegradeLevel;
+    St->Out.Backend = Info.Backend;
     St->Out.Status = R.Status;
     St->Out.Failure = R.Failure;
     St->Out.Detail = R.Detail;
     St->Out.ModelText = R.ModelText;
-    // SIGKILL the losing rungs; their completions never run.
-    for (TaskId Id : St->Racing)
-      Pool.cancel(Id);
-    St->Racing.clear();
+    if (R.Status != SmtStatus::Unknown)
+      Pool.noteBackendWin(Info.Backend);
+    // SIGKILL the losing rungs — except other backends' same-level rungs,
+    // which keep racing as soundness cross-checks; their late answers land
+    // in the Finished branch above.
+    St->Racing.erase(
+        std::remove_if(St->Racing.begin(), St->Racing.end(),
+                       [&](const ObState::RacingRung &RR) {
+                         bool CrossCheck =
+                             RR.Backend != Info.Backend &&
+                             RR.DegradeLevel == Info.DegradeLevel &&
+                             R.Status != SmtStatus::Unknown;
+                         if (!CrossCheck)
+                           Pool.cancel(RR.Id);
+                         return !CrossCheck;
+                       }),
+        St->Racing.end());
     finish(St);
     return;
   }
 
-  if (Info.DegradeLevel == 0) {
+  // Prefer the primary backend's full-tactics failure for the report — the
+  // one a sequential ladder would have hit first.
+  if (Info.DegradeLevel == 0 &&
+      (!St->HaveRung0Failure ||
+       Info.Backend == primaryBackend(St->Spec).Name)) {
     St->HaveRung0Failure = true;
     St->Rung0Failure = R;
+    St->Rung0Backend = Info.Backend;
   }
   St->LastFailure = R;
   St->LastFailureLevel = Info.DegradeLevel;
+  St->LastFailureBackend = Info.Backend;
   if (St->RacersPending == 0)
     finishAllRungsFailed(St); // every rung failed retryably
 }

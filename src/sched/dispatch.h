@@ -22,9 +22,16 @@
 ///    before fresh ones start.
 ///  * **Portfolio** (`--portfolio`): the tactic ladder's rungs (full
 ///    tactics, then each degradation level) race concurrently for one
-///    obligation; the first definitive answer wins and the losing workers
-///    are SIGKILLed via `Scheduler::cancel`. If every rung fails retryably,
-///    the full-tactics rung's failure is reported.
+///    obligation — plus one full-tactics rung per *secondary backend* when
+///    the spec lists several (Z3-full vs Z3-degraded vs cvc5). The first
+///    definitive answer wins; losing rungs of the winner's backend and all
+///    degraded rungs are SIGKILLed via `Scheduler::cancel`, but other
+///    backends' full-tactics rungs keep racing as cross-checks. A late
+///    cross-check that answers sat where the winner answered unsat (or vice
+///    versa, at the same tactic level, where the formulas are identical) is
+///    recorded as a `DivergenceAlarm` — the driver turns any alarm into
+///    infrastructure exit 3, never a silent wrong verdict. If every rung
+///    fails retryably, the full-tactics rung's failure is reported.
 ///
 /// Solving happens in sandboxed workers whenever `Sandbox.Enabled`; without
 /// a sandbox an attempt solves in-process, synchronously, on the event-loop
@@ -37,6 +44,7 @@
 #ifndef DRYAD_SCHED_DISPATCH_H
 #define DRYAD_SCHED_DISPATCH_H
 
+#include "backend/backend.h"
 #include "sched/pool.h"
 #include "smt/inject.h"
 #include "smt/resilient.h"
@@ -44,6 +52,18 @@
 #include <memory>
 
 namespace dryad {
+
+/// Two backends disagreed sat-vs-unsat on one obligation at the same tactic
+/// level — either a solver soundness bug or a broken translation, and in
+/// both cases grounds to distrust the whole run (infrastructure exit 3).
+struct DivergenceAlarm {
+  std::string Obligation;
+  std::string WinnerBackend; ///< backend whose answer was reported
+  SmtStatus WinnerStatus = SmtStatus::Unknown;
+  std::string OtherBackend; ///< cross-checking backend that disagreed
+  SmtStatus OtherStatus = SmtStatus::Unknown;
+  std::string Detail; ///< both answers, human-readable, for the dump
+};
 
 /// Everything one obligation's dispatch needs. `Build` populates a fresh
 /// solver per attempt (it is called on the event-loop thread, so it may
@@ -55,6 +75,10 @@ struct ObligationSpec {
   SandboxOptions Sandbox;
   ResilientSolver::Builder Build;
   DeadlineBudget *Budget = nullptr; ///< required; owned by the caller
+  /// Solver backends, primary first (empty = the in-process Z3 API). The
+  /// ladder shape uses only the primary; the portfolio adds one
+  /// full-tactics rung per secondary backend.
+  std::vector<BackendSpec> Backends;
   /// Race the tactic rungs instead of walking the ladder. Requires
   /// Sandbox.Enabled (racing needs processes); ignored otherwise.
   bool Portfolio = false;
@@ -82,6 +106,13 @@ public:
 
   Scheduler &pool() { return Pool; }
 
+  /// Cross-backend sat/unsat disagreements observed so far. Populated only
+  /// by the portfolio shape; the caller must treat a non-empty list as an
+  /// infrastructure failure of the whole run.
+  const std::vector<DivergenceAlarm> &divergences() const {
+    return Divergences;
+  }
+
 private:
   struct ObState;
   using StatePtr = std::shared_ptr<ObState>;
@@ -97,6 +128,7 @@ private:
   void finish(const StatePtr &St);
 
   Scheduler &Pool;
+  std::vector<DivergenceAlarm> Divergences;
 };
 
 } // namespace dryad

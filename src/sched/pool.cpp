@@ -10,6 +10,26 @@
 
 using namespace dryad;
 
+/// The per-backend stats key for a request: the backend-spec name with any
+/// ":path" suffix dropped; the empty wire field means the in-process Z3 API.
+static std::string statsBackend(const SandboxRequest &Req) {
+  if (Req.Backend.empty())
+    return "z3";
+  size_t Colon = Req.Backend.find(':');
+  return Colon == std::string::npos ? Req.Backend : Req.Backend.substr(0, Colon);
+}
+
+/// Folds one completed request into the per-backend counter slice.
+static void countBackendResult(PoolStats &Stats, const std::string &Backend,
+                               const SmtResult &R) {
+  PoolStats::BackendStat &B = Stats.Backends[Backend];
+  ++B.Served;
+  if (R.Status == SmtStatus::Unknown &&
+      (R.Failure == FailureKind::SolverCrash ||
+       R.Failure == FailureKind::ResourceOut))
+    ++B.Crashes;
+}
+
 Scheduler::Scheduler(unsigned Jobs, WarmPoolOptions Warm)
     : Slots(Jobs == 0 ? 1 : Jobs), Opts(Warm) {}
 
@@ -127,6 +147,7 @@ void Scheduler::fill() {
         SmtResult R = finishWorker(W);
         ++Stats.Served;
         Stats.SolveSeconds += R.Seconds;
+        countBackendResult(Stats, statsBackend(T.Req), R);
         T.Done(R);
         continue;
       }
@@ -135,6 +156,7 @@ void Scheduler::fill() {
       RT.Warm = false;
       RT.W = std::move(W);
       RT.Done = std::move(T.Done);
+      RT.Backend = statsBackend(T.Req);
       Active.push_back(std::move(RT));
       continue;
     }
@@ -157,6 +179,7 @@ void Scheduler::fill() {
       SmtResult R = finishWarmRequest(WW);
       ++Stats.Served;
       Stats.SolveSeconds += R.Seconds;
+      countBackendResult(Stats, statsBackend(T.Req), R);
       T.Done(R);
       continue;
     }
@@ -165,6 +188,7 @@ void Scheduler::fill() {
     RT.Warm = true;
     RT.WW = std::move(WW);
     RT.Done = std::move(T.Done);
+    RT.Backend = statsBackend(T.Req);
     Active.push_back(std::move(RT));
   }
 }
@@ -245,6 +269,7 @@ void Scheduler::run() {
           T.Warm ? finishWarmRequest(T.WW) : finishWorker(T.W);
       ++Stats.Served;
       Stats.SolveSeconds += R.Seconds;
+      countBackendResult(Stats, T.Backend, R);
       if (T.Warm)
         recycleOrRetain(std::move(T.WW), R);
       T.Done(R);

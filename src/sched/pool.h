@@ -50,6 +50,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 namespace dryad {
@@ -92,6 +94,16 @@ struct PoolStats {
   unsigned StoreMisses = 0; ///< store consulted, obligation solved fresh
   unsigned StoreQuarantined = 0; ///< corrupt records skipped at store load
 
+  /// Per-backend slice of the lifecycle counters, keyed by backend name
+  /// ("z3", "cvc5", ...). Populated for every request the pool runs; the
+  /// report layer only surfaces it when the fleet was heterogeneous.
+  struct BackendStat {
+    unsigned Served = 0;  ///< requests this backend completed
+    unsigned Crashes = 0; ///< of those, solver crash / resource-out answers
+    unsigned Wins = 0;    ///< portfolio races this backend answered first
+  };
+  std::map<std::string, BackendStat> Backends;
+
   void accumulate(const PoolStats &O) {
     WarmSpawns += O.WarmSpawns;
     ColdSpawns += O.ColdSpawns;
@@ -103,6 +115,12 @@ struct PoolStats {
     StoreHits += O.StoreHits;
     StoreMisses += O.StoreMisses;
     StoreQuarantined += O.StoreQuarantined;
+    for (const auto &KV : O.Backends) {
+      BackendStat &B = Backends[KV.first];
+      B.Served += KV.second.Served;
+      B.Crashes += KV.second.Crashes;
+      B.Wins += KV.second.Wins;
+    }
   }
   unsigned spawns() const { return WarmSpawns + ColdSpawns; }
   unsigned recycles() const {
@@ -123,6 +141,17 @@ struct PoolStats {
     D.StoreHits = StoreHits - Before.StoreHits;
     D.StoreMisses = StoreMisses - Before.StoreMisses;
     D.StoreQuarantined = StoreQuarantined - Before.StoreQuarantined;
+    for (const auto &KV : Backends) {
+      BackendStat B = KV.second;
+      auto It = Before.Backends.find(KV.first);
+      if (It != Before.Backends.end()) {
+        B.Served -= It->second.Served;
+        B.Crashes -= It->second.Crashes;
+        B.Wins -= It->second.Wins;
+      }
+      if (B.Served || B.Crashes || B.Wins)
+        D.Backends[KV.first] = B;
+    }
     return D;
   }
 };
@@ -151,6 +180,13 @@ public:
   /// Lifecycle counters accumulated since construction (idle fleet
   /// included: retiring it in the destructor does not change them).
   const PoolStats &stats() const { return Stats; }
+
+  /// Credits \p Backend with winning a portfolio race. Called by the
+  /// dispatch layer (the pool itself cannot tell a race winner from an
+  /// ordinary completion).
+  void noteBackendWin(const std::string &Backend) {
+    ++Stats.Backends[Backend.empty() ? "z3" : Backend].Wins;
+  }
 
   /// Queues one sandboxed solve behind all earlier submissions.
   TaskId submit(SandboxRequest Req, Completion Done, OnStart Start = {});
@@ -185,6 +221,7 @@ private:
     WorkerHandle W;  ///< cold mode: the one-shot worker
     WarmWorker WW;   ///< warm mode: the leased fleet worker
     Completion Done;
+    std::string Backend; ///< stats key: request's backend name, "z3" default
   };
 
   /// Spawns workers for queued tasks while slots are free. Spawn failures

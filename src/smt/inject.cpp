@@ -58,6 +58,11 @@ static std::optional<ParsedKind> kindFromName(const std::string &Name) {
     return ParsedKind{FailureKind::SolverCrash, true};
   if (Name == "oom")
     return ParsedKind{FailureKind::ResourceOut, true};
+  // Solve normally, then flip a decisive verdict inside the worker — the
+  // deterministic trigger for the cross-backend divergence alarm. Without
+  // isolation it short-circuits like a plain injected fault.
+  if (Name == "diverge")
+    return ParsedKind{FailureKind::Injected, true};
   return std::nullopt;
 }
 
@@ -106,8 +111,8 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
     std::optional<ParsedKind> Kind = kindFromName(KindName);
     if (!Kind) {
       Err = "unknown fault kind '" + KindName +
-            "' (expected timeout|unknown|lowering|resourceout|crash|oom|fault|"
-            "storetorn|storecrc|servedrop)";
+            "' (expected timeout|unknown|lowering|resourceout|crash|oom|"
+            "diverge|fault|storetorn|storecrc|servedrop)";
       return std::nullopt;
     }
     Fault F;
@@ -157,7 +162,7 @@ std::string FaultPlan::describe() const {
       break;
     case FailureKind::Injected:
     case FailureKind::None:
-      Out += "fault";
+      Out += F.InWorker ? "diverge" : "fault";
       break;
     }
     Out += "@" + (F.EveryAttempt ? std::string("*")

@@ -24,6 +24,9 @@
 ///                    parent's wait-status classification
 ///   oom@1            allocation death under the memory rlimit; under
 ///                    --isolate the worker really allocates into the cap
+///   diverge@1        the worker solves normally, then FLIPS a decisive
+///                    verdict (unsat<->sat) — the deterministic trigger for
+///                    the cross-backend divergence alarm in a portfolio
 ///   timeout@*        fail every attempt
 ///
 /// Infrastructure faults (consumed by the proof store and the serve daemon

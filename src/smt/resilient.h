@@ -127,6 +127,9 @@ struct AttemptInfo {
   unsigned TimeoutMs = 0;    ///< deadline this attempt runs under
   unsigned Seed = 0;         ///< random_seed for this attempt
   unsigned DegradeLevel = 0; ///< 0 = full tactics
+  /// Backend name discharging this attempt ("z3" unless a portfolio routed
+  /// the rung to a secondary backend).
+  std::string Backend = "z3";
 };
 
 /// The dispatch outcome: a definitive status, or the last failure with its
@@ -140,6 +143,9 @@ struct DispatchResult {
   double Seconds = 0.0;
   unsigned Attempts = 0;     ///< attempts actually made
   unsigned DegradeLevel = 0; ///< tactic level of the final attempt
+  /// Backend that produced the final answer; keys the journal/store record
+  /// so a cached proof is never replayed under a different solver.
+  std::string Backend = "z3";
 };
 
 class ResilientSolver {

@@ -2,6 +2,8 @@
 
 #include "smt/sandbox.h"
 
+#include "backend/backend.h"
+
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -17,21 +19,21 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
-#include <z3++.h>
-
 using namespace dryad;
 
 namespace {
 
-/// Reserved worker exit codes. 97 is the one the parent classifies: the
+/// Reserved worker exit codes, shared with the backends that run inside
+/// workers (backend/backend.h). 97 is the one the parent classifies: the
 /// worker caught an allocation failure under RLIMIT_AS and could not trust
-/// itself to build a payload.
-constexpr int ExitOom = 97;
-constexpr int ExitProto = 98; ///< result existed but could not be written
-/// The worker could not apply its rlimit caps. It refuses to run — solving
-/// (or running an injected oom's unbounded allocation loop) without the cap
-/// the parent believes is in place would silently unsandbox the child.
-constexpr int ExitSetup = 96;
+/// itself to build a payload. 96 is the worker refusing to run because its
+/// rlimit caps could not be applied — solving (or running an injected oom's
+/// unbounded allocation loop) without the cap the parent believes is in
+/// place would silently unsandbox the child. 98 means a result existed but
+/// could not be written.
+constexpr int ExitOom = WorkerExitOom;
+constexpr int ExitProto = WorkerExitProto;
+constexpr int ExitSetup = WorkerExitSetup;
 
 /// Grace the parent grants past the solver's own soft timeout before the
 /// SIGKILL: a healthy Z3 returns `unknown (timeout)` by itself, which keeps
@@ -182,63 +184,26 @@ void realizeFault(SandboxFault Fault) {
     for (int I = 0; I != 600; ++I)
       usleep(100000);
     _exit(ExitProto);
+  case SandboxFault::Diverge: // applied AFTER the solve, in solveRequest
   case SandboxFault::None:
     break;
   }
 }
 
-/// Solves one request in a fresh Z3 context. Shared by the one-shot and
-/// warm worker loops; may _exit(ExitOom) when allocation can no longer be
-/// trusted to build a payload.
+/// Solves one request through its backend (in-process Z3 unless the frame
+/// named another). Shared by the one-shot and warm worker loops; the
+/// backend may _exit(ExitOom) when allocation can no longer be trusted to
+/// build a payload. An injected Diverge fault flips a decisive verdict
+/// here, after the genuine solve, so the wrong answer travels the same
+/// payload path a real divergent solver's would.
 SmtResult solveRequest(const SandboxRequest &Req) {
-  SmtResult R;
-  try {
-    z3::context Ctx;
-    z3::solver Solver(Ctx);
-    Solver.from_string(Req.Smt2.c_str());
-    z3::params P(Ctx);
-    P.set("timeout", Req.TimeoutMs == 0 ? 4294967295u : Req.TimeoutMs);
-    if (Req.HasSeed)
-      P.set("random_seed", Req.Seed);
-    Solver.set(P);
-    z3::check_result CR = Solver.check();
-    if (CR == z3::unsat) {
-      R.Status = SmtStatus::Unsat;
-    } else if (CR == z3::sat) {
-      R.Status = SmtStatus::Sat;
-      z3::model Mdl = Solver.get_model();
-      std::string Text;
-      for (unsigned J = 0; J != Mdl.num_consts(); ++J) {
-        z3::func_decl D = Mdl.get_const_decl(J);
-        std::string Name = D.name().str();
-        // Same counterexample filter as the in-process path: scalar
-        // program/spec constants only, no field arrays or quantifier
-        // witnesses.
-        if (Name.rfind("fld.", 0) == 0 || Name.rfind("qa!", 0) == 0 ||
-            Name.rfind("qb!", 0) == 0 || Name.rfind("qs!", 0) == 0 ||
-            Name.rfind("mi!", 0) == 0)
-          continue;
-        z3::expr Val = Mdl.get_const_interp(D);
-        if (!Val.is_numeral() && !Val.is_bool())
-          continue;
-        Text += Name + " = " + Val.to_string() + "; ";
-      }
-      R.ModelText = Text;
-    } else {
-      R.Status = SmtStatus::Unknown;
-      R.Detail = Solver.reason_unknown();
-      R.ModelText = R.Detail;
-      R.Failure = classifyUnknownReason(R.Detail);
-    }
-  } catch (const z3::exception &E) {
-    R.Status = SmtStatus::Unknown;
-    R.Detail = E.msg();
-    R.ModelText = R.Detail;
-    R.Failure = classifyUnknownReason(R.Detail);
-    if (R.Failure == FailureKind::ResourceOut)
-      _exit(ExitOom); // don't trust allocation for the payload
-  } catch (const std::bad_alloc &) {
-    _exit(ExitOom);
+  SmtResult R = solveWithBackend(Req.Backend, Req);
+  if (Req.Fault == SandboxFault::Diverge && R.Status != SmtStatus::Unknown) {
+    bool WasUnsat = R.Status == SmtStatus::Unsat;
+    R.Status = WasUnsat ? SmtStatus::Sat : SmtStatus::Unsat;
+    R.ModelText = WasUnsat ? "injected divergence: verdict flipped from "
+                             "unsat to sat"
+                           : "";
   }
   return R;
 }
@@ -322,10 +287,14 @@ int readRequestFrame(FILE *In, SandboxRequest &Req) {
     return std::feof(In) ? 0 : -1;
   if (std::strcmp(Line, "DRYQ1\n") != 0)
     return -1;
-  unsigned TimeoutMs, MemLimitMb, CpuLimitS, Seed, HasSeed, Fault;
+  unsigned TimeoutMs, MemLimitMb, CpuLimitS, Seed, HasSeed, Fault, Backend;
   if (!std::fgets(Line, sizeof(Line), In) ||
-      std::sscanf(Line, "%u %u %u %u %u %u", &TimeoutMs, &MemLimitMb,
-                  &CpuLimitS, &Seed, &HasSeed, &Fault) != 6)
+      std::sscanf(Line, "%u %u %u %u %u %u %u", &TimeoutMs, &MemLimitMb,
+                  &CpuLimitS, &Seed, &HasSeed, &Fault, &Backend) != 7)
+    return -1;
+  Req.Backend.resize(Backend);
+  if (Backend != 0 &&
+      std::fread(&Req.Backend[0], 1, Backend, In) != Backend)
     return -1;
   if (!std::fgets(Line, sizeof(Line), In))
     return -1;
@@ -749,7 +718,9 @@ bool dryad::startWarmRequest(WarmWorker &W, const SandboxRequest &Req) {
            std::to_string(Req.MemLimitMb) + " " +
            std::to_string(Req.CpuLimitS) + " " + std::to_string(Req.Seed) +
            " " + std::to_string(Req.HasSeed ? 1 : 0) + " " +
-           std::to_string(static_cast<unsigned>(Req.Fault)) + "\n";
+           std::to_string(static_cast<unsigned>(Req.Fault)) + " " +
+           std::to_string(Req.Backend.size()) + "\n";
+  Frame += Req.Backend;
   Frame += std::to_string(Req.Smt2.size()) + "\n" + Req.Smt2;
   if (!writeAllParent(W.ToFd, Frame)) {
     // The worker died while idle (EPIPE). Mark it dead; the caller reaps

@@ -60,6 +60,10 @@ enum class SandboxFault {
   Crash, ///< die on SIGSEGV right after startup
   Oom,   ///< allocate until the RLIMIT_AS cap kills the allocation
   Stall, ///< never answer; the parent's wall-clock SIGKILL must fire
+  /// Solve the query normally, then FLIP a decisive verdict (unsat<->sat).
+  /// The hook the diverge@N fault kind uses to exercise the cross-backend
+  /// divergence alarm deterministically.
+  Diverge,
 };
 
 /// One isolated solve. `Smt2` is a complete SMT-LIB2 benchmark (as produced
@@ -79,6 +83,12 @@ struct SandboxRequest {
   unsigned Seed = 0;
   bool HasSeed = false;
   SandboxFault Fault = SandboxFault::None;
+  /// Solver backend to discharge the query with, as a `NAME[:PATH]` spec
+  /// (see backend/backend.h). Empty selects the in-process Z3 API. The spec
+  /// travels in the request frame, so one warm fleet can serve a
+  /// heterogeneous portfolio — workers are backend-agnostic until a request
+  /// arrives.
+  std::string Backend;
 };
 
 /// A live (or failed-to-spawn) sandboxed worker, owned by whoever forked
@@ -166,10 +176,14 @@ SmtResult solveInSandbox(const SandboxRequest &Req);
 //   request  (parent -> worker):
 //     "DRYQ1\n"
 //     <timeout-ms> SP <mem-limit-mb> SP <cpu-limit-s> SP <seed>
-//         SP <has-seed> SP <fault> "\n"
-//     <smt2-bytes> "\n" <smt2>
+//         SP <has-seed> SP <fault> SP <backend-bytes> "\n"
+//     <backend-spec> <smt2-bytes> "\n" <smt2>
 //   response (worker -> parent):
 //     "DRYR1\n" <payload-bytes> "\n" <payload>
+//
+// <backend-spec> is a length-prefixed `NAME[:PATH]` backend designator
+// (empty = in-process Z3 API); the worker constructs the backend per
+// request, which is what lets one fleet host a heterogeneous portfolio.
 //
 // where <payload> is the same "DRYD1" encoding the one-shot worker writes.
 // Closing the request pipe retires the worker: it reads EOF between frames

@@ -171,6 +171,15 @@ int dryad::runServeDaemon(const ServeDaemonOptions &SO) {
       bool AllVerified = true, AnyGenuine = false;
       classifyResults(Results, AllVerified, AnyGenuine);
       Resp.Exit = AllVerified ? 0 : AnyGenuine ? 1 : 3;
+      // A cross-backend divergence poisons the whole request: whatever the
+      // per-routine verdicts say, two solvers contradicted each other, so
+      // the only honest answer is infrastructure failure.
+      if (!V.divergences().empty()) {
+        Resp.Exit = 3;
+        for (const DivergenceAlarm &A : V.divergences())
+          Resp.Diag += "backend divergence on '" + A.Obligation +
+                       "': " + A.Detail + "\n";
+      }
       const PoolStats &S = V.poolStats();
       Resp.StoreHits = S.StoreHits;
       Resp.StoreMisses = S.StoreMisses;
@@ -183,7 +192,8 @@ int dryad::runServeDaemon(const ServeDaemonOptions &SO) {
       Files.push_back({Q.File, std::move(Results)});
       PoolStats WithQuarantine = S;
       WithQuarantine.StoreQuarantined = Resp.StoreQuarantined;
-      Resp.Json = jsonReport(Files, WithQuarantine, Resp.Exit);
+      Resp.Json = jsonReport(Files, WithQuarantine, Resp.Exit,
+                             SO.BackendLabels);
       std::fprintf(stderr,
                    "serve: request %u %s exit=%d hits=%u misses=%u "
                    "solve_s=%.2f\n",

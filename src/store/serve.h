@@ -40,6 +40,8 @@
 #include "verifier/verifier.h"
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dryad {
 
@@ -52,6 +54,10 @@ struct ServeDaemonOptions {
   /// Stop after this many requests; 0 = run until signalled. Tests use it
   /// to get a daemon that exits on its own.
   unsigned MaxRequests = 0;
+  /// Active solver backends as (name, probed version) pairs, from the
+  /// driver's startup probe; threaded into every response's `--json` report
+  /// so clients see which fleet answered them.
+  std::vector<std::pair<std::string, std::string>> BackendLabels;
 };
 
 /// Runs the daemon loop. Returns the process exit code (2 on setup errors:

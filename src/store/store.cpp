@@ -20,7 +20,11 @@ using namespace dryad;
 // Bump history: v1/engine-1 — initial persistent store (PR 7). The content
 // key already covers the smt2 text and tactic config; this covers silent
 // semantic drift (a changed translation producing the same key).
-const char *dryad::StoreEngineVersion = "1";
+// v1/engine-2 — backend-qualified keys (PR 8): records are filed under
+// `<content-key>@<backend>` and the tactic config dropped its implicit
+// `solver=z3` prefix, so engine-1 stores (whose keys carry no backend and
+// hash a different config) are rebuilt, never misread.
+const char *dryad::StoreEngineVersion = "2";
 
 static const char *StoreMagic = "DRYADSTORE v1 engine=";
 
@@ -323,7 +327,22 @@ StoreFsck ProofStore::verifySegment(const std::string &Path) {
     F.EngineMatch = Header == headerLine();
   }
 
+  // Verdict bits are tracked per *backend-stripped* key: one obligation's
+  // records under different solvers (`v1-x@z3`, `v1-x@cvc5`) land in the
+  // same bucket, so a cross-solver sat/unsat contradiction is surfaced
+  // exactly like two contradictory records from one solver. The `:vacuity`
+  // sub-key suffix survives the strip — probe verdicts (where sat is the
+  // GOOD answer) never mix with main verdicts.
+  auto StrippedKey = [](const std::string &Key) {
+    size_t At = Key.find('@');
+    if (At == std::string::npos)
+      return Key;
+    size_t Colon = Key.find(':', At);
+    return Key.substr(0, At) +
+           (Colon == std::string::npos ? std::string() : Key.substr(Colon));
+  };
   std::unordered_map<std::string, unsigned> Verdicts; // 1 = unsat, 2 = sat
+  std::unordered_map<std::string, bool> FullKeys;
   size_t Pos = Nl + 1;
   while (Pos < Bytes.size()) {
     size_t End = Bytes.find('\n', Pos);
@@ -349,17 +368,19 @@ StoreFsck ProofStore::verifySegment(const std::string &Path) {
       continue;
     }
     ++F.ValidRecords;
-    // Bits: 1 = an unsat record seen, 2 = a sat record seen, 4 = key seen.
-    unsigned &V = Verdicts[R->Key];
-    if (!(V & 4u)) {
+    bool &SeenFull = FullKeys[R->Key];
+    if (!SeenFull) {
       ++F.DistinctKeys;
-      V |= 4u;
+      SeenFull = true;
     }
+    // Bits: 1 = an unsat record seen, 2 = a sat record seen.
+    const std::string Stripped = StrippedKey(R->Key);
+    unsigned &V = Verdicts[Stripped];
     unsigned Bit = R->Status == SmtStatus::Unsat  ? 1u
                    : R->Status == SmtStatus::Sat ? 2u
                                                  : 0u;
     if (Bit && ((V & 3u) | Bit) == 3u && (V & 3u) != 3u)
-      F.DivergentKeys.push_back(R->Key);
+      F.DivergentKeys.push_back(Stripped);
     V |= Bit;
   }
   return F;
@@ -403,8 +424,8 @@ std::string ProofStore::formatFsck(const StoreFsck &F) {
   }
   for (const std::string &K : F.DivergentKeys)
     Out += "store: DIVERGENT key " + K +
-           ": both sat and unsat recorded — investigate before trusting "
-           "either\n";
+           ": both sat and unsat recorded (same or different solver "
+           "backends) — investigate before trusting either\n";
   if (F.clean())
     Out += "store: clean\n";
   return Out;

@@ -39,9 +39,10 @@
 ///    a fresh segment with write-then-fsync-then-rename, so a crash during
 ///    compaction leaves the old segment intact;
 ///  * `dryadv --store-verify` is the fsck: it reports torn tails, CRC
-///    failures, and duplicate-key *divergence* (one key with both sat and
-///    unsat valid records — a soundness alarm worth a human's attention)
-///    without modifying anything.
+///    failures, and *divergence* — one obligation with both sat and unsat
+///    valid records, compared across backend-qualified keys (`v1-x@z3` vs
+///    `v1-x@cvc5` is the cross-solver soundness alarm) — without modifying
+///    anything.
 ///
 /// The storetorn@N / storecrc@N fault injections (smt/inject.h) emulate a
 /// mid-write crash and silent corruption deterministically so every one of
@@ -78,9 +79,12 @@ struct StoreFsck {
   size_t Malformed = 0;       ///< CRC-clean lines whose JSON failed to parse
   bool TornTail = false;      ///< file ends mid-record
   size_t TornTailBytes = 0;   ///< bytes past the last durable record
-  /// Keys carrying both a sat and an unsat valid record. Later-records-win
-  /// resolves the lookup, but fsck surfaces the divergence: a proof and a
-  /// refutation of the same content key should never coexist.
+  /// Backend-stripped keys carrying both a sat and an unsat valid record —
+  /// from one backend re-answering differently, or from two backends
+  /// contradicting each other on the identical obligation. Later-records-
+  /// win resolves the lookup, but fsck surfaces the divergence: a proof and
+  /// a refutation of the same content key should never coexist, whichever
+  /// solvers produced them.
   std::vector<std::string> DivergentKeys;
 
   bool clean() const {

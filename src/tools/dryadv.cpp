@@ -35,6 +35,25 @@
 //   --portfolio           race the natural-proof tactic rungs per
 //                         obligation and take the first definitive answer,
 //                         killing the losers (implies --isolate)
+//   --backend NAME[:PATH] solver backend: "z3" (the in-process Z3 API, the
+//                         default), or any SMT-LIB2 solver binary on $PATH
+//                         ("cvc5", "cvc4", a second "z3"); :PATH pins the
+//                         binary. Backend identity is baked into journal
+//                         and store keys, so switching backends re-solves
+//                         rather than replaying another solver's proofs
+//   --backends a,b,c      several backends, primary first (implies
+//                         --portfolio when more than one): every obligation
+//                         races the primary's tactic rungs plus one
+//                         full-tactics rung per secondary as a cross-check.
+//                         A backend whose binary is missing or fails its
+//                         version probe is dropped with a warning, never an
+//                         error; if every backend is dropped the in-process
+//                         Z3 API takes over. Two backends answering sat vs
+//                         unsat on one obligation is a divergence: both
+//                         answers are reported, a dump is written, and the
+//                         run exits 3 — never a silent wrong verdict
+//   --list-backends       probe the configured (or default) backends, print
+//                         name/availability/version, and exit
 //   --warm-workers        persistent solver workers (the default): each pool
 //                         slot forks once and streams framed requests to it,
 //                         amortizing fork + solver init across the queue.
@@ -98,7 +117,10 @@
 //                         unix socket; each connection ships a module and
 //                         gets back verdicts, per-request store counters,
 //                         and a --json report. SIGINT/SIGTERM flushes the
-//                         store, reaps the fleet, unlinks the socket
+//                         store, reaps the fleet, unlinks the socket.
+//                         Known limitation: the accept loop serves one
+//                         request at a time — concurrent clients queue on
+//                         the socket backlog
 //   --serve-max-requests <n>  exit the daemon after <n> requests (tests)
 //   --remote <sock>       thin-client mode: ship each file to the daemon at
 //                         <sock> and replay its answer (stdout byte-
@@ -131,6 +153,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "backend/backend.h"
 #include "lang/parser.h"
 #include "sched/shard.h"
 #include "smt/sandbox.h"
@@ -178,10 +201,13 @@ bool parseShardSpec(const char *Spec, unsigned &Index, unsigned &Count) {
 /// obligation counts are accumulated into it.
 int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
              bool Verbose, std::vector<size_t> *SliceCounts = nullptr,
-             const std::string &JsonPath = "") {
+             const std::string &JsonPath = "",
+             const std::vector<std::pair<std::string, std::string>>
+                 &BackendLabels = {}) {
   bool AllVerified = true;
   PoolStats Workers;
   std::vector<FileReport> Reports;
+  std::vector<DivergenceAlarm> Divergences;
   // Exit-code taxonomy: a genuine failure (counterexample, vacuous
   // contract, honestly-unproved obligation, unparseable input) beats an
   // infrastructure failure — a refutation stays a refutation even if other
@@ -217,6 +243,8 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
     installTerminationHandlers(V.journalFd(), V.storeFd());
     std::vector<ProcResult> Results = V.verifyAll(Diags);
     Workers.accumulate(V.poolStats());
+    Divergences.insert(Divergences.end(), V.divergences().begin(),
+                       V.divergences().end());
     if (SliceCounts) {
       const std::vector<size_t> &S = V.shardSliceCounts();
       if (SliceCounts->size() < S.size())
@@ -244,6 +272,49 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
     Reports.push_back({File, std::move(Results)});
   }
   int Exit = AllVerified ? 0 : AnyGenuineFailure ? 1 : 3;
+  if (!Divergences.empty()) {
+    // Two solvers contradicted each other on the same query, so one of
+    // them (or our translation) is unsound and no verdict of this run can
+    // be trusted — whatever the per-routine rows said, the only honest
+    // exit is infrastructure failure. Both answers go to stderr and to a
+    // quarantined dump, mirroring the store's divergence fsck.
+    auto StatusWord = [](SmtStatus S) {
+      return S == SmtStatus::Unsat ? "unsat"
+             : S == SmtStatus::Sat ? "sat"
+                                   : "unknown";
+    };
+    std::string DumpPath =
+        (Opts.DumpSmt2Dir.empty() ? std::string()
+                                  : Opts.DumpSmt2Dir + "/") +
+        "dryadv-divergence.log";
+    FILE *Dump = std::fopen(DumpPath.c_str(), "w");
+    for (const DivergenceAlarm &A : Divergences) {
+      std::fprintf(stderr,
+                   "error: backend divergence on '%s': %s answered %s, %s "
+                   "answered %s\n",
+                   A.Obligation.c_str(), A.WinnerBackend.c_str(),
+                   StatusWord(A.WinnerStatus), A.OtherBackend.c_str(),
+                   StatusWord(A.OtherStatus));
+      if (Dump)
+        std::fprintf(Dump, "obligation: %s\nwinner: %s -> %s\ndissent: %s "
+                           "-> %s\ndetail: %s\n\n",
+                     A.Obligation.c_str(), A.WinnerBackend.c_str(),
+                     StatusWord(A.WinnerStatus), A.OtherBackend.c_str(),
+                     StatusWord(A.OtherStatus), A.Detail.c_str());
+    }
+    if (Dump) {
+      std::fclose(Dump);
+      std::fprintf(stderr, "error: %zu backend divergence(s); both answers "
+                           "dumped to %s; exiting 3 (infrastructure), not "
+                           "trusting either verdict\n",
+                   Divergences.size(), DumpPath.c_str());
+    } else {
+      std::fprintf(stderr, "error: %zu backend divergence(s); cannot write "
+                           "%s; exiting 3 (infrastructure)\n",
+                   Divergences.size(), DumpPath.c_str());
+    }
+    Exit = 3;
+  }
   // Worker lifecycle, on stderr so stdout stays the plain report (and warm
   // vs cold runs stay byte-identical on stdout). Store counters count too:
   // an all-hits run spawns no workers but its cache effectiveness is the
@@ -257,7 +328,7 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
       std::fprintf(stderr, "warning: cannot write --json report to %s\n",
                    JsonPath.c_str());
     } else {
-      std::string J = jsonReport(Reports, Workers, Exit);
+      std::string J = jsonReport(Reports, Workers, Exit, BackendLabels);
       std::fwrite(J.data(), 1, J.size(), F);
       std::fclose(F);
     }
@@ -271,7 +342,9 @@ int runFiles(const std::vector<std::string> &Files, const VerifyOptions &Opts,
 int runSupervised(const std::vector<std::string> &Files,
                   const VerifyOptions &Opts, bool Verbose, unsigned Shards,
                   unsigned Retries, unsigned StallMs,
-                  const std::string &JsonPath) {
+                  const std::string &JsonPath,
+                  const std::vector<std::pair<std::string, std::string>>
+                      &BackendLabels) {
   ShardSupervisorOptions SO;
   SO.Shards = Shards;
   SO.MaxRetries = Retries;
@@ -326,7 +399,8 @@ int runSupervised(const std::vector<std::string> &Files,
   // The assembly dispatches nothing, so its --json worker stats honestly
   // report zero spawns; the shard drivers' own stats went to their stderr.
   std::vector<size_t> SliceCounts;
-  int Exit = runFiles(Files, Asm, Verbose, &SliceCounts, JsonPath);
+  int Exit = runFiles(Files, Asm, Verbose, &SliceCounts, JsonPath,
+                      BackendLabels);
 
   // Recovery accounting, on stderr so stdout stays the plain report.
   size_t TotalRecovered = 0;
@@ -446,6 +520,8 @@ int main(int Argc, char **Argv) {
   unsigned ServeMaxRequests = 0;
   RemoteOptions Remote;
   bool RemoteFallback = true;
+  std::vector<BackendSpec> BackendReqs; // --backend/--backends, in order
+  bool ListBackends = false;
   std::vector<std::string> Files;
 
   for (int I = 1; I != Argc; ++I) {
@@ -480,6 +556,24 @@ int main(int Argc, char **Argv) {
       }
     } else if (!std::strcmp(Argv[I], "--portfolio"))
       Opts.Portfolio = true;
+    else if (!std::strcmp(Argv[I], "--backend") && I + 1 < Argc) {
+      BackendSpec B;
+      std::string Err;
+      if (!BackendSpec::parse(Argv[++I], B, Err)) {
+        std::fprintf(stderr, "--backend: %s\n", Err.c_str());
+        return 2;
+      }
+      BackendReqs.push_back(B);
+    } else if (!std::strcmp(Argv[I], "--backends") && I + 1 < Argc) {
+      std::vector<BackendSpec> List;
+      std::string Err;
+      if (!BackendSpec::parseList(Argv[++I], List, Err)) {
+        std::fprintf(stderr, "--backends: %s\n", Err.c_str());
+        return 2;
+      }
+      BackendReqs.insert(BackendReqs.end(), List.begin(), List.end());
+    } else if (!std::strcmp(Argv[I], "--list-backends"))
+      ListBackends = true;
     else if (!std::strcmp(Argv[I], "--warm-workers"))
       Opts.WarmWorkers = true;
     else if (!std::strcmp(Argv[I], "--cold"))
@@ -553,6 +647,62 @@ int main(int Argc, char **Argv) {
       Files.push_back(Argv[I]);
     }
   }
+  // Backend resolution: duplicate names would share cache keys (parseList
+  // rejects them within one list; repeated flags are checked here), then
+  // every requested backend is probed once. An unavailable backend — binary
+  // missing, version probe failing — is dropped with one warning, never a
+  // hard error: a host without cvc5 still verifies, it just races fewer
+  // rungs. All dropped falls back to the in-process Z3 API.
+  for (size_t I = 0; I != BackendReqs.size(); ++I)
+    for (size_t J = I + 1; J != BackendReqs.size(); ++J)
+      if (BackendReqs[I].Name == BackendReqs[J].Name) {
+        std::fprintf(stderr,
+                     "duplicate backend name '%s': two backends sharing a "
+                     "name would share journal/store keys\n",
+                     BackendReqs[I].Name.c_str());
+        return 2;
+      }
+  std::vector<std::pair<std::string, std::string>> BackendLabels;
+  {
+    std::vector<BackendSpec> ToProbe = BackendReqs;
+    if (ToProbe.empty())
+      ToProbe.push_back(BackendSpec{"z3", ""}); // the default fleet
+    std::vector<BackendSpec> Alive;
+    for (const BackendSpec &B : ToProbe) {
+      ProbedBackend P = probeBackend(B);
+      if (ListBackends) {
+        std::printf("%s\t%s\t%s\n", B.str().c_str(),
+                    P.Available ? "available" : "unavailable",
+                    P.Available ? P.Version.c_str() : P.Error.c_str());
+        continue;
+      }
+      if (!P.Available) {
+        std::fprintf(stderr,
+                     "warning: backend '%s' unavailable (%s); dropping it "
+                     "from the fleet\n",
+                     B.str().c_str(), P.Error.c_str());
+        continue;
+      }
+      Alive.push_back(B);
+      BackendLabels.push_back({B.Name, P.Version});
+    }
+    if (ListBackends)
+      return 0;
+    if (Alive.empty() && !BackendReqs.empty()) {
+      std::fprintf(stderr,
+                   "warning: every requested backend is unavailable; "
+                   "falling back to the in-process z3 API\n");
+      ProbedBackend Z = probeBackend(BackendSpec{"z3", ""});
+      BackendLabels.push_back({"z3", Z.Version});
+    } else if (!BackendReqs.empty()) {
+      Opts.Backends = Alive;
+      // More than one live backend only makes sense racing: the
+      // secondaries' cross-check rungs exist only under the portfolio.
+      if (Alive.size() > 1)
+        Opts.Portfolio = true;
+    }
+  }
+
   // Store maintenance modes need no input files; they act on the segment
   // and exit.
   if (!CompactPath.empty()) {
@@ -590,6 +740,7 @@ int main(int Argc, char **Argv) {
     SO.SocketPath = ServeSock;
     SO.Verify = Opts;
     SO.MaxRequests = ServeMaxRequests;
+    SO.BackendLabels = BackendLabels;
     return runServeDaemon(SO);
   }
 
@@ -627,7 +778,8 @@ int main(int Argc, char **Argv) {
 
   if (Shards > 1)
     return runSupervised(Files, Opts, Verbose, Shards, ShardRetries,
-                         ShardStallMs, JsonPath);
+                         ShardStallMs, JsonPath, BackendLabels);
   // --shards 1 is a degenerate but valid request: run unsharded.
-  return runFiles(Files, Opts, Verbose, /*SliceCounts=*/nullptr, JsonPath);
+  return runFiles(Files, Opts, Verbose, /*SliceCounts=*/nullptr, JsonPath,
+                  BackendLabels);
 }

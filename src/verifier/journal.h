@@ -10,12 +10,15 @@
 /// could not contain — loses at most the obligation that was in flight.
 ///
 /// Each record is keyed by a content hash of the obligation's serialized
-/// SMT-LIB2 benchmark plus the tactic/solver configuration that produced
-/// it, *not* by its display name: renaming a procedure or reordering paths
-/// never causes a stale hit, and an annotation or tactic change changes the
-/// key. One JSON object per line:
+/// SMT-LIB2 benchmark plus the tactic configuration that produced it, *not*
+/// by its display name: renaming a procedure or reordering paths never
+/// causes a stale hit, and an annotation or tactic change changes the key.
+/// The verifier appends an `@<backend>` qualifier to the hash (and the
+/// vacuity sub-key follows it: `v1-<hex>@z3:vacuity`), so a proof cached
+/// under one solver backend is never replayed under another. One JSON
+/// object per line:
 ///
-///   {"key":"v1-<16 hex>","name":"...","status":"unsat","failure":"none",
+///   {"key":"v1-<16 hex>@z3","name":"...","status":"unsat","failure":"none",
 ///    "attempts":1,"degrade":0,"seconds":0.03,"detail":""}
 ///
 /// Records are written with write-then-flush, so every completed obligation

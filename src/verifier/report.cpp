@@ -127,6 +127,22 @@ std::string dryad::formatWorkerStats(const PoolStats &S) {
                   S.StoreMisses, S.StoreQuarantined);
     Out += Buf;
   }
+  // Per-backend tail, appended strictly last (and only for a heterogeneous
+  // or non-Z3 fleet) so the historical fields above keep their exact
+  // positions for scripts that grep this line.
+  bool PlainZ3 = S.Backends.empty() ||
+                 (S.Backends.size() == 1 && S.Backends.count("z3"));
+  if (!PlainZ3) {
+    Out += " backends:";
+    bool First = true;
+    for (const auto &KV : S.Backends) {
+      std::snprintf(Buf, sizeof(Buf), "%s %s served=%u crashes=%u wins=%u",
+                    First ? "" : ";", KV.first.c_str(), KV.second.Served,
+                    KV.second.Crashes, KV.second.Wins);
+      Out += Buf;
+      First = false;
+    }
+  }
   Out += "\n";
   return Out;
 }
@@ -198,10 +214,32 @@ static std::string jsonEscape(const std::string &S) {
   return Out;
 }
 
-std::string dryad::jsonReport(const std::vector<FileReport> &Files,
-                              const PoolStats &Workers, int ExitCode) {
+std::string dryad::jsonReport(
+    const std::vector<FileReport> &Files, const PoolStats &Workers,
+    int ExitCode,
+    const std::vector<std::pair<std::string, std::string>> &Backends) {
   char Buf[256];
-  std::string Out = "{\n  \"files\": [\n";
+  std::string Out = "{\n  \"schema\": 1,\n  \"backends\": [";
+  // The active fleet, from the startup probe; fall back to the per-backend
+  // stats keys (version unknown) when the caller never probed.
+  std::vector<std::pair<std::string, std::string>> Active = Backends;
+  if (Active.empty())
+    for (const auto &KV : Workers.Backends)
+      Active.push_back({KV.first, ""});
+  for (size_t I = 0; I != Active.size(); ++I) {
+    Out += I ? ", " : "";
+    Out += "{\"name\": \"" + jsonEscape(Active[I].first) + "\", \"version\": \"" +
+           jsonEscape(Active[I].second) + "\"";
+    auto It = Workers.Backends.find(Active[I].first);
+    if (It != Workers.Backends.end()) {
+      std::snprintf(Buf, sizeof(Buf),
+                    ", \"served\": %u, \"crashes\": %u, \"wins\": %u",
+                    It->second.Served, It->second.Crashes, It->second.Wins);
+      Out += Buf;
+    }
+    Out += "}";
+  }
+  Out += "],\n  \"files\": [\n";
   for (size_t FI = 0; FI != Files.size(); ++FI) {
     const FileReport &F = Files[FI];
     Out += "    {\"file\": \"" + jsonEscape(F.File) + "\", \"routines\": [\n";

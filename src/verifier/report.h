@@ -17,6 +17,7 @@
 #include "verifier/verifier.h"
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dryad {
@@ -37,7 +38,11 @@ std::string summarize(const std::vector<ProcResult> &Results);
 /// One worker-lifecycle line for stderr, e.g.
 ///   workers: spawns=4 (warm=4 cold=0) served=267 recycles=3 (count=3 rss=0
 ///   crash=0) solve_s=41.20 store: hits=12 misses=255 quarantined=0
-/// (the `store:` tail appears only when a proof store was in play). Stays
+///   backends: z3 served=140 crashes=0 wins=9; cvc5 served=127 crashes=1
+///   wins=4
+/// (the `store:` tail appears only when a proof store was in play; the
+/// `backends:` tail only when the fleet was heterogeneous or non-Z3, and
+/// always last, so earlier fields keep their historical positions). Stays
 /// off stdout so warm/cold and cold-store/warm-store runs keep
 /// byte-identical reports.
 std::string formatWorkerStats(const PoolStats &S);
@@ -58,11 +63,18 @@ struct FileReport {
   std::vector<ProcResult> Results;
 };
 
-/// The `--json` report: per-file, per-routine verdicts plus the worker
+/// The `--json` report: a schema version, the active solver backends (name
+/// + probed version string), per-file per-routine verdicts, the worker
 /// lifecycle counters (spawns, recycles and why, obligations served,
-/// cumulative solve time) and the process exit code.
-std::string jsonReport(const std::vector<FileReport> &Files,
-                       const PoolStats &Workers, int ExitCode);
+/// cumulative solve time, per-backend served/crashes/wins) and the process
+/// exit code. \p Backends lists the active fleet as (name, version) pairs;
+/// empty means the caller did not probe (daemon fallback) and the array is
+/// emitted empty.
+std::string
+jsonReport(const std::vector<FileReport> &Files, const PoolStats &Workers,
+           int ExitCode,
+           const std::vector<std::pair<std::string, std::string>> &Backends =
+               {});
 
 } // namespace dryad
 

@@ -21,12 +21,25 @@ namespace {
 /// The configuration half of a journal key: everything besides the query
 /// text that could change an obligation's meaning. Deadlines and seeds are
 /// deliberately absent — a proof stays a proof under a different timeout.
+/// The solver backend is NOT here either: it rides as an `@name` suffix on
+/// the finished key (see keyForBackend), so one obligation's records under
+/// different solvers share a content key prefix and the store's fsck can
+/// cross-check them for divergence.
 std::string tacticConfig(const VerifyOptions &Opts) {
-  std::string C = "solver=z3;tactics=";
+  std::string C = "tactics=";
   C += Opts.Natural.Unfold ? 'u' : '-';
   C += Opts.Natural.Frames ? 'f' : '-';
   C += Opts.Natural.Axioms ? 'a' : '-';
   return C;
+}
+
+/// The journal/store key for one obligation under one backend: the content
+/// key plus an `@name` suffix. Keys are backend-qualified so a proof cached
+/// under one solver is never replayed under another — switching `--backend`
+/// re-solves everything, by design.
+std::string keyForBackend(const std::string &BaseKey,
+                          const std::string &Backend) {
+  return BaseKey + "@" + (Backend.empty() ? "z3" : Backend);
 }
 
 /// Collision-free dump filename stem: the readable sanitized name plus a
@@ -112,10 +125,24 @@ SandboxOptions Verifier::sandboxOptions() const {
   SandboxOptions S;
   // Parallel and portfolio runs force isolation: concurrency comes from
   // worker *processes* (in-process Z3 solves on the event-loop thread and
-  // cannot overlap), and racing rungs must be individually killable.
+  // cannot overlap), and racing rungs must be individually killable. So
+  // does any piped backend — an external solver binary has no in-process
+  // path at all.
   S.Enabled = Opts.Isolate || Opts.Jobs > 1 || Opts.Portfolio;
+  for (const BackendSpec &B : Opts.Backends)
+    if (!B.isZ3Api())
+      S.Enabled = true;
   S.MemLimitMb = Opts.MemLimitMb;
   return S;
+}
+
+std::vector<std::string> Verifier::backendNames() const {
+  std::vector<std::string> Names;
+  for (const BackendSpec &B : Opts.Backends)
+    Names.push_back(B.Name);
+  if (Names.empty())
+    Names.push_back("z3");
+  return Names;
 }
 
 WarmPoolOptions Verifier::warmPoolOptions() const {
@@ -333,6 +360,11 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
     Spec.Sandbox = sandboxOptions();
     Spec.Budget = &St.Budget;
     Spec.Urgent = Urgent;
+    // Probes run on the primary backend only — no portfolio, no
+    // cross-checks: there is one meaningful tactic set, and the probe's
+    // verdict keys off the proof it validates, not off a race.
+    if (!Opts.Backends.empty())
+      Spec.Backends = {Opts.Backends.front()};
     Spec.Build = [this, &W, StrengthFor](SmtSolver &Probe,
                                          const AttemptInfo &) {
       Probe.add(W.VC->Assumptions.front());
@@ -396,12 +428,29 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
   // the partial report must show, never a silent "verified".
   auto assembleObligation = [this, assembleVacuity](PathWork &W,
                                                     const std::string &Name,
-                                                    const std::string &Key,
+                                                    const std::string &BaseKey,
                                                     ObligationResult *Slot,
                                                     bool IsMain) {
     ObligationResult O;
     O.Name = Name;
-    const JournalRecord *R = Jrnl.lookup(Key);
+    // The merged journal may hold this obligation under any configured
+    // backend's key (shards can run heterogeneous fleets). Prefer a proof;
+    // otherwise report whichever record exists.
+    const JournalRecord *R = nullptr;
+    std::string FoundKey;
+    for (const std::string &B : backendNames()) {
+      const std::string K = keyForBackend(BaseKey, B);
+      const JournalRecord *C = Jrnl.lookup(K);
+      if (C && (!R || (R->Status != SmtStatus::Unsat &&
+                       C->Status == SmtStatus::Unsat))) {
+        R = C;
+        FoundKey = K;
+      }
+    }
+    if (IsMain)
+      W.MainKey = FoundKey.empty()
+                      ? keyForBackend(BaseKey, backendNames().front())
+                      : FoundKey;
     if (!R) {
       O.Status = SmtStatus::Unknown;
       O.Failure = FailureKind::SolverCrash;
@@ -445,7 +494,12 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
     // decided without coordination: every shard derives the same keys from
     // the same plan. The persistent store shares the journal's key space,
     // which is what makes its records journal-schema-compatible.
-    std::string Key;
+    //
+    // Records are filed under backend-qualified keys (keyForBackend): the
+    // lookup walks every configured backend, primary first, so a portfolio
+    // run reuses whichever solver proved the obligation last time — but a
+    // run configured for a *different* backend finds nothing and re-solves.
+    std::string BaseKey;
     if (Jrnl.isOpen() || Store) {
       SmtSolver KeySolver;
       for (size_t I = 0; I != NumAssumptions; ++I)
@@ -453,14 +507,14 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
       for (const Formula *F : StrengthFor(W, 0))
         KeySolver.add(F);
       KeySolver.addNegated(Goal);
-      Key = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
-      if (IsMain)
-        W.MainKey = Key;
+      BaseKey = Journal::contentKey(KeySolver.toSmt2(), tacticConfig(Opts));
 
       if (Opts.ShardCount > 1) {
         if (SliceCounts.size() < Opts.ShardCount)
           SliceCounts.resize(Opts.ShardCount, 0);
-        unsigned Shard = shardOf(Key, Opts.ShardCount);
+        // Partitioned on the backend-free content key: every shard derives
+        // the same slices whatever its --backend flags say.
+        unsigned Shard = shardOf(BaseKey, Opts.ShardCount);
         ++SliceCounts[Shard];
         if (!Opts.AssembleFromJournal && Shard != Opts.ShardIndex) {
           // Another shard owns this obligation. Leave a placeholder slot so
@@ -473,49 +527,61 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
       }
 
       if (Opts.AssembleFromJournal) {
-        assembleObligation(W, Name, Key, Slot, IsMain);
+        assembleObligation(W, Name, BaseKey, Slot, IsMain);
         return;
       }
 
       if (Opts.Resume && Jrnl.isOpen()) {
-        const JournalRecord *R = Jrnl.lookup(Key);
-        if (R && R->Status == SmtStatus::Unsat) {
-          // Already proved by an earlier run of this exact query under this
-          // exact configuration: reuse the proof, zero attempts.
-          ObligationResult O;
-          O.Name = Name;
-          O.Status = SmtStatus::Unsat;
-          O.FromJournal = true;
-          *Slot = std::move(O);
-          if (IsMain)
-            maybeProbeVacuity(W, ReuseSource::Journal, /*Urgent=*/false);
-          return;
+        for (const std::string &B : backendNames()) {
+          const std::string K = keyForBackend(BaseKey, B);
+          const JournalRecord *R = Jrnl.lookup(K);
+          if (R && R->Status == SmtStatus::Unsat) {
+            // Already proved by an earlier run of this exact query under
+            // this exact configuration and backend: reuse the proof, zero
+            // attempts.
+            ObligationResult O;
+            O.Name = Name;
+            O.Status = SmtStatus::Unsat;
+            O.FromJournal = true;
+            *Slot = std::move(O);
+            if (IsMain) {
+              W.MainKey = K;
+              maybeProbeVacuity(W, ReuseSource::Journal, /*Urgent=*/false);
+            }
+            return;
+          }
+          // Sat / unknown / infrastructure failures are replayed: those
+          // are exactly the outcomes a retry (or a fixed environment) can
+          // improve.
         }
-        // Sat / unknown / infrastructure failures are replayed: those are
-        // exactly the outcomes a retry (or a fixed environment) can
-        // improve.
       }
 
       if (Store) {
-        const JournalRecord *R = Store->lookup(Key);
-        if (R && R->Status == SmtStatus::Unsat) {
-          // Cache hit: this exact query under this exact configuration was
-          // proved by some earlier run. Replay the recorded verdict (and
-          // its solve time, so aggregate timings — and thus stdout — match
-          // the run that produced the proof). Only proofs are reused:
-          // sat/unknown outcomes are exactly what a retry can improve.
-          ++WorkerStats.StoreHits;
-          ObligationResult O;
-          O.Name = Name;
-          O.Status = SmtStatus::Unsat;
-          O.Attempts = R->Attempts;
-          O.DegradeLevel = R->DegradeLevel;
-          O.Seconds = R->Seconds;
-          O.FromStore = true;
-          *Slot = std::move(O);
-          if (IsMain)
-            maybeProbeVacuity(W, ReuseSource::Store, /*Urgent=*/false);
-          return;
+        for (const std::string &B : backendNames()) {
+          const std::string K = keyForBackend(BaseKey, B);
+          const JournalRecord *R = Store->lookup(K);
+          if (R && R->Status == SmtStatus::Unsat) {
+            // Cache hit: this exact query under this exact configuration
+            // was proved by some earlier run of this backend. Replay the
+            // recorded verdict (and its solve time, so aggregate timings —
+            // and thus stdout — match the run that produced the proof).
+            // Only proofs are reused: sat/unknown outcomes are exactly what
+            // a retry can improve.
+            ++WorkerStats.StoreHits;
+            ObligationResult O;
+            O.Name = Name;
+            O.Status = SmtStatus::Unsat;
+            O.Attempts = R->Attempts;
+            O.DegradeLevel = R->DegradeLevel;
+            O.Seconds = R->Seconds;
+            O.FromStore = true;
+            *Slot = std::move(O);
+            if (IsMain) {
+              W.MainKey = K;
+              maybeProbeVacuity(W, ReuseSource::Store, /*Urgent=*/false);
+            }
+            return;
+          }
         }
         ++WorkerStats.StoreMisses;
       }
@@ -528,6 +594,7 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
     Spec.Sandbox = sandboxOptions();
     Spec.Budget = &St.Budget;
     Spec.Portfolio = Opts.Portfolio;
+    Spec.Backends = Opts.Backends;
     Spec.Build = [this, &W, StrengthFor, NumAssumptions, Goal,
                   Stem](SmtSolver &Solver, const AttemptInfo &Info) {
       for (size_t I = 0; I != NumAssumptions; ++I)
@@ -550,7 +617,7 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
         Out << Solver.toSmt2();
       }
     };
-    Engine.submit(std::move(Spec), [this, &W, Name, Key, Slot, IsMain,
+    Engine.submit(std::move(Spec), [this, &W, Name, BaseKey, Slot, IsMain,
                                     maybeProbeVacuity](const DispatchResult &D) {
       ObligationResult O;
       O.Name = Name;
@@ -562,6 +629,14 @@ void Verifier::planProc(DispatchEngine &Engine, ProcState &St,
       O.DegradeLevel = D.DegradeLevel;
       O.Seconds = D.Seconds;
       O.Model = D.ModelText;
+
+      // Filed under the key of the backend that actually produced this
+      // answer (under a portfolio the race winner, not necessarily the
+      // primary); the vacuity probe's sub-key pairs with the same record.
+      const std::string Key =
+          BaseKey.empty() ? std::string() : keyForBackend(BaseKey, D.Backend);
+      if (IsMain && !Key.empty())
+        W.MainKey = Key;
 
       // The journal (and store) are appended from the event-loop thread
       // only (this completion), so records never interleave mid-line even
@@ -670,6 +745,8 @@ ProcResult Verifier::verifyProc(const Procedure &P, DiagEngine &Diags) {
   planProc(Engine, St, Diags);
   Engine.drain();
   WorkerStats.accumulate(PoolP->stats().since(Before));
+  Alarms.insert(Alarms.end(), Engine.divergences().begin(),
+                Engine.divergences().end());
   return collectProc(St);
 }
 
@@ -700,6 +777,8 @@ std::vector<ProcResult> Verifier::verifyAll(DiagEngine &Diags) {
   }
   Engine.drain();
   WorkerStats.accumulate(PoolP->stats().since(Before));
+  Alarms.insert(Alarms.end(), Engine.divergences().begin(),
+                Engine.divergences().end());
   std::vector<ProcResult> Out;
   for (ProcState &St : Procs)
     Out.push_back(collectProc(St));

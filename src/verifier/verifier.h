@@ -18,6 +18,7 @@
 
 #include "lang/ast.h"
 #include "natural/engine.h"
+#include "sched/dispatch.h"
 #include "sched/pool.h"
 #include "smt/inject.h"
 #include "smt/resilient.h"
@@ -114,6 +115,15 @@ struct VerifyOptions {
   /// vacuous contract. A store that cannot be opened degrades to a warning
   /// (recorded in storeError()), never a failed run. Empty = off.
   std::string StorePath;
+  /// Solver backends, primary first (`--backend NAME[:PATH]`,
+  /// `--backends a,b,c`; see backend/backend.h). Empty means the in-process
+  /// Z3 API — the historical path, byte-identical behavior. Every
+  /// obligation solves on the primary; under Portfolio the secondaries each
+  /// race a full-tactics rung as cross-checks. Any non-Z3-API backend
+  /// forces process isolation (pipe solvers cannot run in-process), and
+  /// backend identity is baked into journal/store keys so a cached proof is
+  /// never replayed under a different solver.
+  std::vector<BackendSpec> Backends;
 };
 
 struct ObligationResult {
@@ -153,7 +163,6 @@ struct ProcResult {
   unsigned OutOfShard = 0;
 };
 
-class DispatchEngine;
 class ProofStore;
 
 class Verifier {
@@ -195,6 +204,12 @@ public:
   /// (verifyAll uses one pool; repeated verifyProc calls accumulate).
   const PoolStats &poolStats() const { return WorkerStats; }
 
+  /// Cross-backend sat/unsat disagreements observed by the portfolio's
+  /// cross-check rungs, accumulated over every dispatch this verifier has
+  /// driven. Any entry means a solver (or our translation) is unsound —
+  /// the driver must fail the run with infrastructure exit 3.
+  const std::vector<DivergenceAlarm> &divergences() const { return Alarms; }
+
   /// After verifyAll/verifyProc under ShardCount > 1: how many planned
   /// obligations (mains and call checks; vacuity probes ride along and are
   /// not counted) map to each shard index. Empty when unsharded.
@@ -214,6 +229,10 @@ private:
   RetryPolicy retryPolicy() const;
   SandboxOptions sandboxOptions() const;
   WarmPoolOptions warmPoolOptions() const;
+
+  /// Configured backend names, primary first; {"z3"} when Opts.Backends is
+  /// empty. These are the `@name` suffixes tried on journal/store lookups.
+  std::vector<std::string> backendNames() const;
 
   /// Plans every obligation of St's procedure into \p Engine (or, under
   /// AssembleFromJournal, resolves each from the journal without
@@ -244,6 +263,7 @@ private:
   std::unordered_map<std::string, unsigned> StemCounts;
   std::vector<size_t> SliceCounts;
   PoolStats WorkerStats;
+  std::vector<DivergenceAlarm> Alarms;
 };
 
 } // namespace dryad

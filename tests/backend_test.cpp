@@ -1,0 +1,262 @@
+//===--- backend_test.cpp - Pluggable solver backend tests -------------------===//
+//
+// Part of the Dryad natural-proofs reproduction. MIT license.
+//
+// The backend-layer contract under test (backend/backend.h):
+//  * `NAME[:PATH]` designators parse, round-trip, and reject names that
+//    could not be embedded in store keys; duplicate names are refused;
+//  * the startup probe reports the in-process Z3 API as always available
+//    and a missing binary as unavailable-with-reason, never a crash;
+//  * a PipeBackend turns an external solver's sat/unsat/unknown line into
+//    the same SmtResult taxonomy the in-process path produces, and a
+//    solver that prints no verdict classifies as SolverCrash;
+//  * backend identity is baked into store keys: switching `--backend`
+//    re-solves instead of replaying another solver's proofs, and a store
+//    holding contradictory verdicts for one formula under two backends is
+//    flagged DIVERGENT by fsck.
+//
+//===----------------------------------------------------------------------===//
+
+#include "backend/backend.h"
+#include "store/store.h"
+#include "verifier/verifier.h"
+
+#include "testutil.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <sys/stat.h>
+
+using namespace dryad;
+using namespace dryad::test;
+
+namespace {
+
+/// Writes an executable fake-solver script that ignores its input and
+/// prints \p Output, returning its path.
+std::string fakeSolver(const std::string &Name, const std::string &Output) {
+  std::string Path = ::testing::TempDir() + "dryad-fake-" + Name;
+  {
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << "#!/bin/sh\ncat >/dev/null\nprintf '%s\\n' '" << Output << "'\n";
+  }
+  chmod(Path.c_str(), 0755);
+  return Path;
+}
+
+SandboxRequest trivialRequest(const char *Smt2) {
+  SandboxRequest Req;
+  Req.Smt2 = Smt2;
+  Req.TimeoutMs = 10000;
+  return Req;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+TEST(BackendSpecParse, NameAndOptionalPath) {
+  BackendSpec B;
+  std::string Err;
+  ASSERT_TRUE(BackendSpec::parse("z3", B, Err)) << Err;
+  EXPECT_EQ(B.Name, "z3");
+  EXPECT_TRUE(B.Path.empty());
+  EXPECT_TRUE(B.isZ3Api());
+  EXPECT_EQ(B.str(), "z3");
+
+  ASSERT_TRUE(BackendSpec::parse("cvc5:/opt/cvc5/bin/cvc5", B, Err)) << Err;
+  EXPECT_EQ(B.Name, "cvc5");
+  EXPECT_EQ(B.Path, "/opt/cvc5/bin/cvc5");
+  EXPECT_FALSE(B.isZ3Api());
+  EXPECT_EQ(B.str(), "cvc5:/opt/cvc5/bin/cvc5");
+
+  // A pinned z3 *binary* is a pipe backend, not the in-process API.
+  ASSERT_TRUE(BackendSpec::parse("z3:/usr/bin/z3", B, Err)) << Err;
+  EXPECT_FALSE(B.isZ3Api());
+}
+
+TEST(BackendSpecParse, RejectsKeyHostileNames) {
+  BackendSpec B;
+  std::string Err;
+  // '@' and ':' are the store key separators; whitespace would tear the
+  // wire frame. None of these may survive into a backend name.
+  for (const char *Bad : {"", "has space", "at@sign", ":pathonly", "z3:"}) {
+    EXPECT_FALSE(BackendSpec::parse(Bad, B, Err)) << "accepted: " << Bad;
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(BackendSpecParse, ListSplitsAndRejectsDuplicates) {
+  std::vector<BackendSpec> L;
+  std::string Err;
+  ASSERT_TRUE(BackendSpec::parseList("z3,cvc5,alt:/usr/bin/z3", L, Err))
+      << Err;
+  ASSERT_EQ(L.size(), 3u);
+  EXPECT_EQ(L[0].Name, "z3");
+  EXPECT_EQ(L[1].Name, "cvc5");
+  EXPECT_EQ(L[2].Name, "alt");
+  EXPECT_EQ(L[2].Path, "/usr/bin/z3");
+
+  // Two backends sharing one name would share journal/store keys — a
+  // cached proof from one would silently answer for the other.
+  EXPECT_FALSE(BackendSpec::parseList("z3,z3:/usr/bin/z3", L, Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Availability probe
+//===----------------------------------------------------------------------===//
+
+TEST(BackendProbe, Z3ApiIsAlwaysAvailableWithAVersion) {
+  ProbedBackend P = probeBackend(BackendSpec{"z3", ""});
+  EXPECT_TRUE(P.Available);
+  EXPECT_FALSE(P.Version.empty());
+}
+
+TEST(BackendProbe, MissingBinaryIsUnavailableWithAReason) {
+  ProbedBackend P =
+      probeBackend(BackendSpec{"cvc5", "/nonexistent/definitely/cvc5"});
+  EXPECT_FALSE(P.Available);
+  EXPECT_FALSE(P.Error.empty());
+
+  // Name-only resolution walks $PATH; a name nothing provides is
+  // unavailable, not a crash.
+  P = probeBackend(BackendSpec{"no-such-solver-xyzzy", ""});
+  EXPECT_FALSE(P.Available);
+}
+
+//===----------------------------------------------------------------------===//
+// PipeBackend verdict mapping
+//===----------------------------------------------------------------------===//
+
+TEST(PipeBackend, MapsSolverOutputToTheVerdictTaxonomy) {
+  const char *Smt2 = "(assert false)\n(check-sat)\n";
+
+  std::string Unsat = fakeSolver("unsat", "unsat");
+  SmtResult R = solveWithBackend("fake:" + Unsat, trivialRequest(Smt2));
+  EXPECT_EQ(R.Status, SmtStatus::Unsat);
+
+  std::string Sat = fakeSolver("sat", "sat");
+  R = solveWithBackend("fake:" + Sat, trivialRequest(Smt2));
+  EXPECT_EQ(R.Status, SmtStatus::Sat);
+  EXPECT_FALSE(R.ModelText.empty())
+      << "pipe backends must say why no model values are attached";
+
+  std::string Unknown = fakeSolver("unknown", "unknown");
+  R = solveWithBackend("fake:" + Unknown, trivialRequest(Smt2));
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+
+  // A solver that prints no verdict at all is a crash, not an answer.
+  std::string Garbage = fakeSolver("garbage", "segmentation fault (core)");
+  R = solveWithBackend("fake:" + Garbage, trivialRequest(Smt2));
+  EXPECT_EQ(R.Status, SmtStatus::Unknown);
+  EXPECT_EQ(R.Failure, FailureKind::SolverCrash);
+}
+
+TEST(PipeBackend, EmptySpecIsTheInProcessZ3Api) {
+  SmtResult R = solveWithBackend("", trivialRequest("(assert false)\n"));
+  EXPECT_EQ(R.Status, SmtStatus::Unsat);
+  R = solveWithBackend("", trivialRequest("(assert true)\n"));
+  EXPECT_EQ(R.Status, SmtStatus::Sat);
+}
+
+//===----------------------------------------------------------------------===//
+// Store key separation across backends
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *OneProc = R"(
+proc id(x: loc) returns (ret: loc)
+  requires list(x)
+  ensures  list(ret)
+{
+  return x;
+}
+)";
+
+std::string cleanStorePath(const std::string &Name) {
+  std::string P = ::testing::TempDir() + "dryad-backend-" + Name + ".seg";
+  std::remove(P.c_str());
+  std::remove((P + ".stale").c_str());
+  return P;
+}
+
+PoolStats verifyWith(VerifyOptions Opts) {
+  auto M = parsePrelude(OneProc);
+  Verifier V(*M, Opts);
+  EXPECT_TRUE(V.storeError().empty()) << V.storeError();
+  DiagEngine D;
+  auto R = V.verifyAll(D);
+  EXPECT_EQ(R.size(), 1u);
+  if (!R.empty()) {
+    EXPECT_TRUE(R[0].Verified);
+  }
+  return V.poolStats();
+}
+
+} // namespace
+
+TEST(BackendStoreKeys, SwitchingBackendsResolvesInsteadOfReplaying) {
+  VerifyOptions Opts;
+  Opts.TimeoutMs = 30000;
+  Opts.CheckVacuity = false; // vacuity probes would consult the fake too
+  Opts.StorePath = cleanStorePath("switch");
+
+  // Cold z3 run: everything misses, proofs land under "...@z3".
+  PoolStats Cold = verifyWith(Opts);
+  EXPECT_EQ(Cold.StoreHits, 0u);
+  EXPECT_GE(Cold.StoreMisses, 1u);
+
+  // Same module, same backend: all hits.
+  PoolStats Warm = verifyWith(Opts);
+  EXPECT_EQ(Warm.StoreMisses, 0u);
+  EXPECT_GE(Warm.StoreHits, 1u);
+
+  // Same module, different backend: the z3 proofs must NOT answer — the
+  // fake's keys carry "@fake", so everything re-solves.
+  VerifyOptions Switched = Opts;
+  Switched.Backends = {BackendSpec{"fake", fakeSolver("store", "unsat")}};
+  PoolStats Other = verifyWith(Switched);
+  EXPECT_EQ(Other.StoreHits, 0u)
+      << "a proof cached under z3 must never replay under another backend";
+  EXPECT_GE(Other.StoreMisses, 1u);
+
+  // And back to z3: the original proofs still answer.
+  PoolStats Back = verifyWith(Opts);
+  EXPECT_EQ(Back.StoreMisses, 0u);
+  EXPECT_GE(Back.StoreHits, 1u);
+}
+
+TEST(BackendStoreKeys, FsckFlagsCrossBackendDivergence) {
+  std::string Path = cleanStorePath("fsck");
+  JournalRecord Proof;
+  Proof.Key = "v1-00000000000000aa@z3";
+  Proof.Name = "p [path 1]";
+  Proof.Status = SmtStatus::Unsat;
+  Proof.Attempts = 1;
+  JournalRecord Refutation = Proof;
+  Refutation.Key = "v1-00000000000000aa@cvc5";
+  Refutation.Status = SmtStatus::Sat;
+  // A third backend agreeing with the first must not mask the divergence.
+  JournalRecord Agree = Proof;
+  Agree.Key = "v1-00000000000000aa@alt";
+  {
+    std::ofstream Out(Path, std::ios::binary);
+    Out << ProofStore::headerLine();
+    Out << ProofStore::encodeRecord(Proof);
+    Out << ProofStore::encodeRecord(Refutation);
+    Out << ProofStore::encodeRecord(Agree);
+  }
+  StoreFsck F = ProofStore::verifySegment(Path);
+  EXPECT_EQ(F.DistinctKeys, 3u) << "per-backend keys stay distinct records";
+  ASSERT_EQ(F.DivergentKeys.size(), 1u)
+      << "one formula proved under z3 and refuted under cvc5 means one of "
+         "the solvers (or our translation) is unsound";
+  EXPECT_EQ(F.DivergentKeys[0], "v1-00000000000000aa");
+  EXPECT_FALSE(F.clean());
+  EXPECT_NE(ProofStore::formatFsck(F).find("DIVERGENT"), std::string::npos);
+}
