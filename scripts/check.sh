@@ -235,7 +235,7 @@ rm -f "$STORE" "$STORE".stale "$SOCK"
 "$DRYADV" --store "$STORE" --no-vacuity --timeout 30000 "$SLL" \
     > /tmp/dryadv-serve-cold.out 2> /dev/null
 { "$DRYADV" --serve "$SOCK" --store "$STORE" --no-vacuity --timeout 30000 \
-    --jobs 2 2> /tmp/dryadv-serve.err & }
+    --jobs 2 --serve-jobs 4 2> /tmp/dryadv-serve.err & }
 SERVEPID=$!
 for _ in $(seq 100); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { echo "daemon never bound $SOCK" >&2; exit 1; }
@@ -288,6 +288,54 @@ if [ "$misses" -ge "$hits" ]; then
   echo "the edit dirtied too much: hits=$hits misses=$misses" >&2
   exit 1
 fi
+
+echo "== smoke: 4 concurrent clients get byte-identical answers =="
+# The concurrent daemon: four --remote clients at once, each must produce
+# stdout byte-identical to the cold local baseline. A fifth, slow-loris
+# connection (opened first, sends a few junk bytes, then stalls) must cost
+# the daemon a file descriptor, never a session — the real clients are
+# served while it dangles.
+python3 - "$SOCK" <<'EOF' &
+import socket, sys, time
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.connect(sys.argv[1])
+s.sendall(b"DRY")          # a frame prefix, never completed
+time.sleep(20)
+EOF
+LORISPID=$!
+CONCPIDS=()
+for i in 1 2 3 4; do
+  "$DRYADV" --remote "$SOCK" "$SLL" \
+      > /tmp/dryadv-conc$i.out 2> /dev/null &
+  CONCPIDS+=($!)
+done
+for pid in "${CONCPIDS[@]}"; do
+  wait "$pid" || { echo "a concurrent remote client failed" >&2; exit 1; }
+done
+for i in 1 2 3 4; do
+  cmp /tmp/dryadv-serve-cold.out /tmp/dryadv-conc$i.out || {
+    echo "concurrent client $i diverges from the cold local run" >&2
+    exit 1
+  }
+done
+kill "$LORISPID" 2>/dev/null || true
+wait "$LORISPID" 2>/dev/null || true
+
+echo "== smoke: --ping reports daemon health without touching the store =="
+"$DRYADV" --remote "$SOCK" --ping > /tmp/dryadv-ping.out || {
+  echo "--ping against a live daemon failed" >&2
+  exit 1
+}
+grep -q "^daemon: up " /tmp/dryadv-ping.out || {
+  echo "ping output missing the uptime line" >&2
+  cat /tmp/dryadv-ping.out >&2
+  exit 1
+}
+grep -q "served=" /tmp/dryadv-ping.out || {
+  echo "ping output missing the served count" >&2
+  cat /tmp/dryadv-ping.out >&2
+  exit 1
+}
 
 echo "== smoke: SIGTERM daemon leaves no orphans, no socket, a clean store =="
 kill -TERM "$SERVEPID"

@@ -39,6 +39,13 @@
 /// `--isolate`). Lowering errors and short-circuited injected faults never
 /// fork either way.
 ///
+/// Threading: one engine, one thread. An engine and its Scheduler belong to
+/// the thread that drives `drain()`; nothing here locks. The concurrent
+/// serve daemon gets multi-client parallelism by giving each session thread
+/// its OWN engine + Scheduler pair (leasing warm workers from a partitioned
+/// WarmFleet), not by sharing one engine — the only cross-thread entry
+/// point anywhere in the stack is `Scheduler::requestAbort`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRYAD_SCHED_DISPATCH_H

@@ -6,9 +6,52 @@
 #include <cerrno>
 #include <chrono>
 
+#include <fcntl.h>
 #include <poll.h>
+#include <unistd.h>
 
 using namespace dryad;
+
+bool WarmFleet::take(unsigned P, WarmWorker &Out) {
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<WarmWorker> &Part = Parts[P % Parts.size()];
+  while (!Part.empty()) {
+    WarmWorker W = std::move(Part.back());
+    Part.pop_back();
+    if (W.usable()) {
+      Out = std::move(W);
+      return true;
+    }
+    retireWarmWorker(W); // died while parked; reap, try the next one
+  }
+  return false;
+}
+
+void WarmFleet::put(unsigned P, WarmWorker &&W) {
+  if (!W.usable()) {
+    retireWarmWorker(W);
+    return;
+  }
+  std::lock_guard<std::mutex> L(Mu);
+  Parts[P % Parts.size()].push_back(std::move(W));
+}
+
+void WarmFleet::retireAll() {
+  std::lock_guard<std::mutex> L(Mu);
+  for (std::vector<WarmWorker> &Part : Parts) {
+    for (WarmWorker &W : Part)
+      retireWarmWorker(W);
+    Part.clear();
+  }
+}
+
+size_t WarmFleet::idleCount() const {
+  std::lock_guard<std::mutex> L(Mu);
+  size_t N = 0;
+  for (const std::vector<WarmWorker> &Part : Parts)
+    N += Part.size();
+  return N;
+}
 
 /// The per-backend stats key for a request: the backend-spec name with any
 /// ":path" suffix dropped; the empty wire field means the in-process Z3 API.
@@ -30,8 +73,18 @@ static void countBackendResult(PoolStats &Stats, const std::string &Backend,
     ++B.Crashes;
 }
 
-Scheduler::Scheduler(unsigned Jobs, WarmPoolOptions Warm)
-    : Slots(Jobs == 0 ? 1 : Jobs), Opts(Warm) {}
+Scheduler::Scheduler(unsigned Jobs, WarmPoolOptions Warm, WarmFleet *F,
+                     unsigned P)
+    : Slots(Jobs == 0 ? 1 : Jobs), Opts(Warm), Fleet(F), Partition(P) {
+  // The abort self-pipe: requestAbort() writes a byte, the poll loop wakes.
+  // Non-blocking both ends so neither side can ever wedge on it.
+  if (pipe(AbortPipe) == 0) {
+    fcntl(AbortPipe[0], F_SETFL, O_NONBLOCK);
+    fcntl(AbortPipe[1], F_SETFL, O_NONBLOCK);
+  } else {
+    AbortPipe[0] = AbortPipe[1] = -1;
+  }
+}
 
 Scheduler::~Scheduler() {
   // Abandoned run (exception unwound through run(), or run() never called):
@@ -45,8 +98,45 @@ Scheduler::~Scheduler() {
       finishWorker(T.W);
     }
   }
-  for (WarmWorker &WW : Idle)
-    retireWarmWorker(WW);
+  for (WarmWorker &WW : Idle) {
+    // Survivors go back to the shared fleet for the next scheduler on this
+    // partition; without a fleet the historical retire applies.
+    if (Fleet)
+      Fleet->put(Partition, std::move(WW));
+    else
+      retireWarmWorker(WW);
+  }
+  if (AbortPipe[0] >= 0)
+    close(AbortPipe[0]);
+  if (AbortPipe[1] >= 0)
+    close(AbortPipe[1]);
+}
+
+void Scheduler::requestAbort() {
+  AbortFlag.store(true, std::memory_order_release);
+  if (AbortPipe[1] >= 0) {
+    char C = 1;
+    // Best effort: a full pipe means a wake-up is already pending.
+    [[maybe_unused]] ssize_t N = write(AbortPipe[1], &C, 1);
+  }
+}
+
+void Scheduler::abortNow(AbortCause C) {
+  Cause = C;
+  for (RunningTask &T : Active) {
+    if (T.Warm) {
+      // Killed mid-solve: the worker's pipe may carry a partial answer, so
+      // it can never be reused. Reap and count, like a cancel().
+      killWarmWorker(T.WW, /*AtDeadline=*/false);
+      finishWarmRequest(T.WW);
+      ++Stats.RecycledCrash;
+    } else {
+      killWorker(T.W, /*AtDeadline=*/false);
+      finishWorker(T.W);
+    }
+  }
+  Active.clear();
+  Pending.clear();
 }
 
 TaskId Scheduler::submit(SandboxRequest Req, Completion Done, OnStart Start) {
@@ -92,7 +182,12 @@ WarmWorker Scheduler::acquireWarmWorker() {
     Idle.pop_back();
     return WW;
   }
-  WarmWorker WW = spawnWarmWorker();
+  // Our own idle set is empty: lease a parked survivor from the fleet
+  // partition before paying for a fork — the cross-request amortization.
+  WarmWorker WW;
+  if (Fleet && Fleet->take(Partition, WW))
+    return WW;
+  WW = spawnWarmWorker();
   if (!WW.SpawnFailed)
     ++Stats.WarmSpawns;
   return WW;
@@ -197,6 +292,10 @@ void Scheduler::run() {
   std::vector<pollfd> PFs;
   std::vector<RunningTask> Finished;
   for (;;) {
+    if (AbortFlag.load(std::memory_order_acquire)) {
+      abortNow(Cause == AbortCause::None ? AbortCause::External : Cause);
+      return;
+    }
     fill();
     if (Active.empty()) {
       if (Pending.empty())
@@ -225,12 +324,55 @@ void Scheduler::run() {
           PollMs = Ms;
       }
     }
+    // The abort sources ride in the same poll: the self-pipe (cross-thread
+    // requestAbort), the watched client fd (EOF = the client hung up
+    // mid-solve), and the per-request wall deadline.
+    size_t Workers = PFs.size();
+    size_t AbortIdx = SIZE_MAX, WatchIdx = SIZE_MAX;
+    if (AbortPipe[0] >= 0) {
+      AbortIdx = PFs.size();
+      PFs.push_back({AbortPipe[0], POLLIN, 0});
+    }
+    if (WatchFd >= 0) {
+      WatchIdx = PFs.size();
+      PFs.push_back({WatchFd, POLLIN, 0});
+    }
+    if (HasAbortDeadline) {
+      auto Remain = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        AbortDeadline - Now)
+                        .count();
+      int Ms = Remain <= 0 ? 0 : static_cast<int>(Remain);
+      if (PollMs < 0 || Ms < PollMs)
+        PollMs = Ms;
+    }
     int PR = poll(PFs.data(), PFs.size(), PollMs);
     if (PR < 0 && errno == EINTR)
       continue;
 
+    if (AbortIdx != SIZE_MAX && (PFs[AbortIdx].revents & POLLIN)) {
+      abortNow(AbortCause::External);
+      return;
+    }
+    if (WatchIdx != SIZE_MAX &&
+        (PFs[WatchIdx].revents & (POLLIN | POLLHUP | POLLERR))) {
+      // The client has nothing legitimate to say between request and
+      // response: readable means EOF (it hung up) or stray bytes we drain
+      // and ignore. Either way an error/EOF cancels its whole request.
+      char Junk[4096];
+      ssize_t N = read(WatchFd, Junk, sizeof(Junk));
+      if (N <= 0 && !(N < 0 && (errno == EAGAIN || errno == EINTR))) {
+        abortNow(AbortCause::ClientGone);
+        return;
+      }
+    }
+    if (HasAbortDeadline &&
+        std::chrono::steady_clock::now() >= AbortDeadline) {
+      abortNow(AbortCause::Deadline);
+      return;
+    }
+
     // Drain readable pipes, then fire any expired deadlines.
-    for (size_t I = 0; I != Active.size(); ++I)
+    for (size_t I = 0; I != Workers; ++I)
       if (PFs[I].revents & (POLLIN | POLLHUP | POLLERR)) {
         if (Active[I].Warm)
           pumpWarmWorker(Active[I].WW);

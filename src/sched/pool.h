@@ -47,10 +47,12 @@
 
 #include "smt/sandbox.h"
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -156,6 +158,35 @@ struct PoolStats {
   }
 };
 
+/// A thread-safe, PARTITIONED parking lot for idle warm workers, shared by
+/// schedulers that come and go — the serve daemon's bridge between its
+/// long-lived fleet and the short-lived per-request Scheduler each session
+/// builds. A scheduler leases workers from exactly one partition and
+/// returns its survivors there at destruction, so two concurrent sessions
+/// never touch the same worker process (a worker's pipes are single-owner
+/// by construction) while workers still stay warm ACROSS requests on the
+/// same session slot.
+class WarmFleet {
+public:
+  explicit WarmFleet(unsigned Partitions) : Parts(Partitions ? Partitions : 1) {}
+  ~WarmFleet() { retireAll(); }
+  WarmFleet(const WarmFleet &) = delete;
+  WarmFleet &operator=(const WarmFleet &) = delete;
+
+  /// Pops an idle worker from \p Partition into \p Out. False when empty.
+  bool take(unsigned Partition, WarmWorker &Out);
+  /// Parks \p W in \p Partition for the slot's next scheduler.
+  void put(unsigned Partition, WarmWorker &&W);
+  /// SIGKILLs + reaps every parked worker (idempotent; also the dtor).
+  void retireAll();
+  /// Parked workers across all partitions — health reporting only.
+  size_t idleCount() const;
+
+private:
+  mutable std::mutex Mu;
+  std::vector<std::vector<WarmWorker>> Parts;
+};
+
 class Scheduler {
 public:
   /// Runs on the event-loop thread once the task's worker fate has been
@@ -169,11 +200,44 @@ public:
   using OnStart = std::function<void()>;
 
   /// \p Jobs concurrent worker slots (clamped to at least 1); \p Warm
-  /// selects the worker lifecycle (warm fleet by default).
-  explicit Scheduler(unsigned Jobs, WarmPoolOptions Warm = {});
+  /// selects the worker lifecycle (warm fleet by default). When \p Fleet is
+  /// non-null, idle warm workers are leased from (and returned to) its
+  /// \p Partition instead of being spawned and retired per scheduler — the
+  /// serve daemon's cross-request warmth.
+  explicit Scheduler(unsigned Jobs, WarmPoolOptions Warm = {},
+                     WarmFleet *Fleet = nullptr, unsigned Partition = 0);
   ~Scheduler();
   Scheduler(const Scheduler &) = delete;
   Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Why run() returned before the queue drained, if it did.
+  enum class AbortCause {
+    None,       ///< ran to completion
+    External,   ///< requestAbort() from another thread (daemon drain)
+    ClientGone, ///< the watched client fd reached EOF mid-run
+    Deadline,   ///< the abort deadline expired (per-request wall budget)
+  };
+
+  /// Thread-safe: asks the event loop to stop. Running workers are
+  /// SIGKILLed and reaped, queued tasks discarded, and NO further
+  /// completion runs. The one cross-thread entry point — everything else
+  /// on this class stays event-loop-thread only.
+  void requestAbort();
+
+  /// Watches \p Fd (the session's client socket) during run(): EOF or an
+  /// error on it aborts the run with AbortCause::ClientGone. The fd is
+  /// polled, never closed, by the scheduler. Event-loop thread only.
+  void watchClient(int Fd) { WatchFd = Fd; }
+
+  /// Aborts the run when the wall clock passes \p At (the per-request
+  /// deadline). Event-loop thread only, set before run().
+  void setAbortDeadline(std::chrono::steady_clock::time_point At) {
+    AbortDeadline = At;
+    HasAbortDeadline = true;
+  }
+
+  /// Why the last run() stopped early (None when it drained normally).
+  AbortCause abortCause() const { return Cause; }
 
   unsigned jobs() const { return Slots; }
 
@@ -235,6 +299,11 @@ private:
   /// recycling policy (count / RSS / any non-verdict answer), counting why.
   void recycleOrRetain(WarmWorker &&WW, const SmtResult &R);
 
+  /// The abort path shared by every cause: SIGKILL + reap running workers
+  /// (counted as crash recycles — their state is unusable), drop queued
+  /// tasks, record \p C. No completion runs for any of them.
+  void abortNow(AbortCause C);
+
   unsigned Slots;
   WarmPoolOptions Opts;
   PoolStats Stats;
@@ -242,6 +311,19 @@ private:
   std::deque<PendingTask> Pending;
   std::vector<RunningTask> Active;
   std::vector<WarmWorker> Idle; ///< answered warm workers awaiting reuse
+
+  WarmFleet *Fleet = nullptr; ///< optional shared parking lot
+  unsigned Partition = 0;     ///< our slice of the fleet
+
+  // Abort machinery. AbortFlag + the self-pipe are the only cross-thread
+  // state; the pipe's read end sits in run()'s poll set so a requestAbort
+  // from another thread interrupts a sleeping event loop immediately.
+  std::atomic<bool> AbortFlag{false};
+  int AbortPipe[2] = {-1, -1};
+  int WatchFd = -1;
+  std::chrono::steady_clock::time_point AbortDeadline;
+  bool HasAbortDeadline = false;
+  AbortCause Cause = AbortCause::None;
 };
 
 } // namespace dryad

@@ -95,6 +95,10 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
       Infra = InfraFaultKind::StoreCrc;
     else if (KindName == "servedrop")
       Infra = InfraFaultKind::ServeDrop;
+    else if (KindName == "serveslow")
+      Infra = InfraFaultKind::ServeSlow;
+    else if (KindName == "servebusy")
+      Infra = InfraFaultKind::ServeBusy;
     if (Infra) {
       std::string Where = Entry.substr(At + 1);
       char *End = nullptr;
@@ -112,7 +116,7 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
     if (!Kind) {
       Err = "unknown fault kind '" + KindName +
             "' (expected timeout|unknown|lowering|resourceout|crash|oom|"
-            "diverge|fault|storetorn|storecrc|servedrop)";
+            "diverge|fault|storetorn|storecrc|servedrop|serveslow|servebusy)";
       return std::nullopt;
     }
     Fault F;
@@ -180,6 +184,12 @@ std::string FaultPlan::describe() const {
       break;
     case InfraFaultKind::ServeDrop:
       Out += "servedrop";
+      break;
+    case InfraFaultKind::ServeSlow:
+      Out += "serveslow";
+      break;
+    case InfraFaultKind::ServeBusy:
+      Out += "servebusy";
       break;
     }
     Out += "@" + std::to_string(F.At);

@@ -40,6 +40,12 @@
 ///   servedrop@N      the serve daemon drops the connection of its Nth
 ///                    request without responding, exercising the client's
 ///                    retry/fallback ladder
+///   serveslow@N      the daemon never reads the Nth accepted connection's
+///                    bytes, so its per-frame read deadline must fire — the
+///                    deterministic slow-loris client
+///   servebusy@N      the daemon answers its Nth request with the
+///                    retryable DRYE1 "overloaded" frame regardless of
+///                    actual load, exercising the client's backoff path
 ///
 //===----------------------------------------------------------------------===//
 
@@ -76,6 +82,8 @@ enum class InfraFaultKind {
   StoreTorn, ///< tear the Nth store append mid-record, then kill the writer
   StoreCrc,  ///< corrupt the CRC of the Nth store append
   ServeDrop, ///< drop the daemon connection of the Nth serve request
+  ServeSlow, ///< stall reading the Nth accepted connection (slow loris)
+  ServeBusy, ///< force the retryable overloaded reply to the Nth request
 };
 
 struct InfraFault {

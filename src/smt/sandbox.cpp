@@ -10,6 +10,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <new>
 #include <string>
 #include <vector>
@@ -20,6 +21,23 @@
 #include <unistd.h>
 
 using namespace dryad;
+
+// ThreadSanitizer builds cannot live under an RLIMIT_AS cap (the runtime
+// needs terabytes of shadow address space) and its internal allocator
+// FATALs instead of throwing bad_alloc when memory runs out — so the memory
+// cap, and the injected-oom hog loop that relies on it, are unenforceable
+// under tsan. Both are short-circuited below; everything else (CPU caps,
+// wall deadlines, crash/stall faults, classification) runs unchanged.
+#if defined(__SANITIZE_THREAD__)
+#define DRYAD_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DRYAD_TSAN 1
+#endif
+#endif
+#ifndef DRYAD_TSAN
+#define DRYAD_TSAN 0
+#endif
 
 namespace {
 
@@ -127,7 +145,7 @@ bool applyLimits(const SandboxRequest &Req) {
   // otherwise the "fault" would eat the machine it exists to protect.
   if (Req.Fault == SandboxFault::Oom && MemMb == 0)
     MemMb = 256;
-  if (MemMb) {
+  if (MemMb && !DRYAD_TSAN) {
     rlim_t Cap = static_cast<rlim_t>(MemMb) << 20;
     if (!setLimit(RLIMIT_AS, Cap, Cap))
       return false;
@@ -167,6 +185,8 @@ void realizeFault(SandboxFault Fault) {
     raise(SIGSEGV);
     _exit(ExitProto); // unreachable
   case SandboxFault::Oom:
+    if (DRYAD_TSAN) // no AS cap to bite (see DRYAD_TSAN): exit as if it had
+      _exit(ExitOom);
     try {
       std::vector<char *> Hog;
       for (;;) {
@@ -247,10 +267,10 @@ bool applyLimitsWarm(const SandboxRequest &Req) {
   // even when the caller set none.
   if (Req.Fault == SandboxFault::Oom && MemMb == 0)
     MemMb = 256;
-  if (MemMb) {
+  if (MemMb && !DRYAD_TSAN) {
     if (!setSoftLimit(RLIMIT_AS, static_cast<rlim_t>(MemMb) << 20))
       return false;
-  } else {
+  } else if (!MemMb) {
     // No cap requested: a previous request's tighter soft cap must not
     // leak into this one.
     rlimit RL;
@@ -360,10 +380,21 @@ std::atomic<int> TermStoreFd{-1};
 char TermUnlinkPath[256];
 std::atomic<bool> TermUnlinkArmed{false};
 
-void terminationHandler(int) {
+void terminationHandler(int) { dryad::terminateNow(); }
+
+// Serializes the pipe()+fork() window across spawning threads. Without it,
+// a fork on thread B that interleaves thread A's pipe() and fork() copies
+// A's not-yet-bound pipe fds into B's child (no CLOEXEC possible: warm
+// children never exec), holding A's pipes open from an unrelated process.
+// Spawns are rare relative to solves, so one mutex costs nothing.
+std::mutex SpawnMu;
+} // namespace
+
+void dryad::terminateNow() {
   // Async-signal-safe only: fsync, kill, waitpid, unlink, _exit. Journal
   // and proof store were already flushed per record from userspace; fsync
-  // pushes them to disk.
+  // pushes them to disk. Exposed so the serve daemon's two-stage drain
+  // handler can escalate to this exact path on a second SIGTERM.
   int Fd = TermJournalFd.load(std::memory_order_relaxed);
   if (Fd >= 0)
     fsync(Fd);
@@ -385,7 +416,6 @@ void terminationHandler(int) {
   }
   _exit(130);
 }
-} // namespace
 
 void dryad::registerChildPid(pid_t Pid) {
   for (int I = 0; I != MaxTrackedChildren; ++I) {
@@ -442,6 +472,7 @@ WorkerHandle dryad::spawnWorker(const SandboxRequest &Req) {
   }
 
   int Fds[2];
+  std::unique_lock<std::mutex> Spawn(SpawnMu);
   if (pipe(Fds) != 0) {
     W.SpawnFailed = true;
     W.FailReason = std::string("pipe: ") + std::strerror(errno);
@@ -459,6 +490,7 @@ WorkerHandle dryad::spawnWorker(const SandboxRequest &Req) {
     close(Fds[0]);
     childMain(Req, Fds[1]); // never returns
   }
+  Spawn.unlock();
   close(Fds[1]);
   W.Pid = Pid;
   W.Fd = Fds[0];
@@ -660,6 +692,7 @@ WarmWorker dryad::spawnWarmWorker() {
   signal(SIGPIPE, SIG_IGN);
 
   int Down[2], Up[2]; // Down: parent -> worker requests; Up: responses back
+  std::unique_lock<std::mutex> Spawn(SpawnMu);
   if (pipe(Down) != 0) {
     W.SpawnFailed = true;
     W.FailReason = std::string("pipe: ") + std::strerror(errno);
@@ -689,6 +722,7 @@ WarmWorker dryad::spawnWarmWorker() {
   }
   close(Down[0]);
   close(Up[1]);
+  Spawn.unlock();
   W.Pid = Pid;
   W.ToFd = Down[1];
   W.FromFd = Up[0];

@@ -306,6 +306,14 @@ void installTerminationHandlers(int JournalFd, int StoreFd = -1);
 /// internal buffer are ignored.
 void registerUnlinkOnTermination(const std::string &Path);
 
+/// The termination handlers' hard path, callable directly: fsync the
+/// registered journal/store fds, unlink the armed socket path, SIGKILL and
+/// reap every registered child, _exit(130). Async-signal-safe. The serve
+/// daemon's two-stage drain uses it as the escalation for a second
+/// SIGTERM — the first signal drains gracefully, the second takes this
+/// path immediately.
+[[noreturn]] void terminateNow();
+
 } // namespace dryad
 
 #endif // DRYAD_SMT_SANDBOX_H

@@ -68,18 +68,87 @@ int connectWithTimeout(const std::string &Path, unsigned TimeoutMs,
 
 } // namespace
 
-bool dryad::remoteVerify(const RemoteOptions &RO, const std::string &File,
-                         const std::string &Source, ServeResponse &Resp,
-                         std::string &Err) {
+RemoteStatus dryad::remoteVerify(const RemoteOptions &RO,
+                                 const std::string &File,
+                                 const std::string &Source,
+                                 ServeResponse &Resp, std::string &Err) {
   // A daemon that dies mid-exchange turns our write into EPIPE, not a
   // process kill.
   signal(SIGPIPE, SIG_IGN);
 
   std::string Frame = frameServeRequest({File, Source});
+  // Two separate budgets: Try counts infrastructure trouble (no daemon,
+  // lost daemon), BusyTries counts explicit DRYE1 backpressure. A busy
+  // daemon is HEALTHY — its replies must not erode the connect ladder, and
+  // backing off must not be mistaken for the daemon being gone.
+  unsigned BusyTries = 0;
+  for (unsigned Try = 0; Try <= RO.Retries;) {
+    int Fd = connectWithTimeout(RO.SocketPath, RO.ConnectTimeoutMs, Err);
+    if (Fd < 0) {
+      if (++Try <= RO.Retries)
+        std::fprintf(stderr, "remote: retrying (%u/%u): %s\n", Try,
+                     RO.Retries, Err.c_str());
+      continue;
+    }
+    if (!writeFully(Fd, Frame)) {
+      Err = std::string("send failed: ") + std::strerror(errno);
+      close(Fd);
+      if (++Try <= RO.Retries)
+        std::fprintf(stderr, "remote: retrying (%u/%u): %s\n", Try,
+                     RO.Retries, Err.c_str());
+      continue;
+    }
+    const char *Magics[2] = {"DRYT1", "DRYE1"};
+    size_t Which = 0;
+    std::string Payload;
+    if (!readFrameAnyOf(Fd, Magics, 2, Which, Payload, RO.RequestTimeoutMs,
+                        Err)) {
+      // Covers servedrop (daemon hung up after reading the request), a
+      // killed daemon, and a wedged solve past the deadline alike.
+      Err = "daemon lost mid-request: " + Err;
+      close(Fd);
+      if (++Try <= RO.Retries)
+        std::fprintf(stderr, "remote: retrying (%u/%u): %s\n", Try,
+                     RO.Retries, Err.c_str());
+      continue;
+    }
+    close(Fd);
+    if (Which == 1) {
+      // DRYE1: the daemon is saturated (or draining) and told us when to
+      // come back. Honor its hint on the busy budget.
+      ServeBusy B;
+      if (decodeServeBusy(Payload, B) && ++BusyTries <= RO.BusyRetries) {
+        unsigned WaitMs = B.RetryAfterMs == 0 ? 100 : B.RetryAfterMs;
+        std::fprintf(stderr,
+                     "remote: daemon busy (%s); backing off %ums (%u/%u)\n",
+                     B.Reason.c_str(), WaitMs, BusyTries, RO.BusyRetries);
+        poll(nullptr, 0, static_cast<int>(WaitMs));
+        continue;
+      }
+      Err = "daemon overloaded: backoff budget exhausted after " +
+            std::to_string(BusyTries - 1) + " retries (" + B.Reason + ")";
+      return RemoteStatus::Overloaded;
+    }
+    if (!decodeServeResponse(Payload, Resp)) {
+      Err = "malformed response from daemon";
+      if (++Try <= RO.Retries)
+        std::fprintf(stderr, "remote: retrying (%u/%u): %s\n", Try,
+                     RO.Retries, Err.c_str());
+      continue;
+    }
+    return RemoteStatus::Ok;
+  }
+  return RemoteStatus::Error;
+}
+
+bool dryad::remotePing(const RemoteOptions &RO, ServeHealth &H,
+                       std::string &Err) {
+  signal(SIGPIPE, SIG_IGN);
+  std::string Frame = framePingRequest();
   for (unsigned Try = 0; Try <= RO.Retries; ++Try) {
     if (Try != 0)
-      std::fprintf(stderr, "remote: retrying (%u/%u): %s\n", Try, RO.Retries,
-                   Err.c_str());
+      std::fprintf(stderr, "remote: retrying ping (%u/%u): %s\n", Try,
+                   RO.Retries, Err.c_str());
     int Fd = connectWithTimeout(RO.SocketPath, RO.ConnectTimeoutMs, Err);
     if (Fd < 0)
       continue;
@@ -89,16 +158,16 @@ bool dryad::remoteVerify(const RemoteOptions &RO, const std::string &File,
       continue;
     }
     std::string Payload;
-    if (!readFrame(Fd, "DRYT1", Payload, RO.RequestTimeoutMs, Err)) {
-      // Covers servedrop (daemon hung up after reading the request), a
-      // killed daemon, and a wedged solve past the deadline alike.
-      Err = "daemon lost mid-request: " + Err;
+    // A ping answers from memory; it should never take remotely as long as
+    // a solve. Bound it independently of RequestTimeoutMs.
+    if (!readFrame(Fd, "DRYH1", Payload, /*TimeoutMs=*/5000, Err)) {
+      Err = "daemon lost mid-ping: " + Err;
       close(Fd);
       continue;
     }
     close(Fd);
-    if (!decodeServeResponse(Payload, Resp)) {
-      Err = "malformed response from daemon";
+    if (!decodeServeHealth(Payload, H)) {
+      Err = "malformed health reply from daemon";
       continue;
     }
     return true;

@@ -21,6 +21,14 @@
 ///     the last error on stderr. Never exit 1: an unreachable daemon is
 ///     not a counterexample.
 ///
+/// A retryable DRYE1 busy reply is NOT failure: the daemon is alive and
+/// explicitly asking for patience, so the client backs off for the
+/// daemon's own retry-after hint and tries again on a separate budget
+/// (BusyRetries) that never consumes the connect-retry ladder and never
+/// triggers fallback — an overloaded daemon owns the store; solving
+/// locally behind its back would fork the cache. Exhausting the backoff
+/// budget returns Overloaded, which the driver maps to exit 3, never 1.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRYAD_STORE_REMOTE_H
@@ -37,15 +45,30 @@ struct RemoteOptions {
   unsigned ConnectTimeoutMs = 2000;    ///< per connect() attempt
   unsigned RequestTimeoutMs = 600000;  ///< solve-and-respond deadline
   unsigned Retries = 2;                ///< re-attempts after the first try
+  unsigned BusyRetries = 8;            ///< re-attempts after DRYE1 busy replies
   bool Fallback = true;                ///< solve locally when all tries fail
 };
 
-/// One request against the daemon, with the retry ladder applied. Returns
-/// true and fills \p Resp on success; false with the last failure's reason
-/// in \p Err (the caller decides between fallback and exit 3).
-bool remoteVerify(const RemoteOptions &RO, const std::string &File,
-                  const std::string &Source, ServeResponse &Resp,
-                  std::string &Err);
+/// How one remote exchange ended.
+enum class RemoteStatus {
+  Ok,         ///< Resp holds the daemon's answer
+  Error,      ///< daemon unreachable/lost; caller picks fallback or exit 3
+  Overloaded, ///< daemon alive but saturated past the backoff budget; exit
+              ///< 3 always — never fallback, never exit 1
+};
+
+/// One request against the daemon, with the retry ladder and busy backoff
+/// applied. Fills \p Resp on Ok; leaves the last failure's reason in
+/// \p Err otherwise.
+RemoteStatus remoteVerify(const RemoteOptions &RO, const std::string &File,
+                          const std::string &Source, ServeResponse &Resp,
+                          std::string &Err);
+
+/// `--remote SOCK --ping`: one DRYP1 exchange. Fills \p H with the
+/// daemon's health snapshot without planning any verification. Uses the
+/// same connect ladder as remoteVerify but never falls back (there is no
+/// local equivalent of daemon health).
+bool remotePing(const RemoteOptions &RO, ServeHealth &H, std::string &Err);
 
 } // namespace dryad
 

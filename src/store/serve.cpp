@@ -1,4 +1,24 @@
-//===--- serve.cpp - Incremental verification daemon -------------------------===//
+//===--- serve.cpp - Concurrent incremental verification daemon --------------===//
+//
+// Threading model (see also serve.h):
+//
+//   main thread          owns the listener, every client READ, admission
+//                        control, and the signal/drain state machine. It
+//                        never parses or solves anything, so a slow client
+//                        can only ever cost it one poll slot.
+//   session threads      ServeJobs of them, each with a one-job mailbox.
+//                        A session builds a fresh Verifier + Scheduler per
+//                        request (leasing warm workers from its own
+//                        WarmFleet partition), solves, writes the response
+//                        under a write deadline, and signals the main
+//                        thread over the wake pipe.
+//
+// The client fd is read by the main thread until a full frame arrives,
+// then owned by the session until its response is written, then closed by
+// the main thread when it collects the finished slot. Exactly one thread
+// touches the fd at a time.
+//
+//===----------------------------------------------------------------------===//
 
 #include "store/serve.h"
 
@@ -10,11 +30,21 @@
 #include "verifier/report.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -23,15 +53,32 @@ using namespace dryad;
 
 namespace {
 
-/// A client that connects but never sends its request must not wedge the
-/// accept loop forever.
-constexpr unsigned RequestReadTimeoutMs = 30000;
+using Clock = std::chrono::steady_clock;
+
+// --- two-stage signal plumbing -------------------------------------------
+//
+// First SIGINT/SIGTERM: set the drain flag and wake the event loop — the
+// daemon stops accepting, finishes (or deadline-aborts) in-flight work,
+// fsyncs the store, and exits 0. Second signal: the operator is insisting;
+// take the async-signal-safe hard path (fsync, SIGKILL + reap the fleet,
+// unlink the socket, _exit(130)).
+std::atomic<bool> DrainRequested{false};
+int SignalPipeWr = -1;
+
+void serveDrainHandler(int) {
+  if (DrainRequested.exchange(true))
+    terminateNow();
+  if (SignalPipeWr >= 0) {
+    char C = 1;
+    [[maybe_unused]] ssize_t N = write(SignalPipeWr, &C, 1);
+  }
+}
 
 /// Binds a listening unix socket at \p Path. A live listener already there
 /// is an error (two daemons would race the accept queue); a stale socket
 /// file — connect refused — is unlinked and replaced. Returns -1 with a
 /// message on \p Err.
-int bindListener(const std::string &Path, std::string &Err) {
+int bindListener(const std::string &Path, int Backlog, std::string &Err) {
   struct sockaddr_un Addr;
   if (Path.size() >= sizeof(Addr.sun_path)) {
     Err = "socket path too long (max " +
@@ -64,12 +111,220 @@ int bindListener(const std::string &Path, std::string &Err) {
     return -1;
   }
   if (bind(Fd, reinterpret_cast<struct sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
-      listen(Fd, 8) < 0) {
+      listen(Fd, Backlog) < 0) {
     Err = std::string("bind/listen ") + Path + ": " + std::strerror(errno);
     close(Fd);
     return -1;
   }
   return Fd;
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+/// One accepted connection the main thread is still reading (or, under
+/// serveslow@N, deliberately stalling until its read deadline fires).
+struct Conn {
+  int Fd = -1;
+  unsigned ConnNo = 0;
+  std::string Buf;
+  Clock::time_point ReadDeadline;
+  bool Stalled = false;
+};
+
+/// A fully-read, admitted request: waiting in the queue or running on a
+/// session. Owns the client fd from admission to collection.
+struct Job {
+  int ClientFd = -1;
+  unsigned RequestNo = 0;
+  ServeRequest Q;
+};
+
+/// Daemon-lifetime counters for DRYH1 health replies, written by session
+/// threads and read by the main thread.
+struct DaemonTotals {
+  std::mutex Mu;
+  unsigned Served = 0;
+  unsigned Hits = 0;
+  unsigned Misses = 0;
+};
+
+struct ServeShared; // fwd
+
+/// One session thread and its mailbox. The main thread hands it one Job at
+/// a time (Mu/Cv); the session flips Done and pokes the wake pipe when the
+/// response is written. ActivePool (under PoolMu) is the drain hook: the
+/// main thread can requestAbort() a request that outlives the drain
+/// budget without ever touching the session's other state.
+struct SessionSlot {
+  unsigned Index = 0;
+  std::thread Th;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool HasJob = false;
+  bool Shutdown = false;
+  Job J;
+
+  std::mutex PoolMu;
+  Scheduler *ActivePool = nullptr;
+
+  std::atomic<bool> Done{false};
+};
+
+/// Everything a session thread needs, owned by runServeDaemon's frame.
+struct ServeShared {
+  const ServeDaemonOptions *SO = nullptr;
+  VerifyOptions Base;
+  ProofStore *Store = nullptr;
+  WarmFleet *Fleet = nullptr;
+  DaemonTotals Totals;
+  int WakeWr = -1;
+};
+
+void wakeMain(int Fd) {
+  char C = 1;
+  [[maybe_unused]] ssize_t N = write(Fd, &C, 1);
+}
+
+/// The per-request work a session thread does: parse, verify on a fresh
+/// per-request Scheduler (client-watch + wall deadline armed), assemble
+/// the exact response the old sequential daemon sent, write it under the
+/// response deadline.
+void handleRequest(ServeShared &Sh, SessionSlot &S, const Job &J) {
+  const ServeDaemonOptions &SO = *Sh.SO;
+  ServeResponse Resp;
+  bool MustRespond = true;
+  Module M;
+  DiagEngine Diags;
+  if (!parseModule(J.Q.Source, M, Diags)) {
+    // Mirror the local driver: parse failure is a genuine failure (exit 1)
+    // with the diagnostics on stderr — relayed via the diag field.
+    Resp.Exit = 1;
+    Resp.Diag = J.Q.File + ":\n" + Diags.str();
+  } else {
+    WarmPoolOptions WPO;
+    WPO.Warm = Sh.Base.WarmWorkers;
+    WPO.RecycleAfter = Sh.Base.RecycleAfter;
+    Scheduler Pool(std::max(1u, Sh.Base.Jobs), WPO, Sh.Fleet, S.Index);
+    Pool.watchClient(J.ClientFd);
+    if (SO.DeadlineMs != 0)
+      Pool.setAbortDeadline(Clock::now() +
+                            std::chrono::milliseconds(SO.DeadlineMs));
+    {
+      std::lock_guard<std::mutex> L(S.PoolMu);
+      S.ActivePool = &Pool;
+    }
+    Verifier V(M, Sh.Base);
+    V.setExternalStore(Sh.Store);
+    V.setExternalPool(&Pool);
+    std::vector<ProcResult> Results = V.verifyAll(Diags);
+    {
+      std::lock_guard<std::mutex> L(S.PoolMu);
+      S.ActivePool = nullptr;
+    }
+
+    switch (Pool.abortCause()) {
+    case Scheduler::AbortCause::ClientGone:
+      // Nobody is listening for an answer; the abort already SIGKILLed the
+      // session's in-flight rungs and recycled its workers.
+      std::fprintf(stderr,
+                   "serve: request %u client hung up mid-solve; cancelled\n",
+                   J.RequestNo);
+      MustRespond = false;
+      break;
+    case Scheduler::AbortCause::Deadline:
+      Resp.Exit = 3;
+      Resp.Diag = "request deadline exceeded (" +
+                  std::to_string(SO.DeadlineMs) + "ms); obligations aborted\n";
+      std::fprintf(stderr, "serve: request %u hit the %ums deadline\n",
+                   J.RequestNo, SO.DeadlineMs);
+      break;
+    case Scheduler::AbortCause::External:
+      Resp.Exit = 3;
+      Resp.Diag = "daemon draining; request aborted\n";
+      std::fprintf(stderr, "serve: request %u aborted by drain\n",
+                   J.RequestNo);
+      break;
+    case Scheduler::AbortCause::None: {
+      if (Diags.hasErrors())
+        Resp.Diag = Diags.str();
+      Resp.Report = formatResults(J.Q.File, Results);
+      bool AllVerified = true, AnyGenuine = false;
+      classifyResults(Results, AllVerified, AnyGenuine);
+      Resp.Exit = AllVerified ? 0 : AnyGenuine ? 1 : 3;
+      // A cross-backend divergence poisons the whole request: whatever the
+      // per-routine verdicts say, two solvers contradicted each other, so
+      // the only honest answer is infrastructure failure.
+      if (!V.divergences().empty()) {
+        Resp.Exit = 3;
+        for (const DivergenceAlarm &A : V.divergences())
+          Resp.Diag += "backend divergence on '" + A.Obligation +
+                       "': " + A.Detail + "\n";
+      }
+      // A fresh Scheduler per request means poolStats() IS the per-request
+      // slice — no since() bookkeeping against a shared pool.
+      const PoolStats &St = V.poolStats();
+      Resp.StoreHits = St.StoreHits;
+      Resp.StoreMisses = St.StoreMisses;
+      // Load-time quarantine belongs to the daemon, not any one request;
+      // surfacing it on every response keeps corruption visible to the
+      // clients whose cache it degraded.
+      Resp.StoreQuarantined =
+          St.StoreQuarantined +
+          static_cast<unsigned>(Sh.Store->quarantinedOnLoad());
+      std::vector<FileReport> Files;
+      Files.push_back({J.Q.File, std::move(Results)});
+      PoolStats WithQuarantine = St;
+      WithQuarantine.StoreQuarantined = Resp.StoreQuarantined;
+      Resp.Json =
+          jsonReport(Files, WithQuarantine, Resp.Exit, SO.BackendLabels);
+      std::fprintf(stderr,
+                   "serve: request %u %s exit=%d hits=%u misses=%u "
+                   "solve_s=%.2f\n",
+                   J.RequestNo, J.Q.File.c_str(), Resp.Exit, Resp.StoreHits,
+                   Resp.StoreMisses, St.SolveSeconds);
+      break;
+    }
+    }
+  }
+
+  // Count BEFORE answering: a client that pings right after its response
+  // arrives must see itself in the served total.
+  {
+    std::lock_guard<std::mutex> L(Sh.Totals.Mu);
+    ++Sh.Totals.Served;
+    Sh.Totals.Hits += Resp.StoreHits;
+    Sh.Totals.Misses += Resp.StoreMisses;
+  }
+
+  if (MustRespond) {
+    std::string WErr;
+    if (!writeFullyTimed(J.ClientFd, frameServeResponse(Resp),
+                         SO.ReadTimeoutMs, WErr))
+      std::fprintf(stderr, "serve: request %u response not delivered: %s\n",
+                   J.RequestNo, WErr.c_str());
+  }
+}
+
+void sessionMain(ServeShared &Sh, SessionSlot &S) {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> L(S.Mu);
+      S.Cv.wait(L, [&] { return S.HasJob || S.Shutdown; });
+      if (!S.HasJob)
+        return; // shutdown with an empty mailbox
+      J = std::move(S.J);
+      S.HasJob = false;
+    }
+    handleRequest(Sh, S, J);
+    S.Done.store(true, std::memory_order_release);
+    wakeMain(Sh.WakeWr);
+  }
 }
 
 } // namespace
@@ -87,127 +342,426 @@ int dryad::runServeDaemon(const ServeDaemonOptions &SO) {
   }
   Store.setInject(SO.Verify.Inject);
 
-  int ListenFd = bindListener(SO.SocketPath, Err);
+  unsigned Jobs = SO.ServeJobs;
+  if (Jobs == 0) {
+    Jobs = std::thread::hardware_concurrency();
+    if (Jobs == 0)
+      Jobs = 2;
+  }
+
+  // Satellite of the concurrency work: the backlog used to be a hard-coded
+  // 8, disconnected from how many clients the daemon can actually absorb.
+  // Size it to the whole admission capacity (sessions + queue), floored at
+  // the historical value.
+  int Backlog = static_cast<int>(Jobs + SO.ServeQueue);
+  if (Backlog < 8)
+    Backlog = 8;
+  int ListenFd = bindListener(SO.SocketPath, Backlog, Err);
   if (ListenFd < 0) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 2;
   }
+  // The accept burst drains until EAGAIN; the listener must not block.
+  setNonBlocking(ListenFd);
 
-  // From here on SIGINT/SIGTERM flushes the store, SIGKILLs + reaps every
-  // fleet worker via the pid registry, unlinks the socket, and _exit(130)s.
+  // Arm the hard termination path (terminateNow): fsync targets, the pid
+  // registry, the socket to unlink. Then REPLACE the default one-shot
+  // handlers with the two-stage drain handler — first signal drains
+  // gracefully, second one escalates to terminateNow.
   registerUnlinkOnTermination(SO.SocketPath);
   installTerminationHandlers(/*JournalFd=*/-1, Store.writerFd());
+  int SignalPipe[2];
+  int WakePipe[2];
+  if (pipe(SignalPipe) != 0 || pipe(WakePipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    close(ListenFd);
+    unlink(SO.SocketPath.c_str());
+    return 2;
+  }
+  setNonBlocking(SignalPipe[0]);
+  setNonBlocking(SignalPipe[1]);
+  setNonBlocking(WakePipe[0]);
+  setNonBlocking(WakePipe[1]);
+  DrainRequested.store(false);
+  SignalPipeWr = SignalPipe[1];
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = serveDrainHandler;
+  sigemptyset(&SA.sa_mask);
+  sigaction(SIGINT, &SA, nullptr);
+  sigaction(SIGTERM, &SA, nullptr);
 
-  // The long-lived warm fleet: every request's misses are scheduled on it,
-  // so solver init is paid once per worker for the daemon's lifetime.
   VerifyOptions Base = SO.Verify;
   Base.JournalPath.clear();
   Base.StorePath.clear(); // injected below; the verifier must not reopen it
   Base.Resume = false;
-  WarmPoolOptions WPO;
-  WPO.Warm = Base.WarmWorkers;
-  WPO.RecycleAfter = Base.RecycleAfter;
-  Scheduler Pool(std::max(1u, Base.Jobs), WPO);
+  // Sessions are threads: every solve must stay in a forked worker so no
+  // session thread ever runs a solver in-process.
+  Base.Isolate = true;
 
-  std::fprintf(stderr, "serve: listening on %s (store %s, %zu cached keys)\n",
-               SO.SocketPath.c_str(), Store.path().c_str(), Store.size());
+  // The cross-request warm fleet, partitioned by session slot so two
+  // sessions never share a worker process.
+  WarmFleet Fleet(Jobs);
 
+  ServeShared Sh;
+  Sh.SO = &SO;
+  Sh.Base = Base;
+  Sh.Store = &Store;
+  Sh.Fleet = &Fleet;
+  Sh.WakeWr = WakePipe[1];
+
+  std::vector<std::unique_ptr<SessionSlot>> Slots;
+  for (unsigned I = 0; I != Jobs; ++I) {
+    Slots.push_back(std::make_unique<SessionSlot>());
+    Slots.back()->Index = I;
+  }
+  for (auto &S : Slots)
+    S->Th = std::thread(sessionMain, std::ref(Sh), std::ref(*S));
+
+  std::fprintf(stderr,
+               "serve: listening on %s (store %s, %zu cached keys, "
+               "%u sessions, queue %u)\n",
+               SO.SocketPath.c_str(), Store.path().c_str(), Store.size(),
+               Jobs, SO.ServeQueue);
+
+  const auto StartTime = Clock::now();
+  std::vector<Conn> Reading;
+  std::deque<Job> Queue;
+  // Main-thread-only view of which slots hold a job (the fd to close at
+  // collection); Done is the only cross-thread flag.
+  std::vector<int> SlotFd(Jobs, -1);
   unsigned Requests = 0;
-  for (;;) {
-    if (SO.MaxRequests != 0 && Requests >= SO.MaxRequests)
-      break;
-    int Client = accept(ListenFd, nullptr, nullptr);
-    if (Client < 0) {
-      if (errno == EINTR)
-        continue;
-      std::fprintf(stderr, "error: accept: %s\n", std::strerror(errno));
-      break;
-    }
-    std::string Payload, ReadErr;
-    if (!readFrame(Client, "DRYS1", Payload, RequestReadTimeoutMs, ReadErr)) {
-      // Not counted as a request: a connect that hangs up without a full
-      // frame is a readiness probe or a port scan, and must not consume
-      // MaxRequests budget or a servedrop ordinal.
-      std::fprintf(stderr, "serve: connection dropped before a full request: %s\n",
-                   ReadErr.c_str());
-      close(Client);
-      continue;
-    }
-    ++Requests;
-    ServeRequest Q;
-    if (!decodeServeRequest(Payload, Q)) {
-      std::fprintf(stderr, "serve: request %u malformed\n", Requests);
-      close(Client);
-      continue;
-    }
+  unsigned Conns = 0;
+  bool Draining = false;
+  bool AcceptOpen = true;
+  bool DrainAborted = false;
+  Clock::time_point DrainDeadline;
 
-    // servedrop@N: hang up after reading the Nth request, before answering
-    // — the deterministic stand-in for a daemon crash mid-request, which
-    // is what the client's retry/fallback ladder must absorb.
-    if (SO.Verify.Inject.infraFaultFor(InfraFaultKind::ServeDrop, Requests)) {
-      std::fprintf(stderr,
-                   "serve: request %u dropped by injected fault servedrop\n",
-                   Requests);
-      close(Client);
-      continue;
-    }
-
-    ServeResponse Resp;
-    Module M;
-    DiagEngine Diags;
-    if (!parseModule(Q.Source, M, Diags)) {
-      // Mirror the local driver: parse failure is a genuine failure (exit
-      // 1) with the diagnostics on stderr — relayed via the diag field.
-      Resp.Exit = 1;
-      Resp.Diag = Q.File + ":\n" + Diags.str();
-    } else {
-      Verifier V(M, Base);
-      V.setExternalStore(&Store);
-      V.setExternalPool(&Pool);
-      std::vector<ProcResult> Results = V.verifyAll(Diags);
-      if (Diags.hasErrors())
-        Resp.Diag = Diags.str();
-      Resp.Report = formatResults(Q.File, Results);
-      bool AllVerified = true, AnyGenuine = false;
-      classifyResults(Results, AllVerified, AnyGenuine);
-      Resp.Exit = AllVerified ? 0 : AnyGenuine ? 1 : 3;
-      // A cross-backend divergence poisons the whole request: whatever the
-      // per-routine verdicts say, two solvers contradicted each other, so
-      // the only honest answer is infrastructure failure.
-      if (!V.divergences().empty()) {
-        Resp.Exit = 3;
-        for (const DivergenceAlarm &A : V.divergences())
-          Resp.Diag += "backend divergence on '" + A.Obligation +
-                       "': " + A.Detail + "\n";
+  auto busyCount = [&] {
+    unsigned N = 0;
+    for (int Fd : SlotFd)
+      if (Fd >= 0)
+        ++N;
+    return N;
+  };
+  auto sendBusy = [&](int Fd, const std::string &Reason, unsigned RetryMs) {
+    ServeBusy B;
+    B.RetryAfterMs = RetryMs;
+    B.Reason = Reason;
+    std::string WErr;
+    writeFullyTimed(Fd, frameServeBusy(B), /*TimeoutMs=*/1000, WErr);
+    close(Fd);
+  };
+  auto dispatch = [&] {
+    while (!Queue.empty()) {
+      unsigned Slot = Jobs;
+      for (unsigned I = 0; I != Jobs; ++I)
+        if (SlotFd[I] < 0 && !Slots[I]->Done.load(std::memory_order_acquire)) {
+          Slot = I;
+          break;
+        }
+      if (Slot == Jobs)
+        return;
+      Job J = std::move(Queue.front());
+      Queue.pop_front();
+      SlotFd[Slot] = J.ClientFd;
+      {
+        std::lock_guard<std::mutex> L(Slots[Slot]->Mu);
+        Slots[Slot]->J = std::move(J);
+        Slots[Slot]->HasJob = true;
       }
-      const PoolStats &S = V.poolStats();
-      Resp.StoreHits = S.StoreHits;
-      Resp.StoreMisses = S.StoreMisses;
-      // Load-time quarantine belongs to the daemon, not any one request;
-      // surfacing it on every response keeps corruption visible to the
-      // clients whose cache it degraded.
-      Resp.StoreQuarantined =
-          S.StoreQuarantined + static_cast<unsigned>(Store.quarantinedOnLoad());
-      std::vector<FileReport> Files;
-      Files.push_back({Q.File, std::move(Results)});
-      PoolStats WithQuarantine = S;
-      WithQuarantine.StoreQuarantined = Resp.StoreQuarantined;
-      Resp.Json = jsonReport(Files, WithQuarantine, Resp.Exit,
-                             SO.BackendLabels);
-      std::fprintf(stderr,
-                   "serve: request %u %s exit=%d hits=%u misses=%u "
-                   "solve_s=%.2f\n",
-                   Requests, Q.File.c_str(), Resp.Exit, Resp.StoreHits,
-                   Resp.StoreMisses, S.SolveSeconds);
+      Slots[Slot]->Cv.notify_one();
+    }
+  };
+  auto closeListener = [&] {
+    if (AcceptOpen) {
+      close(ListenFd);
+      AcceptOpen = false;
+    }
+  };
+
+  // The retry hint an overloaded reply carries: long enough that a backoff
+  // loop converges, short enough that a drained slot is picked up fast.
+  const unsigned BusyRetryHintMs = 200;
+
+  for (;;) {
+    // Collect finished sessions: close the client fd, free the slot.
+    for (unsigned I = 0; I != Jobs; ++I)
+      if (SlotFd[I] >= 0 && Slots[I]->Done.load(std::memory_order_acquire)) {
+        Slots[I]->Done.store(false, std::memory_order_relaxed);
+        close(SlotFd[I]);
+        SlotFd[I] = -1;
+      }
+
+    if (!Draining)
+      dispatch();
+
+    bool Capped = SO.MaxRequests != 0 && Requests >= SO.MaxRequests;
+    if (Capped)
+      closeListener();
+    if ((Draining || Capped) && Queue.empty() && busyCount() == 0)
+      break;
+
+    // --- build the poll set ---
+    std::vector<struct pollfd> PFs;
+    PFs.push_back({SignalPipe[0], POLLIN, 0});
+    PFs.push_back({WakePipe[0], POLLIN, 0});
+    size_t ListenIdx = SIZE_MAX;
+    if (AcceptOpen && !Draining && !Capped) {
+      ListenIdx = PFs.size();
+      PFs.push_back({ListenFd, POLLIN, 0});
+    }
+    size_t ConnBase = PFs.size();
+    for (const Conn &C : Reading)
+      // A stalled (serveslow) connection is watched for nothing: only its
+      // read deadline can end it, which is the point of the fault.
+      PFs.push_back({C.Fd, static_cast<short>(C.Stalled ? 0 : POLLIN), 0});
+
+    int PollMs = -1;
+    auto fold = [&](Clock::time_point At) {
+      auto Rem = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     At - Clock::now())
+                     .count();
+      int Ms = Rem < 0 ? 0 : (Rem > 60000 ? 60000 : static_cast<int>(Rem));
+      if (PollMs < 0 || Ms < PollMs)
+        PollMs = Ms;
+    };
+    for (const Conn &C : Reading)
+      fold(C.ReadDeadline);
+    if (Draining)
+      fold(DrainDeadline);
+
+    int PR = poll(PFs.data(), PFs.size(), PollMs);
+    if (PR < 0 && errno != EINTR) {
+      std::fprintf(stderr, "error: poll: %s\n", std::strerror(errno));
+      break;
     }
 
-    if (!writeFully(Client, frameServeResponse(Resp)))
-      std::fprintf(stderr, "serve: request %u client went away mid-response\n",
-                   Requests);
-    close(Client);
+    // --- signals: enter drain ---
+    if (PFs[0].revents & POLLIN) {
+      char Junk[64];
+      while (read(SignalPipe[0], Junk, sizeof(Junk)) > 0)
+        ;
+    }
+    if (DrainRequested.load(std::memory_order_acquire) && !Draining) {
+      Draining = true;
+      DrainDeadline = Clock::now() + std::chrono::milliseconds(SO.DrainMs);
+      closeListener();
+      std::fprintf(stderr,
+                   "serve: drain requested (%u in flight, %zu queued)\n",
+                   busyCount(), Queue.size());
+      // Queued requests will not be served: answer them with a retryable
+      // busy so their clients go elsewhere instead of timing out.
+      for (Job &J : Queue)
+        sendBusy(J.ClientFd, "draining", BusyRetryHintMs);
+      Queue.clear();
+      // Half-read requests get the same hangup a restart would give them.
+      for (Conn &C : Reading)
+        close(C.Fd);
+      Reading.clear();
+      continue;
+    }
+
+    if (PFs[1].revents & POLLIN) {
+      char Junk[64];
+      while (read(WakePipe[0], Junk, sizeof(Junk)) > 0)
+        ;
+    }
+
+    // --- drain deadline: abort the stragglers, once ---
+    if (Draining && !DrainAborted && Clock::now() >= DrainDeadline) {
+      DrainAborted = true;
+      for (unsigned I = 0; I != Jobs; ++I)
+        if (SlotFd[I] >= 0) {
+          std::lock_guard<std::mutex> L(Slots[I]->PoolMu);
+          if (Slots[I]->ActivePool)
+            Slots[I]->ActivePool->requestAbort();
+        }
+    }
+
+    // Snapshot per-connection readiness before anything mutates Reading:
+    // Revents[K] belongs to the K'th connection of THIS poll round, in
+    // order, even as entries are erased or appended below.
+    std::vector<short> Revents;
+    for (size_t I = ConnBase; I < PFs.size(); ++I)
+      Revents.push_back(PFs[I].revents);
+
+    // --- new connections ---
+    if (ListenIdx != SIZE_MAX && (PFs[ListenIdx].revents & POLLIN)) {
+      for (;;) {
+        int Client = accept(ListenFd, nullptr, nullptr);
+        if (Client < 0)
+          break; // EAGAIN/EINTR: back to poll
+        setNonBlocking(Client);
+        ++Conns;
+        Conn C;
+        C.Fd = Client;
+        C.ConnNo = Conns;
+        C.ReadDeadline =
+            Clock::now() + std::chrono::milliseconds(SO.ReadTimeoutMs);
+        // serveslow@N: never read the Nth accepted connection — the
+        // deterministic slow-loris. It must cost one fd until its read
+        // deadline, and nothing else.
+        C.Stalled = SO.Verify.Inject
+                        .infraFaultFor(InfraFaultKind::ServeSlow, Conns)
+                        .has_value();
+        if (C.Stalled)
+          std::fprintf(stderr,
+                       "serve: connection %u stalled by injected fault "
+                       "serveslow\n",
+                       Conns);
+        Reading.push_back(std::move(C));
+      }
+    }
+
+    // --- progress on reading connections ---
+    // RI walks the readiness snapshot in the original order; connections
+    // accepted this round sit past the snapshot and read on the next poll.
+    size_t RI = 0;
+    for (size_t I = 0; I < Reading.size(); ++RI) {
+      Conn &C = Reading[I];
+      short Rev = RI < Revents.size() ? Revents[RI] : 0;
+      bool Drop = false;
+      bool Admitted = false;
+      if (!C.Stalled && (Rev & (POLLIN | POLLHUP | POLLERR))) {
+        char Buf[65536];
+        ssize_t N = read(C.Fd, Buf, sizeof(Buf));
+        if (N > 0) {
+          C.Buf.append(Buf, static_cast<size_t>(N));
+          std::string Payload;
+          size_t Consumed = 0;
+          int RReq = tryParseFrame(C.Buf, "DRYS1", Payload, Consumed);
+          int RPing =
+              RReq == 1 ? -1 : tryParseFrame(C.Buf, "DRYP1", Payload, Consumed);
+          if (RReq == 1) {
+            // A complete request frame: this is the admission point.
+            ++Requests;
+            unsigned RequestNo = Requests;
+            ServeRequest Q;
+            if (!decodeServeRequest(Payload, Q)) {
+              std::fprintf(stderr, "serve: request %u malformed\n", RequestNo);
+              Drop = true;
+            } else if (SO.Verify.Inject.infraFaultFor(InfraFaultKind::ServeDrop,
+                                                      RequestNo)) {
+              // servedrop@N: hang up after reading the Nth request, before
+              // answering — the deterministic stand-in for a daemon crash
+              // mid-request, which the client's retry ladder must absorb.
+              std::fprintf(
+                  stderr,
+                  "serve: request %u dropped by injected fault servedrop\n",
+                  RequestNo);
+              Drop = true;
+            } else if (SO.Verify.Inject.infraFaultFor(InfraFaultKind::ServeBusy,
+                                                      RequestNo) ||
+                       (busyCount() == Jobs &&
+                        Queue.size() >= SO.ServeQueue)) {
+              // Admission control: every session busy and the queue at
+              // capacity (or servebusy@N forcing the path) — answer with
+              // the retryable busy frame instead of queueing unboundedly.
+              std::fprintf(stderr, "serve: request %u refused: overloaded "
+                                   "(%u busy, %zu queued)\n",
+                           RequestNo, busyCount(), Queue.size());
+              sendBusy(C.Fd, "overloaded", BusyRetryHintMs);
+              C.Fd = -1; // sendBusy closed it
+              Admitted = true; // taken off Reading either way
+            } else {
+              Job J;
+              J.ClientFd = C.Fd;
+              J.RequestNo = RequestNo;
+              J.Q = std::move(Q);
+              Queue.push_back(std::move(J));
+              Admitted = true;
+            }
+          } else if (RPing == 1) {
+            // DRYP1: health snapshot, answered inline — a ping must never
+            // plan a verification or consume a session.
+            ServeHealth H;
+            H.UptimeMs = static_cast<unsigned long long>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    Clock::now() - StartTime)
+                    .count());
+            {
+              std::lock_guard<std::mutex> L(Sh.Totals.Mu);
+              H.Served = Sh.Totals.Served;
+              H.StoreHits = Sh.Totals.Hits;
+              H.StoreMisses = Sh.Totals.Misses;
+            }
+            H.Active = busyCount();
+            H.Queued = static_cast<unsigned>(Queue.size());
+            H.StoreKeys = Store.size();
+            H.StoreQuarantined =
+                static_cast<unsigned>(Store.quarantinedOnLoad());
+            std::string WErr;
+            writeFullyTimed(C.Fd, frameServeHealth(H), /*TimeoutMs=*/1000,
+                            WErr);
+            Drop = true; // one ping per connection; close it
+          } else if (RReq < 0 && RPing < 0) {
+            std::fprintf(stderr,
+                         "serve: connection %u sent an unrecognized frame\n",
+                         C.ConnNo);
+            Drop = true;
+          }
+          // else: incomplete frame — keep reading.
+        } else if (N == 0 || (N < 0 && errno != EAGAIN && errno != EINTR)) {
+          // Not counted as a request: a connect that hangs up without a
+          // full frame is a readiness probe or a port scan, and must not
+          // consume MaxRequests budget or a servedrop ordinal.
+          std::fprintf(
+              stderr,
+              "serve: connection dropped before a full request\n");
+          Drop = true;
+        }
+      }
+      if (!Drop && !Admitted && Clock::now() >= C.ReadDeadline) {
+        std::fprintf(stderr,
+                     "serve: connection %u timed out before a full request "
+                     "(%ums)\n",
+                     C.ConnNo, SO.ReadTimeoutMs);
+        Drop = true;
+      }
+      if (Drop || Admitted) {
+        if (Drop && C.Fd >= 0)
+          close(C.Fd);
+        Reading.erase(Reading.begin() + static_cast<long>(I));
+      } else {
+        ++I;
+      }
+    }
+
+    dispatch();
   }
 
-  close(ListenFd);
+  // --- shutdown: sessions, fleet, store, socket ---
+  for (Conn &C : Reading)
+    close(C.Fd);
+  for (Job &J : Queue) // MaxRequests exit path; drain already emptied it
+    close(J.ClientFd);
+  for (auto &S : Slots) {
+    {
+      std::lock_guard<std::mutex> L(S->Mu);
+      S->Shutdown = true;
+    }
+    S->Cv.notify_one();
+  }
+  for (auto &S : Slots)
+    S->Th.join();
+  for (unsigned I = 0; I != Jobs; ++I)
+    if (SlotFd[I] >= 0)
+      close(SlotFd[I]);
+  Fleet.retireAll();
+  if (Store.writerFd() >= 0)
+    fsync(Store.writerFd());
+
+  signal(SIGINT, SIG_DFL);
+  signal(SIGTERM, SIG_DFL);
+  SignalPipeWr = -1;
+  close(SignalPipe[0]);
+  close(SignalPipe[1]);
+  close(WakePipe[0]);
+  close(WakePipe[1]);
+  closeListener();
   unlink(SO.SocketPath.c_str());
+  std::fprintf(stderr, "serve: exiting after %u requests%s\n", Requests,
+               Draining ? " (drained)" : "");
   return 0;
 }

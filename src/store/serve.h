@@ -9,28 +9,43 @@
 /// and an open proof store across requests, so an edit-verify loop pays
 /// solver time only for the obligations the edit actually dirtied.
 ///
-/// One connection = one request = one module (src/store/wire.h). For each
-/// request the daemon re-plans the module from the source text it was sent,
-/// answers store hits instantly, schedules the misses through the shared
-/// fleet, appends the fresh outcomes to the store, and streams back the
-/// exact stdout report a local run would have printed plus per-request
-/// store counters and a ready-made `--json` report.
+/// One connection = one request = one module (src/store/wire.h). Requests
+/// are served concurrently: the main thread owns the listener and all
+/// client reads; each fully-read request is handed to one of `ServeJobs`
+/// session threads, which re-plans the module from the source text it was
+/// sent, answers store hits instantly (the store index is thread-safe, see
+/// store.h), schedules the misses through its own Scheduler backed by a
+/// shared partitioned WarmFleet, and streams back the exact stdout report
+/// a local run would have printed plus per-request store counters and a
+/// ready-made `--json` report.
 ///
 /// Robustness discipline:
 ///
 ///  * a stale socket file (no listener behind it) is detected by a probe
 ///    connect and replaced; a LIVE listener is an error — two daemons on
 ///    one socket would race the accept queue;
-///  * SIGINT/SIGTERM runs the async-signal-safe termination path: fsync the
-///    store, SIGKILL + reap every fleet worker via the pid registry, unlink
-///    the socket, _exit(130) — no orphans, no torn store;
-///  * a client that disappears mid-request costs the daemon one EPIPE'd
-///    write (SIGPIPE is ignored), never the process; a connection that
-///    closes before delivering a full request frame (a readiness probe, a
-///    port scan) is not counted as a request at all;
-///  * `servedrop@N` (smt/inject.h) deterministically drops the Nth
-///    connection after reading its request — how the client's retry and
-///    fallback paths are exercised in tests.
+///  * admission control: with every session busy and `ServeQueue` requests
+///    already waiting, a new request is answered with a retryable DRYE1
+///    busy frame (carrying a retry-after hint) instead of being queued
+///    without bound — the client backs off and retries, it never fails;
+///  * slow or half-open clients cost one fd, never a thread: the main
+///    thread reads request frames under a per-frame `ReadTimeoutMs`
+///    deadline, and session threads write responses under the same budget;
+///  * a client that disconnects mid-solve has its in-flight obligations
+///    cancelled (its session's workers are SIGKILLed and recycled) without
+///    disturbing the other sessions; per-request wall deadlines
+///    (`DeadlineMs`) bound a pathological module the same way;
+///  * SIGINT/SIGTERM drains gracefully: stop accepting, answer the queue
+///    with retryable busy frames, give in-flight requests `DrainMs` to
+///    finish (then abort them), fsync the store, reap the fleet, unlink
+///    the socket, exit 0. A second signal runs the async-signal-safe hard
+///    path (terminateNow): SIGKILL + reap every worker, _exit(130) — no
+///    orphans, no torn store either way;
+///  * `servedrop@N` drops the Nth connection after reading its request,
+///    `servebusy@N` forces the busy reply to the Nth request, `serveslow@N`
+///    stalls reading the Nth accepted connection until its read deadline
+///    fires (smt/inject.h) — how the client's retry, backoff, and timeout
+///    paths are exercised in tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,6 +69,21 @@ struct ServeDaemonOptions {
   /// Stop after this many requests; 0 = run until signalled. Tests use it
   /// to get a daemon that exits on its own.
   unsigned MaxRequests = 0;
+  /// Session threads serving requests concurrently; 0 = one per CPU.
+  unsigned ServeJobs = 0;
+  /// Admitted requests allowed to wait for a free session beyond the
+  /// ServeJobs in flight; past this the daemon answers a retryable DRYE1
+  /// busy frame instead of queueing without bound.
+  unsigned ServeQueue = 16;
+  /// Per-frame deadline for reading a request and writing a response, so a
+  /// slow or half-open client costs one fd, never a thread.
+  unsigned ReadTimeoutMs = 30000;
+  /// Per-request wall deadline; 0 = none. An exceeded request is aborted
+  /// (its workers SIGKILLed and recycled) and answered with exit 3.
+  unsigned DeadlineMs = 0;
+  /// Graceful-drain budget after SIGTERM/SIGINT: in-flight requests get
+  /// this long to finish before being aborted.
+  unsigned DrainMs = 30000;
   /// Active solver backends as (name, probed version) pairs, from the
   /// driver's startup probe; threaded into every response's `--json` report
   /// so clients see which fleet answered them.

@@ -39,9 +39,15 @@ std::string ProofStore::encodeRecord(const JournalRecord &R) {
   return crc32Hex(crc32(Json)) + " " + Json + "\n";
 }
 
+ProofStore::ProofStore() {
+  static std::atomic<uint64_t> NextInstanceId{1};
+  InstanceId = NextInstanceId.fetch_add(1, std::memory_order_relaxed);
+}
+
 ProofStore::~ProofStore() {
-  if (Fd >= 0)
-    ::close(Fd);
+  int F = Fd.load(std::memory_order_relaxed);
+  if (F >= 0)
+    ::close(F);
 }
 
 /// Reads all of \p Fd (from offset 0) into \p Out. Returns false on error.
@@ -98,7 +104,7 @@ size_t ProofStore::loadSegment(const std::string &Bytes) {
     Pos = Nl + 1;
     Durable = Pos; // complete lines stay on disk even when quarantined
     if (std::optional<JournalRecord> R = decodeLine(Line))
-      Index[R->Key] = *R; // later records win
+      BaseIndex[R->Key] = *R; // later records win
     else
       ++Quarantined; // skipped, never trusted; compaction drops it
   }
@@ -106,28 +112,30 @@ size_t ProofStore::loadSegment(const std::string &Bytes) {
 }
 
 bool ProofStore::open(const std::string &P, std::string &Err) {
-  if (Fd >= 0) {
+  // open() is single-threaded by contract: the daemon opens the store
+  // before spawning any session thread, so plain writes to the atomics
+  // here are published by thread creation.
+  if (Fd.load(std::memory_order_relaxed) >= 0) {
     Err = "store already open";
     return false;
   }
   Path = P;
   for (int Attempt = 0; Attempt != 2; ++Attempt) {
-    Fd = ::open(P.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
-    if (Fd < 0) {
+    int F = ::open(P.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+    if (F < 0) {
       Err = "cannot open proof store '" + P + "': " + std::strerror(errno);
       return false;
     }
     // The open-time scan (and any torn-tail truncation) happens under the
     // same lock appenders take, so a concurrent writer can never land a
     // record between "read EOF" and "truncate to EOF".
-    bool Locked = flock(Fd, LOCK_EX) == 0;
+    bool Locked = flock(F, LOCK_EX) == 0;
     std::string Bytes;
-    if (!readWhole(Fd, Bytes)) {
+    if (!readWhole(F, Bytes)) {
       Err = "cannot read proof store '" + P + "': " + std::strerror(errno);
       if (Locked)
-        flock(Fd, LOCK_UN);
-      ::close(Fd);
-      Fd = -1;
+        flock(F, LOCK_UN);
+      ::close(F);
       return false;
     }
 
@@ -135,18 +143,18 @@ bool ProofStore::open(const std::string &P, std::string &Err) {
       // Fresh store: stamp the header so every later open can tell "ours"
       // from "stale schema".
       std::string H = headerLine();
-      if (!writeAll(Fd, H.data(), H.size())) {
+      if (!writeAll(F, H.data(), H.size())) {
         Err = "cannot initialize proof store '" + P +
               "': " + std::strerror(errno);
         if (Locked)
-          flock(Fd, LOCK_UN);
-        ::close(Fd);
-        Fd = -1;
+          flock(F, LOCK_UN);
+        ::close(F);
         return false;
       }
-      fsync(Fd);
+      fsync(F);
       if (Locked)
-        flock(Fd, LOCK_UN);
+        flock(F, LOCK_UN);
+      Fd.store(F, std::memory_order_relaxed);
       return true;
     }
 
@@ -158,9 +166,8 @@ bool ProofStore::open(const std::string &P, std::string &Err) {
       // all): rebuild, never misread. The old bytes are rotated aside so a
       // human can still inspect them.
       if (Locked)
-        flock(Fd, LOCK_UN);
-      ::close(Fd);
-      Fd = -1;
+        flock(F, LOCK_UN);
+      ::close(F);
       std::string Stale = P + ".stale";
       if (::rename(P.c_str(), Stale.c_str()) != 0) {
         Err = "stale proof store '" + P +
@@ -175,74 +182,126 @@ bool ProofStore::open(const std::string &P, std::string &Err) {
       // Torn tail from a killed writer: truncate to the last durable
       // record. The torn obligation is simply re-solved; appending past
       // un-newlined garbage would corrupt the NEXT record too.
-      if (ftruncate(Fd, static_cast<off_t>(Durable)) == 0)
-        fsync(Fd);
+      if (ftruncate(F, static_cast<off_t>(Durable)) == 0)
+        fsync(F);
     }
     if (Locked)
-      flock(Fd, LOCK_UN);
+      flock(F, LOCK_UN);
+    Fd.store(F, std::memory_order_relaxed);
     return true;
   }
   Err = "could not rebuild stale proof store '" + P + "'";
   return false;
 }
 
+namespace {
+/// One thread's view of a store's post-open appends: the suffix of the
+/// append log it has replayed so far, as a key -> record overlay.
+struct ReaderOverlay {
+  size_t Applied = 0;
+  std::unordered_map<std::string, JournalRecord> Map;
+};
+} // namespace
+
 const JournalRecord *ProofStore::lookup(const std::string &Key) const {
-  auto It = Index.find(Key);
-  return It == Index.end() ? nullptr : &It->second;
+  // Readers resolve against the immutable base index plus a THREAD-LOCAL
+  // overlay of this writer's appends, synced by copying only records this
+  // thread has not yet seen. The sync takes LogMu briefly; the writer's
+  // slow part (write + fsync under IoMu) is never behind that lock, so a
+  // hit never blocks on an in-flight append. Overlays are keyed by
+  // instance id, not address, so a recycled allocation cannot inherit a
+  // dead store's overlay.
+  thread_local std::unordered_map<uint64_t, ReaderOverlay> Overlays;
+  ReaderOverlay &O = Overlays[InstanceId];
+  if (O.Applied < AppendSeq.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> L(LogMu);
+    for (; O.Applied != AppendLog.size(); ++O.Applied)
+      O.Map[AppendLog[O.Applied].Key] = AppendLog[O.Applied];
+  }
+  // Appends are newer than anything in the base segment, so the overlay
+  // wins — the same later-records-win rule the on-disk scan applies.
+  auto It = O.Map.find(Key);
+  if (It != O.Map.end())
+    return &It->second;
+  auto B = BaseIndex.find(Key);
+  return B == BaseIndex.end() ? nullptr : &B->second;
+}
+
+size_t ProofStore::size() const {
+  std::lock_guard<std::mutex> L(LogMu);
+  return BaseIndex.size() + NewKeys;
 }
 
 void ProofStore::put(const JournalRecord &R) {
-  if (Fd < 0 || Degraded)
+  if (Fd.load(std::memory_order_relaxed) < 0 ||
+      Degraded.load(std::memory_order_relaxed))
     return;
-  ++Puts;
   std::string Line = encodeRecord(R);
 
-  if (Inject.infraFaultFor(InfraFaultKind::StoreTorn, Puts)) {
-    // Emulate kill -9 mid-write: half the record lands, no newline, and
-    // this writer never appends again. The next open must repair exactly
-    // this tail and re-solve exactly this obligation.
-    std::string Torn = Line.substr(0, Line.size() / 2);
-    bool Locked = flock(Fd, LOCK_EX) == 0;
-    writeAll(Fd, Torn.data(), Torn.size());
-    fsync(Fd);
+  {
+    // IoMu serializes in-process appenders (session threads sharing the
+    // daemon's store); the flock below still serializes against OTHER
+    // processes sharing the segment. Readers never take IoMu.
+    std::lock_guard<std::mutex> Io(IoMu);
+    int F = Fd.load(std::memory_order_relaxed);
+    if (F < 0 || Degraded.load(std::memory_order_relaxed))
+      return; // a concurrent put degraded the writer while we queued
+    ++Puts;
+
+    if (Inject.infraFaultFor(InfraFaultKind::StoreTorn, Puts)) {
+      // Emulate kill -9 mid-write: half the record lands, no newline, and
+      // this writer never appends again. The next open must repair exactly
+      // this tail and re-solve exactly this obligation.
+      std::string Torn = Line.substr(0, Line.size() / 2);
+      bool Locked = flock(F, LOCK_EX) == 0;
+      writeAll(F, Torn.data(), Torn.size());
+      fsync(F);
+      if (Locked)
+        flock(F, LOCK_UN);
+      Fd.store(-1, std::memory_order_relaxed);
+      Degraded.store(true, std::memory_order_relaxed);
+      ::close(F);
+      return;
+    }
+    if (Inject.infraFaultFor(InfraFaultKind::StoreCrc, Puts)) {
+      // Silent corruption: a complete-looking record whose CRC lies. Not
+      // indexed in memory either — the store must behave exactly as the
+      // next load will see it (quarantined, re-solved).
+      for (size_t I = 0; I != 8; ++I)
+        Line[I] = Line[I] == 'f' ? '0' : 'f';
+      bool Locked = flock(F, LOCK_EX) == 0;
+      writeAll(F, Line.data(), Line.size());
+      fsync(F);
+      if (Locked)
+        flock(F, LOCK_UN);
+      return;
+    }
+
+    // The real append: flock so concurrent writers (daemon + a hand-run
+    // client sharing one store) never interleave; O_APPEND puts the whole
+    // line atomically at EOF; fsync makes it durable before the next
+    // obligation starts — a power loss costs at most this one record.
+    bool Locked = flock(F, LOCK_EX) == 0;
+    bool Ok = writeAll(F, Line.data(), Line.size());
+    if (Ok)
+      fsync(F);
     if (Locked)
-      flock(Fd, LOCK_UN);
-    ::close(Fd);
-    Fd = -1;
-    Degraded = true;
-    return;
-  }
-  if (Inject.infraFaultFor(InfraFaultKind::StoreCrc, Puts)) {
-    // Silent corruption: a complete-looking record whose CRC lies. Not
-    // indexed in memory either — the store must behave exactly as the next
-    // load will see it (quarantined, re-solved).
-    for (size_t I = 0; I != 8; ++I)
-      Line[I] = Line[I] == 'f' ? '0' : 'f';
-    bool Locked = flock(Fd, LOCK_EX) == 0;
-    writeAll(Fd, Line.data(), Line.size());
-    fsync(Fd);
-    if (Locked)
-      flock(Fd, LOCK_UN);
-    return;
+      flock(F, LOCK_UN);
+    if (!Ok) {
+      // A broken cache must never break the run: stop writing, keep
+      // serving lookups from memory.
+      Degraded.store(true, std::memory_order_relaxed);
+      return;
+    }
   }
 
-  // The real append: flock so concurrent writers (daemon + a hand-run
-  // client sharing one store) never interleave; O_APPEND puts the whole
-  // line atomically at EOF; fsync makes it durable before the next
-  // obligation starts — a power loss costs at most this one record.
-  bool Locked = flock(Fd, LOCK_EX) == 0;
-  bool Ok = writeAll(Fd, Line.data(), Line.size());
-  if (Ok)
-    fsync(Fd);
-  if (Locked)
-    flock(Fd, LOCK_UN);
-  if (!Ok) {
-    // A broken cache must never break the run: stop writing, keep serving
-    // lookups from memory.
-    Degraded = true;
-    return;
-  }
-  Index[R.Key] = R;
+  // Publish to readers only after the record is durable, outside IoMu so
+  // the next appender can start its write while we update the log.
+  std::lock_guard<std::mutex> L(LogMu);
+  if (!BaseIndex.count(R.Key) && AppendedKeys.insert(R.Key).second)
+    ++NewKeys;
+  AppendLog.push_back(R);
+  AppendSeq.store(AppendLog.size(), std::memory_order_release);
 }
 
 bool ProofStore::compact(const std::string &Path, std::string &Err) {

@@ -48,6 +48,16 @@
 /// mid-write crash and silent corruption deterministically so every one of
 /// these recovery paths is exercised in tests and CI.
 ///
+/// Threading (the concurrent serve daemon shares ONE open store across all
+/// session threads): open() is single-threaded; afterwards `put` is
+/// serialized through an in-process writer mutex (on top of the cross-
+/// process flock) and `lookup` is safe from any thread. Lookups resolve
+/// against the base index — immutable after open() — plus a per-thread
+/// overlay of this writer's post-open appends, synced by copying only
+/// not-yet-seen records under a brief log lock. The writer performs its
+/// write+fsync outside that log lock, so a store hit never blocks on a
+/// writer's in-flight fsync.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRYAD_STORE_STORE_H
@@ -56,8 +66,12 @@
 #include "smt/inject.h"
 #include "verifier/journal.h"
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace dryad {
@@ -95,7 +109,7 @@ struct StoreFsck {
 
 class ProofStore {
 public:
-  ProofStore() = default;
+  ProofStore();
   ~ProofStore();
   ProofStore(const ProofStore &) = delete;
   ProofStore &operator=(const ProofStore &) = delete;
@@ -106,30 +120,33 @@ public:
   /// \p Err only on I/O failure — corruption is quarantined, never fatal.
   bool open(const std::string &Path, std::string &Err);
 
-  bool isOpen() const { return Fd >= 0; }
+  bool isOpen() const { return Fd.load(std::memory_order_relaxed) >= 0; }
   const std::string &path() const { return Path; }
 
   /// The most recent valid record for \p Key, or nullptr. Quarantined
-  /// (CRC-failed) records are invisible here by construction.
+  /// (CRC-failed) records are invisible here by construction. Safe to call
+  /// from any thread; the returned pointer is stable until this same
+  /// thread's next lookup on this store (callers copy immediately).
   const JournalRecord *lookup(const std::string &Key) const;
 
   /// Appends one record (flock + write + flush + fsync) and updates the
   /// index. Append failures flip the store to read-only lookups (Degraded)
   /// rather than failing the run: a broken cache must never fail a proof.
+  /// Safe to call from any thread; appends are serialized.
   void put(const JournalRecord &R);
 
-  /// Number of distinct keys indexed.
-  size_t size() const { return Index.size(); }
+  /// Number of distinct keys indexed (base records plus live appends).
+  size_t size() const;
 
   /// Records quarantined (bad CRC / unparseable payload) while loading.
   size_t quarantinedOnLoad() const { return Quarantined; }
   /// True when the writer died (append error or injected storetorn crash);
   /// lookups still work, puts are dropped.
-  bool degraded() const { return Degraded; }
+  bool degraded() const { return Degraded.load(std::memory_order_relaxed); }
 
   /// Raw fd of the segment writer, or -1 — for the async-signal-safe
   /// termination handler (fsync only).
-  int writerFd() const { return Fd; }
+  int writerFd() const { return Fd.load(std::memory_order_relaxed); }
 
   /// Arms deterministic fault injection for this writer instance:
   /// storetorn@N tears the Nth put mid-record and kills the writer,
@@ -163,12 +180,34 @@ private:
   size_t loadSegment(const std::string &Bytes);
 
   std::string Path;
-  int Fd = -1;
-  bool Degraded = false;
-  size_t Quarantined = 0;
-  unsigned Puts = 0; ///< appends attempted by this writer (injection ordinal)
+  std::atomic<int> Fd{-1};
+  std::atomic<bool> Degraded{false};
+  size_t Quarantined = 0; ///< written by open() only
+  unsigned Puts = 0; ///< appends attempted by this writer (injection
+                     ///< ordinal); guarded by IoMu
   FaultPlan Inject;
-  std::unordered_map<std::string, JournalRecord> Index;
+
+  /// Keys this instance under the thread-local reader overlays, so an
+  /// overlay can never outlive its store into a same-address successor.
+  uint64_t InstanceId;
+
+  /// The on-disk records at load time. Immutable after open(): readers hit
+  /// it lock-free from any thread.
+  std::unordered_map<std::string, JournalRecord> BaseIndex;
+
+  /// Serializes the disk append (write + fsync + injections). Held for the
+  /// duration of the I/O, which is why readers must never need it.
+  mutable std::mutex IoMu;
+  /// Guards AppendLog growth and the key-count bookkeeping. Held only for
+  /// in-memory copies — the brief lock reader syncs take.
+  mutable std::mutex LogMu;
+  /// Records appended by this writer since open, in append order. Readers
+  /// replay a suffix of it into their thread-local overlay.
+  std::vector<JournalRecord> AppendLog;
+  /// Published size of AppendLog: readers check it without LogMu.
+  std::atomic<size_t> AppendSeq{0};
+  std::unordered_set<std::string> AppendedKeys; ///< guarded by LogMu
+  size_t NewKeys = 0; ///< appended keys absent from BaseIndex; LogMu
 };
 
 } // namespace dryad

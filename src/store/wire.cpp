@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include <fcntl.h>
 #include <poll.h>
 #include <time.h>
 #include <unistd.h>
@@ -112,6 +113,64 @@ bool dryad::decodeServeResponse(const std::string &Payload, ServeResponse &R) {
   return true;
 }
 
+std::string dryad::frameServeBusy(const ServeBusy &B) {
+  std::string P;
+  putField(P, "retryms", std::to_string(B.RetryAfterMs));
+  putField(P, "reason", B.Reason);
+  return frame("DRYE1", P);
+}
+
+bool dryad::decodeServeBusy(const std::string &Payload, ServeBusy &B) {
+  size_t Pos = 0;
+  std::string Retry;
+  if (!getField(Payload, Pos, "retryms", Retry) ||
+      !getField(Payload, Pos, "reason", B.Reason) || Pos != Payload.size())
+    return false;
+  B.RetryAfterMs =
+      static_cast<unsigned>(std::strtoul(Retry.c_str(), nullptr, 10));
+  return true;
+}
+
+std::string dryad::framePingRequest() { return frame("DRYP1", ""); }
+
+std::string dryad::frameServeHealth(const ServeHealth &H) {
+  std::string P;
+  putField(P, "uptimems", std::to_string(H.UptimeMs));
+  putField(P, "served", std::to_string(H.Served));
+  putField(P, "active", std::to_string(H.Active));
+  putField(P, "queued", std::to_string(H.Queued));
+  putField(P, "keys", std::to_string(H.StoreKeys));
+  putField(P, "hits", std::to_string(H.StoreHits));
+  putField(P, "misses", std::to_string(H.StoreMisses));
+  putField(P, "quarantined", std::to_string(H.StoreQuarantined));
+  return frame("DRYH1", P);
+}
+
+bool dryad::decodeServeHealth(const std::string &Payload, ServeHealth &H) {
+  size_t Pos = 0;
+  std::string Up, Served, Active, Queued, Keys, Hits, Misses, Quar;
+  if (!getField(Payload, Pos, "uptimems", Up) ||
+      !getField(Payload, Pos, "served", Served) ||
+      !getField(Payload, Pos, "active", Active) ||
+      !getField(Payload, Pos, "queued", Queued) ||
+      !getField(Payload, Pos, "keys", Keys) ||
+      !getField(Payload, Pos, "hits", Hits) ||
+      !getField(Payload, Pos, "misses", Misses) ||
+      !getField(Payload, Pos, "quarantined", Quar) || Pos != Payload.size())
+    return false;
+  H.UptimeMs = std::strtoull(Up.c_str(), nullptr, 10);
+  H.Served = static_cast<unsigned>(std::strtoul(Served.c_str(), nullptr, 10));
+  H.Active = static_cast<unsigned>(std::strtoul(Active.c_str(), nullptr, 10));
+  H.Queued = static_cast<unsigned>(std::strtoul(Queued.c_str(), nullptr, 10));
+  H.StoreKeys = std::strtoull(Keys.c_str(), nullptr, 10);
+  H.StoreHits = static_cast<unsigned>(std::strtoul(Hits.c_str(), nullptr, 10));
+  H.StoreMisses =
+      static_cast<unsigned>(std::strtoul(Misses.c_str(), nullptr, 10));
+  H.StoreQuarantined =
+      static_cast<unsigned>(std::strtoul(Quar.c_str(), nullptr, 10));
+  return true;
+}
+
 int dryad::tryParseFrame(const std::string &Buf, const char *Magic,
                          std::string &Payload, size_t &Consumed) {
   size_t MagicLen = std::strlen(Magic);
@@ -152,17 +211,70 @@ bool dryad::writeFully(int Fd, const std::string &Data) {
   return true;
 }
 
-bool dryad::readFrame(int Fd, const char *Magic, std::string &Payload,
-                      unsigned TimeoutMs, std::string &Err) {
+bool dryad::writeFullyTimed(int Fd, const std::string &Data,
+                            unsigned TimeoutMs, std::string &Err) {
+  int Flags = fcntl(Fd, F_GETFL, 0);
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+  double Deadline = nowMs() + TimeoutMs;
+  size_t Off = 0;
+  bool Ok = true;
+  while (Off != Data.size()) {
+    ssize_t N = write(Fd, Data.data() + Off, Data.size() - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      Err = std::string("write: ") + std::strerror(errno);
+      Ok = false;
+      break;
+    }
+    double Left = Deadline - nowMs();
+    if (Left <= 0) {
+      Err = "write timed out after " + std::to_string(TimeoutMs) + "ms";
+      Ok = false;
+      break;
+    }
+    struct pollfd Pfd = {Fd, POLLOUT, 0};
+    int PR = poll(&Pfd, 1, static_cast<int>(Left) + 1);
+    if (PR < 0 && errno != EINTR) {
+      Err = std::string("poll: ") + std::strerror(errno);
+      Ok = false;
+      break;
+    }
+  }
+  if (Flags >= 0)
+    fcntl(Fd, F_SETFL, Flags);
+  return Ok;
+}
+
+bool dryad::readFrameAnyOf(int Fd, const char *const *Magics, size_t Count,
+                           size_t &Which, std::string &Payload,
+                           unsigned TimeoutMs, std::string &Err) {
   std::string Buf;
   double Deadline = nowMs() + TimeoutMs;
   for (;;) {
+    // Try every accepted magic against the buffered prefix: a match wins, a
+    // uniform reject is malformed, and "need more bytes" on any keeps
+    // reading (the magics differ within their first 5 bytes, so at most one
+    // can ever reach a full parse).
     size_t Consumed = 0;
-    int Parsed = tryParseFrame(Buf, Magic, Payload, Consumed);
-    if (Parsed == 1)
-      return true;
-    if (Parsed == -1) {
-      Err = "malformed frame (expected " + std::string(Magic) + ")";
+    bool AnyIncomplete = false;
+    int Parsed = -1;
+    for (size_t I = 0; I != Count; ++I) {
+      Parsed = tryParseFrame(Buf, Magics[I], Payload, Consumed);
+      if (Parsed == 1) {
+        Which = I;
+        return true;
+      }
+      if (Parsed == 0)
+        AnyIncomplete = true;
+    }
+    if (!AnyIncomplete) {
+      Err = "malformed frame (expected " + std::string(Magics[0]) + ")";
       return false;
     }
     double Left = Deadline - nowMs();
@@ -194,4 +306,11 @@ bool dryad::readFrame(int Fd, const char *Magic, std::string &Payload,
     }
     Buf.append(Chunk, static_cast<size_t>(N));
   }
+}
+
+bool dryad::readFrame(int Fd, const char *Magic, std::string &Payload,
+                      unsigned TimeoutMs, std::string &Err) {
+  const char *Magics[1] = {Magic};
+  size_t Which = 0;
+  return readFrameAnyOf(Fd, Magics, 1, Which, Payload, TimeoutMs, Err);
 }

@@ -11,8 +11,19 @@
 ///
 /// One request/response exchange per connection:
 ///
-///   client -> daemon:  "DRYS1\n" <payload-bytes> "\n" <payload>
-///   daemon -> client:  "DRYT1\n" <payload-bytes> "\n" <payload>
+///   client -> daemon:  "DRYS1\n" <payload-bytes> "\n" <payload>   verify
+///   daemon -> client:  "DRYT1\n" <payload-bytes> "\n" <payload>   verdict
+///   client -> daemon:  "DRYP1\n" <payload-bytes> "\n" <payload>   ping
+///   daemon -> client:  "DRYH1\n" <payload-bytes> "\n" <payload>   health
+///   daemon -> client:  "DRYE1\n" <payload-bytes> "\n" <payload>   overloaded
+///
+/// DRYE1 is the admission controller saying "try again later": it carries a
+/// suggested backoff and is RETRYABLE — the client backs off and re-sends,
+/// and must never fall back to local solving (that would stampede an
+/// already-loaded daemon) or report a failure exit for it. DRYP1/DRYH1 is
+/// the health probe: daemon uptime, served counters, and store stats with
+/// no verification planned — it makes a monitoring probe distinguishable
+/// from a zero-byte aborted request.
 ///
 /// The request payload carries the module *source text*, not a path: the
 /// daemon never touches the client's filesystem, so client and daemon can
@@ -52,10 +63,37 @@ struct ServeResponse {
   std::string Diag;   ///< stderr diagnostics (parse errors etc.), often empty
 };
 
+/// The daemon's retryable "overloaded" answer: every session slot is busy
+/// and the admission queue is full (or the daemon is draining). The client
+/// sleeps at least RetryAfterMs and re-sends the same request.
+struct ServeBusy {
+  unsigned RetryAfterMs = 100; ///< suggested backoff before the retry
+  std::string Reason;          ///< "overloaded" / "draining" — diagnostics
+};
+
+/// The DRYH1 health payload: daemon-lifetime counters plus a live snapshot
+/// of the store and session pool. No verification is planned to answer it.
+struct ServeHealth {
+  unsigned long long UptimeMs = 0; ///< since the daemon started listening
+  unsigned Served = 0;             ///< requests answered (pings excluded)
+  unsigned Active = 0;             ///< requests in flight on session threads
+  unsigned Queued = 0;             ///< admitted requests awaiting a session
+  unsigned long long StoreKeys = 0; ///< distinct keys in the proof store
+  unsigned StoreHits = 0;           ///< lifetime store hits across requests
+  unsigned StoreMisses = 0;         ///< lifetime store misses
+  unsigned StoreQuarantined = 0;    ///< corrupt records skipped at load
+};
+
 /// "DRYS1\n<len>\n<payload>" around an encoded request.
 std::string frameServeRequest(const ServeRequest &Q);
 /// "DRYT1\n<len>\n<payload>" around an encoded response.
 std::string frameServeResponse(const ServeResponse &R);
+/// "DRYE1\n<len>\n<payload>" around an encoded busy reply.
+std::string frameServeBusy(const ServeBusy &B);
+/// "DRYP1\n<len>\n<payload>" — the ping request (empty payload).
+std::string framePingRequest();
+/// "DRYH1\n<len>\n<payload>" around an encoded health snapshot.
+std::string frameServeHealth(const ServeHealth &H);
 
 /// Incremental frame parser: returns 1 and fills \p Payload / \p Consumed
 /// when \p Buf starts with one complete `<Magic>\n<len>\n<payload>` frame,
@@ -68,16 +106,32 @@ int tryParseFrame(const std::string &Buf, const char *Magic,
 /// dropped connection, never trusts a partial decode.
 bool decodeServeRequest(const std::string &Payload, ServeRequest &Q);
 bool decodeServeResponse(const std::string &Payload, ServeResponse &R);
+bool decodeServeBusy(const std::string &Payload, ServeBusy &B);
+bool decodeServeHealth(const std::string &Payload, ServeHealth &H);
 
 /// Full write to \p Fd, retrying short writes and EINTR. Returns false on
 /// any error (EPIPE included — callers must have SIGPIPE ignored).
 bool writeFully(int Fd, const std::string &Data);
+
+/// Full write to \p Fd under a total deadline of \p TimeoutMs: the fd is
+/// flipped non-blocking and driven by poll(2), so a client that stops
+/// reading costs the writer at most the deadline, never a wedged thread.
+/// Returns false on timeout or error with a one-line reason in \p Err.
+bool writeFullyTimed(int Fd, const std::string &Data, unsigned TimeoutMs,
+                     std::string &Err);
 
 /// Reads one `<Magic>\n<len>\n<payload>` frame from \p Fd under a total
 /// deadline of \p TimeoutMs (poll(2)-driven). Returns false on timeout,
 /// EOF, or a malformed frame, with a one-line reason in \p Err.
 bool readFrame(int Fd, const char *Magic, std::string &Payload,
                unsigned TimeoutMs, std::string &Err);
+
+/// Like readFrame, but accepts any of \p Magics[0..Count). On success fills
+/// \p Which with the index of the magic that matched — how the client tells
+/// a DRYT1 verdict from a DRYE1 busy reply on the same connection.
+bool readFrameAnyOf(int Fd, const char *const *Magics, size_t Count,
+                    size_t &Which, std::string &Payload, unsigned TimeoutMs,
+                    std::string &Err);
 
 } // namespace dryad
 

@@ -116,18 +116,41 @@
 //                         fleet and the store open across requests on a
 //                         unix socket; each connection ships a module and
 //                         gets back verdicts, per-request store counters,
-//                         and a --json report. SIGINT/SIGTERM flushes the
-//                         store, reaps the fleet, unlinks the socket.
-//                         Known limitation: the accept loop serves one
-//                         request at a time — concurrent clients queue on
-//                         the socket backlog
+//                         and a --json report. Requests are served
+//                         CONCURRENTLY by a pool of session threads, each
+//                         with its own slice of the warm fleet; past
+//                         capacity the daemon answers a retryable busy
+//                         frame instead of queueing without bound. The
+//                         first SIGINT/SIGTERM drains gracefully (stop
+//                         accepting, finish in-flight work, fsync the
+//                         store, reap the fleet, unlink the socket, exit
+//                         0); a second one escalates to the hard kill path
 //   --serve-max-requests <n>  exit the daemon after <n> requests (tests)
+//   --serve-jobs <n>      concurrent session threads (default: one per CPU)
+//   --serve-queue <n>     admitted requests that may wait for a session
+//                         past --serve-jobs in flight; beyond this new
+//                         requests get the retryable busy reply (default 16)
+//   --serve-read-timeout-ms <ms>  per-frame read/write deadline per client:
+//                         a slow or half-open client costs one fd, never a
+//                         session thread (default 30000)
+//   --serve-deadline-ms <ms>  per-request wall deadline; an overrunning
+//                         request is aborted (workers SIGKILLed, recycled)
+//                         and answered exit 3 (default 0 = none)
+//   --serve-drain-ms <ms> graceful-drain budget before in-flight requests
+//                         are aborted (default 30000)
 //   --remote <sock>       thin-client mode: ship each file to the daemon at
 //                         <sock> and replay its answer (stdout byte-
 //                         identical to a local run). Connect/request
 //                         timeouts and bounded retries below; when the
 //                         daemon stays unreachable the client solves
-//                         locally (or exits 3 under --no-remote-fallback)
+//                         locally (or exits 3 under --no-remote-fallback).
+//                         A busy reply from an overloaded daemon is honored
+//                         with backoff on its own retry budget — it never
+//                         triggers fallback and never becomes exit 1
+//   --ping                with --remote: print the daemon's health snapshot
+//                         (uptime, served/active/queued, store counters)
+//                         without planning a verification; exit 0 on a
+//                         healthy reply, 3 when the daemon is unreachable
 //   --connect-timeout-ms <ms>  per-connect deadline (default 2000)
 //   --request-timeout-ms <ms>  per-request solve deadline (default 600000)
 //   --remote-retries <k>  re-attempts after the first failed try (default 2)
@@ -456,7 +479,8 @@ int runRemote(const std::vector<std::string> &Files, const RemoteOptions &RO,
 
     ServeResponse Resp;
     std::string Err;
-    if (remoteVerify(RO, File, Ss.str(), Resp, Err)) {
+    RemoteStatus Status = remoteVerify(RO, File, Ss.str(), Resp, Err);
+    if (Status == RemoteStatus::Ok) {
       if (!Resp.Diag.empty())
         std::fprintf(stderr, "%s", Resp.Diag.c_str());
       std::fwrite(Resp.Report.data(), 1, Resp.Report.size(), stdout);
@@ -467,6 +491,16 @@ int runRemote(const std::vector<std::string> &Files, const RemoteOptions &RO,
       AllVerified &= Resp.Exit == 0;
       AnyGenuineFailure |= Resp.Exit == 1;
       AnyInfra |= Resp.Exit == 3;
+      continue;
+    }
+    if (Status == RemoteStatus::Overloaded) {
+      // The daemon is alive, just saturated past the backoff budget. It
+      // owns the store — solving locally behind its back would fork the
+      // cache — so this is an infrastructure retry (exit 3), never a
+      // fallback and never a disproof.
+      std::fprintf(stderr, "error: %s; try again later\n", Err.c_str());
+      AllVerified = false;
+      AnyInfra = true;
       continue;
     }
     if (!Fallback) {
@@ -518,8 +552,14 @@ int main(int Argc, char **Argv) {
   std::string CompactPath, FsckPath; // --store-compact / --store-verify
   std::string ServeSock, RemoteSock; // --serve / --remote
   unsigned ServeMaxRequests = 0;
+  unsigned ServeJobs = 0;
+  unsigned ServeQueue = 16;
+  unsigned ServeReadTimeoutMs = 30000;
+  unsigned ServeDeadlineMs = 0;
+  unsigned ServeDrainMs = 30000;
   RemoteOptions Remote;
   bool RemoteFallback = true;
+  bool Ping = false;
   std::vector<BackendSpec> BackendReqs; // --backend/--backends, in order
   bool ListBackends = false;
   std::vector<std::string> Files;
@@ -620,6 +660,18 @@ int main(int Argc, char **Argv) {
       ServeSock = Argv[++I];
     else if (!std::strcmp(Argv[I], "--serve-max-requests") && I + 1 < Argc)
       ServeMaxRequests = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--serve-jobs") && I + 1 < Argc)
+      ServeJobs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--serve-queue") && I + 1 < Argc)
+      ServeQueue = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--serve-read-timeout-ms") && I + 1 < Argc)
+      ServeReadTimeoutMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--serve-deadline-ms") && I + 1 < Argc)
+      ServeDeadlineMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--serve-drain-ms") && I + 1 < Argc)
+      ServeDrainMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--ping"))
+      Ping = true;
     else if (!std::strcmp(Argv[I], "--remote") && I + 1 < Argc)
       RemoteSock = Argv[++I];
     else if (!std::strcmp(Argv[I], "--connect-timeout-ms") && I + 1 < Argc)
@@ -740,8 +792,31 @@ int main(int Argc, char **Argv) {
     SO.SocketPath = ServeSock;
     SO.Verify = Opts;
     SO.MaxRequests = ServeMaxRequests;
+    SO.ServeJobs = ServeJobs;
+    SO.ServeQueue = ServeQueue;
+    SO.ReadTimeoutMs = ServeReadTimeoutMs;
+    SO.DeadlineMs = ServeDeadlineMs;
+    SO.DrainMs = ServeDrainMs;
     SO.BackendLabels = BackendLabels;
     return runServeDaemon(SO);
+  }
+
+  if (Ping) {
+    if (RemoteSock.empty()) {
+      std::fprintf(stderr, "--ping requires --remote <sock>\n");
+      return 2;
+    }
+    Remote.SocketPath = RemoteSock;
+    ServeHealth H;
+    std::string Err;
+    if (!remotePing(Remote, H, Err)) {
+      // An unreachable daemon is infrastructure trouble, not a disproof.
+      std::fprintf(stderr, "error: ping failed: %s\n", Err.c_str());
+      return 3;
+    }
+    std::string Out = formatServeHealth(H);
+    std::fwrite(Out.data(), 1, Out.size(), stdout);
+    return 0;
   }
 
   if (Files.empty()) {

@@ -278,3 +278,21 @@ std::string dryad::jsonReport(
   Out += Buf;
   return Out;
 }
+
+std::string dryad::formatServeHealth(const ServeHealth &H) {
+  char Buf[256];
+  std::string Out;
+  unsigned long long S = H.UptimeMs / 1000;
+  std::snprintf(Buf, sizeof(Buf), "daemon: up %lluh %02llum %02llus\n",
+                S / 3600, (S / 60) % 60, S % 60);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "requests: served=%u active=%u queued=%u\n", H.Served,
+                H.Active, H.Queued);
+  Out += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "store: keys=%llu hits=%u misses=%u quarantined=%u\n",
+                H.StoreKeys, H.StoreHits, H.StoreMisses, H.StoreQuarantined);
+  Out += Buf;
+  return Out;
+}

@@ -14,6 +14,7 @@
 #ifndef DRYAD_VERIFIER_REPORT_H
 #define DRYAD_VERIFIER_REPORT_H
 
+#include "store/wire.h"
 #include "verifier/verifier.h"
 
 #include <string>
@@ -46,6 +47,12 @@ std::string summarize(const std::vector<ProcResult> &Results);
 /// off stdout so warm/cold and cold-store/warm-store runs keep
 /// byte-identical reports.
 std::string formatWorkerStats(const PoolStats &S);
+
+/// The `--remote SOCK --ping` report: the daemon's DRYH1 health snapshot
+/// as human-readable lines (uptime, served/active/queued requests, store
+/// keys and lifetime hit/miss/quarantine counters). Goes to stdout — it is
+/// the whole output of a ping run.
+std::string formatServeHealth(const ServeHealth &H);
 
 /// The single source of the exit-code taxonomy: folds \p Results into
 /// \p AllVerified (every routine verified) and \p AnyGenuineFailure (some

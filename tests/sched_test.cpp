@@ -16,6 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
 
 using namespace dryad;
 using namespace dryad::test;
@@ -492,4 +496,129 @@ TEST(SchedVerifier, WarmFleetAmortizationVisibleInStats) {
       << "fork count must amortize below the obligation count";
   EXPECT_EQ(S.ColdSpawns, 0u);
   EXPECT_GT(S.SolveSeconds, 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// WarmFleet and the cross-thread abort machinery (the serve daemon's glue)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedFleet, WorkersStayWarmAcrossSchedulersWithinAPartition) {
+  WarmFleet Fleet(2);
+  {
+    Scheduler Pool(1, {}, &Fleet, /*Partition=*/0);
+    unsigned Done = 0;
+    Pool.submit(quickUnsat(), [&](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+    Pool.run();
+    EXPECT_EQ(Done, 1u);
+    EXPECT_EQ(Pool.stats().WarmSpawns, 1u);
+  } // destruction parks the survivor in partition 0
+  EXPECT_EQ(Fleet.idleCount(), 1u);
+
+  {
+    // The next scheduler on the same slot leases the parked worker: zero
+    // spawns — the daemon's cross-request warmth.
+    Scheduler Pool(1, {}, &Fleet, /*Partition=*/0);
+    unsigned Done = 0;
+    Pool.submit(quickUnsat(), [&](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+    Pool.run();
+    EXPECT_EQ(Done, 1u);
+    EXPECT_EQ(Pool.stats().WarmSpawns, 0u)
+        << "the fleet's parked worker must be reused, not respawned";
+  }
+
+  {
+    // Partition isolation: a scheduler on slot 1 must NOT see slot 0's
+    // worker — worker pipes are single-owner by construction.
+    Scheduler Pool(1, {}, &Fleet, /*Partition=*/1);
+    unsigned Done = 0;
+    Pool.submit(quickUnsat(), [&](const SmtResult &R) {
+      if (R.Status == SmtStatus::Unsat)
+        ++Done;
+    });
+    Pool.run();
+    EXPECT_EQ(Pool.stats().WarmSpawns, 1u)
+        << "partitions must not share worker processes";
+  }
+
+  EXPECT_EQ(Fleet.idleCount(), 2u);
+  Fleet.retireAll();
+  EXPECT_EQ(Fleet.idleCount(), 0u);
+}
+
+TEST(SchedAbort, CrossThreadRequestAbortStopsAStalledRunWithoutCompletions) {
+  // The daemon's drain path: another thread asks a wedged run to stop. The
+  // stalled worker ignores its soft timeout, so only the abort can end
+  // this before the 60s deadline — and no completion may run afterwards.
+  Scheduler Pool(1);
+  SandboxRequest Stall = quickUnsat();
+  Stall.TimeoutMs = 60000;
+  Stall.Fault = SandboxFault::Stall;
+  bool CompletionRan = false;
+  Pool.submit(std::move(Stall),
+              [&](const SmtResult &) { CompletionRan = true; });
+
+  std::thread Aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    Pool.requestAbort();
+  });
+  auto T0 = std::chrono::steady_clock::now();
+  Pool.run();
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+  Aborter.join();
+
+  EXPECT_EQ(Pool.abortCause(), Scheduler::AbortCause::External);
+  EXPECT_FALSE(CompletionRan)
+      << "an aborted task's completion must never run";
+  EXPECT_LT(Secs, 10.0) << "the abort pipe must wake the poll immediately";
+  EXPECT_TRUE(Pool.idle()) << "aborted work is discarded, not requeued";
+}
+
+TEST(SchedAbort, WatchedClientEofAbortsAsClientGone) {
+  // The session-side half of disconnect cancellation: the scheduler polls
+  // the client fd it was told to watch; EOF there kills the run.
+  int Sp[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  close(Sp[1]); // the "client" hangs up before the solve finishes
+
+  Scheduler Pool(1);
+  Pool.watchClient(Sp[0]);
+  SandboxRequest Stall = quickUnsat();
+  Stall.TimeoutMs = 60000;
+  Stall.Fault = SandboxFault::Stall;
+  Pool.submit(std::move(Stall), [](const SmtResult &) {});
+  auto T0 = std::chrono::steady_clock::now();
+  Pool.run();
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  EXPECT_EQ(Pool.abortCause(), Scheduler::AbortCause::ClientGone);
+  EXPECT_LT(Secs, 10.0);
+  close(Sp[0]);
+}
+
+TEST(SchedAbort, AbortDeadlineBoundsARunawayRequest) {
+  Scheduler Pool(1);
+  Pool.setAbortDeadline(std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(200));
+  SandboxRequest Stall = quickUnsat();
+  Stall.TimeoutMs = 60000;
+  Stall.Fault = SandboxFault::Stall;
+  Pool.submit(std::move(Stall), [](const SmtResult &) {});
+  auto T0 = std::chrono::steady_clock::now();
+  Pool.run();
+  double Secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  EXPECT_EQ(Pool.abortCause(), Scheduler::AbortCause::Deadline);
+  EXPECT_LT(Secs, 10.0) << "the per-request wall deadline must bound run()";
 }

@@ -6,11 +6,14 @@
 //  * the DRYS1/DRYT1 wire codec (store/wire.h): byte-counted framing that
 //    round-trips arbitrary module bytes, and an incremental parser that
 //    never misreads a partial or foreign buffer;
-//  * the thin client (store/remote.h): bounded connect/request timeouts and
-//    the retry ladder, so a dead or wedged daemon costs milliseconds, not a
-//    hang;
+//  * the thin client (store/remote.h): bounded connect/request timeouts,
+//    the retry ladder, and DRYE1 busy backoff, so a dead, wedged, or
+//    saturated daemon costs milliseconds, not a hang — and never a wrong
+//    verdict;
 //  * the daemon itself (store/serve.h), forked as a real process: warm
-//    store across requests, byte-identical reports, servedrop recovery.
+//    store across requests, byte-identical reports, servedrop recovery,
+//    concurrent sessions, admission control, per-request deadlines, and
+//    DRYP1 health pings.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +28,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include <signal.h>
 #include <sys/socket.h>
@@ -171,7 +176,8 @@ TEST(RemoteClient, DeadSocketFailsFastWithinTimeouts) {
   gettimeofday(&T0, nullptr);
   ServeResponse Resp;
   std::string Err;
-  EXPECT_FALSE(remoteVerify(RO, "f.dryad", "proc p() {}", Resp, Err));
+  EXPECT_EQ(remoteVerify(RO, "f.dryad", "proc p() {}", Resp, Err),
+            RemoteStatus::Error);
   gettimeofday(&T1, nullptr);
   EXPECT_FALSE(Err.empty());
   double Elapsed = (T1.tv_sec - T0.tv_sec) + (T1.tv_usec - T0.tv_usec) * 1e-6;
@@ -203,7 +209,8 @@ TEST(RemoteClient, SilentDaemonHitsTheRequestDeadline) {
 
   ServeResponse Resp;
   std::string Err;
-  EXPECT_FALSE(remoteVerify(RO, "f.dryad", "proc p() {}", Resp, Err));
+  EXPECT_EQ(remoteVerify(RO, "f.dryad", "proc p() {}", Resp, Err),
+            RemoteStatus::Error);
   EXPECT_NE(Err.find("daemon lost mid-request"), std::string::npos) << Err;
 
   close(LFd);
@@ -231,14 +238,21 @@ proc id(x: loc) returns (ret: loc)
 
 /// Forks a daemon on \p Path answering \p MaxRequests requests and returns
 /// its pid. The parent waits for the socket to accept before returning, so
-/// tests don't race daemon startup.
+/// tests don't race daemon startup. NOTE: that readiness probe is a real
+/// accepted connection daemon-side, so serveslow@N ordinals start at 2 for
+/// the first client connection.
 pid_t spawnDaemon(const std::string &Path, const std::string &StorePath,
-                  unsigned MaxRequests, const char *Inject = nullptr) {
+                  unsigned MaxRequests, const char *Inject = nullptr,
+                  unsigned ServeJobs = 2, unsigned ReadTimeoutMs = 30000,
+                  unsigned DeadlineMs = 0) {
   pid_t Pid = fork();
   if (Pid == 0) {
     ServeDaemonOptions SO;
     SO.SocketPath = Path;
     SO.MaxRequests = MaxRequests;
+    SO.ServeJobs = ServeJobs;
+    SO.ReadTimeoutMs = ReadTimeoutMs;
+    SO.DeadlineMs = DeadlineMs;
     SO.Verify.StorePath = StorePath;
     SO.Verify.TimeoutMs = 30000;
     SO.Verify.Jobs = 2;
@@ -284,13 +298,17 @@ TEST(ServeDaemon, WarmStoreAnswersTheSecondRequestInstantly) {
 
   ServeResponse R1, R2;
   std::string Err;
-  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R1, Err)) << Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R1, Err),
+            RemoteStatus::Ok)
+      << Err;
   EXPECT_EQ(R1.Exit, 0) << R1.Report << R1.Diag;
   EXPECT_EQ(R1.StoreHits, 0u) << "request 1 hits a cold store";
   EXPECT_GE(R1.StoreMisses, 1u);
   EXPECT_NE(R1.Report.find("verified"), std::string::npos);
 
-  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R2, Err)) << Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R2, Err),
+            RemoteStatus::Ok)
+      << Err;
   EXPECT_EQ(R2.Exit, 0);
   EXPECT_EQ(R2.StoreMisses, 0u)
       << "the unchanged module must be answered wholly from the warm store";
@@ -314,13 +332,17 @@ TEST(ServeDaemon, ParseErrorIsAGenuineFailureNotACrash) {
 
   ServeResponse Bad;
   std::string Err;
-  ASSERT_TRUE(remoteVerify(RO, "bad.dryad", "proc oops(", Bad, Err)) << Err;
+  ASSERT_EQ(remoteVerify(RO, "bad.dryad", "proc oops(", Bad, Err),
+            RemoteStatus::Ok)
+      << Err;
   EXPECT_EQ(Bad.Exit, 1) << "a module that does not parse is the user's bug";
   EXPECT_FALSE(Bad.Diag.empty()) << "the parse diagnostic must reach the client";
 
   // The daemon survives the bad request and still serves good ones.
   ServeResponse Good;
-  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), Good, Err)) << Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), Good, Err),
+            RemoteStatus::Ok)
+      << Err;
   EXPECT_EQ(Good.Exit, 0);
 
   EXPECT_EQ(reapDaemon(Pid), 0);
@@ -341,7 +363,8 @@ TEST(ServeDaemon, ServedropIsAbsorbedByTheClientRetryLadder) {
 
   ServeResponse R;
   std::string Err;
-  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R, Err))
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
       << "one dropped connection must not fail the client: " << Err;
   EXPECT_EQ(R.Exit, 0);
 
@@ -360,7 +383,9 @@ TEST(ServeDaemon, SigtermUnlinksSocketAndLeavesStoreClean) {
   RO.SocketPath = Path;
   ServeResponse R;
   std::string Err;
-  ASSERT_TRUE(remoteVerify(RO, "m.dryad", moduleText(), R, Err)) << Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << Err;
 
   kill(Pid, SIGTERM);
   int Status = 0;
@@ -374,5 +399,268 @@ TEST(ServeDaemon, SigtermUnlinksSocketAndLeavesStoreClean) {
   EXPECT_TRUE(F.clean()) << ProofStore::formatFsck(F)
                          << " (the store must be flushed, not torn)";
   EXPECT_GE(F.ValidRecords, 1u) << "the request's proofs were persisted";
+  std::remove(Store.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency, admission control, deadlines, ping
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemon, FourConcurrentClientsMatchSequentialBaseline) {
+  std::string Path = sockPath("conc");
+  std::string Store = tmpStore("conc");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/5, nullptr,
+                          /*ServeJobs=*/4);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.RequestTimeoutMs = 120000;
+
+  // The sequential baseline: request 1 populates the store and fixes the
+  // report bytes (store hits replay recorded timings).
+  ServeResponse Base;
+  std::string Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), Base, Err),
+            RemoteStatus::Ok)
+      << Err;
+  ASSERT_EQ(Base.Exit, 0) << Base.Report << Base.Diag;
+
+  // Four clients in flight at once, all on distinct session threads. Every
+  // answer must be byte-identical to the baseline — concurrency must be
+  // invisible in the output.
+  ServeResponse R[4];
+  RemoteStatus St[4];
+  std::string Errs[4];
+  std::vector<std::thread> Clients;
+  for (int I = 0; I != 4; ++I)
+    Clients.emplace_back([&, I] {
+      St[I] = remoteVerify(RO, "m.dryad", moduleText(), R[I], Errs[I]);
+    });
+  for (std::thread &T : Clients)
+    T.join();
+  for (int I = 0; I != 4; ++I) {
+    ASSERT_EQ(St[I], RemoteStatus::Ok) << "client " << I << ": " << Errs[I];
+    EXPECT_EQ(R[I].Exit, 0) << "client " << I;
+    EXPECT_EQ(R[I].StoreMisses, 0u)
+        << "client " << I << " re-solved instead of hitting the warm store";
+    EXPECT_EQ(R[I].Report, Base.Report)
+        << "client " << I << " diverged from the sequential baseline";
+  }
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, ServebusyRepliesRetryableAndTheClientBacksOff) {
+  std::string Path = sockPath("busy");
+  std::string Store = tmpStore("busy");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/2, "servebusy@1");
+
+  // Raw wire check first: request 1 must be answered with a DRYE1 frame
+  // carrying a retry hint, not a DRYT1 response and not a hangup.
+  {
+    int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    struct sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+    ASSERT_EQ(connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                      sizeof(Addr)),
+              0)
+        << strerror(errno);
+    ASSERT_TRUE(writeFully(Fd, frameServeRequest({"m.dryad", moduleText()})));
+    const char *Magics[2] = {"DRYT1", "DRYE1"};
+    size_t Which = 0;
+    std::string Payload, Err;
+    ASSERT_TRUE(readFrameAnyOf(Fd, Magics, 2, Which, Payload, 10000, Err))
+        << Err;
+    EXPECT_EQ(Which, 1u) << "request 1 must get the busy frame";
+    ServeBusy B;
+    ASSERT_TRUE(decodeServeBusy(Payload, B));
+    EXPECT_GT(B.RetryAfterMs, 0u) << "the retry hint drives client backoff";
+    EXPECT_FALSE(B.Reason.empty());
+    close(Fd);
+  }
+
+  // The ladder check: the client absorbs the busy reply by backing off and
+  // succeeding on request 2 — never an error, never a fallback.
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.RequestTimeoutMs = 60000;
+  ServeResponse R;
+  std::string Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << "a busy daemon must cost a backoff, not a failure: " << Err;
+  EXPECT_EQ(R.Exit, 0);
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, ExhaustedBusyBudgetIsOverloadedNotError) {
+  std::string Path = sockPath("overload");
+  std::string Store = tmpStore("overload");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/1, "servebusy@1");
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.BusyRetries = 0; // first busy reply exhausts the budget
+  ServeResponse R;
+  std::string Err;
+  EXPECT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Overloaded)
+      << "saturation is its own status — the driver maps it to exit 3, "
+         "never to fallback and never to exit 1";
+  EXPECT_NE(Err.find("overloaded"), std::string::npos) << Err;
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, ServeslowConnectionCostsAFdNeverASession) {
+  std::string Path = sockPath("slow");
+  std::string Store = tmpStore("slow");
+  // Connection ordinals: 1 is spawnDaemon's readiness probe, so serveslow@2
+  // stalls the client's first connection. The daemon never reads it; its
+  // 300ms read deadline closes it, the client sees the hangup and retries
+  // on a fresh connection (ordinal 3), which is served normally.
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/1, "serveslow@2",
+                          /*ServeJobs=*/2, /*ReadTimeoutMs=*/300);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.RequestTimeoutMs = 60000;
+  RO.Retries = 2;
+  ServeResponse R;
+  std::string Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << "a stalled connection must be cut by the read deadline and the "
+         "retry must succeed: "
+      << Err;
+  EXPECT_EQ(R.Exit, 0);
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, PingReportsHealthWithoutConsumingRequests) {
+  std::string Path = sockPath("ping");
+  std::string Store = tmpStore("ping");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/1);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+
+  // A ping before any request: zero served, cold store. If pings consumed
+  // MaxRequests the daemon would exit before serving the verify below.
+  ServeHealth H0;
+  std::string Err;
+  ASSERT_TRUE(remotePing(RO, H0, Err)) << Err;
+  EXPECT_EQ(H0.Served, 0u);
+  EXPECT_EQ(H0.StoreKeys, 0u);
+  EXPECT_EQ(H0.Active, 0u);
+  EXPECT_EQ(H0.Queued, 0u);
+
+  ServeResponse R;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << Err;
+  EXPECT_EQ(R.Exit, 0);
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, PingSeesServedCountAndStoreKeysGrow) {
+  std::string Path = sockPath("ping2");
+  std::string Store = tmpStore("ping2");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/2);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  ServeResponse R;
+  std::string Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << Err;
+  ASSERT_EQ(R.Exit, 0);
+
+  ServeHealth H;
+  ASSERT_TRUE(remotePing(RO, H, Err)) << Err;
+  EXPECT_EQ(H.Served, 1u);
+  EXPECT_GE(H.StoreKeys, 1u) << "the request's fresh proofs are in the index";
+  EXPECT_GE(H.StoreMisses, 1u);
+
+  ServeResponse R2;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R2, Err),
+            RemoteStatus::Ok)
+      << Err;
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, RequestDeadlineAbortsWithInfraExitNotAHang) {
+  std::string Path = sockPath("deadline");
+  std::string Store = tmpStore("deadline");
+  // A 1ms wall deadline fires before any obligation can complete: the
+  // request must come back exit 3 (infrastructure, not a disproof) with a
+  // diagnostic naming the deadline, and the daemon must stay healthy.
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/1, nullptr,
+                          /*ServeJobs=*/2, /*ReadTimeoutMs=*/30000,
+                          /*DeadlineMs=*/1);
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.RequestTimeoutMs = 60000;
+  ServeResponse R;
+  std::string Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << Err;
+  EXPECT_EQ(R.Exit, 3) << "a deadline kill is infra trouble, never exit 1: "
+                       << R.Report << R.Diag;
+  EXPECT_NE(R.Diag.find("deadline"), std::string::npos) << R.Diag;
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
+  std::remove(Store.c_str());
+}
+
+TEST(ServeDaemon, ClientHangupMidSolveDoesNotWedgeTheDaemon) {
+  std::string Path = sockPath("gone");
+  std::string Store = tmpStore("gone");
+  pid_t Pid = spawnDaemon(Path, Store, /*MaxRequests=*/2);
+
+  // Deliver a full request, then hang up immediately: the session's
+  // watched-client abort SIGKILLs its in-flight obligations and writes no
+  // response. The daemon must remain fully available for the next client.
+  {
+    int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(Fd, 0);
+    struct sockaddr_un Addr;
+    std::memset(&Addr, 0, sizeof(Addr));
+    Addr.sun_family = AF_UNIX;
+    std::memcpy(Addr.sun_path, Path.c_str(), Path.size());
+    ASSERT_EQ(connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                      sizeof(Addr)),
+              0)
+        << strerror(errno);
+    ASSERT_TRUE(writeFully(Fd, frameServeRequest({"m.dryad", moduleText()})));
+    close(Fd);
+  }
+
+  RemoteOptions RO;
+  RO.SocketPath = Path;
+  RO.RequestTimeoutMs = 60000;
+  ServeResponse R;
+  std::string Err;
+  ASSERT_EQ(remoteVerify(RO, "m.dryad", moduleText(), R, Err),
+            RemoteStatus::Ok)
+      << "an abandoned request must not take the daemon with it: " << Err;
+  EXPECT_EQ(R.Exit, 0);
+
+  EXPECT_EQ(reapDaemon(Pid), 0);
   std::remove(Store.c_str());
 }

@@ -25,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <signal.h>
 #include <sys/wait.h>
@@ -695,4 +696,90 @@ TEST(ExitTaxonomy, QuarantinedStoreStillVerifiesCleanly) {
   bool All = true, Genuine = false;
   classifyResults(Second, All, Genuine);
   EXPECT_TRUE(All) << "exit 0, not 1: quarantine is not a disproof";
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: one store, many threads (the serve daemon's usage)
+//===----------------------------------------------------------------------===//
+
+TEST(StoreConcurrency, ParallelAppendersAndReaderNoTornRecordsLaterWins) {
+  std::string P = storePath("threads");
+  {
+    ProofStore S;
+    std::string Err;
+    ASSERT_TRUE(S.open(P, Err)) << Err;
+
+    // Two writer threads appending through ONE ProofStore — the daemon's
+    // session threads — while a reader replays lookups concurrently.
+    // Writers share 8 keys and each writes distinct timings, so the
+    // survivor of every key must be SOME complete record (no hybrids).
+    constexpr unsigned Keys = 8, Rounds = 50;
+    auto Writer = [&S](unsigned Which) {
+      for (unsigned R = 0; R != Rounds; ++R)
+        for (unsigned K = 0; K != Keys; ++K) {
+          JournalRecord Rec = mkRecord(
+              "v1-th" + std::to_string(K), SmtStatus::Unsat,
+              /*Seconds=*/static_cast<double>(Which * 1000 + R));
+          Rec.Attempts = Which;
+          S.put(Rec);
+        }
+    };
+    std::thread W1(Writer, 1), W2(Writer, 2);
+    // The reader: every hit it sees mid-flight must already be a complete,
+    // self-consistent record — a Seconds value one of the writers actually
+    // wrote, never a mix.
+    for (unsigned Spin = 0; Spin != 2000; ++Spin) {
+      const JournalRecord *Hit = S.lookup("v1-th3");
+      if (!Hit)
+        continue;
+      unsigned Which = static_cast<unsigned>(Hit->Seconds) / 1000;
+      ASSERT_TRUE(Which == 1 || Which == 2) << Hit->Seconds;
+      ASSERT_EQ(Hit->Attempts, Which) << "torn record: fields from two puts";
+    }
+    W1.join();
+    W2.join();
+    EXPECT_EQ(S.size(), Keys);
+  }
+
+  // Durability: the reopened segment is fsck-clean and later-records-win
+  // yields exactly the shared keys.
+  StoreFsck F = ProofStore::verifySegment(P);
+  EXPECT_EQ(F.TornTail, false);
+  EXPECT_EQ(F.BadCrc, 0u);
+  ProofStore S2;
+  std::string Err;
+  ASSERT_TRUE(S2.open(P, Err)) << Err;
+  EXPECT_EQ(S2.quarantinedOnLoad(), 0u);
+  EXPECT_EQ(S2.size(), 8u);
+  for (unsigned K = 0; K != 8; ++K) {
+    const JournalRecord *Hit = S2.lookup("v1-th" + std::to_string(K));
+    ASSERT_NE(Hit, nullptr) << K;
+    unsigned Which = static_cast<unsigned>(Hit->Seconds) / 1000;
+    EXPECT_TRUE(Which == 1 || Which == 2);
+    EXPECT_EQ(Hit->Attempts, Which);
+  }
+  std::remove(P.c_str());
+}
+
+TEST(StoreConcurrency, ReaderNeverBlocksOnOrSeesUnpublishedAppends) {
+  // A lookup on a fresh thread must observe every record published before
+  // the thread started (the release/acquire pair on AppendSeq), and the
+  // overlay must win over the base index for re-put keys.
+  std::string P = storePath("overlay");
+  ProofStore S;
+  std::string Err;
+  ASSERT_TRUE(S.open(P, Err)) << Err;
+  S.put(mkRecord("v1-ov", SmtStatus::Unsat, 1.0));
+  S.put(mkRecord("v1-ov", SmtStatus::Unsat, 2.0));
+
+  double Seen = 0;
+  std::thread Reader([&] {
+    const JournalRecord *Hit = S.lookup("v1-ov");
+    if (Hit)
+      Seen = Hit->Seconds;
+  });
+  Reader.join();
+  EXPECT_EQ(Seen, 2.0) << "later put must win on a thread that never read "
+                          "the earlier one";
+  std::remove(P.c_str());
 }
